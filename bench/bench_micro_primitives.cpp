@@ -1,0 +1,127 @@
+// Microbenchmarks of vinelet's core primitives (google-benchmark).
+//
+// These quantify the constant factors behind the runtime's overheads:
+// content hashing (every transfer is verified), value / message
+// serialization (everything crosses the network as bytes), function
+// serialization, environment packing/unpacking, and scheduler data
+// structures.
+#include <benchmark/benchmark.h>
+
+#include "core/protocol.hpp"
+#include "hash/content_id.hpp"
+#include "hash/hash_ring.hpp"
+#include "poncho/packer.hpp"
+#include "serde/function_registry.hpp"
+#include "serde/value.hpp"
+#include "storage/cache_index.hpp"
+
+namespace {
+
+using namespace vinelet;
+
+void BM_Sha256(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Blob payload = poncho::Packer::DeterministicBytes("bench", size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Sha256::Hash(payload.span()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_Sha256)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ValueEncodeDecode(benchmark::State& state) {
+  serde::ValueList list;
+  for (int i = 0; i < 64; ++i) {
+    list.push_back(serde::Value::Dict(
+        {{"id", serde::Value(i)}, {"name", serde::Value("molecule")},
+         {"energy", serde::Value(1.5 * i)}}));
+  }
+  const serde::Value value(std::move(list));
+  for (auto _ : state) {
+    const Blob blob = value.ToBlob();
+    auto decoded = serde::Value::FromBlob(blob);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_ValueEncodeDecode);
+
+void BM_SerializedFunctionRoundTrip(benchmark::State& state) {
+  const auto code_size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const Blob blob = serde::SerializedFunction::Serialize(
+        "lnni_infer", serde::Value(42), code_size);
+    auto parsed = serde::SerializedFunction::Deserialize(blob);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_SerializedFunctionRoundTrip)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  core::RunInvocationMsg msg{1001, 3, "lnni_infer",
+                             serde::Value::Dict({{"count", serde::Value(16)},
+                                                 {"seed", serde::Value(7)}})
+                                 .ToBlob()};
+  for (auto _ : state) {
+    const Blob blob = core::EncodeMessage(core::Message(msg));
+    auto decoded = core::DecodeMessage(blob);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_EnvironmentUnpack(benchmark::State& state) {
+  // A scaled environment: unpack cost is the dominant worker overhead in
+  // Table 5, so its throughput matters.
+  poncho::PackageCatalog catalog =
+      poncho::PackageCatalog::SyntheticMlCatalog(0.001);
+  poncho::EnvironmentSpec spec{catalog.Resolve({"ml-inference"}).value()};
+  const Blob tarball = poncho::Packer::PackEnvironment(spec);
+  for (auto _ : state) {
+    auto dir = poncho::Packer::Unpack(tarball);
+    benchmark::DoNotOptimize(dir);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(spec.TotalUnpackedBytes()));
+}
+BENCHMARK(BM_EnvironmentUnpack);
+
+void BM_HashRingOwner(benchmark::State& state) {
+  hash::HashRing ring;
+  for (std::uint64_t w = 1; w <= static_cast<std::uint64_t>(state.range(0));
+       ++w)
+    ring.Add(w);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Owner(key++));
+  }
+}
+BENCHMARK(BM_HashRingOwner)->Arg(16)->Arg(150);
+
+void BM_HashRingWalk(benchmark::State& state) {
+  hash::HashRing ring;
+  for (std::uint64_t w = 1; w <= 150; ++w) ring.Add(w);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.WalkFrom(key++));
+  }
+}
+BENCHMARK(BM_HashRingWalk);
+
+void BM_CacheIndexChurn(benchmark::State& state) {
+  storage::CacheIndex cache(1 << 20);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    const auto id = hash::ContentId::OfText("blob-" + std::to_string(n % 512));
+    if (!cache.Touch(id)) {
+      benchmark::DoNotOptimize(cache.Insert(id, 4096));
+    }
+    ++n;
+  }
+}
+BENCHMARK(BM_CacheIndexChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

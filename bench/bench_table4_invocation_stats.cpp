@@ -1,0 +1,49 @@
+// Table 4: statistics for invocation run time with three levels of context
+// reuse in LNNI-100k (seconds): mean / std deviation / min / max.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+
+int main() {
+  using namespace vinelet;
+  using namespace vinelet::sim;
+  std::printf("Reproduction of Table 4: invocation run-time statistics, "
+              "LNNI 100k invocations, 150 workers\n");
+
+  static const WorkloadCosts costs = LnniCosts(16);
+  struct PaperRow {
+    const char* mean;
+    const char* stddev;
+    const char* min;
+    const char* max;
+  };
+  const PaperRow paper[3] = {{"21.59", "34.78", "6.71", "289.72"},
+                             {"13.48", "3.68", "6.09", "45.33"},
+                             {"4.77", "3.43", "2.67", "39.51"}};
+
+  bench::Table table({"Level", "Mean (paper/sim)", "Std (paper/sim)",
+                      "Min (paper/sim)", "Max (paper/sim)"});
+  for (int i = 0; i < 3; ++i) {
+    const auto level = static_cast<core::ReuseLevel>(i + 1);
+    SimConfig config;
+    config.level = level;
+    config.cluster.num_workers = 150;
+    config.seed = 2024;
+    VineSim sim(config, BuildLnniWorkload(costs, 100000));
+    const SimResult result = sim.Run();
+    const auto& s = result.run_time;
+    table.AddRow({std::string(core::ReuseLevelName(level)),
+                  std::string(paper[i].mean) + " / " + FormatDouble(s.mean(), 2),
+                  std::string(paper[i].stddev) + " / " +
+                      FormatDouble(s.stddev(), 2),
+                  std::string(paper[i].min) + " / " + FormatDouble(s.min(), 2),
+                  std::string(paper[i].max) + " / " +
+                      FormatDouble(s.max(), 2)});
+  }
+  table.Print();
+  std::printf("Shape checks: mean(L1) > mean(L2) > mean(L3); L1 has the "
+              "heaviest tail (largest std/max).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the reproduction benches: table rendering and
+// paper-vs-measured comparison rows.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace vinelet::bench {
+
+/// Prints a boxed section header.
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %s |", PadRight(cell, widths[c]).c_str());
+      }
+      std::printf("\n");
+    };
+    auto print_rule = [&] {
+      std::printf("+");
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        for (std::size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+    print_rule();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "paper vs measured" convenience cell pair.
+inline std::string Seconds(double s, int precision = 1) {
+  return FormatDouble(s, precision) + " s";
+}
+
+inline std::string Percent(double fraction, int precision = 1) {
+  return FormatDouble(fraction * 100.0, precision) + "%";
+}
+
+inline std::string Ratio(double paper, double measured) {
+  if (paper <= 0) return "-";
+  return FormatDouble(measured / paper, 2) + "x";
+}
+
+}  // namespace vinelet::bench

@@ -1,0 +1,209 @@
+#include "apps/examol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/numeric.hpp"
+#include "serde/archive.hpp"
+
+namespace vinelet::apps {
+namespace {
+
+Result<std::vector<double>> ParseBasis(const Blob& blob,
+                                       const ExamolConfig& config) {
+  serde::ArchiveReader reader(blob);
+  auto magic = reader.ReadString();
+  if (!magic.ok()) return magic.status();
+  if (*magic != "EXBAS1") return DataLossError("bad basis-set magic");
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  if (*count != config.basis_terms)
+    return DataLossError("basis-set size mismatch");
+  std::vector<double> table;
+  table.reserve(config.basis_terms);
+  for (std::size_t i = 0; i < config.basis_terms; ++i) {
+    auto v = reader.ReadF64();
+    if (!v.ok()) return v.status();
+    table.push_back(*v);
+  }
+  return table;
+}
+
+const ExamolBasis* BasisFrom(const serde::InvocationEnv& env) {
+  return dynamic_cast<const ExamolBasis*>(env.context);
+}
+
+}  // namespace
+
+Blob MakeBasisSetBlob(const ExamolConfig& config) {
+  const Vec values = SyntheticFeatures(0xBA515, config.basis_terms);
+  serde::ArchiveWriter writer;
+  writer.WriteString("EXBAS1");
+  writer.WriteU64(config.basis_terms);
+  for (double v : values) writer.WriteF64(v);
+  return std::move(writer).ToBlob();
+}
+
+Status RegisterExamolFunctions(serde::FunctionRegistry& registry,
+                               const ExamolConfig& config) {
+  auto tolerate_exists = [](Status status) {
+    if (!status.ok() && status.code() != ErrorCode::kAlreadyExists)
+      return status;
+    return Status::Ok();
+  };
+
+  // --- context setup --------------------------------------------------
+  serde::ContextSetupDef setup;
+  setup.name = "examol_setup";
+  setup.imports = {"chem-design"};
+  setup.fn = [config](const serde::Value&, const serde::InvocationEnv& env)
+      -> Result<serde::ContextHandle> {
+    if (!env.HasFile(config.basis_file))
+      return NotFoundError("basis file not staged: " + config.basis_file);
+    auto table = ParseBasis(env.File(config.basis_file), config);
+    if (!table.ok()) return table.status();
+    return serde::ContextHandle(
+        std::make_shared<ExamolBasis>(std::move(*table)));
+  };
+  VINELET_RETURN_IF_ERROR(tolerate_exists(registry.RegisterSetup(setup)));
+
+  // Helper shared by all three functions: retained basis or rebuilt local.
+  auto get_basis =
+      [config](const serde::InvocationEnv& env)
+      -> Result<std::shared_ptr<const std::vector<double>>> {
+    if (const ExamolBasis* ctx = BasisFrom(env)) {
+      // Borrow the retained table without copying.
+      return std::shared_ptr<const std::vector<double>>(
+          std::shared_ptr<void>(), &ctx->table());
+    }
+    if (!env.HasFile(config.basis_file))
+      return NotFoundError("basis file not staged: " + config.basis_file);
+    auto table = ParseBasis(env.File(config.basis_file), config);
+    if (!table.ok()) return table.status();
+    return std::make_shared<const std::vector<double>>(std::move(*table));
+  };
+
+  // --- simulate ----------------------------------------------------------
+  serde::FunctionDef simulate;
+  simulate.name = "examol_simulate";
+  simulate.setup_name = "examol_setup";
+  simulate.imports = {"chem-design"};
+  simulate.fn = [config, get_basis](
+                    const serde::Value& args,
+                    const serde::InvocationEnv& env) -> Result<serde::Value> {
+    auto molecule = args.GetInt("molecule");
+    if (!molecule.ok()) return molecule.status();
+    auto basis = get_basis(env);
+    if (!basis.ok()) return basis.status();
+
+    // PM7 stand-in: relax the molecule's descriptor on a potential surface
+    // parameterized by the basis table (per-dimension, shared by all
+    // molecules — the surface is smooth in the descriptor, so an ML
+    // surrogate can genuinely learn it), then report the energy.  The
+    // dominant linear term keeps the landscape rank-learnable while the
+    // sinusoidal part makes relaxation non-trivial.
+    const auto key = static_cast<std::uint64_t>(*molecule);
+    Vec point = SyntheticFeatures(key, config.feature_dim);
+    double energy = 0.0;
+    for (std::size_t step = 0; step < config.optimize_steps; ++step) {
+      energy = 0.0;
+      for (std::size_t i = 0; i < config.feature_dim; ++i) {
+        const double b = (**basis)[i % (*basis)->size()];
+        const double grad = 0.8 * b + 0.6 * std::cos(point[i] * 2.0 + b);
+        point[i] -= 0.002 * grad;
+        energy += 0.8 * point[i] * b + 0.3 * std::sin(point[i] * 2.0 + b);
+      }
+    }
+    serde::ValueDict out;
+    out["molecule"] = serde::Value(*molecule);
+    out["energy"] = serde::Value(energy);
+    return serde::Value(std::move(out));
+  };
+  VINELET_RETURN_IF_ERROR(tolerate_exists(registry.RegisterFunction(simulate)));
+
+  // --- train ---------------------------------------------------------------
+  serde::FunctionDef train;
+  train.name = "examol_train";
+  train.setup_name = "examol_setup";
+  train.imports = {"chem-design"};
+  train.fn = [config](const serde::Value& args,
+                      const serde::InvocationEnv&) -> Result<serde::Value> {
+    const serde::Value& results = args.Get("results");
+    if (results.type() != serde::Value::Type::kList)
+      return InvalidArgumentError("train: 'results' must be a list");
+    const auto& list = results.AsList();
+    if (list.size() < config.feature_dim)
+      return FailedPreconditionError("train: need at least " +
+                                     std::to_string(config.feature_dim) +
+                                     " samples");
+    Mat features(list.size(), config.feature_dim);
+    Vec targets(list.size());
+    for (std::size_t r = 0; r < list.size(); ++r) {
+      auto molecule = list[r].GetInt("molecule");
+      if (!molecule.ok()) return molecule.status();
+      auto energy = list[r].GetNumber("energy");
+      if (!energy.ok()) return energy.status();
+      const Vec row = SyntheticFeatures(
+          static_cast<std::uint64_t>(*molecule), config.feature_dim);
+      for (std::size_t c = 0; c < config.feature_dim; ++c)
+        features.at(r, c) = row[c];
+      targets[r] = *energy;
+    }
+    auto weights = RidgeSolve(features, targets, 1e-3);
+    if (!weights.ok()) return weights.status();
+    serde::ValueList encoded;
+    encoded.reserve(weights->size());
+    for (double w : *weights) encoded.emplace_back(w);
+    serde::ValueDict out;
+    out["weights"] = serde::Value(std::move(encoded));
+    return serde::Value(std::move(out));
+  };
+  VINELET_RETURN_IF_ERROR(tolerate_exists(registry.RegisterFunction(train)));
+
+  // --- infer ---------------------------------------------------------------
+  serde::FunctionDef infer;
+  infer.name = "examol_infer";
+  infer.setup_name = "examol_setup";
+  infer.imports = {"chem-design"};
+  infer.fn = [config](const serde::Value& args,
+                      const serde::InvocationEnv&) -> Result<serde::Value> {
+    const serde::Value& weights_value = args.Get("weights");
+    if (weights_value.type() != serde::Value::Type::kList)
+      return InvalidArgumentError("infer: 'weights' must be a list");
+    auto pool_seed = args.GetInt("pool_seed");
+    if (!pool_seed.ok()) return pool_seed.status();
+    auto pool = args.GetInt("pool");
+    if (!pool.ok()) return pool.status();
+    auto top_k = args.GetInt("top_k");
+    if (!top_k.ok()) return top_k.status();
+
+    Vec weights;
+    weights.reserve(weights_value.AsList().size());
+    for (const auto& w : weights_value.AsList()) weights.push_back(w.AsNumber());
+
+    // Score the candidate pool; keep the lowest predicted energies.
+    std::vector<std::pair<double, std::int64_t>> scored;
+    scored.reserve(static_cast<std::size_t>(*pool));
+    for (std::int64_t i = 0; i < *pool; ++i) {
+      const std::int64_t molecule = *pool_seed + i;
+      const Vec features = SyntheticFeatures(
+          static_cast<std::uint64_t>(molecule), config.feature_dim);
+      scored.emplace_back(Dot(weights, features), molecule);
+    }
+    const std::size_t keep =
+        std::min<std::size_t>(static_cast<std::size_t>(*top_k), scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(keep),
+                      scored.end());
+    serde::ValueList candidates;
+    for (std::size_t i = 0; i < keep; ++i)
+      candidates.emplace_back(scored[i].second);
+    serde::ValueDict out;
+    out["candidates"] = serde::Value(std::move(candidates));
+    return serde::Value(std::move(out));
+  };
+  VINELET_RETURN_IF_ERROR(tolerate_exists(registry.RegisterFunction(infer)));
+
+  return Status::Ok();
+}
+
+}  // namespace vinelet::apps

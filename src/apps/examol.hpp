@@ -1,0 +1,59 @@
+// ExaMol: the molecular-design application (paper §4.1.2), at laptop scale.
+//
+// Three function classes mirror the real application's task mix:
+//  * examol_simulate — a PM7-style energy evaluation: iterative local
+//    optimization of a synthetic molecular potential;
+//  * examol_train — retrain the surrogate (ridge regression over completed
+//    simulations, a scikit-learn stand-in);
+//  * examol_infer — score candidate molecules with the surrogate and return
+//    the most promising ones (the active-learning acquisition step).
+//
+// The shared context is a "basis set" table loaded from an input file; the
+// setup function parses it once per library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "serde/function_registry.hpp"
+
+namespace vinelet::apps {
+
+struct ExamolConfig {
+  std::size_t feature_dim = 24;    // molecular descriptor dimension
+  std::size_t basis_terms = 4096;  // size of the basis-set table
+  std::size_t optimize_steps = 400;
+  std::string basis_file = "basis_set.dat";
+};
+
+/// Deterministic synthetic basis-set blob.
+Blob MakeBasisSetBlob(const ExamolConfig& config);
+
+/// Retained context: parsed basis table.
+class ExamolBasis final : public serde::FunctionContext {
+ public:
+  explicit ExamolBasis(std::vector<double> table) : table_(std::move(table)) {}
+  std::uint64_t MemoryBytes() const override {
+    return table_.size() * sizeof(double);
+  }
+  const std::vector<double>& table() const noexcept { return table_; }
+
+ private:
+  std::vector<double> table_;
+};
+
+/// Registers examol_simulate / examol_train / examol_infer and the
+/// examol_setup context function.  Idempotent per registry.
+///
+/// examol_simulate args: {"molecule": int}
+///   -> {"molecule": int, "energy": float}
+/// examol_train args: {"results": [ {"molecule": int, "energy": float} ]}
+///   -> {"weights": [float]}
+/// examol_infer args: {"weights": [float], "pool_seed": int, "pool": int,
+///                     "top_k": int}
+///   -> {"candidates": [int]}  (lowest predicted ionization potential)
+Status RegisterExamolFunctions(serde::FunctionRegistry& registry,
+                               const ExamolConfig& config);
+
+}  // namespace vinelet::apps

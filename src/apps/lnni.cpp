@@ -1,0 +1,147 @@
+#include "apps/lnni.hpp"
+
+#include <cmath>
+
+#include "apps/numeric.hpp"
+#include "serde/archive.hpp"
+
+namespace vinelet::apps {
+namespace {
+
+/// Parses a weights blob into a flat vector ("load parameters from disk").
+Result<std::vector<double>> ParseWeights(const Blob& blob,
+                                         const LnniConfig& config) {
+  serde::ArchiveReader reader(blob);
+  auto magic = reader.ReadString();
+  if (!magic.ok()) return magic.status();
+  if (*magic != "LNNIW1") return DataLossError("bad weights magic");
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  const std::size_t expected = config.dim * config.dim * config.layers;
+  if (*count != expected) return DataLossError("weights size mismatch");
+  std::vector<double> weights;
+  weights.reserve(expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    auto w = reader.ReadF64();
+    if (!w.ok()) return w.status();
+    weights.push_back(*w);
+  }
+  return weights;
+}
+
+/// "Builds the model": several normalization passes over the weights — an
+/// expensive, deterministic transform whose output every inference needs.
+std::vector<double> BuildModel(std::vector<double> weights,
+                               const LnniConfig& config) {
+  for (std::size_t pass = 0; pass < config.build_passes; ++pass) {
+    double norm = 0.0;
+    for (double w : weights) norm += w * w;
+    norm = std::sqrt(norm / static_cast<double>(weights.size())) + 1e-9;
+    for (double& w : weights) w = std::tanh(w / norm);
+  }
+  return weights;
+}
+
+Result<std::shared_ptr<LnniModel>> LoadAndBuild(const Blob& blob,
+                                                const LnniConfig& config) {
+  auto weights = ParseWeights(blob, config);
+  if (!weights.ok()) return weights.status();
+  return std::make_shared<LnniModel>(BuildModel(std::move(*weights), config),
+                                     config.dim, config.layers);
+}
+
+}  // namespace
+
+Blob MakeLnniWeightsBlob(const LnniConfig& config) {
+  const std::size_t count = config.dim * config.dim * config.layers;
+  Vec values = SyntheticFeatures(config.weights_seed, count);
+  serde::ArchiveWriter writer;
+  writer.WriteString("LNNIW1");
+  writer.WriteU64(count);
+  for (double v : values) writer.WriteF64(v);
+  return std::move(writer).ToBlob();
+}
+
+std::int64_t LnniModel::Infer(std::uint64_t image_key) const {
+  // Forward pass: image -> layers_ matrix products -> argmax over classes.
+  Vec activation = SyntheticFeatures(image_key, dim_);
+  for (std::size_t layer = 0; layer < layers_; ++layer) {
+    Vec next(dim_, 0.0);
+    const double* w = weights_.data() + layer * dim_ * dim_;
+    for (std::size_t r = 0; r < dim_; ++r) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < dim_; ++c)
+        sum += w[r * dim_ + c] * activation[c];
+      next[r] = sum > 0 ? sum : 0.01 * sum;  // leaky ReLU
+    }
+    activation = std::move(next);
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < activation.size(); ++i)
+    if (activation[i] > activation[best]) best = i;
+  return static_cast<std::int64_t>(best % 1000);  // 1,000 ImageNet classes
+}
+
+Status RegisterLnniFunctions(serde::FunctionRegistry& registry,
+                             const LnniConfig& config) {
+  serde::ContextSetupDef setup;
+  setup.name = "lnni_setup";
+  setup.imports = {"ml-inference"};
+  setup.fn = [config](const serde::Value&, const serde::InvocationEnv& env)
+      -> Result<serde::ContextHandle> {
+    if (!env.HasFile(config.weights_file))
+      return NotFoundError("weights file not staged: " + config.weights_file);
+    auto model = LoadAndBuild(env.File(config.weights_file), config);
+    if (!model.ok()) return model.status();
+    return serde::ContextHandle(std::move(*model));
+  };
+  Status setup_status = registry.RegisterSetup(std::move(setup));
+  if (!setup_status.ok() && setup_status.code() != ErrorCode::kAlreadyExists)
+    return setup_status;
+
+  serde::FunctionDef infer;
+  infer.name = "lnni_infer";
+  infer.setup_name = "lnni_setup";
+  infer.imports = {"ml-inference"};
+  infer.fn = [config](const serde::Value& args,
+                      const serde::InvocationEnv& env) -> Result<serde::Value> {
+    auto count = args.GetInt("count");
+    if (!count.ok()) return count.status();
+    auto seed = args.GetInt("seed");
+    if (!seed.ok()) return seed.status();
+
+    // The reusable context: either retained by the library (L3) or rebuilt
+    // right here, every invocation (L1/L2).
+    const LnniModel* model = dynamic_cast<const LnniModel*>(env.context);
+    std::shared_ptr<LnniModel> local;
+    const bool rebuilt = model == nullptr;
+    if (rebuilt) {
+      if (!env.HasFile(config.weights_file))
+        return NotFoundError("weights file not staged: " +
+                             config.weights_file);
+      auto built = LoadAndBuild(env.File(config.weights_file), config);
+      if (!built.ok()) return built.status();
+      local = std::move(*built);
+      model = local.get();
+    }
+
+    double checksum = 0.0;
+    std::int64_t last_class = 0;
+    for (std::int64_t i = 0; i < *count; ++i) {
+      last_class =
+          model->Infer(static_cast<std::uint64_t>(*seed + i * 7919));
+      checksum += static_cast<double>(last_class);
+    }
+    serde::ValueDict out;
+    out["classified"] = serde::Value(last_class);
+    out["checksum"] = serde::Value(checksum);
+    out["rebuilt"] = serde::Value(rebuilt);
+    return serde::Value(std::move(out));
+  };
+  Status fn_status = registry.RegisterFunction(std::move(infer));
+  if (!fn_status.ok() && fn_status.code() != ErrorCode::kAlreadyExists)
+    return fn_status;
+  return Status::Ok();
+}
+
+}  // namespace vinelet::apps

@@ -1,0 +1,98 @@
+#include "apps/numeric.hpp"
+
+#include <cmath>
+
+namespace vinelet::apps {
+
+double Dot(const Vec& a, const Vec& b) {
+  double sum = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Vec MatVec(const Mat& m, const Vec& x) {
+  Vec y(m.rows, 0.0);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    double sum = 0.0;
+    const double* row = m.data.data() + r * m.cols;
+    for (std::size_t c = 0; c < m.cols; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vec SyntheticFeatures(std::uint64_t key, std::size_t dim) {
+  // SplitMix64 stream mapped to [-1, 1); deterministic per key.
+  Vec out(dim);
+  std::uint64_t x = key * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  for (std::size_t i = 0; i < dim; ++i) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    out[i] = static_cast<double>(z >> 11) * 0x1.0p-52 - 1.0;
+  }
+  return out;
+}
+
+Result<Vec> CholeskySolve(Mat s, Vec b) {
+  if (s.rows != s.cols || s.rows != b.size())
+    return InvalidArgumentError("CholeskySolve: shape mismatch");
+  const std::size_t n = s.rows;
+  // Factor S = L L^T in place (lower triangle).
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = s.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= s.at(j, k) * s.at(j, k);
+    if (diag <= 0.0)
+      return FailedPreconditionError("CholeskySolve: not positive definite");
+    const double ljj = std::sqrt(diag);
+    s.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = s.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= s.at(i, k) * s.at(j, k);
+      s.at(i, j) = sum / ljj;
+    }
+  }
+  // Forward solve L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= s.at(i, k) * b[k];
+    b[i] = sum / s.at(i, i);
+  }
+  // Back solve L^T w = z.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= s.at(k, i) * b[k];
+    b[i] = sum / s.at(i, i);
+  }
+  return b;
+}
+
+Result<Vec> RidgeSolve(const Mat& a, const Vec& y, double lambda) {
+  if (a.rows != y.size())
+    return InvalidArgumentError("RidgeSolve: shape mismatch");
+  const std::size_t d = a.cols;
+  Mat gram(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < a.rows; ++r)
+        sum += a.at(r, i) * a.at(r, j);
+      gram.at(i, j) = sum;
+      gram.at(j, i) = sum;
+    }
+    gram.at(i, i) += lambda;
+  }
+  Vec rhs(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < a.rows; ++r) sum += a.at(r, i) * y[r];
+    rhs[i] = sum;
+  }
+  return CholeskySolve(std::move(gram), std::move(rhs));
+}
+
+}  // namespace vinelet::apps

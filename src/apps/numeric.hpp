@@ -1,0 +1,46 @@
+// Small dense linear-algebra kernels used by the example applications.
+//
+// The evaluation applications do real numeric work (ResNet50 inference,
+// PM7 chemistry, scikit-learn training); these kernels are their
+// laptop-scale stand-ins — genuinely compute-bound, deterministic, and
+// sized so the context-setup / execution split is measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vinelet::apps {
+
+using Vec = std::vector<double>;
+
+/// Dense row-major matrix.
+struct Mat {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  Vec data;
+
+  Mat() = default;
+  Mat(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+  double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+};
+
+double Dot(const Vec& a, const Vec& b);
+
+/// y = M x.
+Vec MatVec(const Mat& m, const Vec& x);
+
+/// Deterministic pseudo-random feature vector for an integer key.
+Vec SyntheticFeatures(std::uint64_t key, std::size_t dim);
+
+/// Solves (A^T A + lambda I) w = A^T y via Cholesky (ridge regression).
+/// kFailedPrecondition if the system is not positive definite.
+Result<Vec> RidgeSolve(const Mat& a, const Vec& y, double lambda);
+
+/// In-place Cholesky solve of S w = b for symmetric positive-definite S.
+Result<Vec> CholeskySolve(Mat s, Vec b);
+
+}  // namespace vinelet::apps

@@ -1,0 +1,35 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace vinelet {
+
+ByteBuffer ByteBuffer::Filled(std::size_t size, std::uint8_t fill) {
+  return ByteBuffer(std::vector<std::uint8_t>(size, fill));
+}
+
+void ByteBuffer::Append(std::span<const std::uint8_t> bytes) {
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+std::string FormatBytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB",
+                                                        "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char out[32];
+  if (unit == 0) {
+    std::snprintf(out, sizeof(out), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(out, sizeof(out), "%.1f %s", value, kUnits[unit]);
+  }
+  return out;
+}
+
+}  // namespace vinelet

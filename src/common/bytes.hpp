@@ -1,0 +1,103 @@
+// ByteBuffer: the unit of data movement in vinelet.
+//
+// Everything that crosses the (real or simulated) network — serialized
+// functions, environment tarballs, invocation arguments, results — is a
+// ByteBuffer.  Buffers are cheaply shareable (shared_ptr payload) because the
+// same content-addressed blob may be resident in many caches at once; the
+// read-only discipline required by the paper's distribution mechanism
+// ("any transferable data has to be uniquely identified and read-only") is
+// enforced by only exposing const access to shared payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vinelet {
+
+/// A mutable, owning byte string used while building payloads.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  explicit ByteBuffer(std::string_view text)
+      : data_(text.begin(), text.end()) {}
+
+  /// A buffer of `size` bytes, each set to `fill`.
+  static ByteBuffer Filled(std::size_t size, std::uint8_t fill);
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  const std::uint8_t* data() const noexcept { return data_.data(); }
+  std::uint8_t* data() noexcept { return data_.data(); }
+
+  std::span<const std::uint8_t> span() const noexcept { return data_; }
+
+  void Append(std::span<const std::uint8_t> bytes);
+  void Append(const ByteBuffer& other) { Append(other.span()); }
+  void AppendByte(std::uint8_t byte) { data_.push_back(byte); }
+
+  void Clear() noexcept { data_.clear(); }
+  void Reserve(std::size_t capacity) { data_.reserve(capacity); }
+  void Resize(std::size_t size) { data_.resize(size); }
+
+  /// Interprets the contents as text (no validation).
+  std::string ToString() const { return std::string(data_.begin(), data_.end()); }
+
+  std::vector<std::uint8_t>& vec() noexcept { return data_; }
+  const std::vector<std::uint8_t>& vec() const noexcept { return data_; }
+
+  friend bool operator==(const ByteBuffer& a, const ByteBuffer& b) = default;
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// An immutable, reference-counted blob: the transferable unit.
+///
+/// Copying a Blob copies a pointer; the payload is shared.  This mirrors the
+/// paper's requirement that distributed files be read-only so that
+/// peer-to-peer replication can never observe torn writes.
+class Blob {
+ public:
+  Blob() : data_(std::make_shared<const std::vector<std::uint8_t>>()) {}
+
+  explicit Blob(ByteBuffer buffer)
+      : data_(std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(buffer.vec()))) {}
+
+  explicit Blob(std::vector<std::uint8_t> data)
+      : data_(std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(data))) {}
+
+  static Blob FromString(std::string_view text) {
+    return Blob(std::vector<std::uint8_t>(text.begin(), text.end()));
+  }
+
+  std::size_t size() const noexcept { return data_->size(); }
+  bool empty() const noexcept { return data_->empty(); }
+  std::span<const std::uint8_t> span() const noexcept { return *data_; }
+  const std::uint8_t* data() const noexcept { return data_->data(); }
+
+  std::string ToString() const {
+    return std::string(data_->begin(), data_->end());
+  }
+
+  /// Bytewise content equality (not pointer identity).
+  friend bool operator==(const Blob& a, const Blob& b) {
+    return *a.data_ == *b.data_;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> data_;
+};
+
+/// Formats a byte count as a human-readable string ("572.0 MB").
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace vinelet

@@ -1,0 +1,105 @@
+// Bounded/unbounded MPMC channel used as the in-process "network link"
+// between manager, workers, and library threads in the real runtime.
+//
+// Semantics follow Go channels: Send blocks while full, Recv blocks while
+// empty, Close wakes all waiters; Recv on a closed-and-drained channel
+// returns nullopt, Send on a closed channel fails.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace vinelet {
+
+template <typename T>
+class Channel {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks until space is available.  Returns false if the channel closed.
+  bool Send(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !Full(); });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send.  Returns false if full or closed.
+  bool TrySend(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || Full()) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a value is available or the channel is closed and drained.
+  std::optional<T> Recv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    return PopLocked();
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> TryRecv() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return PopLocked();
+  }
+
+  /// Blocks up to `timeout`; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> RecvFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !queue_.empty(); });
+    return PopLocked();
+  }
+
+  /// Closes the channel; queued values remain receivable.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  bool Full() const { return capacity_ != 0 && queue_.size() >= capacity_; }
+
+  std::optional<T> PopLocked() {
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace vinelet

@@ -1,0 +1,57 @@
+// Clock abstraction shared by the real runtime and the simulator.
+//
+// All timing in vinelet is expressed in seconds as double (the paper reports
+// all measurements that way).  The real runtime uses WallClock; unit tests
+// use ManualClock; the DES kernel owns its own virtual clock that implements
+// this interface for code reused across backends.
+#pragma once
+
+#include <chrono>
+
+namespace vinelet {
+
+/// Monotonic time source, in seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double Now() const = 0;
+};
+
+/// Real monotonic clock (steady_clock), origin at construction.
+class WallClock final : public Clock {
+ public:
+  WallClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  double Now() const override {
+    const auto delta = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration<double>(delta).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Hand-advanced clock for deterministic tests.
+class ManualClock final : public Clock {
+ public:
+  double Now() const override { return now_; }
+  void Advance(double seconds) { now_ += seconds; }
+  void Set(double seconds) { now_ = seconds; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// A stopwatch over an arbitrary Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(clock), start_(clock.Now()) {}
+  double Elapsed() const { return clock_.Now() - start_; }
+  void Restart() { start_ = clock_.Now(); }
+
+ private:
+  const Clock& clock_;
+  double start_;
+};
+
+}  // namespace vinelet

@@ -1,0 +1,79 @@
+#include "common/flags.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace vinelet {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv,
+                           const std::vector<std::string>& allowed) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      // "--flag value" form, unless the next token is another flag or
+      // missing (then it is a boolean flag).
+      if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end())
+      return InvalidArgumentError("unknown flag: --" + name);
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<std::int64_t> Flags::GetInt(const std::string& name,
+                                   std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0')
+    return InvalidArgumentError("flag --" + name + " is not an integer: " +
+                                it->second);
+  return static_cast<std::int64_t>(parsed);
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    return InvalidArgumentError("flag --" + name + " is not a number: " +
+                                it->second);
+  return parsed;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace vinelet

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports --key=value and --key value forms, typed getters with defaults,
+// and strict rejection of unknown flags (so a typo'd sweep parameter fails
+// loudly instead of silently benchmarking the default).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vinelet {
+
+class Flags {
+ public:
+  /// Parses argv; `allowed` lists every recognized flag name (without the
+  /// leading dashes).  Positional arguments are collected separately.
+  static Result<Flags> Parse(int argc, const char* const* argv,
+                             const std::vector<std::string>& allowed);
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  Result<std::int64_t> GetInt(const std::string& name,
+                              std::int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vinelet

@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace vinelet {
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
+
+void Log::SetLevel(LogLevel level) noexcept {
+  level_.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Log::GetLevel() noexcept {
+  return level_.load(std::memory_order_relaxed);
+}
+
+bool Log::Enabled(LogLevel level) noexcept {
+  return level >= level_.load(std::memory_order_relaxed) &&
+         level != LogLevel::kOff;
+}
+
+void Log::Write(LogLevel level, std::string_view tag,
+                std::string_view message) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(LevelName(level).size()), LevelName(level).data(),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace vinelet

@@ -1,0 +1,71 @@
+// Minimal thread-safe leveled logger.
+//
+// The manager event loop, worker threads, and library threads all log through
+// one global sink; lines are written atomically under a mutex so interleaved
+// output stays readable.  Logging below the active level costs one relaxed
+// atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vinelet {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration.
+class Log {
+ public:
+  /// Sets the minimum level that is emitted.  Default: kWarn (quiet tests).
+  static void SetLevel(LogLevel level) noexcept;
+  static LogLevel GetLevel() noexcept;
+
+  /// True when `level` would be emitted.
+  static bool Enabled(LogLevel level) noexcept;
+
+  /// Writes one formatted line ("[LEVEL] tag: message") to stderr.
+  static void Write(LogLevel level, std::string_view tag,
+                    std::string_view message);
+
+ private:
+  static std::atomic<LogLevel> level_;
+};
+
+namespace internal {
+
+/// Accumulates one log line via operator<< and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::Write(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vinelet
+
+/// Usage: VLOG_INFO("manager") << "worker " << id << " joined";
+#define VINELET_LOG(level, tag)                      \
+  if (!::vinelet::Log::Enabled(level)) {             \
+  } else                                             \
+    ::vinelet::internal::LogLine(level, tag)
+
+#define VLOG_DEBUG(tag) VINELET_LOG(::vinelet::LogLevel::kDebug, tag)
+#define VLOG_INFO(tag) VINELET_LOG(::vinelet::LogLevel::kInfo, tag)
+#define VLOG_WARN(tag) VINELET_LOG(::vinelet::LogLevel::kWarn, tag)
+#define VLOG_ERROR(tag) VINELET_LOG(::vinelet::LogLevel::kError, tag)

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms (DES
+// determinism is a tested invariant), so vinelet ships its own xoshiro256**
+// implementation instead of relying on libstdc++ distribution internals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vinelet {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seeds via SplitMix64 so that nearby seeds give independent streams.
+  void Seed(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() noexcept;
+
+  /// Uniform in [0, bound).  bound == 0 yields 0.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double Normal(double mean, double stddev) noexcept;
+
+  /// Exponential with the given mean (mean > 0).
+  double Exponential(double mean) noexcept;
+
+  /// Log-normal parameterized by the mean/stddev of the *underlying* normal.
+  double LogNormal(double mu, double sigma) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A new RNG whose stream is independent of this one's future output.
+  Rng Fork() noexcept { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFull); }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace vinelet

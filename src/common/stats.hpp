@@ -1,0 +1,83 @@
+// Statistics containers used for experiment output: running moments,
+// fixed-width histograms (Fig 7), and time series (Figs 10/11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vinelet {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+  void Merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so the total count is preserved (the paper's Fig 7 clips
+/// at 40 s the same way).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, one bin per row, bars scaled to `width`.
+  std::string Render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// (t, value) series sampled during a run; supports down-sampling for print.
+class TimeSeries {
+ public:
+  void Add(double t, double value) { points_.push_back({t, value}); }
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+
+  struct Point {
+    double t;
+    double value;
+  };
+  const std::vector<Point>& points() const noexcept { return points_; }
+
+  /// At most `max_points` evenly spaced samples (always keeps endpoints).
+  std::vector<Point> Downsample(std::size_t max_points) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace vinelet

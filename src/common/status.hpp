@@ -1,0 +1,122 @@
+// Error-handling primitives used throughout vinelet.
+//
+// Vinelet avoids exceptions on hot control paths: operations that can fail
+// return a Status (or Result<T> when they also produce a value).  This keeps
+// failure propagation explicit in the manager/worker protocol code, where a
+// failed transfer or a dead worker is an expected event, not a programming
+// error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace vinelet {
+
+/// Coarse failure categories shared by all modules.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,     // transient: retry may succeed (e.g. worker busy)
+  kDataLoss,        // corruption detected (content hash mismatch)
+  kCancelled,
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("NOT_FOUND", ...).
+std::string_view ErrorCodeName(ErrorCode code) noexcept;
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message describing the failure site.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs an error status; `code` must not be kOk.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Factory helpers mirroring the ErrorCode values.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status CancelledError(std::string message);
+Status TimeoutError(std::string message);
+Status InternalError(std::string message);
+
+/// A value-or-Status result.  Holds either a T (success) or a non-OK Status.
+///
+/// Access to the value when !ok() aborts; callers are expected to check ok()
+/// (or use value_or) first, exactly like std::optional.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status from an expression returning Status.
+#define VINELET_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::vinelet::Status vinelet_status_ = (expr);      \
+    if (!vinelet_status_.ok()) return vinelet_status_; \
+  } while (false)
+
+}  // namespace vinelet

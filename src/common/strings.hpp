@@ -1,0 +1,28 @@
+// Small string utilities shared by config parsing and report printing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vinelet {
+
+/// Splits on a delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Fixed-point formatting helper ("12.346").
+std::string FormatDouble(double value, int precision = 3);
+
+/// Left-pads to `width` with spaces (no truncation).
+std::string PadLeft(std::string_view text, std::size_t width);
+std::string PadRight(std::string_view text, std::size_t width);
+
+}  // namespace vinelet

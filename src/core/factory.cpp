@@ -1,0 +1,83 @@
+#include "core/factory.hpp"
+
+namespace vinelet::core {
+
+Status Factory::Start() {
+  for (std::size_t i = 0; i < config_.initial_workers; ++i) {
+    auto spawned = SpawnWorker();
+    if (!spawned.ok()) return spawned.status();
+  }
+  return Status::Ok();
+}
+
+void Factory::Stop() {
+  std::map<WorkerId, std::unique_ptr<Worker>> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (auto& [_, worker] : workers) worker->Stop();
+}
+
+Result<WorkerId> Factory::SpawnWorker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerConfig config;
+  config.id = next_id_++;
+  config.resources = config_.worker_resources;
+  config.cache_capacity_bytes = config_.cache_capacity_bytes;
+  config.registry = config_.registry;
+  auto worker = std::make_unique<Worker>(network_, config);
+  VINELET_RETURN_IF_ERROR(worker->Start());
+  const WorkerId id = config.id;
+  workers_.emplace(id, std::move(worker));
+  return id;
+}
+
+Status Factory::KillWorker(WorkerId id) {
+  std::unique_ptr<Worker> worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(id);
+    if (it == workers_.end())
+      return NotFoundError("no such worker: " + std::to_string(id));
+    worker = std::move(it->second);
+    workers_.erase(it);
+  }
+  worker->Kill();
+  return Status::Ok();
+}
+
+Status Factory::StopWorker(WorkerId id) {
+  std::unique_ptr<Worker> worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workers_.find(id);
+    if (it == workers_.end())
+      return NotFoundError("no such worker: " + std::to_string(id));
+    worker = std::move(it->second);
+    workers_.erase(it);
+  }
+  worker->Stop();
+  return Status::Ok();
+}
+
+std::vector<WorkerId> Factory::WorkerIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerId> ids;
+  ids.reserve(workers_.size());
+  for (const auto& [id, _] : workers_) ids.push_back(id);
+  return ids;
+}
+
+Worker* Factory::GetWorker(WorkerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workers_.find(id);
+  return it == workers_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Factory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+}  // namespace vinelet::core

@@ -1,0 +1,62 @@
+// Factory: acquires and releases workers.
+//
+// In TaskVine the factory process keeps the requested number of workers
+// alive in the cluster (paper §3.6); here it owns Worker threads.  Tests use
+// it for fault injection (KillWorker) and elasticity (SpawnWorker), matching
+// the paper's worker-churn scenarios.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/worker.hpp"
+#include "net/network.hpp"
+
+namespace vinelet::core {
+
+struct FactoryConfig {
+  std::size_t initial_workers = 1;
+  Resources worker_resources{32, 64 * 1024, 64 * 1024};
+  std::uint64_t cache_capacity_bytes = 0;
+  const serde::FunctionRegistry* registry = nullptr;
+};
+
+class Factory {
+ public:
+  Factory(std::shared_ptr<net::Network> network, FactoryConfig config)
+      : network_(std::move(network)), config_(config) {}
+  ~Factory() { Stop(); }
+
+  Factory(const Factory&) = delete;
+  Factory& operator=(const Factory&) = delete;
+
+  /// Spawns the initial workers (endpoint ids 1..initial_workers).
+  Status Start();
+
+  /// Gracefully stops every worker.
+  void Stop();
+
+  /// Adds one more worker; returns its id.
+  Result<WorkerId> SpawnWorker();
+
+  /// Abruptly kills a worker (no Goodbye) — fault injection.
+  Status KillWorker(WorkerId id);
+
+  /// Gracefully removes a worker (scale-down).
+  Status StopWorker(WorkerId id);
+
+  std::vector<WorkerId> WorkerIds() const;
+  Worker* GetWorker(WorkerId id);
+  std::size_t size() const;
+
+ private:
+  std::shared_ptr<net::Network> network_;
+  FactoryConfig config_;
+
+  mutable std::mutex mu_;
+  std::map<WorkerId, std::unique_ptr<Worker>> workers_;
+  WorkerId next_id_ = 1;
+};
+
+}  // namespace vinelet::core

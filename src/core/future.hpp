@@ -1,0 +1,90 @@
+// Futures returned by Manager::Submit*.
+//
+// The application "receives a promise that it will know and receive the
+// result when a function is successfully executed" (paper §2.1.1); this is
+// that promise.  Resolution happens on the manager thread; waiting happens
+// on application threads.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/status.hpp"
+#include "core/types.hpp"
+#include "serde/value.hpp"
+
+namespace vinelet::core {
+
+/// The result of one task or invocation.
+struct Outcome {
+  serde::Value value;
+  TimingBreakdown timing;
+  WorkerId worker = 0;
+};
+
+/// One-shot, thread-safe promise/future pair.
+class OutcomeFuture {
+ public:
+  /// Resolves exactly once; later calls are ignored (a retried task may race
+  /// its original completion after a worker rejoin).
+  void Resolve(Result<Outcome> outcome) {
+    std::function<void(const Result<Outcome>&)> callback;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (outcome_.has_value()) return;
+      outcome_.emplace(std::move(outcome));
+      callback = std::move(callback_);
+      callback_ = nullptr;
+      cv_.notify_all();
+    }
+    if (callback) callback(*outcome_);
+  }
+
+  /// Registers a one-shot completion callback; fires immediately when the
+  /// future is already resolved.  Used by the DAG layer to dispatch
+  /// dependents without a polling thread.  At most one callback.
+  void OnReady(std::function<void(const Result<Outcome>&)> callback) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!outcome_.has_value()) {
+        callback_ = std::move(callback);
+        return;
+      }
+    }
+    callback(*outcome_);
+  }
+
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outcome_.has_value();
+  }
+
+  /// Blocks until resolved.
+  Result<Outcome> Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return outcome_.has_value(); });
+    return *outcome_;
+  }
+
+  /// Blocks up to `timeout`; nullopt if still unresolved.
+  std::optional<Result<Outcome>> WaitFor(std::chrono::duration<double> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return outcome_.has_value(); }))
+      return std::nullopt;
+    return *outcome_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<Result<Outcome>> outcome_;
+  std::function<void(const Result<Outcome>&)> callback_;
+};
+
+using FuturePtr = std::shared_ptr<OutcomeFuture>;
+
+}  // namespace vinelet::core

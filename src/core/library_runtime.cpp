@@ -1,0 +1,198 @@
+#include "core/library_runtime.hpp"
+
+#include "common/log.hpp"
+
+namespace vinelet::core {
+
+LibraryRuntime::LibraryRuntime(LibrarySpec spec, LibraryInstanceId instance_id,
+                               storage::ContentStore* store,
+                               UnpackRegistry* unpacked,
+                               const serde::FunctionRegistry* registry,
+                               Callbacks callbacks)
+    : spec_(std::move(spec)),
+      instance_id_(instance_id),
+      store_(store),
+      unpacked_(unpacked),
+      registry_(registry),
+      callbacks_(std::move(callbacks)) {}
+
+LibraryRuntime::~LibraryRuntime() { Stop(); }
+
+void LibraryRuntime::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void LibraryRuntime::Stop() {
+  requests_.Close();
+  if (thread_.joinable()) thread_.join();
+  ReapForked(/*all=*/true);
+}
+
+bool LibraryRuntime::Submit(RunInvocationMsg msg) {
+  return requests_.Send(std::move(msg));
+}
+
+void LibraryRuntime::Run() {
+  // Phase 1: one-time context setup — the whole point of the library.
+  TimingBreakdown setup_timing;
+  Status status = Setup(setup_timing);
+  if (!status.ok()) {
+    VLOG_WARN("library") << spec_.name << "#" << instance_id_
+                         << " setup failed: " << status.ToString();
+    callbacks_.on_ready(instance_id_, Result<SetupReport>(status));
+    return;
+  }
+  SetupReport report;
+  report.timing = setup_timing;
+  report.context_memory_bytes = context_ ? context_->MemoryBytes() : 0;
+  callbacks_.on_ready(instance_id_, report);
+
+  // Phase 2: serve invocations until told to stop.
+  while (auto msg = requests_.Recv()) {
+    if (spec_.exec_mode == ExecMode::kDirect) {
+      InvocationDoneMsg done = RunOne(*msg);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      callbacks_.on_done(std::move(done));
+    } else {
+      // Fork mode: a child per invocation, all sharing the retained
+      // context.  The manager's slot accounting bounds concurrency.
+      RunInvocationMsg request = std::move(*msg);
+      std::lock_guard<std::mutex> lock(fork_mu_);
+      forked_.emplace_back([this, request = std::move(request)] {
+        InvocationDoneMsg done = RunOne(request);
+        served_.fetch_add(1, std::memory_order_relaxed);
+        callbacks_.on_done(std::move(done));
+      });
+    }
+    ReapForked(/*all=*/false);
+  }
+  ReapForked(/*all=*/true);
+}
+
+Status LibraryRuntime::Setup(TimingBreakdown& timing) {
+  // Stage inputs out of the worker cache; unpack environments.
+  Stopwatch watch(clock_);
+  for (const auto& decl : spec_.inputs) {
+    auto blob = store_->Get(decl.id);
+    if (!blob.ok())
+      return FailedPreconditionError("library input not staged: " + decl.name);
+    if (decl.unpack) {
+      bool unpacked_now = false;
+      auto dir = unpacked_->GetOrUnpack(decl.id, *blob, &unpacked_now);
+      if (!dir.ok()) return dir.status();
+      held_envs_.push_back(*dir);
+      for (const auto& [name, content] : (*dir)->files)
+        files_.emplace(name, content);
+    } else if (decl.kind != storage::FileKind::kSerializedFunction) {
+      files_.emplace(decl.name, std::move(*blob));
+    }
+  }
+  timing.worker_s = watch.Elapsed();
+
+  // Reconstruct function objects (the "deserialize + rebuild" cost).
+  watch.Restart();
+  for (const auto& fn_name : spec_.function_names) {
+    BoundFunction bound;
+    // Serialized-path functions ship as an input file named "fn:<name>".
+    bool via_blob = false;
+    for (const auto& decl : spec_.inputs) {
+      if (decl.kind == storage::FileKind::kSerializedFunction &&
+          decl.name == "fn:" + fn_name) {
+        auto blob = store_->Get(decl.id);
+        if (!blob.ok()) return blob.status();
+        auto parsed = serde::SerializedFunction::Deserialize(*blob);
+        if (!parsed.ok()) return parsed.status();
+        auto def = registry_->FindFunction(parsed->name());
+        if (!def.ok()) return def.status();
+        bound.def = std::move(*def);
+        bound.closure = parsed->closure();
+        via_blob = true;
+        break;
+      }
+    }
+    if (!via_blob) {
+      auto def = registry_->FindFunction(fn_name);
+      if (!def.ok()) return def.status();
+      bound.def = std::move(*def);
+    }
+    functions_.emplace(fn_name, std::move(bound));
+  }
+
+  // Run the context-setup function: build the retained in-memory state.
+  if (!spec_.setup_name.empty()) {
+    auto setup = registry_->FindSetup(spec_.setup_name);
+    if (!setup.ok()) return setup.status();
+    auto args = serde::Value::FromBlob(spec_.setup_args);
+    if (!args.ok()) return args.status();
+    serde::InvocationEnv env;
+    env.files = &files_;
+    env.sandbox = "library-" + std::to_string(instance_id_);
+    auto context = setup->fn(*args, env);
+    if (!context.ok()) return context.status();
+    context_ = std::move(*context);
+  }
+  timing.context_s = watch.Elapsed();
+  return Status::Ok();
+}
+
+InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
+  InvocationDoneMsg done;
+  done.id = msg.id;
+
+  // Load arguments into memory — the only per-invocation payload (§3.4).
+  Stopwatch watch(clock_);
+  auto args = serde::Value::FromBlob(msg.args);
+  if (!args.ok()) {
+    done.ok = false;
+    done.error = args.status().ToString();
+    return done;
+  }
+  auto fn_it = functions_.find(msg.function_name);
+  if (fn_it == functions_.end()) {
+    done.ok = false;
+    done.error = "function not in library: " + msg.function_name;
+    return done;
+  }
+  done.timing.context_s = watch.Elapsed();
+
+  // Execute in the retained environment.
+  watch.Restart();
+  serde::InvocationEnv env;
+  env.files = &files_;
+  env.context = context_.get();
+  env.closure = &fn_it->second.closure;
+  env.sandbox = "sandbox-" + std::to_string(msg.id);
+  auto result = fn_it->second.def.fn(*args, env);
+  done.timing.exec_s = watch.Elapsed();
+
+  if (!result.ok()) {
+    done.ok = false;
+    done.error = result.status().ToString();
+    return done;
+  }
+  done.ok = true;
+  done.result = result->ToBlob();
+  return done;
+}
+
+void LibraryRuntime::ReapForked(bool all) {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(fork_mu_);
+    if (all) {
+      to_join.swap(forked_);
+    } else if (forked_.size() > 64) {
+      // Bound the backlog: join the oldest half (they are likely done).
+      const std::size_t keep = forked_.size() / 2;
+      to_join.assign(std::make_move_iterator(forked_.begin()),
+                     std::make_move_iterator(forked_.end() -
+                                             static_cast<long>(keep)));
+      forked_.erase(forked_.begin(),
+                    forked_.end() - static_cast<long>(keep));
+    }
+  }
+  for (auto& t : to_join)
+    if (t.joinable()) t.join();
+}
+
+}  // namespace vinelet::core

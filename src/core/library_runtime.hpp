@@ -1,0 +1,104 @@
+// LibraryRuntime: the worker-side daemon that retains a function context.
+//
+// This is the paper's "library" (§3.4): a special task that performs the
+// one-time context setup — staging input files, unpacking the environment,
+// deserializing function code, running the context-setup function — then
+// stays resident, serving invocations that only carry their arguments.
+// Direct mode executes an invocation synchronously in the library's own
+// thread; fork mode spawns a child (a thread here, standing in for
+// TaskVine's fork(2)) per invocation so concurrent invocations share the
+// same retained context.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/channel.hpp"
+#include "common/clock.hpp"
+#include "core/protocol.hpp"
+#include "core/unpack_registry.hpp"
+#include "serde/function_registry.hpp"
+#include "storage/content_store.hpp"
+
+namespace vinelet::core {
+
+class LibraryRuntime {
+ public:
+  /// What setup produced: its cost breakdown and the memory footprint of
+  /// the retained context (reported for manager-side accounting, §2.1.3).
+  struct SetupReport {
+    TimingBreakdown timing;
+    std::uint64_t context_memory_bytes = 0;
+  };
+
+  struct Callbacks {
+    /// Fired once after setup: OK with the setup report, or the setup
+    /// failure (the manager then discards the instance).
+    std::function<void(LibraryInstanceId, Result<SetupReport>)> on_ready;
+
+    /// Fired for every completed invocation.
+    std::function<void(InvocationDoneMsg)> on_done;
+  };
+
+  LibraryRuntime(LibrarySpec spec, LibraryInstanceId instance_id,
+                 storage::ContentStore* store, UnpackRegistry* unpacked,
+                 const serde::FunctionRegistry* registry, Callbacks callbacks);
+  ~LibraryRuntime();
+
+  LibraryRuntime(const LibraryRuntime&) = delete;
+  LibraryRuntime& operator=(const LibraryRuntime&) = delete;
+
+  void Start();
+
+  /// Stops accepting invocations, waits for running ones, joins the thread.
+  void Stop();
+
+  /// Enqueues an invocation; false if the library is shutting down.
+  bool Submit(RunInvocationMsg msg);
+
+  LibraryInstanceId instance_id() const noexcept { return instance_id_; }
+  const LibrarySpec& spec() const noexcept { return spec_; }
+
+  /// Number of invocations completed by this instance — its "share value"
+  /// (paper Fig 11).
+  std::uint64_t invocations_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  Status Setup(TimingBreakdown& timing);
+  InvocationDoneMsg RunOne(const RunInvocationMsg& msg);
+  void ReapForked(bool all);
+
+  LibrarySpec spec_;
+  LibraryInstanceId instance_id_;
+  storage::ContentStore* store_;
+  UnpackRegistry* unpacked_;
+  const serde::FunctionRegistry* registry_;
+  Callbacks callbacks_;
+  WallClock clock_;
+
+  Channel<RunInvocationMsg> requests_;
+  std::thread thread_;
+  std::atomic<std::uint64_t> served_{0};
+
+  // Retained state, built once in Setup and read by invocations.
+  struct BoundFunction {
+    serde::FunctionDef def;
+    serde::Value closure;
+  };
+  std::map<std::string, BoundFunction> functions_;
+  std::map<std::string, Blob> files_;
+  serde::ContextHandle context_;
+  std::vector<std::shared_ptr<const poncho::UnpackedDir>> held_envs_;
+
+  std::mutex fork_mu_;
+  std::vector<std::thread> forked_;
+};
+
+}  // namespace vinelet::core

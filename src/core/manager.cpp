@@ -1,0 +1,980 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hpp"
+
+namespace vinelet::core {
+
+using namespace std::chrono_literals;
+
+Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
+    : network_(std::move(network)),
+      config_(config),
+      registry_(config.registry != nullptr ? config.registry
+                                           : &serde::FunctionRegistry::Global()),
+      replicas_(config.worker_transfer_cap, config.manager_transfer_cap) {}
+
+Manager::~Manager() { Stop(); }
+
+Status Manager::Start() {
+  auto inbox = network_->Register(net::kManagerEndpoint);
+  if (!inbox.ok()) return inbox.status();
+  inbox_ = std::move(*inbox);
+  // Learn of abrupt worker departures (no Goodbye) through the transport,
+  // the way a real manager observes a TCP reset.
+  network_->SetDisconnectListener([this](net::EndpointId id) {
+    if (id == net::kManagerEndpoint) return;
+    commands_.TrySend(DisconnectCmd{id});
+  });
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void Manager::Stop() {
+  if (!started_) return;
+  started_ = false;
+  network_->SetDisconnectListener(nullptr);
+  commands_.Close();
+  network_->Unregister(net::kManagerEndpoint);  // closes the inbox
+  if (thread_.joinable()) thread_.join();
+
+  // After the join, scheduler state is safe to touch: fail anything still
+  // outstanding so application threads blocked on futures wake up.
+  auto cancel = [this](FuturePtr& future) {
+    if (future) future->Resolve(CancelledError("manager stopped"));
+    FinishOne();
+  };
+  for (auto& task : task_queue_) cancel(task.future);
+  task_queue_.clear();
+  for (auto& [_, running] : running_tasks_) cancel(running.task.future);
+  running_tasks_.clear();
+  for (auto& [_, info] : libraries_) {
+    for (auto& call : info.queue) cancel(call.future);
+    info.queue.clear();
+  }
+  for (auto& [_, instance] : instances_) {
+    for (auto& [__, call] : instance.running) cancel(call.future);
+    instance.running.clear();
+  }
+  instances_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Application-facing API (any thread).
+// ---------------------------------------------------------------------------
+
+storage::FileDecl Manager::DeclareBlob(const std::string& name, Blob payload,
+                                       storage::FileKind kind, bool cache,
+                                       bool peer_transfer, bool unpack) {
+  storage::FileDecl decl;
+  decl.name = name;
+  decl.id = hash::ContentId::Of(payload);
+  decl.size = payload.size();
+  decl.kind = kind;
+  decl.cache = cache;
+  decl.peer_transfer = peer_transfer;
+  decl.unpack = unpack;
+  Status stored = manager_store_.PutTrusted(decl.id, std::move(payload));
+  if (!stored.ok()) {
+    VLOG_WARN("manager") << "declare failed for " << name << ": "
+                         << stored.ToString();
+  }
+  return decl;
+}
+
+Result<LibrarySpec> Manager::CreateLibraryFromFunctions(
+    const std::string& library_name,
+    const std::vector<std::string>& function_names,
+    const std::string& setup_name, const serde::Value& setup_args,
+    const poncho::Analyzer* analyzer, const LibraryOptions& options) {
+  if (library_name.empty())
+    return InvalidArgumentError("library name empty");
+  if (function_names.empty())
+    return InvalidArgumentError("library needs at least one function");
+
+  LibrarySpec spec;
+  spec.name = library_name;
+  spec.resources = options.resources;
+  spec.slots = options.slots;
+  spec.exec_mode = options.exec_mode;
+
+  // Function code: serialize each function and bind the blob as a cached,
+  // peer-transferable input file (paper §3.2, "Function code").
+  for (const auto& fn_name : function_names) {
+    auto def = registry_->FindFunction(fn_name);
+    if (!def.ok()) return def.status();
+    Blob blob = serde::SerializedFunction::Serialize(
+        fn_name, serde::Value(), options.function_code_size);
+    storage::FileDecl decl =
+        DeclareBlob("fn:" + fn_name, std::move(blob),
+                    storage::FileKind::kSerializedFunction,
+                    /*cache=*/true, /*peer_transfer=*/true);
+    spec.inputs.push_back(std::move(decl));
+    spec.function_names.push_back(fn_name);
+  }
+
+  // Environment setup binding (paper §3.2, "Environment Setup").
+  if (!setup_name.empty()) {
+    auto setup = registry_->FindSetup(setup_name);
+    if (!setup.ok()) return setup.status();
+    spec.setup_name = setup_name;
+  }
+  spec.setup_args = setup_args.ToBlob();
+
+  // Software dependencies: poncho scan -> resolved env -> packed tarball
+  // bound as a cached input (paper §3.2, "Software dependencies").
+  if (analyzer != nullptr) {
+    auto env = analyzer->AnalyzeFunctions(*registry_, function_names);
+    if (!env.ok()) return env.status();
+    storage::FileDecl decl = DeclareBlob(
+        "env:" + library_name, env->tarball, storage::FileKind::kEnvironment,
+        /*cache=*/true, /*peer_transfer=*/true, /*unpack=*/true);
+    spec.inputs.push_back(std::move(decl));
+  }
+  return spec;
+}
+
+void Manager::AddLibraryInput(LibrarySpec& spec,
+                              storage::FileDecl decl) const {
+  spec.inputs.push_back(std::move(decl));
+}
+
+Status Manager::InstallLibrary(LibrarySpec spec) {
+  for (const auto& decl : spec.inputs) {
+    if (!decl.cache)
+      return InvalidArgumentError(
+          "library inputs must be cacheable (context files are retained): " +
+          decl.name);
+    if (!manager_store_.Contains(decl.id))
+      return FailedPreconditionError("library input not declared: " +
+                                     decl.name);
+  }
+  if (!commands_.Send(InstallCmd{std::move(spec)}))
+    return UnavailableError("manager stopped");
+  return Status::Ok();
+}
+
+FuturePtr Manager::SubmitTask(const std::string& function_name,
+                              const serde::Value& args,
+                              std::vector<storage::FileDecl> inputs,
+                              Resources resources,
+                              bool ship_serialized_function,
+                              std::size_t function_code_size) {
+  auto future = std::make_shared<OutcomeFuture>();
+
+  TaskSpec spec;
+  spec.id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
+  spec.function_name = function_name;
+  spec.args = args.ToBlob();
+  spec.resources = resources;
+  spec.inputs = std::move(inputs);
+
+  if (ship_serialized_function) {
+    // The shipped function blob follows the task's dominant caching mode:
+    // cached alongside cached inputs (L2), inline otherwise (L1).
+    const bool any_cached = std::any_of(
+        spec.inputs.begin(), spec.inputs.end(),
+        [](const storage::FileDecl& d) { return d.cache; });
+    Blob blob = serde::SerializedFunction::Serialize(
+        function_name, serde::Value(), function_code_size);
+    storage::FileDecl decl = DeclareBlob(
+        "fn:" + function_name, std::move(blob),
+        storage::FileKind::kSerializedFunction, any_cached,
+        /*peer_transfer=*/true);
+    spec.inputs.push_back(std::move(decl));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    ++outstanding_;
+  }
+  if (!commands_.Send(TaskCmd{std::move(spec), future})) {
+    future->Resolve(UnavailableError("manager stopped"));
+    FinishOne();
+  }
+  return future;
+}
+
+FuturePtr Manager::SubmitCall(const std::string& library_name,
+                              const std::string& function_name,
+                              const serde::Value& args) {
+  auto future = std::make_shared<OutcomeFuture>();
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    ++outstanding_;
+  }
+  if (!commands_.Send(
+          CallCmd{library_name, function_name, args.ToBlob(), future})) {
+    future->Resolve(UnavailableError("manager stopped"));
+    FinishOne();
+  }
+  return future;
+}
+
+Status Manager::WaitAll(double timeout_s) {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  auto done = [&] { return outstanding_ == 0; };
+  if (timeout_s < 0) {
+    wait_cv_.wait(lock, done);
+    return Status::Ok();
+  }
+  if (!wait_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), done))
+    return TimeoutError("WaitAll: " + std::to_string(outstanding_) +
+                        " results still outstanding");
+  return Status::Ok();
+}
+
+Status Manager::WaitForWorkers(std::size_t count, double timeout_s) {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  if (!wait_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                         [&] { return worker_count_ >= count; }))
+    return TimeoutError("workers connected: " + std::to_string(worker_count_) +
+                        "/" + std::to_string(count));
+  return Status::Ok();
+}
+
+std::size_t Manager::connected_workers() const {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  return worker_count_;
+}
+
+ManagerMetrics Manager::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_;
+}
+
+void Manager::FinishOne() {
+  std::lock_guard<std::mutex> lock(wait_mu_);
+  if (outstanding_ > 0) --outstanding_;
+  wait_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Manager thread: event loop.
+// ---------------------------------------------------------------------------
+
+void Manager::Run() {
+  bool inbox_open = true;
+  bool commands_open = true;
+  while (inbox_open || commands_open) {
+    bool activity = false;
+    if (inbox_open) {
+      if (auto frame = inbox_->RecvFor(1ms)) {
+        HandleFrame(*frame);
+        activity = true;
+        // Drain whatever else is queued before rescheduling.
+        while (auto more = inbox_->TryRecv()) HandleFrame(*more);
+      } else if (inbox_->closed() && inbox_->size() == 0) {
+        inbox_open = false;
+      }
+    }
+    if (commands_open) {
+      while (auto cmd = commands_.TryRecv()) {
+        HandleCommand(std::move(*cmd));
+        activity = true;
+      }
+      if (commands_.closed() && commands_.size() == 0) commands_open = false;
+    }
+    if (!pending_dead_.empty()) {
+      ProcessDeadWorkers();
+      activity = true;  // deaths requeue work; reschedule now
+    }
+    if (activity) TrySchedule();
+    if (!inbox_open && commands_open) {
+      // Inbox gone (Stop in progress): drain remaining commands and exit.
+      commands_open = false;
+    }
+  }
+}
+
+void Manager::HandleFrame(const net::Frame& frame) {
+  auto message = DecodeMessage(frame.payload);
+  if (!message.ok()) {
+    VLOG_ERROR("manager") << "malformed frame from " << frame.sender << ": "
+                          << message.status().ToString();
+    return;
+  }
+  const WorkerId sender = frame.sender;
+  std::visit(
+      [&](auto&& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, HelloMsg>) {
+          workers_.emplace(sender, WorkerState(msg.resources));
+          ring_.Add(sender);
+          {
+            std::lock_guard<std::mutex> lock(wait_mu_);
+            worker_count_ = workers_.size();
+            wait_cv_.notify_all();
+          }
+          VLOG_INFO("manager") << "worker " << sender << " joined "
+                               << msg.resources.ToString();
+        } else if constexpr (std::is_same_v<T, GoodbyeMsg>) {
+          pending_dead_.insert(sender);
+        } else if constexpr (std::is_same_v<T, FileReadyMsg>) {
+          CompleteTransfer(sender, msg.content_id, true, "");
+        } else if constexpr (std::is_same_v<T, FileFailedMsg>) {
+          CompleteTransfer(sender, msg.content_id, false, msg.error);
+        } else if constexpr (std::is_same_v<T, TaskDoneMsg>) {
+          auto it = running_tasks_.find(msg.id);
+          if (it == running_tasks_.end()) return;  // stale (retried) result
+          RunningTask running = std::move(it->second);
+          running_tasks_.erase(it);
+          auto worker_it = workers_.find(running.worker);
+          if (worker_it != workers_.end()) {
+            worker_it->second.running_tasks.erase(msg.id);
+            Status released = worker_it->second.alloc.Release(running.claimed);
+            if (!released.ok()) {
+              VLOG_ERROR("manager") << "release: " << released.ToString();
+              }
+          }
+          if (msg.ok) {
+            auto value = serde::Value::FromBlob(msg.result);
+            if (value.ok()) {
+              TimingBreakdown timing = msg.timing;
+              timing.transfer_s += running.transfer_wait_s;
+              {
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                ++metrics_.tasks_completed;
+              }
+              running.task.future->Resolve(
+                  Outcome{std::move(*value), timing, running.worker});
+              FinishOne();
+            } else {
+              running.task.future->Resolve(value.status());
+              FinishOne();
+            }
+          } else if (++running.task.attempts < config_.max_attempts) {
+            {
+              std::lock_guard<std::mutex> lock(metrics_mu_);
+              ++metrics_.retries;
+            }
+            task_queue_.push_back(std::move(running.task));
+          } else {
+            running.task.future->Resolve(InternalError(msg.error));
+            FinishOne();
+          }
+        } else if constexpr (std::is_same_v<T, LibraryReadyMsg>) {
+          auto it = instances_.find(msg.instance_id);
+          if (it == instances_.end()) return;
+          it->second.state = InstanceState::kReady;
+          it->second.context_memory = msg.context_memory_bytes;
+          {
+            std::lock_guard<std::mutex> lock(metrics_mu_);
+            ++metrics_.libraries_deployed;
+            ++metrics_.libraries_active;
+            metrics_.last_library_setup = msg.timing;
+            metrics_.retained_context_bytes += msg.context_memory_bytes;
+          }
+          VLOG_INFO("manager") << "library " << it->second.library << "#"
+                               << msg.instance_id << " ready on worker "
+                               << it->second.worker;
+          FeedInstance(it->second);
+        } else if constexpr (std::is_same_v<T, LibraryRemovedMsg>) {
+          auto it = instances_.find(msg.instance_id);
+          if (it == instances_.end()) return;
+          InstanceInfo instance = std::move(it->second);
+          instances_.erase(it);
+          auto worker_it = workers_.find(instance.worker);
+          if (worker_it != workers_.end()) {
+            worker_it->second.instances.erase(instance.id);
+            Status released = worker_it->second.alloc.Release(instance.claimed);
+            if (!released.ok()) {
+              VLOG_ERROR("manager") << "release: " << released.ToString();
+              }
+          }
+          {
+            std::lock_guard<std::mutex> lock(metrics_mu_);
+            if (instance.state == InstanceState::kDraining &&
+                metrics_.libraries_active > 0)
+              --metrics_.libraries_active;
+            metrics_.retained_context_bytes -=
+                std::min(metrics_.retained_context_bytes,
+                         instance.context_memory);
+          }
+          for (auto& [_, call] : instance.running) RequeueCall(std::move(call));
+        } else if constexpr (std::is_same_v<T, InvocationDoneMsg>) {
+          // Locate the owning instance through its running set.
+          for (auto& [_, instance] : instances_) {
+            auto call_it = instance.running.find(msg.id);
+            if (call_it == instance.running.end()) continue;
+            PendingCall call = std::move(call_it->second);
+            instance.running.erase(call_it);
+            if (instance.slots_in_use > 0) --instance.slots_in_use;
+            ++instance.served;
+            if (msg.ok) {
+              auto value = serde::Value::FromBlob(msg.result);
+              if (value.ok()) {
+                {
+                  std::lock_guard<std::mutex> lock(metrics_mu_);
+                  ++metrics_.invocations_completed;
+                }
+                call.future->Resolve(
+                    Outcome{std::move(*value), msg.timing, instance.worker});
+                FinishOne();
+              } else {
+                call.future->Resolve(value.status());
+                FinishOne();
+              }
+            } else if (++call.attempts < config_.max_attempts) {
+              {
+                std::lock_guard<std::mutex> lock(metrics_mu_);
+                ++metrics_.retries;
+              }
+              RequeueCall(std::move(call));
+            } else {
+              call.future->Resolve(InternalError(msg.error));
+              FinishOne();
+            }
+            FeedInstance(instance);
+            return;
+          }
+        } else {
+          VLOG_WARN("manager") << "unexpected message from " << sender;
+        }
+      },
+      std::move(*message));
+}
+
+void Manager::HandleCommand(Command command) {
+  std::visit(
+      [&](auto&& cmd) {
+        using T = std::decay_t<decltype(cmd)>;
+        if constexpr (std::is_same_v<T, InstallCmd>) {
+          const std::string name = cmd.spec.name;
+          libraries_[name].spec = std::move(cmd.spec);
+        } else if constexpr (std::is_same_v<T, TaskCmd>) {
+          PendingTask task;
+          // Split declared inputs: cached ones are staged per-worker, the
+          // rest ride inline with every execution (L1 behaviour).
+          for (auto& decl : cmd.spec.inputs) {
+            if (decl.cache) {
+              task.spec.inputs.push_back(std::move(decl));
+            } else {
+              task.inline_decls.push_back(std::move(decl));
+            }
+          }
+          cmd.spec.inputs = std::move(task.spec.inputs);
+          task.spec = std::move(cmd.spec);
+          task.future = std::move(cmd.future);
+          task_queue_.push_back(std::move(task));
+        } else if constexpr (std::is_same_v<T, CallCmd>) {
+          auto it = libraries_.find(cmd.library);
+          if (it == libraries_.end()) {
+            cmd.future->Resolve(
+                NotFoundError("library not installed: " + cmd.library));
+            FinishOne();
+            return;
+          }
+          PendingCall call;
+          call.id = next_invocation_id_.fetch_add(1, std::memory_order_relaxed);
+          call.library = cmd.library;
+          call.function = std::move(cmd.function);
+          call.args = std::move(cmd.args);
+          call.future = std::move(cmd.future);
+          it->second.queue.push_back(std::move(call));
+        } else if constexpr (std::is_same_v<T, DisconnectCmd>) {
+          pending_dead_.insert(cmd.worker);
+        }
+      },
+      std::move(command));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling.
+// ---------------------------------------------------------------------------
+
+void Manager::TrySchedule() {
+  StartParkedTransfers();
+  // Stateless tasks: first-fit over the queue; skipped tasks stay queued.
+  for (std::size_t i = 0; i < task_queue_.size();) {
+    if (TryScheduleTask(task_queue_[i])) {
+      task_queue_.erase(task_queue_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  // Function calls, per library.
+  std::vector<std::string> names;
+  names.reserve(libraries_.size());
+  for (const auto& [name, info] : libraries_) {
+    if (!info.queue.empty()) names.push_back(name);
+  }
+  for (const auto& name : names) TryScheduleLibrary(name);
+}
+
+bool Manager::TryScheduleTask(PendingTask& task) {
+  // Walk the ring from the function's hash so repeated submissions of the
+  // same function land where its cached context already is.
+  const auto order = ring_.WalkFrom(
+      hash::ContentId::OfText(task.spec.function_name).Prefix64());
+  for (WorkerId worker_id : order) {
+    auto it = workers_.find(worker_id);
+    if (it == workers_.end()) continue;
+    if (!it->second.alloc.CanAllocate(task.spec.resources)) continue;
+
+    auto claimed = it->second.alloc.Allocate(task.spec.resources);
+    if (!claimed.ok()) continue;
+
+    RunningTask running;
+    running.task = std::move(task);
+    running.worker = worker_id;
+    running.claimed = *claimed;
+    running.staged_at = clock_.Now();
+    const TaskId id = running.task.spec.id;
+
+    for (const auto& decl : running.task.spec.inputs) {
+      if (replicas_.HasReplica(decl.id, worker_id)) continue;
+      if (StageFile(decl, worker_id, Waiter{false, id}))
+        ++running.pending_files;
+    }
+    it->second.running_tasks.insert(id);
+    auto [placed_it, _] = running_tasks_.emplace(id, std::move(running));
+    if (placed_it->second.pending_files == 0) DispatchTask(placed_it->second);
+    return true;
+  }
+  return false;
+}
+
+void Manager::TryScheduleLibrary(const std::string& library_name) {
+  auto it = libraries_.find(library_name);
+  if (it == libraries_.end()) return;
+  LibraryInfo& info = it->second;
+
+  while (!info.queue.empty()) {
+    if (TryDispatchCall(info)) continue;
+    // Not enough live capacity: deploy more instances if the queue exceeds
+    // what the staged/installing ones will provide once ready.
+    std::uint64_t upcoming = 0;
+    for (const auto& [_, instance] : instances_) {
+      if (instance.library != library_name) continue;
+      if (instance.state == InstanceState::kDraining) continue;
+      upcoming += instance.slots - instance.slots_in_use;
+    }
+    if (info.queue.size() <= upcoming) break;  // capacity is on the way
+    if (TryDeployInstance(library_name)) continue;
+    // No worker has room: reclaim an idle library of another function
+    // (§3.5.2 empty-library eviction) and wait for the removal.
+    TryEvictEmptyLibrary(library_name);
+    break;
+  }
+}
+
+bool Manager::TryDispatchCall(LibraryInfo& info) {
+  if (info.queue.empty()) return false;
+  for (auto& [_, instance] : instances_) {
+    if (instance.library != info.spec.name) continue;
+    if (instance.state != InstanceState::kReady) continue;
+    if (instance.slots_in_use >= instance.slots) continue;
+
+    PendingCall call = std::move(info.queue.front());
+    info.queue.pop_front();
+    ++instance.slots_in_use;
+    RunInvocationMsg msg;
+    msg.id = call.id;
+    msg.instance_id = instance.id;
+    msg.function_name = call.function;
+    msg.args = call.args;
+    const WorkerId worker = instance.worker;
+    instance.running.emplace(call.id, std::move(call));
+    // A failed send means the worker died; ProcessDeadWorkers requeues.
+    (void)SendTo(worker, msg);
+    return true;
+  }
+  return false;
+}
+
+bool Manager::TryDeployInstance(const std::string& library_name) {
+  auto lib_it = libraries_.find(library_name);
+  if (lib_it == libraries_.end()) return false;
+  const LibrarySpec& spec = lib_it->second.spec;
+
+  const auto order =
+      ring_.WalkFrom(hash::ContentId::OfText(library_name).Prefix64());
+  for (WorkerId worker_id : order) {
+    auto it = workers_.find(worker_id);
+    if (it == workers_.end()) continue;
+    if (!it->second.alloc.CanAllocate(spec.resources)) continue;
+    auto claimed = it->second.alloc.Allocate(spec.resources);
+    if (!claimed.ok()) continue;
+
+    InstanceInfo instance;
+    instance.id = next_instance_id_++;
+    instance.library = library_name;
+    instance.worker = worker_id;
+    instance.claimed = *claimed;
+    instance.slots = spec.slots;
+    instance.state = InstanceState::kStaging;
+
+    for (const auto& decl : spec.inputs) {
+      if (replicas_.HasReplica(decl.id, worker_id)) continue;
+      if (StageFile(decl, worker_id, Waiter{true, instance.id}))
+        ++instance.pending_files;
+    }
+    it->second.instances.insert(instance.id);
+    auto [placed_it, _] = instances_.emplace(instance.id, std::move(instance));
+    if (placed_it->second.pending_files == 0)
+      DispatchInstall(placed_it->second);
+    return true;
+  }
+  return false;
+}
+
+bool Manager::TryEvictEmptyLibrary(const std::string& for_library) {
+  for (auto& [_, instance] : instances_) {
+    if (instance.library == for_library) continue;
+    if (instance.state != InstanceState::kReady) continue;
+    if (instance.slots_in_use != 0) continue;
+    auto lib_it = libraries_.find(instance.library);
+    if (lib_it != libraries_.end() && !lib_it->second.queue.empty()) continue;
+
+    instance.state = InstanceState::kDraining;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++metrics_.libraries_evicted;
+    }
+    VLOG_INFO("manager") << "evicting empty library " << instance.library
+                         << "#" << instance.id << " from worker "
+                         << instance.worker << " for " << for_library;
+    (void)SendTo(instance.worker, RemoveLibraryMsg{instance.id});
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// File staging.
+// ---------------------------------------------------------------------------
+
+bool Manager::StageFile(const storage::FileDecl& decl, WorkerId worker,
+                        Waiter waiter) {
+  const TransferKey key{worker, decl.id};
+  auto it = transfers_.find(key);
+  if (it != transfers_.end()) {
+    it->second.waiters.push_back(waiter);
+    return true;
+  }
+
+  auto source = replicas_.PickSource(
+      decl.id, worker, config_.peer_transfers && decl.peer_transfer);
+  Transfer transfer;
+  transfer.decl = decl;
+  transfer.waiters.push_back(waiter);
+  if (!source.ok()) {
+    // All sources saturated: park the transfer; StartParkedTransfers retries
+    // as other transfers complete.  (Only possible with a finite manager cap.)
+    transfer.started = false;
+    transfers_.emplace(key, std::move(transfer));
+    return true;
+  }
+  transfer.source = *source;
+  replicas_.BeginTransfer(transfer.source);
+
+  if (transfer.source.from_manager) {
+    auto payload = manager_store_.Get(decl.id);
+    if (!payload.ok()) {
+      // Should not happen: declared files live in the manager store.
+      VLOG_ERROR("manager") << "missing declared payload " << decl.name;
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++metrics_.manager_transfers;
+      }
+      (void)SendTo(worker, PutFileMsg{decl, std::move(*payload)});
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++metrics_.peer_transfers;
+    }
+    (void)SendTo(transfer.source.peer, PushFileMsg{decl, worker});
+  }
+  transfers_.emplace(key, std::move(transfer));
+  return true;
+}
+
+void Manager::StartParkedTransfers() {
+  for (auto& [key, transfer] : transfers_) {
+    if (transfer.started) continue;
+    auto source = replicas_.PickSource(
+        transfer.decl.id, key.dest,
+        config_.peer_transfers && transfer.decl.peer_transfer);
+    if (!source.ok()) continue;  // still saturated
+    transfer.source = *source;
+    transfer.started = true;
+    replicas_.BeginTransfer(transfer.source);
+    if (transfer.source.from_manager) {
+      auto payload = manager_store_.Get(transfer.decl.id);
+      if (payload.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          ++metrics_.manager_transfers;
+        }
+        (void)SendTo(key.dest, PutFileMsg{transfer.decl, std::move(*payload)});
+      }
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++metrics_.peer_transfers;
+      }
+      (void)SendTo(transfer.source.peer, PushFileMsg{transfer.decl, key.dest});
+    }
+  }
+}
+
+void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
+                               bool success, const std::string& error) {
+  const TransferKey key{worker, id};
+  auto it = transfers_.find(key);
+  if (it == transfers_.end()) return;  // e.g. worker died mid-transfer
+  Transfer transfer = std::move(it->second);
+  transfers_.erase(it);
+  replicas_.EndTransfer(transfer.source);
+
+  if (!success) {
+    VLOG_WARN("manager") << "transfer of " << transfer.decl.name << " to "
+                         << worker << " failed: " << error;
+    if (++transfer.attempts < config_.max_attempts) {
+      // Retry from a fresh source (the failed peer may hold a corrupt or
+      // evicted copy; the manager always has the original).
+      auto source =
+          replicas_.PickSource(id, worker, /*allow_peer_transfer=*/false);
+      if (source.ok()) {
+        transfer.source = *source;
+        replicas_.BeginTransfer(transfer.source);
+        auto payload = manager_store_.Get(id);
+        if (payload.ok()) {
+          (void)SendTo(worker, PutFileMsg{transfer.decl, std::move(*payload)});
+          transfers_.emplace(key, std::move(transfer));
+          return;
+        }
+        replicas_.EndTransfer(transfer.source);
+      }
+    }
+    // Permanent failure: fail task waiters; discard staging instances.
+    for (const Waiter& waiter : transfer.waiters) {
+      if (waiter.is_instance) {
+        auto inst_it = instances_.find(waiter.id);
+        if (inst_it == instances_.end()) continue;
+        auto worker_it = workers_.find(inst_it->second.worker);
+        if (worker_it != workers_.end()) {
+          worker_it->second.instances.erase(inst_it->second.id);
+          Status released =
+              worker_it->second.alloc.Release(inst_it->second.claimed);
+          if (!released.ok()) {
+            VLOG_ERROR("manager") << "release: " << released.ToString();
+            }
+        }
+        instances_.erase(inst_it);
+      } else {
+        auto task_it = running_tasks_.find(waiter.id);
+        if (task_it == running_tasks_.end()) continue;
+        auto worker_it = workers_.find(task_it->second.worker);
+        if (worker_it != workers_.end()) {
+          worker_it->second.running_tasks.erase(waiter.id);
+          Status released =
+              worker_it->second.alloc.Release(task_it->second.claimed);
+          if (!released.ok()) {
+            VLOG_ERROR("manager") << "release: " << released.ToString();
+            }
+        }
+        task_it->second.task.future->Resolve(
+            DataLossError("input transfer failed: " + transfer.decl.name));
+        FinishOne();
+        running_tasks_.erase(task_it);
+      }
+    }
+    return;
+  }
+
+  replicas_.AddReplica(id, worker);
+  for (const Waiter& waiter : transfer.waiters) {
+    if (waiter.is_instance) {
+      auto inst_it = instances_.find(waiter.id);
+      if (inst_it == instances_.end()) continue;
+      if (inst_it->second.pending_files > 0 &&
+          --inst_it->second.pending_files == 0)
+        DispatchInstall(inst_it->second);
+    } else {
+      auto task_it = running_tasks_.find(waiter.id);
+      if (task_it == running_tasks_.end()) continue;
+      if (task_it->second.pending_files > 0 &&
+          --task_it->second.pending_files == 0)
+        DispatchTask(task_it->second);
+    }
+  }
+}
+
+void Manager::DispatchTask(RunningTask& running) {
+  running.transfer_wait_s = clock_.Now() - running.staged_at;
+  ExecuteTaskMsg msg;
+  msg.task = running.task.spec;  // copy: a retry reuses the original
+  for (const auto& decl : running.task.inline_decls) {
+    auto payload = manager_store_.Get(decl.id);
+    if (!payload.ok()) {
+      running.task.future->Resolve(payload.status());
+      FinishOne();
+      return;
+    }
+    msg.task.inline_files.emplace_back(decl, std::move(*payload));
+  }
+  (void)SendTo(running.worker, msg);
+}
+
+void Manager::DispatchInstall(InstanceInfo& instance) {
+  auto lib_it = libraries_.find(instance.library);
+  if (lib_it == libraries_.end()) return;
+  instance.state = InstanceState::kInstalling;
+  InstallLibraryMsg msg{lib_it->second.spec, instance.id};
+  (void)SendTo(instance.worker, msg);
+}
+
+void Manager::FeedInstance(InstanceInfo& instance) {
+  if (instance.state != InstanceState::kReady) return;
+  auto lib_it = libraries_.find(instance.library);
+  if (lib_it == libraries_.end()) return;
+  auto& queue = lib_it->second.queue;
+  while (!queue.empty() && instance.slots_in_use < instance.slots) {
+    PendingCall call = std::move(queue.front());
+    queue.pop_front();
+    ++instance.slots_in_use;
+    RunInvocationMsg msg;
+    msg.id = call.id;
+    msg.instance_id = instance.id;
+    msg.function_name = call.function;
+    msg.args = call.args;
+    const WorkerId worker = instance.worker;
+    instance.running.emplace(call.id, std::move(call));
+    if (!SendTo(worker, msg).ok()) return;  // reaped by ProcessDeadWorkers
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault handling.
+// ---------------------------------------------------------------------------
+
+void Manager::RequeueCall(PendingCall call) {
+  auto it = libraries_.find(call.library);
+  if (it == libraries_.end()) {
+    call.future->Resolve(NotFoundError("library vanished: " + call.library));
+    FinishOne();
+    return;
+  }
+  it->second.queue.push_front(std::move(call));
+}
+
+void Manager::ProcessDeadWorkers() {
+  while (!pending_dead_.empty()) {
+    const WorkerId worker = *pending_dead_.begin();
+    pending_dead_.erase(pending_dead_.begin());
+    OnWorkerDead(worker);
+  }
+}
+
+void Manager::OnWorkerDead(WorkerId worker) {
+  auto it = workers_.find(worker);
+  if (it == workers_.end()) return;
+  VLOG_INFO("manager") << "worker " << worker << " left ("
+                       << it->second.running_tasks.size() << " tasks, "
+                       << it->second.instances.size() << " instances)";
+
+  const std::set<TaskId> dead_tasks = std::move(it->second.running_tasks);
+  const std::set<LibraryInstanceId> dead_instances =
+      std::move(it->second.instances);
+  workers_.erase(it);
+  ring_.Remove(worker);
+  replicas_.RemoveWorker(worker);
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    worker_count_ = workers_.size();
+    wait_cv_.notify_all();
+  }
+
+  // Transfers touching the dead worker: destinations die with their
+  // waiters (requeued below); transfers *sourced* from it restart from a
+  // new source.
+  std::vector<std::pair<TransferKey, Transfer>> resource;
+  for (auto t_it = transfers_.begin(); t_it != transfers_.end();) {
+    if (t_it->first.dest == worker) {
+      replicas_.EndTransfer(t_it->second.source);
+      t_it = transfers_.erase(t_it);
+    } else if (!t_it->second.source.from_manager &&
+               t_it->second.source.peer == worker) {
+      replicas_.EndTransfer(t_it->second.source);
+      resource.emplace_back(t_it->first, std::move(t_it->second));
+      t_it = transfers_.erase(t_it);
+    } else {
+      ++t_it;
+    }
+  }
+  for (auto& [key, transfer] : resource) {
+    // Restage from the manager (always holds declared payloads).
+    auto waiters = std::move(transfer.waiters);
+    bool first = true;
+    for (const Waiter& waiter : waiters) {
+      if (first) {
+        StageFile(transfer.decl, key.dest, waiter);
+        first = false;
+      } else {
+        auto new_it = transfers_.find(key);
+        if (new_it != transfers_.end())
+          new_it->second.waiters.push_back(waiter);
+      }
+    }
+  }
+
+  for (TaskId id : dead_tasks) {
+    auto task_it = running_tasks_.find(id);
+    if (task_it == running_tasks_.end()) continue;
+    PendingTask task = std::move(task_it->second.task);
+    running_tasks_.erase(task_it);
+    if (++task.attempts < config_.max_attempts) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++metrics_.retries;
+      }
+      task_queue_.push_back(std::move(task));
+    } else {
+      task.future->Resolve(UnavailableError("worker died repeatedly"));
+      FinishOne();
+    }
+  }
+
+  for (LibraryInstanceId id : dead_instances) {
+    auto inst_it = instances_.find(id);
+    if (inst_it == instances_.end()) continue;
+    InstanceInfo instance = std::move(inst_it->second);
+    instances_.erase(inst_it);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      if (instance.state == InstanceState::kReady &&
+          metrics_.libraries_active > 0)
+        --metrics_.libraries_active;
+      metrics_.retained_context_bytes -= std::min(
+          metrics_.retained_context_bytes, instance.context_memory);
+    }
+    for (auto& [_, call] : instance.running) {
+      if (++call.attempts < config_.max_attempts) {
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          ++metrics_.retries;
+        }
+        RequeueCall(std::move(call));
+      } else {
+        call.future->Resolve(UnavailableError("worker died repeatedly"));
+        FinishOne();
+      }
+    }
+  }
+}
+
+Status Manager::SendTo(WorkerId worker, const Message& message) {
+  Status status =
+      network_->Send(net::kManagerEndpoint, worker, EncodeMessage(message));
+  if (!status.ok()) pending_dead_.insert(worker);
+  return status;
+}
+
+}  // namespace vinelet::core

@@ -1,0 +1,327 @@
+// Manager: the control plane of the real runtime.
+//
+// Mirrors TaskVine's single-threaded manager: one event loop owns all
+// scheduling state and consumes (a) worker messages and (b) API commands
+// queued by application threads.  It implements the paper's three mechanisms
+// end-to-end:
+//
+//  * discover — CreateLibraryFromFunctions packages function code
+//    (serialized blobs), software dependencies (poncho-analyzed environment
+//    tarball), shared input data and the context-setup binding into a
+//    LibrarySpec (§3.2);
+//  * distribute — content-addressed files flow to workers manager-direct or
+//    via capped peer pushes chosen from the replica table (§3.3);
+//  * retain — libraries are installed once per worker, invocations are
+//    routed to instances with free slots, and empty libraries are evicted
+//    when another function's invocations are starved (§3.4, §3.5.2).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "core/future.hpp"
+#include "core/protocol.hpp"
+#include "hash/hash_ring.hpp"
+#include "net/network.hpp"
+#include "poncho/analyzer.hpp"
+#include "serde/function_registry.hpp"
+#include "storage/content_store.hpp"
+#include "storage/replica_table.hpp"
+
+namespace vinelet::core {
+
+struct ManagerConfig {
+  /// Per-worker concurrent outbound transfer cap N (§3.3).
+  unsigned worker_transfer_cap = 3;
+  /// Manager concurrent sends of cached files (0 = unbounded).
+  unsigned manager_transfer_cap = 0;
+  /// Enable worker-to-worker transfers (Fig 3b); off = Fig 3a.
+  bool peer_transfers = true;
+  /// Retries before a task/invocation fails permanently (worker churn).
+  int max_attempts = 3;
+  const serde::FunctionRegistry* registry = nullptr;  // default: Global()
+};
+
+struct ManagerMetrics {
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t invocations_completed = 0;
+  std::uint64_t libraries_deployed = 0;  // cumulative instances installed
+  std::uint64_t libraries_active = 0;
+  std::uint64_t libraries_evicted = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t peer_transfers = 0;
+  std::uint64_t manager_transfers = 0;
+
+  /// Sum of worker memory currently occupied by retained contexts across
+  /// all active libraries (reported by workers at LibraryReady, §2.1.3).
+  std::uint64_t retained_context_bytes = 0;
+
+  /// Setup-cost breakdown reported by the most recently readied library
+  /// (transfer / unpack / context-setup), for overhead studies (Table 5).
+  TimingBreakdown last_library_setup;
+
+  /// Average invocations served per deployed library (Fig 11's share value).
+  double AvgShareValue() const {
+    return libraries_deployed == 0
+               ? 0.0
+               : static_cast<double>(invocations_completed) /
+                     static_cast<double>(libraries_deployed);
+  }
+};
+
+/// Deployment knobs for CreateLibraryFromFunctions.
+struct LibraryOptions {
+  Resources resources = Resources::All();
+  std::uint32_t slots = 1;
+  ExecMode exec_mode = ExecMode::kDirect;
+  /// Modeled size of each serialized function blob.
+  std::size_t function_code_size = 4096;
+};
+
+class Manager {
+ public:
+  Manager(std::shared_ptr<net::Network> network, ManagerConfig config = {});
+  ~Manager();
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // --- data plane (thread-safe, callable from any thread) -----------------
+
+  /// Declares a blob as a named, content-addressed input file and stores
+  /// its payload at the manager (the equivalent of vine.File(..., cache=,
+  /// peer_transfer=) in Fig 5).
+  storage::FileDecl DeclareBlob(const std::string& name, Blob payload,
+                                storage::FileKind kind, bool cache = true,
+                                bool peer_transfer = true, bool unpack = false);
+
+  // --- function-context API (Fig 5) ---------------------------------------
+
+  /// Discovers the context of `function_names`: serializes each function,
+  /// optionally runs the poncho analyzer to package their software
+  /// dependencies, and binds the setup function.  Additional shared input
+  /// data can be attached with AddLibraryInput before InstallLibrary.
+  Result<LibrarySpec> CreateLibraryFromFunctions(
+      const std::string& library_name,
+      const std::vector<std::string>& function_names,
+      const std::string& setup_name = "",
+      const serde::Value& setup_args = serde::Value(),
+      const poncho::Analyzer* analyzer = nullptr,
+      const LibraryOptions& options = LibraryOptions());
+
+  void AddLibraryInput(LibrarySpec& spec, storage::FileDecl decl) const;
+
+  /// Registers the library template; instances are deployed lazily when
+  /// invocations arrive.
+  Status InstallLibrary(LibrarySpec spec);
+
+  // --- submission ----------------------------------------------------------
+
+  /// Submits a stateless task (L1/L2 execution).  `inputs` with cache=false
+  /// ride inline with the task on every execution; cache=true inputs are
+  /// staged once per worker.
+  FuturePtr SubmitTask(const std::string& function_name,
+                       const serde::Value& args,
+                       std::vector<storage::FileDecl> inputs,
+                       Resources resources,
+                       bool ship_serialized_function = true,
+                       std::size_t function_code_size = 4096);
+
+  /// Submits a FunctionCall against an installed library (L3 execution):
+  /// only the arguments travel.
+  FuturePtr SubmitCall(const std::string& library_name,
+                       const std::string& function_name,
+                       const serde::Value& args);
+
+  // --- control -------------------------------------------------------------
+
+  /// Blocks until every submitted task/call has resolved.
+  /// timeout_s < 0 waits forever; kTimeout on expiry.
+  Status WaitAll(double timeout_s = -1.0);
+
+  /// Blocks until `count` workers are connected.
+  Status WaitForWorkers(std::size_t count, double timeout_s = 30.0);
+
+  std::size_t connected_workers() const;
+  ManagerMetrics metrics() const;
+
+ private:
+  // ---- command plumbing (application thread -> manager thread) ----
+  struct InstallCmd {
+    LibrarySpec spec;
+  };
+  struct TaskCmd {
+    TaskSpec spec;  // inline_files empty; inputs split at enqueue
+    FuturePtr future;
+  };
+  struct CallCmd {
+    std::string library;
+    std::string function;
+    Blob args;
+    FuturePtr future;
+  };
+  /// Synthesized when the network reports an endpoint vanished (abrupt
+  /// worker death with no Goodbye).
+  struct DisconnectCmd {
+    WorkerId worker = 0;
+  };
+  using Command = std::variant<InstallCmd, TaskCmd, CallCmd, DisconnectCmd>;
+
+  // ---- scheduler state (manager thread only) ----
+  struct WorkerState {
+    ResourceAllocator alloc;
+    std::set<LibraryInstanceId> instances;
+    std::set<TaskId> running_tasks;
+    explicit WorkerState(Resources total) : alloc(total) {}
+  };
+
+  struct PendingTask {
+    TaskSpec spec;  // inputs = cached decls only
+    std::vector<storage::FileDecl> inline_decls;
+    FuturePtr future;
+    int attempts = 0;
+  };
+
+  struct RunningTask {
+    PendingTask task;
+    WorkerId worker = 0;
+    Resources claimed;
+    std::size_t pending_files = 0;
+    double staged_at = 0;  // manager clock when staging began
+    double transfer_wait_s = 0;
+  };
+
+  struct PendingCall {
+    InvocationId id = 0;
+    std::string library;
+    std::string function;
+    Blob args;
+    FuturePtr future;
+    int attempts = 0;
+  };
+
+  struct LibraryInfo {
+    LibrarySpec spec;
+    std::deque<PendingCall> queue;
+  };
+
+  enum class InstanceState { kStaging, kInstalling, kReady, kDraining };
+
+  struct InstanceInfo {
+    LibraryInstanceId id = 0;
+    std::string library;
+    WorkerId worker = 0;
+    InstanceState state = InstanceState::kStaging;
+    Resources claimed;
+    std::uint32_t slots = 1;
+    std::uint32_t slots_in_use = 0;
+    std::size_t pending_files = 0;
+    std::map<InvocationId, PendingCall> running;
+    std::uint64_t served = 0;
+    std::uint64_t context_memory = 0;  // reported at LibraryReady
+  };
+
+  struct TransferKey {
+    WorkerId dest;
+    hash::ContentId id;
+    auto operator<=>(const TransferKey&) const = default;
+  };
+
+  /// Something waiting for a file to land on a worker.
+  struct Waiter {
+    bool is_instance = false;
+    std::uint64_t id = 0;  // TaskId or LibraryInstanceId
+  };
+
+  struct Transfer {
+    storage::FileDecl decl;
+    storage::SourceChoice source;
+    std::vector<Waiter> waiters;
+    int attempts = 0;
+    /// False when parked because every source was saturated; retried from
+    /// TrySchedule.
+    bool started = true;
+  };
+
+  // ---- manager-thread methods ----
+  void Run();
+  void HandleFrame(const net::Frame& frame);
+  void HandleCommand(Command command);
+  void TrySchedule();
+  bool TryScheduleTask(PendingTask& task);
+  void TryScheduleLibrary(const std::string& library_name);
+  bool TryDispatchCall(LibraryInfo& info);
+  bool TryDeployInstance(const std::string& library_name);
+  bool TryEvictEmptyLibrary(const std::string& for_library);
+
+  /// Begins staging `decl` onto `worker` (or joins an in-flight transfer).
+  /// Returns true if the file still needs to arrive (waiter recorded).
+  bool StageFile(const storage::FileDecl& decl, WorkerId worker,
+                 Waiter waiter);
+  void CompleteTransfer(WorkerId worker, const hash::ContentId& id,
+                        bool success, const std::string& error);
+  void DispatchTask(RunningTask& running);
+  void DispatchInstall(InstanceInfo& instance);
+  void FeedInstance(InstanceInfo& instance);
+
+  /// Send failures and Goodbyes enqueue here; ProcessDeadWorkers reaps them
+  /// between event batches so no scheduling loop ever mutates the worker
+  /// table out from under itself.
+  void ProcessDeadWorkers();
+  void OnWorkerDead(WorkerId worker);
+  void StartParkedTransfers();
+  void ResolveTask(TaskId id, Result<Outcome> outcome);
+  void ResolveCall(InstanceInfo& instance, InvocationId id,
+                   Result<Outcome> outcome);
+  void RequeueCall(PendingCall call);
+  void FinishOne();  // decrement outstanding + notify WaitAll
+
+  Status SendTo(WorkerId worker, const Message& message);
+
+  // ---- shared (mutex-guarded) ----
+  std::shared_ptr<net::Network> network_;
+  ManagerConfig config_;
+  const serde::FunctionRegistry* registry_;
+  WallClock clock_;
+
+  std::shared_ptr<net::Inbox> inbox_;
+  Channel<Command> commands_;
+  std::thread thread_;
+  bool started_ = false;
+
+  storage::ContentStore manager_store_;  // declared file payloads
+
+  mutable std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  std::uint64_t outstanding_ = 0;
+  std::size_t worker_count_ = 0;
+
+  mutable std::mutex metrics_mu_;
+  ManagerMetrics metrics_;
+
+  std::atomic<std::uint64_t> next_task_id_{1};
+  std::atomic<std::uint64_t> next_invocation_id_{1};
+
+  // ---- manager-thread-only state ----
+  std::map<WorkerId, WorkerState> workers_;
+  hash::HashRing ring_;
+  storage::ReplicaTable replicas_;
+  std::map<std::string, LibraryInfo> libraries_;
+  std::map<LibraryInstanceId, InstanceInfo> instances_;
+  std::deque<PendingTask> task_queue_;
+  std::map<TaskId, RunningTask> running_tasks_;
+  std::map<TransferKey, Transfer> transfers_;
+  std::set<WorkerId> pending_dead_;
+  LibraryInstanceId next_instance_id_ = 1;
+};
+
+}  // namespace vinelet::core

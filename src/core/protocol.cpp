@@ -1,0 +1,472 @@
+#include "core/protocol.hpp"
+
+#include "serde/archive.hpp"
+
+namespace vinelet::core {
+namespace {
+
+using serde::ArchiveReader;
+using serde::ArchiveWriter;
+
+enum class Tag : std::uint8_t {
+  kPutFile = 1,
+  kPushFile,
+  kExecuteTask,
+  kInstallLibrary,
+  kRemoveLibrary,
+  kRunInvocation,
+  kShutdown,
+  kHello,
+  kFileReady,
+  kFileFailed,
+  kTaskDone,
+  kLibraryReady,
+  kLibraryRemoved,
+  kInvocationDone,
+  kGoodbye,
+};
+
+// --- field-group encoders -------------------------------------------------
+
+void WriteContentId(ArchiveWriter& w, const hash::ContentId& id) {
+  w.WriteBytes(std::span<const std::uint8_t>(id.digest().data(),
+                                             id.digest().size()));
+}
+
+Result<hash::ContentId> ReadContentId(ArchiveReader& r) {
+  auto bytes = r.ReadBytes();
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() != hash::Sha256::kDigestSize)
+    return DataLossError("bad content-id length");
+  hash::Sha256::Digest digest;
+  std::copy(bytes->begin(), bytes->end(), digest.begin());
+  return hash::ContentId::FromDigest(digest);
+}
+
+void WriteFileDecl(ArchiveWriter& w, const storage::FileDecl& decl) {
+  w.WriteString(decl.name);
+  WriteContentId(w, decl.id);
+  w.WriteU64(decl.size);
+  w.WriteU8(static_cast<std::uint8_t>(decl.kind));
+  w.WriteBool(decl.cache);
+  w.WriteBool(decl.peer_transfer);
+  w.WriteBool(decl.unpack);
+}
+
+Result<storage::FileDecl> ReadFileDecl(ArchiveReader& r) {
+  storage::FileDecl decl;
+  auto name = r.ReadString();
+  if (!name.ok()) return name.status();
+  decl.name = std::move(*name);
+  auto id = ReadContentId(r);
+  if (!id.ok()) return id.status();
+  decl.id = *id;
+  auto size = r.ReadU64();
+  if (!size.ok()) return size.status();
+  decl.size = *size;
+  auto kind = r.ReadU8();
+  if (!kind.ok()) return kind.status();
+  if (*kind > static_cast<std::uint8_t>(storage::FileKind::kLibraryScript))
+    return DataLossError("bad file kind");
+  decl.kind = static_cast<storage::FileKind>(*kind);
+  auto cache = r.ReadBool();
+  if (!cache.ok()) return cache.status();
+  decl.cache = *cache;
+  auto peer = r.ReadBool();
+  if (!peer.ok()) return peer.status();
+  decl.peer_transfer = *peer;
+  auto unpack = r.ReadBool();
+  if (!unpack.ok()) return unpack.status();
+  decl.unpack = *unpack;
+  return decl;
+}
+
+void WriteDecls(ArchiveWriter& w, const std::vector<storage::FileDecl>& decls) {
+  w.WriteU64(decls.size());
+  for (const auto& decl : decls) WriteFileDecl(w, decl);
+}
+
+Result<std::vector<storage::FileDecl>> ReadDecls(ArchiveReader& r) {
+  auto count = r.ReadU64();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining()) return DataLossError("decl count exceeds payload");
+  std::vector<storage::FileDecl> decls;
+  decls.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto decl = ReadFileDecl(r);
+    if (!decl.ok()) return decl.status();
+    decls.push_back(std::move(*decl));
+  }
+  return decls;
+}
+
+void WriteResources(ArchiveWriter& w, const Resources& res) {
+  w.WriteU32(res.cores);
+  w.WriteU64(res.memory_mb);
+  w.WriteU64(res.disk_mb);
+}
+
+Result<Resources> ReadResources(ArchiveReader& r) {
+  Resources res;
+  auto cores = r.ReadU32();
+  if (!cores.ok()) return cores.status();
+  res.cores = *cores;
+  auto mem = r.ReadU64();
+  if (!mem.ok()) return mem.status();
+  res.memory_mb = *mem;
+  auto disk = r.ReadU64();
+  if (!disk.ok()) return disk.status();
+  res.disk_mb = *disk;
+  return res;
+}
+
+void WriteTiming(ArchiveWriter& w, const TimingBreakdown& t) {
+  w.WriteF64(t.transfer_s);
+  w.WriteF64(t.worker_s);
+  w.WriteF64(t.context_s);
+  w.WriteF64(t.exec_s);
+}
+
+Result<TimingBreakdown> ReadTiming(ArchiveReader& r) {
+  TimingBreakdown t;
+  for (double* field : {&t.transfer_s, &t.worker_s, &t.context_s, &t.exec_s}) {
+    auto v = r.ReadF64();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  return t;
+}
+
+void WriteBlob(ArchiveWriter& w, const Blob& blob) { w.WriteBytes(blob.span()); }
+
+Result<Blob> ReadBlob(ArchiveReader& r) {
+  auto bytes = r.ReadBytes();
+  if (!bytes.ok()) return bytes.status();
+  return Blob(std::move(*bytes));
+}
+
+// --- message encoders -------------------------------------------------------
+
+struct Encoder {
+  ArchiveWriter w;
+
+  void operator()(const PutFileMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kPutFile));
+    WriteFileDecl(w, m.decl);
+    WriteBlob(w, m.payload);
+  }
+  void operator()(const PushFileMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kPushFile));
+    WriteFileDecl(w, m.decl);
+    w.WriteU64(m.dest);
+  }
+  void operator()(const ExecuteTaskMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kExecuteTask));
+    w.WriteU64(m.task.id);
+    w.WriteString(m.task.function_name);
+    WriteBlob(w, m.task.args);
+    WriteDecls(w, m.task.inputs);
+    w.WriteU64(m.task.inline_files.size());
+    for (const auto& [decl, payload] : m.task.inline_files) {
+      WriteFileDecl(w, decl);
+      WriteBlob(w, payload);
+    }
+    WriteResources(w, m.task.resources);
+  }
+  void operator()(const InstallLibraryMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kInstallLibrary));
+    w.WriteU64(m.instance_id);
+    w.WriteString(m.spec.name);
+    w.WriteU64(m.spec.function_names.size());
+    for (const auto& name : m.spec.function_names) w.WriteString(name);
+    w.WriteString(m.spec.setup_name);
+    WriteBlob(w, m.spec.setup_args);
+    WriteDecls(w, m.spec.inputs);
+    WriteResources(w, m.spec.resources);
+    w.WriteU32(m.spec.slots);
+    w.WriteU8(static_cast<std::uint8_t>(m.spec.exec_mode));
+  }
+  void operator()(const RemoveLibraryMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kRemoveLibrary));
+    w.WriteU64(m.instance_id);
+  }
+  void operator()(const RunInvocationMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kRunInvocation));
+    w.WriteU64(m.id);
+    w.WriteU64(m.instance_id);
+    w.WriteString(m.function_name);
+    WriteBlob(w, m.args);
+  }
+  void operator()(const ShutdownMsg&) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kShutdown));
+  }
+  void operator()(const HelloMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kHello));
+    WriteResources(w, m.resources);
+  }
+  void operator()(const FileReadyMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kFileReady));
+    WriteContentId(w, m.content_id);
+    w.WriteU64(m.size);
+  }
+  void operator()(const FileFailedMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kFileFailed));
+    WriteContentId(w, m.content_id);
+    w.WriteString(m.error);
+  }
+  void operator()(const TaskDoneMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kTaskDone));
+    w.WriteU64(m.id);
+    w.WriteBool(m.ok);
+    WriteBlob(w, m.result);
+    w.WriteString(m.error);
+    WriteTiming(w, m.timing);
+  }
+  void operator()(const LibraryReadyMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kLibraryReady));
+    w.WriteU64(m.instance_id);
+    WriteTiming(w, m.timing);
+    w.WriteU64(m.context_memory_bytes);
+  }
+  void operator()(const LibraryRemovedMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kLibraryRemoved));
+    w.WriteU64(m.instance_id);
+  }
+  void operator()(const InvocationDoneMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kInvocationDone));
+    w.WriteU64(m.id);
+    w.WriteBool(m.ok);
+    WriteBlob(w, m.result);
+    w.WriteString(m.error);
+    WriteTiming(w, m.timing);
+  }
+  void operator()(const GoodbyeMsg&) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kGoodbye));
+  }
+};
+
+// --- message decoders -------------------------------------------------------
+
+Result<Message> DecodePutFile(ArchiveReader& r) {
+  PutFileMsg m;
+  auto decl = ReadFileDecl(r);
+  if (!decl.ok()) return decl.status();
+  m.decl = std::move(*decl);
+  auto payload = ReadBlob(r);
+  if (!payload.ok()) return payload.status();
+  m.payload = std::move(*payload);
+  return Message(std::move(m));
+}
+
+Result<Message> DecodePushFile(ArchiveReader& r) {
+  PushFileMsg m;
+  auto decl = ReadFileDecl(r);
+  if (!decl.ok()) return decl.status();
+  m.decl = std::move(*decl);
+  auto dest = r.ReadU64();
+  if (!dest.ok()) return dest.status();
+  m.dest = *dest;
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeExecuteTask(ArchiveReader& r) {
+  ExecuteTaskMsg m;
+  auto id = r.ReadU64();
+  if (!id.ok()) return id.status();
+  m.task.id = *id;
+  auto fn = r.ReadString();
+  if (!fn.ok()) return fn.status();
+  m.task.function_name = std::move(*fn);
+  auto args = ReadBlob(r);
+  if (!args.ok()) return args.status();
+  m.task.args = std::move(*args);
+  auto decls = ReadDecls(r);
+  if (!decls.ok()) return decls.status();
+  m.task.inputs = std::move(*decls);
+  auto inline_count = r.ReadU64();
+  if (!inline_count.ok()) return inline_count.status();
+  if (*inline_count > r.remaining())
+    return DataLossError("inline file count exceeds payload");
+  for (std::uint64_t i = 0; i < *inline_count; ++i) {
+    auto decl = ReadFileDecl(r);
+    if (!decl.ok()) return decl.status();
+    auto payload = ReadBlob(r);
+    if (!payload.ok()) return payload.status();
+    m.task.inline_files.emplace_back(std::move(*decl), std::move(*payload));
+  }
+  auto res = ReadResources(r);
+  if (!res.ok()) return res.status();
+  m.task.resources = *res;
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeInstallLibrary(ArchiveReader& r) {
+  InstallLibraryMsg m;
+  auto instance = r.ReadU64();
+  if (!instance.ok()) return instance.status();
+  m.instance_id = *instance;
+  auto name = r.ReadString();
+  if (!name.ok()) return name.status();
+  m.spec.name = std::move(*name);
+  auto count = r.ReadU64();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining()) return DataLossError("function count exceeds payload");
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto fn = r.ReadString();
+    if (!fn.ok()) return fn.status();
+    m.spec.function_names.push_back(std::move(*fn));
+  }
+  auto setup = r.ReadString();
+  if (!setup.ok()) return setup.status();
+  m.spec.setup_name = std::move(*setup);
+  auto setup_args = ReadBlob(r);
+  if (!setup_args.ok()) return setup_args.status();
+  m.spec.setup_args = std::move(*setup_args);
+  auto decls = ReadDecls(r);
+  if (!decls.ok()) return decls.status();
+  m.spec.inputs = std::move(*decls);
+  auto res = ReadResources(r);
+  if (!res.ok()) return res.status();
+  m.spec.resources = *res;
+  auto slots = r.ReadU32();
+  if (!slots.ok()) return slots.status();
+  m.spec.slots = *slots;
+  auto mode = r.ReadU8();
+  if (!mode.ok()) return mode.status();
+  if (*mode > static_cast<std::uint8_t>(ExecMode::kFork))
+    return DataLossError("bad exec mode");
+  m.spec.exec_mode = static_cast<ExecMode>(*mode);
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeRunInvocation(ArchiveReader& r) {
+  RunInvocationMsg m;
+  auto id = r.ReadU64();
+  if (!id.ok()) return id.status();
+  m.id = *id;
+  auto instance = r.ReadU64();
+  if (!instance.ok()) return instance.status();
+  m.instance_id = *instance;
+  auto fn = r.ReadString();
+  if (!fn.ok()) return fn.status();
+  m.function_name = std::move(*fn);
+  auto args = ReadBlob(r);
+  if (!args.ok()) return args.status();
+  m.args = std::move(*args);
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeTaskDone(ArchiveReader& r) {
+  TaskDoneMsg m;
+  auto id = r.ReadU64();
+  if (!id.ok()) return id.status();
+  m.id = *id;
+  auto ok = r.ReadBool();
+  if (!ok.ok()) return ok.status();
+  m.ok = *ok;
+  auto result = ReadBlob(r);
+  if (!result.ok()) return result.status();
+  m.result = std::move(*result);
+  auto error = r.ReadString();
+  if (!error.ok()) return error.status();
+  m.error = std::move(*error);
+  auto timing = ReadTiming(r);
+  if (!timing.ok()) return timing.status();
+  m.timing = *timing;
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeInvocationDone(ArchiveReader& r) {
+  InvocationDoneMsg m;
+  auto id = r.ReadU64();
+  if (!id.ok()) return id.status();
+  m.id = *id;
+  auto ok = r.ReadBool();
+  if (!ok.ok()) return ok.status();
+  m.ok = *ok;
+  auto result = ReadBlob(r);
+  if (!result.ok()) return result.status();
+  m.result = std::move(*result);
+  auto error = r.ReadString();
+  if (!error.ok()) return error.status();
+  m.error = std::move(*error);
+  auto timing = ReadTiming(r);
+  if (!timing.ok()) return timing.status();
+  m.timing = *timing;
+  return Message(std::move(m));
+}
+
+}  // namespace
+
+Blob EncodeMessage(const Message& message) {
+  Encoder encoder;
+  std::visit(encoder, message);
+  return std::move(encoder.w).ToBlob();
+}
+
+Result<Message> DecodeMessage(const Blob& blob) {
+  ArchiveReader r(blob);
+  auto tag = r.ReadU8();
+  if (!tag.ok()) return tag.status();
+  switch (static_cast<Tag>(*tag)) {
+    case Tag::kPutFile:
+      return DecodePutFile(r);
+    case Tag::kPushFile:
+      return DecodePushFile(r);
+    case Tag::kExecuteTask:
+      return DecodeExecuteTask(r);
+    case Tag::kInstallLibrary:
+      return DecodeInstallLibrary(r);
+    case Tag::kRemoveLibrary: {
+      auto id = r.ReadU64();
+      if (!id.ok()) return id.status();
+      return Message(RemoveLibraryMsg{*id});
+    }
+    case Tag::kRunInvocation:
+      return DecodeRunInvocation(r);
+    case Tag::kShutdown:
+      return Message(ShutdownMsg{});
+    case Tag::kHello: {
+      auto res = ReadResources(r);
+      if (!res.ok()) return res.status();
+      return Message(HelloMsg{*res});
+    }
+    case Tag::kFileReady: {
+      auto id = ReadContentId(r);
+      if (!id.ok()) return id.status();
+      auto size = r.ReadU64();
+      if (!size.ok()) return size.status();
+      return Message(FileReadyMsg{*id, *size});
+    }
+    case Tag::kFileFailed: {
+      auto id = ReadContentId(r);
+      if (!id.ok()) return id.status();
+      auto error = r.ReadString();
+      if (!error.ok()) return error.status();
+      return Message(FileFailedMsg{*id, std::move(*error)});
+    }
+    case Tag::kTaskDone:
+      return DecodeTaskDone(r);
+    case Tag::kLibraryReady: {
+      auto id = r.ReadU64();
+      if (!id.ok()) return id.status();
+      auto timing = ReadTiming(r);
+      if (!timing.ok()) return timing.status();
+      auto memory = r.ReadU64();
+      if (!memory.ok()) return memory.status();
+      return Message(LibraryReadyMsg{*id, *timing, *memory});
+    }
+    case Tag::kLibraryRemoved: {
+      auto id = r.ReadU64();
+      if (!id.ok()) return id.status();
+      return Message(LibraryRemovedMsg{*id});
+    }
+    case Tag::kInvocationDone:
+      return DecodeInvocationDone(r);
+    case Tag::kGoodbye:
+      return Message(GoodbyeMsg{});
+  }
+  return DataLossError("unknown message tag " + std::to_string(*tag));
+}
+
+}  // namespace vinelet::core

@@ -1,0 +1,157 @@
+// The manager ↔ worker wire protocol.
+//
+// Every interaction in the real runtime is one of these messages, serialized
+// to bytes before it crosses the Network (nothing structured is shared
+// between threads).  The message set mirrors TaskVine's split between the
+// data plane (file placement: put/push/ready), the task plane (stateless
+// ExecuteTask), and the invocation plane added by the paper (InstallLibrary,
+// RunInvocation, RemoveLibrary — §3.4/§3.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "core/resources.hpp"
+#include "core/types.hpp"
+#include "storage/file_decl.hpp"
+
+namespace vinelet::core {
+
+// ---------------------------------------------------------------------------
+// Specs carried inside messages.
+// ---------------------------------------------------------------------------
+
+/// A stateless task (execution levels L1/L2): brings its code, data and
+/// arguments along (Table 1, row "Task").
+///
+/// `inputs` are cache-resident files the manager staged ahead of time (L2);
+/// `inline_files` ride with the task itself and are discarded after it —
+/// the L1 behaviour of re-pulling everything on every execution.
+struct TaskSpec {
+  TaskId id = 0;
+  std::string function_name;
+  Blob args;  // serialized Value
+  std::vector<storage::FileDecl> inputs;
+  std::vector<std::pair<storage::FileDecl, Blob>> inline_files;
+  Resources resources;
+};
+
+/// A library: the "special task" whose daemon retains the function context
+/// (paper §3.4).  Serialized function code and shared input data travel as
+/// content-addressed input files; the spec itself only carries names and
+/// policy.
+struct LibrarySpec {
+  std::string name;
+  std::vector<std::string> function_names;
+  std::string setup_name;  // context-setup function ("" = none)
+  Blob setup_args;         // serialized Value passed to the setup
+  std::vector<storage::FileDecl> inputs;
+  Resources resources = Resources::All();
+  std::uint32_t slots = 1;
+  ExecMode exec_mode = ExecMode::kDirect;
+};
+
+// ---------------------------------------------------------------------------
+// Manager → worker.
+// ---------------------------------------------------------------------------
+
+/// Deliver a file's payload (manager-sourced or peer-pushed).
+struct PutFileMsg {
+  storage::FileDecl decl;
+  Blob payload;
+};
+
+/// Instruct the receiving worker (a holder of the file) to push it to a
+/// peer: the spanning-tree building block (§3.3).
+struct PushFileMsg {
+  storage::FileDecl decl;
+  WorkerId dest = 0;
+};
+
+struct ExecuteTaskMsg {
+  TaskSpec task;
+};
+
+struct InstallLibraryMsg {
+  LibrarySpec spec;
+  LibraryInstanceId instance_id = 0;
+};
+
+struct RemoveLibraryMsg {
+  LibraryInstanceId instance_id = 0;
+};
+
+struct RunInvocationMsg {
+  InvocationId id = 0;
+  LibraryInstanceId instance_id = 0;
+  std::string function_name;
+  Blob args;  // serialized Value — all an invocation needs (Table 1)
+};
+
+struct ShutdownMsg {};
+
+// ---------------------------------------------------------------------------
+// Worker → manager.
+// ---------------------------------------------------------------------------
+
+struct HelloMsg {
+  Resources resources;
+};
+
+struct FileReadyMsg {
+  hash::ContentId content_id;
+  std::uint64_t size = 0;
+};
+
+struct FileFailedMsg {
+  hash::ContentId content_id;
+  std::string error;
+};
+
+struct TaskDoneMsg {
+  TaskId id = 0;
+  bool ok = false;
+  Blob result;        // serialized Value on success
+  std::string error;  // on failure
+  TimingBreakdown timing;
+};
+
+struct LibraryReadyMsg {
+  LibraryInstanceId instance_id = 0;
+  TimingBreakdown timing;  // transfer/unpack/context-setup costs (Table 5 row L3-Library)
+  /// Worker memory retained by the context — reported so the manager can
+  /// account for occupied resources (paper §2.1.3).
+  std::uint64_t context_memory_bytes = 0;
+};
+
+struct LibraryRemovedMsg {
+  LibraryInstanceId instance_id = 0;
+};
+
+struct InvocationDoneMsg {
+  InvocationId id = 0;
+  bool ok = false;
+  Blob result;
+  std::string error;
+  TimingBreakdown timing;
+};
+
+struct GoodbyeMsg {};
+
+using Message =
+    std::variant<PutFileMsg, PushFileMsg, ExecuteTaskMsg, InstallLibraryMsg,
+                 RemoveLibraryMsg, RunInvocationMsg, ShutdownMsg, HelloMsg,
+                 FileReadyMsg, FileFailedMsg, TaskDoneMsg, LibraryReadyMsg,
+                 LibraryRemovedMsg, InvocationDoneMsg, GoodbyeMsg>;
+
+/// Serializes a message to a framed blob.
+Blob EncodeMessage(const Message& message);
+
+/// Parses a framed blob; kDataLoss on any malformed input.
+Result<Message> DecodeMessage(const Blob& blob);
+
+}  // namespace vinelet::core

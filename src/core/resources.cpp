@@ -1,0 +1,53 @@
+#include "core/resources.hpp"
+
+#include <cstdio>
+
+namespace vinelet::core {
+
+std::string Resources::ToString() const {
+  if (IsAll()) return "{all}";
+  char out[96];
+  std::snprintf(out, sizeof(out), "{cores=%u, mem=%lluMB, disk=%lluMB}", cores,
+                static_cast<unsigned long long>(memory_mb),
+                static_cast<unsigned long long>(disk_mb));
+  return out;
+}
+
+bool ResourceAllocator::CanAllocate(const Resources& request) const noexcept {
+  if (request.IsAll()) return FullyIdle();
+  return request.FitsWithin(free_);
+}
+
+Result<Resources> ResourceAllocator::Allocate(const Resources& request) {
+  if (request.IsAll()) {
+    if (!FullyIdle())
+      return ResourceExhaustedError("whole-worker request on busy worker");
+    Resources claimed = free_;
+    free_ = Resources{0, 0, 0};
+    // A zeroed `free_` must not read as "fully idle = All()" elsewhere;
+    // FullyIdle compares against total, which is non-zero, so it is safe.
+    return claimed;
+  }
+  if (!request.FitsWithin(free_))
+    return ResourceExhaustedError("insufficient resources: need " +
+                                  request.ToString() + ", free " +
+                                  free_.ToString());
+  free_.cores -= request.cores;
+  free_.memory_mb -= request.memory_mb;
+  free_.disk_mb -= request.disk_mb;
+  return request;
+}
+
+Status ResourceAllocator::Release(const Resources& claimed) {
+  if (claimed.cores + free_.cores > total_.cores ||
+      claimed.memory_mb + free_.memory_mb > total_.memory_mb ||
+      claimed.disk_mb + free_.disk_mb > total_.disk_mb)
+    return FailedPreconditionError("release exceeds allocation: " +
+                                   claimed.ToString());
+  free_.cores += claimed.cores;
+  free_.memory_mb += claimed.memory_mb;
+  free_.disk_mb += claimed.disk_mb;
+  return Status::Ok();
+}
+
+}  // namespace vinelet::core

@@ -1,0 +1,66 @@
+// Worker resource accounting.
+//
+// Libraries own "an arbitrary but fixed allocation of resources on a worker
+// node in terms of cores, memory, and disk" and expose a logical resource
+// called invocation slots (paper §3.5.2); plain tasks get independent
+// allocations.  The allocator enforces that the manager never oversubscribes
+// a worker — a tested invariant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace vinelet::core {
+
+struct Resources {
+  std::uint32_t cores = 1;
+  std::uint64_t memory_mb = 1024;
+  std::uint64_t disk_mb = 1024;
+
+  /// Whole-worker sentinel: the library "by default takes all resources of
+  /// a worker" (§3.5.2).
+  static Resources All() noexcept { return Resources{0, 0, 0}; }
+  bool IsAll() const noexcept {
+    return cores == 0 && memory_mb == 0 && disk_mb == 0;
+  }
+
+  /// Componentwise fit; callers resolve All() before asking (the allocator
+  /// resolves All() to "the worker must be fully idle").
+  bool FitsWithin(const Resources& available) const noexcept {
+    return cores <= available.cores && memory_mb <= available.memory_mb &&
+           disk_mb <= available.disk_mb;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Resources&, const Resources&) = default;
+};
+
+/// Tracks free resources on one worker.
+class ResourceAllocator {
+ public:
+  explicit ResourceAllocator(Resources total) : total_(total), free_(total) {}
+
+  const Resources& total() const noexcept { return total_; }
+  const Resources& free() const noexcept { return free_; }
+  bool FullyIdle() const noexcept { return free_ == total_; }
+
+  /// True if `request` (with All() resolved against the total) would fit.
+  bool CanAllocate(const Resources& request) const noexcept;
+
+  /// Claims resources; the returned value is what was actually claimed
+  /// (All() resolves to everything currently free — a whole-worker library
+  /// requires a fully idle worker).  kResourceExhausted when it cannot fit.
+  Result<Resources> Allocate(const Resources& request);
+
+  /// Returns a previous allocation.  kFailedPrecondition on over-release.
+  Status Release(const Resources& claimed);
+
+ private:
+  Resources total_;
+  Resources free_;
+};
+
+}  // namespace vinelet::core

@@ -1,0 +1,14 @@
+#include "core/types.hpp"
+
+namespace vinelet::core {
+
+std::string_view ReuseLevelName(ReuseLevel level) noexcept {
+  switch (level) {
+    case ReuseLevel::kL1: return "L1";
+    case ReuseLevel::kL2: return "L2";
+    case ReuseLevel::kL3: return "L3";
+  }
+  return "?";
+}
+
+}  // namespace vinelet::core

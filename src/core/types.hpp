@@ -1,0 +1,49 @@
+// Shared vocabulary types of the execution engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vinelet::core {
+
+using TaskId = std::uint64_t;        // plain (stateless) tasks
+using InvocationId = std::uint64_t;  // function calls against a library
+using WorkerId = std::uint64_t;      // == net::EndpointId of the worker
+using LibraryInstanceId = std::uint64_t;
+
+/// How a library executes an invocation (paper §3.4 step 4).
+enum class ExecMode : std::uint8_t {
+  kDirect = 0,  // synchronously inside the library's own thread
+  kFork,        // a child (thread here, process in TaskVine) per invocation
+};
+
+/// The three levels of context reuse studied in the evaluation (§4.2).
+enum class ReuseLevel : std::uint8_t {
+  kL1 = 1,  // stateless tasks, no caching: pull everything every time
+  kL2 = 2,  // on-disk reuse: worker cache holds env + data
+  kL3 = 3,  // on-disk + in-memory reuse via resident libraries
+};
+
+std::string_view ReuseLevelName(ReuseLevel level) noexcept;
+
+/// Per-execution overhead breakdown, mirroring Table 5's four columns.
+struct TimingBreakdown {
+  double transfer_s = 0;   // invocation details + data over the network
+  double worker_s = 0;     // worker-side setup: sandbox, unpack, staging
+  double context_s = 0;    // deserialize / reconstruct / context setup
+  double exec_s = 0;       // the function body itself
+
+  double Total() const noexcept {
+    return transfer_s + worker_s + context_s + exec_s;
+  }
+
+  TimingBreakdown& operator+=(const TimingBreakdown& other) noexcept {
+    transfer_s += other.transfer_s;
+    worker_s += other.worker_s;
+    context_s += other.context_s;
+    exec_s += other.exec_s;
+    return *this;
+  }
+};
+
+}  // namespace vinelet::core

@@ -1,0 +1,70 @@
+#include "core/unpack_registry.hpp"
+
+namespace vinelet::core {
+
+Result<std::shared_ptr<const poncho::UnpackedDir>> UnpackRegistry::GetOrUnpack(
+    const hash::ContentId& id, const Blob& tarball, bool* unpacked_now) {
+  if (unpacked_now != nullptr) *unpacked_now = false;
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = slots_.find(id);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(id, slot);
+      owner = true;
+    } else {
+      slot = it->second;
+    }
+    if (!owner) {
+      cv_.wait(lock, [&] { return slot->ready; });
+      if (!slot->error.ok()) return slot->error;
+      return slot->dir;
+    }
+  }
+
+  // Owner path: unpack outside the lock (this is the expensive step).
+  auto dir = poncho::Packer::Unpack(tarball);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dir.ok()) {
+      slot->dir = std::make_shared<const poncho::UnpackedDir>(std::move(*dir));
+    } else {
+      slot->error = dir.status();
+      slots_.erase(id);  // allow a retry with a fresh (uncorrupted) tarball
+    }
+    slot->ready = true;
+  }
+  cv_.notify_all();
+  if (!slot->error.ok()) return slot->error;
+  if (unpacked_now != nullptr) *unpacked_now = true;
+  return slot->dir;
+}
+
+Result<std::shared_ptr<const poncho::UnpackedDir>> UnpackRegistry::Peek(
+    const hash::ContentId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end() || !it->second->ready || !it->second->error.ok())
+    return NotFoundError("environment not unpacked: " + id.ShortHex());
+  return it->second->dir;
+}
+
+bool UnpackRegistry::Contains(const hash::ContentId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  return it != slots_.end() && it->second->ready && it->second->error.ok();
+}
+
+void UnpackRegistry::Remove(const hash::ContentId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.erase(id);
+}
+
+std::size_t UnpackRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace vinelet::core

@@ -1,0 +1,52 @@
+// Worker-side registry of unpacked environments.
+//
+// L2's defining behaviour: an environment tarball is unpacked into the
+// worker's local disk *once* and every subsequent task or library on that
+// worker reuses the expanded directory (paper §3.2: "a context process on a
+// worker will reuse a copy of the tarball ... if it is available in the
+// worker's cache").  The registry keys expanded directories by the tarball's
+// content id and guarantees single unpacking even under concurrent callers.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "hash/content_id.hpp"
+#include "poncho/packer.hpp"
+
+namespace vinelet::core {
+
+class UnpackRegistry {
+ public:
+  /// Returns the expanded directory for `tarball`, unpacking at most once
+  /// per content id; concurrent callers for the same id block until the
+  /// first finishes.  `unpacked_now` reports whether *this* call did the
+  /// work (i.e. paid the cold cost).
+  Result<std::shared_ptr<const poncho::UnpackedDir>> GetOrUnpack(
+      const hash::ContentId& id, const Blob& tarball, bool* unpacked_now);
+
+  /// Peeks without unpacking; kNotFound when absent.
+  Result<std::shared_ptr<const poncho::UnpackedDir>> Peek(
+      const hash::ContentId& id) const;
+
+  bool Contains(const hash::ContentId& id) const;
+  void Remove(const hash::ContentId& id);
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    bool ready = false;
+    Status error;
+    std::shared_ptr<const poncho::UnpackedDir> dir;
+  };
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::unordered_map<hash::ContentId, std::shared_ptr<Slot>> slots_;
+};
+
+}  // namespace vinelet::core

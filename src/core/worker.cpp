@@ -1,0 +1,351 @@
+#include "core/worker.hpp"
+
+#include "common/log.hpp"
+
+namespace vinelet::core {
+
+Worker::Worker(std::shared_ptr<net::Network> network, WorkerConfig config)
+    : network_(std::move(network)),
+      config_(config),
+      registry_(config.registry != nullptr ? config.registry
+                                           : &serde::FunctionRegistry::Global()),
+      store_(config.cache_capacity_bytes) {}
+
+Worker::~Worker() { Stop(); }
+
+Status Worker::Start() {
+  auto inbox = network_->Register(config_.id);
+  if (!inbox.ok()) return inbox.status();
+  inbox_ = std::move(*inbox);
+  thread_ = std::thread([this] { Run(); });
+  SendToManager(HelloMsg{config_.resources});
+  return Status::Ok();
+}
+
+void Worker::Stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (network_->Connected(config_.id)) {
+    SendToManager(GoodbyeMsg{});
+    network_->Unregister(config_.id);
+  }
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    for (auto& [_, library] : libraries_) library->Stop();
+    libraries_.clear();
+    dead_libraries_.clear();  // threads already exited after setup failure
+  }
+  ReapTaskThreads(/*all=*/true);
+}
+
+void Worker::Kill() {
+  if (stopping_.exchange(true)) return;
+  network_->Unregister(config_.id);  // vanish: inbox closes, no Goodbye
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    for (auto& [_, library] : libraries_) library->Stop();
+    libraries_.clear();
+    dead_libraries_.clear();
+  }
+  ReapTaskThreads(/*all=*/true);
+}
+
+std::size_t Worker::libraries_hosted() const {
+  std::lock_guard<std::mutex> lock(libraries_mu_);
+  return libraries_.size();
+}
+
+void Worker::Run() {
+  while (auto frame = inbox_->Recv()) {
+    Handle(std::move(*frame));
+  }
+}
+
+void Worker::Handle(net::Frame frame) {
+  Stopwatch decode_watch(clock_);
+  auto message = DecodeMessage(frame.payload);
+  const double decode_s = decode_watch.Elapsed();
+  if (!message.ok()) {
+    VLOG_ERROR("worker") << config_.id
+                         << " dropped malformed frame: "
+                         << message.status().ToString();
+    return;
+  }
+  std::visit(
+      [&](auto&& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, PutFileMsg>) {
+          HandlePutFile(std::move(msg));
+        } else if constexpr (std::is_same_v<T, PushFileMsg>) {
+          HandlePushFile(msg);
+        } else if constexpr (std::is_same_v<T, ExecuteTaskMsg>) {
+          HandleExecuteTask(std::move(msg), decode_s);
+        } else if constexpr (std::is_same_v<T, InstallLibraryMsg>) {
+          HandleInstallLibrary(std::move(msg), decode_s);
+        } else if constexpr (std::is_same_v<T, RemoveLibraryMsg>) {
+          HandleRemoveLibrary(msg);
+        } else if constexpr (std::is_same_v<T, RunInvocationMsg>) {
+          HandleRunInvocation(std::move(msg));
+        } else if constexpr (std::is_same_v<T, ShutdownMsg>) {
+          // Manager-initiated teardown; Run() exits when the inbox closes.
+          network_->Unregister(config_.id);
+        } else {
+          VLOG_WARN("worker") << config_.id << " ignoring unexpected message";
+        }
+      },
+      std::move(*message));
+}
+
+void Worker::HandlePutFile(PutFileMsg msg) {
+  // Verified store: a corrupted transfer surfaces as FileFailed, and the
+  // manager re-sources the file (possibly from a different peer).
+  Status status = store_.Put(msg.decl.id, std::move(msg.payload));
+  if (status.ok()) {
+    SendToManager(FileReadyMsg{msg.decl.id, msg.decl.size});
+  } else {
+    SendToManager(FileFailedMsg{msg.decl.id, status.ToString()});
+  }
+}
+
+void Worker::HandlePushFile(const PushFileMsg& msg) {
+  // Spanning-tree hop: we hold the file; push it to a peer worker.
+  auto blob = store_.Get(msg.decl.id);
+  if (!blob.ok()) {
+    SendToManager(FileFailedMsg{msg.decl.id,
+                                "push source lost file: " + msg.decl.name});
+    return;
+  }
+  Status sent = network_->Send(config_.id, msg.dest,
+                               EncodeMessage(PutFileMsg{msg.decl, *blob}));
+  if (!sent.ok()) {
+    // Destination died; the manager will notice via its own sends.
+    VLOG_WARN("worker") << config_.id << " peer push failed: "
+                        << sent.ToString();
+  }
+}
+
+void Worker::HandleExecuteTask(ExecuteTaskMsg msg, double decode_s) {
+  std::lock_guard<std::mutex> lock(tasks_mu_);
+  task_threads_.emplace_back([this, msg = std::move(msg), decode_s]() mutable {
+    TaskDoneMsg done = ExecuteTask(msg.task, decode_s);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    SendToManager(done);
+  });
+  // Opportunistically reap finished threads so the vector stays small.
+  if (task_threads_.size() > 2 * config_.resources.cores) {
+    // Cannot join here while holding tasks_mu_ against Stop(); reaping is
+    // deferred to ReapTaskThreads which runs at shutdown.  The vector is
+    // bounded by the manager's resource accounting in practice.
+  }
+}
+
+TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s) {
+  TaskDoneMsg done;
+  done.id = task.id;
+  done.timing.transfer_s = decode_s;
+
+  // --- Worker overhead: verify + stage inline files, stage cached inputs,
+  // unpack environments (cached unpack for L2, throwaway unpack for L1).
+  Stopwatch watch(clock_);
+  std::map<std::string, Blob> files;
+  std::vector<std::shared_ptr<const poncho::UnpackedDir>> held;
+
+  auto fail = [&](const Status& status) {
+    done.ok = false;
+    done.error = status.ToString();
+    return done;
+  };
+
+  for (const auto& [decl, payload] : task.inline_files) {
+    if (hash::ContentId::Of(payload) != decl.id)
+      return fail(DataLossError("inline file corrupt: " + decl.name));
+    if (decl.unpack) {
+      auto dir = poncho::Packer::Unpack(payload);  // L1: expand every time
+      if (!dir.ok()) return fail(dir.status());
+      auto dir_ptr = std::make_shared<const poncho::UnpackedDir>(
+          std::move(*dir));
+      for (const auto& [name, content] : dir_ptr->files)
+        files.emplace(name, content);
+      held.push_back(std::move(dir_ptr));
+    } else if (decl.kind != storage::FileKind::kSerializedFunction) {
+      files.emplace(decl.name, payload);
+    }
+  }
+  for (const auto& decl : task.inputs) {
+    auto blob = store_.Get(decl.id);
+    if (!blob.ok())
+      return fail(FailedPreconditionError("task input not staged: " +
+                                          decl.name));
+    if (decl.unpack) {
+      bool unpacked_now = false;
+      auto dir = unpacked_.GetOrUnpack(decl.id, *blob, &unpacked_now);
+      if (!dir.ok()) return fail(dir.status());
+      for (const auto& [name, content] : (*dir)->files)
+        files.emplace(name, content);
+      held.push_back(*dir);
+    } else if (decl.kind != storage::FileKind::kSerializedFunction) {
+      files.emplace(decl.name, std::move(*blob));
+    }
+  }
+  done.timing.worker_s = watch.Elapsed();
+
+  // --- Context overhead: reconstruct the function object and arguments.
+  watch.Restart();
+  serde::Value closure;
+  serde::FunctionDef def;
+  bool found = false;
+  const std::string fn_file = "fn:" + task.function_name;
+  // Serialized function may arrive inline (L1) or via the cache (L2).
+  for (const auto& [decl, payload] : task.inline_files) {
+    if (decl.kind == storage::FileKind::kSerializedFunction &&
+        decl.name == fn_file) {
+      auto parsed = serde::SerializedFunction::Deserialize(payload);
+      if (!parsed.ok()) return fail(parsed.status());
+      auto looked_up = registry_->FindFunction(parsed->name());
+      if (!looked_up.ok()) return fail(looked_up.status());
+      def = std::move(*looked_up);
+      closure = parsed->closure();
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    for (const auto& decl : task.inputs) {
+      if (decl.kind == storage::FileKind::kSerializedFunction &&
+          decl.name == fn_file) {
+        auto blob = store_.Get(decl.id);
+        if (!blob.ok()) return fail(blob.status());
+        auto parsed = serde::SerializedFunction::Deserialize(*blob);
+        if (!parsed.ok()) return fail(parsed.status());
+        auto looked_up = registry_->FindFunction(parsed->name());
+        if (!looked_up.ok()) return fail(looked_up.status());
+        def = std::move(*looked_up);
+        closure = parsed->closure();
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    auto looked_up = registry_->FindFunction(task.function_name);
+    if (!looked_up.ok()) return fail(looked_up.status());
+    def = std::move(*looked_up);
+  }
+  auto args = serde::Value::FromBlob(task.args);
+  if (!args.ok()) return fail(args.status());
+  done.timing.context_s = watch.Elapsed();
+
+  // --- Execute.  No retained context: env.context is null, so the function
+  // rebuilds any in-memory state it needs (the repeated work L3 removes).
+  watch.Restart();
+  serde::InvocationEnv env;
+  env.files = &files;
+  env.closure = &closure;
+  env.sandbox = "sandbox-task-" + std::to_string(task.id);
+  auto result = def.fn(*args, env);
+  done.timing.exec_s = watch.Elapsed();
+
+  if (!result.ok()) return fail(result.status());
+  done.ok = true;
+  done.result = result->ToBlob();
+  return done;
+}
+
+void Worker::HandleInstallLibrary(InstallLibraryMsg msg, double decode_s) {
+  LibraryRuntime::Callbacks callbacks;
+  const double transfer_s = decode_s;
+  callbacks.on_ready = [this, transfer_s](
+                           LibraryInstanceId id,
+                           Result<LibraryRuntime::SetupReport> report) {
+    if (report.ok()) {
+      TimingBreakdown t = report->timing;
+      t.transfer_s = transfer_s;
+      SendToManager(LibraryReadyMsg{id, t, report->context_memory_bytes});
+    } else {
+      // Report the failed install as an immediate removal so the manager
+      // releases the resources and can retry elsewhere.  This callback runs
+      // on the library's own thread: park the instance instead of
+      // destroying it (destruction joins the thread we are on).
+      VLOG_WARN("worker") << config_.id << " library setup failed: "
+                          << report.status().ToString();
+      {
+        std::lock_guard<std::mutex> lock(libraries_mu_);
+        auto it = libraries_.find(id);
+        if (it != libraries_.end()) {
+          dead_libraries_.push_back(std::move(it->second));
+          libraries_.erase(it);
+        }
+      }
+      SendToManager(LibraryRemovedMsg{id});
+    }
+  };
+  callbacks.on_done = [this](InvocationDoneMsg done) {
+    SendToManager(std::move(done));
+  };
+
+  auto library = std::make_unique<LibraryRuntime>(
+      std::move(msg.spec), msg.instance_id, &store_, &unpacked_, registry_,
+      std::move(callbacks));
+  LibraryRuntime* raw = library.get();
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    libraries_.emplace(msg.instance_id, std::move(library));
+  }
+  raw->Start();
+}
+
+void Worker::HandleRemoveLibrary(const RemoveLibraryMsg& msg) {
+  std::unique_ptr<LibraryRuntime> library;
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    auto it = libraries_.find(msg.instance_id);
+    if (it == libraries_.end()) return;
+    library = std::move(it->second);
+    libraries_.erase(it);
+  }
+  library->Stop();  // waits for in-flight invocations (manager only removes
+                    // empty libraries, so this returns promptly)
+  SendToManager(LibraryRemovedMsg{msg.instance_id});
+}
+
+void Worker::HandleRunInvocation(RunInvocationMsg msg) {
+  const InvocationId id = msg.id;
+  bool submitted = false;
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    auto it = libraries_.find(msg.instance_id);
+    if (it != libraries_.end()) submitted = it->second->Submit(std::move(msg));
+  }
+  if (!submitted) {
+    InvocationDoneMsg done;
+    done.id = id;
+    done.ok = false;
+    done.error = "library instance not present on worker";
+    SendToManager(std::move(done));
+  }
+}
+
+void Worker::SendToManager(const Message& message) {
+  Status status =
+      network_->Send(config_.id, net::kManagerEndpoint, EncodeMessage(message));
+  if (!status.ok()) {
+    VLOG_DEBUG("worker") << config_.id
+                         << " send to manager failed: " << status.ToString();
+  }
+}
+
+void Worker::ReapTaskThreads(bool all) {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    if (all) to_join.swap(task_threads_);
+  }
+  for (auto& t : to_join)
+    if (t.joinable()) t.join();
+}
+
+}  // namespace vinelet::core

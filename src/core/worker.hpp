@@ -1,0 +1,101 @@
+// Worker: one compute node of the real runtime.
+//
+// A worker is a thread with an inbox, a local content-addressed cache
+// ("local disk"), an unpack registry, and a set of resident library
+// instances.  It executes stateless tasks (L1/L2), hosts libraries that
+// retain function contexts (L3), and serves peer transfers so contexts can
+// spread worker-to-worker (Fig 3b).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/library_runtime.hpp"
+#include "core/protocol.hpp"
+#include "core/resources.hpp"
+#include "core/unpack_registry.hpp"
+#include "net/network.hpp"
+#include "serde/function_registry.hpp"
+#include "storage/content_store.hpp"
+
+namespace vinelet::core {
+
+struct WorkerConfig {
+  WorkerId id = 1;
+  Resources resources{32, 64 * 1024, 64 * 1024};  // paper §4.2 worker shape
+  std::uint64_t cache_capacity_bytes = 0;         // 0 = unbounded
+  const serde::FunctionRegistry* registry = nullptr;  // default: Global()
+};
+
+class Worker {
+ public:
+  Worker(std::shared_ptr<net::Network> network, WorkerConfig config);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Registers the endpoint, announces itself to the manager (Hello), and
+  /// starts the inbox loop.
+  Status Start();
+
+  /// Graceful shutdown: Goodbye, stop libraries, join everything.
+  void Stop();
+
+  /// Simulated crash: vanish without a Goodbye.  The manager learns of the
+  /// death when its next send fails, exactly like a TCP reset.
+  void Kill();
+
+  WorkerId id() const noexcept { return config_.id; }
+  storage::ContentStore& store() noexcept { return store_; }
+  const storage::ContentStore& store() const noexcept { return store_; }
+  std::size_t libraries_hosted() const;
+  std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  void Handle(net::Frame frame);
+  void HandlePutFile(PutFileMsg msg);
+  void HandlePushFile(const PushFileMsg& msg);
+  void HandleExecuteTask(ExecuteTaskMsg msg, double decode_s);
+  void HandleInstallLibrary(InstallLibraryMsg msg, double decode_s);
+  void HandleRemoveLibrary(const RemoveLibraryMsg& msg);
+  void HandleRunInvocation(RunInvocationMsg msg);
+
+  /// Runs a stateless task; executes on a task thread.
+  TaskDoneMsg ExecuteTask(const TaskSpec& task, double decode_s);
+
+  void SendToManager(const Message& message);
+  void ReapTaskThreads(bool all);
+
+  std::shared_ptr<net::Network> network_;
+  WorkerConfig config_;
+  const serde::FunctionRegistry* registry_;
+  storage::ContentStore store_;
+  UnpackRegistry unpacked_;
+  WallClock clock_;
+
+  std::shared_ptr<net::Inbox> inbox_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+
+  mutable std::mutex libraries_mu_;
+  std::map<LibraryInstanceId, std::unique_ptr<LibraryRuntime>> libraries_;
+  /// Instances whose setup failed: the failure callback runs on the
+  /// library's own thread, so it cannot destroy (join) itself; the corpse
+  /// is parked here and reaped at shutdown, after its thread has exited.
+  std::vector<std::unique_ptr<LibraryRuntime>> dead_libraries_;
+
+  std::mutex tasks_mu_;
+  std::vector<std::thread> task_threads_;
+};
+
+}  // namespace vinelet::core

@@ -1,0 +1,66 @@
+// AppFuture: the handle a DAG application holds for a pending invocation.
+//
+// Unlike core::OutcomeFuture (one remote execution), an AppFuture represents
+// a DAG node: it may still be waiting on upstream futures before its
+// invocation is even dispatched.  The parallel library "maintains a DAG of
+// function invocations ... and sends ready tasks to the execution engine"
+// (paper §1); AppFutures are the edges of that DAG.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/status.hpp"
+#include "serde/value.hpp"
+
+namespace vinelet::dag {
+
+using NodeId = std::uint64_t;
+
+class AppFuture {
+ public:
+  explicit AppFuture(NodeId node) : node_(node) {}
+
+  NodeId node() const noexcept { return node_; }
+
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return result_.has_value();
+  }
+
+  /// Blocks until the node (and transitively its dependencies) completes.
+  Result<serde::Value> Wait() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return result_.has_value(); });
+    return *result_;
+  }
+
+  std::optional<Result<serde::Value>> WaitFor(double timeout_s) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                      [&] { return result_.has_value(); }))
+      return std::nullopt;
+    return *result_;
+  }
+
+  /// Resolution entry point; called by the DagEngine only.
+  void Resolve(Result<serde::Value> result) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result_.has_value()) return;
+    result_.emplace(std::move(result));
+    cv_.notify_all();
+  }
+
+ private:
+  NodeId node_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::optional<Result<serde::Value>> result_;
+};
+
+using AppFuturePtr = std::shared_ptr<AppFuture>;
+
+}  // namespace vinelet::dag

@@ -1,0 +1,203 @@
+#include "dag/dag_engine.hpp"
+
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace vinelet::dag {
+
+DagEngine::DagEngine(Executor* executor) : executor_(executor) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+DagEngine::~DagEngine() {
+  events_.Close();
+  if (thread_.joinable()) thread_.join();
+  // Anything still unresolved is cancelled so waiters wake up.
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  for (auto& [_, node] : nodes_) {
+    if (!node->future->Ready())
+      node->future->Resolve(CancelledError("dag engine destroyed"));
+  }
+  std::lock_guard<std::mutex> wait_lock(wait_mu_);
+  outstanding_ = 0;
+  wait_cv_.notify_all();
+}
+
+AppFuturePtr DagEngine::Submit(AppCall call, std::vector<Arg> args) {
+  const NodeId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto node = std::make_unique<Node>();
+  node->call = std::move(call);
+  node->args = std::move(args);
+  node->future = std::make_shared<AppFuture>(id);
+  AppFuturePtr future = node->future;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes_.emplace(id, std::move(node));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    ++outstanding_;
+  }
+  nodes_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!events_.Send(SubmitEvent{id})) {
+    future->Resolve(CancelledError("dag engine stopped"));
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    if (outstanding_ > 0) --outstanding_;
+    wait_cv_.notify_all();
+  }
+  return future;
+}
+
+void DagEngine::WaitAll() {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  wait_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void DagEngine::Run() {
+  while (auto event = events_.Recv()) {
+    std::visit(
+        [&](auto&& e) {
+          using T = std::decay_t<decltype(e)>;
+          if constexpr (std::is_same_v<T, SubmitEvent>) {
+            ProcessSubmit(e.id);
+          } else if constexpr (std::is_same_v<T, ExecDoneEvent>) {
+            ProcessExecDone(e.id, e.outcome);
+          }
+        },
+        std::move(*event));
+  }
+}
+
+void DagEngine::ProcessSubmit(NodeId id) {
+  Node* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;
+    node = it->second.get();
+  }
+  // Wire dependencies: a future arg either already has a value, or we hook
+  // this node onto its producer's dependents list.
+  for (const Arg& arg : node->args) {
+    const auto* dep_future = std::get_if<AppFuturePtr>(&arg);
+    if (dep_future == nullptr) continue;
+    Node* producer = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(nodes_mu_);
+      auto it = nodes_.find((*dep_future)->node());
+      if (it != nodes_.end()) producer = it->second.get();
+    }
+    if (producer == nullptr) {
+      ResolveNode(id, InvalidArgumentError(
+                          "dependency future from a different engine"));
+      return;
+    }
+    if ((*dep_future)->Ready()) {
+      auto dep_result = (*dep_future)->Wait();  // non-blocking: ready
+      if (!dep_result.ok()) {
+        ResolveNode(id, CancelledError("dependency failed: " +
+                                       dep_result.status().ToString()));
+        return;
+      }
+      continue;  // value available; nothing pending
+    }
+    producer->dependents.push_back(id);
+    ++node->pending_deps;
+  }
+  if (node->pending_deps == 0) Dispatch(*node);
+}
+
+void DagEngine::Dispatch(Node& node) {
+  if (node.dispatched || node.failed) return;
+  node.dispatched = true;
+
+  // Materialize arguments: every future arg is resolved by now.
+  serde::ValueList materialized;
+  materialized.reserve(node.args.size());
+  for (const Arg& arg : node.args) {
+    if (const auto* value = std::get_if<serde::Value>(&arg)) {
+      materialized.push_back(*value);
+    } else {
+      auto dep_result = std::get<AppFuturePtr>(arg)->Wait();  // ready
+      if (!dep_result.ok()) {
+        ResolveNode(node.future->node(),
+                    CancelledError("dependency failed: " +
+                                   dep_result.status().ToString()));
+        return;
+      }
+      materialized.push_back(std::move(*dep_result));
+    }
+  }
+
+  const NodeId id = node.future->node();
+  core::FuturePtr exec_future =
+      executor_->Execute(node.call, serde::Value(std::move(materialized)));
+  exec_future->OnReady([this, id](const Result<core::Outcome>& outcome) {
+    // Executes on the manager thread; hop back onto the engine thread.
+    if (!events_.Send(ExecDoneEvent{id, outcome})) {
+      // Engine is shutting down; the destructor cancels the node.
+    }
+  });
+}
+
+void DagEngine::ProcessExecDone(NodeId id,
+                                const Result<core::Outcome>& outcome) {
+  if (outcome.ok()) {
+    ResolveNode(id, outcome.value().value);
+  } else {
+    ResolveNode(id, outcome.status());
+  }
+}
+
+void DagEngine::ResolveNode(NodeId id, Result<serde::Value> result) {
+  // Iterative resolution: a failure cancels the whole downstream cone.
+  std::deque<std::pair<NodeId, Result<serde::Value>>> work;
+  work.emplace_back(id, std::move(result));
+  while (!work.empty()) {
+    auto [node_id, node_result] = std::move(work.front());
+    work.pop_front();
+
+    Node* node = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(nodes_mu_);
+      auto it = nodes_.find(node_id);
+      if (it == nodes_.end()) continue;
+      node = it->second.get();
+    }
+    if (node->future->Ready()) continue;  // already resolved (cancelled)
+    const bool ok = node_result.ok();
+    Status failure = node_result.status();
+    node->failed = !ok;
+    // Counters update before the future resolves so a waiter that wakes on
+    // Resolve observes a consistent completed count.
+    nodes_completed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      if (outstanding_ > 0) --outstanding_;
+      wait_cv_.notify_all();
+    }
+    node->future->Resolve(std::move(node_result));
+
+    for (NodeId dependent_id : node->dependents) {
+      Node* dependent = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(nodes_mu_);
+        auto it = nodes_.find(dependent_id);
+        if (it != nodes_.end()) dependent = it->second.get();
+      }
+      if (dependent == nullptr || dependent->failed) continue;
+      if (!ok) {
+        work.emplace_back(
+            dependent_id,
+            Result<serde::Value>(CancelledError("dependency failed: " +
+                                                failure.ToString())));
+        continue;
+      }
+      if (dependent->pending_deps > 0 && --dependent->pending_deps == 0)
+        Dispatch(*dependent);
+    }
+  }
+}
+
+}  // namespace vinelet::dag

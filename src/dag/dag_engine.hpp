@@ -1,0 +1,95 @@
+// DagEngine: a miniature Parsl.
+//
+// Applications submit function calls whose arguments may be AppFutures from
+// earlier calls; the engine tracks the resulting DAG, dispatches a node to
+// the Executor the moment its dependencies resolve, and fans completions out
+// to dependents.  Purely event-driven: completions arrive via
+// OutcomeFuture::OnReady callbacks and are serialized through one internal
+// channel, so engine state needs no locking beyond that queue.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/channel.hpp"
+#include "dag/app_future.hpp"
+#include "dag/executor.hpp"
+
+namespace vinelet::dag {
+
+/// A call argument: an immediate value or the future of an earlier call.
+using Arg = std::variant<serde::Value, AppFuturePtr>;
+
+class DagEngine {
+ public:
+  explicit DagEngine(Executor* executor);
+  ~DagEngine();
+
+  DagEngine(const DagEngine&) = delete;
+  DagEngine& operator=(const DagEngine&) = delete;
+
+  /// Submits a call whose arguments may include futures.  The function
+  /// eventually receives a Value::List of the materialized arguments.
+  /// If any dependency fails, the node fails with kCancelled without
+  /// dispatching (failure propagates down the DAG, as in Parsl).
+  AppFuturePtr Submit(AppCall call, std::vector<Arg> args);
+
+  /// Blocks until every node submitted so far has resolved.
+  void WaitAll();
+
+  std::uint64_t nodes_submitted() const noexcept {
+    return nodes_submitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t nodes_completed() const noexcept {
+    return nodes_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    AppCall call;
+    std::vector<Arg> args;
+    AppFuturePtr future;
+    std::size_t pending_deps = 0;
+    std::vector<NodeId> dependents;
+    bool dispatched = false;
+    bool failed = false;
+  };
+
+  struct SubmitEvent {
+    NodeId id = 0;
+  };
+  struct DepDoneEvent {
+    NodeId id = 0;  // the completed node
+  };
+  struct ExecDoneEvent {
+    NodeId id = 0;
+    Result<core::Outcome> outcome{Status()};
+  };
+  using Event = std::variant<SubmitEvent, ExecDoneEvent>;
+
+  void Run();
+  void ProcessSubmit(NodeId id);
+  void ProcessExecDone(NodeId id, const Result<core::Outcome>& outcome);
+  void Dispatch(Node& node);
+  void ResolveNode(NodeId id, Result<serde::Value> result);
+
+  Executor* executor_;
+  Channel<Event> events_;
+  std::thread thread_;
+
+  std::mutex nodes_mu_;  // guards nodes_ map shape (Submit vs engine thread)
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> nodes_submitted_{0};
+  std::atomic<std::uint64_t> nodes_completed_{0};
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  std::uint64_t outstanding_ = 0;
+};
+
+}  // namespace vinelet::dag

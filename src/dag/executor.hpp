@@ -1,0 +1,59 @@
+// Executor boundary between the parallel library (DAG layer) and the
+// execution engine.
+//
+// VineletExecutor is the analog of the paper's Parsl-TaskVineExecutor
+// (§3.6): "it receives an arbitrary stream of function invocations ...
+// packages the invocation into either a TaskVine Task or FunctionCall,
+// executes it, and returns the result."  An AppCall routes to
+// Manager::SubmitCall when it names an installed library (invocation mode),
+// or Manager::SubmitTask otherwise (task mode), so the same DAG application
+// can run at any context-reuse level by flipping its AppCalls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/future.hpp"
+#include "core/manager.hpp"
+#include "core/resources.hpp"
+#include "serde/value.hpp"
+#include "storage/file_decl.hpp"
+
+namespace vinelet::dag {
+
+/// One invocation request from the DAG layer.
+struct AppCall {
+  /// Library to invoke against; empty = execute as a stateless task.
+  std::string library;
+  std::string function;
+
+  /// Task mode only: input files and resources for the wrapped task.
+  std::vector<storage::FileDecl> task_inputs;
+  core::Resources task_resources{1, 1024, 1024};
+};
+
+/// Anything that can execute a fully-materialized invocation.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual core::FuturePtr Execute(const AppCall& call,
+                                  const serde::Value& args) = 0;
+};
+
+class VineletExecutor final : public Executor {
+ public:
+  explicit VineletExecutor(core::Manager* manager) : manager_(manager) {}
+
+  core::FuturePtr Execute(const AppCall& call,
+                          const serde::Value& args) override {
+    if (!call.library.empty())
+      return manager_->SubmitCall(call.library, call.function, args);
+    return manager_->SubmitTask(call.function, args, call.task_inputs,
+                                call.task_resources);
+  }
+
+ private:
+  core::Manager* manager_;
+};
+
+}  // namespace vinelet::dag

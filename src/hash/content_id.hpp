@@ -1,0 +1,74 @@
+// ContentId: the unique, content-derived identity of a transferable blob.
+//
+// The paper requires transferable data to be "uniquely identified and
+// read-only, otherwise data corruption can silently happen" (§2.2.2); a
+// ContentId is the SHA-256 of the payload, so two files with the same bytes
+// are the same file everywhere in the system.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "hash/sha256.hpp"
+
+namespace vinelet::hash {
+
+class ContentId {
+ public:
+  ContentId() = default;  // all-zero: "no content"
+
+  static ContentId Of(const Blob& blob) {
+    return ContentId(Sha256::Hash(blob.span()));
+  }
+  static ContentId Of(const ByteBuffer& buffer) {
+    return ContentId(Sha256::Hash(buffer.span()));
+  }
+  static ContentId OfText(std::string_view text) {
+    return ContentId(Sha256::Hash(text));
+  }
+
+  /// Rebuilds an id from a digest received off the wire (already computed
+  /// by the sender; receivers re-verify payloads against it on Put).
+  static ContentId FromDigest(const Sha256::Digest& digest) {
+    return ContentId(digest);
+  }
+
+  const Sha256::Digest& digest() const noexcept { return digest_; }
+
+  /// Full 64-char hex form.
+  std::string ToHex() const { return Sha256::ToHex(digest_); }
+
+  /// 12-char prefix used in log lines and cache filenames.
+  std::string ShortHex() const { return ToHex().substr(0, 12); }
+
+  /// First 8 bytes as an integer, handy for hashing into rings/maps.
+  std::uint64_t Prefix64() const noexcept {
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) out = (out << 8) | digest_[i];
+    return out;
+  }
+
+  bool IsZero() const noexcept {
+    for (auto byte : digest_)
+      if (byte != 0) return false;
+    return true;
+  }
+
+  friend auto operator<=>(const ContentId&, const ContentId&) = default;
+
+ private:
+  explicit ContentId(const Sha256::Digest& digest) : digest_(digest) {}
+  Sha256::Digest digest_{};
+};
+
+}  // namespace vinelet::hash
+
+template <>
+struct std::hash<vinelet::hash::ContentId> {
+  std::size_t operator()(const vinelet::hash::ContentId& id) const noexcept {
+    return static_cast<std::size_t>(id.Prefix64());
+  }
+};

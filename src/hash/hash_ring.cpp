@@ -1,0 +1,84 @@
+#include "hash/hash_ring.hpp"
+
+#include "hash/sha256.hpp"
+
+namespace vinelet::hash {
+
+std::uint64_t HashRing::Mix(std::uint64_t member_id, unsigned replica) {
+  // SplitMix64-style finalizer over (member, replica); avalanche quality
+  // matters for ring balance, tested in hash_ring_test.
+  std::uint64_t x = member_id * 0x9E3779B97F4A7C15ull + replica;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void HashRing::Add(std::uint64_t member_id) {
+  if (members_.contains(member_id)) return;
+  members_[member_id] = vnodes_;
+  for (unsigned r = 0; r < vnodes_; ++r) {
+    // First writer wins on (vanishingly unlikely) point collisions; Remove
+    // only erases points it owns.
+    ring_.emplace(Mix(member_id, r), member_id);
+  }
+}
+
+void HashRing::Remove(std::uint64_t member_id) {
+  auto it = members_.find(member_id);
+  if (it == members_.end()) return;
+  for (unsigned r = 0; r < it->second; ++r) {
+    auto point = ring_.find(Mix(member_id, r));
+    if (point != ring_.end() && point->second == member_id) ring_.erase(point);
+  }
+  members_.erase(it);
+}
+
+bool HashRing::Contains(std::uint64_t member_id) const {
+  return members_.contains(member_id);
+}
+
+std::optional<std::uint64_t> HashRing::Owner(std::uint64_t key) const {
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(Mix(key, 0x5EEDu));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::optional<std::uint64_t> HashRing::Owner(const std::string& key) const {
+  Sha256::Digest digest = Sha256::Hash(key);
+  std::uint64_t prefix = 0;
+  for (int i = 0; i < 8; ++i) prefix = (prefix << 8) | digest[i];
+  return Owner(prefix);
+}
+
+std::vector<std::uint64_t> HashRing::WalkFrom(std::uint64_t key) const {
+  std::vector<std::uint64_t> order;
+  order.reserve(members_.size());
+  if (ring_.empty()) return order;
+  auto it = ring_.lower_bound(Mix(key, 0x5EEDu));
+  const std::size_t total = ring_.size();
+  for (std::size_t seen = 0; seen < total && order.size() < members_.size();
+       ++seen) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::uint64_t member = it->second;
+    bool duplicate = false;
+    for (auto existing : order) {
+      if (existing == member) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) order.push_back(member);
+    ++it;
+  }
+  return order;
+}
+
+std::vector<std::uint64_t> HashRing::Members() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(members_.size());
+  for (const auto& [member, _] : members_) out.push_back(member);
+  return out;
+}
+
+}  // namespace vinelet::hash

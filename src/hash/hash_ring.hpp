@@ -1,0 +1,52 @@
+// Consistent hash ring over worker ids.
+//
+// The manager "sequentially checks a hash ring of connected workers"
+// (paper §3.5.2) when placing a library.  The ring gives two properties the
+// scheduler relies on: (1) a stable starting worker per function so repeated
+// scheduling of the same function clusters its libraries, and (2) minimal
+// reshuffling when workers join or leave mid-run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vinelet::hash {
+
+class HashRing {
+ public:
+  /// `vnodes` virtual nodes per member smooth the key distribution.
+  explicit HashRing(unsigned vnodes = 32) : vnodes_(vnodes) {}
+
+  /// Adds a member; no-op if already present.
+  void Add(std::uint64_t member_id);
+
+  /// Removes a member; no-op if absent.
+  void Remove(std::uint64_t member_id);
+
+  bool Contains(std::uint64_t member_id) const;
+  std::size_t size() const noexcept { return members_.size(); }
+  bool empty() const noexcept { return members_.empty(); }
+
+  /// The member owning `key`, or nullopt when the ring is empty.
+  std::optional<std::uint64_t> Owner(std::uint64_t key) const;
+  std::optional<std::uint64_t> Owner(const std::string& key) const;
+
+  /// Members in ring order starting at the owner of `key`, deduplicated —
+  /// the scheduler walks this sequence looking for a worker with capacity.
+  std::vector<std::uint64_t> WalkFrom(std::uint64_t key) const;
+
+  /// All member ids, sorted.
+  std::vector<std::uint64_t> Members() const;
+
+ private:
+  static std::uint64_t Mix(std::uint64_t member_id, unsigned replica);
+
+  unsigned vnodes_;
+  std::map<std::uint64_t, std::uint64_t> ring_;  // point -> member
+  std::map<std::uint64_t, unsigned> members_;    // member -> vnode count
+};
+
+}  // namespace vinelet::hash

@@ -1,0 +1,53 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Content addressing is load-bearing in vinelet: the distribution mechanism
+// requires every transferable file to be "uniquely identified and read-only"
+// (paper §2.2.2), and caches key blobs by the hash of their contents so that
+// identical environments submitted by different functions deduplicate.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace vinelet::hash {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { Reset(); }
+
+  void Reset() noexcept;
+  void Update(std::span<const std::uint8_t> data) noexcept;
+  void Update(std::string_view text) noexcept {
+    Update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  }
+
+  /// Finalizes and returns the digest.  The hasher must be Reset() before
+  /// further use.
+  Digest Finish() noexcept;
+
+  /// One-shot convenience.
+  static Digest Hash(std::span<const std::uint8_t> data) noexcept;
+  static Digest Hash(std::string_view text) noexcept;
+
+  /// Lowercase hex encoding of a digest.
+  static std::string ToHex(const Digest& digest);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace vinelet::hash

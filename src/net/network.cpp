@@ -1,0 +1,67 @@
+#include "net/network.hpp"
+
+namespace vinelet::net {
+
+Result<std::shared_ptr<Inbox>> Network::Register(EndpointId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = inboxes_.emplace(id, nullptr);
+  if (!inserted)
+    return AlreadyExistsError("endpoint already registered: " +
+                              std::to_string(id));
+  it->second = std::make_shared<Inbox>();
+  return it->second;
+}
+
+void Network::Unregister(EndpointId id) {
+  std::shared_ptr<Inbox> inbox;
+  std::function<void(EndpointId)> listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inboxes_.find(id);
+    if (it == inboxes_.end()) return;
+    inbox = std::move(it->second);
+    inboxes_.erase(it);
+    listener = disconnect_listener_;
+  }
+  inbox->Close();
+  if (listener) listener(id);
+}
+
+void Network::SetDisconnectListener(
+    std::function<void(EndpointId)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disconnect_listener_ = std::move(listener);
+}
+
+bool Network::Connected(EndpointId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inboxes_.contains(id);
+}
+
+Status Network::Send(EndpointId from, EndpointId to, Blob payload) {
+  std::shared_ptr<Inbox> inbox;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inboxes_.find(to);
+    if (it == inboxes_.end())
+      return NotFoundError("endpoint gone: " + std::to_string(to));
+    inbox = it->second;
+    ++frames_;
+    bytes_ += payload.size();
+  }
+  if (!inbox->Send(Frame{from, std::move(payload)}))
+    return UnavailableError("inbox closed: " + std::to_string(to));
+  return Status::Ok();
+}
+
+std::uint64_t Network::frames_delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_;
+}
+
+std::uint64_t Network::bytes_delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace vinelet::net

@@ -1,0 +1,75 @@
+// In-process message transport for the real runtime.
+//
+// The manager, every worker, and every library run as threads; the "network"
+// between them is a registry of endpoint inboxes.  All traffic is serialized
+// to bytes before it crosses an inbox — nothing structured is shared between
+// threads — so the runtime exercises the same encode/transfer/decode path a
+// real deployment would, and the protocol layer above can be tested against
+// corrupt or truncated frames.
+//
+// Endpoint 0 is reserved for the manager; workers get ids from 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/channel.hpp"
+#include "common/status.hpp"
+
+namespace vinelet::net {
+
+using EndpointId = std::uint64_t;
+constexpr EndpointId kManagerEndpoint = 0;
+
+/// One delivered message: who sent it and the serialized payload.
+struct Frame {
+  EndpointId sender = 0;
+  Blob payload;
+};
+
+using Inbox = Channel<Frame>;
+
+/// Registry of live endpoints.  Threads hold a shared_ptr to the Network;
+/// inboxes are shared_ptrs so a frame in flight to a departing endpoint
+/// never dangles.
+class Network {
+ public:
+  /// Creates an endpoint and returns its inbox.  Fails if the id is taken.
+  Result<std::shared_ptr<Inbox>> Register(EndpointId id);
+
+  /// Removes an endpoint; its inbox is closed so readers drain and exit.
+  /// Fires the disconnect listener (the analog of a peer observing the TCP
+  /// connection reset), so the manager learns of abrupt departures even
+  /// when no Goodbye was sent.
+  void Unregister(EndpointId id);
+
+  /// Registers a callback invoked (from the unregistering thread) whenever
+  /// an endpoint disappears.  Pass nullptr to clear.  The callee must be
+  /// thread-safe and must not call back into the Network.
+  void SetDisconnectListener(std::function<void(EndpointId)> listener);
+
+  bool Connected(EndpointId id) const;
+
+  /// Delivers `payload` to `to`.  kNotFound if the endpoint is gone,
+  /// kUnavailable if its inbox is closed — both are expected during
+  /// worker churn and handled by the caller's fault path.
+  Status Send(EndpointId from, EndpointId to, Blob payload);
+
+  /// Total frames delivered (for tests and overhead accounting).
+  std::uint64_t frames_delivered() const;
+  /// Total payload bytes delivered.
+  std::uint64_t bytes_delivered() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<EndpointId, std::shared_ptr<Inbox>> inboxes_;
+  std::function<void(EndpointId)> disconnect_listener_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace vinelet::net

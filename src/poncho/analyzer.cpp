@@ -1,0 +1,27 @@
+#include "poncho/analyzer.hpp"
+
+#include "poncho/packer.hpp"
+
+namespace vinelet::poncho {
+
+Result<AnalyzedEnvironment> Analyzer::AnalyzeFunctions(
+    const serde::FunctionRegistry& registry,
+    const std::vector<std::string>& function_names) const {
+  auto imports = registry.ImportsOf(function_names);
+  if (!imports.ok()) return imports.status();
+  return AnalyzeImports(*imports);
+}
+
+Result<AnalyzedEnvironment> Analyzer::AnalyzeImports(
+    const std::vector<std::string>& imports) const {
+  auto packages = catalog_.Resolve(imports);
+  if (!packages.ok()) return packages.status();
+
+  AnalyzedEnvironment out;
+  out.spec.packages = std::move(*packages);
+  out.tarball = Packer::PackEnvironment(out.spec);
+  out.tarball_id = hash::ContentId::Of(out.tarball);
+  return out;
+}
+
+}  // namespace vinelet::poncho

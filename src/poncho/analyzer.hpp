@@ -1,0 +1,50 @@
+// The Poncho analyzer: from function names to a packed environment.
+//
+// Models the paper's pipeline (§3.2, "Software dependencies"): TaskVine
+// extracts the functions' code, Poncho scans their ASTs for imported
+// modules, resolves them against a channel into a pinned Conda environment,
+// and conda-packs it into a tarball bound to the function context.  Here the
+// "AST scan" is the imports declared on registered FunctionDefs, resolution
+// happens against a PackageCatalog, and packing produces a Packer archive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "hash/content_id.hpp"
+#include "poncho/package.hpp"
+#include "serde/function_registry.hpp"
+
+namespace vinelet::poncho {
+
+/// A fully analyzed environment ready to attach to a function context.
+struct AnalyzedEnvironment {
+  EnvironmentSpec spec;
+  Blob tarball;
+  hash::ContentId tarball_id;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(PackageCatalog catalog) : catalog_(std::move(catalog)) {}
+
+  const PackageCatalog& catalog() const noexcept { return catalog_; }
+
+  /// Scans `function_names` in `registry` (functions + their context
+  /// setups), resolves the union of their imports, and packs the result.
+  Result<AnalyzedEnvironment> AnalyzeFunctions(
+      const serde::FunctionRegistry& registry,
+      const std::vector<std::string>& function_names) const;
+
+  /// Resolves an explicit import list (the "user provides a specification"
+  /// path of §2.2.1).
+  Result<AnalyzedEnvironment> AnalyzeImports(
+      const std::vector<std::string>& imports) const;
+
+ private:
+  PackageCatalog catalog_;
+};
+
+}  // namespace vinelet::poncho

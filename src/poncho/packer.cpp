@@ -1,0 +1,116 @@
+#include "poncho/packer.hpp"
+
+#include "hash/sha256.hpp"
+#include "serde/archive.hpp"
+
+namespace vinelet::poncho {
+namespace {
+
+constexpr std::string_view kArchiveMagic = "VTAR1";
+
+enum class EntryKind : std::uint8_t {
+  kStored = 0,               // payload is the file content verbatim
+  kCompressedSynthetic = 1,  // payload is a seed; expand to unpacked size
+};
+
+}  // namespace
+
+Blob Packer::DeterministicBytes(const std::string& seed_name,
+                                std::uint64_t size) {
+  ByteBuffer out;
+  out.Reserve(static_cast<std::size_t>(size));
+  hash::Sha256::Digest block = hash::Sha256::Hash(seed_name);
+  while (out.size() < size) {
+    const std::size_t take =
+        std::min<std::size_t>(block.size(), static_cast<std::size_t>(size) - out.size());
+    out.Append(std::span<const std::uint8_t>(block.data(), take));
+    block = hash::Sha256::Hash(
+        std::span<const std::uint8_t>(block.data(), block.size()));
+  }
+  return Blob(std::move(out));
+}
+
+Blob Packer::PackEnvironment(const EnvironmentSpec& spec) {
+  serde::ArchiveWriter writer;
+  writer.WriteString(std::string(kArchiveMagic));
+  writer.WriteU64(spec.packages.size());
+  for (const auto& pkg : spec.packages) {
+    writer.WriteString(pkg.name + "-" + pkg.version);
+    writer.WriteU8(static_cast<std::uint8_t>(EntryKind::kCompressedSynthetic));
+    writer.WriteU64(pkg.unpacked_bytes);
+    const Blob payload =
+        DeterministicBytes(pkg.name + "=" + pkg.version, pkg.packed_bytes);
+    writer.WriteBytes(payload.span());
+  }
+  return std::move(writer).ToBlob();
+}
+
+Blob Packer::PackFiles(
+    const std::vector<std::pair<std::string, Blob>>& files) {
+  serde::ArchiveWriter writer;
+  writer.WriteString(std::string(kArchiveMagic));
+  writer.WriteU64(files.size());
+  for (const auto& [name, payload] : files) {
+    writer.WriteString(name);
+    writer.WriteU8(static_cast<std::uint8_t>(EntryKind::kStored));
+    writer.WriteU64(payload.size());
+    writer.WriteBytes(payload.span());
+  }
+  return std::move(writer).ToBlob();
+}
+
+Result<UnpackedDir> Packer::Unpack(const Blob& archive) {
+  serde::ArchiveReader reader(archive);
+  auto magic = reader.ReadString();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kArchiveMagic) return DataLossError("bad archive magic");
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+
+  UnpackedDir dir;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto name = reader.ReadString();
+    if (!name.ok()) return name.status();
+    auto kind = reader.ReadU8();
+    if (!kind.ok()) return kind.status();
+    auto unpacked_size = reader.ReadU64();
+    if (!unpacked_size.ok()) return unpacked_size.status();
+    auto payload = reader.ReadBytes();
+    if (!payload.ok()) return payload.status();
+
+    switch (static_cast<EntryKind>(*kind)) {
+      case EntryKind::kStored: {
+        if (payload->size() != *unpacked_size)
+          return DataLossError("stored entry size mismatch: " + *name);
+        Blob blob(std::move(*payload));
+        dir.total_bytes += blob.size();
+        dir.files.emplace(std::move(*name), std::move(blob));
+        break;
+      }
+      case EntryKind::kCompressedSynthetic: {
+        // "Decompress": regenerate the installed bytes from the payload
+        // seed.  Hash-chaining over the whole output is the CPU cost.
+        Blob blob = DeterministicBytes(*name + ":unpacked", *unpacked_size);
+        dir.total_bytes += blob.size();
+        dir.files.emplace(std::move(*name), std::move(blob));
+        break;
+      }
+      default:
+        return DataLossError("unknown archive entry kind");
+    }
+  }
+  if (!reader.AtEnd()) return DataLossError("trailing bytes in archive");
+  return dir;
+}
+
+Result<std::size_t> Packer::CountEntries(const Blob& archive) {
+  serde::ArchiveReader reader(archive);
+  auto magic = reader.ReadString();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kArchiveMagic) return DataLossError("bad archive magic");
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  return static_cast<std::size_t>(*count);
+}
+
+}  // namespace vinelet::poncho

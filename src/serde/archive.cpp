@@ -1,0 +1,108 @@
+#include "serde/archive.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace vinelet::serde {
+
+void ArchiveWriter::WriteU8(std::uint8_t value) { buffer_.AppendByte(value); }
+
+void ArchiveWriter::WriteU32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    buffer_.AppendByte(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void ArchiveWriter::WriteU64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    buffer_.AppendByte(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void ArchiveWriter::WriteI64(std::int64_t value) {
+  WriteU64(std::bit_cast<std::uint64_t>(value));
+}
+
+void ArchiveWriter::WriteF64(double value) {
+  WriteU64(std::bit_cast<std::uint64_t>(value));
+}
+
+void ArchiveWriter::WriteString(std::string_view text) {
+  WriteU64(text.size());
+  buffer_.Append(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+void ArchiveWriter::WriteBytes(std::span<const std::uint8_t> bytes) {
+  WriteU64(bytes.size());
+  buffer_.Append(bytes);
+}
+
+Status ArchiveReader::Need(std::size_t bytes) const {
+  if (pos_ + bytes > data_.size()) {
+    return DataLossError("archive truncated: need " + std::to_string(bytes) +
+                         " bytes at offset " + std::to_string(pos_) +
+                         ", have " + std::to_string(data_.size() - pos_));
+  }
+  return Status::Ok();
+}
+
+Result<std::uint8_t> ArchiveReader::ReadU8() {
+  VINELET_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<std::uint32_t> ArchiveReader::ReadU32() {
+  VINELET_RETURN_IF_ERROR(Need(4));
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return value;
+}
+
+Result<std::uint64_t> ArchiveReader::ReadU64() {
+  VINELET_RETURN_IF_ERROR(Need(8));
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return value;
+}
+
+Result<std::int64_t> ArchiveReader::ReadI64() {
+  auto raw = ReadU64();
+  if (!raw.ok()) return raw.status();
+  return std::bit_cast<std::int64_t>(*raw);
+}
+
+Result<double> ArchiveReader::ReadF64() {
+  auto raw = ReadU64();
+  if (!raw.ok()) return raw.status();
+  return std::bit_cast<double>(*raw);
+}
+
+Result<bool> ArchiveReader::ReadBool() {
+  auto raw = ReadU8();
+  if (!raw.ok()) return raw.status();
+  return *raw != 0;
+}
+
+Result<std::string> ArchiveReader::ReadString() {
+  auto len = ReadU64();
+  if (!len.ok()) return len.status();
+  VINELET_RETURN_IF_ERROR(Need(*len));
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> ArchiveReader::ReadBytes() {
+  auto len = ReadU64();
+  if (!len.ok()) return len.status();
+  VINELET_RETURN_IF_ERROR(Need(*len));
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+}  // namespace vinelet::serde

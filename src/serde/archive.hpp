@@ -1,0 +1,67 @@
+// Binary serialization archive.
+//
+// All wire payloads in vinelet (invocation arguments, results, protocol
+// messages, environment indices) are encoded with this archive: little-endian
+// fixed-width integers, length-prefixed byte strings, and varint-free framing
+// so that decoding cost is proportional to payload size.  Reads are fully
+// bounds-checked and return Status instead of throwing: malformed payloads
+// from a (simulated) faulty worker must surface as kDataLoss, not UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace vinelet::serde {
+
+/// Append-only encoder.
+class ArchiveWriter {
+ public:
+  void WriteU8(std::uint8_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteI64(std::int64_t value);
+  void WriteF64(double value);
+  void WriteBool(bool value) { WriteU8(value ? 1 : 0); }
+  void WriteString(std::string_view text);
+  void WriteBytes(std::span<const std::uint8_t> bytes);
+
+  const ByteBuffer& buffer() const noexcept { return buffer_; }
+  ByteBuffer&& TakeBuffer() noexcept { return std::move(buffer_); }
+  Blob ToBlob() && { return Blob(std::move(buffer_)); }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  ByteBuffer buffer_;
+};
+
+/// Bounds-checked decoder over a borrowed byte span.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ArchiveReader(const Blob& blob) : data_(blob.span()) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+  Result<std::vector<std::uint8_t>> ReadBytes();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool AtEnd() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  Status Need(std::size_t bytes) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vinelet::serde

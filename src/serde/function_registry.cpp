@@ -1,0 +1,165 @@
+#include "serde/function_registry.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "hash/sha256.hpp"
+#include "serde/archive.hpp"
+
+namespace vinelet::serde {
+namespace {
+const Blob kEmptyBlob;
+constexpr std::string_view kFunctionMagic = "VFN1";
+}  // namespace
+
+const Blob& InvocationEnv::File(const std::string& name) const {
+  if (files == nullptr) return kEmptyBlob;
+  auto it = files->find(name);
+  return it == files->end() ? kEmptyBlob : it->second;
+}
+
+bool InvocationEnv::HasFile(const std::string& name) const {
+  return files != nullptr && files->contains(name);
+}
+
+FunctionRegistry& FunctionRegistry::Global() {
+  static FunctionRegistry registry;
+  return registry;
+}
+
+Status FunctionRegistry::RegisterFunction(FunctionDef def) {
+  if (def.name.empty()) return InvalidArgumentError("function name empty");
+  if (!def.fn) return InvalidArgumentError("function body empty");
+  const std::string name = def.name;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [_, inserted] = functions_.emplace(name, std::move(def));
+  if (!inserted)
+    return AlreadyExistsError("function already registered: " + name);
+  return Status::Ok();
+}
+
+Status FunctionRegistry::RegisterSetup(ContextSetupDef def) {
+  if (def.name.empty()) return InvalidArgumentError("setup name empty");
+  if (!def.fn) return InvalidArgumentError("setup body empty");
+  const std::string name = def.name;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [_, inserted] = setups_.emplace(name, std::move(def));
+  if (!inserted)
+    return AlreadyExistsError("setup already registered: " + name);
+  return Status::Ok();
+}
+
+Result<FunctionDef> FunctionRegistry::FindFunction(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = functions_.find(name);
+  if (it == functions_.end())
+    return NotFoundError("function not registered: " + name);
+  return it->second;
+}
+
+Result<ContextSetupDef> FunctionRegistry::FindSetup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = setups_.find(name);
+  if (it == setups_.end())
+    return NotFoundError("setup not registered: " + name);
+  return it->second;
+}
+
+bool FunctionRegistry::HasFunction(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return functions_.contains(name);
+}
+
+std::vector<std::string> FunctionRegistry::FunctionNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, _] : functions_) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<std::string>> FunctionRegistry::ImportsOf(
+    const std::vector<std::string>& names) const {
+  std::set<std::string> imports;
+  std::set<std::string> setups_seen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& name : names) {
+      auto it = functions_.find(name);
+      if (it == functions_.end())
+        return NotFoundError("function not registered: " + name);
+      imports.insert(it->second.imports.begin(), it->second.imports.end());
+      if (!it->second.setup_name.empty())
+        setups_seen.insert(it->second.setup_name);
+    }
+    for (const auto& setup_name : setups_seen) {
+      auto it = setups_.find(setup_name);
+      if (it == setups_.end())
+        return NotFoundError("setup not registered: " + setup_name);
+      imports.insert(it->second.imports.begin(), it->second.imports.end());
+    }
+  }
+  return std::vector<std::string>(imports.begin(), imports.end());
+}
+
+Blob SerializedFunction::Serialize(const std::string& name,
+                                   const Value& closure,
+                                   std::size_t code_size) {
+  // Code payload: deterministic pseudo-bytes derived from the name, so the
+  // blob is content-addressable and reproducible across processes.
+  ByteBuffer code;
+  code.Reserve(code_size);
+  hash::Sha256::Digest seed = hash::Sha256::Hash(name);
+  std::size_t cursor = 0;
+  while (code.size() < code_size) {
+    code.AppendByte(seed[cursor % seed.size()]);
+    if (++cursor % seed.size() == 0) {
+      seed = hash::Sha256::Hash(
+          std::span<const std::uint8_t>(seed.data(), seed.size()));
+    }
+  }
+
+  ArchiveWriter writer;
+  writer.WriteString(std::string(kFunctionMagic));
+  writer.WriteString(name);
+  closure.Encode(writer);
+  writer.WriteBytes(code.span());
+  // Integrity checksum over everything so far; deserialization verifies it.
+  const auto digest = hash::Sha256::Hash(writer.buffer().span());
+  writer.WriteBytes(std::span<const std::uint8_t>(digest.data(), digest.size()));
+  return std::move(writer).ToBlob();
+}
+
+Result<SerializedFunction> SerializedFunction::Deserialize(const Blob& blob) {
+  ArchiveReader reader(blob);
+  auto magic = reader.ReadString();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kFunctionMagic)
+    return DataLossError("bad serialized-function magic");
+  auto name = reader.ReadString();
+  if (!name.ok()) return name.status();
+  auto closure = Value::Decode(reader);
+  if (!closure.ok()) return closure.status();
+  auto code = reader.ReadBytes();
+  if (!code.ok()) return code.status();
+
+  // Verify the checksum over the prefix (everything before the checksum).
+  const std::size_t prefix_len = blob.size() - reader.remaining();
+  auto checksum = reader.ReadBytes();
+  if (!checksum.ok()) return checksum.status();
+  const auto expected =
+      hash::Sha256::Hash(blob.span().subspan(0, prefix_len));
+  if (checksum->size() != expected.size() ||
+      !std::equal(checksum->begin(), checksum->end(), expected.begin()))
+    return DataLossError("serialized-function checksum mismatch");
+
+  SerializedFunction out;
+  out.name_ = std::move(*name);
+  out.closure_ = std::move(*closure);
+  out.code_size_ = code->size();
+  return out;
+}
+
+}  // namespace vinelet::serde

@@ -1,0 +1,152 @@
+// Functions as first-class, shippable objects.
+//
+// Python workflow systems ship functions either as extracted source code or
+// as a cloudpickle blob (paper §3.2, "Function code").  C++ cannot ship
+// machine code at runtime, so vinelet models both paths faithfully:
+//
+//  * the *named* path — the function is registered under a stable name in a
+//    registry compiled into both manager and worker, and only the name
+//    travels (the analog of shipping source that the worker "simply invokes
+//    by name");
+//  * the *serialized* path — a SerializedFunction blob carries the registry
+//    name, a captured closure Value (the analog of pickled cell variables),
+//    and the opaque code bytes, which the worker must parse and validate
+//    before the function is callable.  Lambdas-with-captures map onto this.
+//
+// A function may name a companion *context setup* function (paper Fig 4)
+// whose job is to build the reusable in-memory environment once per library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "serde/value.hpp"
+
+namespace vinelet::serde {
+
+/// Opaque in-memory environment built by a context-setup function and
+/// retained by a library between invocations (the paper's "reusable function
+/// context" materialized in memory).
+class FunctionContext {
+ public:
+  virtual ~FunctionContext() = default;
+
+  /// Bytes of worker memory this context occupies while retained; the worker
+  /// accounts for it (paper §2.1.3: "a worker must be able to account for
+  /// such resource occupation").
+  virtual std::uint64_t MemoryBytes() const { return 0; }
+};
+
+using ContextHandle = std::shared_ptr<FunctionContext>;
+
+/// Everything a function body may touch besides its arguments.
+struct InvocationEnv {
+  /// Input files staged into the invocation's sandbox, keyed by the name
+  /// they were declared under (data-to-invocation binding, §2.2.1).
+  const std::map<std::string, Blob>* files = nullptr;
+
+  /// Retained context, or nullptr when running without one (L1/L2): the
+  /// function must then rebuild any state it needs from `files`.
+  FunctionContext* context = nullptr;
+
+  /// Captured closure for functions shipped via the serialized path;
+  /// Null for named functions.
+  const Value* closure = nullptr;
+
+  /// Invocation sandbox identifier (a directory in the real runtime).
+  std::string sandbox;
+
+  const Blob& File(const std::string& name) const;
+  bool HasFile(const std::string& name) const;
+};
+
+using FunctionFn =
+    std::function<Result<Value>(const Value& args, const InvocationEnv& env)>;
+
+/// Builds the retained context.  Runs once per library instance, on the
+/// worker, after input files have been staged.
+using ContextSetupFn = std::function<Result<ContextHandle>(
+    const Value& args, const InvocationEnv& env)>;
+
+/// A registered function: name, body, optional setup, declared imports.
+struct FunctionDef {
+  std::string name;
+  FunctionFn fn;
+
+  /// Name of the companion context-setup function ("" = none).
+  std::string setup_name;
+
+  /// Module names this function imports — the input to poncho's dependency
+  /// scan (the analog of walking the AST for import statements).
+  std::vector<std::string> imports;
+};
+
+struct ContextSetupDef {
+  std::string name;
+  ContextSetupFn fn;
+  std::vector<std::string> imports;
+};
+
+/// Thread-safe name → definition table, present on manager and workers alike
+/// (the "interpreter" both sides share).
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+  FunctionRegistry(const FunctionRegistry&) = delete;
+  FunctionRegistry& operator=(const FunctionRegistry&) = delete;
+
+  /// Process-wide registry used by the real runtime.
+  static FunctionRegistry& Global();
+
+  Status RegisterFunction(FunctionDef def);
+  Status RegisterSetup(ContextSetupDef def);
+
+  Result<FunctionDef> FindFunction(const std::string& name) const;
+  Result<ContextSetupDef> FindSetup(const std::string& name) const;
+  bool HasFunction(const std::string& name) const;
+
+  std::vector<std::string> FunctionNames() const;
+
+  /// Union of the imports of `names` (functions and their setups) — the
+  /// discover step's dependency set.
+  Result<std::vector<std::string>> ImportsOf(
+      const std::vector<std::string>& names) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, FunctionDef> functions_;
+  std::map<std::string, ContextSetupDef> setups_;
+};
+
+/// A function in transit: what the discover mechanism puts into the context
+/// package.  `code` is the opaque payload a worker must deserialize; its
+/// size models the pickled-code size.
+class SerializedFunction {
+ public:
+  /// Serializes a registered function with an optional captured closure.
+  /// `code_size` pads the code payload to model real pickled-function sizes.
+  static Blob Serialize(const std::string& name, const Value& closure = {},
+                        std::size_t code_size = 256);
+
+  /// Parses and validates a serialized-function blob (checksum verified, the
+  /// analog of unpickling raising on corrupt input).
+  static Result<SerializedFunction> Deserialize(const Blob& blob);
+
+  const std::string& name() const noexcept { return name_; }
+  const Value& closure() const noexcept { return closure_; }
+  std::size_t code_size() const noexcept { return code_size_; }
+
+ private:
+  std::string name_;
+  Value closure_;
+  std::size_t code_size_ = 0;
+};
+
+}  // namespace vinelet::serde

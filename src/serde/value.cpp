@@ -1,0 +1,197 @@
+#include "serde/value.hpp"
+
+#include <cstdio>
+
+namespace vinelet::serde {
+namespace {
+const Value kNullValue;
+}  // namespace
+
+const Value& Value::Get(const std::string& key) const {
+  if (type() != Type::kDict) return kNullValue;
+  const auto& dict = AsDict();
+  auto it = dict.find(key);
+  return it == dict.end() ? kNullValue : it->second;
+}
+
+Result<std::int64_t> Value::GetInt(const std::string& key) const {
+  const Value& v = Get(key);
+  if (v.type() != Type::kInt)
+    return DataLossError("missing int field '" + key + "'");
+  return v.AsInt();
+}
+
+Result<double> Value::GetNumber(const std::string& key) const {
+  const Value& v = Get(key);
+  if (v.type() != Type::kInt && v.type() != Type::kFloat)
+    return DataLossError("missing numeric field '" + key + "'");
+  return v.AsNumber();
+}
+
+Result<std::string> Value::GetString(const std::string& key) const {
+  const Value& v = Get(key);
+  if (v.type() != Type::kString)
+    return DataLossError("missing string field '" + key + "'");
+  return v.AsString();
+}
+
+void Value::Encode(ArchiveWriter& writer) const {
+  writer.WriteU8(static_cast<std::uint8_t>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kBool:
+      writer.WriteBool(AsBool());
+      break;
+    case Type::kInt:
+      writer.WriteI64(AsInt());
+      break;
+    case Type::kFloat:
+      writer.WriteF64(AsFloat());
+      break;
+    case Type::kString:
+      writer.WriteString(AsString());
+      break;
+    case Type::kBytes:
+      writer.WriteBytes(AsBytes().span());
+      break;
+    case Type::kList: {
+      const auto& list = AsList();
+      writer.WriteU64(list.size());
+      for (const auto& item : list) item.Encode(writer);
+      break;
+    }
+    case Type::kDict: {
+      const auto& dict = AsDict();
+      writer.WriteU64(dict.size());
+      for (const auto& [key, item] : dict) {
+        writer.WriteString(key);
+        item.Encode(writer);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> Value::Decode(ArchiveReader& reader) {
+  auto tag = reader.ReadU8();
+  if (!tag.ok()) return tag.status();
+  switch (static_cast<Type>(*tag)) {
+    case Type::kNull:
+      return Value();
+    case Type::kBool: {
+      auto v = reader.ReadBool();
+      if (!v.ok()) return v.status();
+      return Value(*v);
+    }
+    case Type::kInt: {
+      auto v = reader.ReadI64();
+      if (!v.ok()) return v.status();
+      return Value(*v);
+    }
+    case Type::kFloat: {
+      auto v = reader.ReadF64();
+      if (!v.ok()) return v.status();
+      return Value(*v);
+    }
+    case Type::kString: {
+      auto v = reader.ReadString();
+      if (!v.ok()) return v.status();
+      return Value(std::move(*v));
+    }
+    case Type::kBytes: {
+      auto v = reader.ReadBytes();
+      if (!v.ok()) return v.status();
+      return Value(Blob(std::move(*v)));
+    }
+    case Type::kList: {
+      auto count = reader.ReadU64();
+      if (!count.ok()) return count.status();
+      // Guard against hostile lengths larger than the remaining payload.
+      if (*count > reader.remaining())
+        return DataLossError("list length exceeds payload");
+      ValueList list;
+      list.reserve(static_cast<std::size_t>(*count));
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto item = Decode(reader);
+        if (!item.ok()) return item.status();
+        list.push_back(std::move(*item));
+      }
+      return Value(std::move(list));
+    }
+    case Type::kDict: {
+      auto count = reader.ReadU64();
+      if (!count.ok()) return count.status();
+      if (*count > reader.remaining())
+        return DataLossError("dict length exceeds payload");
+      ValueDict dict;
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto key = reader.ReadString();
+        if (!key.ok()) return key.status();
+        auto item = Decode(reader);
+        if (!item.ok()) return item.status();
+        dict.emplace(std::move(*key), std::move(*item));
+      }
+      return Value(std::move(dict));
+    }
+  }
+  return DataLossError("unknown value tag " + std::to_string(*tag));
+}
+
+Blob Value::ToBlob() const {
+  ArchiveWriter writer;
+  Encode(writer);
+  return std::move(writer).ToBlob();
+}
+
+Result<Value> Value::FromBlob(const Blob& blob) {
+  ArchiveReader reader(blob);
+  auto value = Decode(reader);
+  if (!value.ok()) return value.status();
+  if (!reader.AtEnd()) return DataLossError("trailing bytes after value");
+  return value;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return AsBool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(AsInt());
+    case Type::kFloat: {
+      char out[32];
+      std::snprintf(out, sizeof(out), "%g", AsFloat());
+      return out;
+    }
+    case Type::kString:
+      return "\"" + AsString() + "\"";
+    case Type::kBytes:
+      return "<" + std::to_string(AsBytes().size()) + " bytes>";
+    case Type::kList: {
+      std::string out = "[";
+      const auto& list = AsList();
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i) out += ", ";
+        out += list[i].ToString();
+      }
+      return out + "]";
+    }
+    case Type::kDict: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, item] : AsDict()) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"" + key + "\": " + item.ToString();
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) { return a.rep_ == b.rep_; }
+
+}  // namespace vinelet::serde

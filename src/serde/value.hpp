@@ -1,0 +1,104 @@
+// Value: a dynamically-typed datum, the argument/result type of every
+// function invocation.
+//
+// Vinelet functions are the C++ analog of the paper's Python functions:
+// invocations "only need to bring along the input arguments" (§2.1.4), and
+// those arguments must survive serialization across the (real or simulated)
+// network.  Value is the closed universe of what can cross the wire:
+// null, bool, int, float, string, bytes, list, dict.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "serde/archive.hpp"
+
+namespace vinelet::serde {
+
+class Value;
+
+using ValueList = std::vector<Value>;
+using ValueDict = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kFloat,
+    kString,
+    kBytes,
+    kList,
+    kDict,
+  };
+
+  Value() : rep_(std::monostate{}) {}
+  Value(bool b) : rep_(b) {}                      // NOLINT: implicit by design
+  Value(std::int64_t i) : rep_(i) {}              // NOLINT
+  Value(int i) : rep_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : rep_(d) {}                    // NOLINT
+  Value(std::string s) : rep_(std::move(s)) {}    // NOLINT
+  Value(const char* s) : rep_(std::string(s)) {}  // NOLINT
+  Value(Blob bytes) : rep_(std::move(bytes)) {}   // NOLINT
+  Value(ValueList list) : rep_(std::move(list)) {}  // NOLINT
+  Value(ValueDict dict) : rep_(std::move(dict)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+  static Value List(ValueList items = {}) { return Value(std::move(items)); }
+  static Value Dict(ValueDict items = {}) { return Value(std::move(items)); }
+
+  Type type() const noexcept { return static_cast<Type>(rep_.index()); }
+  bool is_null() const noexcept { return type() == Type::kNull; }
+
+  // Checked accessors: abort on type mismatch (programming error),
+  // mirroring std::get semantics.
+  bool AsBool() const { return std::get<bool>(rep_); }
+  std::int64_t AsInt() const { return std::get<std::int64_t>(rep_); }
+  double AsFloat() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const Blob& AsBytes() const { return std::get<Blob>(rep_); }
+  const ValueList& AsList() const { return std::get<ValueList>(rep_); }
+  ValueList& AsList() { return std::get<ValueList>(rep_); }
+  const ValueDict& AsDict() const { return std::get<ValueDict>(rep_); }
+  ValueDict& AsDict() { return std::get<ValueDict>(rep_); }
+
+  /// Int-or-float as double; aborts on other types.
+  double AsNumber() const {
+    if (type() == Type::kInt) return static_cast<double>(AsInt());
+    return AsFloat();
+  }
+
+  /// Dict lookup; returns Null for a missing key or non-dict value.
+  const Value& Get(const std::string& key) const;
+
+  /// Fallible typed dict lookups used when decoding wire payloads.
+  Result<std::int64_t> GetInt(const std::string& key) const;
+  Result<double> GetNumber(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+
+  void Encode(ArchiveWriter& writer) const;
+  static Result<Value> Decode(ArchiveReader& reader);
+
+  /// Serializes to a standalone blob / parses a standalone blob.
+  Blob ToBlob() const;
+  static Result<Value> FromBlob(const Blob& blob);
+
+  /// JSON-ish rendering for logs and reports (bytes shown as <N bytes>).
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Blob,
+               ValueList, ValueDict>
+      rep_;
+};
+
+}  // namespace vinelet::serde

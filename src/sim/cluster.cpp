@@ -1,0 +1,66 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+namespace vinelet::sim {
+
+std::vector<MachineGroup> PaperMachineGroups() {
+  return {
+      {"d32cepyc[001-070]", "AMD EPYC 7532 32-Core", 58, 4.4, 256},
+      {"d32cepyc[076-260]", "AMD EPYC 7543 32-Core", 117, 5.4, 256},
+      {"qa-a10-[001-022]", "Intel Xeon Gold 6326", 14, 1.9, 256},
+      {"qa-a40-[001-010]", "Intel Xeon Gold 6326", 7, 1.9, 256},
+      {"sa-rtx6ka-[001-005]", "Intel Xeon Silver 4316", 5, 1.9, 256},
+  };
+}
+
+std::vector<SimWorkerNode> SampleCluster(const ClusterConfig& config,
+                                         Rng& rng) {
+  const auto groups = PaperMachineGroups();
+  const double kBaselineGflops = groups[0].gflops;
+
+  // Group weights: explicit override or Table 3 machine counts.
+  std::vector<double> weights;
+  if (!config.group_fractions.empty()) {
+    weights = config.group_fractions;
+    weights.resize(groups.size(), 0.0);
+  } else {
+    for (const auto& group : groups)
+      weights.push_back(static_cast<double>(group.machines));
+  }
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+
+  // Deterministic proportional allocation (largest remainder), then a
+  // shuffled assignment so worker index does not correlate with group.
+  std::vector<std::size_t> counts(groups.size(), 0);
+  std::size_t assigned = 0;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const double exact =
+        static_cast<double>(config.num_workers) * weights[g] / total_weight;
+    counts[g] = static_cast<std::size_t>(exact);
+    assigned += counts[g];
+    remainders.emplace_back(exact - static_cast<double>(counts[g]), g);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (std::size_t i = 0; assigned < config.num_workers; ++i, ++assigned)
+    ++counts[remainders[i % remainders.size()].second];
+
+  std::vector<SimWorkerNode> workers;
+  workers.reserve(config.num_workers);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t i = 0; i < counts[g]; ++i) {
+      SimWorkerNode node;
+      node.group = g;
+      node.speed = groups[g].gflops / kBaselineGflops;
+      node.dram_gb = groups[g].dram_gb;
+      workers.push_back(node);
+    }
+  }
+  rng.Shuffle(workers);
+  for (std::size_t i = 0; i < workers.size(); ++i) workers[i].index = i;
+  return workers;
+}
+
+}  // namespace vinelet::sim

@@ -1,0 +1,63 @@
+// Cluster model: the paper's heterogeneous HTCondor pool (Table 3).
+//
+// Five machine groups with different CPU throughput (GFlops) and DRAM; all
+// have SATA SSDs and 10 Gb Ethernet.  A simulated run samples its workers
+// from the groups in the same proportion as the paper ("all experiments are
+// run with a similar proportion of machine groups"), and each worker's CPU
+// phases scale by its group's speed factor — this heterogeneity is what
+// spreads the L3 run-time histogram (Fig 7c / Table 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vinelet::sim {
+
+struct MachineGroup {
+  std::string name;
+  std::string cpu_model;
+  std::size_t machines = 0;
+  double gflops = 1.0;   // per-core throughput index from Table 3
+  std::uint64_t dram_gb = 256;
+};
+
+/// Table 3 of the paper, verbatim.
+std::vector<MachineGroup> PaperMachineGroups();
+
+struct SimWorkerNode {
+  std::size_t index = 0;
+  std::size_t group = 0;
+  /// CPU time multiplier relative to the baseline group (EPYC 7532,
+  /// 4.4 GFlops): exec_time = baseline_time / speed.
+  double speed = 1.0;
+  std::uint64_t dram_gb = 256;
+};
+
+struct ClusterConfig {
+  std::size_t num_workers = 150;
+  std::uint32_t cores_per_worker = 32;     // §4.2: 32 cores per worker
+  std::uint64_t worker_memory_gb = 64;     // §4.2
+  double worker_link_Bps = 1.25e9;         // 10 Gb/s Ethernet
+  double manager_link_Bps = 1.25e9;        // manager is on the same fabric
+  double local_disk_Bps = 550e6;           // SATA 6Gb/s SSD, realistic rate
+  double sharedfs_bandwidth_Bps = 10.5e9;  // Panasas: 84 Gb/s aggregate
+  double sharedfs_iops = 94000;            // Panasas: 94k read IOPS
+  /// Per-client streaming rate for the small-file-dominated read pattern of
+  /// environment loading (seek-bound, far below the 10 GbE line rate).
+  double sharedfs_per_stream_Bps = 40e6;
+
+  /// Fraction overrides for experiments that note a skewed sample, e.g.
+  /// "the run with L1 and 16 inferences uses 89% of group 2 machines".
+  /// Empty = Table 3 proportions.
+  std::vector<double> group_fractions;
+};
+
+/// Samples `config.num_workers` workers from the machine groups, in
+/// proportion (deterministic given the rng seed).
+std::vector<SimWorkerNode> SampleCluster(const ClusterConfig& config,
+                                         Rng& rng);
+
+}  // namespace vinelet::sim

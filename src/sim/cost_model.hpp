@@ -1,0 +1,114 @@
+// Cost model: the paper's measured constants, factored per reuse level.
+//
+// Calibration sources (all from the paper):
+//  * Table 2 — 1,000 trivial functions: remote-task ~0.19 s/invocation of
+//    manager+roundtrip work vs remote-invocation ~2.5 ms; ~20 s per-worker
+//    setup in both modes.
+//  * Table 5 — LNNI breakdown: 1.0 s context transfer (572 MB tarball over
+//    10 GbE), 15.4 s tarball unpack, 0.33-0.40 s per-invocation
+//    deserialization at L2, 2.73 s in-memory context setup (load weights +
+//    build model), ~0.5 ms L3 invocation overhead, ~2 s of per-invocation
+//    context rebuild that L2 repeats inside exec (5.05-5.47 s vs 3.08 s).
+//  * §4.2 — environment: 144 packages, 572 MB packed, 3.1 GB unpacked;
+//    LNNI invocations get 2 cores/4 GB (16 slots per worker), ExaMol 4
+//    cores/8 GB (8 slots).
+//
+// The manager dispatch/retrieve costs are the paper's implicit scaling
+// story: the single-threaded manager needs ~70 ms of work per stateless
+// task (serialize invocation to files, create the wrapper task, schedule)
+// but only ~2.5 ms per library invocation, which is why L1/L2 barely speed
+// up with more workers (Q3) while L3 saturates at 50.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace vinelet::sim {
+
+/// Manager-side serial work per execution, by level.
+struct ManagerCosts {
+  double dispatch_s = 0.0;  // package + deploy one task/invocation
+  double retrieve_s = 0.0;  // fetch + record one result
+};
+
+/// Per-invocation and per-context costs for one function class.
+/// All CPU times are at baseline machine speed (group 1, EPYC 7532) and are
+/// divided by the worker's speed factor.
+struct WorkloadCosts {
+  // ---- context shape --------------------------------------------------
+  double env_packed_bytes = 572.0 * 1024 * 1024;
+  double env_unpacked_bytes = 3.1 * 1024 * 1024 * 1024;
+  double unpack_cpu_s = 15.4;         // cold tarball expansion
+  double context_setup_cpu_s = 2.73;  // L3 library in-memory setup
+  double context_rebuild_cpu_s = 2.0; // rebuilt per invocation at L1/L2
+  double deserialize_s = 0.33;        // per-invocation object reconstruction (L1/L2)
+  double invocation_overhead_s = 0.001;  // L3: load arguments only
+
+  // ---- data movement per invocation ------------------------------------
+  // L1 pulls dependencies + data through the shared FS on every execution:
+  // ~600 MB of environment/weight pages at the seek-bound per-stream rate
+  // (~15 s per invocation -> Table 4's 21.6 s L1 mean), with aggregate
+  // demand riding near the Panasas' 84 Gb/s ceiling, which produces Fig 7a's
+  // spread and the Q3 finding that extra workers barely help L1.
+  double l1_fs_bytes = 600.0 * 1024 * 1024;
+  /// Per-invocation spread of the FS read volume (lognormal multiplier,
+  /// unit mean): page-cache luck and input-size variation.  This is the
+  /// source of L1's heavy tail (Table 4: std 34.78, max 289.72).
+  double l1_fs_bytes_sigma = 0.45;
+  double l1_fs_ops = 2500;  // metadata ops (import storms)
+  /// Latency-bound portion of the shared-FS access: per-file round trips
+  /// during cold imports that no amount of bandwidth hides (cf. the
+  /// "metadata storms" literature the paper cites).  Dominant for the
+  /// chemistry stack (ExaMol), negligible for LNNI's large sequential
+  /// weight reads.
+  double l1_fs_latency_s = 0.0;
+  double l2_local_bytes = 150.0 * 1024 * 1024;  // local-SSD reads (weights +
+                                                // uncached library pages)
+
+  // ---- compute ----------------------------------------------------------
+  double exec_cpu_s = 3.08;        // useful work per invocation
+  double exec_noise_sigma = 0.12;  // lognormal interference
+  double straggler_prob = 0.003;   // rare slow invocations (Fig 7 tails)
+  double straggler_factor = 3.5;
+
+  // Interference from co-located invocations on the same worker (memory
+  // bandwidth, page cache, GC...): phase time is multiplied by
+  // 1 + beta * (active-1)/(slots-1).  Context reconstruction (imports,
+  // weight loading) contends much harder than the compute kernel — this is
+  // what stretches the cluster-scale L1/L2 means (Table 4) beyond the
+  // uncontended single-invocation numbers (Table 5).
+  double contention_beta_context = 1.2;
+  double contention_beta_exec = 0.35;
+
+  // ---- manager costs per level -------------------------------------------
+  ManagerCosts manager_l1{0.070, 0.004};
+  ManagerCosts manager_l2{0.031, 0.004};
+  ManagerCosts manager_l3{0.0025, 0.001};
+
+  std::uint32_t cores_per_invocation = 2;
+
+  const ManagerCosts& ManagerFor(core::ReuseLevel level) const {
+    switch (level) {
+      case core::ReuseLevel::kL1: return manager_l1;
+      case core::ReuseLevel::kL2: return manager_l2;
+      case core::ReuseLevel::kL3: return manager_l3;
+    }
+    return manager_l3;
+  }
+};
+
+/// LNNI (ResNet50 inference, §4.1.1): `inferences` per invocation.
+/// 16 inferences take ~3.08 s at baseline (Table 5).
+WorkloadCosts LnniCosts(int inferences = 16);
+
+/// Table 2's trivial addition function: negligible exec, minimal context.
+WorkloadCosts TrivialFunctionCosts();
+
+/// ExaMol function classes (§4.1.2): PM7 simulation, model training,
+/// inference — quantum-chem environment, compute-heavy.
+WorkloadCosts ExamolSimulateCosts();
+WorkloadCosts ExamolTrainCosts();
+WorkloadCosts ExamolInferCosts();
+
+}  // namespace vinelet::sim

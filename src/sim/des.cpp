@@ -1,0 +1,34 @@
+#include "sim/des.hpp"
+
+#include <algorithm>
+
+namespace vinelet::sim {
+
+void Simulation::At(double time, EventFn fn) {
+  queue_.push(Event{std::max(time, now_), next_seq_++, std::move(fn)});
+}
+
+void Simulation::Run() {
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue requires const_cast of top(); copy the
+    // small fields and move the closure via a pop-then-run pattern instead.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+}
+
+void Simulation::RunUntil(double deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace vinelet::sim

@@ -1,0 +1,533 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vinelet::sim {
+
+std::string TraceToCsv(const std::vector<InvocationTrace>& trace) {
+  std::string out =
+      "invocation,worker,group,dispatched,started,finished,run_time\n";
+  char line[160];
+  for (const auto& t : trace) {
+    std::snprintf(line, sizeof(line), "%zu,%zu,%zu,%.6f,%.6f,%.6f,%.6f\n",
+                  t.invocation, t.worker, t.machine_group, t.dispatched,
+                  t.started, t.finished, t.finished - t.started);
+    out += line;
+  }
+  return out;
+}
+
+VineSim::VineSim(SimConfig config, std::vector<InvocationSpec> invocations)
+    : config_(config), invocations_(std::move(invocations)), rng_(config.seed) {
+  sharedfs_bw_ = std::make_unique<FairShareResource>(
+      &sim_, config_.cluster.sharedfs_bandwidth_Bps,
+      config_.cluster.sharedfs_per_stream_Bps);
+  sharedfs_iops_ =
+      std::make_unique<IopsBucket>(&sim_, config_.cluster.sharedfs_iops);
+  manager_uplink_ = std::make_unique<FairShareResource>(
+      &sim_, config_.cluster.manager_link_Bps);
+  manager_ = std::make_unique<SerialServer>(&sim_);
+
+  const auto nodes = SampleCluster(config_.cluster, rng_);
+  workers_.reserve(nodes.size());
+  const std::uint32_t cores_per_invocation =
+      invocations_.empty() ? 2 : invocations_.front().costs->cores_per_invocation;
+  const std::uint32_t slots =
+      std::max(1u, config_.cluster.cores_per_worker / cores_per_invocation);
+  for (const auto& node : nodes) {
+    SimWorker worker;
+    worker.node = node;
+    worker.slots = slots;
+    worker.free_slots = slots;
+    worker.disk = std::make_unique<FairShareResource>(
+        &sim_, config_.cluster.local_disk_Bps);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+SimResult VineSim::Run() {
+  for (std::size_t i = 0; i < invocations_.size(); ++i) pending_.push_back(i);
+  result_.run_times.reserve(invocations_.size());
+  if (config_.track_trace) {
+    dispatch_times_.assign(invocations_.size(), 0.0);
+    result_.trace.reserve(invocations_.size());
+  }
+  done_ = invocations_.empty();
+
+  if (config_.worker_mean_lifetime_s > 0.0 && !done_) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) ScheduleDeath(w);
+  }
+
+  sim_.After(0.0, [this] { PumpDispatch(); });
+  sim_.Run();
+
+  result_.manager_utilization =
+      result_.makespan > 0 ? manager_->utilization(result_.makespan) : 0.0;
+  return result_;
+}
+
+void VineSim::PumpDispatch() {
+  while (!pending_.empty()) {
+    // Round-robin over workers with a free slot (the manager's ring walk).
+    std::size_t chosen = workers_.size();
+    for (std::size_t step = 0; step < workers_.size(); ++step) {
+      const std::size_t w = (rr_cursor_ + step) % workers_.size();
+      if (workers_[w].alive && workers_[w].free_slots > 0) {
+        chosen = w;
+        rr_cursor_ = (w + 1) % workers_.size();
+        break;
+      }
+    }
+    if (chosen == workers_.size()) return;  // no capacity; resume on completion
+
+    const std::size_t invocation = pending_.front();
+    pending_.pop_front();
+    SimWorker& worker = workers_[chosen];
+    --worker.free_slots;
+    const std::uint64_t generation = worker.generation;
+
+    if (config_.track_trace) dispatch_times_[invocation] = sim_.Now();
+    const WorkloadCosts& costs = *invocations_[invocation].costs;
+    const double dispatch_s = costs.ManagerFor(config_.level).dispatch_s;
+    manager_->Enqueue(dispatch_s, [this, chosen, generation, invocation] {
+      StartOnWorker(chosen, generation, invocation);
+    });
+  }
+}
+
+bool VineSim::WorkerValid(std::size_t worker_index,
+                          std::uint64_t generation) const {
+  const SimWorker& worker = workers_[worker_index];
+  return worker.alive && worker.generation == generation;
+}
+
+void VineSim::StartOnWorker(std::size_t worker_index, std::uint64_t generation,
+                            std::size_t invocation) {
+  if (!WorkerValid(worker_index, generation)) {
+    Requeue(invocation);
+    return;
+  }
+  SimWorker& worker = workers_[worker_index];
+  ++worker.active;
+  const double started = sim_.Now();
+  switch (config_.level) {
+    case core::ReuseLevel::kL1:
+      RunL1(worker, invocation, started);
+      break;
+    case core::ReuseLevel::kL2:
+      RunL2(worker, invocation, started);
+      break;
+    case core::ReuseLevel::kL3:
+      RunL3(worker, invocation, started);
+      break;
+  }
+}
+
+double VineSim::Contention(const SimWorker& worker, double beta) const {
+  if (worker.slots <= 1 || worker.active <= 1) return 1.0;
+  const double co_located = static_cast<double>(worker.active - 1) /
+                            static_cast<double>(worker.slots - 1);
+  return 1.0 + beta * co_located;
+}
+
+double VineSim::ExecNoise(const WorkloadCosts& costs) {
+  double noise = rng_.LogNormal(0.0, costs.exec_noise_sigma);
+  if (costs.straggler_prob > 0.0 &&
+      rng_.NextDouble() < costs.straggler_prob) {
+    noise *= costs.straggler_factor;
+  }
+  return noise;
+}
+
+void VineSim::CpuPhase(const SimWorker& worker, double baseline_seconds,
+                       std::function<void()> done) {
+  sim_.After(baseline_seconds / worker.node.speed, std::move(done));
+}
+
+void VineSim::RunL1(SimWorker& worker, std::size_t invocation,
+                    double started) {
+  // Stateless task: metadata storm, shared-FS reads, then rebuild + exec —
+  // every single time (paper L1: "all tasks are instructed to pull all data
+  // and software dependencies from the shared file system").
+  const std::size_t worker_index = worker.node.index;
+  const std::uint64_t generation = worker.generation;
+  const WorkloadCosts& costs = *invocations_[invocation].costs;
+  const double exec_scale = invocations_[invocation].exec_scale;
+  // Per-invocation FS volume varies (page-cache luck, input sizes): the
+  // unit-mean lognormal multiplier produces L1's heavy tail.
+  const double fs_bytes =
+      costs.l1_fs_bytes *
+      rng_.LogNormal(-costs.l1_fs_bytes_sigma * costs.l1_fs_bytes_sigma / 2,
+                     costs.l1_fs_bytes_sigma);
+  // The latency-bound portion (per-file round trips) is not bandwidth-
+  // shareable; it simply elapses.
+  const double fs_latency =
+      costs.l1_fs_latency_s > 0
+          ? costs.l1_fs_latency_s * rng_.LogNormal(-0.02, 0.2)
+          : 0.0;
+  sharedfs_iops_->Acquire(
+      costs.l1_fs_ops,
+      [this, worker_index, generation, invocation, started, &costs,
+       exec_scale, fs_bytes, fs_latency] {
+        sim_.After(fs_latency, [this, worker_index, generation, invocation,
+                                started, &costs, exec_scale, fs_bytes] {
+        sharedfs_bw_->Transfer(
+            fs_bytes,
+            [this, worker_index, generation, invocation, started, &costs,
+             exec_scale] {
+              if (!WorkerValid(worker_index, generation)) {
+                Requeue(invocation);
+                return;
+              }
+              SimWorker& w = workers_[worker_index];
+              // CPU phase: rebuild the in-memory context, then execute;
+              // both stretched by co-located invocations.
+              const double cpu =
+                  (costs.deserialize_s + costs.context_rebuild_cpu_s) *
+                      Contention(w, costs.contention_beta_context) +
+                  costs.exec_cpu_s * exec_scale * ExecNoise(costs) *
+                      Contention(w, costs.contention_beta_exec);
+              CpuPhase(w, cpu,
+                       [this, worker_index, generation, invocation, started] {
+                         CompleteOnWorker(worker_index, generation, invocation,
+                                          started);
+                       });
+            });
+        });
+      });
+}
+
+void VineSim::RunL2(SimWorker& worker, std::size_t invocation,
+                    double started) {
+  // Stateful-on-disk task: environment fetched/unpacked once per worker;
+  // the invocation reads the context from local disk and rebuilds the
+  // in-memory state.
+  const std::size_t worker_index = worker.node.index;
+  const std::uint64_t generation = worker.generation;
+  const WorkloadCosts& costs = *invocations_[invocation].costs;
+  const double exec_scale = invocations_[invocation].exec_scale;
+  EnsureEnv(worker_index, generation, [this, worker_index, generation,
+                                       invocation, started, &costs,
+                                       exec_scale] {
+    if (!WorkerValid(worker_index, generation)) {
+      Requeue(invocation);
+      return;
+    }
+    workers_[worker_index].disk->Transfer(
+        costs.l2_local_bytes,
+        [this, worker_index, generation, invocation, started, &costs,
+         exec_scale] {
+          if (!WorkerValid(worker_index, generation)) {
+            Requeue(invocation);
+            return;
+          }
+          SimWorker& w = workers_[worker_index];
+          const double cpu =
+              (costs.deserialize_s + costs.context_rebuild_cpu_s) *
+                  Contention(w, costs.contention_beta_context) +
+              costs.exec_cpu_s * exec_scale * ExecNoise(costs) *
+                  Contention(w, costs.contention_beta_exec);
+          CpuPhase(w, cpu,
+                   [this, worker_index, generation, invocation, started] {
+                     CompleteOnWorker(worker_index, generation, invocation,
+                                      started);
+                   });
+        });
+  });
+}
+
+void VineSim::RunL3(SimWorker& worker, std::size_t invocation,
+                    double started) {
+  // Invocation against a resident library.  Libraries carry
+  // config_.library_slots invocation slots each; the paper's LNNI
+  // deployment uses 1, so a 16-slot worker hosts up to 16 instances
+  // (Fig 10).  A free library slot serves the invocation immediately;
+  // otherwise a new instance is deployed if the worker has room
+  // (environment shared per worker, in-memory setup per instance), and
+  // failing that the invocation waits for an instance mid-setup.
+  ServeL3(worker.node.index, worker.generation, invocation, started);
+}
+
+void VineSim::DrainLibraryWaiters(SimWorker& worker) {
+  while (worker.library_free_slots > 0 && !worker.library_waiters.empty()) {
+    auto waiter = std::move(worker.library_waiters.front());
+    worker.library_waiters.erase(worker.library_waiters.begin());
+    waiter();
+  }
+}
+
+void VineSim::ServeL3(std::size_t worker_index, std::uint64_t generation,
+                      std::size_t invocation, double started) {
+  if (!WorkerValid(worker_index, generation)) {
+    Requeue(invocation);
+    return;
+  }
+  SimWorker& w = workers_[worker_index];
+  if (w.library_free_slots > 0) {
+    --w.library_free_slots;
+    RunL3Invocation(worker_index, generation, invocation, started);
+    return;
+  }
+  const std::uint32_t k = std::max(1u, config_.library_slots);
+  const WorkloadCosts& costs = *invocations_[invocation].costs;
+  if ((w.libraries + w.deploying) * k < w.slots) {
+    // Room for another instance: stage the env, run the setup, then this
+    // invocation takes the first of its slots.
+    ++w.deploying;
+    EnsureEnv(worker_index, generation, [this, worker_index, generation,
+                                         invocation, started, k, &costs] {
+      if (!WorkerValid(worker_index, generation)) {
+        Requeue(invocation);
+        return;
+      }
+      SimWorker& w2 = workers_[worker_index];
+      CpuPhase(
+          w2,
+          costs.context_setup_cpu_s *
+              Contention(w2, costs.contention_beta_context),
+          [this, worker_index, generation, invocation, started, k] {
+            if (!WorkerValid(worker_index, generation)) {
+              Requeue(invocation);
+              return;
+            }
+            SimWorker& w3 = workers_[worker_index];
+            if (w3.deploying > 0) --w3.deploying;
+            ++w3.libraries;
+            ++result_.libraries_deployed_total;
+            ++active_libraries_;
+            result_.libraries_peak_active =
+                std::max(result_.libraries_peak_active, active_libraries_);
+            // This invocation takes one of the k fresh slots; the rest can
+            // serve queued invocations.
+            w3.library_free_slots += k - 1;
+            DrainLibraryWaiters(w3);
+            RunL3Invocation(worker_index, generation, invocation, started);
+          });
+    });
+    return;
+  }
+  // Every possible instance is deployed or deploying and every slot is
+  // busy: wait for a slot (released on completion or by a finishing setup).
+  w.library_waiters.push_back(
+      [this, worker_index, generation, invocation, started] {
+        ServeL3(worker_index, generation, invocation, started);
+      });
+}
+
+void VineSim::RunL3Invocation(std::size_t worker_index,
+                              std::uint64_t generation,
+                              std::size_t invocation, double started) {
+  SimWorker& w = workers_[worker_index];
+  const WorkloadCosts& costs = *invocations_[invocation].costs;
+  const double cpu =
+      costs.invocation_overhead_s +
+      costs.exec_cpu_s * invocations_[invocation].exec_scale *
+          ExecNoise(costs) * Contention(w, costs.contention_beta_exec);
+  CpuPhase(w, cpu, [this, worker_index, generation, invocation, started] {
+    if (WorkerValid(worker_index, generation)) {
+      SimWorker& w2 = workers_[worker_index];
+      ++w2.library_free_slots;
+      DrainLibraryWaiters(w2);
+    }
+    CompleteOnWorker(worker_index, generation, invocation, started);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Environment distribution: manager seeds up to `env_fanout` workers, then
+// every completed replica contributes `env_fanout` upload slots that serve
+// queued workers — the spanning tree of §3.3 in fluid form.
+// ---------------------------------------------------------------------------
+
+void VineSim::EnsureEnv(std::size_t worker_index, std::uint64_t generation,
+                        std::function<void()> ready) {
+  if (!WorkerValid(worker_index, generation)) return;
+  SimWorker& worker = workers_[worker_index];
+  if (worker.env == SimWorker::Env::kReady) {
+    sim_.After(0.0, std::move(ready));
+    return;
+  }
+  worker.env_waiters.push_back(std::move(ready));
+  if (worker.env == SimWorker::Env::kTransferring) return;
+  worker.env = SimWorker::Env::kTransferring;
+  RequestEnvTransfer(worker_index);
+}
+
+void VineSim::RequestEnvTransfer(std::size_t worker_index) {
+  if (config_.peer_transfers && env_serving_slots_ > 0) {
+    --env_serving_slots_;
+    StartPeerEnvTransfer(worker_index);
+    return;
+  }
+  if (env_manager_seeds_inflight_ < config_.env_fanout) {
+    ++env_manager_seeds_inflight_;
+    ++result_.env_manager_transfers;
+    const std::uint64_t generation = workers_[worker_index].generation;
+    const WorkloadCosts& costs = *invocations_.front().costs;
+    manager_uplink_->Transfer(
+        costs.env_packed_bytes, [this, worker_index, generation] {
+          --env_manager_seeds_inflight_;
+          OnEnvTransferDone(worker_index, generation, /*from_manager=*/true);
+        });
+    return;
+  }
+  env_transfer_queue_.push_back(worker_index);
+}
+
+void VineSim::StartPeerEnvTransfer(std::size_t worker_index) {
+  ++result_.env_peer_transfers;
+  const std::uint64_t generation = workers_[worker_index].generation;
+  const WorkloadCosts& costs = *invocations_.front().costs;
+  sim_.After(costs.env_packed_bytes / config_.cluster.worker_link_Bps,
+             [this, worker_index, generation] {
+               // The source's upload slot frees regardless of the
+               // destination's fate.
+               ReleaseEnvServingSlots(1);
+               OnEnvTransferDone(worker_index, generation,
+                                 /*from_manager=*/false);
+             });
+}
+
+void VineSim::OnEnvTransferDone(std::size_t worker_index,
+                                std::uint64_t generation, bool from_manager) {
+  (void)from_manager;
+  if (!WorkerValid(worker_index, generation)) {
+    // Destination died mid-transfer: no new replica, but the tree keeps
+    // draining through the slots released above.
+    return;
+  }
+  // This worker's on-disk copy can now serve peers (before unpack — the
+  // cached tarball, not the expanded tree, is what transfers).
+  ReleaseEnvServingSlots(config_.env_fanout);
+
+  SimWorker& worker = workers_[worker_index];
+  const WorkloadCosts& costs = *invocations_.front().costs;
+  CpuPhase(worker, costs.unpack_cpu_s, [this, worker_index, generation] {
+    if (!WorkerValid(worker_index, generation)) return;
+    SimWorker& w = workers_[worker_index];
+    w.env = SimWorker::Env::kReady;
+    auto waiters = std::move(w.env_waiters);
+    w.env_waiters.clear();
+    for (auto& fn : waiters) fn();
+  });
+}
+
+void VineSim::ReleaseEnvServingSlots(unsigned count) {
+  if (!config_.peer_transfers) {
+    // Fig 3a mode: replicas never serve; the manager (sequentially, up to
+    // its seed cap) is the only source.  Drain a snapshot of the queue so
+    // re-queued entries are not popped again in this call.
+    std::deque<std::size_t> queued;
+    queued.swap(env_transfer_queue_);
+    for (std::size_t next : queued) {
+      if (workers_[next].alive &&
+          workers_[next].env == SimWorker::Env::kTransferring) {
+        RequestEnvTransfer(next);
+      }
+    }
+    return;
+  }
+  for (unsigned i = 0; i < count; ++i) {
+    // Serve queued workers first; skip entries that died while queued.
+    bool served = false;
+    while (!env_transfer_queue_.empty()) {
+      const std::size_t next = env_transfer_queue_.front();
+      env_transfer_queue_.pop_front();
+      if (workers_[next].alive &&
+          workers_[next].env == SimWorker::Env::kTransferring) {
+        StartPeerEnvTransfer(next);
+        served = true;
+        break;
+      }
+    }
+    if (!served) ++env_serving_slots_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion, requeue, churn.
+// ---------------------------------------------------------------------------
+
+void VineSim::CompleteOnWorker(std::size_t worker_index,
+                               std::uint64_t generation,
+                               std::size_t invocation, double started) {
+  if (!WorkerValid(worker_index, generation)) {
+    Requeue(invocation);
+    return;
+  }
+  SimWorker& worker = workers_[worker_index];
+  ++worker.free_slots;
+  if (worker.active > 0) --worker.active;
+  const double run_time = sim_.Now() - started;
+  if (config_.track_trace) {
+    result_.trace.push_back({invocation, worker_index, worker.node.group,
+                             dispatch_times_[invocation], started,
+                             sim_.Now()});
+  }
+
+  const WorkloadCosts& costs = *invocations_[invocation].costs;
+  const double retrieve_s = costs.ManagerFor(config_.level).retrieve_s;
+  manager_->Enqueue(retrieve_s, [this, run_time] {
+    ++result_.invocations_completed;
+    result_.run_time.Add(run_time);
+    result_.run_times.push_back(run_time);
+    result_.makespan = sim_.Now();
+    if (result_.invocations_completed == invocations_.size()) done_ = true;
+    if (config_.track_series) {
+      const auto completed =
+          static_cast<double>(result_.invocations_completed);
+      result_.active_libraries.Add(completed,
+                                   static_cast<double>(active_libraries_));
+      const double deployed = static_cast<double>(
+          std::max<std::uint64_t>(1, result_.libraries_deployed_total));
+      result_.avg_share_value.Add(completed, completed / deployed);
+    }
+    PumpDispatch();
+  });
+  PumpDispatch();  // the freed slot can take new work immediately
+}
+
+void VineSim::Requeue(std::size_t invocation) {
+  ++result_.requeued_invocations;
+  pending_.push_back(invocation);
+  PumpDispatch();
+}
+
+void VineSim::ScheduleDeath(std::size_t worker_index) {
+  const double lifetime = rng_.Exponential(config_.worker_mean_lifetime_s);
+  sim_.After(lifetime, [this, worker_index] {
+    if (done_) return;  // workload finished: let the event queue drain
+    SimWorker& worker = workers_[worker_index];
+    if (!worker.alive) return;
+    worker.alive = false;
+    ++result_.worker_deaths;
+    active_libraries_ -= worker.libraries;
+    worker.libraries = 0;
+    worker.deploying = 0;
+    worker.library_free_slots = 0;
+    worker.active = 0;
+    worker.env = SimWorker::Env::kAbsent;
+    // Fire pending env and library waiters: each observes the dead worker
+    // and requeues its invocation.  In-flight compute/transfer phases
+    // requeue lazily when they observe the generation change.
+    auto waiters = std::move(worker.env_waiters);
+    worker.env_waiters.clear();
+    for (auto& fn : waiters) fn();
+    auto lib_waiters = std::move(worker.library_waiters);
+    worker.library_waiters.clear();
+    for (auto& fn : lib_waiters) fn();
+    sim_.After(config_.worker_respawn_delay_s, [this, worker_index] {
+      if (done_) return;
+      SimWorker& w = workers_[worker_index];
+      w.alive = true;
+      ++w.generation;
+      w.free_slots = w.slots;
+      w.active = 0;
+      ScheduleDeath(worker_index);
+      PumpDispatch();
+    });
+  });
+}
+
+}  // namespace vinelet::sim

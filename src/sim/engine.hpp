@@ -1,0 +1,180 @@
+// VineSim: the simulated TaskVine runtime at cluster scale.
+//
+// Reproduces the execution dynamics the evaluation measures — manager
+// dispatch throughput, shared-FS contention (L1), per-worker environment
+// caching with spanning-tree distribution (L2/L3), resident libraries with
+// one invocation slot each (L3, the paper's LNNI configuration, which is how
+// Fig 10's ~2,400 libraries on 150 workers arise), co-located-invocation
+// interference, optional worker churn, and machine heterogeneity — in
+// virtual time on the DES kernel.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/types.hpp"
+#include "sim/cluster.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/des.hpp"
+#include "sim/resources.hpp"
+
+namespace vinelet::sim {
+
+/// One invocation to execute: a function class plus a per-invocation
+/// execution-time multiplier (workload mixes pre-sample these).
+struct InvocationSpec {
+  const WorkloadCosts* costs = nullptr;
+  double exec_scale = 1.0;
+};
+
+/// One completed invocation's lifecycle, for offline analysis.
+struct InvocationTrace {
+  std::size_t invocation = 0;
+  std::size_t worker = 0;
+  std::size_t machine_group = 0;
+  double dispatched = 0;  // manager committed the placement
+  double started = 0;     // worker began processing (run time = finished-started)
+  double finished = 0;
+};
+
+struct SimConfig {
+  core::ReuseLevel level = core::ReuseLevel::kL3;
+  ClusterConfig cluster;
+  std::uint64_t seed = 42;
+
+  /// Record (completed, active libraries) and share-value series (Figs 10/11).
+  bool track_series = false;
+
+  /// Record a per-invocation InvocationTrace (final attempt per invocation).
+  bool track_trace = false;
+
+  /// Mean worker lifetime under churn; 0 disables churn.  The paper's pool
+  /// is HTCondor-managed, where eviction and replacement are routine.
+  double worker_mean_lifetime_s = 0.0;
+  double worker_respawn_delay_s = 15.0;
+
+  /// Disable worker-to-worker context distribution (Fig 3a vs 3b).
+  bool peer_transfers = true;
+
+  /// Per-source concurrent env transfer cap N (§3.3).
+  unsigned env_fanout = 3;
+
+  /// L3 only: invocation slots per library instance (§3.5.2).  The paper's
+  /// LNNI deployment uses 1 (one library per slot, Fig 10's ~2,400
+  /// instances); the alternative strategy is one whole-worker library with
+  /// `slots` slots.  Context setup is paid once per instance, so larger
+  /// libraries trade deployment cost against sharing granularity.
+  std::uint32_t library_slots = 1;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  std::uint64_t invocations_completed = 0;
+  RunningStats run_time;           // worker-side run time per invocation
+  std::vector<double> run_times;   // raw samples (histograms)
+
+  std::uint64_t libraries_deployed_total = 0;  // cumulative (churn included)
+  std::uint64_t libraries_peak_active = 0;
+  std::uint64_t env_manager_transfers = 0;
+  std::uint64_t env_peer_transfers = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t requeued_invocations = 0;
+  double manager_utilization = 0.0;
+
+  TimeSeries active_libraries;  // x = invocations completed
+  TimeSeries avg_share_value;   // x = invocations completed
+
+  /// Per-invocation lifecycle records (when SimConfig::track_trace).
+  std::vector<InvocationTrace> trace;
+};
+
+/// Renders traces as CSV ("invocation,worker,group,dispatched,started,
+/// finished,run_time"), sorted by completion time.
+std::string TraceToCsv(const std::vector<InvocationTrace>& trace);
+
+class VineSim {
+ public:
+  VineSim(SimConfig config, std::vector<InvocationSpec> invocations);
+
+  /// Runs to completion and returns the collected metrics.
+  SimResult Run();
+
+ private:
+  struct SimWorker {
+    SimWorkerNode node;
+    std::uint32_t slots = 16;
+    std::uint32_t free_slots = 16;
+    std::uint32_t active = 0;  // invocations currently being processed
+    enum class Env { kAbsent, kTransferring, kReady } env = Env::kAbsent;
+    std::vector<std::function<void()>> env_waiters;
+    std::unique_ptr<FairShareResource> disk;
+    std::uint32_t libraries = 0;           // deployed instances (L3)
+    std::uint32_t deploying = 0;           // instances mid-setup
+    std::uint32_t library_free_slots = 0;  // deployed, currently idle slots
+    std::vector<std::function<void()>> library_waiters;
+    bool alive = true;
+    std::uint64_t generation = 0;  // incremented on respawn
+  };
+
+  void PumpDispatch();
+  void StartOnWorker(std::size_t worker_index, std::uint64_t generation,
+                     std::size_t invocation);
+  void RunL1(SimWorker& worker, std::size_t invocation, double started);
+  void RunL2(SimWorker& worker, std::size_t invocation, double started);
+  void RunL3(SimWorker& worker, std::size_t invocation, double started);
+  /// L3 helpers: claim a library slot (or deploy/wait), then execute.
+  void ServeL3(std::size_t worker_index, std::uint64_t generation,
+               std::size_t invocation, double started);
+  void RunL3Invocation(std::size_t worker_index, std::uint64_t generation,
+                       std::size_t invocation, double started);
+  void DrainLibraryWaiters(SimWorker& worker);
+
+  // --- environment distribution (spanning tree, §3.3) ---
+  void EnsureEnv(std::size_t worker_index, std::uint64_t generation,
+                 std::function<void()> ready);
+  void RequestEnvTransfer(std::size_t worker_index);
+  void StartPeerEnvTransfer(std::size_t worker_index);
+  void OnEnvTransferDone(std::size_t worker_index, std::uint64_t generation,
+                         bool from_manager);
+  void ReleaseEnvServingSlots(unsigned count);
+
+  /// Interference multiplier from co-located invocations on this worker.
+  double Contention(const SimWorker& worker, double beta) const;
+  double ExecNoise(const WorkloadCosts& costs);
+  void CpuPhase(const SimWorker& worker, double baseline_seconds,
+                std::function<void()> done);
+  void CompleteOnWorker(std::size_t worker_index, std::uint64_t generation,
+                        std::size_t invocation, double started);
+  void Requeue(std::size_t invocation);
+  void ScheduleDeath(std::size_t worker_index);
+  bool WorkerValid(std::size_t worker_index, std::uint64_t generation) const;
+
+  SimConfig config_;
+  std::vector<InvocationSpec> invocations_;
+  Rng rng_;
+
+  Simulation sim_;
+  std::unique_ptr<FairShareResource> sharedfs_bw_;
+  std::unique_ptr<IopsBucket> sharedfs_iops_;
+  std::unique_ptr<FairShareResource> manager_uplink_;
+  std::unique_ptr<SerialServer> manager_;
+
+  std::vector<SimWorker> workers_;
+  std::deque<std::size_t> pending_;  // invocation indices awaiting dispatch
+  std::size_t rr_cursor_ = 0;
+  bool done_ = false;  // all invocations completed: stop churn chains
+
+  // Environment spanning-tree state.
+  unsigned env_manager_seeds_inflight_ = 0;
+  unsigned env_serving_slots_ = 0;  // free upload slots on replica holders
+  std::deque<std::size_t> env_transfer_queue_;  // workers awaiting a source
+
+  std::uint64_t active_libraries_ = 0;
+  std::vector<double> dispatch_times_;  // per invocation, when track_trace
+  SimResult result_;
+};
+
+}  // namespace vinelet::sim

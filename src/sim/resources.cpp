@@ -1,0 +1,90 @@
+#include "sim/resources.hpp"
+
+#include <algorithm>
+
+namespace vinelet::sim {
+
+double FairShareResource::RatePerFlow() const noexcept {
+  if (flows_.empty()) return 0.0;
+  const double share = capacity_ / static_cast<double>(flows_.size());
+  if (per_stream_cap_ > 0.0) return std::min(share, per_stream_cap_);
+  return share;
+}
+
+void FairShareResource::AdvanceTo(double now) {
+  const double elapsed = now - last_update_;
+  last_update_ = now;
+  if (elapsed <= 0.0 || flows_.empty()) return;
+  const double progressed = elapsed * RatePerFlow();
+  for (auto& [_, flow] : flows_) {
+    const double actual = std::min(progressed, flow.remaining);
+    flow.remaining -= actual;
+    served_ += actual;
+  }
+}
+
+void FairShareResource::Transfer(double bytes, std::function<void()> on_done) {
+  AdvanceTo(sim_->Now());
+  if (bytes <= 0.0) {
+    // Zero-byte transfers complete immediately (still asynchronously, so
+    // callers observe consistent ordering).
+    sim_->After(0.0, std::move(on_done));
+    return;
+  }
+  flows_.emplace(next_flow_id_++, Flow{bytes, std::move(on_done)});
+  Reschedule();
+}
+
+void FairShareResource::Reschedule() {
+  ++generation_;
+  if (flows_.empty()) return;
+  double min_remaining = flows_.begin()->second.remaining;
+  for (const auto& [_, flow] : flows_)
+    min_remaining = std::min(min_remaining, flow.remaining);
+  const double rate = RatePerFlow();
+  const double eta = rate > 0 ? min_remaining / rate : 0.0;
+  const std::uint64_t generation = generation_;
+  sim_->After(eta, [this, generation] { OnWake(generation); });
+}
+
+void FairShareResource::OnWake(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a newer schedule
+  AdvanceTo(sim_->Now());
+  // Complete every drained flow (equal timestamps finish together).  The
+  // threshold is rate-relative: any residue representing less than a
+  // nanosecond of transfer counts as done.  An absolute byte threshold
+  // would livelock here — a residue can be larger than it while the
+  // corresponding wake delay underflows double time resolution
+  // (now + eta == now), freezing virtual time.
+  const double epsilon = std::max(1e-9, RatePerFlow() * 1e-9);
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= epsilon) {
+      done.push_back(std::move(it->second.on_done));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& fn : done) fn();
+}
+
+void IopsBucket::Acquire(double ops, std::function<void()> on_done) {
+  const double now = sim_->Now();
+  const double start = std::max(now, next_free_);
+  const double duration = rate_ > 0 ? ops / rate_ : 0.0;
+  next_free_ = start + duration;
+  sim_->At(next_free_, std::move(on_done));
+}
+
+void SerialServer::Enqueue(double service_seconds,
+                           std::function<void()> on_done) {
+  const double now = sim_->Now();
+  const double start = std::max(now, busy_until_);
+  busy_until_ = start + service_seconds;
+  busy_time_ += service_seconds;
+  sim_->At(busy_until_, std::move(on_done));
+}
+
+}  // namespace vinelet::sim

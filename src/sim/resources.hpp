@@ -1,0 +1,98 @@
+// Contended-resource models for the simulator.
+//
+//  * FairShareResource — processor-sharing bandwidth (the shared filesystem's
+//    aggregate read bandwidth, the manager's uplink, a worker's local SSD):
+//    n concurrent transfers each progress at capacity/n (optionally capped
+//    per-stream by a link rate).  This is what produces L1's contention
+//    spread and heavy tail (paper Fig 7a) without any hand-tuned noise.
+//  * IopsBucket — a metadata-operations rate limit (the shared filesystem's
+//    94k IOPS, paper §4.2): bursts of small operations queue FIFO.
+//  * SerialServer — a single-threaded service queue: the TaskVine manager,
+//    whose per-task dispatch cost is the dominant scaling limit the paper's
+//    Q3 observes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "sim/des.hpp"
+
+namespace vinelet::sim {
+
+class FairShareResource {
+ public:
+  /// `capacity` in bytes/s shared by all flows; `per_stream_cap` caps each
+  /// flow (0 = uncapped).
+  FairShareResource(Simulation* sim, double capacity,
+                    double per_stream_cap = 0.0)
+      : sim_(sim), capacity_(capacity), per_stream_cap_(per_stream_cap) {}
+
+  /// Starts a transfer of `bytes`; `on_done` fires when it completes under
+  /// fair sharing with everything else in flight.
+  void Transfer(double bytes, std::function<void()> on_done);
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+  double total_bytes_served() const noexcept { return served_; }
+
+ private:
+  struct Flow {
+    double remaining;
+    std::function<void()> on_done;
+  };
+
+  double RatePerFlow() const noexcept;
+  void AdvanceTo(double now);
+  void Reschedule();
+  void OnWake(std::uint64_t generation);
+
+  Simulation* sim_;
+  double capacity_;
+  double per_stream_cap_;
+  double last_update_ = 0.0;
+  double served_ = 0.0;
+  std::uint64_t next_flow_id_ = 0;
+  std::uint64_t generation_ = 0;
+  std::map<std::uint64_t, Flow> flows_;
+};
+
+/// FIFO rate limiter for operation counts (IOPS).
+class IopsBucket {
+ public:
+  IopsBucket(Simulation* sim, double ops_per_second)
+      : sim_(sim), rate_(ops_per_second) {}
+
+  /// Reserves `ops` operations; `on_done` fires when the batch has been
+  /// admitted (i.e. after queueing behind earlier batches).
+  void Acquire(double ops, std::function<void()> on_done);
+
+  double backlog_seconds(double now) const noexcept {
+    return next_free_ > now ? next_free_ - now : 0.0;
+  }
+
+ private:
+  Simulation* sim_;
+  double rate_;
+  double next_free_ = 0.0;
+};
+
+/// Single-threaded FIFO server with deterministic service times.
+class SerialServer {
+ public:
+  explicit SerialServer(Simulation* sim) : sim_(sim) {}
+
+  /// Enqueues a job of `service_seconds`; `on_done` fires at completion.
+  void Enqueue(double service_seconds, std::function<void()> on_done);
+
+  double busy_until() const noexcept { return busy_until_; }
+  double utilization(double now) const noexcept {
+    return now > 0 ? busy_time_ / now : 0.0;
+  }
+
+ private:
+  Simulation* sim_;
+  double busy_until_ = 0.0;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace vinelet::sim

@@ -1,0 +1,40 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+namespace vinelet::sim {
+
+std::vector<InvocationSpec> BuildLnniWorkload(const WorkloadCosts& costs,
+                                              std::size_t n) {
+  std::vector<InvocationSpec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back({&costs, 1.0});
+  return out;
+}
+
+std::vector<InvocationSpec> BuildExamolWorkload(
+    const WorkloadCosts& simulate, const WorkloadCosts& train,
+    const WorkloadCosts& infer, std::size_t n, Rng& rng) {
+  std::vector<InvocationSpec> out;
+  out.reserve(n);
+  // Active-learning round structure: a batch of PM7 simulations gathers
+  // data, then the surrogate retrains and scores the candidate pool.
+  const std::size_t kRound = 64;  // simulations per round
+  const double kSigma = 0.15;     // per-molecule cost variation
+  const double kMu = -kSigma * kSigma / 2.0;  // unit-mean lognormal
+  std::size_t in_round = 0;
+  while (out.size() < n) {
+    if (in_round < kRound) {
+      out.push_back({&simulate, rng.LogNormal(kMu, kSigma)});
+      ++in_round;
+    } else {
+      out.push_back({&train, rng.LogNormal(kMu, kSigma * 0.5)});
+      if (out.size() < n)
+        out.push_back({&infer, rng.LogNormal(kMu, kSigma * 0.5)});
+      in_round = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace vinelet::sim

@@ -1,0 +1,25 @@
+// Workload generators for the evaluation applications.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace vinelet::sim {
+
+/// LNNI (§4.1.1): `n` identical inference invocations over one function
+/// class (the per-invocation spread comes from machine heterogeneity and
+/// the engine's interference noise, as in Fig 7).
+std::vector<InvocationSpec> BuildLnniWorkload(const WorkloadCosts& costs,
+                                              std::size_t n);
+
+/// ExaMol (§4.1.2): a ~10k-task active-learning mixture.  Simulation tasks
+/// dominate (data gathering), periodically interleaved with surrogate
+/// retraining and batch inference, with heavy-tailed per-molecule cost.
+/// The three cost structs must outlive the returned specs.
+std::vector<InvocationSpec> BuildExamolWorkload(
+    const WorkloadCosts& simulate, const WorkloadCosts& train,
+    const WorkloadCosts& infer, std::size_t n, Rng& rng);
+
+}  // namespace vinelet::sim

@@ -1,0 +1,161 @@
+#include "storage/broadcast.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace vinelet::storage {
+
+std::string_view BroadcastModeName(BroadcastMode mode) noexcept {
+  switch (mode) {
+    case BroadcastMode::kSequential: return "sequential";
+    case BroadcastMode::kSpanningTree: return "spanning-tree";
+    case BroadcastMode::kClustered: return "clustered";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<BroadcastPlan> PlanSequential(const BroadcastParams& params) {
+  BroadcastPlan plan;
+  plan.mode = BroadcastMode::kSequential;
+  plan.steps.reserve(params.num_workers);
+  for (std::size_t w = 0; w < params.num_workers; ++w) {
+    plan.steps.push_back({TransferStep::kManagerSource,
+                          static_cast<std::uint64_t>(w),
+                          static_cast<unsigned>(w)});
+  }
+  plan.rounds = static_cast<unsigned>(params.num_workers);
+  return plan;
+}
+
+Result<BroadcastPlan> PlanSpanningTree(const BroadcastParams& params) {
+  BroadcastPlan plan;
+  plan.mode = BroadcastMode::kSpanningTree;
+  // Holders grow geometrically: each round, every holder (manager included)
+  // starts up to fanout_cap transfers to workers that lack the blob.
+  std::vector<std::int64_t> holders = {TransferStep::kManagerSource};
+  std::size_t next_worker = 0;
+  unsigned round = 0;
+  while (next_worker < params.num_workers) {
+    std::vector<std::int64_t> new_holders;
+    for (std::int64_t source : holders) {
+      for (unsigned k = 0;
+           k < params.fanout_cap && next_worker < params.num_workers; ++k) {
+        plan.steps.push_back(
+            {source, static_cast<std::uint64_t>(next_worker), round});
+        new_holders.push_back(static_cast<std::int64_t>(next_worker));
+        ++next_worker;
+      }
+      if (next_worker >= params.num_workers) break;
+    }
+    holders.insert(holders.end(), new_holders.begin(), new_holders.end());
+    ++round;
+  }
+  plan.rounds = round;
+  return plan;
+}
+
+Result<BroadcastPlan> PlanClustered(const BroadcastParams& params) {
+  if (params.num_clusters == 0)
+    return InvalidArgumentError("num_clusters must be positive");
+  BroadcastPlan plan;
+  plan.mode = BroadcastMode::kClustered;
+
+  // Workers are assigned to clusters round-robin: cluster(w) = w % k.
+  std::vector<std::vector<std::uint64_t>> clusters(params.num_clusters);
+  for (std::size_t w = 0; w < params.num_workers; ++w)
+    clusters[w % params.num_clusters].push_back(w);
+
+  unsigned max_round = 0;
+  unsigned seed_round = 0;
+  for (const auto& members : clusters) {
+    if (members.empty()) continue;
+    // Manager seeds each cluster head sequentially over the slow link.
+    plan.steps.push_back({TransferStep::kManagerSource, members[0],
+                          seed_round});
+    // Intra-cluster spanning tree rooted at the seed.
+    std::vector<std::uint64_t> holders = {members[0]};
+    std::size_t next = 1;
+    unsigned round = seed_round + 1;
+    while (next < members.size()) {
+      std::vector<std::uint64_t> new_holders;
+      for (std::uint64_t source : holders) {
+        for (unsigned k = 0; k < params.fanout_cap && next < members.size();
+             ++k) {
+          plan.steps.push_back({static_cast<std::int64_t>(source),
+                                members[next], round});
+          new_holders.push_back(members[next]);
+          ++next;
+        }
+        if (next >= members.size()) break;
+      }
+      holders.insert(holders.end(), new_holders.begin(), new_holders.end());
+      ++round;
+    }
+    max_round = std::max(max_round, round);
+    ++seed_round;  // manager moves to the next cluster
+  }
+  plan.rounds = std::max(max_round, seed_round);
+  return plan;
+}
+
+}  // namespace
+
+Result<BroadcastPlan> PlanBroadcast(const BroadcastParams& params) {
+  if (params.fanout_cap == 0)
+    return InvalidArgumentError("fanout_cap must be positive");
+  switch (params.mode) {
+    case BroadcastMode::kSequential:
+      return PlanSequential(params);
+    case BroadcastMode::kSpanningTree:
+      return PlanSpanningTree(params);
+    case BroadcastMode::kClustered:
+      return PlanClustered(params);
+  }
+  return InvalidArgumentError("unknown broadcast mode");
+}
+
+double EstimateMakespan(const BroadcastPlan& plan,
+                        const BroadcastParams& params, double transfer_seconds,
+                        double inter_cluster_slowdown) {
+  // Greedy replay honoring data readiness and the per-source concurrency
+  // cap.  Steps are already emitted in dependency order (a worker never
+  // sends before the step that delivered its own copy).
+  const unsigned cap =
+      plan.mode == BroadcastMode::kSequential ? 1 : params.fanout_cap;
+
+  auto cluster_of = [&](std::int64_t node) -> std::int64_t {
+    if (node == TransferStep::kManagerSource || params.num_clusters == 0)
+      return -1;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(node) %
+                                     params.num_clusters);
+  };
+
+  std::map<std::int64_t, double> ready;  // node -> time its copy is complete
+  ready[TransferStep::kManagerSource] = 0.0;
+  // Per-source ring of `cap` link slots, each recording when it frees up.
+  std::map<std::int64_t, std::vector<double>> slots;
+
+  double makespan = 0.0;
+  for (const auto& step : plan.steps) {
+    double duration = transfer_seconds;
+    if (plan.mode == BroadcastMode::kClustered &&
+        (step.source == TransferStep::kManagerSource ||
+         cluster_of(step.source) !=
+             cluster_of(static_cast<std::int64_t>(step.dest)))) {
+      duration *= inter_cluster_slowdown;
+    }
+    auto& source_slots = slots[step.source];
+    if (source_slots.empty()) source_slots.assign(cap, 0.0);
+    auto slot = std::min_element(source_slots.begin(), source_slots.end());
+    const double start = std::max(ready[step.source], *slot);
+    const double finish = start + duration;
+    *slot = finish;
+    ready[static_cast<std::int64_t>(step.dest)] = finish;
+    makespan = std::max(makespan, finish);
+  }
+  return makespan;
+}
+
+}  // namespace vinelet::storage

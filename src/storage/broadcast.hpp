@@ -1,0 +1,73 @@
+// Broadcast planning: the three distribution topologies of paper Figure 3.
+//
+//  (a) kSequential    — workers cannot talk to each other; the manager sends
+//                       the context to each worker in turn.
+//  (b) kSpanningTree  — full worker-to-worker connectivity; receivers become
+//                       senders, each capped at N concurrent outbound
+//                       transfers, so replicas grow geometrically.
+//  (c) kClustered     — limited connectivity between worker sets (e.g. an
+//                       on-prem cluster plus a cloud burst); the manager
+//                       seeds each cluster once over the slow inter-cluster
+//                       link, then each cluster broadcasts internally as a
+//                       tree.
+//
+// The planner is pure and deterministic: it emits the full transfer schedule
+// (who sends to whom, in which round) and an analytic makespan, which the
+// Fig-3 ablation bench sweeps against worker count and fan-out cap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vinelet::storage {
+
+enum class BroadcastMode : std::uint8_t {
+  kSequential = 0,
+  kSpanningTree,
+  kClustered,
+};
+
+std::string_view BroadcastModeName(BroadcastMode mode) noexcept;
+
+/// One scheduled transfer.  source == kManagerSource means the manager.
+struct TransferStep {
+  static constexpr std::int64_t kManagerSource = -1;
+  std::int64_t source = kManagerSource;
+  std::uint64_t dest = 0;
+  unsigned round = 0;  // transfers in the same round overlap in time
+};
+
+struct BroadcastPlan {
+  BroadcastMode mode = BroadcastMode::kSequential;
+  std::vector<TransferStep> steps;
+  unsigned rounds = 0;
+};
+
+struct BroadcastParams {
+  BroadcastMode mode = BroadcastMode::kSpanningTree;
+  std::size_t num_workers = 0;
+
+  /// Per-worker concurrent outbound cap N (§3.3); also applied to the
+  /// manager's concurrent sends in tree/clustered modes.
+  unsigned fanout_cap = 3;
+
+  /// kClustered only: workers are split round-robin into this many clusters.
+  std::size_t num_clusters = 2;
+};
+
+/// Computes the transfer schedule for broadcasting one blob to all workers.
+/// Workers are identified 0..num_workers-1.  Fails on zero fan-out.
+Result<BroadcastPlan> PlanBroadcast(const BroadcastParams& params);
+
+/// Analytic makespan of a plan when every transfer of this blob takes
+/// `transfer_seconds` on an intra-cluster link and
+/// `transfer_seconds * inter_cluster_slowdown` when the source and dest are
+/// in different clusters (or manager → worker in clustered mode).
+double EstimateMakespan(const BroadcastPlan& plan,
+                        const BroadcastParams& params, double transfer_seconds,
+                        double inter_cluster_slowdown = 4.0);
+
+}  // namespace vinelet::storage

@@ -1,0 +1,125 @@
+#include "storage/cache_index.hpp"
+
+namespace vinelet::storage {
+
+Result<std::vector<hash::ContentId>> CacheIndex::Insert(
+    const hash::ContentId& id, std::uint64_t size) {
+  if (entries_.contains(id))
+    return AlreadyExistsError("cache entry exists: " + id.ShortHex());
+  if (capacity_ != 0 && size > capacity_)
+    return ResourceExhaustedError("entry larger than cache: " +
+                                  id.ShortHex());
+
+  std::vector<hash::ContentId> evicted;
+  if (capacity_ != 0 && used_ + size > capacity_) {
+    auto freed = EvictFor(used_ + size - capacity_);
+    if (!freed.ok()) return freed.status();
+    evicted = std::move(*freed);
+  }
+
+  lru_.push_front(id);
+  entries_[id] = Entry{size, 0, lru_.begin()};
+  used_ += size;
+  stats_.inserted_bytes += size;
+  return evicted;
+}
+
+Result<std::vector<hash::ContentId>> CacheIndex::EvictFor(
+    std::uint64_t needed) {
+  // First pass: verify enough unpinned bytes exist, so failure is atomic.
+  std::uint64_t reclaimable = 0;
+  for (const auto& [_, entry] : entries_) {
+    if (entry.pins == 0) reclaimable += entry.size;
+  }
+  if (reclaimable < needed)
+    return ResourceExhaustedError("cannot evict enough unpinned bytes");
+
+  std::vector<hash::ContentId> evicted;
+  std::uint64_t freed = 0;
+  for (auto it = lru_.rbegin(); it != lru_.rend() && freed < needed;) {
+    const hash::ContentId victim = *it;
+    ++it;  // advance before potential erase invalidates the position
+    auto& entry = entries_.at(victim);
+    if (entry.pins != 0) continue;
+    freed += entry.size;
+    used_ -= entry.size;
+    stats_.evicted_bytes += entry.size;
+    ++stats_.evictions;
+    lru_.erase(entry.lru_pos);
+    entries_.erase(victim);
+    evicted.push_back(victim);
+    // lru_ mutation invalidated `it` (reverse_iterator wraps the erased
+    // node's successor); restart the scan from the tail.  Eviction batches
+    // are small, so the re-scan cost is negligible.
+    it = lru_.rbegin();
+  }
+  return evicted;
+}
+
+bool CacheIndex::Touch(const hash::ContentId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(id);
+  it->second.lru_pos = lru_.begin();
+  return true;
+}
+
+bool CacheIndex::Contains(const hash::ContentId& id) const {
+  return entries_.contains(id);
+}
+
+std::optional<std::uint64_t> CacheIndex::SizeOf(
+    const hash::ContentId& id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.size;
+}
+
+Status CacheIndex::Pin(const hash::ContentId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end())
+    return NotFoundError("pin: entry absent: " + id.ShortHex());
+  ++it->second.pins;
+  return Status::Ok();
+}
+
+Status CacheIndex::Unpin(const hash::ContentId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end())
+    return NotFoundError("unpin: entry absent: " + id.ShortHex());
+  if (it->second.pins == 0)
+    return FailedPreconditionError("unpin: not pinned: " + id.ShortHex());
+  --it->second.pins;
+  return Status::Ok();
+}
+
+int CacheIndex::PinCount(const hash::ContentId& id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? 0 : it->second.pins;
+}
+
+Status CacheIndex::Remove(const hash::ContentId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end())
+    return NotFoundError("remove: entry absent: " + id.ShortHex());
+  if (it->second.pins != 0)
+    return FailedPreconditionError("remove: pinned: " + id.ShortHex());
+  used_ -= it->second.size;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<hash::ContentId> CacheIndex::Ids() const {
+  std::vector<hash::ContentId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) out.push_back(id);
+  return out;
+}
+
+}  // namespace vinelet::storage

@@ -1,0 +1,84 @@
+// LRU-with-pinning cache policy, payload-free.
+//
+// Both the real worker cache (ContentStore) and the simulated worker disks
+// share this index.  Entries are content-addressed and read-only; "pinning"
+// marks blobs currently bound to a running library or invocation so the
+// retain mechanism can guarantee a context's files survive for as long as
+// the context is deployed (paper §2.2.3) while still letting cold files age
+// out of the bounded local disk.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hash/content_id.hpp"
+
+namespace vinelet::storage {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserted_bytes = 0;
+  std::uint64_t evicted_bytes = 0;
+};
+
+class CacheIndex {
+ public:
+  /// capacity_bytes == 0 means unbounded.
+  explicit CacheIndex(std::uint64_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  /// Inserts an entry, evicting least-recently-used unpinned entries as
+  /// needed.  Fails with kResourceExhausted if the entry cannot fit even
+  /// after evicting everything unpinned; fails with kAlreadyExists if
+  /// present (use Touch for hits).  On success returns the evicted ids so
+  /// the caller can drop payloads / notify the manager.
+  Result<std::vector<hash::ContentId>> Insert(const hash::ContentId& id,
+                                              std::uint64_t size);
+
+  /// Marks a hit and refreshes recency.  False if absent (counts a miss).
+  bool Touch(const hash::ContentId& id);
+
+  bool Contains(const hash::ContentId& id) const;
+  std::optional<std::uint64_t> SizeOf(const hash::ContentId& id) const;
+
+  /// Pins are counted; an entry is evictable only at zero pins.
+  Status Pin(const hash::ContentId& id);
+  Status Unpin(const hash::ContentId& id);
+  int PinCount(const hash::ContentId& id) const;
+
+  /// Removes regardless of recency; fails if pinned or absent.
+  Status Remove(const hash::ContentId& id);
+
+  std::uint64_t used_bytes() const noexcept { return used_; }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  std::vector<hash::ContentId> Ids() const;
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    int pins = 0;
+    std::list<hash::ContentId>::iterator lru_pos;
+  };
+
+  /// Evicts LRU unpinned entries until `needed` bytes are free; returns the
+  /// evicted ids, or kResourceExhausted without evicting anything if
+  /// freeing that much is impossible.
+  Result<std::vector<hash::ContentId>> EvictFor(std::uint64_t needed);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<hash::ContentId> lru_;  // front = most recent
+  std::unordered_map<hash::ContentId, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace vinelet::storage

@@ -1,0 +1,70 @@
+#include "storage/content_store.hpp"
+
+namespace vinelet::storage {
+
+Status ContentStore::Put(const hash::ContentId& id, Blob blob) {
+  if (hash::ContentId::Of(blob) != id)
+    return DataLossError("content hash mismatch for " + id.ShortHex());
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(id, std::move(blob));
+}
+
+Status ContentStore::PutTrusted(const hash::ContentId& id, Blob blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PutLocked(id, std::move(blob));
+}
+
+Status ContentStore::PutLocked(const hash::ContentId& id, Blob blob) {
+  if (index_.Contains(id)) return Status::Ok();  // dedupe: same content
+  auto evicted = index_.Insert(id, blob.size());
+  if (!evicted.ok()) return evicted.status();
+  for (const auto& victim : *evicted) payloads_.erase(victim);
+  payloads_.emplace(id, std::move(blob));
+  return Status::Ok();
+}
+
+Result<Blob> ContentStore::Get(const hash::ContentId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!index_.Touch(id))
+    return NotFoundError("blob not cached: " + id.ShortHex());
+  return payloads_.at(id);
+}
+
+bool ContentStore::Contains(const hash::ContentId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.Contains(id);
+}
+
+Status ContentStore::Pin(const hash::ContentId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.Pin(id);
+}
+
+Status ContentStore::Unpin(const hash::ContentId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.Unpin(id);
+}
+
+Status ContentStore::Remove(const hash::ContentId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VINELET_RETURN_IF_ERROR(index_.Remove(id));
+  payloads_.erase(id);
+  return Status::Ok();
+}
+
+std::uint64_t ContentStore::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.used_bytes();
+}
+
+std::uint64_t ContentStore::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.capacity_bytes();
+}
+
+CacheStats ContentStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.stats();
+}
+
+}  // namespace vinelet::storage

@@ -1,0 +1,41 @@
+// File declarations: how data enters the data plane.
+//
+// A FileDecl is the manager-side description of one transferable, read-only,
+// content-addressed file (paper Fig 5: vine.File('dataset.tar.gz',
+// cache=True, peer_transfer=True)).  Declarations carry policy — cacheable?
+// peer-transferable? unpack on arrival? — while the bytes themselves live in
+// content stores keyed by the declaration's ContentId.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hash/content_id.hpp"
+
+namespace vinelet::storage {
+
+enum class FileKind : std::uint8_t {
+  kData = 0,            // application input data
+  kEnvironment,         // packed software environment (poncho tarball)
+  kSerializedFunction,  // shipped function code
+  kLibraryScript,       // the library daemon's own code
+};
+
+struct FileDecl {
+  std::string name;  // binding name visible to invocations
+  hash::ContentId id;
+  std::uint64_t size = 0;
+  FileKind kind = FileKind::kData;
+
+  /// Retain in the worker's local cache after first fetch (L2+).
+  bool cache = true;
+
+  /// May be served from a peer worker's cache (enables Fig 3b trees).
+  bool peer_transfer = true;
+
+  /// Archive that must be unpacked into the worker cache on arrival;
+  /// the unpacked form is what invocations consume.
+  bool unpack = false;
+};
+
+}  // namespace vinelet::storage

@@ -1,0 +1,357 @@
+// Application kernels: numeric routines (Cholesky/ridge correctness), the
+// LNNI model's determinism and context-vs-rebuild equivalence, and the
+// ExaMol functions' end-to-end active-learning behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/examol.hpp"
+#include "apps/lnni.hpp"
+#include "apps/numeric.hpp"
+
+namespace vinelet::apps {
+namespace {
+
+using serde::InvocationEnv;
+using serde::Value;
+
+// ---------------------------------------------------------------------------
+// Numeric kernels
+// ---------------------------------------------------------------------------
+
+TEST(NumericTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(NumericTest, MatVec) {
+  Mat m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 4;
+  m.at(1, 1) = 5;
+  m.at(1, 2) = 6;
+  const Vec y = MatVec(m, {1, 1, 1});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(NumericTest, SyntheticFeaturesDeterministicAndBounded) {
+  const Vec a = SyntheticFeatures(42, 64);
+  const Vec b = SyntheticFeatures(42, 64);
+  const Vec c = SyntheticFeatures(43, 64);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (double v : a) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(NumericTest, CholeskySolvesKnownSystem) {
+  // S = [[4,2],[2,3]], b = [10, 8] -> w = [1.75, 1.5]
+  Mat s(2, 2);
+  s.at(0, 0) = 4;
+  s.at(0, 1) = 2;
+  s.at(1, 0) = 2;
+  s.at(1, 1) = 3;
+  auto w = CholeskySolve(s, {10, 8});
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_NEAR((*w)[0], 1.75, 1e-12);
+  EXPECT_NEAR((*w)[1], 1.5, 1e-12);
+}
+
+TEST(NumericTest, CholeskyRejectsIndefinite) {
+  Mat s(2, 2);
+  s.at(0, 0) = 1;
+  s.at(0, 1) = 5;
+  s.at(1, 0) = 5;
+  s.at(1, 1) = 1;  // indefinite
+  EXPECT_EQ(CholeskySolve(s, {1, 1}).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(NumericTest, CholeskyRejectsShapeMismatch) {
+  EXPECT_EQ(CholeskySolve(Mat(2, 3), {1, 1}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(NumericTest, RidgeRecoversLinearModel) {
+  // y = X w* exactly; ridge with tiny lambda recovers w*.
+  const std::size_t n = 200, d = 8;
+  Mat x(n, d);
+  Vec w_true(d);
+  for (std::size_t j = 0; j < d; ++j) w_true[j] = 0.5 * static_cast<double>(j) - 1.0;
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec row = SyntheticFeatures(i + 1000, d);
+    for (std::size_t j = 0; j < d; ++j) x.at(i, j) = row[j];
+    y[i] = Dot(row, w_true);
+  }
+  auto w = RidgeSolve(x, y, 1e-9);
+  ASSERT_TRUE(w.ok());
+  for (std::size_t j = 0; j < d; ++j) EXPECT_NEAR((*w)[j], w_true[j], 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// LNNI
+// ---------------------------------------------------------------------------
+
+class LnniTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.dim = 32;
+    config_.layers = 2;
+    config_.build_passes = 2;
+    ASSERT_TRUE(RegisterLnniFunctions(registry_, config_).ok());
+    weights_ = MakeLnniWeightsBlob(config_);
+    files_["resnet50.weights"] = weights_;
+  }
+
+  LnniConfig config_;
+  serde::FunctionRegistry registry_;
+  Blob weights_;
+  std::map<std::string, Blob> files_;
+};
+
+TEST_F(LnniTest, WeightsBlobDeterministic) {
+  EXPECT_EQ(MakeLnniWeightsBlob(config_), weights_);
+}
+
+TEST_F(LnniTest, SetupBuildsModelFromFile) {
+  auto setup = registry_.FindSetup("lnni_setup");
+  ASSERT_TRUE(setup.ok());
+  InvocationEnv env;
+  env.files = &files_;
+  auto context = setup->fn(Value(), env);
+  ASSERT_TRUE(context.ok()) << context.status().ToString();
+  const auto* model = dynamic_cast<const LnniModel*>(context->get());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->dim(), 32u);
+  EXPECT_GT(model->MemoryBytes(), 0u);
+}
+
+TEST_F(LnniTest, SetupFailsWithoutWeights) {
+  auto setup = registry_.FindSetup("lnni_setup");
+  ASSERT_TRUE(setup.ok());
+  std::map<std::string, Blob> empty;
+  InvocationEnv env;
+  env.files = &empty;
+  EXPECT_FALSE(setup->fn(Value(), env).ok());
+}
+
+TEST_F(LnniTest, InferenceDeterministic) {
+  auto setup = registry_.FindSetup("lnni_setup");
+  ASSERT_TRUE(setup.ok());
+  InvocationEnv env;
+  env.files = &files_;
+  auto context = setup->fn(Value(), env);
+  ASSERT_TRUE(context.ok());
+  const auto* model = dynamic_cast<const LnniModel*>(context->get());
+  EXPECT_EQ(model->Infer(7), model->Infer(7));
+  const std::int64_t cls = model->Infer(7);
+  EXPECT_GE(cls, 0);
+  EXPECT_LT(cls, 1000);
+}
+
+TEST_F(LnniTest, RebuiltPathMatchesRetainedContext) {
+  // The invariant the whole paper rests on: running with the retained
+  // context must produce the same results as rebuilding per invocation.
+  auto fn = registry_.FindFunction("lnni_infer");
+  ASSERT_TRUE(fn.ok());
+  const Value args = Value::Dict({{"count", Value(5)}, {"seed", Value(123)}});
+
+  InvocationEnv no_context;
+  no_context.files = &files_;
+  auto rebuilt = fn->fn(args, no_context);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_TRUE(rebuilt->Get("rebuilt").AsBool());
+
+  auto setup = registry_.FindSetup("lnni_setup");
+  auto context = setup->fn(Value(), no_context);
+  ASSERT_TRUE(context.ok());
+  InvocationEnv with_context;
+  with_context.files = &files_;
+  with_context.context = context->get();
+  auto retained = fn->fn(args, with_context);
+  ASSERT_TRUE(retained.ok());
+  EXPECT_FALSE(retained->Get("rebuilt").AsBool());
+
+  EXPECT_EQ(rebuilt->Get("checksum"), retained->Get("checksum"));
+  EXPECT_EQ(rebuilt->Get("classified"), retained->Get("classified"));
+}
+
+TEST_F(LnniTest, CorruptWeightsRejected) {
+  auto fn = registry_.FindFunction("lnni_infer");
+  ASSERT_TRUE(fn.ok());
+  std::map<std::string, Blob> corrupt;
+  corrupt["resnet50.weights"] = Blob::FromString("not weights");
+  InvocationEnv env;
+  env.files = &corrupt;
+  auto result =
+      fn->fn(Value::Dict({{"count", Value(1)}, {"seed", Value(1)}}), env);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(LnniTest, RegistrationIdempotent) {
+  EXPECT_TRUE(RegisterLnniFunctions(registry_, config_).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ExaMol
+// ---------------------------------------------------------------------------
+
+class ExamolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    config_.feature_dim = 8;
+    config_.basis_terms = 256;
+    config_.optimize_steps = 30;
+    ASSERT_TRUE(RegisterExamolFunctions(registry_, config_).ok());
+    files_["basis_set.dat"] = MakeBasisSetBlob(config_);
+    env_.files = &files_;
+  }
+
+  Result<Value> Call(const std::string& name, const Value& args) {
+    auto fn = registry_.FindFunction(name);
+    EXPECT_TRUE(fn.ok());
+    return fn->fn(args, env_);
+  }
+
+  ExamolConfig config_;
+  serde::FunctionRegistry registry_;
+  std::map<std::string, Blob> files_;
+  InvocationEnv env_;
+};
+
+TEST_F(ExamolTest, SimulateReturnsDeterministicEnergy) {
+  auto a = Call("examol_simulate", Value::Dict({{"molecule", Value(17)}}));
+  auto b = Call("examol_simulate", Value::Dict({{"molecule", Value(17)}}));
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Get("energy"), b->Get("energy"));
+  EXPECT_EQ(a->Get("molecule").AsInt(), 17);
+}
+
+TEST_F(ExamolTest, SimulateDiffersPerMolecule) {
+  auto a = Call("examol_simulate", Value::Dict({{"molecule", Value(1)}}));
+  auto b = Call("examol_simulate", Value::Dict({{"molecule", Value(2)}}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->Get("energy").AsFloat(), b->Get("energy").AsFloat());
+}
+
+TEST_F(ExamolTest, TrainRequiresEnoughSamples) {
+  serde::ValueList tiny;
+  tiny.push_back(Value::Dict({{"molecule", Value(1)}, {"energy", Value(0.5)}}));
+  auto result =
+      Call("examol_train", Value::Dict({{"results", Value(tiny)}}));
+  EXPECT_EQ(result.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(ExamolTest, TrainInferPipelineRanksCandidates) {
+  // Simulate a batch, train the surrogate, score a pool: the returned
+  // candidates must be the pool's lowest-predicted members.
+  serde::ValueList results;
+  for (int molecule = 0; molecule < 40; ++molecule) {
+    auto sim = Call("examol_simulate",
+                    Value::Dict({{"molecule", Value(molecule)}}));
+    ASSERT_TRUE(sim.ok());
+    results.push_back(std::move(*sim));
+  }
+  auto trained =
+      Call("examol_train", Value::Dict({{"results", Value(results)}}));
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  const Value& weights = trained->Get("weights");
+  ASSERT_EQ(weights.AsList().size(), config_.feature_dim);
+
+  auto inferred = Call("examol_infer",
+                       Value::Dict({{"weights", weights},
+                                    {"pool_seed", Value(1000)},
+                                    {"pool", Value(50)},
+                                    {"top_k", Value(5)}}));
+  ASSERT_TRUE(inferred.ok()) << inferred.status().ToString();
+  const auto& candidates = inferred->Get("candidates").AsList();
+  ASSERT_EQ(candidates.size(), 5u);
+
+  // Verify the ranking against a direct recomputation.
+  Vec w;
+  for (const auto& v : weights.AsList()) w.push_back(v.AsNumber());
+  std::vector<std::pair<double, std::int64_t>> scored;
+  for (int i = 0; i < 50; ++i) {
+    scored.emplace_back(
+        Dot(w, SyntheticFeatures(static_cast<std::uint64_t>(1000 + i),
+                                 config_.feature_dim)),
+        1000 + i);
+  }
+  std::sort(scored.begin(), scored.end());
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(candidates[i].AsInt(), scored[i].second);
+}
+
+TEST_F(ExamolTest, SurrogateHasPredictivePower) {
+  // Train on molecules 0..59, evaluate rank correlation on 60..99: the
+  // learned linear surrogate must beat random guessing on the true
+  // (simulated) energies.
+  serde::ValueList results;
+  for (int molecule = 0; molecule < 60; ++molecule) {
+    auto sim = Call("examol_simulate",
+                    Value::Dict({{"molecule", Value(molecule)}}));
+    ASSERT_TRUE(sim.ok());
+    results.push_back(std::move(*sim));
+  }
+  auto trained =
+      Call("examol_train", Value::Dict({{"results", Value(results)}}));
+  ASSERT_TRUE(trained.ok());
+  Vec w;
+  for (const auto& v : trained->Get("weights").AsList())
+    w.push_back(v.AsNumber());
+
+  double correct_pairs = 0, total_pairs = 0;
+  std::vector<double> predicted, actual;
+  for (int molecule = 60; molecule < 100; ++molecule) {
+    predicted.push_back(Dot(
+        w, SyntheticFeatures(static_cast<std::uint64_t>(molecule),
+                             config_.feature_dim)));
+    auto sim = Call("examol_simulate",
+                    Value::Dict({{"molecule", Value(molecule)}}));
+    ASSERT_TRUE(sim.ok());
+    actual.push_back(sim->Get("energy").AsFloat());
+  }
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    for (std::size_t j = i + 1; j < predicted.size(); ++j) {
+      ++total_pairs;
+      if ((predicted[i] < predicted[j]) == (actual[i] < actual[j]))
+        ++correct_pairs;
+    }
+  }
+  EXPECT_GT(correct_pairs / total_pairs, 0.6);  // clearly better than 0.5
+}
+
+TEST_F(ExamolTest, BasisContextAvoidsReparse) {
+  auto setup = registry_.FindSetup("examol_setup");
+  ASSERT_TRUE(setup.ok());
+  auto context = setup->fn(Value(), env_);
+  ASSERT_TRUE(context.ok());
+  InvocationEnv with_ctx;
+  with_ctx.files = &files_;
+  with_ctx.context = context->get();
+  auto fn = registry_.FindFunction("examol_simulate");
+  ASSERT_TRUE(fn.ok());
+  auto with = fn->fn(Value::Dict({{"molecule", Value(5)}}), with_ctx);
+  auto without = fn->fn(Value::Dict({{"molecule", Value(5)}}), env_);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->Get("energy"), without->Get("energy"));
+}
+
+TEST_F(ExamolTest, InferValidatesArguments) {
+  EXPECT_FALSE(Call("examol_infer", Value::Dict({})).ok());
+  EXPECT_FALSE(
+      Call("examol_infer", Value::Dict({{"weights", Value(1)}})).ok());
+}
+
+}  // namespace
+}  // namespace vinelet::apps

@@ -1,0 +1,120 @@
+// ArchiveWriter/ArchiveReader: round trips, bounds checking, and
+// truncation robustness (every prefix of a valid payload must fail cleanly).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "serde/archive.hpp"
+
+namespace vinelet::serde {
+namespace {
+
+TEST(ArchiveTest, ScalarRoundTrip) {
+  ArchiveWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteI64(-42);
+  writer.WriteF64(3.14159);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+
+  ArchiveReader reader(writer.buffer().span());
+  EXPECT_EQ(reader.ReadU8().value(), 0xAB);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.ReadI64().value(), -42);
+  EXPECT_DOUBLE_EQ(reader.ReadF64().value(), 3.14159);
+  EXPECT_TRUE(reader.ReadBool().value());
+  EXPECT_FALSE(reader.ReadBool().value());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ArchiveTest, StringRoundTrip) {
+  ArchiveWriter writer;
+  writer.WriteString("");
+  writer.WriteString("hello");
+  writer.WriteString(std::string(10000, 'x'));
+
+  ArchiveReader reader(writer.buffer().span());
+  EXPECT_EQ(reader.ReadString().value(), "");
+  EXPECT_EQ(reader.ReadString().value(), "hello");
+  EXPECT_EQ(reader.ReadString().value().size(), 10000u);
+}
+
+TEST(ArchiveTest, BytesRoundTrip) {
+  ArchiveWriter writer;
+  std::vector<std::uint8_t> payload = {0, 1, 2, 255, 254};
+  writer.WriteBytes(payload);
+  ArchiveReader reader(writer.buffer().span());
+  EXPECT_EQ(reader.ReadBytes().value(), payload);
+}
+
+TEST(ArchiveTest, EdgeValues) {
+  ArchiveWriter writer;
+  writer.WriteI64(std::numeric_limits<std::int64_t>::min());
+  writer.WriteI64(std::numeric_limits<std::int64_t>::max());
+  writer.WriteF64(std::numeric_limits<double>::infinity());
+  writer.WriteF64(-0.0);
+  ArchiveReader reader(writer.buffer().span());
+  EXPECT_EQ(reader.ReadI64().value(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(reader.ReadI64().value(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(reader.ReadF64().value(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(reader.ReadF64().value(), 0.0);
+}
+
+TEST(ArchiveTest, ReadPastEndFails) {
+  ArchiveReader reader(std::span<const std::uint8_t>{});
+  EXPECT_EQ(reader.ReadU8().status().code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(reader.ReadU64().status().code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(reader.ReadString().status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ArchiveTest, StringWithLyingLengthFails) {
+  ArchiveWriter writer;
+  writer.WriteU64(1000);  // claims 1000 bytes follow; nothing does
+  ArchiveReader reader(writer.buffer().span());
+  EXPECT_EQ(reader.ReadString().status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ArchiveTest, EveryTruncationFailsCleanly) {
+  ArchiveWriter writer;
+  writer.WriteString("header");
+  writer.WriteU64(7);
+  writer.WriteBytes(std::vector<std::uint8_t>{9, 8, 7});
+  const auto& full = writer.buffer();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    ArchiveReader reader(full.span().subspan(0, cut));
+    auto header = reader.ReadString();
+    if (!header.ok()) continue;
+    auto number = reader.ReadU64();
+    if (!number.ok()) continue;
+    auto bytes = reader.ReadBytes();
+    // Since the payload was cut, at least one read must have failed.
+    EXPECT_FALSE(bytes.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ArchiveTest, RemainingCountsDown) {
+  ArchiveWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  ArchiveReader reader(writer.buffer().span());
+  EXPECT_EQ(reader.remaining(), 8u);
+  (void)reader.ReadU32();
+  EXPECT_EQ(reader.remaining(), 4u);
+  (void)reader.ReadU32();
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ArchiveTest, ToBlobMovesBuffer) {
+  ArchiveWriter writer;
+  writer.WriteString("payload");
+  const std::size_t size = writer.size();
+  Blob blob = std::move(writer).ToBlob();
+  EXPECT_EQ(blob.size(), size);
+}
+
+}  // namespace
+}  // namespace vinelet::serde

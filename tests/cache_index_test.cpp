@@ -1,0 +1,195 @@
+// CacheIndex: LRU ordering, pinning, eviction atomicity, and a
+// parameterized random-workload property suite (capacity never exceeded,
+// pinned entries never evicted).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "storage/cache_index.hpp"
+
+namespace vinelet::storage {
+namespace {
+
+hash::ContentId Id(int n) {
+  return hash::ContentId::OfText("entry-" + std::to_string(n));
+}
+
+TEST(CacheIndexTest, InsertAndTouch) {
+  CacheIndex cache(100);
+  ASSERT_TRUE(cache.Insert(Id(1), 40).ok());
+  EXPECT_TRUE(cache.Contains(Id(1)));
+  EXPECT_EQ(cache.SizeOf(Id(1)), 40u);
+  EXPECT_EQ(cache.used_bytes(), 40u);
+  EXPECT_TRUE(cache.Touch(Id(1)));
+  EXPECT_FALSE(cache.Touch(Id(2)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheIndexTest, DuplicateInsertRejected) {
+  CacheIndex cache(100);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  EXPECT_EQ(cache.Insert(Id(1), 10).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(CacheIndexTest, OversizedEntryRejected) {
+  CacheIndex cache(100);
+  EXPECT_EQ(cache.Insert(Id(1), 101).status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(CacheIndexTest, UnboundedCacheNeverEvicts) {
+  CacheIndex cache(0);
+  for (int i = 0; i < 100; ++i)
+    ASSERT_TRUE(cache.Insert(Id(i), 1 << 20).ok());
+  EXPECT_EQ(cache.entry_count(), 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CacheIndexTest, LruEvictionOrder) {
+  CacheIndex cache(30);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(2), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(3), 10).ok());
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.Touch(Id(1)));
+  auto evicted = cache.Insert(Id(4), 10);
+  ASSERT_TRUE(evicted.ok());
+  ASSERT_EQ(evicted->size(), 1u);
+  EXPECT_EQ((*evicted)[0], Id(2));
+  EXPECT_TRUE(cache.Contains(Id(1)));
+  EXPECT_FALSE(cache.Contains(Id(2)));
+}
+
+TEST(CacheIndexTest, EvictionSkipsPinned) {
+  CacheIndex cache(30);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(2), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(3), 10).ok());
+  ASSERT_TRUE(cache.Pin(Id(1)).ok());  // oldest, but pinned
+  auto evicted = cache.Insert(Id(4), 10);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ((*evicted)[0], Id(2));
+  EXPECT_TRUE(cache.Contains(Id(1)));
+}
+
+TEST(CacheIndexTest, EvictionFailureIsAtomic) {
+  CacheIndex cache(30);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(2), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(3), 10).ok());
+  for (int i = 1; i <= 3; ++i) ASSERT_TRUE(cache.Pin(Id(i)).ok());
+  // Nothing can be evicted: the insert fails and nothing is removed.
+  EXPECT_EQ(cache.Insert(Id(4), 10).status().code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_EQ(cache.entry_count(), 3u);
+  EXPECT_EQ(cache.used_bytes(), 30u);
+}
+
+TEST(CacheIndexTest, MultiEntryEviction) {
+  CacheIndex cache(30);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(2), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(3), 10).ok());
+  auto evicted = cache.Insert(Id(4), 25);  // needs 25 free: evict 1, 2, 3
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(evicted->size(), 3u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(CacheIndexTest, PinCounting) {
+  CacheIndex cache(100);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  ASSERT_TRUE(cache.Pin(Id(1)).ok());
+  ASSERT_TRUE(cache.Pin(Id(1)).ok());
+  EXPECT_EQ(cache.PinCount(Id(1)), 2);
+  ASSERT_TRUE(cache.Unpin(Id(1)).ok());
+  EXPECT_EQ(cache.PinCount(Id(1)), 1);
+  ASSERT_TRUE(cache.Unpin(Id(1)).ok());
+  EXPECT_EQ(cache.Unpin(Id(1)).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(cache.Pin(Id(9)).code(), ErrorCode::kNotFound);
+}
+
+TEST(CacheIndexTest, RemoveSemantics) {
+  CacheIndex cache(100);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  ASSERT_TRUE(cache.Pin(Id(1)).ok());
+  EXPECT_EQ(cache.Remove(Id(1)).code(), ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(cache.Unpin(Id(1)).ok());
+  ASSERT_TRUE(cache.Remove(Id(1)).ok());
+  EXPECT_EQ(cache.Remove(Id(1)).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(CacheIndexTest, StatsTrackBytes) {
+  CacheIndex cache(20);
+  ASSERT_TRUE(cache.Insert(Id(1), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(2), 10).ok());
+  ASSERT_TRUE(cache.Insert(Id(3), 10).ok());  // evicts Id(1)
+  EXPECT_EQ(cache.stats().inserted_bytes, 30u);
+  EXPECT_EQ(cache.stats().evicted_bytes, 10u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: random workloads over several capacities.
+// ---------------------------------------------------------------------------
+
+class CacheIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheIndexProperty, InvariantsUnderRandomWorkload) {
+  const std::uint64_t capacity = GetParam();
+  CacheIndex cache(capacity);
+  Rng rng(capacity * 31 + 7);
+  std::set<int> pinned;
+  std::set<int> maybe_present;
+
+  for (int step = 0; step < 3000; ++step) {
+    const int key = static_cast<int>(rng.NextBelow(60));
+    switch (rng.NextBelow(5)) {
+      case 0: {  // insert
+        const std::uint64_t size = 1 + rng.NextBelow(capacity / 4);
+        auto evicted = cache.Insert(Id(key), size);
+        if (evicted.ok()) {
+          maybe_present.insert(key);
+          for (const auto& victim : *evicted) {
+            // No pinned entry is ever evicted.
+            for (int p : pinned) EXPECT_NE(victim, Id(p));
+          }
+        }
+        break;
+      }
+      case 1:  // touch
+        (void)cache.Touch(Id(key));
+        break;
+      case 2:  // pin
+        if (cache.Pin(Id(key)).ok()) pinned.insert(key);
+        break;
+      case 3:  // unpin
+        if (pinned.contains(key)) {
+          EXPECT_TRUE(cache.Unpin(Id(key)).ok());
+          if (cache.PinCount(Id(key)) == 0) pinned.erase(key);
+        }
+        break;
+      case 4:  // remove
+        if (!pinned.contains(key) && cache.Remove(Id(key)).ok())
+          maybe_present.erase(key);
+        break;
+    }
+    // Core invariants, every step.
+    ASSERT_LE(cache.used_bytes(), capacity);
+    for (int p : pinned) ASSERT_TRUE(cache.Contains(Id(p)));
+    // used_bytes equals the sum of entry sizes.
+    std::uint64_t sum = 0;
+    for (const auto& id : cache.Ids()) sum += cache.SizeOf(id).value();
+    ASSERT_EQ(sum, cache.used_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheIndexProperty,
+                         ::testing::Values(64, 256, 1024, 1 << 20));
+
+}  // namespace
+}  // namespace vinelet::storage

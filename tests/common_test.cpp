@@ -1,0 +1,380 @@
+// Unit tests for the common module: Status/Result, ByteBuffer/Blob,
+// Channel, Rng, stats containers, string utilities, clocks.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "common/channel.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace vinelet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("widget missing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "widget missing");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: widget missing");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhaustedError("").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(FailedPreconditionError("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(UnavailableError("").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(DataLossError("").code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(CancelledError("").code(), ErrorCode::kCancelled);
+  EXPECT_EQ(TimeoutError("").code(), ErrorCode::kTimeout);
+  EXPECT_EQ(InternalError("").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodesOnly) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(NotFoundError("no"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// ByteBuffer / Blob
+// ---------------------------------------------------------------------------
+
+TEST(BytesTest, BufferAppendAndEquality) {
+  ByteBuffer a("abc");
+  ByteBuffer b;
+  b.AppendByte('a');
+  b.AppendByte('b');
+  b.AppendByte('c');
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "abc");
+  a.Append(b);
+  EXPECT_EQ(a.size(), 6u);
+}
+
+TEST(BytesTest, FilledBuffer) {
+  ByteBuffer buffer = ByteBuffer::Filled(100, 0x7F);
+  EXPECT_EQ(buffer.size(), 100u);
+  for (auto byte : buffer.vec()) EXPECT_EQ(byte, 0x7F);
+}
+
+TEST(BytesTest, BlobSharesPayloadOnCopy) {
+  Blob original = Blob::FromString("shared payload");
+  Blob copy = original;  // shares the pointer
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(copy.data(), original.data());  // same underlying storage
+}
+
+TEST(BytesTest, BlobContentEquality) {
+  EXPECT_EQ(Blob::FromString("x"), Blob::FromString("x"));
+  EXPECT_FALSE(Blob::FromString("x") == Blob::FromString("y"));
+}
+
+TEST(BytesTest, FormatBytesUnits) {
+  EXPECT_EQ(FormatBytes(17), "17 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KB");
+  EXPECT_EQ(FormatBytes(572ull * 1024 * 1024), "572.0 MB");
+  EXPECT_EQ(FormatBytes(3ull * 1024 * 1024 * 1024), "3.0 GB");
+}
+
+// ---------------------------------------------------------------------------
+// Channel
+// ---------------------------------------------------------------------------
+
+TEST(ChannelTest, FifoOrder) {
+  Channel<int> channel;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(channel.Send(i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(channel.Recv(), i);
+}
+
+TEST(ChannelTest, TryRecvOnEmpty) {
+  Channel<int> channel;
+  EXPECT_EQ(channel.TryRecv(), std::nullopt);
+}
+
+TEST(ChannelTest, BoundedTrySendRespectsCapacity) {
+  Channel<int> channel(2);
+  EXPECT_TRUE(channel.TrySend(1));
+  EXPECT_TRUE(channel.TrySend(2));
+  EXPECT_FALSE(channel.TrySend(3));  // full
+  channel.Recv();
+  EXPECT_TRUE(channel.TrySend(3));
+}
+
+TEST(ChannelTest, CloseDrainsQueuedValues) {
+  Channel<int> channel;
+  channel.Send(1);
+  channel.Send(2);
+  channel.Close();
+  EXPECT_FALSE(channel.Send(3));  // closed
+  EXPECT_EQ(channel.Recv(), 1);
+  EXPECT_EQ(channel.Recv(), 2);
+  EXPECT_EQ(channel.Recv(), std::nullopt);  // drained
+}
+
+TEST(ChannelTest, RecvForTimesOut) {
+  Channel<int> channel;
+  auto result = channel.RecvFor(std::chrono::milliseconds(5));
+  EXPECT_EQ(result, std::nullopt);
+}
+
+TEST(ChannelTest, CrossThreadHandoff) {
+  Channel<int> channel;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) channel.Send(i);
+    channel.Close();
+  });
+  int count = 0;
+  long long sum = 0;
+  while (auto v = channel.Recv()) {
+    ++count;
+    sum += *v;
+  }
+  producer.join();
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(sum, 999LL * 1000 / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(4242);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(4243);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Exponential(3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.15);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[static_cast<std::size_t>(i)] = i;
+  auto shuffled = items;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identical
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng forked = a.Fork();
+  EXPECT_NE(a.Next(), forked.Next());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  Rng rng(77);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(0, 1);
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(0.5);   // bin 0
+  hist.Add(3.0);   // bin 1
+  hist.Add(9.99);  // bin 4
+  hist.Add(-5.0);  // clamps into bin 0
+  hist.Add(50.0);  // clamps into bin 4
+  EXPECT_EQ(hist.total(), 5u);
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(1), 1u);
+  EXPECT_EQ(hist.count(4), 2u);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, RenderContainsEveryBin) {
+  Histogram hist(0.0, 4.0, 4);
+  hist.Add(1.0);
+  const std::string rendered = hist.Render(10);
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 4);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsEndpoints) {
+  TimeSeries series;
+  for (int i = 0; i <= 100; ++i) series.Add(i, 2.0 * i);
+  auto down = series.Downsample(11);
+  ASSERT_EQ(down.size(), 11u);
+  EXPECT_DOUBLE_EQ(down.front().t, 0.0);
+  EXPECT_DOUBLE_EQ(down.back().t, 100.0);
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall) {
+  TimeSeries series;
+  series.Add(1, 1);
+  series.Add(2, 2);
+  EXPECT_EQ(series.Downsample(10).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadLeft("7", 3), "  7");
+  EXPECT_EQ(PadRight("7", 3), "7  ");
+  EXPECT_EQ(PadLeft("long", 2), "long");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock;
+  EXPECT_EQ(clock.Now(), 0.0);
+  clock.Advance(1.5);
+  EXPECT_EQ(clock.Now(), 1.5);
+  clock.Set(10.0);
+  EXPECT_EQ(clock.Now(), 10.0);
+}
+
+TEST(ClockTest, StopwatchMeasuresManualTime) {
+  ManualClock clock;
+  Stopwatch watch(clock);
+  clock.Advance(2.0);
+  EXPECT_DOUBLE_EQ(watch.Elapsed(), 2.0);
+  watch.Restart();
+  EXPECT_DOUBLE_EQ(watch.Elapsed(), 0.0);
+}
+
+TEST(ClockTest, WallClockIsMonotonic) {
+  WallClock clock;
+  const double a = clock.Now();
+  const double b = clock.Now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace vinelet

@@ -1,0 +1,106 @@
+// ContentStore: verified puts, deduplication, eviction of payloads, and
+// thread safety under concurrent access.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/content_store.hpp"
+
+namespace vinelet::storage {
+namespace {
+
+TEST(ContentStoreTest, PutGetRoundTrip) {
+  ContentStore store;
+  const Blob blob = Blob::FromString("payload");
+  const auto id = hash::ContentId::Of(blob);
+  ASSERT_TRUE(store.Put(id, blob).ok());
+  auto fetched = store.Get(id);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(*fetched, blob);
+  EXPECT_EQ(store.used_bytes(), blob.size());
+}
+
+TEST(ContentStoreTest, HashMismatchRejected) {
+  ContentStore store;
+  const Blob blob = Blob::FromString("payload");
+  const auto wrong_id = hash::ContentId::OfText("something else");
+  EXPECT_EQ(store.Put(wrong_id, blob).code(), ErrorCode::kDataLoss);
+  EXPECT_FALSE(store.Contains(wrong_id));
+}
+
+TEST(ContentStoreTest, PutIsIdempotentForSameContent) {
+  ContentStore store;
+  const Blob blob = Blob::FromString("dup");
+  const auto id = hash::ContentId::Of(blob);
+  ASSERT_TRUE(store.Put(id, blob).ok());
+  ASSERT_TRUE(store.Put(id, blob).ok());  // dedupe, not an error
+  EXPECT_EQ(store.used_bytes(), blob.size());
+}
+
+TEST(ContentStoreTest, GetMissingFails) {
+  ContentStore store;
+  EXPECT_EQ(store.Get(hash::ContentId::OfText("ghost")).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(ContentStoreTest, EvictionDropsPayload) {
+  ContentStore store(20);
+  const Blob a = Blob::FromString("aaaaaaaaaa");  // 10 bytes
+  const Blob b = Blob::FromString("bbbbbbbbbb");
+  const Blob c = Blob::FromString("cccccccccc");
+  ASSERT_TRUE(store.Put(hash::ContentId::Of(a), a).ok());
+  ASSERT_TRUE(store.Put(hash::ContentId::Of(b), b).ok());
+  ASSERT_TRUE(store.Put(hash::ContentId::Of(c), c).ok());  // evicts a
+  EXPECT_FALSE(store.Contains(hash::ContentId::Of(a)));
+  EXPECT_TRUE(store.Contains(hash::ContentId::Of(c)));
+  EXPECT_LE(store.used_bytes(), 20u);
+}
+
+TEST(ContentStoreTest, PinBlocksEviction) {
+  ContentStore store(20);
+  const Blob a = Blob::FromString("aaaaaaaaaa");
+  const Blob b = Blob::FromString("bbbbbbbbbb");
+  const Blob c = Blob::FromString("cccccccccc");
+  ASSERT_TRUE(store.Put(hash::ContentId::Of(a), a).ok());
+  ASSERT_TRUE(store.Pin(hash::ContentId::Of(a)).ok());
+  ASSERT_TRUE(store.Put(hash::ContentId::Of(b), b).ok());
+  ASSERT_TRUE(store.Put(hash::ContentId::Of(c), c).ok());  // must evict b
+  EXPECT_TRUE(store.Contains(hash::ContentId::Of(a)));
+  EXPECT_FALSE(store.Contains(hash::ContentId::Of(b)));
+}
+
+TEST(ContentStoreTest, RemoveReleasesBytes) {
+  ContentStore store;
+  const Blob blob = Blob::FromString("bye");
+  const auto id = hash::ContentId::Of(blob);
+  ASSERT_TRUE(store.Put(id, blob).ok());
+  ASSERT_TRUE(store.Remove(id).ok());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_FALSE(store.Get(id).ok());
+}
+
+TEST(ContentStoreTest, ConcurrentPutsAndGets) {
+  ContentStore store;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Blob blob =
+            Blob::FromString("t" + std::to_string(t) + "i" + std::to_string(i));
+        const auto id = hash::ContentId::Of(blob);
+        ASSERT_TRUE(store.Put(id, blob).ok());
+        auto fetched = store.Get(id);
+        ASSERT_TRUE(fetched.ok());
+        ASSERT_EQ(*fetched, blob);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(store.stats().hits, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace vinelet::storage

@@ -1,0 +1,120 @@
+// ResourceAllocator: allocation/release invariants, whole-worker
+// semantics, and a random-workload conservation property.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/resources.hpp"
+#include "core/types.hpp"
+
+namespace vinelet::core {
+namespace {
+
+TEST(ResourcesTest, AllSentinel) {
+  EXPECT_TRUE(Resources::All().IsAll());
+  EXPECT_FALSE((Resources{1, 1, 1}).IsAll());
+  EXPECT_EQ(Resources::All().ToString(), "{all}");
+}
+
+TEST(ResourcesTest, FitsWithinComponentwise) {
+  const Resources avail{4, 100, 100};
+  EXPECT_TRUE((Resources{4, 100, 100}).FitsWithin(avail));
+  EXPECT_FALSE((Resources{5, 1, 1}).FitsWithin(avail));
+  EXPECT_FALSE((Resources{1, 101, 1}).FitsWithin(avail));
+  EXPECT_FALSE((Resources{1, 1, 101}).FitsWithin(avail));
+}
+
+TEST(AllocatorTest, AllocateAndRelease) {
+  ResourceAllocator alloc(Resources{32, 1024, 1024});
+  auto claimed = alloc.Allocate(Resources{2, 128, 64});
+  ASSERT_TRUE(claimed.ok());
+  EXPECT_EQ(alloc.free().cores, 30u);
+  EXPECT_EQ(alloc.free().memory_mb, 896u);
+  ASSERT_TRUE(alloc.Release(*claimed).ok());
+  EXPECT_TRUE(alloc.FullyIdle());
+}
+
+TEST(AllocatorTest, RejectsOverAllocation) {
+  ResourceAllocator alloc(Resources{2, 100, 100});
+  EXPECT_TRUE(alloc.CanAllocate(Resources{2, 100, 100}));
+  EXPECT_FALSE(alloc.CanAllocate(Resources{3, 1, 1}));
+  EXPECT_EQ(alloc.Allocate(Resources{3, 1, 1}).status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(AllocatorTest, WholeWorkerRequiresIdle) {
+  ResourceAllocator alloc(Resources{8, 100, 100});
+  auto small = alloc.Allocate(Resources{1, 1, 1});
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(alloc.CanAllocate(Resources::All()));
+  EXPECT_FALSE(alloc.Allocate(Resources::All()).ok());
+  ASSERT_TRUE(alloc.Release(*small).ok());
+  auto whole = alloc.Allocate(Resources::All());
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole->cores, 8u);  // resolved to the full worker
+  EXPECT_FALSE(alloc.CanAllocate(Resources{1, 1, 1}));
+  ASSERT_TRUE(alloc.Release(*whole).ok());
+  EXPECT_TRUE(alloc.FullyIdle());
+}
+
+TEST(AllocatorTest, OverReleaseRejected) {
+  ResourceAllocator alloc(Resources{4, 100, 100});
+  EXPECT_EQ(alloc.Release(Resources{1, 1, 1}).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(AllocatorTest, SlotPackingMatchesPaperShapes) {
+  // LNNI: 32-core worker, 2-core invocations -> 16 concurrent (§4.2).
+  ResourceAllocator lnni(Resources{32, 64 * 1024, 64 * 1024});
+  int fitted = 0;
+  while (lnni.Allocate(Resources{2, 4 * 1024, 4 * 1024}).ok()) ++fitted;
+  EXPECT_EQ(fitted, 16);
+  // ExaMol: 4-core/8GB invocations -> 8 concurrent, memory-bound.
+  ResourceAllocator examol(Resources{32, 64 * 1024, 64 * 1024});
+  fitted = 0;
+  while (examol.Allocate(Resources{4, 8 * 1024, 8 * 1024}).ok()) ++fitted;
+  EXPECT_EQ(fitted, 8);
+}
+
+TEST(AllocatorTest, ConservationUnderRandomWorkload) {
+  const Resources total{32, 4096, 4096};
+  ResourceAllocator alloc(total);
+  Rng rng(99);
+  std::vector<Resources> held;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.NextBelow(2) == 0 || held.empty()) {
+      Resources request{static_cast<std::uint32_t>(1 + rng.NextBelow(8)),
+                        1 + rng.NextBelow(512), 1 + rng.NextBelow(512)};
+      auto claimed = alloc.Allocate(request);
+      if (claimed.ok()) held.push_back(*claimed);
+    } else {
+      const std::size_t pick = rng.NextBelow(held.size());
+      ASSERT_TRUE(alloc.Release(held[pick]).ok());
+      held.erase(held.begin() + static_cast<long>(pick));
+    }
+    // Conservation: free + held == total, componentwise.
+    Resources sum = alloc.free();
+    for (const auto& h : held) {
+      sum.cores += h.cores;
+      sum.memory_mb += h.memory_mb;
+      sum.disk_mb += h.disk_mb;
+    }
+    ASSERT_EQ(sum, total);
+  }
+}
+
+TEST(ReuseLevelTest, Names) {
+  EXPECT_EQ(ReuseLevelName(ReuseLevel::kL1), "L1");
+  EXPECT_EQ(ReuseLevelName(ReuseLevel::kL2), "L2");
+  EXPECT_EQ(ReuseLevelName(ReuseLevel::kL3), "L3");
+}
+
+TEST(TimingBreakdownTest, TotalAndAccumulate) {
+  TimingBreakdown a{1, 2, 3, 4};
+  TimingBreakdown b{0.5, 0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.Total(), 12.0);
+  EXPECT_DOUBLE_EQ(a.transfer_s, 1.5);
+}
+
+}  // namespace
+}  // namespace vinelet::core

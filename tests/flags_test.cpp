@@ -1,0 +1,71 @@
+// Flags: both argument forms, typed getters, unknown-flag rejection.
+#include <gtest/gtest.h>
+
+#include "common/flags.hpp"
+
+namespace vinelet {
+namespace {
+
+Result<Flags> ParseArgs(std::vector<const char*> argv,
+                        std::vector<std::string> allowed) {
+  argv.insert(argv.begin(), "prog");
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data(), allowed);
+}
+
+TEST(FlagsTest, EqualsForm) {
+  auto flags = ParseArgs({"--workers=150", "--level=3"}, {"workers", "level"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("workers", 0).value(), 150);
+  EXPECT_EQ(flags->GetInt("level", 0).value(), 3);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  auto flags = ParseArgs({"--workers", "50"}, {"workers"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("workers", 0).value(), 50);
+}
+
+TEST(FlagsTest, BareFlagIsBoolean) {
+  auto flags = ParseArgs({"--verbose", "--quick"}, {"verbose", "quick"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("verbose"));
+  EXPECT_TRUE(flags->GetBool("quick"));
+  EXPECT_FALSE(flags->GetBool("absent"));
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  auto flags = ParseArgs({"--workres=150"}, {"workers"});
+  EXPECT_EQ(flags.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  auto flags = ParseArgs({"input.txt", "--n=3", "more"}, {"n"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->positional(),
+            (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  auto flags = ParseArgs({}, {"n", "ratio", "name"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 7).value(), 7);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("ratio", 0.5).value(), 0.5);
+  EXPECT_EQ(flags->GetString("name", "fallback"), "fallback");
+  EXPECT_FALSE(flags->Has("n"));
+}
+
+TEST(FlagsTest, MalformedNumbersRejected) {
+  auto flags = ParseArgs({"--n=abc", "--ratio=x.y"}, {"n", "ratio"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->GetInt("n", 0).ok());
+  EXPECT_FALSE(flags->GetDouble("ratio", 0).ok());
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  auto flags = ParseArgs({"--ratio=2.75"}, {"ratio"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_DOUBLE_EQ(flags->GetDouble("ratio", 0).value(), 2.75);
+}
+
+}  // namespace
+}  // namespace vinelet

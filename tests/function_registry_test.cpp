@@ -1,0 +1,178 @@
+// FunctionRegistry + SerializedFunction: registration semantics, import
+// discovery, and the cloudpickle-analog serialization path.
+#include <gtest/gtest.h>
+
+#include "serde/function_registry.hpp"
+
+namespace vinelet::serde {
+namespace {
+
+FunctionDef MakeEcho(const std::string& name) {
+  FunctionDef def;
+  def.name = name;
+  def.fn = [](const Value& args, const InvocationEnv&) -> Result<Value> {
+    return args;
+  };
+  return def;
+}
+
+TEST(FunctionRegistryTest, RegisterAndFind) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterFunction(MakeEcho("echo")).ok());
+  auto found = registry.FindFunction("echo");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->name, "echo");
+  EXPECT_TRUE(registry.HasFunction("echo"));
+  EXPECT_FALSE(registry.HasFunction("missing"));
+}
+
+TEST(FunctionRegistryTest, DuplicateRejected) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterFunction(MakeEcho("f")).ok());
+  EXPECT_EQ(registry.RegisterFunction(MakeEcho("f")).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(FunctionRegistryTest, EmptyNameOrBodyRejected) {
+  FunctionRegistry registry;
+  EXPECT_EQ(registry.RegisterFunction(MakeEcho("")).code(),
+            ErrorCode::kInvalidArgument);
+  FunctionDef no_body;
+  no_body.name = "x";
+  EXPECT_EQ(registry.RegisterFunction(no_body).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FunctionRegistryTest, FindMissingFails) {
+  FunctionRegistry registry;
+  EXPECT_EQ(registry.FindFunction("ghost").status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(registry.FindSetup("ghost").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(FunctionRegistryTest, SetupRegistration) {
+  FunctionRegistry registry;
+  ContextSetupDef setup;
+  setup.name = "setup";
+  setup.fn = [](const Value&, const InvocationEnv&) -> Result<ContextHandle> {
+    return ContextHandle();
+  };
+  ASSERT_TRUE(registry.RegisterSetup(setup).ok());
+  EXPECT_TRUE(registry.FindSetup("setup").ok());
+  EXPECT_EQ(registry.RegisterSetup(setup).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(FunctionRegistryTest, FunctionNamesSorted) {
+  FunctionRegistry registry;
+  (void)registry.RegisterFunction(MakeEcho("zeta"));
+  (void)registry.RegisterFunction(MakeEcho("alpha"));
+  EXPECT_EQ(registry.FunctionNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(FunctionRegistryTest, ImportsUnionIncludesSetups) {
+  FunctionRegistry registry;
+  FunctionDef f = MakeEcho("f");
+  f.imports = {"numpy", "pandas"};
+  f.setup_name = "f_setup";
+  (void)registry.RegisterFunction(f);
+  FunctionDef g = MakeEcho("g");
+  g.imports = {"numpy", "scipy"};
+  (void)registry.RegisterFunction(g);
+  ContextSetupDef setup;
+  setup.name = "f_setup";
+  setup.imports = {"tensorflow"};
+  setup.fn = [](const Value&, const InvocationEnv&) -> Result<ContextHandle> {
+    return ContextHandle();
+  };
+  (void)registry.RegisterSetup(setup);
+
+  auto imports = registry.ImportsOf({"f", "g"});
+  ASSERT_TRUE(imports.ok());
+  EXPECT_EQ(*imports, (std::vector<std::string>{"numpy", "pandas", "scipy",
+                                                "tensorflow"}));
+}
+
+TEST(FunctionRegistryTest, ImportsOfUnknownFunctionFails) {
+  FunctionRegistry registry;
+  EXPECT_EQ(registry.ImportsOf({"nope"}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(FunctionRegistryTest, ImportsOfMissingSetupFails) {
+  FunctionRegistry registry;
+  FunctionDef f = MakeEcho("f");
+  f.setup_name = "never_registered";
+  (void)registry.RegisterFunction(f);
+  EXPECT_EQ(registry.ImportsOf({"f"}).status().code(), ErrorCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// InvocationEnv
+// ---------------------------------------------------------------------------
+
+TEST(InvocationEnvTest, FileLookup) {
+  std::map<std::string, Blob> files{{"data", Blob::FromString("contents")}};
+  InvocationEnv env;
+  env.files = &files;
+  EXPECT_TRUE(env.HasFile("data"));
+  EXPECT_EQ(env.File("data").ToString(), "contents");
+  EXPECT_FALSE(env.HasFile("other"));
+  EXPECT_TRUE(env.File("other").empty());
+}
+
+TEST(InvocationEnvTest, NullFilesMapIsSafe) {
+  InvocationEnv env;
+  EXPECT_FALSE(env.HasFile("anything"));
+  EXPECT_TRUE(env.File("anything").empty());
+}
+
+// ---------------------------------------------------------------------------
+// SerializedFunction
+// ---------------------------------------------------------------------------
+
+TEST(SerializedFunctionTest, RoundTrip) {
+  const Value closure = Value::Dict({{"captured", Value(99)}});
+  const Blob blob = SerializedFunction::Serialize("my_fn", closure, 512);
+  auto parsed = SerializedFunction::Deserialize(blob);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name(), "my_fn");
+  EXPECT_EQ(parsed->closure(), closure);
+  EXPECT_EQ(parsed->code_size(), 512u);
+}
+
+TEST(SerializedFunctionTest, DeterministicBytes) {
+  EXPECT_EQ(SerializedFunction::Serialize("f", Value(1), 256),
+            SerializedFunction::Serialize("f", Value(1), 256));
+  EXPECT_FALSE(SerializedFunction::Serialize("f", Value(1), 256) ==
+               SerializedFunction::Serialize("g", Value(1), 256));
+}
+
+TEST(SerializedFunctionTest, CorruptionDetected) {
+  Blob blob = SerializedFunction::Serialize("fn", Value(), 128);
+  std::vector<std::uint8_t> bytes(blob.span().begin(), blob.span().end());
+  bytes[bytes.size() / 2] ^= 0xFF;  // flip a code byte
+  auto parsed = SerializedFunction::Deserialize(Blob(std::move(bytes)));
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(SerializedFunctionTest, BadMagicRejected) {
+  auto parsed = SerializedFunction::Deserialize(Blob::FromString("garbage"));
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(SerializedFunctionTest, TruncationRejected) {
+  Blob blob = SerializedFunction::Serialize("fn", Value("closure"), 300);
+  for (std::size_t cut : {0ul, 5ul, blob.size() / 2, blob.size() - 1}) {
+    std::vector<std::uint8_t> prefix(blob.span().begin(),
+                                     blob.span().begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SerializedFunction::Deserialize(Blob(std::move(prefix))).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(SerializedFunctionTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&FunctionRegistry::Global(), &FunctionRegistry::Global());
+}
+
+}  // namespace
+}  // namespace vinelet::serde

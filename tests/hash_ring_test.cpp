@@ -1,0 +1,161 @@
+// HashRing: ownership stability, walk semantics, and balance/reshuffle
+// properties (parameterized over ring sizes).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hash/hash_ring.hpp"
+
+namespace vinelet::hash {
+namespace {
+
+TEST(HashRingTest, EmptyRingHasNoOwner) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.Owner(123u), std::nullopt);
+  EXPECT_TRUE(ring.WalkFrom(1).empty());
+}
+
+TEST(HashRingTest, SingleMemberOwnsEverything) {
+  HashRing ring;
+  ring.Add(42);
+  for (std::uint64_t key = 0; key < 100; ++key)
+    EXPECT_EQ(ring.Owner(key), 42u);
+}
+
+TEST(HashRingTest, AddIsIdempotent) {
+  HashRing ring;
+  ring.Add(1);
+  ring.Add(1);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(HashRingTest, RemoveUnknownIsNoOp) {
+  HashRing ring;
+  ring.Add(1);
+  ring.Remove(99);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(HashRingTest, ContainsTracksMembership) {
+  HashRing ring;
+  ring.Add(7);
+  EXPECT_TRUE(ring.Contains(7));
+  ring.Remove(7);
+  EXPECT_FALSE(ring.Contains(7));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(HashRingTest, OwnerIsStableAcrossUnrelatedChanges) {
+  HashRing ring;
+  for (std::uint64_t m = 1; m <= 10; ++m) ring.Add(m);
+  const std::uint64_t key = 0xABCDEF;
+  const auto owner = ring.Owner(key);
+  ASSERT_TRUE(owner.has_value());
+  // Removing a *different* member must not move this key.
+  std::uint64_t other = (*owner == 1) ? 2 : 1;
+  ring.Remove(other);
+  EXPECT_EQ(ring.Owner(key), owner);
+}
+
+TEST(HashRingTest, WalkVisitsEveryMemberOnce) {
+  HashRing ring;
+  for (std::uint64_t m = 1; m <= 20; ++m) ring.Add(m);
+  const auto walk = ring.WalkFrom(12345);
+  EXPECT_EQ(walk.size(), 20u);
+  std::set<std::uint64_t> seen(walk.begin(), walk.end());
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(HashRingTest, WalkStartsAtOwner) {
+  HashRing ring;
+  for (std::uint64_t m = 1; m <= 8; ++m) ring.Add(m);
+  const auto walk = ring.WalkFrom(777);
+  ASSERT_FALSE(walk.empty());
+  EXPECT_EQ(walk.front(), ring.Owner(777u).value());
+}
+
+TEST(HashRingTest, StringKeysResolve) {
+  HashRing ring;
+  ring.Add(1);
+  ring.Add(2);
+  const auto owner = ring.Owner(std::string("lnni_infer"));
+  ASSERT_TRUE(owner.has_value());
+  // Deterministic: same key, same owner.
+  EXPECT_EQ(ring.Owner(std::string("lnni_infer")), owner);
+}
+
+TEST(HashRingTest, MembersSorted) {
+  HashRing ring;
+  ring.Add(5);
+  ring.Add(1);
+  ring.Add(3);
+  EXPECT_EQ(ring.Members(), (std::vector<std::uint64_t>{1, 3, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: balance and minimal reshuffling across ring sizes.
+// ---------------------------------------------------------------------------
+
+class HashRingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HashRingProperty, LoadIsRoughlyBalanced) {
+  const std::size_t members = GetParam();
+  HashRing ring(64);
+  for (std::size_t m = 1; m <= members; ++m) ring.Add(m);
+
+  const std::size_t keys = 20000;
+  std::map<std::uint64_t, std::size_t> load;
+  for (std::size_t k = 0; k < keys; ++k) load[*ring.Owner(k * 2654435761u)]++;
+
+  const double expected = static_cast<double>(keys) / static_cast<double>(members);
+  for (const auto& [member, count] : load) {
+    EXPECT_GT(static_cast<double>(count), expected * 0.4)
+        << "member " << member << " underloaded";
+    EXPECT_LT(static_cast<double>(count), expected * 1.9)
+        << "member " << member << " overloaded";
+  }
+}
+
+TEST_P(HashRingProperty, RemovalOnlyMovesVictimsKeys) {
+  const std::size_t members = GetParam();
+  if (members < 2) GTEST_SKIP();
+  HashRing ring(64);
+  for (std::size_t m = 1; m <= members; ++m) ring.Add(m);
+
+  const std::size_t keys = 5000;
+  std::map<std::uint64_t, std::uint64_t> before;
+  for (std::size_t k = 0; k < keys; ++k)
+    before[k] = *ring.Owner(k * 2654435761u);
+
+  const std::uint64_t victim = members / 2;
+  ring.Remove(victim);
+  for (std::size_t k = 0; k < keys; ++k) {
+    const std::uint64_t now = *ring.Owner(k * 2654435761u);
+    if (before[k] != victim) {
+      EXPECT_EQ(now, before[k]) << "non-victim key moved: " << k;
+    } else {
+      EXPECT_NE(now, victim);
+    }
+  }
+}
+
+TEST_P(HashRingProperty, WalkCoversAllAfterChurn) {
+  const std::size_t members = GetParam();
+  HashRing ring;
+  for (std::size_t m = 1; m <= members; ++m) ring.Add(m);
+  // Churn: remove every third member, add new high-numbered ones.
+  for (std::size_t m = 3; m <= members; m += 3) ring.Remove(m);
+  for (std::size_t m = 0; m < members / 4; ++m) ring.Add(1000 + m);
+
+  const auto walk = ring.WalkFrom(42);
+  std::set<std::uint64_t> seen(walk.begin(), walk.end());
+  EXPECT_EQ(seen.size(), ring.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HashRingProperty,
+                         ::testing::Values(1, 2, 5, 16, 50, 150));
+
+}  // namespace
+}  // namespace vinelet::hash

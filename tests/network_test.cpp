@@ -1,0 +1,93 @@
+// In-process Network transport: registration, delivery, departure
+// semantics, and accounting.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/network.hpp"
+
+namespace vinelet::net {
+namespace {
+
+TEST(NetworkTest, RegisterAndSend) {
+  Network network;
+  auto inbox = network.Register(1);
+  ASSERT_TRUE(inbox.ok());
+  ASSERT_TRUE(network.Send(0, 1, Blob::FromString("hello")).ok());
+  auto frame = (*inbox)->Recv();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sender, 0u);
+  EXPECT_EQ(frame->payload.ToString(), "hello");
+}
+
+TEST(NetworkTest, DuplicateRegistrationRejected) {
+  Network network;
+  ASSERT_TRUE(network.Register(1).ok());
+  EXPECT_EQ(network.Register(1).status().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(NetworkTest, SendToUnknownFails) {
+  Network network;
+  EXPECT_EQ(network.Send(0, 99, Blob()).code(), ErrorCode::kNotFound);
+}
+
+TEST(NetworkTest, UnregisterClosesInbox) {
+  Network network;
+  auto inbox = network.Register(1);
+  ASSERT_TRUE(inbox.ok());
+  ASSERT_TRUE(network.Send(0, 1, Blob::FromString("queued")).ok());
+  network.Unregister(1);
+  EXPECT_FALSE(network.Connected(1));
+  // Queued frame still drains; then the closed inbox reports end.
+  EXPECT_TRUE((*inbox)->Recv().has_value());
+  EXPECT_FALSE((*inbox)->Recv().has_value());
+  EXPECT_EQ(network.Send(0, 1, Blob()).code(), ErrorCode::kNotFound);
+}
+
+TEST(NetworkTest, UnregisterTwiceIsNoOp) {
+  Network network;
+  ASSERT_TRUE(network.Register(1).ok());
+  network.Unregister(1);
+  network.Unregister(1);
+  EXPECT_FALSE(network.Connected(1));
+}
+
+TEST(NetworkTest, AccountingCountsFramesAndBytes) {
+  Network network;
+  auto inbox = network.Register(1);
+  ASSERT_TRUE(inbox.ok());
+  ASSERT_TRUE(network.Send(0, 1, Blob::FromString("12345")).ok());
+  ASSERT_TRUE(network.Send(0, 1, Blob::FromString("678")).ok());
+  EXPECT_EQ(network.frames_delivered(), 2u);
+  EXPECT_EQ(network.bytes_delivered(), 8u);
+}
+
+TEST(NetworkTest, ManyToOneDelivery) {
+  Network network;
+  auto inbox = network.Register(kManagerEndpoint);
+  ASSERT_TRUE(inbox.ok());
+  constexpr int kSenders = 4;
+  constexpr int kEach = 250;
+  std::vector<std::thread> senders;
+  for (int s = 1; s <= kSenders; ++s) {
+    senders.emplace_back([&network, s] {
+      for (int i = 0; i < kEach; ++i) {
+        ASSERT_TRUE(network
+                        .Send(static_cast<EndpointId>(s), kManagerEndpoint,
+                              Blob::FromString("m"))
+                        .ok());
+      }
+    });
+  }
+  int received = 0;
+  while (received < kSenders * kEach) {
+    auto frame = (*inbox)->Recv();
+    ASSERT_TRUE(frame.has_value());
+    ++received;
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(received, kSenders * kEach);
+}
+
+}  // namespace
+}  // namespace vinelet::net

@@ -1,0 +1,283 @@
+// Poncho: catalog resolution (transitive closure, cycles, determinism),
+// the synthetic ML catalog's calibration, packing/unpacking, and the
+// end-to-end analyzer.
+#include <gtest/gtest.h>
+
+#include "hash/content_id.hpp"
+#include "poncho/analyzer.hpp"
+#include "poncho/package.hpp"
+#include "poncho/packer.hpp"
+
+namespace vinelet::poncho {
+namespace {
+
+PackageCatalog SmallCatalog() {
+  PackageCatalog catalog;
+  EXPECT_TRUE(catalog.Add({"base", "1.0", 100, 10, {}}).ok());
+  EXPECT_TRUE(catalog.Add({"mid", "2.0", 200, 20, {"base"}}).ok());
+  EXPECT_TRUE(catalog.Add({"top", "3.0", 300, 30, {"mid", "base"}}).ok());
+  EXPECT_TRUE(catalog.Add({"other", "1.1", 50, 5, {"base"}}).ok());
+  return catalog;
+}
+
+TEST(PackageCatalogTest, AddAndFind) {
+  PackageCatalog catalog = SmallCatalog();
+  EXPECT_EQ(catalog.size(), 4u);
+  auto pkg = catalog.Find("mid");
+  ASSERT_TRUE(pkg.ok());
+  EXPECT_EQ(pkg->version, "2.0");
+  EXPECT_FALSE(catalog.Find("nope").ok());
+  EXPECT_TRUE(catalog.Contains("top"));
+}
+
+TEST(PackageCatalogTest, DuplicateAddRejected) {
+  PackageCatalog catalog = SmallCatalog();
+  EXPECT_EQ(catalog.Add({"base", "9.9", 0, 0, {}}).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(PackageCatalogTest, EmptyNameRejected) {
+  PackageCatalog catalog;
+  EXPECT_EQ(catalog.Add({"", "1", 0, 0, {}}).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(PackageCatalogTest, ResolveTransitiveClosure) {
+  PackageCatalog catalog = SmallCatalog();
+  auto resolved = catalog.Resolve({"top"});
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_EQ(resolved->size(), 3u);  // top, mid, base — not "other"
+  EXPECT_EQ((*resolved)[0].name, "base");  // sorted
+  EXPECT_EQ((*resolved)[2].name, "top");
+}
+
+TEST(PackageCatalogTest, ResolveDeduplicatesSharedDeps) {
+  PackageCatalog catalog = SmallCatalog();
+  auto resolved = catalog.Resolve({"top", "other"});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->size(), 4u);  // base appears once
+}
+
+TEST(PackageCatalogTest, ResolveMissingFails) {
+  PackageCatalog catalog = SmallCatalog();
+  EXPECT_EQ(catalog.Resolve({"phantom"}).status().code(),
+            ErrorCode::kNotFound);
+  // A missing transitive dep also fails.
+  (void)catalog.Add({"broken", "1", 0, 0, {"missing-dep"}});
+  EXPECT_EQ(catalog.Resolve({"broken"}).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(PackageCatalogTest, CycleDetected) {
+  PackageCatalog catalog;
+  (void)catalog.Add({"a", "1", 0, 0, {"b"}});
+  (void)catalog.Add({"b", "1", 0, 0, {"c"}});
+  (void)catalog.Add({"c", "1", 0, 0, {"a"}});
+  EXPECT_EQ(catalog.Resolve({"a"}).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(PackageCatalogTest, SelfCycleDetected) {
+  PackageCatalog catalog;
+  (void)catalog.Add({"selfish", "1", 0, 0, {"selfish"}});
+  EXPECT_EQ(catalog.Resolve({"selfish"}).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(PackageCatalogTest, ResolvePinnedMatchingVersion) {
+  PackageCatalog catalog = SmallCatalog();
+  auto resolved = catalog.ResolvePinned({{"top", "3.0"}, {"other", ""}});
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_EQ(resolved->size(), 4u);
+}
+
+TEST(PackageCatalogTest, ResolvePinnedVersionConflict) {
+  PackageCatalog catalog = SmallCatalog();
+  auto resolved = catalog.ResolvePinned({{"top", "9.9"}});
+  EXPECT_EQ(resolved.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(PackageCatalogTest, ResolvePinnedUnknownPackage) {
+  PackageCatalog catalog = SmallCatalog();
+  EXPECT_EQ(catalog.ResolvePinned({{"phantom", "1.0"}}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(PackageCatalogTest, ResolveIsDeterministic) {
+  PackageCatalog catalog = SmallCatalog();
+  auto a = catalog.Resolve({"top", "other"});
+  auto b = catalog.Resolve({"other", "top"});  // different root order
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i)
+    EXPECT_EQ((*a)[i].name, (*b)[i].name);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic ML catalog: must match the paper's environment shape.
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticCatalogTest, MlInferenceMatchesPaperNumbers) {
+  PackageCatalog catalog = PackageCatalog::SyntheticMlCatalog(1.0);
+  auto resolved = catalog.Resolve({"ml-inference"});
+  ASSERT_TRUE(resolved.ok());
+  EnvironmentSpec spec{*resolved};
+
+  // Paper §4.7: 144 packages, 3.1 GB unpacked, 572 MB packed.
+  // (the ml-inference meta-package itself is the +1)
+  EXPECT_EQ(spec.packages.size(), 145u);
+  EXPECT_NEAR(static_cast<double>(spec.TotalUnpackedBytes()),
+              3.1 * 1024 * 1024 * 1024, 0.15 * 1024 * 1024 * 1024);
+  EXPECT_NEAR(static_cast<double>(spec.TotalPackedBytes()),
+              572.0 * 1024 * 1024, 40.0 * 1024 * 1024);
+}
+
+TEST(SyntheticCatalogTest, ScaleShrinksBytesNotCounts) {
+  PackageCatalog small = PackageCatalog::SyntheticMlCatalog(0.001);
+  auto resolved = small.Resolve({"ml-inference"});
+  ASSERT_TRUE(resolved.ok());
+  EnvironmentSpec spec{*resolved};
+  EXPECT_EQ(spec.packages.size(), 145u);
+  EXPECT_LT(spec.TotalUnpackedBytes(), 10ull * 1024 * 1024);
+}
+
+TEST(SyntheticCatalogTest, ChemStackResolves) {
+  PackageCatalog catalog = PackageCatalog::SyntheticMlCatalog(0.01);
+  auto resolved = catalog.Resolve({"chem-design"});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_GT(resolved->size(), 5u);
+}
+
+TEST(EnvironmentSpecTest, PinnedSpecStringStable) {
+  PackageCatalog catalog = SmallCatalog();
+  EnvironmentSpec spec{catalog.Resolve({"top"}).value()};
+  EXPECT_EQ(spec.PinnedSpecString(), "base=1.0;mid=2.0;top=3.0;");
+}
+
+// ---------------------------------------------------------------------------
+// Packer
+// ---------------------------------------------------------------------------
+
+TEST(PackerTest, EnvironmentPackUnpackRoundTrip) {
+  PackageCatalog catalog = SmallCatalog();
+  EnvironmentSpec spec{catalog.Resolve({"top"}).value()};
+  const Blob tarball = Packer::PackEnvironment(spec);
+  EXPECT_GT(tarball.size(), spec.TotalPackedBytes());  // payload + index
+
+  auto dir = Packer::Unpack(tarball);
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+  EXPECT_EQ(dir->files.size(), 3u);
+  EXPECT_EQ(dir->total_bytes, spec.TotalUnpackedBytes());
+  EXPECT_TRUE(dir->files.contains("base-1.0"));
+  EXPECT_EQ(dir->files.at("base-1.0").size(), 100u);
+}
+
+TEST(PackerTest, PackIsDeterministicAndContentAddressable) {
+  PackageCatalog catalog = SmallCatalog();
+  EnvironmentSpec spec{catalog.Resolve({"top"}).value()};
+  const Blob a = Packer::PackEnvironment(spec);
+  const Blob b = Packer::PackEnvironment(spec);
+  EXPECT_EQ(hash::ContentId::Of(a), hash::ContentId::Of(b));
+}
+
+TEST(PackerTest, StoredFilesPreserveContent) {
+  const Blob archive = Packer::PackFiles(
+      {{"notes.txt", Blob::FromString("hello")},
+       {"weights.bin", Blob::FromString(std::string(1000, 'w'))}});
+  auto dir = Packer::Unpack(archive);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->files.at("notes.txt").ToString(), "hello");
+  EXPECT_EQ(dir->files.at("weights.bin").size(), 1000u);
+  EXPECT_EQ(dir->total_bytes, 1005u);
+}
+
+TEST(PackerTest, EmptyArchive) {
+  const Blob archive = Packer::PackFiles({});
+  auto dir = Packer::Unpack(archive);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_TRUE(dir->files.empty());
+  EXPECT_EQ(Packer::CountEntries(archive).value(), 0u);
+}
+
+TEST(PackerTest, CountEntriesWithoutUnpack) {
+  PackageCatalog catalog = SmallCatalog();
+  EnvironmentSpec spec{catalog.Resolve({"top", "other"}).value()};
+  const Blob tarball = Packer::PackEnvironment(spec);
+  EXPECT_EQ(Packer::CountEntries(tarball).value(), 4u);
+}
+
+TEST(PackerTest, BadMagicRejected) {
+  EXPECT_EQ(Packer::Unpack(Blob::FromString("not an archive")).status().code(),
+            ErrorCode::kDataLoss);
+}
+
+TEST(PackerTest, TruncationRejected) {
+  const Blob archive =
+      Packer::PackFiles({{"f", Blob::FromString("0123456789")}});
+  std::vector<std::uint8_t> prefix(archive.span().begin(),
+                                   archive.span().end() - 3);
+  EXPECT_FALSE(Packer::Unpack(Blob(std::move(prefix))).ok());
+}
+
+TEST(PackerTest, DeterministicBytesAreStable) {
+  const Blob a = Packer::DeterministicBytes("seed", 1000);
+  const Blob b = Packer::DeterministicBytes("seed", 1000);
+  const Blob c = Packer::DeterministicBytes("other", 1000);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.size(), 1000u);
+  EXPECT_EQ(Packer::DeterministicBytes("seed", 0).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerTest, AnalyzeImportsEndToEnd) {
+  Analyzer analyzer(PackageCatalog::SyntheticMlCatalog(0.001));
+  auto env = analyzer.AnalyzeImports({"numpy", "pillow"});
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_GE(env->spec.packages.size(), 5u);
+  EXPECT_FALSE(env->tarball.empty());
+  EXPECT_EQ(env->tarball_id, hash::ContentId::Of(env->tarball));
+
+  auto dir = Packer::Unpack(env->tarball);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->files.size(), env->spec.packages.size());
+}
+
+TEST(AnalyzerTest, AnalyzeFunctionsUsesRegistryImports) {
+  serde::FunctionRegistry registry;
+  serde::FunctionDef def;
+  def.name = "uses_numpy";
+  def.imports = {"numpy"};
+  def.fn = [](const serde::Value& v, const serde::InvocationEnv&)
+      -> Result<serde::Value> { return v; };
+  ASSERT_TRUE(registry.RegisterFunction(def).ok());
+
+  Analyzer analyzer(PackageCatalog::SyntheticMlCatalog(0.001));
+  auto env = analyzer.AnalyzeFunctions(registry, {"uses_numpy"});
+  ASSERT_TRUE(env.ok());
+  bool has_numpy = false;
+  for (const auto& pkg : env->spec.packages)
+    if (pkg.name == "numpy") has_numpy = true;
+  EXPECT_TRUE(has_numpy);
+}
+
+TEST(AnalyzerTest, UnknownImportFails) {
+  Analyzer analyzer(PackageCatalog::SyntheticMlCatalog(0.001));
+  EXPECT_EQ(analyzer.AnalyzeImports({"left-pad"}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(AnalyzerTest, IdenticalEnvironmentsDeduplicateByContent) {
+  Analyzer analyzer(PackageCatalog::SyntheticMlCatalog(0.001));
+  auto a = analyzer.AnalyzeImports({"numpy"});
+  auto b = analyzer.AnalyzeImports({"numpy"});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tarball_id, b->tarball_id);
+}
+
+}  // namespace
+}  // namespace vinelet::poncho

@@ -1,0 +1,195 @@
+// Wire protocol: encode/decode round trip of every message type, plus
+// malformed-frame rejection (truncation sweep over a representative frame).
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+
+namespace vinelet::core {
+namespace {
+
+storage::FileDecl SampleDecl() {
+  storage::FileDecl decl;
+  decl.name = "env:lnni";
+  const Blob payload = Blob::FromString("tarball bytes");
+  decl.id = hash::ContentId::Of(payload);
+  decl.size = payload.size();
+  decl.kind = storage::FileKind::kEnvironment;
+  decl.cache = true;
+  decl.peer_transfer = true;
+  decl.unpack = true;
+  return decl;
+}
+
+template <typename T>
+T RoundTrip(const Message& message) {
+  const Blob blob = EncodeMessage(message);
+  auto decoded = DecodeMessage(blob);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  T* typed = std::get_if<T>(&*decoded);
+  EXPECT_NE(typed, nullptr);
+  return std::move(*typed);
+}
+
+TEST(ProtocolTest, PutFileRoundTrip) {
+  PutFileMsg msg{SampleDecl(), Blob::FromString("payload")};
+  auto out = RoundTrip<PutFileMsg>(msg);
+  EXPECT_EQ(out.decl.name, "env:lnni");
+  EXPECT_EQ(out.decl.id, msg.decl.id);
+  EXPECT_EQ(out.decl.kind, storage::FileKind::kEnvironment);
+  EXPECT_TRUE(out.decl.unpack);
+  EXPECT_EQ(out.payload, msg.payload);
+}
+
+TEST(ProtocolTest, PushFileRoundTrip) {
+  PushFileMsg msg{SampleDecl(), 42};
+  auto out = RoundTrip<PushFileMsg>(msg);
+  EXPECT_EQ(out.dest, 42u);
+  EXPECT_EQ(out.decl.id, msg.decl.id);
+}
+
+TEST(ProtocolTest, ExecuteTaskRoundTrip) {
+  ExecuteTaskMsg msg;
+  msg.task.id = 77;
+  msg.task.function_name = "lnni_infer";
+  msg.task.args = Blob::FromString("args");
+  msg.task.inputs = {SampleDecl()};
+  storage::FileDecl inline_decl = SampleDecl();
+  inline_decl.name = "inline";
+  inline_decl.cache = false;
+  msg.task.inline_files.emplace_back(inline_decl, Blob::FromString("data"));
+  msg.task.resources = Resources{2, 4096, 4096};
+
+  auto out = RoundTrip<ExecuteTaskMsg>(msg);
+  EXPECT_EQ(out.task.id, 77u);
+  EXPECT_EQ(out.task.function_name, "lnni_infer");
+  ASSERT_EQ(out.task.inputs.size(), 1u);
+  ASSERT_EQ(out.task.inline_files.size(), 1u);
+  EXPECT_EQ(out.task.inline_files[0].first.name, "inline");
+  EXPECT_FALSE(out.task.inline_files[0].first.cache);
+  EXPECT_EQ(out.task.inline_files[0].second.ToString(), "data");
+  EXPECT_EQ(out.task.resources, (Resources{2, 4096, 4096}));
+}
+
+TEST(ProtocolTest, InstallLibraryRoundTrip) {
+  InstallLibraryMsg msg;
+  msg.instance_id = 5;
+  msg.spec.name = "lib";
+  msg.spec.function_names = {"f", "g"};
+  msg.spec.setup_name = "setup";
+  msg.spec.setup_args = Blob::FromString("setup-args");
+  msg.spec.inputs = {SampleDecl()};
+  msg.spec.resources = Resources::All();
+  msg.spec.slots = 16;
+  msg.spec.exec_mode = ExecMode::kFork;
+
+  auto out = RoundTrip<InstallLibraryMsg>(msg);
+  EXPECT_EQ(out.instance_id, 5u);
+  EXPECT_EQ(out.spec.name, "lib");
+  EXPECT_EQ(out.spec.function_names, (std::vector<std::string>{"f", "g"}));
+  EXPECT_EQ(out.spec.setup_name, "setup");
+  EXPECT_EQ(out.spec.slots, 16u);
+  EXPECT_EQ(out.spec.exec_mode, ExecMode::kFork);
+  EXPECT_TRUE(out.spec.resources.IsAll());
+}
+
+TEST(ProtocolTest, RemoveLibraryRoundTrip) {
+  auto out = RoundTrip<RemoveLibraryMsg>(RemoveLibraryMsg{9});
+  EXPECT_EQ(out.instance_id, 9u);
+}
+
+TEST(ProtocolTest, RunInvocationRoundTrip) {
+  RunInvocationMsg msg{101, 3, "f", Blob::FromString("xyz")};
+  auto out = RoundTrip<RunInvocationMsg>(msg);
+  EXPECT_EQ(out.id, 101u);
+  EXPECT_EQ(out.instance_id, 3u);
+  EXPECT_EQ(out.function_name, "f");
+  EXPECT_EQ(out.args.ToString(), "xyz");
+}
+
+TEST(ProtocolTest, ControlMessagesRoundTrip) {
+  (void)RoundTrip<ShutdownMsg>(ShutdownMsg{});
+  (void)RoundTrip<GoodbyeMsg>(GoodbyeMsg{});
+  auto hello = RoundTrip<HelloMsg>(HelloMsg{Resources{32, 65536, 65536}});
+  EXPECT_EQ(hello.resources.cores, 32u);
+}
+
+TEST(ProtocolTest, FileStatusRoundTrip) {
+  const auto id = hash::ContentId::OfText("f");
+  auto ready = RoundTrip<FileReadyMsg>(FileReadyMsg{id, 100});
+  EXPECT_EQ(ready.content_id, id);
+  EXPECT_EQ(ready.size, 100u);
+  auto failed = RoundTrip<FileFailedMsg>(FileFailedMsg{id, "checksum"});
+  EXPECT_EQ(failed.error, "checksum");
+}
+
+TEST(ProtocolTest, TaskDoneRoundTrip) {
+  TaskDoneMsg msg;
+  msg.id = 8;
+  msg.ok = true;
+  msg.result = Blob::FromString("result");
+  msg.timing = {0.1, 0.2, 0.3, 0.4};
+  auto out = RoundTrip<TaskDoneMsg>(msg);
+  EXPECT_TRUE(out.ok);
+  EXPECT_DOUBLE_EQ(out.timing.transfer_s, 0.1);
+  EXPECT_DOUBLE_EQ(out.timing.exec_s, 0.4);
+  EXPECT_DOUBLE_EQ(out.timing.Total(), 1.0);
+}
+
+TEST(ProtocolTest, InvocationDoneErrorRoundTrip) {
+  InvocationDoneMsg msg;
+  msg.id = 12;
+  msg.ok = false;
+  msg.error = "function not in library";
+  auto out = RoundTrip<InvocationDoneMsg>(msg);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.error, "function not in library");
+}
+
+TEST(ProtocolTest, LibraryLifecycleRoundTrip) {
+  auto ready =
+      RoundTrip<LibraryReadyMsg>(LibraryReadyMsg{4, {1.0, 15.4, 2.7, 0.0}});
+  EXPECT_EQ(ready.instance_id, 4u);
+  EXPECT_DOUBLE_EQ(ready.timing.worker_s, 15.4);
+  auto removed = RoundTrip<LibraryRemovedMsg>(LibraryRemovedMsg{4});
+  EXPECT_EQ(removed.instance_id, 4u);
+}
+
+TEST(ProtocolTest, EmptyFrameRejected) {
+  EXPECT_FALSE(DecodeMessage(Blob()).ok());
+}
+
+TEST(ProtocolTest, UnknownTagRejected) {
+  ByteBuffer buffer;
+  buffer.AppendByte(0xEF);
+  EXPECT_EQ(DecodeMessage(Blob(std::move(buffer))).status().code(),
+            ErrorCode::kDataLoss);
+}
+
+TEST(ProtocolTest, EveryTruncationRejected) {
+  ExecuteTaskMsg msg;
+  msg.task.id = 1;
+  msg.task.function_name = "f";
+  msg.task.args = Blob::FromString("abc");
+  msg.task.inputs = {SampleDecl()};
+  msg.task.inline_files.emplace_back(SampleDecl(), Blob::FromString("d"));
+  const Blob full = EncodeMessage(msg);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(full.span().begin(),
+                                     full.span().begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeMessage(Blob(std::move(prefix))).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolTest, BadEnumValuesRejected) {
+  // Corrupt the file-kind byte of a PutFile frame.
+  PutFileMsg msg{SampleDecl(), Blob::FromString("x")};
+  Blob blob = EncodeMessage(msg);
+  std::vector<std::uint8_t> bytes(blob.span().begin(), blob.span().end());
+  // Layout: tag(1) + name(8+8) + id(8+32) + size(8) + kind(1)...
+  const std::size_t kind_offset = 1 + 8 + 8 + 8 + 32 + 8;
+  bytes[kind_offset] = 0x99;
+  EXPECT_FALSE(DecodeMessage(Blob(std::move(bytes))).ok());
+}
+
+}  // namespace
+}  // namespace vinelet::core

@@ -1,0 +1,129 @@
+// SHA-256 against the FIPS 180-4 / NIST CAVS reference vectors, plus the
+// incremental-update and ContentId behaviours the storage layer relies on.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "hash/content_id.hpp"
+#include "hash/sha256.hpp"
+
+namespace vinelet::hash {
+namespace {
+
+std::string HexOf(std::string_view text) {
+  return Sha256::ToHex(Sha256::Hash(text));
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexOf(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexOf("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexOf("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: padding must spill into a second block.
+  const std::string block(64, 'a');
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash(block)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string message =
+      "the quick brown fox jumps over the lazy dog, repeatedly and with "
+      "increasing determination, for one hundred and twenty-eight bytes!!";
+  const auto oneshot = Sha256::Hash(message);
+  // Feed in awkward chunk sizes that straddle block boundaries.
+  for (std::size_t chunk : {1u, 3u, 7u, 63u, 64u, 65u, 100u}) {
+    Sha256 hasher;
+    for (std::size_t pos = 0; pos < message.size(); pos += chunk) {
+      hasher.Update(std::string_view(message).substr(pos, chunk));
+    }
+    EXPECT_EQ(hasher.Finish(), oneshot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256Test, ResetReusesHasher) {
+  Sha256 hasher;
+  hasher.Update("first");
+  (void)hasher.Finish();
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, LengthExtensionOfPaddingBoundary) {
+  // 55 and 56 bytes are the padding-layout edge cases.
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash(std::string(55, 'x'))).size(), 64u);
+  EXPECT_NE(Sha256::Hash(std::string(55, 'x')),
+            Sha256::Hash(std::string(56, 'x')));
+}
+
+// ---------------------------------------------------------------------------
+// ContentId
+// ---------------------------------------------------------------------------
+
+TEST(ContentIdTest, DefaultIsZero) {
+  ContentId id;
+  EXPECT_TRUE(id.IsZero());
+}
+
+TEST(ContentIdTest, SameContentSameId) {
+  const Blob a = Blob::FromString("identical bytes");
+  const Blob b = Blob::FromString("identical bytes");
+  EXPECT_EQ(ContentId::Of(a), ContentId::Of(b));
+}
+
+TEST(ContentIdTest, DifferentContentDifferentId) {
+  EXPECT_NE(ContentId::Of(Blob::FromString("a")),
+            ContentId::Of(Blob::FromString("b")));
+}
+
+TEST(ContentIdTest, HexForms) {
+  const ContentId id = ContentId::OfText("abc");
+  EXPECT_EQ(id.ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(id.ShortHex(), "ba7816bf8f01");
+}
+
+TEST(ContentIdTest, Prefix64MatchesDigestPrefix) {
+  const ContentId id = ContentId::OfText("abc");
+  EXPECT_EQ(id.Prefix64(), 0xba7816bf8f01cfeaull);
+}
+
+TEST(ContentIdTest, FromDigestRoundTrip) {
+  const ContentId original = ContentId::OfText("round trip");
+  const ContentId rebuilt = ContentId::FromDigest(original.digest());
+  EXPECT_EQ(original, rebuilt);
+}
+
+TEST(ContentIdTest, OrderingIsTotal) {
+  const ContentId a = ContentId::OfText("a");
+  const ContentId b = ContentId::OfText("b");
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_TRUE(a == a);
+}
+
+TEST(ContentIdTest, StdHashUsable) {
+  std::hash<ContentId> hasher;
+  EXPECT_NE(hasher(ContentId::OfText("x")), hasher(ContentId::OfText("y")));
+}
+
+}  // namespace
+}  // namespace vinelet::hash

@@ -1,0 +1,266 @@
+// DES kernel and contended-resource models: ordering, determinism,
+// fair-share math, IOPS queueing, serial-server backlog, cluster sampling.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "sim/cluster.hpp"
+#include "sim/des.hpp"
+#include "sim/resources.hpp"
+
+namespace vinelet::sim {
+namespace {
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(3.0, [&] { order.push_back(3); });
+  sim.At(1.0, [&] { order.push_back(1); });
+  sim.At(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulationTest, EqualTimesFireFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.At(1.0, [&order, i] { order.push_back(i); });
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.After(1.0, chain);
+  };
+  sim.After(0.0, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.0);
+}
+
+TEST(SimulationTest, PastTimesClampToNow) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.At(5.0, [&] {
+    sim.At(1.0, [&] { fired_at = sim.Now(); });  // in the past: clamps
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulationTest, RunUntilLeavesLaterEventsQueued) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(10.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  EXPECT_FALSE(sim.Empty());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------------------
+// FairShareResource
+// ---------------------------------------------------------------------------
+
+TEST(FairShareTest, SingleFlowAtFullRate) {
+  Simulation sim;
+  FairShareResource link(&sim, 100.0);  // 100 B/s
+  double done_at = -1;
+  link.Transfer(500.0, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+}
+
+TEST(FairShareTest, TwoEqualFlowsShareBandwidth) {
+  Simulation sim;
+  FairShareResource link(&sim, 100.0);
+  double a = -1, b = -1;
+  link.Transfer(500.0, [&] { a = sim.Now(); });
+  link.Transfer(500.0, [&] { b = sim.Now(); });
+  sim.Run();
+  // Both at 50 B/s: each takes 10 s.
+  EXPECT_NEAR(a, 10.0, 1e-9);
+  EXPECT_NEAR(b, 10.0, 1e-9);
+}
+
+TEST(FairShareTest, LateArrivalSlowsFirstFlow) {
+  Simulation sim;
+  FairShareResource link(&sim, 100.0);
+  double first = -1, second = -1;
+  link.Transfer(1000.0, [&] { first = sim.Now(); });
+  sim.At(5.0, [&] { link.Transfer(250.0, [&] { second = sim.Now(); }); });
+  sim.Run();
+  // First does 500 B by t=5, then shares: second (250 B at 50 B/s) ends at
+  // t=10; first's remaining 500 B: 250 B by t=10, then full rate: t=12.5.
+  EXPECT_NEAR(second, 10.0, 1e-6);
+  EXPECT_NEAR(first, 12.5, 1e-6);
+}
+
+TEST(FairShareTest, PerStreamCapLimitsLoneFlow) {
+  Simulation sim;
+  FairShareResource fs(&sim, 1000.0, /*per_stream_cap=*/100.0);
+  double done = -1;
+  fs.Transfer(500.0, [&] { done = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(done, 5.0, 1e-9);  // capped at 100 B/s despite 1000 capacity
+}
+
+TEST(FairShareTest, ZeroByteTransferCompletesImmediately) {
+  Simulation sim;
+  FairShareResource link(&sim, 100.0);
+  bool done = false;
+  link.Transfer(0.0, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+}
+
+TEST(FairShareTest, ManyFlowsConserveBytes) {
+  Simulation sim;
+  FairShareResource link(&sim, 1000.0);
+  int completed = 0;
+  for (int i = 1; i <= 20; ++i) {
+    sim.At(0.1 * i, [&link, &completed, i] {
+      link.Transfer(100.0 * i, [&completed] { ++completed; });
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_NEAR(link.total_bytes_served(), 100.0 * (20 * 21) / 2, 1.0);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// IopsBucket
+// ---------------------------------------------------------------------------
+
+TEST(IopsBucketTest, BatchesQueueFifo) {
+  Simulation sim;
+  IopsBucket bucket(&sim, 100.0);  // 100 ops/s
+  double a = -1, b = -1;
+  bucket.Acquire(50, [&] { a = sim.Now(); });   // 0.5 s
+  bucket.Acquire(100, [&] { b = sim.Now(); });  // queued behind: +1.0 s
+  sim.Run();
+  EXPECT_NEAR(a, 0.5, 1e-9);
+  EXPECT_NEAR(b, 1.5, 1e-9);
+}
+
+TEST(IopsBucketTest, IdleBucketHasNoBacklog) {
+  Simulation sim;
+  IopsBucket bucket(&sim, 100.0);
+  EXPECT_DOUBLE_EQ(bucket.backlog_seconds(0.0), 0.0);
+  bucket.Acquire(200, [] {});
+  EXPECT_NEAR(bucket.backlog_seconds(0.0), 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// SerialServer
+// ---------------------------------------------------------------------------
+
+TEST(SerialServerTest, JobsSerialize) {
+  Simulation sim;
+  SerialServer server(&sim);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i)
+    server.Enqueue(2.0, [&] { completions.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_NEAR(completions[0], 2.0, 1e-9);
+  EXPECT_NEAR(completions[1], 4.0, 1e-9);
+  EXPECT_NEAR(completions[2], 6.0, 1e-9);
+}
+
+TEST(SerialServerTest, UtilizationTracksBusyTime) {
+  Simulation sim;
+  SerialServer server(&sim);
+  server.Enqueue(3.0, [] {});
+  sim.Run();
+  sim.RunUntil(10.0);
+  EXPECT_NEAR(server.utilization(10.0), 0.3, 1e-9);
+}
+
+TEST(SerialServerTest, LateArrivalStartsImmediately) {
+  Simulation sim;
+  SerialServer server(&sim);
+  double done = -1;
+  sim.At(5.0, [&] { server.Enqueue(1.0, [&] { done = sim.Now(); }); });
+  sim.Run();
+  EXPECT_NEAR(done, 6.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster sampling
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTest, PaperGroupsMatchTable3) {
+  const auto groups = PaperMachineGroups();
+  ASSERT_EQ(groups.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& group : groups) total += group.machines;
+  EXPECT_EQ(total, 58u + 117 + 14 + 7 + 5);
+  EXPECT_DOUBLE_EQ(groups[1].gflops, 5.4);
+}
+
+TEST(ClusterTest, SampleProportionsFollowTable3) {
+  ClusterConfig config;
+  config.num_workers = 150;
+  Rng rng(1);
+  const auto workers = SampleCluster(config, rng);
+  ASSERT_EQ(workers.size(), 150u);
+  std::map<std::size_t, int> by_group;
+  for (const auto& worker : workers) by_group[worker.group]++;
+  // Group 2 (index 1) holds 117/201 of machines: about 87 of 150.
+  EXPECT_NEAR(by_group[1], 87, 2);
+  EXPECT_NEAR(by_group[0], 43, 2);
+}
+
+TEST(ClusterTest, SpeedRelativeToBaseline) {
+  ClusterConfig config;
+  config.num_workers = 201;
+  Rng rng(2);
+  const auto workers = SampleCluster(config, rng);
+  for (const auto& worker : workers) {
+    if (worker.group == 0) {
+      EXPECT_DOUBLE_EQ(worker.speed, 1.0);
+    } else if (worker.group == 1) {
+      EXPECT_NEAR(worker.speed, 5.4 / 4.4, 1e-12);
+    } else {
+      EXPECT_NEAR(worker.speed, 1.9 / 4.4, 1e-12);
+    }
+  }
+}
+
+TEST(ClusterTest, GroupFractionOverride) {
+  ClusterConfig config;
+  config.num_workers = 100;
+  config.group_fractions = {0.11, 0.89};  // the paper's skewed Q2 run
+  Rng rng(3);
+  const auto workers = SampleCluster(config, rng);
+  std::map<std::size_t, int> by_group;
+  for (const auto& worker : workers) by_group[worker.group]++;
+  EXPECT_EQ(by_group[1], 89);
+  EXPECT_EQ(by_group[0], 11);
+}
+
+TEST(ClusterTest, SamplingDeterministicPerSeed) {
+  ClusterConfig config;
+  config.num_workers = 50;
+  Rng rng_a(7), rng_b(7);
+  const auto a = SampleCluster(config, rng_a);
+  const auto b = SampleCluster(config, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].group, b[i].group);
+}
+
+}  // namespace
+}  // namespace vinelet::sim

@@ -1,0 +1,112 @@
+// UnpackRegistry: unpack-once semantics, error paths, and concurrent
+// callers racing on the same environment.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/unpack_registry.hpp"
+#include "poncho/package.hpp"
+
+namespace vinelet::core {
+namespace {
+
+Blob SampleTarball() {
+  return poncho::Packer::PackFiles(
+      {{"lib.so", Blob::FromString(std::string(500, 'l'))},
+       {"data.bin", Blob::FromString(std::string(300, 'd'))}});
+}
+
+TEST(UnpackRegistryTest, UnpackOnce) {
+  UnpackRegistry registry;
+  const Blob tarball = SampleTarball();
+  const auto id = hash::ContentId::Of(tarball);
+
+  bool first_unpacked = false;
+  auto first = registry.GetOrUnpack(id, tarball, &first_unpacked);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first_unpacked);
+  EXPECT_EQ((*first)->files.size(), 2u);
+
+  bool second_unpacked = true;
+  auto second = registry.GetOrUnpack(id, tarball, &second_unpacked);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second_unpacked);        // cached, not re-expanded
+  EXPECT_EQ(first->get(), second->get());  // literally the same directory
+}
+
+TEST(UnpackRegistryTest, PeekSemantics) {
+  UnpackRegistry registry;
+  const Blob tarball = SampleTarball();
+  const auto id = hash::ContentId::Of(tarball);
+  EXPECT_EQ(registry.Peek(id).status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(registry.Contains(id));
+  ASSERT_TRUE(registry.GetOrUnpack(id, tarball, nullptr).ok());
+  EXPECT_TRUE(registry.Contains(id));
+  EXPECT_TRUE(registry.Peek(id).ok());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(UnpackRegistryTest, RemoveAllowsReUnpack) {
+  UnpackRegistry registry;
+  const Blob tarball = SampleTarball();
+  const auto id = hash::ContentId::Of(tarball);
+  ASSERT_TRUE(registry.GetOrUnpack(id, tarball, nullptr).ok());
+  registry.Remove(id);
+  EXPECT_FALSE(registry.Contains(id));
+  bool unpacked = false;
+  ASSERT_TRUE(registry.GetOrUnpack(id, tarball, &unpacked).ok());
+  EXPECT_TRUE(unpacked);
+}
+
+TEST(UnpackRegistryTest, CorruptTarballFailsAndAllowsRetry) {
+  UnpackRegistry registry;
+  const Blob good = SampleTarball();
+  const auto id = hash::ContentId::Of(good);
+  auto failed = registry.GetOrUnpack(id, Blob::FromString("junk"), nullptr);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_FALSE(registry.Contains(id));
+  // A retry with the intact tarball succeeds.
+  auto retried = registry.GetOrUnpack(id, good, nullptr);
+  EXPECT_TRUE(retried.ok());
+}
+
+TEST(UnpackRegistryTest, ConcurrentCallersShareOneUnpack) {
+  UnpackRegistry registry;
+  const Blob tarball = SampleTarball();
+  const auto id = hash::ContentId::Of(tarball);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> unpack_count{0};
+  std::atomic<int> success_count{0};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const poncho::UnpackedDir>> dirs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool unpacked = false;
+      auto dir = registry.GetOrUnpack(id, tarball, &unpacked);
+      if (unpacked) unpack_count.fetch_add(1);
+      if (dir.ok()) {
+        dirs[static_cast<std::size_t>(t)] = *dir;
+        success_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(success_count.load(), kThreads);
+  EXPECT_EQ(unpack_count.load(), 1);  // exactly one caller paid the cost
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(dirs[static_cast<std::size_t>(t)].get(), dirs[0].get());
+}
+
+TEST(UnpackRegistryTest, DistinctIdsAreIndependent) {
+  UnpackRegistry registry;
+  const Blob a = poncho::Packer::PackFiles({{"a", Blob::FromString("1")}});
+  const Blob b = poncho::Packer::PackFiles({{"b", Blob::FromString("2")}});
+  ASSERT_TRUE(registry.GetOrUnpack(hash::ContentId::Of(a), a, nullptr).ok());
+  ASSERT_TRUE(registry.GetOrUnpack(hash::ContentId::Of(b), b, nullptr).ok());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vinelet::core

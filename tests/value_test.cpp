@@ -1,0 +1,134 @@
+// serde::Value: construction, typed access, encode/decode round trips,
+// and rejection of malformed payloads.
+#include <gtest/gtest.h>
+
+#include "serde/value.hpp"
+
+namespace vinelet::serde {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsFloat(), 2.5);
+  EXPECT_EQ(Value("text").AsString(), "text");
+  EXPECT_EQ(Value(Blob::FromString("b")).AsBytes().ToString(), "b");
+}
+
+TEST(ValueTest, AsNumberCoercesInts) {
+  EXPECT_DOUBLE_EQ(Value(7).AsNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(7.5).AsNumber(), 7.5);
+}
+
+TEST(ValueTest, DictGetMissingReturnsNull) {
+  Value dict = Value::Dict({{"a", Value(1)}});
+  EXPECT_TRUE(dict.Get("missing").is_null());
+  EXPECT_EQ(dict.Get("a").AsInt(), 1);
+  // Get on a non-dict is null, not a crash.
+  EXPECT_TRUE(Value(5).Get("x").is_null());
+}
+
+TEST(ValueTest, TypedGettersValidate) {
+  Value dict = Value::Dict({{"n", Value(3)}, {"s", Value("str")},
+                            {"f", Value(1.5)}});
+  EXPECT_EQ(dict.GetInt("n").value(), 3);
+  EXPECT_EQ(dict.GetString("s").value(), "str");
+  EXPECT_DOUBLE_EQ(dict.GetNumber("f").value(), 1.5);
+  EXPECT_DOUBLE_EQ(dict.GetNumber("n").value(), 3.0);  // int ok as number
+  EXPECT_FALSE(dict.GetInt("s").ok());
+  EXPECT_FALSE(dict.GetString("missing").ok());
+}
+
+TEST(ValueTest, EqualityIsDeep) {
+  Value a = Value::Dict({{"list", Value::List({Value(1), Value("x")})}});
+  Value b = Value::Dict({{"list", Value::List({Value(1), Value("x")})}});
+  Value c = Value::Dict({{"list", Value::List({Value(2), Value("x")})}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+Value DeepSample() {
+  return Value::Dict({
+      {"null", Value()},
+      {"bool", Value(true)},
+      {"int", Value(-123456789)},
+      {"float", Value(0.125)},
+      {"string", Value("hello world")},
+      {"bytes", Value(Blob::FromString("\x00\x01\xFF payload"))},
+      {"list", Value::List({Value(1), Value::List({Value("nested")}),
+                            Value::Dict({{"k", Value(2)}})})},
+  });
+}
+
+TEST(ValueTest, BlobRoundTripDeep) {
+  const Value original = DeepSample();
+  const Blob blob = original.ToBlob();
+  auto decoded = Value::FromBlob(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(ValueTest, RoundTripEmptyContainers) {
+  const Value original =
+      Value::Dict({{"el", Value::List()}, {"ed", Value::Dict()}});
+  auto decoded = Value::FromBlob(original.ToBlob());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(ValueTest, TrailingBytesRejected) {
+  ByteBuffer buffer(Value(1).ToBlob().ToString());
+  buffer.AppendByte(0x00);
+  auto decoded = Value::FromBlob(Blob(std::move(buffer)));
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ValueTest, UnknownTagRejected) {
+  ByteBuffer buffer;
+  buffer.AppendByte(0xEE);
+  auto decoded = Value::FromBlob(Blob(std::move(buffer)));
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ValueTest, HostileListLengthRejected) {
+  // Tag kList + absurd length with no elements must fail, not allocate.
+  ByteBuffer buffer;
+  buffer.AppendByte(6);  // kList
+  for (int i = 0; i < 8; ++i) buffer.AppendByte(0xFF);
+  auto decoded = Value::FromBlob(Blob(std::move(buffer)));
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ValueTest, EveryTruncationOfDeepValueFails) {
+  const Blob blob = DeepSample().ToBlob();
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(blob.span().begin(),
+                                     blob.span().begin() + static_cast<long>(cut));
+    auto decoded = Value::FromBlob(Blob(std::move(prefix)));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ValueTest, ToStringReadable) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(3).ToString(), "3");
+  EXPECT_EQ(Value("s").ToString(), "\"s\"");
+  EXPECT_EQ(Value::List({Value(1), Value(2)}).ToString(), "[1, 2]");
+  EXPECT_EQ(Value::Dict({{"a", Value(1)}}).ToString(), "{\"a\": 1}");
+  EXPECT_EQ(Value(Blob::FromString("abc")).ToString(), "<3 bytes>");
+}
+
+TEST(ValueTest, LargeListRoundTrip) {
+  ValueList list;
+  for (int i = 0; i < 10000; ++i) list.emplace_back(i);
+  const Value original(std::move(list));
+  auto decoded = Value::FromBlob(original.ToBlob());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->AsList().size(), 10000u);
+  EXPECT_EQ(decoded->AsList()[9999].AsInt(), 9999);
+}
+
+}  // namespace
+}  // namespace vinelet::serde

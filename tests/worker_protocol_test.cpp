@@ -1,0 +1,321 @@
+// Worker protocol conformance: a fake manager endpoint drives a real Worker
+// with crafted frames and asserts on the exact replies — including the
+// corruption-detection (FileFailed) and malformed-frame paths that the
+// integrated runtime tests cannot reach deterministically.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/protocol.hpp"
+#include "core/worker.hpp"
+#include "poncho/packer.hpp"
+
+namespace vinelet::core {
+namespace {
+
+using namespace std::chrono_literals;
+using serde::InvocationEnv;
+using serde::Value;
+
+class WorkerProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    serde::FunctionDef echo;
+    echo.name = "echo";
+    echo.fn = [](const Value& args, const InvocationEnv&) -> Result<Value> {
+      return args;
+    };
+    ASSERT_TRUE(registry_.RegisterFunction(echo).ok());
+
+    serde::ContextSetupDef setup;
+    setup.name = "noop_setup";
+    setup.fn = [](const Value&, const InvocationEnv&)
+        -> Result<serde::ContextHandle> { return serde::ContextHandle(); };
+    ASSERT_TRUE(registry_.RegisterSetup(setup).ok());
+
+    serde::FunctionDef fails;
+    fails.name = "fails";
+    fails.fn = [](const Value&, const InvocationEnv&) -> Result<Value> {
+      return InternalError("nope");
+    };
+    ASSERT_TRUE(registry_.RegisterFunction(fails).ok());
+
+    network_ = std::make_shared<net::Network>();
+    auto inbox = network_->Register(net::kManagerEndpoint);
+    ASSERT_TRUE(inbox.ok());
+    manager_inbox_ = *inbox;
+
+    WorkerConfig config;
+    config.id = 1;
+    config.registry = &registry_;
+    worker_ = std::make_unique<Worker>(network_, config);
+    ASSERT_TRUE(worker_->Start().ok());
+
+    // Consume the Hello.
+    auto hello = NextMessage();
+    ASSERT_TRUE(std::holds_alternative<HelloMsg>(hello));
+  }
+
+  void TearDown() override {
+    worker_->Stop();
+    network_->Unregister(net::kManagerEndpoint);
+  }
+
+  void SendToWorker(const Message& message) {
+    ASSERT_TRUE(
+        network_->Send(net::kManagerEndpoint, 1, EncodeMessage(message)).ok());
+  }
+
+  /// Receives and decodes the next worker->manager message (10 s budget).
+  Message NextMessage() {
+    auto frame = manager_inbox_->RecvFor(10s);
+    EXPECT_TRUE(frame.has_value()) << "no message from worker";
+    if (!frame.has_value()) return Message(GoodbyeMsg{});
+    auto message = DecodeMessage(frame->payload);
+    EXPECT_TRUE(message.ok()) << message.status().ToString();
+    return message.ok() ? *message : Message(GoodbyeMsg{});
+  }
+
+  storage::FileDecl Declare(const std::string& name, const Blob& payload,
+                            bool unpack = false) {
+    storage::FileDecl decl;
+    decl.name = name;
+    decl.id = hash::ContentId::Of(payload);
+    decl.size = payload.size();
+    decl.unpack = unpack;
+    return decl;
+  }
+
+  serde::FunctionRegistry registry_;
+  std::shared_ptr<net::Network> network_;
+  std::shared_ptr<net::Inbox> manager_inbox_;
+  std::unique_ptr<Worker> worker_;
+};
+
+TEST_F(WorkerProtocolTest, PutFileAcknowledgedWithFileReady) {
+  const Blob payload = Blob::FromString("bytes");
+  const auto decl = Declare("data", payload);
+  SendToWorker(PutFileMsg{decl, payload});
+  auto reply = NextMessage();
+  auto* ready = std::get_if<FileReadyMsg>(&reply);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(ready->content_id, decl.id);
+  EXPECT_EQ(ready->size, payload.size());
+  EXPECT_TRUE(worker_->store().Contains(decl.id));
+}
+
+TEST_F(WorkerProtocolTest, CorruptPutFileRejectedWithFileFailed) {
+  const Blob good = Blob::FromString("original content");
+  const auto decl = Declare("data", good);
+  // Payload does not match the declared content id: must be rejected, never
+  // cached — the silent-corruption hazard of §2.2.2.
+  SendToWorker(PutFileMsg{decl, Blob::FromString("tampered content!")});
+  auto reply = NextMessage();
+  auto* failed = std::get_if<FileFailedMsg>(&reply);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->content_id, decl.id);
+  EXPECT_FALSE(failed->error.empty());
+  EXPECT_FALSE(worker_->store().Contains(decl.id));
+}
+
+TEST_F(WorkerProtocolTest, PushFileForwardsToPeer) {
+  // Register a peer endpoint, stage a file on the worker, instruct a push.
+  auto peer_inbox = network_->Register(2);
+  ASSERT_TRUE(peer_inbox.ok());
+  const Blob payload = Blob::FromString("replicate me");
+  const auto decl = Declare("data", payload);
+  SendToWorker(PutFileMsg{decl, payload});
+  (void)NextMessage();  // FileReady
+
+  SendToWorker(PushFileMsg{decl, 2});
+  auto frame = (*peer_inbox)->RecvFor(10s);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->sender, 1u);  // worker-to-worker, not via the manager
+  auto message = DecodeMessage(frame->payload);
+  ASSERT_TRUE(message.ok());
+  auto* put = std::get_if<PutFileMsg>(&*message);
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->payload, payload);
+  network_->Unregister(2);
+}
+
+TEST_F(WorkerProtocolTest, PushOfUnknownFileReportsFailure) {
+  storage::FileDecl decl;
+  decl.name = "ghost";
+  decl.id = hash::ContentId::OfText("never stored");
+  SendToWorker(PushFileMsg{decl, 2});
+  auto reply = NextMessage();
+  EXPECT_NE(std::get_if<FileFailedMsg>(&reply), nullptr);
+}
+
+TEST_F(WorkerProtocolTest, ExecuteTaskReturnsResultAndTimings) {
+  ExecuteTaskMsg msg;
+  msg.task.id = 99;
+  msg.task.function_name = "echo";
+  msg.task.args = Value::Dict({{"k", Value(7)}}).ToBlob();
+  SendToWorker(msg);
+  auto reply = NextMessage();
+  auto* done = std::get_if<TaskDoneMsg>(&reply);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->id, 99u);
+  ASSERT_TRUE(done->ok) << done->error;
+  auto value = Value::FromBlob(done->result);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->Get("k").AsInt(), 7);
+  EXPECT_GE(done->timing.exec_s, 0.0);
+}
+
+TEST_F(WorkerProtocolTest, ExecuteTaskWithCorruptInlineFileFails) {
+  const Blob good = Blob::FromString("expected");
+  ExecuteTaskMsg msg;
+  msg.task.id = 100;
+  msg.task.function_name = "echo";
+  msg.task.args = Value().ToBlob();
+  msg.task.inline_files.emplace_back(Declare("input", good),
+                                     Blob::FromString("not it"));
+  SendToWorker(msg);
+  auto reply = NextMessage();
+  auto* done = std::get_if<TaskDoneMsg>(&reply);
+  ASSERT_NE(done, nullptr);
+  EXPECT_FALSE(done->ok);
+  EXPECT_NE(done->error.find("corrupt"), std::string::npos);
+}
+
+TEST_F(WorkerProtocolTest, ExecuteTaskMissingCachedInputFails) {
+  ExecuteTaskMsg msg;
+  msg.task.id = 101;
+  msg.task.function_name = "echo";
+  msg.task.args = Value().ToBlob();
+  msg.task.inputs.push_back(Declare("absent", Blob::FromString("xyz")));
+  SendToWorker(msg);
+  auto reply = NextMessage();
+  auto* done = std::get_if<TaskDoneMsg>(&reply);
+  ASSERT_NE(done, nullptr);
+  EXPECT_FALSE(done->ok);
+}
+
+TEST_F(WorkerProtocolTest, FunctionErrorPropagatesThroughTaskDone) {
+  ExecuteTaskMsg msg;
+  msg.task.id = 102;
+  msg.task.function_name = "fails";
+  msg.task.args = Value().ToBlob();
+  SendToWorker(msg);
+  auto reply = NextMessage();
+  auto* done = std::get_if<TaskDoneMsg>(&reply);
+  ASSERT_NE(done, nullptr);
+  EXPECT_FALSE(done->ok);
+  EXPECT_NE(done->error.find("nope"), std::string::npos);
+}
+
+TEST_F(WorkerProtocolTest, LibraryLifecycleOverRawProtocol) {
+  // Stage the serialized function, install a library, run an invocation,
+  // remove the library — all via raw frames.
+  const Blob fn_blob = serde::SerializedFunction::Serialize("echo");
+  auto fn_decl = Declare("fn:echo", fn_blob);
+  fn_decl.kind = storage::FileKind::kSerializedFunction;
+  SendToWorker(PutFileMsg{fn_decl, fn_blob});
+  (void)NextMessage();  // FileReady
+
+  InstallLibraryMsg install;
+  install.instance_id = 5;
+  install.spec.name = "lib";
+  install.spec.function_names = {"echo"};
+  install.spec.setup_name = "noop_setup";
+  install.spec.setup_args = Value().ToBlob();
+  install.spec.inputs = {fn_decl};
+  SendToWorker(install);
+  auto ready_reply = NextMessage();
+  auto* ready = std::get_if<LibraryReadyMsg>(&ready_reply);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(ready->instance_id, 5u);
+  EXPECT_EQ(worker_->libraries_hosted(), 1u);
+
+  SendToWorker(RunInvocationMsg{77, 5, "echo", Value(123).ToBlob()});
+  auto done_reply = NextMessage();
+  auto* done = std::get_if<InvocationDoneMsg>(&done_reply);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->id, 77u);
+  ASSERT_TRUE(done->ok) << done->error;
+  EXPECT_EQ(Value::FromBlob(done->result)->AsInt(), 123);
+
+  SendToWorker(RemoveLibraryMsg{5});
+  auto removed_reply = NextMessage();
+  EXPECT_NE(std::get_if<LibraryRemovedMsg>(&removed_reply), nullptr);
+  EXPECT_EQ(worker_->libraries_hosted(), 0u);
+}
+
+TEST_F(WorkerProtocolTest, InstallWithMissingInputReportsRemoval) {
+  InstallLibraryMsg install;
+  install.instance_id = 6;
+  install.spec.name = "broken";
+  install.spec.function_names = {"echo"};
+  install.spec.setup_args = Value().ToBlob();
+  install.spec.inputs.push_back(Declare("never-staged",
+                                        Blob::FromString("x")));
+  SendToWorker(install);
+  // Setup fails on the missing input; the worker reports the instance gone
+  // so the manager can release resources and retry elsewhere.
+  auto reply = NextMessage();
+  auto* removed = std::get_if<LibraryRemovedMsg>(&reply);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->instance_id, 6u);
+  EXPECT_EQ(worker_->libraries_hosted(), 0u);
+}
+
+TEST_F(WorkerProtocolTest, InvocationAgainstUnknownInstanceFails) {
+  SendToWorker(RunInvocationMsg{88, 999, "echo", Value(1).ToBlob()});
+  auto reply = NextMessage();
+  auto* done = std::get_if<InvocationDoneMsg>(&reply);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->id, 88u);
+  EXPECT_FALSE(done->ok);
+}
+
+TEST_F(WorkerProtocolTest, MalformedFrameIsDroppedNotFatal) {
+  ASSERT_TRUE(
+      network_->Send(net::kManagerEndpoint, 1, Blob::FromString("garbage"))
+          .ok());
+  // Worker must survive and keep serving.
+  ExecuteTaskMsg msg;
+  msg.task.id = 1;
+  msg.task.function_name = "echo";
+  msg.task.args = Value(5).ToBlob();
+  SendToWorker(msg);
+  auto reply = NextMessage();
+  auto* done = std::get_if<TaskDoneMsg>(&reply);
+  ASSERT_NE(done, nullptr);
+  EXPECT_TRUE(done->ok);
+}
+
+TEST_F(WorkerProtocolTest, EnvironmentUnpackOncePerWorkerAcrossTasks) {
+  const Blob tarball = poncho::Packer::PackFiles(
+      {{"member.bin", Blob::FromString(std::string(100, 'm'))}});
+  auto decl = Declare("env", tarball, /*unpack=*/true);
+  decl.kind = storage::FileKind::kEnvironment;
+  SendToWorker(PutFileMsg{decl, tarball});
+  (void)NextMessage();  // FileReady
+
+  serde::FunctionDef reads;
+  reads.name = "reads_member";
+  reads.fn = [](const Value&, const InvocationEnv& env) -> Result<Value> {
+    return Value(static_cast<std::int64_t>(env.File("member.bin").size()));
+  };
+  ASSERT_TRUE(registry_.RegisterFunction(reads).ok());
+
+  for (TaskId id = 1; id <= 3; ++id) {
+    ExecuteTaskMsg msg;
+    msg.task.id = id;
+    msg.task.function_name = "reads_member";
+    msg.task.args = Value().ToBlob();
+    msg.task.inputs = {decl};
+    SendToWorker(msg);
+    auto reply = NextMessage();
+    auto* done = std::get_if<TaskDoneMsg>(&reply);
+    ASSERT_NE(done, nullptr);
+    ASSERT_TRUE(done->ok) << done->error;
+    EXPECT_EQ(Value::FromBlob(done->result)->AsInt(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace vinelet::core
