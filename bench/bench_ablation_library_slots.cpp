@@ -20,6 +20,7 @@ int main() {
   std::printf("Ablation: invocation slots per library (LNNI 20k "
               "invocations, 150 workers, L3)\n");
 
+  bench::TraceSession session("ablation_library_slots");
   static const WorkloadCosts costs = LnniCosts(16);
   bench::Table table({"Slots/library", "Libraries deployed", "Peak active",
                       "Setup CPU paid (s)", "Makespan (s)"});
@@ -29,6 +30,7 @@ int main() {
     config.cluster.num_workers = 150;
     config.seed = 2024;
     config.library_slots = k;
+    config.telemetry = session.telemetry();
     VineSim sim(config, BuildLnniWorkload(costs, 20000));
     const SimResult result = sim.Run();
     table.AddRow(

@@ -15,12 +15,14 @@ int main() {
   std::printf("Reproduction of Figure 10: deployed libraries vs completed "
               "invocations (LNNI 100k, 150 workers, L3)\n");
 
+  bench::TraceSession session("fig10_library_count");
   static const WorkloadCosts costs = LnniCosts(16);
   SimConfig config;
   config.level = core::ReuseLevel::kL3;
   config.cluster.num_workers = 150;
   config.seed = 2024;
   config.track_series = true;
+  config.telemetry = session.telemetry();
   // The paper's pool is HTCondor-managed: workers are preempted and
   // replaced throughout the run.
   config.worker_mean_lifetime_s = 600.0;

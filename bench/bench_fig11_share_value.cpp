@@ -14,12 +14,14 @@ int main() {
   std::printf("Reproduction of Figure 11: average library share value vs "
               "completed invocations (LNNI 100k, 150 workers, L3)\n");
 
+  bench::TraceSession session("fig11_share_value");
   static const WorkloadCosts costs = LnniCosts(16);
   SimConfig config;
   config.level = core::ReuseLevel::kL3;
   config.cluster.num_workers = 150;
   config.seed = 2024;
   config.track_series = true;
+  config.telemetry = session.telemetry();
   config.worker_mean_lifetime_s = 600.0;
   config.worker_respawn_delay_s = 10.0;
   VineSim sim(config, BuildLnniWorkload(costs, 100000));

@@ -14,12 +14,17 @@ namespace {
 using namespace vinelet;
 using namespace vinelet::sim;
 
+// Set from main's TraceSession; VINELET_TRACE=1 records every run's
+// virtual-time phase spans into BENCH_fig6_execution_time.trace.json.
+telemetry::Telemetry* g_telemetry = nullptr;
+
 SimResult RunLnni(core::ReuseLevel level, std::size_t invocations,
                   std::size_t workers) {
   SimConfig config;
   config.level = level;
   config.cluster.num_workers = workers;
   config.seed = 2024;
+  config.telemetry = g_telemetry;
   static const WorkloadCosts costs = LnniCosts(16);
   VineSim sim(config, BuildLnniWorkload(costs, invocations));
   return sim.Run();
@@ -31,6 +36,7 @@ SimResult RunExamol(core::ReuseLevel level, std::size_t invocations,
   config.level = level;
   config.cluster.num_workers = workers;
   config.seed = 2024;
+  config.telemetry = g_telemetry;
   static const WorkloadCosts simulate = ExamolSimulateCosts();
   static const WorkloadCosts train = ExamolTrainCosts();
   static const WorkloadCosts infer = ExamolInferCosts();
@@ -45,6 +51,9 @@ SimResult RunExamol(core::ReuseLevel level, std::size_t invocations,
 int main() {
   std::printf("Reproduction of Figure 6: execution time with different "
               "levels of context reuse (150 workers)\n");
+  bench::TraceSession session("fig6_execution_time");
+  g_telemetry = session.telemetry();
+  bench::JsonReport report("fig6_execution_time");
 
   bench::Section("Fig 6a: LNNI, 100,000 invocations");
   const SimResult lnni_l1 = RunLnni(core::ReuseLevel::kL1, 100000, 150);
@@ -63,6 +72,9 @@ int main() {
     std::printf("L3 vs L2 improvement: paper 87.7%%, measured %s\n",
                 bench::Percent(1.0 - lnni_l3.makespan / lnni_l2.makespan)
                     .c_str());
+    report.Add("lnni_l1_makespan_s", 7485, m1);
+    report.Add("lnni_l2_makespan_s", 3361, lnni_l2.makespan);
+    report.Add("lnni_l3_makespan_s", 414, lnni_l3.makespan);
   }
 
   bench::Section("Fig 6b: ExaMol, 10,000 invocations");
@@ -75,6 +87,8 @@ int main() {
     table.AddRow({"L2", "3364", FormatDouble(ex_l2.makespan, 0), "26.9%",
                   bench::Percent(1.0 - ex_l2.makespan / ex_l1.makespan)});
     table.Print();
+    report.Add("examol_l1_makespan_s", 4600, ex_l1.makespan);
+    report.Add("examol_l2_makespan_s", 3364, ex_l2.makespan);
   }
 
   bench::Section("Run diagnostics");
@@ -94,5 +108,6 @@ int main() {
     row("ExaMol L2", ex_l2);
     table.Print();
   }
+  report.Write();
   return 0;
 }

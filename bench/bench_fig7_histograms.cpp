@@ -14,6 +14,7 @@ int main() {
   std::printf("Reproduction of Figure 7: invocation run-time histograms, "
               "LNNI 100k invocations, 150 workers\n");
 
+  bench::TraceSession session("fig7_histograms");
   static const WorkloadCosts costs = LnniCosts(16);
   const char* expectations[3] = {
       "paper: most invocations within 12-20 s, long tail",
@@ -26,6 +27,7 @@ int main() {
     config.level = level;
     config.cluster.num_workers = 150;
     config.seed = 2024;
+    config.telemetry = session.telemetry();
     VineSim sim(config, BuildLnniWorkload(costs, 100000));
     const SimResult result = sim.Run();
 

@@ -14,6 +14,7 @@ int main() {
   std::printf("Reproduction of Figure 8: LNNI execution time vs inferences "
               "per invocation (10k invocations, 100 workers)\n");
 
+  bench::TraceSession session("fig8_invocation_runtime");
   static const WorkloadCosts costs16 = LnniCosts(16);
   static const WorkloadCosts costs160 = LnniCosts(160);
   static const WorkloadCosts costs1600 = LnniCosts(1600);
@@ -37,6 +38,7 @@ int main() {
       config.level = static_cast<core::ReuseLevel>(i + 1);
       config.cluster.num_workers = 100;
       config.seed = 2024;
+      config.telemetry = session.telemetry();
       if (c.inferences == 16 && config.level == core::ReuseLevel::kL1) {
         // Paper note: "the run with L1 and 16 inferences uses a significant
         // amount (89%) of group 2 machines".

@@ -16,12 +16,14 @@ int main() {
   std::printf("Reproduction of Figure 9: LNNI execution time vs connected "
               "workers (10k invocations)\n");
 
+  bench::TraceSession session("fig9_worker_scaling");
   static const WorkloadCosts costs = LnniCosts(16);
   auto run = [&](core::ReuseLevel level, std::size_t workers) {
     SimConfig config;
     config.level = level;
     config.cluster.num_workers = workers;
     config.seed = 2024;
+    config.telemetry = session.telemetry();
     if (level == core::ReuseLevel::kL3 && workers == 50) {
       // Paper note: "the run with L3 and 50 workers has no group 2 machines".
       config.cluster.group_fractions = {0.75, 0.0, 0.11, 0.08, 0.06};

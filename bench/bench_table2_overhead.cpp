@@ -61,19 +61,34 @@ struct RemoteResult {
   double total_s = 0;
   double startup_s = 0;
   double per_invocation_s = 0;
+  std::uint64_t completed = 0;   // manager counter delta over the timed loop
+  double mean_roundtrip_s = 0;   // roundtrip-histogram delta / completed
 };
+
+/// Reads (count, sum) of a roundtrip histogram so modes can difference
+/// their own window out of the shared registry.
+std::pair<std::uint64_t, double> HistogramTotals(
+    telemetry::Telemetry& telemetry, const std::string& name) {
+  const auto snapshot = telemetry.metrics.Snapshot();
+  const auto* h = snapshot.HistogramFor(name);
+  return h == nullptr ? std::pair<std::uint64_t, double>{0, 0.0}
+                      : std::pair<std::uint64_t, double>{h->count, h->sum};
+}
 
 /// Remote task mode: every execution ships and reloads context (a small
 /// poncho environment tarball rides inline with every task).
-RemoteResult RunRemoteTasks(serde::FunctionRegistry& registry) {
+RemoteResult RunRemoteTasks(serde::FunctionRegistry& registry,
+                            telemetry::Telemetry& telemetry) {
   auto network = std::make_shared<net::Network>();
   core::ManagerConfig config;
   config.registry = &registry;
+  config.telemetry = &telemetry;
   core::Manager manager(network, config);
   (void)manager.Start();
   core::FactoryConfig factory_config;
   factory_config.initial_workers = 1;
   factory_config.registry = &registry;
+  factory_config.telemetry = &telemetry;
   core::Factory factory(network, factory_config);
   (void)factory.Start();
 
@@ -93,6 +108,8 @@ RemoteResult RunRemoteTasks(serde::FunctionRegistry& registry) {
   RemoteResult result;
   result.startup_s = startup.Elapsed();
 
+  const auto [count_before, sum_before] =
+      HistogramTotals(telemetry, "manager.task_roundtrip_s");
   Stopwatch watch(clock);
   std::vector<core::FuturePtr> futures;
   futures.reserve(kInvocations);
@@ -104,6 +121,12 @@ RemoteResult RunRemoteTasks(serde::FunctionRegistry& registry) {
   (void)manager.WaitAll(600.0);
   result.total_s = watch.Elapsed() + result.startup_s;
   result.per_invocation_s = watch.Elapsed() / kInvocations;
+  const auto [count_after, sum_after] =
+      HistogramTotals(telemetry, "manager.task_roundtrip_s");
+  result.completed = count_after - count_before;
+  if (result.completed > 0)
+    result.mean_roundtrip_s =
+        (sum_after - sum_before) / static_cast<double>(result.completed);
   manager.Stop();
   factory.Stop();
   return result;
@@ -111,15 +134,18 @@ RemoteResult RunRemoteTasks(serde::FunctionRegistry& registry) {
 
 /// Remote invocation mode: context set up once in a library, invocations
 /// carry only arguments.
-RemoteResult RunRemoteInvocations(serde::FunctionRegistry& registry) {
+RemoteResult RunRemoteInvocations(serde::FunctionRegistry& registry,
+                                  telemetry::Telemetry& telemetry) {
   auto network = std::make_shared<net::Network>();
   core::ManagerConfig config;
   config.registry = &registry;
+  config.telemetry = &telemetry;
   core::Manager manager(network, config);
   (void)manager.Start();
   core::FactoryConfig factory_config;
   factory_config.initial_workers = 1;
   factory_config.registry = &registry;
+  factory_config.telemetry = &telemetry;
   core::Factory factory(network, factory_config);
   (void)factory.Start();
 
@@ -138,6 +164,8 @@ RemoteResult RunRemoteInvocations(serde::FunctionRegistry& registry) {
   RemoteResult result;
   result.startup_s = startup.Elapsed();
 
+  const auto [count_before, sum_before] =
+      HistogramTotals(telemetry, "manager.invocation_roundtrip_s");
   Stopwatch watch(clock);
   for (int i = 0; i < kInvocations; ++i) {
     manager.SubmitCall("tiny", "tiny_add",
@@ -146,6 +174,12 @@ RemoteResult RunRemoteInvocations(serde::FunctionRegistry& registry) {
   (void)manager.WaitAll(600.0);
   result.total_s = watch.Elapsed() + result.startup_s;
   result.per_invocation_s = watch.Elapsed() / kInvocations;
+  const auto [count_after, sum_after] =
+      HistogramTotals(telemetry, "manager.invocation_roundtrip_s");
+  result.completed = count_after - count_before;
+  if (result.completed > 0)
+    result.mean_roundtrip_s =
+        (sum_after - sum_before) / static_cast<double>(result.completed);
   manager.Stop();
   factory.Stop();
   return result;
@@ -156,12 +190,14 @@ RemoteResult RunRemoteInvocations(serde::FunctionRegistry& registry) {
 /// paper's separate "Overhead per Worker" column, ~20 s) factored out by
 /// differencing against a single-invocation run.
 std::pair<double, double> RunSim(core::ReuseLevel level,
-                                 const sim::WorkloadCosts& costs) {
+                                 const sim::WorkloadCosts& costs,
+                                 telemetry::Telemetry* telemetry) {
   auto run = [&](std::size_t n) {
     sim::SimConfig config;
     config.level = level;
     config.cluster.num_workers = 1;
     config.seed = 7;
+    config.telemetry = telemetry;
     sim::VineSim vinesim(config, sim::BuildLnniWorkload(costs, n));
     return vinesim.Run().makespan;
   };
@@ -181,30 +217,55 @@ int main() {
   serde::FunctionRegistry registry;
   RegisterAddFunction(registry);
 
+  // One telemetry handle across the whole bench: the runtime modes share
+  // its metrics registry, the simulator shares its tracer; VINELET_TRACE=1
+  // exports BENCH_table2_overhead.trace.json / .metrics.json on exit.
+  bench::TraceSession session("table2_overhead");
+  bench::JsonReport report("table2_overhead");
+
   Section("(a) Real threaded runtime, laptop scale (wall clock)");
   const double local_s = RunLocal(registry);
-  const RemoteResult task = RunRemoteTasks(registry);
-  const RemoteResult invocation = RunRemoteInvocations(registry);
+  const RemoteResult task = RunRemoteTasks(registry, *session.telemetry());
+  const RemoteResult invocation =
+      RunRemoteInvocations(registry, *session.telemetry());
   {
-    bench::Table table({"Mode", "Total (s)", "Startup (s)", "Per-invoc (s)"});
+    bench::Table table({"Mode", "Total (s)", "Startup (s)", "Per-invoc (s)",
+                        "Completed", "Mean roundtrip (s)"});
     table.AddRow({"Local Invocation", FormatDouble(local_s, 6), "0",
-                  FormatDouble(local_s / kInvocations, 9)});
+                  FormatDouble(local_s / kInvocations, 9),
+                  std::to_string(kInvocations), "-"});
     table.AddRow({"Remote Task", FormatDouble(task.total_s, 3),
                   FormatDouble(task.startup_s, 3),
-                  FormatDouble(task.per_invocation_s, 6)});
+                  FormatDouble(task.per_invocation_s, 6),
+                  std::to_string(task.completed),
+                  FormatDouble(task.mean_roundtrip_s, 6)});
     table.AddRow({"Remote Invocation", FormatDouble(invocation.total_s, 3),
                   FormatDouble(invocation.startup_s, 3),
-                  FormatDouble(invocation.per_invocation_s, 6)});
+                  FormatDouble(invocation.per_invocation_s, 6),
+                  std::to_string(invocation.completed),
+                  FormatDouble(invocation.mean_roundtrip_s, 6)});
     table.Print();
+    std::printf("Completed and roundtrip columns come from the manager's "
+                "telemetry counters/histograms; roundtrip includes queue "
+                "wait behind the single worker.\n");
     std::printf("Shape check: remote-invocation per-invocation overhead is "
                 "%.1fx lower than remote-task.\n",
                 task.per_invocation_s / invocation.per_invocation_s);
+    report.AddMeasured("local_per_invocation_s", local_s / kInvocations);
+    report.Add("remote_task_per_invocation_s", 0.19, task.per_invocation_s);
+    report.Add("remote_invocation_per_invocation_s", 0.00252,
+               invocation.per_invocation_s);
+    report.AddMeasured("remote_task_mean_roundtrip_s", task.mean_roundtrip_s);
+    report.AddMeasured("remote_invocation_mean_roundtrip_s",
+                       invocation.mean_roundtrip_s);
   }
 
   Section("(b) Calibrated simulator, paper scale (virtual time)");
   const sim::WorkloadCosts costs = sim::TrivialFunctionCosts();
-  const auto [task_total, task_per] = RunSim(core::ReuseLevel::kL1, costs);
-  const auto [invoc_total, invoc_per] = RunSim(core::ReuseLevel::kL3, costs);
+  const auto [task_total, task_per] =
+      RunSim(core::ReuseLevel::kL1, costs, session.telemetry());
+  const auto [invoc_total, invoc_per] =
+      RunSim(core::ReuseLevel::kL3, costs, session.telemetry());
   {
     bench::Table table({"Mode", "Paper total (s)", "Sim total (s)",
                         "Paper per-invoc (s)", "Sim per-invoc (s)"});
@@ -215,6 +276,9 @@ int main() {
     table.AddRow({"Remote Invocation", "22.46", FormatDouble(invoc_total, 2),
                   "0.00252", FormatDouble(invoc_per, 5)});
     table.Print();
+    report.Add("sim_remote_task_total_s", 211.06, task_total);
+    report.Add("sim_remote_invocation_total_s", 22.46, invoc_total);
   }
+  report.Write();
   return 0;
 }

@@ -12,6 +12,7 @@ int main() {
   std::printf("Reproduction of Table 4: invocation run-time statistics, "
               "LNNI 100k invocations, 150 workers\n");
 
+  bench::TraceSession session("table4_invocation_stats");
   static const WorkloadCosts costs = LnniCosts(16);
   struct PaperRow {
     const char* mean;
@@ -31,6 +32,7 @@ int main() {
     config.level = level;
     config.cluster.num_workers = 150;
     config.seed = 2024;
+    config.telemetry = session.telemetry();
     VineSim sim(config, BuildLnniWorkload(costs, 100000));
     const SimResult result = sim.Run();
     const auto& s = result.run_time;

@@ -1,12 +1,17 @@
-// Shared helpers for the reproduction benches: table rendering and
-// paper-vs-measured comparison rows.
+// Shared helpers for the reproduction benches: table rendering,
+// paper-vs-measured comparison rows, machine-readable JSON reports, and an
+// opt-in telemetry trace session (VINELET_TRACE=1).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/strings.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vinelet::bench {
 
@@ -72,5 +77,109 @@ inline std::string Ratio(double paper, double measured) {
   if (paper <= 0) return "-";
   return FormatDouble(measured / paper, 2) + "x";
 }
+
+/// Machine-readable companion to the printed tables: accumulates
+/// paper-vs-measured entries and writes them as `BENCH_<name>.json` next to
+/// the binary's working directory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// A paper-vs-measured comparison row; ratio is derived.
+  void Add(const std::string& metric, double paper, double measured) {
+    entries_.push_back({metric, paper, measured, /*has_paper=*/true});
+  }
+
+  /// A measured-only row (no paper reference value).
+  void AddMeasured(const std::string& metric, double measured) {
+    entries_.push_back({metric, 0.0, measured, /*has_paper=*/false});
+  }
+
+  /// Writes BENCH_<name>.json; prints the path (or the error) to stdout.
+  void Write() const {
+    std::string json = "{\"bench\":\"" + telemetry::JsonEscape(name_) +
+                       "\",\"entries\":[";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (i > 0) json += ",";
+      json += "{\"metric\":\"" + telemetry::JsonEscape(e.metric) + "\"";
+      if (e.has_paper) {
+        json += ",\"paper\":" + FormatDouble(e.paper, 9);
+        if (e.paper > 0)
+          json += ",\"ratio\":" + FormatDouble(e.measured / e.paper, 6);
+      }
+      json += ",\"measured\":" + FormatDouble(e.measured, 9) + "}";
+    }
+    json += "]}\n";
+    const std::string path = "BENCH_" + name_ + ".json";
+    const Status status = telemetry::WriteStringToFile(path, json);
+    if (status.ok()) {
+      std::printf("[report] wrote %s (%zu entries)\n", path.c_str(),
+                  entries_.size());
+    } else {
+      std::printf("[report] failed to write %s: %s\n", path.c_str(),
+                  status.ToString().c_str());
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string metric;
+    double paper = 0;
+    double measured = 0;
+    bool has_paper = false;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+/// Opt-in tracing for a bench run: when VINELET_TRACE is set (non-empty,
+/// not "0"), the owned Telemetry's tracer is enabled, and Finish() (or the
+/// destructor) writes `BENCH_<name>.trace.json` (Chrome trace_event, loadable
+/// in Perfetto / chrome://tracing) and `BENCH_<name>.metrics.json`.  Pass
+/// `telemetry()` into ManagerConfig/FactoryConfig/SimConfig; the pointer is
+/// valid whether or not tracing is on, so benches wire it unconditionally.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string name) : name_(std::move(name)) {
+    const char* env = std::getenv("VINELET_TRACE");
+    enabled_ = env != nullptr && *env != '\0' &&
+               std::string_view(env) != "0";
+    telemetry_.tracer.SetEnabled(enabled_);
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  ~TraceSession() { Finish(); }
+
+  bool enabled() const { return enabled_; }
+  telemetry::Telemetry* telemetry() { return &telemetry_; }
+
+  void Finish() {
+    if (!enabled_ || finished_) return;
+    finished_ = true;
+    const std::vector<telemetry::SpanRecord> spans = telemetry_.tracer.Drain();
+    const std::string trace_path = "BENCH_" + name_ + ".trace.json";
+    const Status trace_status = telemetry::WriteStringToFile(
+        trace_path, telemetry::ToChromeTrace(spans, "vinelet:" + name_));
+    const std::string metrics_path = "BENCH_" + name_ + ".metrics.json";
+    const Status metrics_status = telemetry::WriteStringToFile(
+        metrics_path, telemetry::MetricsToJson(telemetry_.metrics.Snapshot()));
+    if (trace_status.ok() && metrics_status.ok()) {
+      std::printf("[trace] wrote %s (%zu spans) and %s\n", trace_path.c_str(),
+                  spans.size(), metrics_path.c_str());
+    } else {
+      std::printf("[trace] export failed: %s / %s\n",
+                  trace_status.ToString().c_str(),
+                  metrics_status.ToString().c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  bool finished_ = false;
+  telemetry::Telemetry telemetry_;
+};
 
 }  // namespace vinelet::bench

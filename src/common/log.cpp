@@ -1,6 +1,8 @@
 #include "common/log.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace vinelet {
@@ -11,7 +13,35 @@ std::mutex& SinkMutex() {
   return mu;
 }
 
-std::string_view LevelName(LogLevel level) {
+Log::Sink& SinkSlot() {
+  static Log::Sink sink;  // empty = stderr
+  return sink;
+}
+
+char AsciiLower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+LogLevel InitialLevel() noexcept {
+  const char* env = std::getenv("VINELET_LOG_LEVEL");
+  if (env != nullptr) {
+    if (auto parsed = ParseLogLevel(env)) return *parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::chrono::steady_clock::time_point ProcessOrigin() noexcept {
+  static const auto origin = std::chrono::steady_clock::now();
+  return origin;
+}
+
+/// Touches the origin before main() so the first logged timestamp is
+/// process-relative, not first-log-relative.
+const bool kOriginInitialized = (ProcessOrigin(), true);
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -22,9 +52,19 @@ std::string_view LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+std::optional<LogLevel> ParseLogLevel(std::string_view text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) lower += AsciiLower(c);
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
-std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
+std::atomic<LogLevel> Log::level_{InitialLevel()};
 
 void Log::SetLevel(LogLevel level) noexcept {
   level_.store(level, std::memory_order_relaxed);
@@ -39,13 +79,46 @@ bool Log::Enabled(LogLevel level) noexcept {
          level != LogLevel::kOff;
 }
 
+void Log::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
+
+double Log::MonotonicNow() noexcept {
+  (void)kOriginInitialized;
+  const auto delta = std::chrono::steady_clock::now() - ProcessOrigin();
+  return std::chrono::duration<double>(delta).count();
+}
+
+std::uint64_t Log::CurrentThreadId() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void Log::Write(LogLevel level, std::string_view tag,
                 std::string_view message) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%11.6f] [%-5.5s] [t%llu] ",
+                MonotonicNow(),
+                std::string(LogLevelName(level)).c_str(),
+                static_cast<unsigned long long>(CurrentThreadId()));
+  std::string line;
+  line.reserve(sizeof(prefix) + tag.size() + message.size() + 2);
+  line += prefix;
+  line += tag;
+  line += ": ";
+  line += message;
+
   std::lock_guard<std::mutex> lock(SinkMutex());
-  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
-               static_cast<int>(LevelName(level).size()), LevelName(level).data(),
-               static_cast<int>(tag.size()), tag.data(),
-               static_cast<int>(message.size()), message.data());
+  Log::Sink& sink = SinkSlot();
+  if (sink) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()),
+                 line.c_str());
+  }
 }
 
 }  // namespace vinelet

@@ -4,10 +4,22 @@
 // one global sink; lines are written atomically under a mutex so interleaved
 // output stays readable.  Logging below the active level costs one relaxed
 // atomic load.
+//
+// Each line carries a monotonic timestamp (seconds since process start) and
+// a short per-thread id, e.g.:
+//
+//   [   0.014208] [INFO ] [t2] manager: worker 1 joined
+//
+// The initial level honors the VINELET_LOG_LEVEL environment variable
+// ("debug" | "info" | "warn" | "error" | "off", case-insensitive); default
+// kWarn (quiet tests).  The output sink is pluggable so tests can capture
+// log lines instead of scraping stderr.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,19 +28,38 @@ namespace vinelet {
 
 enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
 
+std::string_view LogLevelName(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (any case); nullopt otherwise.
+std::optional<LogLevel> ParseLogLevel(std::string_view text) noexcept;
+
 /// Global log configuration.
 class Log {
  public:
-  /// Sets the minimum level that is emitted.  Default: kWarn (quiet tests).
+  /// Receives one fully formatted line (no trailing newline).
+  using Sink = std::function<void(LogLevel level, std::string_view line)>;
+
+  /// Sets the minimum level that is emitted.  The startup default is kWarn,
+  /// overridable via VINELET_LOG_LEVEL.
   static void SetLevel(LogLevel level) noexcept;
   static LogLevel GetLevel() noexcept;
 
   /// True when `level` would be emitted.
   static bool Enabled(LogLevel level) noexcept;
 
-  /// Writes one formatted line ("[LEVEL] tag: message") to stderr.
+  /// Replaces the output sink; an empty sink restores stderr.
+  static void SetSink(Sink sink);
+
+  /// Formats one line ("[<ts>] [LEVEL] [t<id>] tag: message") and hands it
+  /// to the active sink.
   static void Write(LogLevel level, std::string_view tag,
                     std::string_view message);
+
+  /// Seconds since process start on the logger's monotonic clock.
+  static double MonotonicNow() noexcept;
+
+  /// Small stable id of the calling thread (assigned on first log).
+  static std::uint64_t CurrentThreadId() noexcept;
 
  private:
   static std::atomic<LogLevel> level_;

@@ -20,6 +20,9 @@ struct FactoryConfig {
   Resources worker_resources{32, 64 * 1024, 64 * 1024};
   std::uint64_t cache_capacity_bytes = 0;
   const serde::FunctionRegistry* registry = nullptr;
+  /// Shared telemetry handed to every spawned worker (usually the same
+  /// instance the manager reports into).  Null = each worker owns its own.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class Factory {

@@ -8,13 +8,26 @@ LibraryRuntime::LibraryRuntime(LibrarySpec spec, LibraryInstanceId instance_id,
                                storage::ContentStore* store,
                                UnpackRegistry* unpacked,
                                const serde::FunctionRegistry* registry,
-                               Callbacks callbacks)
+                               Callbacks callbacks,
+                               telemetry::Telemetry* telemetry,
+                               std::string track)
     : spec_(std::move(spec)),
       instance_id_(instance_id),
       store_(store),
       unpacked_(unpacked),
       registry_(registry),
-      callbacks_(std::move(callbacks)) {}
+      callbacks_(std::move(callbacks)),
+      telemetry_(telemetry),
+      track_(std::move(track)) {
+  if (telemetry_ != nullptr) {
+    if (track_.empty())
+      track_ = "library-" + spec_.name + "#" + std::to_string(instance_id_);
+    auto& reg = telemetry_->metrics;
+    invocations_metric_ = &reg.GetCounter("library.invocations");
+    invoke_exec_s_ = &reg.GetHistogram("library.invocation_exec_s");
+    setup_s_ = &reg.GetHistogram("library.setup_s");
+  }
+}
 
 LibraryRuntime::~LibraryRuntime() { Stop(); }
 
@@ -70,6 +83,8 @@ void LibraryRuntime::Run() {
 }
 
 Status LibraryRuntime::Setup(TimingBreakdown& timing) {
+  const double phase_start_s =
+      telemetry_ != nullptr ? telemetry_->tracer.Now() : 0.0;
   // Stage inputs out of the worker cache; unpack environments.
   Stopwatch watch(clock_);
   for (const auto& decl : spec_.inputs) {
@@ -78,8 +93,14 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
       return FailedPreconditionError("library input not staged: " + decl.name);
     if (decl.unpack) {
       bool unpacked_now = false;
+      Stopwatch unpack_watch(clock_);
       auto dir = unpacked_->GetOrUnpack(decl.id, *blob, &unpacked_now);
       if (!dir.ok()) return dir.status();
+      if (unpacked_now && telemetry_ != nullptr) {
+        telemetry_->metrics.GetCounter("worker.unpacks").Add();
+        telemetry_->metrics.GetHistogram("worker.unpack_s")
+            .Observe(unpack_watch.Elapsed());
+      }
       held_envs_.push_back(*dir);
       for (const auto& [name, content] : (*dir)->files)
         files_.emplace(name, content);
@@ -117,6 +138,7 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
     }
     functions_.emplace(fn_name, std::move(bound));
   }
+  const double deserialize_s = watch.Elapsed();
 
   // Run the context-setup function: build the retained in-memory state.
   if (!spec_.setup_name.empty()) {
@@ -132,12 +154,31 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
     context_ = std::move(*context);
   }
   timing.context_s = watch.Elapsed();
+
+  if (telemetry_ != nullptr) {
+    if (setup_s_ != nullptr)
+      setup_s_->Observe(timing.worker_s + timing.context_s);
+    if (telemetry_->tracer.enabled()) {
+      auto& tracer = telemetry_->tracer;
+      double t = phase_start_s;
+      tracer.Emit(telemetry::Phase::kUnpack, "library", track_, instance_id_,
+                  t, t + timing.worker_s);
+      t += timing.worker_s;
+      tracer.Emit(telemetry::Phase::kDeserialize, "library", track_,
+                  instance_id_, t, t + deserialize_s);
+      t += deserialize_s;
+      tracer.Emit(telemetry::Phase::kContextSetup, "library", track_,
+                  instance_id_, t, t + (timing.context_s - deserialize_s));
+    }
+  }
   return Status::Ok();
 }
 
 InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
   InvocationDoneMsg done;
   done.id = msg.id;
+  const double phase_start_s =
+      telemetry_ != nullptr ? telemetry_->tracer.Now() : 0.0;
 
   // Load arguments into memory — the only per-invocation payload (§3.4).
   Stopwatch watch(clock_);
@@ -172,6 +213,18 @@ InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
   }
   done.ok = true;
   done.result = result->ToBlob();
+  if (telemetry_ != nullptr) {
+    invocations_metric_->Add();
+    invoke_exec_s_->Observe(done.timing.exec_s);
+    if (telemetry_->tracer.enabled()) {
+      auto& tracer = telemetry_->tracer;
+      tracer.Emit(telemetry::Phase::kDeserialize, "invocation", track_,
+                  msg.id, phase_start_s, phase_start_s + done.timing.context_s);
+      tracer.Emit(telemetry::Phase::kExec, "invocation", track_, msg.id,
+                  phase_start_s + done.timing.context_s,
+                  phase_start_s + done.timing.context_s + done.timing.exec_s);
+    }
+  }
   return done;
 }
 

@@ -23,6 +23,7 @@
 #include "core/unpack_registry.hpp"
 #include "serde/function_registry.hpp"
 #include "storage/content_store.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vinelet::core {
 
@@ -44,9 +45,14 @@ class LibraryRuntime {
     std::function<void(InvocationDoneMsg)> on_done;
   };
 
+  /// `telemetry` (optional) receives unpack/deserialize/context-setup spans
+  /// for the one-time setup and deserialize/exec spans per invocation, on
+  /// track `track` ("library-<name>#<id>" when empty).
   LibraryRuntime(LibrarySpec spec, LibraryInstanceId instance_id,
                  storage::ContentStore* store, UnpackRegistry* unpacked,
-                 const serde::FunctionRegistry* registry, Callbacks callbacks);
+                 const serde::FunctionRegistry* registry, Callbacks callbacks,
+                 telemetry::Telemetry* telemetry = nullptr,
+                 std::string track = {});
   ~LibraryRuntime();
 
   LibraryRuntime(const LibraryRuntime&) = delete;
@@ -82,6 +88,13 @@ class LibraryRuntime {
   const serde::FunctionRegistry* registry_;
   Callbacks callbacks_;
   WallClock clock_;
+
+  // ---- telemetry (optional; null = no spans/metrics) ----
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::string track_;
+  telemetry::Counter* invocations_metric_ = nullptr;
+  telemetry::Histogram* invoke_exec_s_ = nullptr;
+  telemetry::Histogram* setup_s_ = nullptr;
 
   Channel<RunInvocationMsg> requests_;
   std::thread thread_;

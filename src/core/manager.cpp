@@ -14,7 +14,33 @@ Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
       config_(config),
       registry_(config.registry != nullptr ? config.registry
                                            : &serde::FunctionRegistry::Global()),
-      replicas_(config.worker_transfer_cap, config.manager_transfer_cap) {}
+      replicas_(config.worker_transfer_cap, config.manager_transfer_cap) {
+  if (config.telemetry != nullptr) {
+    telemetry_ = config.telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<telemetry::Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  auto& reg = telemetry_->metrics;
+  m_.tasks_completed = &reg.GetCounter("manager.tasks_completed");
+  m_.invocations_completed = &reg.GetCounter("manager.invocations_completed");
+  m_.libraries_deployed = &reg.GetCounter("manager.libraries_deployed");
+  m_.libraries_evicted = &reg.GetCounter("manager.libraries_evicted");
+  m_.retries = &reg.GetCounter("manager.retries");
+  m_.peer_transfers = &reg.GetCounter("manager.peer_transfers");
+  m_.manager_transfers = &reg.GetCounter("manager.manager_transfers");
+  m_.peer_transfer_bytes = &reg.GetCounter("manager.peer_transfer_bytes");
+  m_.manager_transfer_bytes = &reg.GetCounter("manager.manager_transfer_bytes");
+  m_.libraries_active = &reg.GetGauge("manager.libraries_active");
+  m_.retained_context_bytes = &reg.GetGauge("manager.retained_context_bytes");
+  m_.setup_transfer_s = &reg.GetGauge("manager.last_setup.transfer_s");
+  m_.setup_worker_s = &reg.GetGauge("manager.last_setup.worker_s");
+  m_.setup_context_s = &reg.GetGauge("manager.last_setup.context_s");
+  m_.setup_exec_s = &reg.GetGauge("manager.last_setup.exec_s");
+  m_.task_roundtrip_s = &reg.GetHistogram("manager.task_roundtrip_s");
+  m_.invocation_roundtrip_s =
+      &reg.GetHistogram("manager.invocation_roundtrip_s");
+}
 
 Manager::~Manager() { Stop(); }
 
@@ -191,7 +217,7 @@ FuturePtr Manager::SubmitTask(const std::string& function_name,
     std::lock_guard<std::mutex> lock(wait_mu_);
     ++outstanding_;
   }
-  if (!commands_.Send(TaskCmd{std::move(spec), future})) {
+  if (!commands_.Send(TaskCmd{std::move(spec), future, Now()})) {
     future->Resolve(UnavailableError("manager stopped"));
     FinishOne();
   }
@@ -206,8 +232,8 @@ FuturePtr Manager::SubmitCall(const std::string& library_name,
     std::lock_guard<std::mutex> lock(wait_mu_);
     ++outstanding_;
   }
-  if (!commands_.Send(
-          CallCmd{library_name, function_name, args.ToBlob(), future})) {
+  if (!commands_.Send(CallCmd{library_name, function_name, args.ToBlob(),
+                              future, Now()})) {
     future->Resolve(UnavailableError("manager stopped"));
     FinishOne();
   }
@@ -242,8 +268,26 @@ std::size_t Manager::connected_workers() const {
 }
 
 ManagerMetrics Manager::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  return metrics_;
+  const telemetry::MetricsSnapshot snap = telemetry_->metrics.Snapshot();
+  ManagerMetrics m;
+  m.tasks_completed = snap.CounterValue("manager.tasks_completed");
+  m.invocations_completed = snap.CounterValue("manager.invocations_completed");
+  m.libraries_deployed = snap.CounterValue("manager.libraries_deployed");
+  m.libraries_evicted = snap.CounterValue("manager.libraries_evicted");
+  m.retries = snap.CounterValue("manager.retries");
+  m.peer_transfers = snap.CounterValue("manager.peer_transfers");
+  m.manager_transfers = snap.CounterValue("manager.manager_transfers");
+  m.libraries_active = static_cast<std::uint64_t>(
+      snap.GaugeValue("manager.libraries_active"));
+  m.retained_context_bytes = static_cast<std::uint64_t>(
+      snap.GaugeValue("manager.retained_context_bytes"));
+  m.last_library_setup.transfer_s =
+      snap.GaugeValue("manager.last_setup.transfer_s");
+  m.last_library_setup.worker_s = snap.GaugeValue("manager.last_setup.worker_s");
+  m.last_library_setup.context_s =
+      snap.GaugeValue("manager.last_setup.context_s");
+  m.last_library_setup.exec_s = snap.GaugeValue("manager.last_setup.exec_s");
+  return m;
 }
 
 void Manager::FinishOne() {
@@ -335,10 +379,14 @@ void Manager::HandleFrame(const net::Frame& frame) {
             if (value.ok()) {
               TimingBreakdown timing = msg.timing;
               timing.transfer_s += running.transfer_wait_s;
-              {
-                std::lock_guard<std::mutex> lock(metrics_mu_);
-                ++metrics_.tasks_completed;
-              }
+              const double received_s = Now();
+              // Metrics and spans land before the future resolves so a
+              // waiter's snapshot always includes its own completion.
+              m_.tasks_completed->Add();
+              m_.task_roundtrip_s->Observe(Now() - running.task.submitted_s);
+              if (telemetry_->tracer.enabled())
+                telemetry_->tracer.Emit(telemetry::Phase::kResult, "task",
+                                        "manager", msg.id, received_s, Now());
               running.task.future->Resolve(
                   Outcome{std::move(*value), timing, running.worker});
               FinishOne();
@@ -347,10 +395,8 @@ void Manager::HandleFrame(const net::Frame& frame) {
               FinishOne();
             }
           } else if (++running.task.attempts < config_.max_attempts) {
-            {
-              std::lock_guard<std::mutex> lock(metrics_mu_);
-              ++metrics_.retries;
-            }
+            m_.retries->Add();
+            running.task.queued_s = Now();
             task_queue_.push_back(std::move(running.task));
           } else {
             running.task.future->Resolve(InternalError(msg.error));
@@ -361,13 +407,14 @@ void Manager::HandleFrame(const net::Frame& frame) {
           if (it == instances_.end()) return;
           it->second.state = InstanceState::kReady;
           it->second.context_memory = msg.context_memory_bytes;
-          {
-            std::lock_guard<std::mutex> lock(metrics_mu_);
-            ++metrics_.libraries_deployed;
-            ++metrics_.libraries_active;
-            metrics_.last_library_setup = msg.timing;
-            metrics_.retained_context_bytes += msg.context_memory_bytes;
-          }
+          m_.libraries_deployed->Add();
+          m_.libraries_active->Add(1);
+          m_.retained_context_bytes->Add(
+              static_cast<double>(msg.context_memory_bytes));
+          m_.setup_transfer_s->Set(msg.timing.transfer_s);
+          m_.setup_worker_s->Set(msg.timing.worker_s);
+          m_.setup_context_s->Set(msg.timing.context_s);
+          m_.setup_exec_s->Set(msg.timing.exec_s);
           VLOG_INFO("manager") << "library " << it->second.library << "#"
                                << msg.instance_id << " ready on worker "
                                << it->second.worker;
@@ -385,15 +432,12 @@ void Manager::HandleFrame(const net::Frame& frame) {
               VLOG_ERROR("manager") << "release: " << released.ToString();
               }
           }
-          {
-            std::lock_guard<std::mutex> lock(metrics_mu_);
-            if (instance.state == InstanceState::kDraining &&
-                metrics_.libraries_active > 0)
-              --metrics_.libraries_active;
-            metrics_.retained_context_bytes -=
-                std::min(metrics_.retained_context_bytes,
-                         instance.context_memory);
-          }
+          if (instance.state == InstanceState::kDraining)
+            m_.libraries_active->Set(
+                std::max(0.0, m_.libraries_active->Value() - 1));
+          m_.retained_context_bytes->Set(
+              std::max(0.0, m_.retained_context_bytes->Value() -
+                                static_cast<double>(instance.context_memory)));
           for (auto& [_, call] : instance.running) RequeueCall(std::move(call));
         } else if constexpr (std::is_same_v<T, InvocationDoneMsg>) {
           // Locate the owning instance through its running set.
@@ -407,10 +451,14 @@ void Manager::HandleFrame(const net::Frame& frame) {
             if (msg.ok) {
               auto value = serde::Value::FromBlob(msg.result);
               if (value.ok()) {
-                {
-                  std::lock_guard<std::mutex> lock(metrics_mu_);
-                  ++metrics_.invocations_completed;
-                }
+                const double received_s = Now();
+                // As with tasks: record before resolving the future.
+                m_.invocations_completed->Add();
+                m_.invocation_roundtrip_s->Observe(Now() - call.submitted_s);
+                if (telemetry_->tracer.enabled())
+                  telemetry_->tracer.Emit(telemetry::Phase::kResult,
+                                          "invocation", "manager", msg.id,
+                                          received_s, Now());
                 call.future->Resolve(
                     Outcome{std::move(*value), msg.timing, instance.worker});
                 FinishOne();
@@ -419,10 +467,7 @@ void Manager::HandleFrame(const net::Frame& frame) {
                 FinishOne();
               }
             } else if (++call.attempts < config_.max_attempts) {
-              {
-                std::lock_guard<std::mutex> lock(metrics_mu_);
-                ++metrics_.retries;
-              }
+              m_.retries->Add();
               RequeueCall(std::move(call));
             } else {
               call.future->Resolve(InternalError(msg.error));
@@ -459,6 +504,12 @@ void Manager::HandleCommand(Command command) {
           cmd.spec.inputs = std::move(task.spec.inputs);
           task.spec = std::move(cmd.spec);
           task.future = std::move(cmd.future);
+          task.submitted_s = cmd.submitted_s;
+          task.queued_s = Now();
+          if (telemetry_->tracer.enabled())
+            telemetry_->tracer.Emit(telemetry::Phase::kSubmit, "task",
+                                    "manager", task.spec.id, cmd.submitted_s,
+                                    task.queued_s);
           task_queue_.push_back(std::move(task));
         } else if constexpr (std::is_same_v<T, CallCmd>) {
           auto it = libraries_.find(cmd.library);
@@ -474,6 +525,12 @@ void Manager::HandleCommand(Command command) {
           call.function = std::move(cmd.function);
           call.args = std::move(cmd.args);
           call.future = std::move(cmd.future);
+          call.submitted_s = cmd.submitted_s;
+          call.queued_s = Now();
+          if (telemetry_->tracer.enabled())
+            telemetry_->tracer.Emit(telemetry::Phase::kSubmit, "invocation",
+                                    "manager", call.id, cmd.submitted_s,
+                                    call.queued_s);
           it->second.queue.push_back(std::move(call));
         } else if constexpr (std::is_same_v<T, DisconnectCmd>) {
           pending_dead_.insert(cmd.worker);
@@ -522,8 +579,11 @@ bool Manager::TryScheduleTask(PendingTask& task) {
     running.task = std::move(task);
     running.worker = worker_id;
     running.claimed = *claimed;
-    running.staged_at = clock_.Now();
+    running.staged_at = Now();
     const TaskId id = running.task.spec.id;
+    if (telemetry_->tracer.enabled())
+      telemetry_->tracer.Emit(telemetry::Phase::kDispatch, "task", "manager",
+                              id, running.task.queued_s, running.staged_at);
 
     for (const auto& decl : running.task.spec.inputs) {
       if (replicas_.HasReplica(decl.id, worker_id)) continue;
@@ -578,6 +638,9 @@ bool Manager::TryDispatchCall(LibraryInfo& info) {
     msg.function_name = call.function;
     msg.args = call.args;
     const WorkerId worker = instance.worker;
+    if (telemetry_->tracer.enabled())
+      telemetry_->tracer.Emit(telemetry::Phase::kDispatch, "invocation",
+                              "manager", call.id, call.queued_s, Now());
     instance.running.emplace(call.id, std::move(call));
     // A failed send means the worker died; ProcessDeadWorkers requeues.
     (void)SendTo(worker, msg);
@@ -631,10 +694,7 @@ bool Manager::TryEvictEmptyLibrary(const std::string& for_library) {
     if (lib_it != libraries_.end() && !lib_it->second.queue.empty()) continue;
 
     instance.state = InstanceState::kDraining;
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      ++metrics_.libraries_evicted;
-    }
+    m_.libraries_evicted->Add();
     VLOG_INFO("manager") << "evicting empty library " << instance.library
                          << "#" << instance.id << " from worker "
                          << instance.worker << " for " << for_library;
@@ -672,23 +732,20 @@ bool Manager::StageFile(const storage::FileDecl& decl, WorkerId worker,
   transfer.source = *source;
   replicas_.BeginTransfer(transfer.source);
 
+  transfer.started_s = Now();
   if (transfer.source.from_manager) {
     auto payload = manager_store_.Get(decl.id);
     if (!payload.ok()) {
       // Should not happen: declared files live in the manager store.
       VLOG_ERROR("manager") << "missing declared payload " << decl.name;
     } else {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mu_);
-        ++metrics_.manager_transfers;
-      }
+      m_.manager_transfers->Add();
+      m_.manager_transfer_bytes->Add(decl.size);
       (void)SendTo(worker, PutFileMsg{decl, std::move(*payload)});
     }
   } else {
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      ++metrics_.peer_transfers;
-    }
+    m_.peer_transfers->Add();
+    m_.peer_transfer_bytes->Add(decl.size);
     (void)SendTo(transfer.source.peer, PushFileMsg{decl, worker});
   }
   transfers_.emplace(key, std::move(transfer));
@@ -704,21 +761,18 @@ void Manager::StartParkedTransfers() {
     if (!source.ok()) continue;  // still saturated
     transfer.source = *source;
     transfer.started = true;
+    transfer.started_s = Now();
     replicas_.BeginTransfer(transfer.source);
     if (transfer.source.from_manager) {
       auto payload = manager_store_.Get(transfer.decl.id);
       if (payload.ok()) {
-        {
-          std::lock_guard<std::mutex> lock(metrics_mu_);
-          ++metrics_.manager_transfers;
-        }
+        m_.manager_transfers->Add();
+        m_.manager_transfer_bytes->Add(transfer.decl.size);
         (void)SendTo(key.dest, PutFileMsg{transfer.decl, std::move(*payload)});
       }
     } else {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mu_);
-        ++metrics_.peer_transfers;
-      }
+      m_.peer_transfers->Add();
+      m_.peer_transfer_bytes->Add(transfer.decl.size);
       (void)SendTo(transfer.source.peer, PushFileMsg{transfer.decl, key.dest});
     }
   }
@@ -790,6 +844,10 @@ void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
   }
 
   replicas_.AddReplica(id, worker);
+  if (telemetry_->tracer.enabled())
+    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "file",
+                            "worker-" + std::to_string(worker),
+                            id.Prefix64(), transfer.started_s, Now());
   for (const Waiter& waiter : transfer.waiters) {
     if (waiter.is_instance) {
       auto inst_it = instances_.find(waiter.id);
@@ -808,7 +866,12 @@ void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
 }
 
 void Manager::DispatchTask(RunningTask& running) {
-  running.transfer_wait_s = clock_.Now() - running.staged_at;
+  const double now = Now();
+  running.transfer_wait_s = now - running.staged_at;
+  if (telemetry_->tracer.enabled())
+    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "task",
+                            "worker-" + std::to_string(running.worker),
+                            running.task.spec.id, running.staged_at, now);
   ExecuteTaskMsg msg;
   msg.task = running.task.spec;  // copy: a retry reuses the original
   for (const auto& decl : running.task.inline_decls) {
@@ -846,6 +909,9 @@ void Manager::FeedInstance(InstanceInfo& instance) {
     msg.function_name = call.function;
     msg.args = call.args;
     const WorkerId worker = instance.worker;
+    if (telemetry_->tracer.enabled())
+      telemetry_->tracer.Emit(telemetry::Phase::kDispatch, "invocation",
+                              "manager", call.id, call.queued_s, Now());
     instance.running.emplace(call.id, std::move(call));
     if (!SendTo(worker, msg).ok()) return;  // reaped by ProcessDeadWorkers
   }
@@ -862,6 +928,7 @@ void Manager::RequeueCall(PendingCall call) {
     FinishOne();
     return;
   }
+  call.queued_s = Now();
   it->second.queue.push_front(std::move(call));
 }
 
@@ -931,10 +998,8 @@ void Manager::OnWorkerDead(WorkerId worker) {
     PendingTask task = std::move(task_it->second.task);
     running_tasks_.erase(task_it);
     if (++task.attempts < config_.max_attempts) {
-      {
-        std::lock_guard<std::mutex> lock(metrics_mu_);
-        ++metrics_.retries;
-      }
+      m_.retries->Add();
+      task.queued_s = Now();
       task_queue_.push_back(std::move(task));
     } else {
       task.future->Resolve(UnavailableError("worker died repeatedly"));
@@ -947,20 +1012,15 @@ void Manager::OnWorkerDead(WorkerId worker) {
     if (inst_it == instances_.end()) continue;
     InstanceInfo instance = std::move(inst_it->second);
     instances_.erase(inst_it);
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      if (instance.state == InstanceState::kReady &&
-          metrics_.libraries_active > 0)
-        --metrics_.libraries_active;
-      metrics_.retained_context_bytes -= std::min(
-          metrics_.retained_context_bytes, instance.context_memory);
-    }
+    if (instance.state == InstanceState::kReady)
+      m_.libraries_active->Set(
+          std::max(0.0, m_.libraries_active->Value() - 1));
+    m_.retained_context_bytes->Set(
+        std::max(0.0, m_.retained_context_bytes->Value() -
+                          static_cast<double>(instance.context_memory)));
     for (auto& [_, call] : instance.running) {
       if (++call.attempts < config_.max_attempts) {
-        {
-          std::lock_guard<std::mutex> lock(metrics_mu_);
-          ++metrics_.retries;
-        }
+        m_.retries->Add();
         RequeueCall(std::move(call));
       } else {
         call.future->Resolve(UnavailableError("worker died repeatedly"));

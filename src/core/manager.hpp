@@ -33,6 +33,7 @@
 #include "serde/function_registry.hpp"
 #include "storage/content_store.hpp"
 #include "storage/replica_table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vinelet::core {
 
@@ -46,6 +47,10 @@ struct ManagerConfig {
   /// Retries before a task/invocation fails permanently (worker churn).
   int max_attempts = 3;
   const serde::FunctionRegistry* registry = nullptr;  // default: Global()
+  /// Shared telemetry (metrics registry + span tracer).  Pass the same
+  /// handle to FactoryConfig so manager and worker metrics/spans land
+  /// together; null = the manager owns a private instance.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct ManagerMetrics {
@@ -152,7 +157,12 @@ class Manager {
   Status WaitForWorkers(std::size_t count, double timeout_s = 30.0);
 
   std::size_t connected_workers() const;
+
+  /// Legacy aggregate view, assembled from the telemetry registry.
   ManagerMetrics metrics() const;
+
+  /// The telemetry sink this manager reports into (shared or owned).
+  telemetry::Telemetry& telemetry() const { return *telemetry_; }
 
  private:
   // ---- command plumbing (application thread -> manager thread) ----
@@ -162,12 +172,14 @@ class Manager {
   struct TaskCmd {
     TaskSpec spec;  // inline_files empty; inputs split at enqueue
     FuturePtr future;
+    double submitted_s = 0;  // telemetry clock at SubmitTask
   };
   struct CallCmd {
     std::string library;
     std::string function;
     Blob args;
     FuturePtr future;
+    double submitted_s = 0;
   };
   /// Synthesized when the network reports an endpoint vanished (abrupt
   /// worker death with no Goodbye).
@@ -189,6 +201,8 @@ class Manager {
     std::vector<storage::FileDecl> inline_decls;
     FuturePtr future;
     int attempts = 0;
+    double submitted_s = 0;  // telemetry clock at SubmitTask
+    double queued_s = 0;     // telemetry clock at (re)enqueue
   };
 
   struct RunningTask {
@@ -196,7 +210,7 @@ class Manager {
     WorkerId worker = 0;
     Resources claimed;
     std::size_t pending_files = 0;
-    double staged_at = 0;  // manager clock when staging began
+    double staged_at = 0;  // telemetry clock when staging began
     double transfer_wait_s = 0;
   };
 
@@ -207,6 +221,8 @@ class Manager {
     Blob args;
     FuturePtr future;
     int attempts = 0;
+    double submitted_s = 0;
+    double queued_s = 0;
   };
 
   struct LibraryInfo {
@@ -250,6 +266,7 @@ class Manager {
     /// False when parked because every source was saturated; retried from
     /// TrySchedule.
     bool started = true;
+    double started_s = 0;  // telemetry clock when the send went out
   };
 
   // ---- manager-thread methods ----
@@ -287,11 +304,13 @@ class Manager {
 
   Status SendTo(WorkerId worker, const Message& message);
 
+  /// Time on the shared telemetry clock (span and queue-wait time base).
+  double Now() const { return telemetry_->clock.Now(); }
+
   // ---- shared (mutex-guarded) ----
   std::shared_ptr<net::Network> network_;
   ManagerConfig config_;
   const serde::FunctionRegistry* registry_;
-  WallClock clock_;
 
   std::shared_ptr<net::Inbox> inbox_;
   Channel<Command> commands_;
@@ -305,8 +324,31 @@ class Manager {
   std::uint64_t outstanding_ = 0;
   std::size_t worker_count_ = 0;
 
-  mutable std::mutex metrics_mu_;
-  ManagerMetrics metrics_;
+  // ---- telemetry ----
+  // All counters live in the (possibly shared) registry; the struct caches
+  // the handles so hot paths skip the name lookup.  Gauges are only written
+  // from the manager thread, so their read-modify-write clamps are safe.
+  std::unique_ptr<telemetry::Telemetry> owned_telemetry_;  // unconfigured case
+  telemetry::Telemetry* telemetry_ = nullptr;
+  struct MetricHandles {
+    telemetry::Counter* tasks_completed = nullptr;
+    telemetry::Counter* invocations_completed = nullptr;
+    telemetry::Counter* libraries_deployed = nullptr;
+    telemetry::Counter* libraries_evicted = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* peer_transfers = nullptr;
+    telemetry::Counter* manager_transfers = nullptr;
+    telemetry::Counter* peer_transfer_bytes = nullptr;
+    telemetry::Counter* manager_transfer_bytes = nullptr;
+    telemetry::Gauge* libraries_active = nullptr;
+    telemetry::Gauge* retained_context_bytes = nullptr;
+    telemetry::Gauge* setup_transfer_s = nullptr;
+    telemetry::Gauge* setup_worker_s = nullptr;
+    telemetry::Gauge* setup_context_s = nullptr;
+    telemetry::Gauge* setup_exec_s = nullptr;
+    telemetry::Histogram* task_roundtrip_s = nullptr;
+    telemetry::Histogram* invocation_roundtrip_s = nullptr;
+  } m_;
 
   std::atomic<std::uint64_t> next_task_id_{1};
   std::atomic<std::uint64_t> next_invocation_id_{1};

@@ -9,7 +9,25 @@ Worker::Worker(std::shared_ptr<net::Network> network, WorkerConfig config)
       config_(config),
       registry_(config.registry != nullptr ? config.registry
                                            : &serde::FunctionRegistry::Global()),
-      store_(config.cache_capacity_bytes) {}
+      store_(config.cache_capacity_bytes) {
+  if (config.telemetry != nullptr) {
+    telemetry_ = config.telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<telemetry::Telemetry>();
+    telemetry_ = owned_telemetry_.get();
+  }
+  track_ = "worker-" + std::to_string(config_.id);
+  auto& reg = telemetry_->metrics;
+  m_.files_received = &reg.GetCounter("worker.files_received");
+  m_.bytes_received = &reg.GetCounter("worker.bytes_received");
+  m_.peer_pushes = &reg.GetCounter("worker.peer_pushes");
+  m_.peer_push_bytes = &reg.GetCounter("worker.peer_push_bytes");
+  m_.unpacks = &reg.GetCounter("worker.unpacks");
+  m_.unpack_s = &reg.GetHistogram("worker.unpack_s");
+  m_.task_exec_s = &reg.GetHistogram("worker.task_exec_s");
+  // All workers' caches aggregate under one prefix.
+  store_.BindMetrics(&reg, "worker.cache");
+}
 
 Worker::~Worker() { Stop(); }
 
@@ -105,6 +123,8 @@ void Worker::HandlePutFile(PutFileMsg msg) {
   // manager re-sources the file (possibly from a different peer).
   Status status = store_.Put(msg.decl.id, std::move(msg.payload));
   if (status.ok()) {
+    m_.files_received->Add();
+    m_.bytes_received->Add(msg.decl.size);
     SendToManager(FileReadyMsg{msg.decl.id, msg.decl.size});
   } else {
     SendToManager(FileFailedMsg{msg.decl.id, status.ToString()});
@@ -121,6 +141,10 @@ void Worker::HandlePushFile(const PushFileMsg& msg) {
   }
   Status sent = network_->Send(config_.id, msg.dest,
                                EncodeMessage(PutFileMsg{msg.decl, *blob}));
+  if (sent.ok()) {
+    m_.peer_pushes->Add();
+    m_.peer_push_bytes->Add(msg.decl.size);
+  }
   if (!sent.ok()) {
     // Destination died; the manager will notice via its own sends.
     VLOG_WARN("worker") << config_.id << " peer push failed: "
@@ -147,6 +171,7 @@ TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s) {
   TaskDoneMsg done;
   done.id = task.id;
   done.timing.transfer_s = decode_s;
+  const double phase_start_s = telemetry_->tracer.Now();
 
   // --- Worker overhead: verify + stage inline files, stage cached inputs,
   // unpack environments (cached unpack for L2, throwaway unpack for L1).
@@ -182,8 +207,13 @@ TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s) {
                                           decl.name));
     if (decl.unpack) {
       bool unpacked_now = false;
+      Stopwatch unpack_watch(clock_);
       auto dir = unpacked_.GetOrUnpack(decl.id, *blob, &unpacked_now);
       if (!dir.ok()) return fail(dir.status());
+      if (unpacked_now) {
+        m_.unpacks->Add();
+        m_.unpack_s->Observe(unpack_watch.Elapsed());
+      }
       for (const auto& [name, content] : (*dir)->files)
         files.emplace(name, content);
       held.push_back(*dir);
@@ -252,6 +282,19 @@ TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s) {
   if (!result.ok()) return fail(result.status());
   done.ok = true;
   done.result = result->ToBlob();
+  m_.task_exec_s->Observe(done.timing.exec_s);
+  if (telemetry_->tracer.enabled()) {
+    auto& tracer = telemetry_->tracer;
+    double t = phase_start_s;
+    tracer.Emit(telemetry::Phase::kUnpack, "task", track_, task.id, t,
+                t + done.timing.worker_s);
+    t += done.timing.worker_s;
+    tracer.Emit(telemetry::Phase::kDeserialize, "task", track_, task.id, t,
+                t + done.timing.context_s);
+    t += done.timing.context_s;
+    tracer.Emit(telemetry::Phase::kExec, "task", track_, task.id, t,
+                t + done.timing.exec_s);
+  }
   return done;
 }
 
@@ -289,7 +332,7 @@ void Worker::HandleInstallLibrary(InstallLibraryMsg msg, double decode_s) {
 
   auto library = std::make_unique<LibraryRuntime>(
       std::move(msg.spec), msg.instance_id, &store_, &unpacked_, registry_,
-      std::move(callbacks));
+      std::move(callbacks), telemetry_);
   LibraryRuntime* raw = library.get();
   {
     std::lock_guard<std::mutex> lock(libraries_mu_);

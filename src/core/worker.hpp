@@ -22,6 +22,7 @@
 #include "net/network.hpp"
 #include "serde/function_registry.hpp"
 #include "storage/content_store.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vinelet::core {
 
@@ -30,6 +31,10 @@ struct WorkerConfig {
   Resources resources{32, 64 * 1024, 64 * 1024};  // paper §4.2 worker shape
   std::uint64_t cache_capacity_bytes = 0;         // 0 = unbounded
   const serde::FunctionRegistry* registry = nullptr;  // default: Global()
+  /// Shared telemetry; usually the same handle the manager was given, so
+  /// worker cache/unpack metrics and execution spans land alongside the
+  /// manager's.  Null = private instance.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class Worker {
@@ -81,6 +86,20 @@ class Worker {
   storage::ContentStore store_;
   UnpackRegistry unpacked_;
   WallClock clock_;
+
+  // ---- telemetry ----
+  std::unique_ptr<telemetry::Telemetry> owned_telemetry_;  // unconfigured case
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::string track_;  // span track label, "worker-<id>"
+  struct MetricHandles {
+    telemetry::Counter* files_received = nullptr;
+    telemetry::Counter* bytes_received = nullptr;
+    telemetry::Counter* peer_pushes = nullptr;
+    telemetry::Counter* peer_push_bytes = nullptr;
+    telemetry::Counter* unpacks = nullptr;
+    telemetry::Histogram* unpack_s = nullptr;
+    telemetry::Histogram* task_exec_s = nullptr;
+  } m_;
 
   std::shared_ptr<net::Inbox> inbox_;
   std::thread thread_;

@@ -7,12 +7,15 @@ namespace vinelet::sim {
 
 std::string TraceToCsv(const std::vector<InvocationTrace>& trace) {
   std::string out =
-      "invocation,worker,group,dispatched,started,finished,run_time\n";
-  char line[160];
+      "invocation,worker,group,dispatched,started,finished,run_time,"
+      "level,transfer_s,unpack_s,setup_s,exec_s\n";
+  char line[240];
   for (const auto& t : trace) {
-    std::snprintf(line, sizeof(line), "%zu,%zu,%zu,%.6f,%.6f,%.6f,%.6f\n",
+    std::snprintf(line, sizeof(line),
+                  "%zu,%zu,%zu,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f,%.6f,%.6f\n",
                   t.invocation, t.worker, t.machine_group, t.dispatched,
-                  t.started, t.finished, t.finished - t.started);
+                  t.started, t.finished, t.finished - t.started, t.level,
+                  t.transfer_s, t.unpack_s, t.setup_s, t.exec_s);
     out += line;
   }
   return out;
@@ -46,9 +49,40 @@ VineSim::VineSim(SimConfig config, std::vector<InvocationSpec> invocations)
   }
 }
 
+int VineSim::LevelNumber(core::ReuseLevel level) {
+  switch (level) {
+    case core::ReuseLevel::kL1: return 1;
+    case core::ReuseLevel::kL2: return 2;
+    case core::ReuseLevel::kL3: return 3;
+  }
+  return 0;
+}
+
+void VineSim::Span(telemetry::Phase phase, std::string_view category,
+                   std::string track, std::uint64_t id, double start_s,
+                   double end_s) {
+  if (config_.telemetry == nullptr || !config_.telemetry->tracer.enabled())
+    return;
+  config_.telemetry->tracer.Emit(phase, category, track, id, start_s, end_s);
+}
+
+void VineSim::AccumEnvWait(std::size_t invocation, const SimWorker& worker,
+                           double wait_from, double now) {
+  if (!config_.track_trace) return;
+  const auto overlap = [&](double begin, double end) {
+    return std::max(0.0, std::min(end, now) - std::max(begin, wait_from));
+  };
+  phases_[invocation].transfer_s +=
+      overlap(worker.env_transfer_started_s, worker.env_transfer_done_s);
+  phases_[invocation].unpack_s +=
+      overlap(worker.env_transfer_done_s, worker.env_ready_s);
+}
+
 SimResult VineSim::Run() {
   for (std::size_t i = 0; i < invocations_.size(); ++i) pending_.push_back(i);
   result_.run_times.reserve(invocations_.size());
+  phases_.assign(invocations_.size(), PhaseAccum{});
+  queued_at_.assign(invocations_.size(), 0.0);
   if (config_.track_trace) {
     dispatch_times_.assign(invocations_.size(), 0.0);
     result_.trace.reserve(invocations_.size());
@@ -88,9 +122,15 @@ void VineSim::PumpDispatch() {
     const std::uint64_t generation = worker.generation;
 
     if (config_.track_trace) dispatch_times_[invocation] = sim_.Now();
+    const double popped_s = sim_.Now();
+    Span(telemetry::Phase::kSubmit, "invocation", "manager", invocation,
+         queued_at_[invocation], popped_s);
     const WorkloadCosts& costs = *invocations_[invocation].costs;
     const double dispatch_s = costs.ManagerFor(config_.level).dispatch_s;
-    manager_->Enqueue(dispatch_s, [this, chosen, generation, invocation] {
+    manager_->Enqueue(dispatch_s,
+                      [this, chosen, generation, invocation, popped_s] {
+      Span(telemetry::Phase::kDispatch, "invocation", "manager", invocation,
+           popped_s, sim_.Now());
       StartOnWorker(chosen, generation, invocation);
     });
   }
@@ -181,15 +221,39 @@ void VineSim::RunL1(SimWorker& worker, std::size_t invocation,
                 return;
               }
               SimWorker& w = workers_[worker_index];
+              const double fetched_s = sim_.Now();
+              Span(telemetry::Phase::kTransfer, "invocation",
+                   "worker-" + std::to_string(worker_index), invocation,
+                   started, fetched_s);
+              if (config_.track_trace)
+                phases_[invocation].transfer_s += fetched_s - started;
               // CPU phase: rebuild the in-memory context, then execute;
               // both stretched by co-located invocations.
-              const double cpu =
+              const double ctx_cpu =
                   (costs.deserialize_s + costs.context_rebuild_cpu_s) *
-                      Contention(w, costs.contention_beta_context) +
+                  Contention(w, costs.contention_beta_context);
+              const double exec_cpu =
                   costs.exec_cpu_s * exec_scale * ExecNoise(costs) *
-                      Contention(w, costs.contention_beta_exec);
-              CpuPhase(w, cpu,
-                       [this, worker_index, generation, invocation, started] {
+                  Contention(w, costs.contention_beta_exec);
+              const double ctx_d = ctx_cpu / w.node.speed;
+              const double exec_d = exec_cpu / w.node.speed;
+              CpuPhase(w, ctx_cpu + exec_cpu,
+                       [this, worker_index, generation, invocation, started,
+                        ctx_d, exec_d] {
+                         if (WorkerValid(worker_index, generation)) {
+                           const double end = sim_.Now();
+                           const std::string track =
+                               "worker-" + std::to_string(worker_index);
+                           Span(telemetry::Phase::kDeserialize, "invocation",
+                                track, invocation, end - ctx_d - exec_d,
+                                end - exec_d);
+                           Span(telemetry::Phase::kExec, "invocation", track,
+                                invocation, end - exec_d, end);
+                           if (config_.track_trace) {
+                             phases_[invocation].setup_s += ctx_d;
+                             phases_[invocation].exec_s += exec_d;
+                           }
+                         }
                          CompleteOnWorker(worker_index, generation, invocation,
                                           started);
                        });
@@ -214,22 +278,46 @@ void VineSim::RunL2(SimWorker& worker, std::size_t invocation,
       Requeue(invocation);
       return;
     }
+    AccumEnvWait(invocation, workers_[worker_index], started, sim_.Now());
+    const double disk_begin = sim_.Now();
     workers_[worker_index].disk->Transfer(
         costs.l2_local_bytes,
         [this, worker_index, generation, invocation, started, &costs,
-         exec_scale] {
+         exec_scale, disk_begin] {
           if (!WorkerValid(worker_index, generation)) {
             Requeue(invocation);
             return;
           }
           SimWorker& w = workers_[worker_index];
-          const double cpu =
+          const double disk_end = sim_.Now();
+          const std::string track = "worker-" + std::to_string(worker_index);
+          Span(telemetry::Phase::kUnpack, "invocation", track, invocation,
+               disk_begin, disk_end);
+          if (config_.track_trace)
+            phases_[invocation].unpack_s += disk_end - disk_begin;
+          const double ctx_cpu =
               (costs.deserialize_s + costs.context_rebuild_cpu_s) *
-                  Contention(w, costs.contention_beta_context) +
-              costs.exec_cpu_s * exec_scale * ExecNoise(costs) *
-                  Contention(w, costs.contention_beta_exec);
-          CpuPhase(w, cpu,
-                   [this, worker_index, generation, invocation, started] {
+              Contention(w, costs.contention_beta_context);
+          const double exec_cpu = costs.exec_cpu_s * exec_scale *
+                                  ExecNoise(costs) *
+                                  Contention(w, costs.contention_beta_exec);
+          const double ctx_d = ctx_cpu / w.node.speed;
+          const double exec_d = exec_cpu / w.node.speed;
+          CpuPhase(w, ctx_cpu + exec_cpu,
+                   [this, worker_index, generation, invocation, started,
+                    ctx_d, exec_d, track] {
+                     if (WorkerValid(worker_index, generation)) {
+                       const double end = sim_.Now();
+                       Span(telemetry::Phase::kDeserialize, "invocation",
+                            track, invocation, end - ctx_d - exec_d,
+                            end - exec_d);
+                       Span(telemetry::Phase::kExec, "invocation", track,
+                            invocation, end - exec_d, end);
+                       if (config_.track_trace) {
+                         phases_[invocation].setup_s += ctx_d;
+                         phases_[invocation].exec_s += exec_d;
+                       }
+                     }
                      CompleteOnWorker(worker_index, generation, invocation,
                                       started);
                    });
@@ -282,15 +370,22 @@ void VineSim::ServeL3(std::size_t worker_index, std::uint64_t generation,
         return;
       }
       SimWorker& w2 = workers_[worker_index];
+      AccumEnvWait(invocation, w2, started, sim_.Now());
+      const double setup_cpu = costs.context_setup_cpu_s *
+                               Contention(w2, costs.contention_beta_context);
+      const double setup_d = setup_cpu / w2.node.speed;
       CpuPhase(
-          w2,
-          costs.context_setup_cpu_s *
-              Contention(w2, costs.contention_beta_context),
-          [this, worker_index, generation, invocation, started, k] {
+          w2, setup_cpu,
+          [this, worker_index, generation, invocation, started, k, setup_d] {
             if (!WorkerValid(worker_index, generation)) {
               Requeue(invocation);
               return;
             }
+            Span(telemetry::Phase::kContextSetup, "library",
+                 "worker-" + std::to_string(worker_index), invocation,
+                 sim_.Now() - setup_d, sim_.Now());
+            if (config_.track_trace)
+              phases_[invocation].setup_s += setup_d;
             SimWorker& w3 = workers_[worker_index];
             if (w3.deploying > 0) --w3.deploying;
             ++w3.libraries;
@@ -320,18 +415,34 @@ void VineSim::RunL3Invocation(std::size_t worker_index,
                               std::size_t invocation, double started) {
   SimWorker& w = workers_[worker_index];
   const WorkloadCosts& costs = *invocations_[invocation].costs;
-  const double cpu =
-      costs.invocation_overhead_s +
-      costs.exec_cpu_s * invocations_[invocation].exec_scale *
-          ExecNoise(costs) * Contention(w, costs.contention_beta_exec);
-  CpuPhase(w, cpu, [this, worker_index, generation, invocation, started] {
-    if (WorkerValid(worker_index, generation)) {
-      SimWorker& w2 = workers_[worker_index];
-      ++w2.library_free_slots;
-      DrainLibraryWaiters(w2);
-    }
-    CompleteOnWorker(worker_index, generation, invocation, started);
-  });
+  const double over_cpu = costs.invocation_overhead_s;
+  const double exec_cpu = costs.exec_cpu_s *
+                          invocations_[invocation].exec_scale *
+                          ExecNoise(costs) *
+                          Contention(w, costs.contention_beta_exec);
+  const double over_d = over_cpu / w.node.speed;
+  const double exec_d = exec_cpu / w.node.speed;
+  CpuPhase(w, over_cpu + exec_cpu,
+           [this, worker_index, generation, invocation, started, over_d,
+            exec_d] {
+             if (WorkerValid(worker_index, generation)) {
+               const double end = sim_.Now();
+               const std::string track =
+                   "worker-" + std::to_string(worker_index);
+               Span(telemetry::Phase::kDeserialize, "invocation", track,
+                    invocation, end - over_d - exec_d, end - exec_d);
+               Span(telemetry::Phase::kExec, "invocation", track, invocation,
+                    end - exec_d, end);
+               if (config_.track_trace) {
+                 phases_[invocation].setup_s += over_d;
+                 phases_[invocation].exec_s += exec_d;
+               }
+               SimWorker& w2 = workers_[worker_index];
+               ++w2.library_free_slots;
+               DrainLibraryWaiters(w2);
+             }
+             CompleteOnWorker(worker_index, generation, invocation, started);
+           });
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +462,7 @@ void VineSim::EnsureEnv(std::size_t worker_index, std::uint64_t generation,
   worker.env_waiters.push_back(std::move(ready));
   if (worker.env == SimWorker::Env::kTransferring) return;
   worker.env = SimWorker::Env::kTransferring;
+  worker.env_transfer_started_s = sim_.Now();
   RequestEnvTransfer(worker_index);
 }
 
@@ -402,15 +514,24 @@ void VineSim::OnEnvTransferDone(std::size_t worker_index,
   ReleaseEnvServingSlots(config_.env_fanout);
 
   SimWorker& worker = workers_[worker_index];
+  worker.env_transfer_done_s = sim_.Now();
+  const std::string track = "worker-" + std::to_string(worker_index);
+  Span(telemetry::Phase::kTransfer, "file", track, worker_index,
+       worker.env_transfer_started_s, worker.env_transfer_done_s);
   const WorkloadCosts& costs = *invocations_.front().costs;
-  CpuPhase(worker, costs.unpack_cpu_s, [this, worker_index, generation] {
-    if (!WorkerValid(worker_index, generation)) return;
-    SimWorker& w = workers_[worker_index];
-    w.env = SimWorker::Env::kReady;
-    auto waiters = std::move(w.env_waiters);
-    w.env_waiters.clear();
-    for (auto& fn : waiters) fn();
-  });
+  const double unpack_begin = sim_.Now();
+  CpuPhase(worker, costs.unpack_cpu_s,
+           [this, worker_index, generation, unpack_begin, track] {
+             if (!WorkerValid(worker_index, generation)) return;
+             SimWorker& w = workers_[worker_index];
+             w.env = SimWorker::Env::kReady;
+             w.env_ready_s = sim_.Now();
+             Span(telemetry::Phase::kUnpack, "file", track, worker_index,
+                  unpack_begin, w.env_ready_s);
+             auto waiters = std::move(w.env_waiters);
+             w.env_waiters.clear();
+             for (auto& fn : waiters) fn();
+           });
 }
 
 void VineSim::ReleaseEnvServingSlots(unsigned count) {
@@ -461,14 +582,20 @@ void VineSim::CompleteOnWorker(std::size_t worker_index,
   if (worker.active > 0) --worker.active;
   const double run_time = sim_.Now() - started;
   if (config_.track_trace) {
+    const PhaseAccum& p = phases_[invocation];
     result_.trace.push_back({invocation, worker_index, worker.node.group,
-                             dispatch_times_[invocation], started,
-                             sim_.Now()});
+                             dispatch_times_[invocation], started, sim_.Now(),
+                             LevelNumber(config_.level), p.transfer_s,
+                             p.unpack_s, p.setup_s, p.exec_s});
   }
 
   const WorkloadCosts& costs = *invocations_[invocation].costs;
   const double retrieve_s = costs.ManagerFor(config_.level).retrieve_s;
-  manager_->Enqueue(retrieve_s, [this, run_time] {
+  const double retrieve_queued_s = sim_.Now();
+  manager_->Enqueue(retrieve_s, [this, run_time, invocation,
+                                 retrieve_queued_s] {
+    Span(telemetry::Phase::kResult, "invocation", "manager", invocation,
+         retrieve_queued_s, sim_.Now());
     ++result_.invocations_completed;
     result_.run_time.Add(run_time);
     result_.run_times.push_back(run_time);
@@ -490,6 +617,8 @@ void VineSim::CompleteOnWorker(std::size_t worker_index,
 
 void VineSim::Requeue(std::size_t invocation) {
   ++result_.requeued_invocations;
+  if (config_.track_trace) phases_[invocation] = PhaseAccum{};
+  queued_at_[invocation] = sim_.Now();
   pending_.push_back(invocation);
   PumpDispatch();
 }

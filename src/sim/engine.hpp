@@ -20,6 +20,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/des.hpp"
 #include "sim/resources.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vinelet::sim {
 
@@ -38,6 +39,12 @@ struct InvocationTrace {
   double dispatched = 0;  // manager committed the placement
   double started = 0;     // worker began processing (run time = finished-started)
   double finished = 0;
+  int level = 0;          // reuse level of the run (1, 2 or 3)
+  // Phase breakdown of the final attempt (Table 5's columns).
+  double transfer_s = 0;  // shared-FS reads / env transfer wait
+  double unpack_s = 0;    // env expansion + local staging reads
+  double setup_s = 0;     // deserialize + context rebuild / setup
+  double exec_s = 0;      // the function body
 };
 
 struct SimConfig {
@@ -68,6 +75,13 @@ struct SimConfig {
   /// `slots` slots.  Context setup is paid once per instance, so larger
   /// libraries trade deployment cost against sharing granularity.
   std::uint32_t library_slots = 1;
+
+  /// Optional telemetry sink.  When its tracer is enabled the simulator
+  /// emits the same phase spans as the real runtime (submit, dispatch,
+  /// transfer, unpack, context-setup, deserialize, exec, result) stamped
+  /// with virtual time — one exporter/breakdown code path for both
+  /// backends.  The clock inside is never consulted.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct SimResult {
@@ -92,7 +106,9 @@ struct SimResult {
 };
 
 /// Renders traces as CSV ("invocation,worker,group,dispatched,started,
-/// finished,run_time"), sorted by completion time.
+/// finished,run_time,level,transfer_s,unpack_s,setup_s,exec_s"), sorted by
+/// completion time.  The first seven columns are stable; the reuse level
+/// and phase columns were appended later.
 std::string TraceToCsv(const std::vector<InvocationTrace>& trace);
 
 class VineSim {
@@ -110,6 +126,10 @@ class VineSim {
     std::uint32_t active = 0;  // invocations currently being processed
     enum class Env { kAbsent, kTransferring, kReady } env = Env::kAbsent;
     std::vector<std::function<void()>> env_waiters;
+    // Env lifecycle stamps for span emission and wait attribution.
+    double env_transfer_started_s = 0;
+    double env_transfer_done_s = 0;
+    double env_ready_s = 0;
     std::unique_ptr<FairShareResource> disk;
     std::uint32_t libraries = 0;           // deployed instances (L3)
     std::uint32_t deploying = 0;           // instances mid-setup
@@ -140,6 +160,15 @@ class VineSim {
   void OnEnvTransferDone(std::size_t worker_index, std::uint64_t generation,
                          bool from_manager);
   void ReleaseEnvServingSlots(unsigned count);
+
+  /// Emits a span with explicit virtual timestamps when tracing is on.
+  void Span(telemetry::Phase phase, std::string_view category,
+            std::string track, std::uint64_t id, double start_s, double end_s);
+  /// Adds the part of [wait_from, now] spent in `worker`'s env transfer and
+  /// unpack windows to invocation `invocation`'s phase accumulators.
+  void AccumEnvWait(std::size_t invocation, const SimWorker& worker,
+                    double wait_from, double now);
+  static int LevelNumber(core::ReuseLevel level);
 
   /// Interference multiplier from co-located invocations on this worker.
   double Contention(const SimWorker& worker, double beta) const;
@@ -174,6 +203,16 @@ class VineSim {
 
   std::uint64_t active_libraries_ = 0;
   std::vector<double> dispatch_times_;  // per invocation, when track_trace
+  /// Per-invocation phase accumulators; reset on requeue so the trace row
+  /// describes the final (successful) attempt.
+  struct PhaseAccum {
+    double transfer_s = 0;
+    double unpack_s = 0;
+    double setup_s = 0;
+    double exec_s = 0;
+  };
+  std::vector<PhaseAccum> phases_;
+  std::vector<double> queued_at_;  // per invocation, last (re)submit time
   SimResult result_;
 };
 

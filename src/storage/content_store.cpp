@@ -18,15 +18,27 @@ Status ContentStore::PutLocked(const hash::ContentId& id, Blob blob) {
   if (index_.Contains(id)) return Status::Ok();  // dedupe: same content
   auto evicted = index_.Insert(id, blob.size());
   if (!evicted.ok()) return evicted.status();
-  for (const auto& victim : *evicted) payloads_.erase(victim);
+  if (inserted_bytes_ != nullptr) inserted_bytes_->Add(blob.size());
+  for (const auto& victim : *evicted) {
+    if (evictions_ != nullptr) {
+      evictions_->Add();
+      auto victim_it = payloads_.find(victim);
+      if (victim_it != payloads_.end())
+        evicted_bytes_->Add(victim_it->second.size());
+    }
+    payloads_.erase(victim);
+  }
   payloads_.emplace(id, std::move(blob));
   return Status::Ok();
 }
 
 Result<Blob> ContentStore::Get(const hash::ContentId& id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!index_.Touch(id))
+  if (!index_.Touch(id)) {
+    if (misses_ != nullptr) misses_->Add();
     return NotFoundError("blob not cached: " + id.ShortHex());
+  }
+  if (hits_ != nullptr) hits_->Add();
   return payloads_.at(id);
 }
 
@@ -65,6 +77,16 @@ std::uint64_t ContentStore::capacity_bytes() const {
 CacheStats ContentStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return index_.stats();
+}
+
+void ContentStore::BindMetrics(telemetry::MetricsRegistry* registry,
+                               const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = &registry->GetCounter(prefix + ".hits");
+  misses_ = &registry->GetCounter(prefix + ".misses");
+  evictions_ = &registry->GetCounter(prefix + ".evictions");
+  inserted_bytes_ = &registry->GetCounter(prefix + ".inserted_bytes");
+  evicted_bytes_ = &registry->GetCounter(prefix + ".evicted_bytes");
 }
 
 }  // namespace vinelet::storage

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <mutex>
+#include <string>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "hash/content_id.hpp"
 #include "storage/cache_index.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace vinelet::storage {
 
@@ -42,12 +44,26 @@ class ContentStore {
   std::uint64_t capacity_bytes() const;
   CacheStats stats() const;
 
+  /// Mirrors cache activity into `registry` as `<prefix>.hits`,
+  /// `<prefix>.misses`, `<prefix>.evictions`, `<prefix>.inserted_bytes` and
+  /// `<prefix>.evicted_bytes`.  Counters from several stores bound with the
+  /// same prefix aggregate (e.g. all workers under "worker.cache").
+  void BindMetrics(telemetry::MetricsRegistry* registry,
+                   const std::string& prefix);
+
  private:
   Status PutLocked(const hash::ContentId& id, Blob blob);
 
   mutable std::mutex mu_;
   CacheIndex index_;
   std::unordered_map<hash::ContentId, Blob> payloads_;
+
+  // Optional registry mirror (null until BindMetrics).
+  telemetry::Counter* hits_ = nullptr;
+  telemetry::Counter* misses_ = nullptr;
+  telemetry::Counter* evictions_ = nullptr;
+  telemetry::Counter* inserted_bytes_ = nullptr;
+  telemetry::Counter* evicted_bytes_ = nullptr;
 };
 
 }  // namespace vinelet::storage

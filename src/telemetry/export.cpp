@@ -1,0 +1,450 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <variant>
+
+namespace vinelet::telemetry {
+
+namespace {
+
+std::string FormatNumber(double value) {
+  if (std::isnan(value) || std::isinf(value)) return "0";
+  char out[64];
+  // %.9g keeps microsecond timestamps exact without trailing-zero noise.
+  std::snprintf(out, sizeof(out), "%.9g", value);
+  return out;
+}
+
+std::vector<const SpanRecord*> SortedByStart(
+    const std::vector<SpanRecord>& spans) {
+  std::vector<const SpanRecord*> order;
+  order.reserve(spans.size());
+  for (const auto& span : spans) order.push_back(&span);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->start_s < b->start_s;
+                   });
+  return order;
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToChromeTrace(const std::vector<SpanRecord>& spans,
+                          std::string_view process_name) {
+  // Stable track ids in first-seen (sorted-by-start) order.
+  const auto order = SortedByStart(spans);
+  std::map<std::string, int> track_ids;
+  for (const SpanRecord* span : order) {
+    track_ids.emplace(span->track, 0);
+  }
+  {
+    int next = 1;
+    for (auto& [_, tid] : track_ids) tid = next++;
+  }
+
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"" +
+         JsonEscape(process_name) + "\"}}";
+  for (const auto& [track, tid] : track_ids) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" + JsonEscape(track) +
+           "\"}}";
+  }
+  for (const SpanRecord* span : order) {
+    const double ts_us = span->start_s * 1e6;
+    const double dur_us = std::max(0.0, span->Duration()) * 1e6;
+    out += ",\n{\"name\":\"" + JsonEscape(span->name) + "\",\"cat\":\"" +
+           JsonEscape(span->category.empty() ? "span" : span->category) +
+           "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(track_ids[span->track]) +
+           ",\"ts\":" + FormatNumber(ts_us) +
+           ",\"dur\":" + FormatNumber(dur_us) +
+           ",\"args\":{\"id\":" + std::to_string(span->id) + "}}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+std::string SpansToCsv(const std::vector<SpanRecord>& spans) {
+  std::string out = "track,category,name,id,start_s,end_s,duration_s\n";
+  char line[256];
+  for (const SpanRecord* span : SortedByStart(spans)) {
+    std::snprintf(line, sizeof(line), "%s,%s,%s,%llu,%.9f,%.9f,%.9f\n",
+                  span->track.c_str(), span->category.c_str(),
+                  span->name.c_str(),
+                  static_cast<unsigned long long>(span->id), span->start_s,
+                  span->end_s, span->Duration());
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + FormatNumber(value);
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(hist.count) + ", \"sum\": " + FormatNumber(hist.sum) +
+           ", \"mean\": " + FormatNumber(hist.Mean()) +
+           ", \"min\": " + FormatNumber(hist.min) +
+           ", \"max\": " + FormatNumber(hist.max) +
+           ", \"p50\": " + FormatNumber(hist.Quantile(0.5)) +
+           ", \"p99\": " + FormatNumber(hist.Quantile(0.99)) + "}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Strict JSON parsing (validation only — no DOM escapes this file).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value = nullptr;
+
+  const JsonObject* AsObject() const {
+    return std::get_if<JsonObject>(&value);
+  }
+  const JsonArray* AsArray() const { return std::get_if<JsonArray>(&value); }
+  const std::string* AsString() const {
+    return std::get_if<std::string>(&value);
+  }
+  const double* AsNumber() const { return std::get_if<double>(&value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size())
+      return Fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return InvalidArgumentError("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      JsonValue v;
+      v.value = std::move(*s);
+      return v;
+    }
+    if (c == 't' || c == 'f') return ParseKeyword();
+    if (c == 'n') return ParseKeyword();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseKeyword() {
+    auto match = [&](std::string_view word) {
+      return text_.substr(pos_, word.size()) == word;
+    };
+    JsonValue v;
+    if (match("true")) {
+      pos_ += 4;
+      v.value = true;
+    } else if (match("false")) {
+      pos_ += 5;
+      v.value = false;
+    } else if (match("null")) {
+      pos_ += 4;
+      v.value = nullptr;
+    } else {
+      return Fail("unknown keyword");
+    }
+    return v;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == begin) return Fail("expected a value");
+    const std::string token(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    JsonValue v;
+    v.value = parsed;
+    return v;
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + i])))
+                return Fail("bad \\u escape");
+            }
+            out += '?';  // validation only; code point value is irrelevant
+            pos_ += 4;
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Fail("expected '{'");
+    JsonObject object;
+    SkipSpace();
+    if (Consume('}')) {
+      JsonValue v;
+      v.value = std::move(object);
+      return v;
+    }
+    while (true) {
+      SkipSpace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Fail("expected ':'");
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      object.emplace(std::move(*key), std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}'");
+    }
+    JsonValue v;
+    v.value = std::move(object);
+    return v;
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Fail("expected '['");
+    JsonArray array;
+    SkipSpace();
+    if (Consume(']')) {
+      JsonValue v;
+      v.value = std::move(array);
+      return v;
+    }
+    while (true) {
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      array.push_back(std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']'");
+    }
+    JsonValue v;
+    v.value = std::move(array);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<double> NumberField(const JsonObject& object,
+                                  const std::string& key) {
+  auto it = object.find(key);
+  if (it == object.end()) return std::nullopt;
+  const double* number = it->second.AsNumber();
+  if (number == nullptr) return std::nullopt;
+  return *number;
+}
+
+}  // namespace
+
+Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
+  auto parsed = JsonParser(json).Parse();
+  if (!parsed.ok()) return parsed.status();
+
+  const JsonObject* root = parsed->AsObject();
+  if (root == nullptr)
+    return InvalidArgumentError("trace root is not a JSON object");
+  auto events_it = root->find("traceEvents");
+  if (events_it == root->end())
+    return InvalidArgumentError("missing traceEvents");
+  const JsonArray* events = events_it->second.AsArray();
+  if (events == nullptr)
+    return InvalidArgumentError("traceEvents is not an array");
+
+  TraceCheck check;
+  // Per-track monotone timestamps and B/E balance.
+  std::map<std::pair<double, double>, double> last_ts;
+  std::map<std::pair<double, double>, std::size_t> open_spans;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonObject* event = (*events)[i].AsObject();
+    if (event == nullptr)
+      return InvalidArgumentError("traceEvents[" + std::to_string(i) +
+                                  "] is not an object");
+    auto ph_it = event->find("ph");
+    const std::string* ph =
+        ph_it == event->end() ? nullptr : ph_it->second.AsString();
+    if (ph == nullptr)
+      return InvalidArgumentError("event " + std::to_string(i) +
+                                  " has no phase");
+    if (*ph == "M") continue;  // metadata
+    if (*ph != "X" && *ph != "B" && *ph != "E")
+      return InvalidArgumentError("event " + std::to_string(i) +
+                                  " has unsupported phase '" + *ph + "'");
+    const auto ts = NumberField(*event, "ts");
+    if (!ts.has_value())
+      return InvalidArgumentError("event " + std::to_string(i) +
+                                  " has no numeric ts");
+    const double pid = NumberField(*event, "pid").value_or(0);
+    const double tid = NumberField(*event, "tid").value_or(0);
+    const auto track = std::make_pair(pid, tid);
+    auto [it, inserted] = last_ts.emplace(track, *ts);
+    if (!inserted) {
+      if (*ts < it->second)
+        return InvalidArgumentError(
+            "event " + std::to_string(i) +
+            ": timestamps not monotone on track tid=" +
+            std::to_string(static_cast<long long>(tid)));
+      it->second = *ts;
+    }
+    if (*ph == "X") {
+      const auto dur = NumberField(*event, "dur");
+      if (!dur.has_value() || *dur < 0)
+        return InvalidArgumentError("event " + std::to_string(i) +
+                                    " ('X') has no non-negative dur");
+    } else if (*ph == "B") {
+      ++open_spans[track];
+    } else {  // "E"
+      auto open_it = open_spans.find(track);
+      if (open_it == open_spans.end() || open_it->second == 0)
+        return InvalidArgumentError("event " + std::to_string(i) +
+                                    " ('E') closes nothing");
+      --open_it->second;
+    }
+    ++check.events;
+  }
+  for (const auto& [track, open] : open_spans) {
+    if (open != 0)
+      return InvalidArgumentError(
+          "track tid=" +
+          std::to_string(static_cast<long long>(track.second)) + " has " +
+          std::to_string(open) + " unclosed span(s)");
+  }
+  check.tracks = last_ts.size();
+  return check;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr)
+    return UnavailableError("cannot open for writing: " + path);
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  const int closed = std::fclose(file);
+  if (written != content.size() || closed != 0)
+    return DataLossError("short write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace vinelet::telemetry

@@ -1,0 +1,55 @@
+// Telemetry exporters.
+//
+//  * ToChromeTrace — Chrome trace_event JSON ("X" complete events, one track
+//    per worker/library/manager) loadable in chrome://tracing and Perfetto.
+//  * SpansToCsv — flat CSV of the same spans for spreadsheet post-processing.
+//  * MetricsToJson — machine-readable dump of a MetricsSnapshot (benches
+//    write this next to their printed tables).
+//  * ValidateChromeTrace — structural check used by tests and bench
+//    harnesses: valid JSON, every event a closed span (ph "X" with a
+//    non-negative dur, or balanced B/E pairs), and per-track timestamps
+//    monotone non-decreasing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace vinelet::telemetry {
+
+/// Renders spans as Chrome trace_event JSON.  Events are sorted by start
+/// time; tracks get stable tids in first-seen order plus thread_name
+/// metadata.  Timestamps are microseconds (Chrome's unit).
+std::string ToChromeTrace(const std::vector<SpanRecord>& spans,
+                          std::string_view process_name = "vinelet");
+
+/// "track,category,name,id,start_s,end_s,duration_s" rows, sorted by start.
+std::string SpansToCsv(const std::vector<SpanRecord>& spans);
+
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+/// min,max,p50,p99}}}
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// What ValidateChromeTrace verified, for test assertions.
+struct TraceCheck {
+  std::size_t events = 0;  // "X"/"B"/"E" events (metadata excluded)
+  std::size_t tracks = 0;  // distinct (pid, tid) pairs
+};
+
+/// Parses `json` with a strict JSON parser and checks the trace_event
+/// structural invariants described above.  Returns kInvalidArgument with a
+/// description on any violation.
+Result<TraceCheck> ValidateChromeTrace(std::string_view json);
+
+/// Writes `content` to `path` (truncating).  Used by benches for
+/// BENCH_*.json and *.trace.json artifacts.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+/// Escapes a string for embedding in JSON (no surrounding quotes).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace vinelet::telemetry

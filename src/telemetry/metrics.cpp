@@ -1,0 +1,189 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vinelet::telemetry {
+
+std::size_t ThreadShard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+double Histogram::BucketBound(std::size_t i) noexcept {
+  return kFirstBound * std::pow(2.0, static_cast<double>(i));
+}
+
+namespace {
+
+std::size_t BucketFor(double value) noexcept {
+  if (!(value > Histogram::kFirstBound)) return 0;
+  // Index of the first power-of-two bound >= value.
+  const int exponent = static_cast<int>(
+      std::ceil(std::log2(value / Histogram::kFirstBound) - 1e-12));
+  if (exponent < 0) return 0;
+  if (static_cast<std::size_t>(exponent) >= Histogram::kBuckets)
+    return Histogram::kBuckets;  // overflow cell
+  return static_cast<std::size_t>(exponent);
+}
+
+void AtomicMin(std::atomic<double>& cell, double value) noexcept {
+  double current = cell.load(std::memory_order_relaxed);
+  while (value < current && !cell.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& cell, double value) noexcept {
+  double current = cell.load(std::memory_order_relaxed);
+  while (value > current && !cell.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) noexcept {
+  if (std::isnan(value)) return;
+  if (value < 0) value = 0;
+  Shard& shard = shards_[ThreadShard()];
+  shard.counts[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value,
+                                          std::memory_order_relaxed)) {
+  }
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    // First observation seeds min/max; racing observers converge via the
+    // CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  std::array<std::uint64_t, kBuckets + 1> totals{};
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i <= kBuckets; ++i)
+      totals[i] += shard.counts[i].load(std::memory_order_relaxed);
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  // The count is derived from the buckets so the snapshot is consistent by
+  // construction even while observers are running.
+  for (std::size_t i = 0; i <= kBuckets; ++i) {
+    snapshot.count += totals[i];
+    if (totals[i] == 0) continue;
+    const double bound = i < kBuckets
+                             ? BucketBound(i)
+                             : std::numeric_limits<double>::infinity();
+    snapshot.buckets.emplace_back(bound, totals[i]);
+  }
+  if (snapshot.count > 0) {
+    snapshot.min = min_.load(std::memory_order_relaxed);
+    snapshot.max = max_.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() noexcept {
+  for (auto& shard : shards_) {
+    for (auto& cell : shard.counts) cell.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  any_.store(false, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (const auto& [bound, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      if (std::isinf(bound)) return max;
+      return std::min(bound, max);
+    }
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot accessors.
+// ---------------------------------------------------------------------------
+
+std::uint64_t MetricsSnapshot::CounterValue(const std::string& name,
+                                            std::uint64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name,
+                                   double fallback) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::HistogramFor(
+    const std::string& name) const {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_)
+    snapshot.counters.emplace(name, counter->Value());
+  for (const auto& [name, gauge] : gauges_)
+    snapshot.gauges.emplace(name, gauge->Value());
+  for (const auto& [name, histogram] : histograms_)
+    snapshot.histograms.emplace(name, histogram->Snapshot());
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, counter] : counters_) counter->Reset();
+  for (auto& [_, gauge] : gauges_) gauge->Set(0.0);
+  for (auto& [_, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace vinelet::telemetry

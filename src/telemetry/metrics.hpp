@@ -1,0 +1,156 @@
+// Metrics registry: named counters, gauges, and histograms shared by the
+// real runtime, the simulator, and the storage layer.
+//
+// Updates are lock-cheap: counters and histograms are sharded across
+// cache-line-aligned atomic cells indexed by a per-thread hash, so N threads
+// incrementing the same counter do not bounce one cache line.  Registration
+// (name -> handle) takes a mutex once; hot paths hold the returned reference,
+// which stays valid for the registry's lifetime.
+//
+// Snapshot() produces an internally consistent view: a histogram snapshot's
+// count always equals the sum of its bucket counts (the count is derived
+// from the buckets, never read separately), and counters are monotone.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vinelet::telemetry {
+
+/// Number of independent atomic cells per counter/histogram.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable per-thread shard index in [0, kMetricShards).
+std::size_t ThreadShard() noexcept;
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) noexcept {
+    shards_[ThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_)
+      total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() noexcept {
+    for (auto& shard : shards_)
+      shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-value / up-down metric (e.g. active libraries, retained bytes).
+class Gauge {
+ public:
+  void Set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void Add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Consistent read of one histogram: count == sum of bucket counts.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+  /// (upper bound, observations <= bound); last bucket bound is +inf.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  double Mean() const noexcept { return count == 0 ? 0.0 : sum / count; }
+
+  /// Approximate quantile from bucket upper bounds, q in [0, 1].
+  double Quantile(double q) const noexcept;
+};
+
+/// Fixed-exponential-bucket histogram of non-negative values (seconds or
+/// bytes).  Buckets double from kFirstBound; values beyond the last bound
+/// land in an overflow bucket.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 44;  // +1 overflow cell below
+  static constexpr double kFirstBound = 1e-7;
+
+  void Observe(double value) noexcept;
+
+  HistogramSnapshot Snapshot() const;
+
+  void Reset() noexcept;
+
+  /// Upper bound of bucket `i` (i < kBuckets); used by tests and exporters.
+  static double BucketBound(std::size_t i) noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets + 1> counts{};
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+};
+
+/// One consistent view of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::uint64_t CounterValue(const std::string& name,
+                             std::uint64_t fallback = 0) const;
+  double GaugeValue(const std::string& name, double fallback = 0.0) const;
+  const HistogramSnapshot* HistogramFor(const std::string& name) const;
+};
+
+/// Thread-safe name -> metric registry.  Returned references remain valid
+/// for the registry's lifetime; callers cache them on hot paths.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (names stay registered).  Benches use this between
+  /// scenarios that share one registry.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vinelet::telemetry

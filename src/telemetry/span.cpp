@@ -1,0 +1,83 @@
+#include "telemetry/span.hpp"
+
+namespace vinelet::telemetry {
+
+std::string_view PhaseName(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kSubmit: return "submit";
+    case Phase::kDispatch: return "dispatch";
+    case Phase::kTransfer: return "transfer";
+    case Phase::kUnpack: return "unpack";
+    case Phase::kContextSetup: return "context-setup";
+    case Phase::kDeserialize: return "deserialize";
+    case Phase::kExec: return "exec";
+    case Phase::kResult: return "result";
+  }
+  return "?";
+}
+
+void SpanTracer::Emit(SpanRecord record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+void SpanTracer::Emit(Phase phase, std::string_view category,
+                      std::string_view track, std::uint64_t id, double start_s,
+                      double end_s) {
+  if (!enabled()) return;
+  SpanRecord record;
+  record.name = std::string(PhaseName(phase));
+  record.category = std::string(category);
+  record.track = std::string(track);
+  record.id = id;
+  record.start_s = start_s;
+  record.end_s = end_s;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> SpanTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<SpanRecord> SpanTracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+PhaseTotals AggregatePhases(const std::vector<SpanRecord>& spans) {
+  return AggregatePhases(spans, [](const SpanRecord&) { return true; });
+}
+
+PhaseTotals AggregatePhases(
+    const std::vector<SpanRecord>& spans,
+    const std::function<bool(const SpanRecord&)>& filter) {
+  PhaseTotals totals;
+  for (const auto& span : spans) {
+    if (!filter(span)) continue;
+    ++totals.spans;
+    const double d = span.Duration();
+    if (span.name == PhaseName(Phase::kSubmit)) totals.submit_s += d;
+    else if (span.name == PhaseName(Phase::kDispatch)) totals.dispatch_s += d;
+    else if (span.name == PhaseName(Phase::kTransfer)) totals.transfer_s += d;
+    else if (span.name == PhaseName(Phase::kUnpack)) totals.unpack_s += d;
+    else if (span.name == PhaseName(Phase::kContextSetup))
+      totals.context_setup_s += d;
+    else if (span.name == PhaseName(Phase::kDeserialize))
+      totals.deserialize_s += d;
+    else if (span.name == PhaseName(Phase::kExec)) totals.exec_s += d;
+    else if (span.name == PhaseName(Phase::kResult)) totals.result_s += d;
+  }
+  return totals;
+}
+
+}  // namespace vinelet::telemetry

@@ -1,0 +1,143 @@
+// Span tracer: per-invocation lifecycle phases against a pluggable clock.
+//
+// One span is one phase of one invocation/task/library lifecycle.  The real
+// runtime emits spans stamped by a shared wall clock; VineSim emits the same
+// phase names with explicit virtual-time stamps — so Table-5-style
+// breakdowns render from either backend through one code path
+// (AggregatePhases), and both export to Chrome trace_event JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace vinelet::telemetry {
+
+/// The span taxonomy: the lifecycle of one invocation end-to-end.
+enum class Phase : std::uint8_t {
+  kSubmit = 0,    // application submit -> manager event loop accepts
+  kDispatch,      // queued at manager -> placement committed / sent
+  kTransfer,      // invocation details + context files over the network
+  kUnpack,        // environment tarball expansion on the worker
+  kContextSetup,  // context-setup function builds retained state
+  kDeserialize,   // function/argument reconstruction
+  kExec,          // the function body itself
+  kResult,        // result retrieval / resolution at the manager
+};
+
+std::string_view PhaseName(Phase phase) noexcept;
+
+/// One recorded span.  `track` is the timeline it renders on (one per
+/// worker / library / the manager); `id` correlates spans of one task or
+/// invocation.
+struct SpanRecord {
+  std::string name;      // phase name (PhaseName) or custom label
+  std::string category;  // "task", "invocation", "library", "file", ...
+  std::string track;     // "manager", "worker-3", ...
+  std::uint64_t id = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  double Duration() const noexcept { return end_s - start_s; }
+};
+
+/// Thread-safe span sink.  Disabled by default: an Emit on a disabled
+/// tracer is one atomic load.  The clock is only consulted by Now()/Scope;
+/// explicit-timestamp emission (the simulator) never reads it.
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+  explicit SpanTracer(const Clock* clock) : clock_(clock) {}
+
+  void SetClock(const Clock* clock) noexcept { clock_ = clock; }
+
+  void SetEnabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Current time on the tracer's clock (0 without a clock).
+  double Now() const noexcept { return clock_ != nullptr ? clock_->Now() : 0; }
+
+  void Emit(SpanRecord record);
+
+  void Emit(Phase phase, std::string_view category, std::string_view track,
+            std::uint64_t id, double start_s, double end_s);
+
+  /// Copies the recorded spans.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Moves the recorded spans out, leaving the tracer empty.
+  std::vector<SpanRecord> Drain();
+
+  std::size_t size() const;
+
+  /// RAII span over the tracer's clock.
+  class Scope {
+   public:
+    Scope(SpanTracer& tracer, Phase phase, std::string_view category,
+          std::string_view track, std::uint64_t id)
+        : tracer_(tracer), phase_(phase), category_(category), track_(track),
+          id_(id), start_s_(tracer.Now()) {}
+    ~Scope() {
+      tracer_.Emit(phase_, category_, track_, id_, start_s_, tracer_.Now());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    SpanTracer& tracer_;
+    Phase phase_;
+    std::string category_;
+    std::string track_;
+    std::uint64_t id_;
+    double start_s_;
+  };
+
+ private:
+  std::atomic<bool> enabled_{false};
+  const Clock* clock_ = nullptr;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// Accumulated time per phase, with span counts — the substrate for
+/// Table-5-style breakdowns.
+struct PhaseTotals {
+  double submit_s = 0;
+  double dispatch_s = 0;
+  double transfer_s = 0;
+  double unpack_s = 0;
+  double context_setup_s = 0;
+  double deserialize_s = 0;
+  double exec_s = 0;
+  double result_s = 0;
+  std::uint64_t spans = 0;
+
+  /// Table 5's four columns.
+  double TransferColumn() const noexcept { return transfer_s; }
+  double WorkerColumn() const noexcept { return unpack_s; }
+  double ContextColumn() const noexcept {
+    return context_setup_s + deserialize_s;
+  }
+  double ExecColumn() const noexcept { return exec_s; }
+};
+
+/// Sums span durations by phase name.  Spans whose name is not in the
+/// taxonomy are counted in `spans` but accumulate nowhere.
+PhaseTotals AggregatePhases(const std::vector<SpanRecord>& spans);
+
+/// Same, restricted to spans matching `filter`.
+PhaseTotals AggregatePhases(
+    const std::vector<SpanRecord>& spans,
+    const std::function<bool(const SpanRecord&)>& filter);
+
+}  // namespace vinelet::telemetry

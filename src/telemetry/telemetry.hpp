@@ -1,0 +1,35 @@
+// The unified telemetry handle: one metrics registry + one span tracer
+// sharing one wall clock.
+//
+// Ownership model: whoever runs the show (a bench, a test, an application)
+// owns a Telemetry and hands the same pointer to ManagerConfig,
+// FactoryConfig/WorkerConfig, and SimConfig — so the manager's counters,
+// the workers' cache/unpack metrics, and every component's spans land in one
+// registry/tracer and export together.  Components constructed without one
+// fall back to a private instance, so `Manager::metrics()` keeps working
+// unconfigured.
+//
+// The tracer starts disabled; call `tracer.SetEnabled(true)` (benches do
+// this when VINELET_TRACE is set) before the run you want traced.
+#pragma once
+
+#include "common/clock.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace vinelet::telemetry {
+
+struct Telemetry {
+  Telemetry() : tracer(&clock) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Shared time base for every component's spans (origin = construction).
+  WallClock clock;
+  MetricsRegistry metrics;
+  SpanTracer tracer;
+};
+
+}  // namespace vinelet::telemetry

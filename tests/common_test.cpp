@@ -2,11 +2,14 @@
 // Channel, Rng, stats containers, string utilities, clocks.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/channel.hpp"
 #include "common/clock.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/status.hpp"
@@ -374,6 +377,74 @@ TEST(ClockTest, WallClockIsMonotonic) {
   const double a = clock.Now();
   const double b = clock.Now();
   EXPECT_GE(b, a);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(LogTest, ParseLogLevelAcceptsAnyCaseAndRejectsJunk) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+}
+
+TEST(LogTest, SinkCapturesFormattedLines) {
+  const LogLevel saved = Log::GetLevel();
+  std::vector<std::string> lines;
+  Log::SetSink([&lines](LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  Log::SetLevel(LogLevel::kInfo);
+
+  VLOG_INFO("test-tag") << "value=" << 42;
+  VLOG_DEBUG("test-tag") << "suppressed";
+
+  Log::SetSink(nullptr);
+  Log::SetLevel(saved);
+
+  ASSERT_EQ(lines.size(), 1u);
+  // "[<monotonic>] [INFO ] [t<id>] test-tag: value=42"
+  EXPECT_NE(lines[0].find("[INFO ]"), std::string::npos);
+  EXPECT_NE(lines[0].find("[t"), std::string::npos);
+  EXPECT_NE(lines[0].find("test-tag: value=42"), std::string::npos);
+  EXPECT_EQ(lines[0].front(), '[');
+}
+
+TEST(LogTest, LevelGatesEmission) {
+  const LogLevel saved = Log::GetLevel();
+  int emitted = 0;
+  Log::SetSink([&emitted](LogLevel, std::string_view) { ++emitted; });
+
+  Log::SetLevel(LogLevel::kError);
+  VLOG_WARN("gate") << "below threshold";
+  EXPECT_EQ(emitted, 0);
+  VLOG_ERROR("gate") << "at threshold";
+  EXPECT_EQ(emitted, 1);
+
+  Log::SetLevel(LogLevel::kOff);
+  VLOG_ERROR("gate") << "all off";
+  EXPECT_EQ(emitted, 1);
+
+  Log::SetSink(nullptr);
+  Log::SetLevel(saved);
+}
+
+TEST(LogTest, MonotonicNowAdvancesAndThreadIdsAreStable) {
+  const double a = Log::MonotonicNow();
+  const double b = Log::MonotonicNow();
+  EXPECT_GE(b, a);
+  const std::uint64_t id1 = Log::CurrentThreadId();
+  const std::uint64_t id2 = Log::CurrentThreadId();
+  EXPECT_EQ(id1, id2);
+  std::uint64_t other = 0;
+  std::thread t([&other] { other = Log::CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other, id1);
 }
 
 }  // namespace

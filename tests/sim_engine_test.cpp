@@ -299,6 +299,37 @@ TEST(VineSimTest, TraceCsvWellFormed) {
   EXPECT_EQ(csv.rfind("invocation,worker,group", 0), 0u);
 }
 
+TEST(VineSimTest, TracePhaseColumnsFilled) {
+  const WorkloadCosts costs = LnniCosts(16);
+  for (auto level : {core::ReuseLevel::kL1, core::ReuseLevel::kL2,
+                     core::ReuseLevel::kL3}) {
+    SimConfig config = SmallConfig(level, 3);
+    config.track_trace = true;
+    VineSim sim(config, BuildLnniWorkload(costs, 50));
+    const SimResult result = sim.Run();
+    ASSERT_EQ(result.trace.size(), 50u);
+    for (const auto& t : result.trace) {
+      EXPECT_EQ(t.level, static_cast<int>(level));
+      EXPECT_GE(t.transfer_s, 0.0);
+      EXPECT_GE(t.unpack_s, 0.0);
+      EXPECT_GE(t.setup_s, 0.0);
+      // Every level executes the function body.
+      EXPECT_GT(t.exec_s, 0.0);
+      // The phases fit inside the invocation's worker-side window.
+      EXPECT_LE(t.setup_s + t.exec_s, (t.finished - t.started) + 1e-9);
+    }
+  }
+  // The CSV carries the new columns on the same (stable-prefix) header.
+  SimConfig config = SmallConfig(core::ReuseLevel::kL2, 3);
+  config.track_trace = true;
+  VineSim sim(config, BuildLnniWorkload(costs, 10));
+  const std::string csv = TraceToCsv(sim.Run().trace);
+  EXPECT_EQ(csv.rfind("invocation,worker,group,dispatched,started,finished,"
+                      "run_time,level,transfer_s,unpack_s,setup_s,exec_s\n",
+                      0),
+            0u);
+}
+
 TEST(VineSimTest, EmptyWorkloadTerminates) {
   VineSim sim(SmallConfig(core::ReuseLevel::kL3), {});
   const SimResult result = sim.Run();

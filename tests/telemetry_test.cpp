@@ -1,0 +1,342 @@
+// Unit and integration tests for the telemetry layer: the sharded metrics
+// registry under concurrency, span tracing + phase aggregation, the Chrome
+// trace exporter/validator round trip, and the sim-vs-runtime span-taxonomy
+// contract for an L3 scenario.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "core/manager.hpp"
+#include "poncho/analyzer.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vinelet::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterConcurrentIncrementsNoneLost) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, HistogramConcurrentObservationsAllCounted) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test.hist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        histogram.Observe(1e-4 * (t + 1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  double expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += kPerThread * 1e-4 * (t + 1);
+  EXPECT_NEAR(snapshot.sum, expected_sum, expected_sum * 1e-9);
+}
+
+TEST(MetricsTest, SnapshotConsistentWhileWritersRun) {
+  // The histogram's count is derived from its bucket sums, so any snapshot
+  // taken mid-stream is internally consistent: cumulative bucket counts are
+  // non-decreasing and end at `count`.
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test.live");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&histogram, &stop] {
+      double v = 1e-6;
+      while (!stop.load(std::memory_order_relaxed)) {
+        histogram.Observe(v);
+        v = v > 1.0 ? 1e-6 : v * 1.7;
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    const HistogramSnapshot snapshot = histogram.Snapshot();
+    std::uint64_t previous = 0;
+    for (const auto& [bound, cumulative] : snapshot.buckets) {
+      EXPECT_GE(cumulative, previous);
+      previous = cumulative;
+    }
+    if (!snapshot.buckets.empty()) {
+      EXPECT_EQ(snapshot.buckets.back().second, snapshot.count);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("same.name");
+  Counter& b = registry.GetCounter("same.name");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+
+  Gauge& gauge = registry.GetGauge("g");
+  gauge.Set(2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("same.name"), 3u);
+  EXPECT_DOUBLE_EQ(snapshot.GaugeValue("g"), 1.5);
+  EXPECT_EQ(snapshot.CounterValue("absent", 42u), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Spans and aggregation
+// ---------------------------------------------------------------------------
+
+TEST(SpanTest, DisabledTracerRecordsNothing) {
+  SpanTracer tracer;
+  tracer.Emit(Phase::kExec, "task", "worker-1", 1, 0.0, 1.0);
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.SetEnabled(true);
+  tracer.Emit(Phase::kExec, "task", "worker-1", 1, 0.0, 1.0);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(SpanTest, AggregatePhasesSumsByNameAndHonorsFilter) {
+  SpanTracer tracer;
+  tracer.SetEnabled(true);
+  tracer.Emit(Phase::kTransfer, "task", "worker-1", 1, 0.0, 1.5);
+  tracer.Emit(Phase::kTransfer, "file", "worker-1", 2, 0.0, 4.0);
+  tracer.Emit(Phase::kExec, "task", "worker-1", 1, 2.0, 5.0);
+  tracer.Emit(Phase::kUnpack, "task", "worker-1", 1, 1.5, 2.0);
+  const auto spans = tracer.Snapshot();
+
+  const PhaseTotals all = AggregatePhases(spans);
+  EXPECT_DOUBLE_EQ(all.transfer_s, 5.5);
+  EXPECT_DOUBLE_EQ(all.exec_s, 3.0);
+  EXPECT_DOUBLE_EQ(all.unpack_s, 0.5);
+  EXPECT_EQ(all.spans, 4u);
+
+  const PhaseTotals no_files = AggregatePhases(
+      spans, [](const SpanRecord& s) { return s.category != "file"; });
+  EXPECT_DOUBLE_EQ(no_files.transfer_s, 1.5);
+  EXPECT_EQ(no_files.spans, 3u);
+
+  EXPECT_DOUBLE_EQ(no_files.TransferColumn(), 1.5);
+  EXPECT_DOUBLE_EQ(no_files.WorkerColumn(), 0.5);
+  EXPECT_DOUBLE_EQ(no_files.ExecColumn(), 3.0);
+}
+
+TEST(SpanTest, ConcurrentEmitLosesNothing) {
+  SpanTracer tracer;
+  tracer.SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        tracer.Emit(Phase::kExec, "task", "worker-" + std::to_string(t), i,
+                    i * 1.0, i * 1.0 + 0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  const auto drained = tracer.Drain();
+  EXPECT_EQ(drained.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export + validation
+// ---------------------------------------------------------------------------
+
+TEST(ExportTest, ChromeTraceRoundTrip) {
+  SpanTracer tracer;
+  tracer.SetEnabled(true);
+  tracer.Emit(Phase::kSubmit, "task", "manager", 1, 0.0, 0.001);
+  tracer.Emit(Phase::kDispatch, "task", "manager", 1, 0.001, 0.002);
+  tracer.Emit(Phase::kTransfer, "task", "worker-1", 1, 0.002, 0.5);
+  tracer.Emit(Phase::kExec, "task", "worker-1", 1, 0.5, 1.5);
+  tracer.Emit(Phase::kResult, "task", "manager", 1, 1.5, 1.6);
+
+  const std::string json = ToChromeTrace(tracer.Snapshot(), "test-process");
+  auto check = ValidateChromeTrace(json);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check->events, 5u);
+  EXPECT_EQ(check->tracks, 2u);  // manager + worker-1
+  EXPECT_NE(json.find("\"exec\""), std::string::npos);
+  EXPECT_NE(json.find("test-process"), std::string::npos);
+}
+
+TEST(ExportTest, ValidatorRejectsMalformedTraces) {
+  // Not JSON at all.
+  EXPECT_FALSE(ValidateChromeTrace("this is not json").ok());
+  // Root not an object.
+  EXPECT_FALSE(ValidateChromeTrace("[1,2,3]").ok());
+  // Missing traceEvents.
+  EXPECT_FALSE(ValidateChromeTrace("{\"other\":[]}").ok());
+  // "X" event with no dur (an unclosed span).
+  EXPECT_FALSE(ValidateChromeTrace(
+                   "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0,\"pid\":1,"
+                   "\"tid\":1,\"name\":\"a\"}]}")
+                   .ok());
+  // Negative dur.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0,\"dur\":-5,"
+                   "\"pid\":1,\"tid\":1}]}")
+                   .ok());
+  // B without a matching E.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   "{\"traceEvents\":[{\"ph\":\"B\",\"ts\":0,\"pid\":1,"
+                   "\"tid\":1}]}")
+                   .ok());
+  // Per-track timestamps going backwards.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   "{\"traceEvents\":["
+                   "{\"ph\":\"X\",\"ts\":10,\"dur\":1,\"pid\":1,\"tid\":1},"
+                   "{\"ph\":\"X\",\"ts\":5,\"dur\":1,\"pid\":1,\"tid\":1}]}")
+                   .ok());
+  // Balanced B/E on one track is accepted.
+  auto balanced = ValidateChromeTrace(
+      "{\"traceEvents\":["
+      "{\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1,\"name\":\"a\"},"
+      "{\"ph\":\"E\",\"ts\":3,\"pid\":1,\"tid\":1}]}");
+  ASSERT_TRUE(balanced.ok()) << balanced.status().ToString();
+  EXPECT_EQ(balanced->events, 2u);
+}
+
+TEST(ExportTest, MetricsToJsonIsValidAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one").Add(7);
+  registry.GetGauge("g.two").Set(1.25);
+  registry.GetHistogram("h.three").Observe(0.5);
+  const std::string json = MetricsToJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"c.one\": 7"), std::string::npos);
+  EXPECT_NE(json.find("g.two"), std::string::npos);
+  EXPECT_NE(json.find("h.three"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sim vs runtime: the span-taxonomy contract
+// ---------------------------------------------------------------------------
+
+std::set<std::string> SpanNames(const std::vector<SpanRecord>& spans) {
+  std::set<std::string> names;
+  for (const auto& s : spans) names.insert(s.name);
+  return names;
+}
+
+/// Runs a small L3 scenario in the simulator with tracing on.
+std::set<std::string> SimL3SpanNames() {
+  Telemetry telemetry;
+  telemetry.tracer.SetEnabled(true);
+  sim::SimConfig config;
+  config.level = core::ReuseLevel::kL3;
+  config.cluster.num_workers = 1;
+  config.seed = 3;
+  config.telemetry = &telemetry;
+  sim::VineSim vinesim(config,
+                       sim::BuildLnniWorkload(sim::LnniCosts(16), 4));
+  (void)vinesim.Run();
+  return SpanNames(telemetry.tracer.Drain());
+}
+
+/// Runs the equivalent L3 scenario on the real threaded runtime: a library
+/// with a real (tiny) poncho environment, deployed to one worker, invoked
+/// a few times.
+std::set<std::string> RuntimeL3SpanNames() {
+  serde::FunctionRegistry registry;
+  serde::FunctionDef fn;
+  fn.name = "echo";
+  fn.fn = [](const serde::Value& args,
+             const serde::InvocationEnv&) -> Result<serde::Value> {
+    return args;
+  };
+  (void)registry.RegisterFunction(fn);
+  serde::ContextSetupDef setup;
+  setup.name = "echo_setup";
+  setup.fn = [](const serde::Value&,
+                const serde::InvocationEnv&) -> Result<serde::ContextHandle> {
+    return serde::ContextHandle();
+  };
+  (void)registry.RegisterSetup(setup);
+
+  Telemetry telemetry;
+  telemetry.tracer.SetEnabled(true);
+
+  auto network = std::make_shared<net::Network>();
+  core::ManagerConfig manager_config;
+  manager_config.registry = &registry;
+  manager_config.telemetry = &telemetry;
+  core::Manager manager(network, manager_config);
+  EXPECT_TRUE(manager.Start().ok());
+  core::FactoryConfig factory_config;
+  factory_config.initial_workers = 1;
+  factory_config.registry = &registry;
+  factory_config.telemetry = &telemetry;
+  core::Factory factory(network, factory_config);
+  EXPECT_TRUE(factory.Start().ok());
+  EXPECT_TRUE(manager.WaitForWorkers(1, 30.0).ok());
+
+  // A real (tiny) environment input makes the install stage a file onto
+  // the worker — the source of the "transfer" span in this scenario.
+  poncho::Analyzer analyzer(
+      poncho::PackageCatalog::SyntheticMlCatalog(1e-4));
+  auto env = analyzer.AnalyzeImports({"python"}).value();
+  auto env_decl =
+      manager.DeclareBlob("env", env.tarball, storage::FileKind::kEnvironment,
+                          true, true, /*unpack=*/true);
+  auto spec = manager.CreateLibraryFromFunctions("echo-lib", {"echo"},
+                                                 "echo_setup", serde::Value(),
+                                                 nullptr);
+  EXPECT_TRUE(spec.ok());
+  manager.AddLibraryInput(*spec, env_decl);
+  EXPECT_TRUE(manager.InstallLibrary(*spec).ok());
+  for (int i = 0; i < 4; ++i) {
+    auto outcome =
+        manager.SubmitCall("echo-lib", "echo", serde::Value(i))->Wait();
+    EXPECT_TRUE(outcome.ok());
+  }
+  manager.Stop();
+  factory.Stop();
+  return SpanNames(telemetry.tracer.Drain());
+}
+
+TEST(SpanContractTest, SimAndRuntimeEmitTheSameL3PhaseNames) {
+  const std::set<std::string> sim_names = SimL3SpanNames();
+  const std::set<std::string> runtime_names = RuntimeL3SpanNames();
+
+  const std::set<std::string> expected = {
+      "submit",      "dispatch",    "transfer", "unpack",
+      "context-setup", "deserialize", "exec",     "result"};
+  EXPECT_EQ(sim_names, expected);
+  EXPECT_EQ(runtime_names, expected);
+}
+
+}  // namespace
+}  // namespace vinelet::telemetry
