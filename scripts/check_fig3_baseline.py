@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI gate for the pipelined-broadcast bench (bench_fig3_distribution).
+
+Compares the bench's machine-readable report (BENCH_fig3_distribution.json)
+against the checked-in baseline (bench/fig3_baseline.json) and fails when
+the pipelined analytic or simulated makespan regresses, when the simulator
+drifts away from the analytic model, or when pipelining stops clearing the
+required speedup over whole-blob store-and-forward.
+
+Usage: check_fig3_baseline.py <report.json> <baseline.json>
+"""
+import json
+import sys
+
+# Relative headroom over the baseline before a makespan counts as a
+# regression.  The analytic value is a pure function of the plan; the
+# simulated value is deterministic given the seed, so the slack only needs
+# to absorb cross-platform floating-point drift.
+ANALYTIC_TOLERANCE = 0.01
+SIM_TOLERANCE = 0.10
+
+# Hard acceptance gates, independent of the baseline.
+MIN_SPEEDUP_VS_WHOLE_BLOB = 1.5
+MAX_SIM_ANALYTIC_MISMATCH = 0.10
+
+
+def load_report_entries(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {entry["metric"]: entry["measured"] for entry in report["entries"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    measured = load_report_entries(sys.argv[1])
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    def gate(name, ok, detail):
+        print(f"{'PASS' if ok else 'FAIL'}: {name} ({detail})")
+        if not ok:
+            failures.append(name)
+
+    def regression(metric, tolerance):
+        value = measured[metric]
+        limit = baseline[metric] * (1.0 + tolerance)
+        gate(
+            f"{metric} within {tolerance:.0%} of baseline",
+            value <= limit,
+            f"measured {value:.6f} vs limit {limit:.6f}",
+        )
+
+    regression("pipelined_analytic_makespan_s", ANALYTIC_TOLERANCE)
+    regression("pipelined_sim_makespan_s", SIM_TOLERANCE)
+
+    speedup = measured["whole_over_pipelined"]
+    gate(
+        f"pipelined beats whole-blob by >= {MIN_SPEEDUP_VS_WHOLE_BLOB}x",
+        speedup >= MIN_SPEEDUP_VS_WHOLE_BLOB,
+        f"measured {speedup:.2f}x",
+    )
+
+    mismatch = abs(measured["sim_over_analytic"] - 1.0)
+    gate(
+        f"sim within {MAX_SIM_ANALYTIC_MISMATCH:.0%} of analytic",
+        mismatch <= MAX_SIM_ANALYTIC_MISMATCH,
+        f"measured ratio {measured['sim_over_analytic']:.4f}",
+    )
+
+    if failures:
+        sys.exit(f"bench smoke gate failed: {', '.join(failures)}")
+    print("bench smoke gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,8 +2,15 @@
 
 #include <array>
 #include <cstdio>
+#include <utility>
 
 namespace vinelet {
+
+ByteBuffer::ByteBuffer(std::string&& text) {
+  data_.reserve(text.size());
+  data_.assign(text.begin(), text.end());
+  text.clear();
+}
 
 ByteBuffer ByteBuffer::Filled(std::size_t size, std::uint8_t fill) {
   return ByteBuffer(std::vector<std::uint8_t>(size, fill));
@@ -11,6 +18,26 @@ ByteBuffer ByteBuffer::Filled(std::size_t size, std::uint8_t fill) {
 
 void ByteBuffer::Append(std::span<const std::uint8_t> bytes) {
   data_.insert(data_.end(), bytes.begin(), bytes.end());
+}
+
+Blob::Blob(std::vector<std::uint8_t> data) {
+  auto owned =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(data));
+  bytes_ = std::span<const std::uint8_t>(owned->data(), owned->size());
+  owner_ = std::move(owned);
+}
+
+Blob Blob::FromString(std::string&& text) {
+  auto owned = std::make_shared<const std::string>(std::move(text));
+  std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(owned->data()), owned->size());
+  return Blob(std::move(owned), bytes);
+}
+
+Blob Blob::Slice(std::size_t offset, std::size_t len) const {
+  const std::size_t begin = std::min(offset, bytes_.size());
+  const std::size_t count = std::min(len, bytes_.size() - begin);
+  return Blob(owner_, bytes_.subspan(begin, count));
 }
 
 std::string FormatBytes(std::uint64_t bytes) {

@@ -9,6 +9,7 @@
 // enforced by only exposing const access to shared payloads.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -26,6 +27,13 @@ class ByteBuffer {
   explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
   explicit ByteBuffer(std::string_view text)
       : data_(text.begin(), text.end()) {}
+  /// Bulk-assigns from a string with an exact reservation.  (Vector storage
+  /// cannot adopt string memory; the true zero-copy entry point for string
+  /// payloads is Blob::FromString(std::string&&).)
+  explicit ByteBuffer(std::string&& text);
+  /// Literal overload; without it, `ByteBuffer("x")` is ambiguous between the
+  /// string_view and string&& forms.
+  explicit ByteBuffer(const char* text) : ByteBuffer(std::string_view(text)) {}
 
   /// A buffer of `size` bytes, each set to `fill`.
   static ByteBuffer Filled(std::size_t size, std::uint8_t fill);
@@ -63,38 +71,63 @@ class ByteBuffer {
 /// Copying a Blob copies a pointer; the payload is shared.  This mirrors the
 /// paper's requirement that distributed files be read-only so that
 /// peer-to-peer replication can never observe torn writes.
+///
+/// A Blob is a view (span) into a type-erased refcounted allocation, so
+/// Slice() produces chunk views that keep the parent payload alive without
+/// copying a byte — the property the pipelined broadcast relay relies on.
 class Blob {
  public:
-  Blob() : data_(std::make_shared<const std::vector<std::uint8_t>>()) {}
+  Blob() = default;
 
-  explicit Blob(ByteBuffer buffer)
-      : data_(std::make_shared<const std::vector<std::uint8_t>>(
-            std::move(buffer.vec()))) {}
+  explicit Blob(ByteBuffer buffer) : Blob(std::move(buffer.vec())) {}
 
-  explicit Blob(std::vector<std::uint8_t> data)
-      : data_(std::make_shared<const std::vector<std::uint8_t>>(
-            std::move(data))) {}
+  explicit Blob(std::vector<std::uint8_t> data);
 
   static Blob FromString(std::string_view text) {
     return Blob(std::vector<std::uint8_t>(text.begin(), text.end()));
   }
 
-  std::size_t size() const noexcept { return data_->size(); }
-  bool empty() const noexcept { return data_->empty(); }
-  std::span<const std::uint8_t> span() const noexcept { return *data_; }
-  const std::uint8_t* data() const noexcept { return data_->data(); }
+  /// Adopts the string's storage as the refcounted payload — no byte copy.
+  static Blob FromString(std::string&& text);
+
+  /// Literal overload; without it, `FromString("x")` is ambiguous between the
+  /// string_view and string&& forms.
+  static Blob FromString(const char* text) {
+    return FromString(std::string_view(text));
+  }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  bool empty() const noexcept { return bytes_.empty(); }
+  std::span<const std::uint8_t> span() const noexcept { return bytes_; }
+  const std::uint8_t* data() const noexcept { return bytes_.data(); }
 
   std::string ToString() const {
-    return std::string(data_->begin(), data_->end());
+    return std::string(bytes_.begin(), bytes_.end());
+  }
+
+  /// A zero-copy view of `[offset, offset + len)` sharing this blob's
+  /// refcounted payload.  Ranges past the end are clamped.
+  Blob Slice(std::size_t offset, std::size_t len) const;
+
+  /// True when both blobs view the same refcounted allocation.  Tests use
+  /// this to assert that chunk relays share payload memory instead of
+  /// copying it.
+  bool SharesPayloadWith(const Blob& other) const noexcept {
+    return owner_ != nullptr && owner_ == other.owner_;
   }
 
   /// Bytewise content equality (not pointer identity).
   friend bool operator==(const Blob& a, const Blob& b) {
-    return *a.data_ == *b.data_;
+    return a.bytes_.size() == b.bytes_.size() &&
+           std::equal(a.bytes_.begin(), a.bytes_.end(), b.bytes_.begin());
   }
 
  private:
-  std::shared_ptr<const std::vector<std::uint8_t>> data_;
+  Blob(std::shared_ptr<const void> owner, std::span<const std::uint8_t> bytes)
+      : owner_(std::move(owner)), bytes_(bytes) {}
+
+  std::shared_ptr<const void> owner_;
+  std::span<const std::uint8_t> bytes_;
 };
 
 /// Formats a byte count as a human-readable string ("572.0 MB").

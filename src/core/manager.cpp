@@ -86,6 +86,8 @@ void Manager::Stop() {
     instance.running.clear();
   }
   instances_.clear();
+  for (auto& [_, broadcast] : broadcasts_) cancel(broadcast.future);
+  broadcasts_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -109,6 +111,22 @@ storage::FileDecl Manager::DeclareBlob(const std::string& name, Blob payload,
                          << stored.ToString();
   }
   return decl;
+}
+
+FuturePtr Manager::BroadcastFile(const storage::FileDecl& decl,
+                                 std::uint64_t chunk_bytes,
+                                 unsigned fanout_cap) {
+  auto future = std::make_shared<OutcomeFuture>();
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    ++outstanding_;
+  }
+  if (!commands_.Send(
+          BroadcastCmd{decl, chunk_bytes, fanout_cap, future, Now()})) {
+    future->Resolve(UnavailableError("manager stopped"));
+    FinishOne();
+  }
+  return future;
 }
 
 Result<LibrarySpec> Manager::CreateLibraryFromFunctions(
@@ -326,6 +344,7 @@ void Manager::Run() {
       ProcessDeadWorkers();
       activity = true;  // deaths requeue work; reschedule now
     }
+    if (!broadcasts_.empty()) ProbeBroadcasts();
     if (activity) TrySchedule();
     if (!inbox_open && commands_open) {
       // Inbox gone (Stop in progress): drain remaining commands and exit.
@@ -335,7 +354,7 @@ void Manager::Run() {
 }
 
 void Manager::HandleFrame(const net::Frame& frame) {
-  auto message = DecodeMessage(frame.payload);
+  auto message = DecodeFrame(frame);
   if (!message.ok()) {
     VLOG_ERROR("manager") << "malformed frame from " << frame.sender << ": "
                           << message.status().ToString();
@@ -359,8 +378,10 @@ void Manager::HandleFrame(const net::Frame& frame) {
           pending_dead_.insert(sender);
         } else if constexpr (std::is_same_v<T, FileReadyMsg>) {
           CompleteTransfer(sender, msg.content_id, true, "");
+          CompleteBroadcastReady(sender, msg.content_id);
         } else if constexpr (std::is_same_v<T, FileFailedMsg>) {
           CompleteTransfer(sender, msg.content_id, false, msg.error);
+          FailBroadcastWorker(sender, msg.content_id, msg.error);
         } else if constexpr (std::is_same_v<T, TaskDoneMsg>) {
           auto it = running_tasks_.find(msg.id);
           if (it == running_tasks_.end()) return;  // stale (retried) result
@@ -532,6 +553,8 @@ void Manager::HandleCommand(Command command) {
                                     "manager", call.id, cmd.submitted_s,
                                     call.queued_s);
           it->second.queue.push_back(std::move(call));
+        } else if constexpr (std::is_same_v<T, BroadcastCmd>) {
+          StartBroadcast(std::move(cmd));
         } else if constexpr (std::is_same_v<T, DisconnectCmd>) {
           pending_dead_.insert(cmd.worker);
         }
@@ -545,14 +568,19 @@ void Manager::HandleCommand(Command command) {
 
 void Manager::TrySchedule() {
   StartParkedTransfers();
-  // Stateless tasks: first-fit over the queue; skipped tasks stay queued.
-  for (std::size_t i = 0; i < task_queue_.size();) {
-    if (TryScheduleTask(task_queue_[i])) {
-      task_queue_.erase(task_queue_.begin() + static_cast<long>(i));
-    } else {
-      ++i;
+  // Stateless tasks: first-fit in FIFO order with a single stable compaction
+  // pass — scheduled tasks are dropped by moving the survivors forward once,
+  // instead of an O(queue) mid-deque erase per placement (quadratic when a
+  // large backlog drains).
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < task_queue_.size(); ++i) {
+    if (!TryScheduleTask(task_queue_[i])) {
+      if (keep != i) task_queue_[keep] = std::move(task_queue_[i]);
+      ++keep;
     }
   }
+  task_queue_.erase(task_queue_.begin() + static_cast<std::ptrdiff_t>(keep),
+                    task_queue_.end());
   // Function calls, per library.
   std::vector<std::string> names;
   names.reserve(libraries_.size());
@@ -865,6 +893,214 @@ void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Chunked pipelined broadcast.
+// ---------------------------------------------------------------------------
+
+void Manager::StartBroadcast(BroadcastCmd cmd) {
+  auto fail = [&](Status status) {
+    cmd.future->Resolve(std::move(status));
+    FinishOne();
+  };
+  if (broadcasts_.count(cmd.decl.id) != 0) {
+    fail(FailedPreconditionError("broadcast already active: " + cmd.decl.name));
+    return;
+  }
+  auto payload = manager_store_.Get(cmd.decl.id);
+  if (!payload.ok()) {
+    fail(payload.status());
+    return;
+  }
+
+  BroadcastState state;
+  state.decl = cmd.decl;
+  state.chunk_bytes =
+      cmd.chunk_bytes != 0 ? cmd.chunk_bytes : storage::kDefaultChunkBytes;
+  state.future = std::move(cmd.future);
+  state.started_s = cmd.submitted_s;
+  state.last_probe_s = Now();
+  for (const auto& [id, _] : workers_) state.order.push_back(id);
+  if (state.order.empty()) {
+    state.future->Resolve(Outcome{});  // no workers: trivially complete
+    FinishOne();
+    return;
+  }
+
+  storage::BroadcastParams params;
+  params.num_workers = state.order.size();
+  params.fanout_cap =
+      cmd.fanout_cap != 0 ? cmd.fanout_cap : config_.worker_transfer_cap;
+  params.mode = storage::BroadcastMode::kSpanningTree;
+  auto plan = storage::PlanPipelinedBroadcast(
+      params, storage::ChunkParams{state.decl.size, state.chunk_bytes});
+  if (!plan.ok()) {
+    fail(plan.status());
+    return;
+  }
+  state.plan = std::move(*plan);
+  state.num_chunks = state.plan.num_chunks;
+  state.pending.insert(state.order.begin(), state.order.end());
+
+  // Materialize each root's relay subtree once; every chunk reuses it.
+  auto build = [&](auto&& self, std::uint64_t index) -> ChunkRoute {
+    ChunkRoute route;
+    route.dest = state.order[static_cast<std::size_t>(index)];
+    for (std::uint64_t child :
+         state.plan.children[static_cast<std::size_t>(index)])
+      route.children.push_back(self(self, child));
+    return route;
+  };
+  std::vector<std::vector<ChunkRoute>> root_children;
+  root_children.reserve(state.plan.roots.size());
+  for (std::uint64_t root : state.plan.roots) {
+    std::vector<ChunkRoute> subtree;
+    for (std::uint64_t child :
+         state.plan.children[static_cast<std::size_t>(root)])
+      subtree.push_back(build(build, child));
+    root_children.push_back(std::move(subtree));
+  }
+
+  // Stream chunk-major: every root has chunk k in flight before any k+1, so
+  // relays begin forwarding after one chunk-time, not one blob-time.  Each
+  // slice is a zero-copy view of the stored payload, so queueing the whole
+  // schedule costs pointers, not copies of the blob.
+  for (std::uint64_t k = 0; k < state.num_chunks; ++k) {
+    Blob slice = payload->Slice(
+        static_cast<std::size_t>(k * state.chunk_bytes),
+        static_cast<std::size_t>(state.chunk_bytes));
+    for (std::size_t r = 0; r < state.plan.roots.size(); ++r) {
+      PutChunkMsg msg;
+      msg.decl = state.decl;
+      msg.chunk_index = k;
+      msg.num_chunks = state.num_chunks;
+      msg.chunk_bytes = state.chunk_bytes;
+      msg.children = root_children[r];
+      msg.chunk = slice;
+      (void)SendTo(state.order[static_cast<std::size_t>(state.plan.roots[r])],
+                   msg);
+    }
+  }
+  for (std::size_t r = 0; r < state.plan.roots.size(); ++r) {
+    m_.manager_transfers->Add();
+    m_.manager_transfer_bytes->Add(state.decl.size);
+  }
+  broadcasts_.emplace(state.decl.id, std::move(state));
+}
+
+void Manager::ResendBroadcastDirect(BroadcastState& state, WorkerId worker) {
+  auto payload = manager_store_.Get(state.decl.id);
+  if (!payload.ok()) return;
+  m_.manager_transfers->Add();
+  m_.manager_transfer_bytes->Add(state.decl.size);
+  for (std::uint64_t k = 0; k < state.num_chunks; ++k) {
+    PutChunkMsg msg;
+    msg.decl = state.decl;
+    msg.chunk_index = k;
+    msg.num_chunks = state.num_chunks;
+    msg.chunk_bytes = state.chunk_bytes;
+    msg.chunk = payload->Slice(static_cast<std::size_t>(k * state.chunk_bytes),
+                               static_cast<std::size_t>(state.chunk_bytes));
+    if (!SendTo(worker, msg).ok()) return;  // died again; reaped next batch
+  }
+}
+
+void Manager::CompleteBroadcastReady(WorkerId worker,
+                                     const hash::ContentId& id) {
+  auto it = broadcasts_.find(id);
+  if (it == broadcasts_.end()) return;
+  if (it->second.pending.erase(worker) == 0) return;  // duplicate confirm
+  replicas_.AddReplica(id, worker);
+  if (it->second.pending.empty()) FinishBroadcast(it);
+}
+
+void Manager::FailBroadcastWorker(WorkerId worker, const hash::ContentId& id,
+                                  const std::string& error) {
+  auto it = broadcasts_.find(id);
+  if (it == broadcasts_.end()) return;
+  BroadcastState& state = it->second;
+  if (state.pending.count(worker) == 0) return;
+  if (++state.attempts[worker] < config_.max_attempts) {
+    VLOG_WARN("manager") << "broadcast chunk reassembly failed on worker "
+                         << worker << " (" << error << "); re-sending direct";
+    ResendBroadcastDirect(state, worker);
+    return;
+  }
+  state.future->Resolve(DataLossError("broadcast of " + state.decl.name +
+                                      " to worker " + std::to_string(worker) +
+                                      " failed: " + error));
+  FinishOne();
+  broadcasts_.erase(it);
+}
+
+void Manager::HandleBroadcastWorkerDeath(WorkerId worker) {
+  for (auto it = broadcasts_.begin(); it != broadcasts_.end();) {
+    BroadcastState& state = it->second;
+    state.pending.erase(worker);
+    auto pos = std::find(state.order.begin(), state.order.end(), worker);
+    if (pos != state.order.end()) {
+      // Every chunk the dead worker had not yet relayed is lost to its
+      // subtree: re-feed each still-pending descendant directly from the
+      // manager.  Chunks that did get through are deduped by reassembly.
+      const auto dead_index =
+          static_cast<std::size_t>(pos - state.order.begin());
+      std::vector<std::uint64_t> stack(state.plan.children[dead_index].begin(),
+                                       state.plan.children[dead_index].end());
+      while (!stack.empty()) {
+        const auto index = static_cast<std::size_t>(stack.back());
+        stack.pop_back();
+        stack.insert(stack.end(), state.plan.children[index].begin(),
+                     state.plan.children[index].end());
+        const WorkerId dest = state.order[index];
+        if (state.pending.count(dest) != 0) ResendBroadcastDirect(state, dest);
+      }
+    }
+    auto next = std::next(it);
+    if (state.pending.empty()) FinishBroadcast(it);
+    it = next;
+  }
+}
+
+void Manager::ProbeBroadcasts() {
+  // Liveness backstop: a relay that crashes after the transport accepted its
+  // chunks never confirms and never fails a send, so nothing else would
+  // notice.  Periodically re-send chunk 0 (deduped by reassembly, and
+  // re-acked by workers that already hold the file) to every unconfirmed
+  // worker; a dead endpoint makes the send fail, which feeds the normal
+  // death-recovery path.
+  const double now = Now();
+  for (auto& [id, state] : broadcasts_) {
+    if (now - state.last_probe_s < config_.broadcast_probe_s) continue;
+    state.last_probe_s = now;
+    auto payload = manager_store_.Get(state.decl.id);
+    if (!payload.ok()) continue;
+    for (WorkerId worker : state.pending) {
+      PutChunkMsg msg;
+      msg.decl = state.decl;
+      msg.chunk_index = 0;
+      msg.num_chunks = state.num_chunks;
+      msg.chunk_bytes = state.chunk_bytes;
+      msg.chunk =
+          payload->Slice(0, static_cast<std::size_t>(state.chunk_bytes));
+      (void)SendTo(worker, msg);
+    }
+  }
+}
+
+void Manager::FinishBroadcast(
+    std::map<hash::ContentId, BroadcastState>::iterator it) {
+  BroadcastState state = std::move(it->second);
+  broadcasts_.erase(it);
+  const double now = Now();
+  if (telemetry_->tracer.enabled())
+    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "broadcast",
+                            "manager", state.decl.id.Prefix64(),
+                            state.started_s, now);
+  Outcome outcome;
+  outcome.timing.transfer_s = now - state.started_s;
+  state.future->Resolve(std::move(outcome));
+  FinishOne();
+}
+
 void Manager::DispatchTask(RunningTask& running) {
   const double now = Now();
   running.transfer_wait_s = now - running.staged_at;
@@ -992,6 +1228,8 @@ void Manager::OnWorkerDead(WorkerId worker) {
     }
   }
 
+  HandleBroadcastWorkerDeath(worker);
+
   for (TaskId id : dead_tasks) {
     auto task_it = running_tasks_.find(id);
     if (task_it == running_tasks_.end()) continue;
@@ -1031,8 +1269,10 @@ void Manager::OnWorkerDead(WorkerId worker) {
 }
 
 Status Manager::SendTo(WorkerId worker, const Message& message) {
+  WireFrame wire = EncodeFrame(message);
   Status status =
-      network_->Send(net::kManagerEndpoint, worker, EncodeMessage(message));
+      network_->Send(net::kManagerEndpoint, worker, std::move(wire.payload),
+                     std::move(wire.attachment));
   if (!status.ok()) pending_dead_.insert(worker);
   return status;
 }

@@ -31,6 +31,7 @@
 #include "net/network.hpp"
 #include "poncho/analyzer.hpp"
 #include "serde/function_registry.hpp"
+#include "storage/broadcast.hpp"
 #include "storage/content_store.hpp"
 #include "storage/replica_table.hpp"
 #include "telemetry/telemetry.hpp"
@@ -46,6 +47,12 @@ struct ManagerConfig {
   bool peer_transfers = true;
   /// Retries before a task/invocation fails permanently (worker churn).
   int max_attempts = 3;
+  /// A broadcast with no progress for this long re-probes every pending
+  /// worker with an (idempotent) duplicate of chunk 0.  Live workers drop
+  /// the duplicate; dead relays make the send fail, which is what triggers
+  /// subtree recovery for a worker that crashed after its chunks were
+  /// accepted by the transport but before it confirmed.
+  double broadcast_probe_s = 0.5;
   const serde::FunctionRegistry* registry = nullptr;  // default: Global()
   /// Shared telemetry (metrics registry + span tracer).  Pass the same
   /// handle to FactoryConfig so manager and worker metrics/spans land
@@ -108,6 +115,19 @@ class Manager {
   storage::FileDecl DeclareBlob(const std::string& name, Blob payload,
                                 storage::FileKind kind, bool cache = true,
                                 bool peer_transfer = true, bool unpack = false);
+
+  /// Distributes a declared blob to every currently-connected worker through
+  /// the chunk-pipelined spanning tree (§3.3 + cut-through relay): the blob
+  /// is split into `chunk_bytes` chunks, every receiver forwards chunk k to
+  /// its tree children as soon as it arrives, and each destination
+  /// reassembles and hash-verifies before its ContentStore admits the blob.
+  /// Resolves once every worker holds a verified replica; workers that die
+  /// mid-broadcast are dropped, and their orphaned subtrees are re-fed
+  /// directly from the manager.  `chunk_bytes` 0 = default (4 MB);
+  /// `fanout_cap` 0 = the configured worker_transfer_cap.
+  FuturePtr BroadcastFile(const storage::FileDecl& decl,
+                          std::uint64_t chunk_bytes = 0,
+                          unsigned fanout_cap = 0);
 
   // --- function-context API (Fig 5) ---------------------------------------
 
@@ -181,12 +201,20 @@ class Manager {
     FuturePtr future;
     double submitted_s = 0;
   };
+  struct BroadcastCmd {
+    storage::FileDecl decl;
+    std::uint64_t chunk_bytes = 0;
+    unsigned fanout_cap = 0;
+    FuturePtr future;
+    double submitted_s = 0;
+  };
   /// Synthesized when the network reports an endpoint vanished (abrupt
   /// worker death with no Goodbye).
   struct DisconnectCmd {
     WorkerId worker = 0;
   };
-  using Command = std::variant<InstallCmd, TaskCmd, CallCmd, DisconnectCmd>;
+  using Command =
+      std::variant<InstallCmd, TaskCmd, CallCmd, BroadcastCmd, DisconnectCmd>;
 
   // ---- scheduler state (manager thread only) ----
   struct WorkerState {
@@ -269,6 +297,21 @@ class Manager {
     double started_s = 0;  // telemetry clock when the send went out
   };
 
+  /// One in-flight chunked broadcast (manager thread only).
+  struct BroadcastState {
+    storage::FileDecl decl;
+    std::uint64_t chunk_bytes = 0;
+    std::uint64_t num_chunks = 0;
+    /// Snapshot of the worker set at launch; plan indices map into it.
+    std::vector<WorkerId> order;
+    storage::PipelinePlan plan;
+    std::set<WorkerId> pending;  // destinations not yet confirmed
+    std::map<WorkerId, int> attempts;
+    FuturePtr future;
+    double started_s = 0;
+    double last_probe_s = 0;
+  };
+
   // ---- manager-thread methods ----
   void Run();
   void HandleFrame(const net::Frame& frame);
@@ -286,6 +329,20 @@ class Manager {
                  Waiter waiter);
   void CompleteTransfer(WorkerId worker, const hash::ContentId& id,
                         bool success, const std::string& error);
+
+  // ---- chunked pipelined broadcast (manager thread) ----
+  void StartBroadcast(BroadcastCmd cmd);
+  /// Sends every chunk of `state.decl` straight from the manager to `worker`
+  /// with no relay route (recovery path; reassembly dedupes overlaps).
+  void ResendBroadcastDirect(BroadcastState& state, WorkerId worker);
+  void CompleteBroadcastReady(WorkerId worker, const hash::ContentId& id);
+  void FailBroadcastWorker(WorkerId worker, const hash::ContentId& id,
+                           const std::string& error);
+  /// Removes the dead worker from every active broadcast and re-feeds its
+  /// orphaned subtree directly from the manager.
+  void HandleBroadcastWorkerDeath(WorkerId worker);
+  void FinishBroadcast(std::map<hash::ContentId, BroadcastState>::iterator it);
+  void ProbeBroadcasts();
   void DispatchTask(RunningTask& running);
   void DispatchInstall(InstanceInfo& instance);
   void FeedInstance(InstanceInfo& instance);
@@ -362,6 +419,7 @@ class Manager {
   std::deque<PendingTask> task_queue_;
   std::map<TaskId, RunningTask> running_tasks_;
   std::map<TransferKey, Transfer> transfers_;
+  std::map<hash::ContentId, BroadcastState> broadcasts_;
   std::set<WorkerId> pending_dead_;
   LibraryInstanceId next_instance_id_ = 1;
 };

@@ -24,7 +24,12 @@ enum class Tag : std::uint8_t {
   kLibraryRemoved,
   kInvocationDone,
   kGoodbye,
+  kPutChunk,
 };
+
+/// Route trees are bounded by the worker count in practice; the decoder
+/// additionally caps recursion so a malformed frame cannot exhaust the stack.
+constexpr std::size_t kMaxRouteDepth = 512;
 
 // --- field-group encoders -------------------------------------------------
 
@@ -139,21 +144,83 @@ Result<TimingBreakdown> ReadTiming(ArchiveReader& r) {
 
 void WriteBlob(ArchiveWriter& w, const Blob& blob) { w.WriteBytes(blob.span()); }
 
-Result<Blob> ReadBlob(ArchiveReader& r) {
-  auto bytes = r.ReadBytes();
-  if (!bytes.ok()) return bytes.status();
-  return Blob(std::move(*bytes));
+Result<Blob> ReadBlob(ArchiveReader& r) { return r.ReadBlob(); }
+
+/// Bulk fields (PutFile payload, PutChunk chunk) are prefixed with an
+/// "attached" flag: EncodeFrame detaches them into the frame attachment,
+/// EncodeMessage inlines them.
+Result<Blob> ReadBulk(ArchiveReader& r, const Blob* attachment) {
+  auto attached = r.ReadBool();
+  if (!attached.ok()) return attached.status();
+  if (*attached) {
+    if (attachment == nullptr)
+      return DataLossError("bulk payload marked attached but frame has none");
+    return *attachment;  // shares the frame's refcounted bytes
+  }
+  return r.ReadBlob();
+}
+
+void WriteRoutes(ArchiveWriter& w, const std::vector<ChunkRoute>& routes) {
+  w.WriteU64(routes.size());
+  for (const auto& route : routes) {
+    w.WriteU64(route.dest);
+    WriteRoutes(w, route.children);
+  }
+}
+
+Result<std::vector<ChunkRoute>> ReadRoutes(ArchiveReader& r,
+                                           std::size_t depth) {
+  if (depth > kMaxRouteDepth) return DataLossError("chunk route too deep");
+  auto count = r.ReadU64();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining())
+    return DataLossError("route count exceeds payload");
+  std::vector<ChunkRoute> routes;
+  routes.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    ChunkRoute route;
+    auto dest = r.ReadU64();
+    if (!dest.ok()) return dest.status();
+    route.dest = *dest;
+    auto children = ReadRoutes(r, depth + 1);
+    if (!children.ok()) return children.status();
+    route.children = std::move(*children);
+    routes.push_back(std::move(route));
+  }
+  return routes;
 }
 
 // --- message encoders -------------------------------------------------------
 
 struct Encoder {
   ArchiveWriter w;
+  /// When set, bulk fields are diverted here instead of being copied into
+  /// the header (EncodeFrame's zero-copy path).
+  Blob* attachment_out = nullptr;
+
+  void WriteBulk(const Blob& blob) {
+    const bool attach = attachment_out != nullptr && !blob.empty();
+    w.WriteBool(attach);
+    if (attach) {
+      *attachment_out = blob;  // borrow: shares the refcounted payload
+    } else {
+      WriteBlob(w, blob);
+    }
+  }
 
   void operator()(const PutFileMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kPutFile));
     WriteFileDecl(w, m.decl);
-    WriteBlob(w, m.payload);
+    WriteBulk(m.payload);
+  }
+  void operator()(const PutChunkMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kPutChunk));
+    WriteFileDecl(w, m.decl);
+    w.WriteU64(m.chunk_index);
+    w.WriteU64(m.num_chunks);
+    w.WriteU64(m.chunk_bytes);
+    WriteRoutes(w, m.children);
+    WriteBulk(m.chunk);
   }
   void operator()(const PushFileMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kPushFile));
@@ -247,14 +314,33 @@ struct Encoder {
 
 // --- message decoders -------------------------------------------------------
 
-Result<Message> DecodePutFile(ArchiveReader& r) {
+Result<Message> DecodePutFile(ArchiveReader& r, const Blob* attachment) {
   PutFileMsg m;
   auto decl = ReadFileDecl(r);
   if (!decl.ok()) return decl.status();
   m.decl = std::move(*decl);
-  auto payload = ReadBlob(r);
+  auto payload = ReadBulk(r, attachment);
   if (!payload.ok()) return payload.status();
   m.payload = std::move(*payload);
+  return Message(std::move(m));
+}
+
+Result<Message> DecodePutChunk(ArchiveReader& r, const Blob* attachment) {
+  PutChunkMsg m;
+  auto decl = ReadFileDecl(r);
+  if (!decl.ok()) return decl.status();
+  m.decl = std::move(*decl);
+  for (std::uint64_t* field : {&m.chunk_index, &m.num_chunks, &m.chunk_bytes}) {
+    auto v = r.ReadU64();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  auto children = ReadRoutes(r, 0);
+  if (!children.ok()) return children.status();
+  m.children = std::move(*children);
+  auto chunk = ReadBulk(r, attachment);
+  if (!chunk.ok()) return chunk.status();
+  m.chunk = std::move(*chunk);
   return Message(std::move(m));
 }
 
@@ -396,21 +482,15 @@ Result<Message> DecodeInvocationDone(ArchiveReader& r) {
   return Message(std::move(m));
 }
 
-}  // namespace
-
-Blob EncodeMessage(const Message& message) {
-  Encoder encoder;
-  std::visit(encoder, message);
-  return std::move(encoder.w).ToBlob();
-}
-
-Result<Message> DecodeMessage(const Blob& blob) {
+Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
   ArchiveReader r(blob);
   auto tag = r.ReadU8();
   if (!tag.ok()) return tag.status();
   switch (static_cast<Tag>(*tag)) {
     case Tag::kPutFile:
-      return DecodePutFile(r);
+      return DecodePutFile(r, attachment);
+    case Tag::kPutChunk:
+      return DecodePutChunk(r, attachment);
     case Tag::kPushFile:
       return DecodePushFile(r);
     case Tag::kExecuteTask:
@@ -467,6 +547,32 @@ Result<Message> DecodeMessage(const Blob& blob) {
       return Message(GoodbyeMsg{});
   }
   return DataLossError("unknown message tag " + std::to_string(*tag));
+}
+
+}  // namespace
+
+Blob EncodeMessage(const Message& message) {
+  Encoder encoder;
+  std::visit(encoder, message);
+  return std::move(encoder.w).ToBlob();
+}
+
+Result<Message> DecodeMessage(const Blob& blob) {
+  return DecodeImpl(blob, nullptr);
+}
+
+WireFrame EncodeFrame(const Message& message) {
+  WireFrame frame;
+  Encoder encoder;
+  encoder.attachment_out = &frame.attachment;
+  std::visit(encoder, message);
+  frame.payload = std::move(encoder.w).ToBlob();
+  return frame;
+}
+
+Result<Message> DecodeFrame(const net::Frame& frame) {
+  return DecodeImpl(frame.payload,
+                    frame.attachment.empty() ? nullptr : &frame.attachment);
 }
 
 }  // namespace vinelet::core

@@ -17,6 +17,7 @@
 #include "common/status.hpp"
 #include "core/resources.hpp"
 #include "core/types.hpp"
+#include "net/network.hpp"
 #include "storage/file_decl.hpp"
 
 namespace vinelet::core {
@@ -70,6 +71,31 @@ struct PutFileMsg {
 struct PushFileMsg {
   storage::FileDecl decl;
   WorkerId dest = 0;
+};
+
+/// One subtree of a pipelined broadcast: the receiver forwards each chunk to
+/// `dest` and hands it `children` as its own subtrees.  Routes travel inside
+/// every chunk message, so relays are stateless — a worker needs no broadcast
+/// bookkeeping to participate, and the manager can re-route around a dead
+/// relay just by re-sending chunks with a different (or empty) route.
+struct ChunkRoute {
+  WorkerId dest = 0;
+  std::vector<ChunkRoute> children;
+};
+
+/// One chunk of a pipelined (cut-through) broadcast.  The receiver forwards
+/// the chunk to each subtree in `children` *before* local reassembly, so a
+/// chunk crosses the whole tree in depth × chunk-time instead of each hop
+/// waiting for the full blob.  When sent via EncodeFrame, `chunk` rides as
+/// the frame's borrowed attachment: relays forward the same refcounted bytes
+/// they received, copying nothing.
+struct PutChunkMsg {
+  storage::FileDecl decl;           // the whole blob being distributed
+  std::uint64_t chunk_index = 0;
+  std::uint64_t num_chunks = 0;
+  std::uint64_t chunk_bytes = 0;    // nominal chunk size (last may be short)
+  std::vector<ChunkRoute> children; // subtrees this receiver relays to
+  Blob chunk;
 };
 
 struct ExecuteTaskMsg {
@@ -146,12 +172,28 @@ using Message =
     std::variant<PutFileMsg, PushFileMsg, ExecuteTaskMsg, InstallLibraryMsg,
                  RemoveLibraryMsg, RunInvocationMsg, ShutdownMsg, HelloMsg,
                  FileReadyMsg, FileFailedMsg, TaskDoneMsg, LibraryReadyMsg,
-                 LibraryRemovedMsg, InvocationDoneMsg, GoodbyeMsg>;
+                 LibraryRemovedMsg, InvocationDoneMsg, GoodbyeMsg, PutChunkMsg>;
 
-/// Serializes a message to a framed blob.
+/// Serializes a message to a single self-contained blob (bulk payloads
+/// inline).  Kept for tests and for contexts without a Frame.
 Blob EncodeMessage(const Message& message);
 
-/// Parses a framed blob; kDataLoss on any malformed input.
+/// Parses a self-contained framed blob; kDataLoss on any malformed input.
 Result<Message> DecodeMessage(const Blob& blob);
+
+/// A message encoded for the wire: a small header payload plus an optional
+/// bulk attachment.  PutFile's payload and PutChunk's chunk travel as the
+/// attachment — a borrowed refcounted view, never re-copied into the
+/// header's ByteBuffer — so forwarding bulk data is pointer traffic.
+struct WireFrame {
+  Blob payload;
+  Blob attachment;
+};
+
+WireFrame EncodeFrame(const Message& message);
+
+/// Decodes a received frame, reattaching the bulk payload zero-copy.
+/// Accepts both wire forms: attachment-borne bulk and inline-encoded blobs.
+Result<Message> DecodeFrame(const net::Frame& frame);
 
 }  // namespace vinelet::core

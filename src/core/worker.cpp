@@ -22,6 +22,8 @@ Worker::Worker(std::shared_ptr<net::Network> network, WorkerConfig config)
   m_.bytes_received = &reg.GetCounter("worker.bytes_received");
   m_.peer_pushes = &reg.GetCounter("worker.peer_pushes");
   m_.peer_push_bytes = &reg.GetCounter("worker.peer_push_bytes");
+  m_.chunks_received = &reg.GetCounter("worker.chunks_received");
+  m_.chunks_relayed = &reg.GetCounter("worker.chunks_relayed");
   m_.unpacks = &reg.GetCounter("worker.unpacks");
   m_.unpack_s = &reg.GetHistogram("worker.unpack_s");
   m_.task_exec_s = &reg.GetHistogram("worker.task_exec_s");
@@ -85,7 +87,7 @@ void Worker::Run() {
 
 void Worker::Handle(net::Frame frame) {
   Stopwatch decode_watch(clock_);
-  auto message = DecodeMessage(frame.payload);
+  auto message = DecodeFrame(frame);
   const double decode_s = decode_watch.Elapsed();
   if (!message.ok()) {
     VLOG_ERROR("worker") << config_.id
@@ -100,6 +102,8 @@ void Worker::Handle(net::Frame frame) {
           HandlePutFile(std::move(msg));
         } else if constexpr (std::is_same_v<T, PushFileMsg>) {
           HandlePushFile(msg);
+        } else if constexpr (std::is_same_v<T, PutChunkMsg>) {
+          HandlePutChunk(std::move(msg));
         } else if constexpr (std::is_same_v<T, ExecuteTaskMsg>) {
           HandleExecuteTask(std::move(msg), decode_s);
         } else if constexpr (std::is_same_v<T, InstallLibraryMsg>) {
@@ -139,8 +143,11 @@ void Worker::HandlePushFile(const PushFileMsg& msg) {
                                 "push source lost file: " + msg.decl.name});
     return;
   }
-  Status sent = network_->Send(config_.id, msg.dest,
-                               EncodeMessage(PutFileMsg{msg.decl, *blob}));
+  // The blob travels as the frame attachment: this hop moves a refcounted
+  // pointer, not the payload bytes.
+  WireFrame wire = EncodeFrame(PutFileMsg{msg.decl, std::move(*blob)});
+  Status sent = network_->Send(config_.id, msg.dest, std::move(wire.payload),
+                               std::move(wire.attachment));
   if (sent.ok()) {
     m_.peer_pushes->Add();
     m_.peer_push_bytes->Add(msg.decl.size);
@@ -149,6 +156,81 @@ void Worker::HandlePushFile(const PushFileMsg& msg) {
     // Destination died; the manager will notice via its own sends.
     VLOG_WARN("worker") << config_.id << " peer push failed: "
                         << sent.ToString();
+  }
+}
+
+void Worker::HandlePutChunk(PutChunkMsg msg) {
+  const double arrived_s = telemetry_->tracer.Now();
+  // Cut-through relay first, before any local work: forward chunk k to every
+  // subtree the route assigns us.  The chunk Blob is a refcounted view, so
+  // each relay hop forwards the exact bytes it received — no copy (asserted
+  // by Blob::SharesPayloadWith in tests).
+  for (const ChunkRoute& child : msg.children) {
+    PutChunkMsg forward;
+    forward.decl = msg.decl;
+    forward.chunk_index = msg.chunk_index;
+    forward.num_chunks = msg.num_chunks;
+    forward.chunk_bytes = msg.chunk_bytes;
+    forward.children = child.children;
+    forward.chunk = msg.chunk;  // shared payload
+    WireFrame wire = EncodeFrame(forward);
+    Status sent = network_->Send(config_.id, child.dest,
+                                 std::move(wire.payload),
+                                 std::move(wire.attachment));
+    if (sent.ok()) {
+      m_.chunks_relayed->Add();
+      m_.peer_push_bytes->Add(msg.chunk.size());
+    } else {
+      // The subtree root died mid-relay; the manager observes the death via
+      // its own sends and re-sends the subtree's chunks directly.
+      VLOG_WARN("worker") << config_.id << " chunk relay to " << child.dest
+                          << " failed: " << sent.ToString();
+    }
+  }
+
+  if (msg.num_chunks == 0 || msg.chunk_index >= msg.num_chunks) return;
+  if (store_.Contains(msg.decl.id)) {
+    // Already assembled (duplicate delivery after a re-plan): just confirm.
+    if (msg.chunk_index == 0)
+      SendToManager(FileReadyMsg{msg.decl.id, msg.decl.size});
+    return;
+  }
+
+  ChunkAssembly& assembly = assemblies_[msg.decl.id];
+  if (assembly.chunks.empty()) {
+    assembly.decl = msg.decl;
+    assembly.chunks.resize(static_cast<std::size_t>(msg.num_chunks));
+    assembly.have.assign(static_cast<std::size_t>(msg.num_chunks), false);
+  }
+  if (assembly.chunks.size() != msg.num_chunks) return;  // inconsistent rerun
+  const auto index = static_cast<std::size_t>(msg.chunk_index);
+  if (assembly.have[index]) return;  // duplicate chunk: idempotent
+  assembly.have[index] = true;
+  assembly.chunks[index] = std::move(msg.chunk);
+  ++assembly.received;
+  m_.chunks_received->Add();
+  if (telemetry_->tracer.enabled())
+    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "chunk", track_,
+                            msg.decl.id.Prefix64() ^ msg.chunk_index,
+                            arrived_s, telemetry_->tracer.Now());
+
+  if (assembly.received < assembly.chunks.size()) return;
+
+  // Reassemble and admit through the verifying Put: a corrupted chunk makes
+  // the content hash mismatch and surfaces as FileFailed, never as a bad
+  // cache entry.
+  ByteBuffer buffer;
+  buffer.Reserve(static_cast<std::size_t>(assembly.decl.size));
+  for (const Blob& chunk : assembly.chunks) buffer.Append(chunk.span());
+  const storage::FileDecl decl = assembly.decl;
+  assemblies_.erase(msg.decl.id);
+  Status status = store_.Put(decl.id, Blob(std::move(buffer)));
+  if (status.ok()) {
+    m_.files_received->Add();
+    m_.bytes_received->Add(decl.size);
+    SendToManager(FileReadyMsg{decl.id, decl.size});
+  } else {
+    SendToManager(FileFailedMsg{decl.id, status.ToString()});
   }
 }
 
@@ -373,8 +455,10 @@ void Worker::HandleRunInvocation(RunInvocationMsg msg) {
 }
 
 void Worker::SendToManager(const Message& message) {
+  WireFrame wire = EncodeFrame(message);
   Status status =
-      network_->Send(config_.id, net::kManagerEndpoint, EncodeMessage(message));
+      network_->Send(config_.id, net::kManagerEndpoint,
+                     std::move(wire.payload), std::move(wire.attachment));
   if (!status.ok()) {
     VLOG_DEBUG("worker") << config_.id
                          << " send to manager failed: " << status.ToString();

@@ -69,6 +69,7 @@ class Worker {
   void Handle(net::Frame frame);
   void HandlePutFile(PutFileMsg msg);
   void HandlePushFile(const PushFileMsg& msg);
+  void HandlePutChunk(PutChunkMsg msg);
   void HandleExecuteTask(ExecuteTaskMsg msg, double decode_s);
   void HandleInstallLibrary(InstallLibraryMsg msg, double decode_s);
   void HandleRemoveLibrary(const RemoveLibraryMsg& msg);
@@ -96,10 +97,23 @@ class Worker {
     telemetry::Counter* bytes_received = nullptr;
     telemetry::Counter* peer_pushes = nullptr;
     telemetry::Counter* peer_push_bytes = nullptr;
+    telemetry::Counter* chunks_received = nullptr;
+    telemetry::Counter* chunks_relayed = nullptr;
     telemetry::Counter* unpacks = nullptr;
     telemetry::Histogram* unpack_s = nullptr;
     telemetry::Histogram* task_exec_s = nullptr;
   } m_;
+
+  /// In-progress chunked broadcast reassembly, keyed by content id.
+  /// Inbox-thread only.  Duplicate chunks (manager re-sends after a relay
+  /// death) are dropped here, which is what makes recovery idempotent.
+  struct ChunkAssembly {
+    storage::FileDecl decl;
+    std::vector<Blob> chunks;
+    std::vector<bool> have;
+    std::size_t received = 0;
+  };
+  std::map<hash::ContentId, ChunkAssembly> assemblies_;
 
   std::shared_ptr<net::Inbox> inbox_;
   std::thread thread_;

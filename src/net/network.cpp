@@ -2,66 +2,68 @@
 
 namespace vinelet::net {
 
-Result<std::shared_ptr<Inbox>> Network::Register(EndpointId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = inboxes_.emplace(id, nullptr);
+Result<std::shared_ptr<Inbox>> Network::Register(EndpointId id,
+                                                 std::size_t capacity) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.inboxes.emplace(id, nullptr);
   if (!inserted)
     return AlreadyExistsError("endpoint already registered: " +
                               std::to_string(id));
-  it->second = std::make_shared<Inbox>();
+  it->second = std::make_shared<Inbox>(capacity);
   return it->second;
 }
 
 void Network::Unregister(EndpointId id) {
   std::shared_ptr<Inbox> inbox;
-  std::function<void(EndpointId)> listener;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = inboxes_.find(id);
-    if (it == inboxes_.end()) return;
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.inboxes.find(id);
+    if (it == shard.inboxes.end()) return;
     inbox = std::move(it->second);
-    inboxes_.erase(it);
-    listener = disconnect_listener_;
+    shard.inboxes.erase(it);
   }
   inbox->Close();
+  std::function<void(EndpointId)> listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = disconnect_listener_;
+  }
   if (listener) listener(id);
 }
 
 void Network::SetDisconnectListener(
     std::function<void(EndpointId)> listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(listener_mu_);
   disconnect_listener_ = std::move(listener);
 }
 
 bool Network::Connected(EndpointId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return inboxes_.contains(id);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.inboxes.contains(id);
 }
 
-Status Network::Send(EndpointId from, EndpointId to, Blob payload) {
+Status Network::Send(EndpointId from, EndpointId to, Blob payload,
+                     Blob attachment) {
   std::shared_ptr<Inbox> inbox;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = inboxes_.find(to);
-    if (it == inboxes_.end())
+    Shard& shard = ShardFor(to);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.inboxes.find(to);
+    if (it == shard.inboxes.end())
       return NotFoundError("endpoint gone: " + std::to_string(to));
     inbox = it->second;
-    ++frames_;
-    bytes_ += payload.size();
   }
-  if (!inbox->Send(Frame{from, std::move(payload)}))
+  // The push (which may block on a bounded inbox) happens lock-free with
+  // respect to the registry, so one slow receiver never stalls the fabric.
+  const std::uint64_t frame_bytes = payload.size() + attachment.size();
+  if (!inbox->Send(Frame{from, std::move(payload), std::move(attachment)}))
     return UnavailableError("inbox closed: " + std::to_string(to));
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(frame_bytes, std::memory_order_relaxed);
   return Status::Ok();
-}
-
-std::uint64_t Network::frames_delivered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return frames_;
-}
-
-std::uint64_t Network::bytes_delivered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return bytes_;
 }
 
 }  // namespace vinelet::net

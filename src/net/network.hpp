@@ -7,9 +7,18 @@
 // real deployment would, and the protocol layer above can be tested against
 // corrupt or truncated frames.
 //
+// The endpoint registry is sharded (per-shard mutexes) and the delivery
+// counters are atomics, so concurrent chunk relays between disjoint worker
+// pairs never serialize on a global lock, and a slow or full inbox cannot
+// stall sends to unrelated endpoints (the frame is pushed after all locks
+// are released).
+//
 // Endpoint 0 is reserved for the manager; workers get ids from 1.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,10 +34,14 @@ namespace vinelet::net {
 using EndpointId = std::uint64_t;
 constexpr EndpointId kManagerEndpoint = 0;
 
-/// One delivered message: who sent it and the serialized payload.
+/// One delivered message: who sent it, the serialized message bytes, and an
+/// optional bulk attachment.  The attachment carries large content (file and
+/// chunk payloads) as a borrowed refcounted Blob so relays forward it
+/// without copying; it is empty for ordinary control messages.
 struct Frame {
   EndpointId sender = 0;
   Blob payload;
+  Blob attachment;
 };
 
 using Inbox = Channel<Frame>;
@@ -39,7 +52,11 @@ using Inbox = Channel<Frame>;
 class Network {
  public:
   /// Creates an endpoint and returns its inbox.  Fails if the id is taken.
-  Result<std::shared_ptr<Inbox>> Register(EndpointId id);
+  /// `capacity` bounds the inbox queue (0 = unbounded, the default); a
+  /// bounded inbox makes Send block when full, which tests use to verify
+  /// that one stalled endpoint cannot wedge the rest of the fabric.
+  Result<std::shared_ptr<Inbox>> Register(EndpointId id,
+                                          std::size_t capacity = 0);
 
   /// Removes an endpoint; its inbox is closed so readers drain and exit.
   /// Fires the disconnect listener (the analog of a peer observing the TCP
@@ -54,22 +71,35 @@ class Network {
 
   bool Connected(EndpointId id) const;
 
-  /// Delivers `payload` to `to`.  kNotFound if the endpoint is gone,
-  /// kUnavailable if its inbox is closed — both are expected during
-  /// worker churn and handled by the caller's fault path.
-  Status Send(EndpointId from, EndpointId to, Blob payload);
+  /// Delivers `payload` (plus an optional bulk `attachment`) to `to`.
+  /// kNotFound if the endpoint is gone, kUnavailable if its inbox is closed
+  /// — both are expected during worker churn and handled by the caller's
+  /// fault path.  The inbox push happens outside every registry lock.
+  Status Send(EndpointId from, EndpointId to, Blob payload,
+              Blob attachment = Blob());
 
   /// Total frames delivered (for tests and overhead accounting).
-  std::uint64_t frames_delivered() const;
-  /// Total payload bytes delivered.
-  std::uint64_t bytes_delivered() const;
+  std::uint64_t frames_delivered() const {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  /// Total payload + attachment bytes delivered.
+  std::uint64_t bytes_delivered() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<EndpointId, std::shared_ptr<Inbox>> inboxes_;
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<EndpointId, std::shared_ptr<Inbox>> inboxes;
+  };
+  Shard& ShardFor(EndpointId id) const { return shards_[id % kShards]; }
+
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::mutex listener_mu_;
   std::function<void(EndpointId)> disconnect_listener_;
-  std::uint64_t frames_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace vinelet::net

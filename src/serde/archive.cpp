@@ -8,13 +8,17 @@ namespace vinelet::serde {
 void ArchiveWriter::WriteU8(std::uint8_t value) { buffer_.AppendByte(value); }
 
 void ArchiveWriter::WriteU32(std::uint32_t value) {
+  std::uint8_t raw[4];
   for (int i = 0; i < 4; ++i)
-    buffer_.AppendByte(static_cast<std::uint8_t>(value >> (8 * i)));
+    raw[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  buffer_.Append(raw);
 }
 
 void ArchiveWriter::WriteU64(std::uint64_t value) {
+  std::uint8_t raw[8];
   for (int i = 0; i < 8; ++i)
-    buffer_.AppendByte(static_cast<std::uint8_t>(value >> (8 * i)));
+    raw[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  buffer_.Append(raw);
 }
 
 void ArchiveWriter::WriteI64(std::int64_t value) {
@@ -26,12 +30,14 @@ void ArchiveWriter::WriteF64(double value) {
 }
 
 void ArchiveWriter::WriteString(std::string_view text) {
+  Reserve(8 + text.size());
   WriteU64(text.size());
   buffer_.Append(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 }
 
 void ArchiveWriter::WriteBytes(std::span<const std::uint8_t> bytes) {
+  Reserve(8 + bytes.size());
   WriteU64(bytes.size());
   buffer_.Append(bytes);
 }
@@ -103,6 +109,21 @@ Result<std::vector<std::uint8_t>> ArchiveReader::ReadBytes() {
                                 data_.begin() + static_cast<long>(pos_ + *len));
   pos_ += *len;
   return out;
+}
+
+Result<Blob> ArchiveReader::ReadBlob() {
+  auto len = ReadU64();
+  if (!len.ok()) return len.status();
+  VINELET_RETURN_IF_ERROR(Need(*len));
+  const std::size_t offset = pos_;
+  pos_ += *len;
+  // Zero-copy when this reader is backed by the blob it decodes from.
+  if (backing_.data() == data_.data() && backing_.size() == data_.size()) {
+    return backing_.Slice(offset, *len);
+  }
+  return Blob(std::vector<std::uint8_t>(
+      data_.begin() + static_cast<long>(offset),
+      data_.begin() + static_cast<long>(offset + *len)));
 }
 
 }  // namespace vinelet::serde

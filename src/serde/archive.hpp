@@ -21,6 +21,13 @@ namespace vinelet::serde {
 /// Append-only encoder.
 class ArchiveWriter {
  public:
+  /// Pre-sizes the backing buffer for `additional` more bytes.  Encode paths
+  /// that know their payload size up front call this once instead of growing
+  /// geometrically through many small appends.
+  void Reserve(std::size_t additional) {
+    buffer_.Reserve(buffer_.size() + additional);
+  }
+
   void WriteU8(std::uint8_t value);
   void WriteU32(std::uint32_t value);
   void WriteU64(std::uint64_t value);
@@ -43,7 +50,9 @@ class ArchiveWriter {
 class ArchiveReader {
  public:
   explicit ArchiveReader(std::span<const std::uint8_t> data) : data_(data) {}
-  explicit ArchiveReader(const Blob& blob) : data_(blob.span()) {}
+  /// Blob-backed reader: ReadBlob() can return zero-copy slices of `blob`.
+  explicit ArchiveReader(const Blob& blob)
+      : data_(blob.span()), backing_(blob) {}
 
   Result<std::uint8_t> ReadU8();
   Result<std::uint32_t> ReadU32();
@@ -54,6 +63,11 @@ class ArchiveReader {
   Result<std::string> ReadString();
   Result<std::vector<std::uint8_t>> ReadBytes();
 
+  /// Reads a length-prefixed byte string as a Blob.  When the reader is
+  /// backed by a Blob the result is a Slice sharing the backing payload
+  /// (no copy); otherwise the bytes are copied.
+  Result<Blob> ReadBlob();
+
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool AtEnd() const noexcept { return pos_ == data_.size(); }
 
@@ -61,6 +75,7 @@ class ArchiveReader {
   Status Need(std::size_t bytes) const;
 
   std::span<const std::uint8_t> data_;
+  Blob backing_;  // empty unless constructed from a Blob
   std::size_t pos_ = 0;
 };
 

@@ -165,10 +165,18 @@ std::string Value::ToString() const {
       std::snprintf(out, sizeof(out), "%g", AsFloat());
       return out;
     }
-    case Type::kString:
-      return "\"" + AsString() + "\"";
-    case Type::kBytes:
-      return "<" + std::to_string(AsBytes().size()) + " bytes>";
+    case Type::kString: {
+      std::string out = "\"";
+      out += AsString();
+      out += '"';
+      return out;
+    }
+    case Type::kBytes: {
+      std::string out = "<";
+      out += std::to_string(AsBytes().size());
+      out += " bytes>";
+      return out;
+    }
     case Type::kList: {
       std::string out = "[";
       const auto& list = AsList();

@@ -1,6 +1,13 @@
 #include "sim/cost_model.hpp"
 
+#include <algorithm>
+
 namespace vinelet::sim {
+
+double ChunkedHopFinishS(double source_done_s, double start_s,
+                         double blob_seconds, double chunk_seconds) {
+  return std::max(source_done_s + chunk_seconds, start_s + blob_seconds);
+}
 
 WorkloadCosts LnniCosts(int inferences) {
   WorkloadCosts costs;  // defaults are the 16-inference LNNI calibration

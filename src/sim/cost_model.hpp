@@ -98,6 +98,14 @@ struct WorkloadCosts {
   }
 };
 
+/// Cut-through (chunked pipelined) transfer arithmetic shared by the DES
+/// engine and the Fig-3 analytic sweeps: a relay hop completes when the last
+/// chunk has both reached the source (`source_done_s`) and crossed the link
+/// (one chunk-time after that), or — if the hop itself is the bottleneck —
+/// one whole blob-time after the hop started.
+double ChunkedHopFinishS(double source_done_s, double start_s,
+                         double blob_seconds, double chunk_seconds);
+
 /// LNNI (ResNet50 inference, §4.1.1): `inferences` per invocation.
 /// 16 inferences take ~3.08 s at baseline (Table 5).
 WorkloadCosts LnniCosts(int inferences = 16);

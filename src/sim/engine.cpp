@@ -467,9 +467,10 @@ void VineSim::EnsureEnv(std::size_t worker_index, std::uint64_t generation,
 }
 
 void VineSim::RequestEnvTransfer(std::size_t worker_index) {
-  if (config_.peer_transfers && env_serving_slots_ > 0) {
-    --env_serving_slots_;
-    StartPeerEnvTransfer(worker_index);
+  if (config_.peer_transfers && !env_serving_slots_.empty()) {
+    const double source_done_s = env_serving_slots_.front();
+    env_serving_slots_.pop_front();
+    StartPeerEnvTransfer(worker_index, source_done_s);
     return;
   }
   if (env_manager_seeds_inflight_ < config_.env_fanout) {
@@ -477,28 +478,66 @@ void VineSim::RequestEnvTransfer(std::size_t worker_index) {
     ++result_.env_manager_transfers;
     const std::uint64_t generation = workers_[worker_index].generation;
     const WorkloadCosts& costs = *invocations_.front().costs;
-    manager_uplink_->Transfer(
-        costs.env_packed_bytes, [this, worker_index, generation] {
-          --env_manager_seeds_inflight_;
-          OnEnvTransferDone(worker_index, generation, /*from_manager=*/true);
-        });
+    if (ChunkedEnv()) {
+      // Deterministic fair share of the manager uplink: a broadcast keeps
+      // every seed slot busy, so each stream gets 1/env_fanout of the link
+      // (matching the analytic planner's root-edge model).
+      const double rate = config_.cluster.manager_link_Bps /
+                          std::max(1u, config_.env_fanout);
+      const double duration = costs.env_packed_bytes / rate;
+      const double finish_s = sim_.Now() + duration;
+      ScheduleEarlyServe(worker_index, generation, rate, finish_s);
+      sim_.After(duration, [this, worker_index, generation] {
+        --env_manager_seeds_inflight_;
+        OnEnvTransferDone(worker_index, generation, /*from_manager=*/true);
+      });
+    } else {
+      manager_uplink_->Transfer(
+          costs.env_packed_bytes, [this, worker_index, generation] {
+            --env_manager_seeds_inflight_;
+            OnEnvTransferDone(worker_index, generation, /*from_manager=*/true);
+          });
+    }
     return;
   }
   env_transfer_queue_.push_back(worker_index);
 }
 
-void VineSim::StartPeerEnvTransfer(std::size_t worker_index) {
+void VineSim::StartPeerEnvTransfer(std::size_t worker_index,
+                                   double source_done_s) {
   ++result_.env_peer_transfers;
   const std::uint64_t generation = workers_[worker_index].generation;
   const WorkloadCosts& costs = *invocations_.front().costs;
-  sim_.After(costs.env_packed_bytes / config_.cluster.worker_link_Bps,
-             [this, worker_index, generation] {
-               // The source's upload slot frees regardless of the
-               // destination's fate.
-               ReleaseEnvServingSlots(1);
-               OnEnvTransferDone(worker_index, generation,
-                                 /*from_manager=*/false);
-             });
+  const double rate = config_.cluster.worker_link_Bps;
+  const double now = sim_.Now();
+  double finish_s = now + costs.env_packed_bytes / rate;
+  if (ChunkedEnv()) {
+    // Cut-through hop: the last chunk cannot leave the source before the
+    // source itself holds it, and needs one chunk-time to cross the link.
+    finish_s = ChunkedHopFinishS(
+        source_done_s, now, costs.env_packed_bytes / rate,
+        static_cast<double>(config_.env_chunk_bytes) / rate);
+    ScheduleEarlyServe(worker_index, generation, rate, finish_s);
+  }
+  sim_.After(finish_s - now, [this, worker_index, generation] {
+    // The source's upload slot frees regardless of the destination's fate;
+    // by now the source holds the full blob, so the slot is untagged.
+    ReleaseEnvServingSlots(1, sim_.Now());
+    OnEnvTransferDone(worker_index, generation,
+                      /*from_manager=*/false);
+  });
+}
+
+void VineSim::ScheduleEarlyServe(std::size_t worker_index,
+                                 std::uint64_t generation, double rate_Bps,
+                                 double finish_s) {
+  const double chunk_s =
+      static_cast<double>(config_.env_chunk_bytes) / rate_Bps;
+  sim_.After(chunk_s, [this, worker_index, generation, finish_s] {
+    // The replica died before its first chunk landed: no upload slots.
+    if (!WorkerValid(worker_index, generation)) return;
+    ReleaseEnvServingSlots(config_.env_fanout, finish_s);
+  });
 }
 
 void VineSim::OnEnvTransferDone(std::size_t worker_index,
@@ -510,11 +549,14 @@ void VineSim::OnEnvTransferDone(std::size_t worker_index,
     return;
   }
   // This worker's on-disk copy can now serve peers (before unpack — the
-  // cached tarball, not the expanded tree, is what transfers).
-  ReleaseEnvServingSlots(config_.env_fanout);
+  // cached tarball, not the expanded tree, is what transfers).  In chunked
+  // mode the slots were already released at first-chunk time (cut-through).
+  if (!ChunkedEnv()) ReleaseEnvServingSlots(config_.env_fanout, sim_.Now());
 
   SimWorker& worker = workers_[worker_index];
   worker.env_transfer_done_s = sim_.Now();
+  result_.env_last_transfer_done_s =
+      std::max(result_.env_last_transfer_done_s, worker.env_transfer_done_s);
   const std::string track = "worker-" + std::to_string(worker_index);
   Span(telemetry::Phase::kTransfer, "file", track, worker_index,
        worker.env_transfer_started_s, worker.env_transfer_done_s);
@@ -534,7 +576,7 @@ void VineSim::OnEnvTransferDone(std::size_t worker_index,
            });
 }
 
-void VineSim::ReleaseEnvServingSlots(unsigned count) {
+void VineSim::ReleaseEnvServingSlots(unsigned count, double source_done_s) {
   if (!config_.peer_transfers) {
     // Fig 3a mode: replicas never serve; the manager (sequentially, up to
     // its seed cap) is the only source.  Drain a snapshot of the queue so
@@ -557,12 +599,12 @@ void VineSim::ReleaseEnvServingSlots(unsigned count) {
       env_transfer_queue_.pop_front();
       if (workers_[next].alive &&
           workers_[next].env == SimWorker::Env::kTransferring) {
-        StartPeerEnvTransfer(next);
+        StartPeerEnvTransfer(next, source_done_s);
         served = true;
         break;
       }
     }
-    if (!served) ++env_serving_slots_;
+    if (!served) env_serving_slots_.push_back(source_done_s);
   }
 }
 

@@ -69,6 +69,13 @@ struct SimConfig {
   /// Per-source concurrent env transfer cap N (§3.3).
   unsigned env_fanout = 3;
 
+  /// Chunk size for pipelined (cut-through) env distribution: a replica
+  /// begins serving peers as soon as its first chunk lands instead of after
+  /// the whole tarball, so distribution makespan approaches
+  /// blob_time + depth × chunk_time.  0 = whole-blob store-and-forward
+  /// (the pre-pipelining behavior).  Only meaningful with peer_transfers.
+  std::uint64_t env_chunk_bytes = 0;
+
   /// L3 only: invocation slots per library instance (§3.5.2).  The paper's
   /// LNNI deployment uses 1 (one library per slot, Fig 10's ~2,400
   /// instances); the alternative strategy is one whole-worker library with
@@ -94,6 +101,10 @@ struct SimResult {
   std::uint64_t libraries_peak_active = 0;
   std::uint64_t env_manager_transfers = 0;
   std::uint64_t env_peer_transfers = 0;
+  /// Virtual time when the last env transfer completed: the distribution
+  /// makespan the Fig-3 chunk-size sweeps compare against the analytic
+  /// planner (transfer only — unpack is excluded on both sides).
+  double env_last_transfer_done_s = 0.0;
   std::uint64_t worker_deaths = 0;
   std::uint64_t requeued_invocations = 0;
   double manager_utilization = 0.0;
@@ -156,10 +167,22 @@ class VineSim {
   void EnsureEnv(std::size_t worker_index, std::uint64_t generation,
                  std::function<void()> ready);
   void RequestEnvTransfer(std::size_t worker_index);
-  void StartPeerEnvTransfer(std::size_t worker_index);
+  /// `source_done_s`: predicted completion of the serving replica's own
+  /// inbound transfer (≤ now for whole-blob slots; in the future for
+  /// cut-through slots released after the source's first chunk).
+  void StartPeerEnvTransfer(std::size_t worker_index, double source_done_s);
   void OnEnvTransferDone(std::size_t worker_index, std::uint64_t generation,
                          bool from_manager);
-  void ReleaseEnvServingSlots(unsigned count);
+  /// Releases `count` upload slots tagged with the holder's predicted
+  /// completion time (`source_done_s`), serving queued workers first.
+  void ReleaseEnvServingSlots(unsigned count, double source_done_s);
+  /// Chunked mode only: schedules the release of the new replica's upload
+  /// slots one chunk-time after its transfer starts (cut-through relay).
+  void ScheduleEarlyServe(std::size_t worker_index, std::uint64_t generation,
+                          double rate_Bps, double finish_s);
+  bool ChunkedEnv() const {
+    return config_.env_chunk_bytes > 0 && config_.peer_transfers;
+  }
 
   /// Emits a span with explicit virtual timestamps when tracing is on.
   void Span(telemetry::Phase phase, std::string_view category,
@@ -198,7 +221,10 @@ class VineSim {
 
   // Environment spanning-tree state.
   unsigned env_manager_seeds_inflight_ = 0;
-  unsigned env_serving_slots_ = 0;  // free upload slots on replica holders
+  /// Free upload slots on replica holders; each entry carries the holder's
+  /// predicted transfer-completion time (cut-through pacing).  Whole-blob
+  /// slots are tagged with their release time.
+  std::deque<double> env_serving_slots_;
   std::deque<std::size_t> env_transfer_queue_;  // workers awaiting a source
 
   std::uint64_t active_libraries_ = 0;

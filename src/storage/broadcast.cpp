@@ -1,6 +1,7 @@
 #include "storage/broadcast.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 
 namespace vinelet::storage {
@@ -114,6 +115,95 @@ Result<BroadcastPlan> PlanBroadcast(const BroadcastParams& params) {
       return PlanClustered(params);
   }
   return InvalidArgumentError("unknown broadcast mode");
+}
+
+std::size_t ChunkCount(const ChunkParams& chunks) noexcept {
+  if (chunks.blob_bytes == 0 || chunks.chunk_bytes == 0) return 1;
+  return static_cast<std::size_t>(
+      (chunks.blob_bytes + chunks.chunk_bytes - 1) / chunks.chunk_bytes);
+}
+
+Result<PipelinePlan> PlanPipelinedBroadcast(const BroadcastParams& params,
+                                            const ChunkParams& chunks) {
+  if (params.fanout_cap == 0)
+    return InvalidArgumentError("fanout_cap must be positive");
+  PipelinePlan plan;
+  plan.num_chunks = ChunkCount(chunks);
+  plan.parent.assign(params.num_workers, TransferStep::kManagerSource);
+  plan.children.assign(params.num_workers, {});
+  if (params.num_workers == 0) return plan;
+
+  // Breadth-first fan-out-capped tree, same shape as PlanSpanningTree so the
+  // whole-blob and pipelined schedules are directly comparable.
+  std::vector<unsigned> node_depth(params.num_workers, 0);
+  std::size_t next_worker = 0;
+  std::deque<std::int64_t> frontier = {TransferStep::kManagerSource};
+  while (next_worker < params.num_workers) {
+    const std::int64_t source = frontier.front();
+    frontier.pop_front();
+    for (unsigned k = 0;
+         k < params.fanout_cap && next_worker < params.num_workers; ++k) {
+      const std::uint64_t dest = next_worker++;
+      plan.parent[dest] = source;
+      if (source == TransferStep::kManagerSource) {
+        plan.roots.push_back(dest);
+        node_depth[dest] = 1;
+      } else {
+        plan.children[static_cast<std::size_t>(source)].push_back(dest);
+        node_depth[dest] = node_depth[static_cast<std::size_t>(source)] + 1;
+      }
+      plan.depth = std::max(plan.depth, node_depth[dest]);
+      frontier.push_back(static_cast<std::int64_t>(dest));
+    }
+  }
+  return plan;
+}
+
+double EstimatePipelinedMakespan(const PipelinePlan& plan,
+                                 const ChunkParams& chunks,
+                                 double worker_link_Bps,
+                                 double manager_link_Bps) {
+  if (plan.parent.empty() || worker_link_Bps <= 0 || manager_link_Bps <= 0)
+    return 0.0;
+  const std::size_t num_chunks = std::max<std::size_t>(plan.num_chunks, 1);
+  // Per-chunk byte counts (the last chunk may be short).
+  std::vector<double> chunk_bytes(num_chunks,
+                                  static_cast<double>(chunks.chunk_bytes));
+  if (chunks.blob_bytes == 0 || chunks.chunk_bytes == 0) {
+    chunk_bytes.assign(num_chunks, static_cast<double>(chunks.blob_bytes));
+  } else {
+    const std::uint64_t tail = chunks.blob_bytes % chunks.chunk_bytes;
+    if (tail != 0) chunk_bytes.back() = static_cast<double>(tail);
+  }
+
+  // a(v, k): arrival time of chunk k at worker v, with the cut-through
+  // recurrence  a(v, k) = max(a(parent, k), a(v, k-1)) + chunk_time(edge).
+  // The manager holds every chunk at t = 0.  Its direct children share the
+  // manager link fairly; worker edges run at the full worker rate.
+  const double root_rate =
+      manager_link_Bps / static_cast<double>(std::max<std::size_t>(
+                             plan.roots.size(), 1));
+  std::vector<std::vector<double>> arrivals(plan.parent.size());
+  double makespan = 0.0;
+  // parent[v] < v by construction (breadth-first order), so a single pass in
+  // worker order sees every parent before its children.
+  for (std::size_t v = 0; v < plan.parent.size(); ++v) {
+    const std::int64_t p = plan.parent[v];
+    const bool from_manager = p == TransferStep::kManagerSource;
+    const double rate = from_manager ? root_rate : worker_link_Bps;
+    const std::vector<double>* upstream =
+        from_manager ? nullptr : &arrivals[static_cast<std::size_t>(p)];
+    std::vector<double>& mine = arrivals[v];
+    mine.resize(num_chunks);
+    double prev = 0.0;
+    for (std::size_t k = 0; k < num_chunks; ++k) {
+      const double src_ready = upstream == nullptr ? 0.0 : (*upstream)[k];
+      mine[k] = std::max(src_ready, prev) + chunk_bytes[k] / rate;
+      prev = mine[k];
+    }
+    makespan = std::max(makespan, mine.back());
+  }
+  return makespan;
 }
 
 double EstimateMakespan(const BroadcastPlan& plan,

@@ -70,4 +70,57 @@ double EstimateMakespan(const BroadcastPlan& plan,
                         const BroadcastParams& params, double transfer_seconds,
                         double inter_cluster_slowdown = 4.0);
 
+// --- Chunk-level pipelined broadcast (cut-through relay) ---
+//
+// The whole-blob plans above are store-and-forward: a worker cannot serve
+// its children until its own copy is complete, so makespan grows as
+// depth × blob_time.  The pipelined plan splits the blob into fixed-size
+// chunks and every receiver forwards chunk k to its tree children as soon
+// as chunk k arrives, so makespan approaches blob_time + depth × chunk_time.
+
+/// Default chunk size (~4 MB) used by both backends.
+constexpr std::uint64_t kDefaultChunkBytes = 4ull << 20;
+
+/// How the blob is cut into chunks for a pipelined broadcast.
+struct ChunkParams {
+  std::uint64_t blob_bytes = 0;
+  std::uint64_t chunk_bytes = kDefaultChunkBytes;
+};
+
+/// Number of chunks for a blob (at least 1; the last chunk may be short).
+std::size_t ChunkCount(const ChunkParams& chunks) noexcept;
+
+/// Explicit relay tree for a pipelined broadcast: the same breadth-first
+/// fan-out-capped shape as kSpanningTree, but expressed as parent/children
+/// links because every edge carries all chunks (there are no rounds).
+struct PipelinePlan {
+  /// Per worker: its chunk source (kManagerSource for the manager's direct
+  /// children).
+  std::vector<std::int64_t> parent;
+  /// Per worker: the workers it relays chunks to (size ≤ fanout_cap).
+  std::vector<std::vector<std::uint64_t>> children;
+  /// The manager's direct children (size ≤ fanout_cap).
+  std::vector<std::uint64_t> roots;
+  /// Hops from the manager to the deepest worker (0 when no workers).
+  unsigned depth = 0;
+  std::size_t num_chunks = 1;
+};
+
+/// Builds the relay tree + chunking for a pipelined broadcast.  Only the
+/// fan-out cap and worker count of `params` are consulted (pipelining is a
+/// spanning-tree refinement; sequential/clustered modes are not chunked).
+Result<PipelinePlan> PlanPipelinedBroadcast(const BroadcastParams& params,
+                                            const ChunkParams& chunks);
+
+/// Analytic makespan of a pipelined plan.  Cut-through model: a node begins
+/// relaying chunk k to all of its children the moment chunk k arrives;
+/// children are served concurrently (the fan-out cap bounds tree arity, the
+/// same slot semantics as EstimateMakespan).  The manager's outbound link
+/// (`manager_link_Bps`) is shared fairly by its direct children; each
+/// worker-to-worker edge runs at the full `worker_link_Bps`.
+double EstimatePipelinedMakespan(const PipelinePlan& plan,
+                                 const ChunkParams& chunks,
+                                 double worker_link_Bps,
+                                 double manager_link_Bps);
+
 }  // namespace vinelet::storage

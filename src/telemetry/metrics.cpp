@@ -78,14 +78,15 @@ HistogramSnapshot Histogram::Snapshot() const {
     snapshot.sum += shard.sum.load(std::memory_order_relaxed);
   }
   // The count is derived from the buckets so the snapshot is consistent by
-  // construction even while observers are running.
+  // construction even while observers are running: buckets carry cumulative
+  // (observations <= bound) counts, ending exactly at `count`.
   for (std::size_t i = 0; i <= kBuckets; ++i) {
     snapshot.count += totals[i];
     if (totals[i] == 0) continue;
     const double bound = i < kBuckets
                              ? BucketBound(i)
                              : std::numeric_limits<double>::infinity();
-    snapshot.buckets.emplace_back(bound, totals[i]);
+    snapshot.buckets.emplace_back(bound, snapshot.count);
   }
   if (snapshot.count > 0) {
     snapshot.min = min_.load(std::memory_order_relaxed);
@@ -109,10 +110,8 @@ double HistogramSnapshot::Quantile(double q) const noexcept {
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(count)));
-  std::uint64_t seen = 0;
-  for (const auto& [bound, n] : buckets) {
-    seen += n;
-    if (seen >= rank) {
+  for (const auto& [bound, cumulative] : buckets) {
+    if (cumulative >= rank) {
       if (std::isinf(bound)) return max;
       return std::min(bound, max);
     }

@@ -4,6 +4,7 @@
 // tree beats sequential makespan).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -201,6 +202,132 @@ INSTANTIATE_TEST_SUITE_P(
         PlanCase{BroadcastMode::kClustered, 10, 2, 2},
         PlanCase{BroadcastMode::kClustered, 150, 3, 3},
         PlanCase{BroadcastMode::kClustered, 7, 2, 5}));
+
+// ---------------------------------------------------------------------------
+// Pipelined (chunked, cut-through) planning.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkCountTest, RoundsUpAndClampsToOne) {
+  EXPECT_EQ(ChunkCount({0, 100}), 1u);       // empty blob is one empty chunk
+  EXPECT_EQ(ChunkCount({1, 100}), 1u);
+  EXPECT_EQ(ChunkCount({100, 100}), 1u);
+  EXPECT_EQ(ChunkCount({101, 100}), 2u);
+  EXPECT_EQ(ChunkCount({1000, 100}), 10u);
+  EXPECT_EQ(ChunkCount({1000, 0}), 1u);      // degenerate chunk size
+}
+
+TEST(PipelinePlanTest, TreeShapeRespectsFanoutCap) {
+  BroadcastParams params;
+  params.num_workers = 64;
+  params.fanout_cap = 3;
+  auto plan = PlanPipelinedBroadcast(params, {572ull << 20, 4ull << 20});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->parent.size(), 64u);
+  EXPECT_EQ(plan->children.size(), 64u);
+  EXPECT_LE(plan->roots.size(), 3u);
+  std::size_t reached = plan->roots.size();
+  for (const auto& kids : plan->children) {
+    EXPECT_LE(kids.size(), 3u);
+    reached += kids.size();
+  }
+  EXPECT_EQ(reached, 64u);  // every worker has exactly one inbound edge
+  // Geometric growth 3 + 9 + 27 covers 39 workers in 3 hops; 64 needs 4.
+  EXPECT_EQ(plan->depth, 4u);
+  // Parent indices agree with the children lists.
+  for (std::size_t v = 0; v < 64; ++v) {
+    if (plan->parent[v] == TransferStep::kManagerSource) continue;
+    const auto& kids =
+        plan->children[static_cast<std::size_t>(plan->parent[v])];
+    EXPECT_NE(std::find(kids.begin(), kids.end(), v), kids.end());
+  }
+}
+
+TEST(PipelinePlanTest, ZeroFanoutRejected) {
+  BroadcastParams params;
+  params.num_workers = 4;
+  params.fanout_cap = 0;
+  EXPECT_FALSE(PlanPipelinedBroadcast(params, {1000, 100}).ok());
+}
+
+TEST(PipelinedMakespanTest, ApproachesBlobTimePlusDepthChunks) {
+  // 64 workers, fan-out 3, 572 MB blob in 4 MB chunks, 10 Gb/s worker links,
+  // manager provisioned with fanout × worker bandwidth (each root edge runs
+  // at full rate) — the Fig-3 pipelined configuration.
+  constexpr double kLinkBps = 1.25e9;
+  BroadcastParams params;
+  params.num_workers = 64;
+  params.fanout_cap = 3;
+  const ChunkParams chunks{572ull << 20, 4ull << 20};
+  auto plan = PlanPipelinedBroadcast(params, chunks);
+  ASSERT_TRUE(plan.ok());
+  const double makespan =
+      EstimatePipelinedMakespan(*plan, chunks, kLinkBps, 3 * kLinkBps);
+  const double blob_s = static_cast<double>(chunks.blob_bytes) / kLinkBps;
+  const double chunk_s = static_cast<double>(chunks.chunk_bytes) / kLinkBps;
+  // Cut-through recurrence: last chunk lands at blob_time plus one
+  // chunk_time per additional hop (depth 4 → 3 extra hops).
+  EXPECT_NEAR(makespan, blob_s + 3 * chunk_s, 1e-9);
+}
+
+TEST(PipelinedMakespanTest, BeatsWholeBlobTreeByRequiredMargin) {
+  // Acceptance gate: ≥1.5× over the store-and-forward spanning tree at the
+  // paper's Fig-3 scale (it is ~3.7× analytically).
+  constexpr double kLinkBps = 1.25e9;
+  BroadcastParams params;
+  params.num_workers = 64;
+  params.fanout_cap = 3;
+  const ChunkParams chunks{572ull << 20, 4ull << 20};
+  const double blob_s = static_cast<double>(chunks.blob_bytes) / kLinkBps;
+
+  auto tree = PlanBroadcast(params);
+  ASSERT_TRUE(tree.ok());
+  const double whole_blob = EstimateMakespan(*tree, params, blob_s);
+
+  auto pipeline = PlanPipelinedBroadcast(params, chunks);
+  ASSERT_TRUE(pipeline.ok());
+  const double pipelined =
+      EstimatePipelinedMakespan(*pipeline, chunks, kLinkBps, 3 * kLinkBps);
+  EXPECT_GE(whole_blob / pipelined, 1.5);
+}
+
+TEST(PipelinedMakespanTest, SingleChunkDegeneratesToStoreAndForward) {
+  // chunk_bytes ≥ blob_bytes means one chunk: no pipelining is possible and
+  // the estimate must reduce to depth × blob_time along the critical path.
+  constexpr double kLinkBps = 1e9;
+  BroadcastParams params;
+  params.num_workers = 13;  // 3 + 9 + 1: depth 3 at fan-out 3
+  params.fanout_cap = 3;
+  const ChunkParams chunks{100ull << 20, 1ull << 30};
+  auto plan = PlanPipelinedBroadcast(params, chunks);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_chunks, 1u);
+  EXPECT_EQ(plan->depth, 3u);
+  const double blob_s = static_cast<double>(chunks.blob_bytes) / kLinkBps;
+  const double makespan =
+      EstimatePipelinedMakespan(*plan, chunks, kLinkBps, 3 * kLinkBps);
+  EXPECT_NEAR(makespan, 3 * blob_s, 1e-9);
+}
+
+TEST(PipelinedMakespanTest, SmallerChunksNeverSlower) {
+  // Monotonicity across the Fig-3 chunk-size sweep: with zero per-chunk
+  // overhead modeled, finer chunking can only shorten the pipeline.
+  constexpr double kLinkBps = 1.25e9;
+  BroadcastParams params;
+  params.num_workers = 100;
+  params.fanout_cap = 3;
+  double previous = 0;
+  for (const std::uint64_t mb : {256ull, 64ull, 16ull, 4ull, 1ull}) {
+    const ChunkParams chunks{572ull << 20, mb << 20};
+    auto plan = PlanPipelinedBroadcast(params, chunks);
+    ASSERT_TRUE(plan.ok());
+    const double makespan =
+        EstimatePipelinedMakespan(*plan, chunks, kLinkBps, 3 * kLinkBps);
+    if (previous > 0) {
+      EXPECT_LE(makespan, previous + 1e-9);
+    }
+    previous = makespan;
+  }
+}
 
 }  // namespace
 }  // namespace vinelet::storage

@@ -88,8 +88,11 @@ TEST(ContentStoreTest, ConcurrentPutsAndGets) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&store, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        const Blob blob =
-            Blob::FromString("t" + std::to_string(t) + "i" + std::to_string(i));
+        std::string text = "t";
+        text += std::to_string(t);
+        text += "i";
+        text += std::to_string(i);
+        const Blob blob = Blob::FromString(std::move(text));
         const auto id = hash::ContentId::Of(blob);
         ASSERT_TRUE(store.Put(id, blob).ok());
         auto fetched = store.Get(id);

@@ -2,6 +2,7 @@
 // semantics, and accounting.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "net/network.hpp"
@@ -60,6 +61,58 @@ TEST(NetworkTest, AccountingCountsFramesAndBytes) {
   ASSERT_TRUE(network.Send(0, 1, Blob::FromString("678")).ok());
   EXPECT_EQ(network.frames_delivered(), 2u);
   EXPECT_EQ(network.bytes_delivered(), 8u);
+}
+
+TEST(NetworkTest, AttachmentBytesCountedAndDelivered) {
+  Network network;
+  auto inbox = network.Register(1);
+  ASSERT_TRUE(inbox.ok());
+  const Blob bulk = Blob::FromString("0123456789");
+  ASSERT_TRUE(network.Send(0, 1, Blob::FromString("hdr"), bulk).ok());
+  auto frame = (*inbox)->Recv();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload.ToString(), "hdr");
+  EXPECT_EQ(frame->attachment.ToString(), "0123456789");
+  // The attachment is the same refcounted allocation, not a copy.
+  EXPECT_TRUE(frame->attachment.SharesPayloadWith(bulk));
+  EXPECT_EQ(network.frames_delivered(), 1u);
+  EXPECT_EQ(network.bytes_delivered(), 13u);
+}
+
+TEST(NetworkTest, FailedSendNotCounted) {
+  Network network;
+  ASSERT_TRUE(network.Register(1).ok());
+  EXPECT_FALSE(network.Send(0, 99, Blob::FromString("lost")).ok());
+  EXPECT_EQ(network.frames_delivered(), 0u);
+  EXPECT_EQ(network.bytes_delivered(), 0u);
+}
+
+TEST(NetworkTest, FullInboxDoesNotStallOtherEndpoints) {
+  // Regression: a bounded (slow) inbox at capacity blocks its sender, but
+  // must never hold a lock that serializes traffic to other endpoints.
+  Network network;
+  auto slow = network.Register(1, /*capacity=*/1);
+  ASSERT_TRUE(slow.ok());
+  auto fast = network.Register(2);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(network.Send(0, 1, Blob::FromString("fills")).ok());
+
+  std::thread blocked([&network] {
+    // Blocks until the test drains the slow inbox below.
+    ASSERT_TRUE(network.Send(0, 1, Blob::FromString("waits")).ok());
+  });
+  // Give the blocked sender time to park inside Send.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Unrelated endpoint must still be reachable, promptly.
+  ASSERT_TRUE(network.Send(0, 2, Blob::FromString("through")).ok());
+  auto frame = (*fast)->RecvFor(std::chrono::seconds(10));
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload.ToString(), "through");
+
+  EXPECT_TRUE((*slow)->Recv().has_value());  // unblocks the parked sender
+  blocked.join();
+  EXPECT_TRUE((*slow)->Recv().has_value());
+  EXPECT_EQ(network.frames_delivered(), 3u);
 }
 
 TEST(NetworkTest, ManyToOneDelivery) {

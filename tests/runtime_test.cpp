@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 
 #include "core/factory.hpp"
@@ -538,9 +539,108 @@ TEST_F(RuntimeTest, PeerTransfersDisabledFallsBackToManager) {
   EXPECT_EQ(manager_->metrics().peer_transfers, 0u);
 }
 
+TEST_F(RuntimeTest, BroadcastFileReachesEveryWorker) {
+  StartCluster(5);
+  std::string text(1 << 20, '\0');
+  for (std::size_t i = 0; i < text.size(); ++i)
+    text[i] = static_cast<char>('a' + (i * 31 + i / 257) % 23);
+  const Blob data = Blob::FromString(std::move(text));
+  storage::FileDecl decl =
+      manager_->DeclareBlob("model", data, storage::FileKind::kData, true);
+  auto outcome =
+      manager_->BroadcastFile(decl, /*chunk_bytes=*/64 * 1024, /*fanout_cap=*/2)
+          ->Wait();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_GT(outcome->timing.transfer_s, 0.0);
+  for (WorkerId id : factory_->WorkerIds()) {
+    auto stored = factory_->GetWorker(id)->store().Get(decl.id);
+    ASSERT_TRUE(stored.ok()) << "worker " << id << " missing broadcast blob";
+    EXPECT_EQ(*stored, data);
+  }
+  // One pipelined tree, not one manager transfer per worker: the manager
+  // sent the blob only to the fan-out roots.
+  EXPECT_LE(manager_->metrics().manager_transfers, 2u);
+}
+
+TEST_F(RuntimeTest, BroadcastToZeroWorkersResolvesImmediately) {
+  StartCluster(1);
+  const Blob data = Blob::FromString(std::string(1024, 'z'));
+  storage::FileDecl decl =
+      manager_->DeclareBlob("tiny", data, storage::FileKind::kData, true);
+  // An undeclared (never stored) blob must fail cleanly, not hang.
+  storage::FileDecl ghost;
+  ghost.name = "ghost";
+  ghost.id = hash::ContentId::OfText("never stored");
+  ghost.size = 10;
+  EXPECT_FALSE(manager_->BroadcastFile(ghost)->Wait().ok());
+  // A real blob on a 1-worker cluster completes trivially.
+  EXPECT_TRUE(manager_->BroadcastFile(decl)->Wait().ok());
+}
+
 // ---------------------------------------------------------------------------
 // Fault tolerance.
 // ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTest, BroadcastSurvivesRelayDeathMidTransfer) {
+  // Kill a worker while a many-chunk broadcast is in flight.  Whatever the
+  // relay had not yet forwarded is lost to its subtree; the manager must
+  // detect the death (probe or failed send) and re-feed the survivors.
+  ManagerConfig config;
+  config.broadcast_probe_s = 0.05;  // fast probe so the test stays quick
+  StartCluster(8, config);
+  std::string text(1 << 20, '\0');
+  for (std::size_t i = 0; i < text.size(); ++i)
+    text[i] = static_cast<char>(i * 131 + 17);
+  const Blob data = Blob::FromString(std::move(text));
+  storage::FileDecl decl =
+      manager_->DeclareBlob("model", data, storage::FileKind::kData, true);
+
+  auto future = manager_->BroadcastFile(decl, /*chunk_bytes=*/16 * 1024,
+                                        /*fanout_cap=*/2);
+  // Race the kill against the 64-chunk pipeline on purpose: depending on
+  // timing the victim dies before its chunks, mid-relay, or after
+  // confirming.  All three must converge.
+  const WorkerId victim = factory_->WorkerIds()[1];
+  ASSERT_TRUE(factory_->KillWorker(victim).ok());
+  auto outcome = future->Wait();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  for (WorkerId id : factory_->WorkerIds()) {
+    auto stored = factory_->GetWorker(id)->store().Get(decl.id);
+    ASSERT_TRUE(stored.ok()) << "survivor " << id << " missing broadcast blob";
+    EXPECT_EQ(*stored, data);
+  }
+}
+
+TEST_F(RuntimeTest, QueuedTasksScheduleInSubmissionOrder) {
+  // Pins the scheduler's FIFO sweep: tasks that could not be placed keep
+  // their relative order in the queue (the compaction pass must be stable).
+  auto order = std::make_shared<std::vector<std::int64_t>>();
+  auto order_mu = std::make_shared<std::mutex>();
+  serde::FunctionDef rec;
+  rec.name = "record_order";
+  rec.fn = [order, order_mu](const Value& args,
+                             const InvocationEnv&) -> Result<Value> {
+    std::lock_guard<std::mutex> lock(*order_mu);
+    order->push_back(args.Get("i").AsInt());
+    return Value(true);
+  };
+  ASSERT_TRUE(registry_.RegisterFunction(rec).ok());
+  StartCluster(1, {}, Resources{1, 64 * 1024, 64 * 1024});
+  // Occupy the only core so the later submissions pile up in the queue,
+  // then drain strictly one at a time.
+  auto blocker = manager_->SubmitTask(
+      "sleepy", Value::Dict({{"ms", Value(80)}}), {}, Resources{1, 64, 64});
+  std::vector<FuturePtr> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(manager_->SubmitTask(
+        "record_order", Value::Dict({{"i", Value(i)}}), {},
+        Resources{1, 64, 64}));
+  }
+  ASSERT_TRUE(manager_->WaitAll(60.0).ok());
+  ASSERT_TRUE(blocker->Wait().ok());
+  for (auto& future : futures) ASSERT_TRUE(future->Wait().ok());
+  EXPECT_EQ(*order, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
+}
 
 TEST_F(RuntimeTest, TaskRetriedAfterWorkerDeath) {
   StartCluster(2, {}, Resources{1, 64 * 1024, 64 * 1024});

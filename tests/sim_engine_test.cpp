@@ -9,6 +9,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/workload.hpp"
+#include "storage/broadcast.hpp"
 
 namespace vinelet::sim {
 namespace {
@@ -328,6 +329,56 @@ TEST(VineSimTest, TracePhaseColumnsFilled) {
                       "run_time,level,transfer_s,unpack_s,setup_s,exec_s\n",
                       0),
             0u);
+}
+
+TEST(VineSimTest, ChunkedEnvDistributionBeatsWholeBlobAndMatchesAnalytic) {
+  // The Fig-3 pipelining claim, in simulation: same cluster, same workload,
+  // the only difference is env_chunk_bytes.  Costs are stripped to the
+  // transfer path (no noise, no stragglers, negligible dispatch) so the DES
+  // distribution makespan is comparable to the analytic planner's.
+  WorkloadCosts costs = LnniCosts(16);
+  costs.manager_l2 = {1e-6, 1e-6};
+  costs.exec_noise_sigma = 0.0;
+  costs.straggler_prob = 0.0;
+  costs.unpack_cpu_s = 0.1;  // excluded from the distribution makespan
+
+  constexpr std::uint64_t kChunkBytes = 4ull << 20;
+  SimConfig config;
+  config.level = core::ReuseLevel::kL2;
+  config.cluster.num_workers = 64;
+  // Manager provisioned with fanout × worker bandwidth so each root edge of
+  // the tree runs at full worker-link rate (the bench's Fig-3 setup).
+  config.cluster.manager_link_Bps = 3 * config.cluster.worker_link_Bps;
+  config.env_fanout = 3;
+
+  config.env_chunk_bytes = 0;  // whole-blob store-and-forward
+  const SimResult whole =
+      VineSim(config, BuildLnniWorkload(costs, 256)).Run();
+  config.env_chunk_bytes = kChunkBytes;  // pipelined cut-through
+  const SimResult chunked =
+      VineSim(config, BuildLnniWorkload(costs, 256)).Run();
+
+  ASSERT_GT(whole.env_last_transfer_done_s, 0.0);
+  ASSERT_GT(chunked.env_last_transfer_done_s, 0.0);
+  // Acceptance gate: pipelining wins by at least 1.5× (expected ~3.9×: the
+  // store-and-forward tree pays depth × blob_time, the pipeline pays
+  // blob_time + depth × chunk_time).
+  EXPECT_GE(whole.env_last_transfer_done_s / chunked.env_last_transfer_done_s,
+            1.5);
+
+  // Acceptance gate: DES and the pure planner agree within 10%.
+  storage::BroadcastParams params;
+  params.num_workers = config.cluster.num_workers;
+  params.fanout_cap = config.env_fanout;
+  const storage::ChunkParams chunk_params{
+      static_cast<std::uint64_t>(costs.env_packed_bytes), kChunkBytes};
+  auto plan = storage::PlanPipelinedBroadcast(params, chunk_params);
+  ASSERT_TRUE(plan.ok());
+  const double analytic = storage::EstimatePipelinedMakespan(
+      *plan, chunk_params, config.cluster.worker_link_Bps,
+      config.cluster.manager_link_Bps);
+  EXPECT_NEAR(chunked.env_last_transfer_done_s / analytic, 1.0, 0.10);
+  EXPECT_EQ(chunked.invocations_completed, 256u);
 }
 
 TEST(VineSimTest, EmptyWorkloadTerminates) {

@@ -9,6 +9,7 @@
 #include "core/protocol.hpp"
 #include "core/worker.hpp"
 #include "poncho/packer.hpp"
+#include "storage/broadcast.hpp"
 
 namespace vinelet::core {
 namespace {
@@ -66,12 +67,21 @@ class WorkerProtocolTest : public ::testing::Test {
         network_->Send(net::kManagerEndpoint, 1, EncodeMessage(message)).ok());
   }
 
+  /// Sends via the attachment-bearing frame form, like real peers do.
+  void SendFrameToWorker(const Message& message) {
+    WireFrame wire = EncodeFrame(message);
+    ASSERT_TRUE(network_
+                    ->Send(net::kManagerEndpoint, 1, std::move(wire.payload),
+                           std::move(wire.attachment))
+                    .ok());
+  }
+
   /// Receives and decodes the next worker->manager message (10 s budget).
   Message NextMessage() {
     auto frame = manager_inbox_->RecvFor(10s);
     EXPECT_TRUE(frame.has_value()) << "no message from worker";
     if (!frame.has_value()) return Message(GoodbyeMsg{});
-    auto message = DecodeMessage(frame->payload);
+    auto message = DecodeFrame(*frame);
     EXPECT_TRUE(message.ok()) << message.status().ToString();
     return message.ok() ? *message : Message(GoodbyeMsg{});
   }
@@ -131,12 +141,151 @@ TEST_F(WorkerProtocolTest, PushFileForwardsToPeer) {
   auto frame = (*peer_inbox)->RecvFor(10s);
   ASSERT_TRUE(frame.has_value());
   EXPECT_EQ(frame->sender, 1u);  // worker-to-worker, not via the manager
-  auto message = DecodeMessage(frame->payload);
+  auto message = DecodeFrame(*frame);
   ASSERT_TRUE(message.ok());
   auto* put = std::get_if<PutFileMsg>(&*message);
   ASSERT_NE(put, nullptr);
   EXPECT_EQ(put->payload, payload);
+  // Zero-copy path: the forwarded payload must ride in the frame attachment
+  // and share the worker's cached allocation — no byte copy on the relay.
+  auto stored = worker_->store().Get(decl.id);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_TRUE(frame->attachment.SharesPayloadWith(*stored));
+  EXPECT_TRUE(put->payload.SharesPayloadWith(*stored));
   network_->Unregister(2);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked pipelined distribution.
+// ---------------------------------------------------------------------------
+
+/// A deterministic payload whose chunks are all distinct.
+Blob PatternBlob(std::size_t size) {
+  std::string text(size, '\0');
+  for (std::size_t i = 0; i < size; ++i)
+    text[i] = static_cast<char>('a' + (i * 31 + i / 257) % 23);
+  return Blob::FromString(std::move(text));
+}
+
+/// Splits `payload` into PutChunkMsg-shaped slices of `chunk_bytes`.
+std::vector<PutChunkMsg> MakeChunks(const storage::FileDecl& decl,
+                                    const Blob& payload,
+                                    std::uint64_t chunk_bytes) {
+  const auto n =
+      storage::ChunkCount(storage::ChunkParams{payload.size(), chunk_bytes});
+  std::vector<PutChunkMsg> chunks;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    PutChunkMsg msg;
+    msg.decl = decl;
+    msg.chunk_index = k;
+    msg.num_chunks = n;
+    msg.chunk_bytes = chunk_bytes;
+    msg.chunk = payload.Slice(static_cast<std::size_t>(k * chunk_bytes),
+                              static_cast<std::size_t>(chunk_bytes));
+    chunks.push_back(std::move(msg));
+  }
+  return chunks;
+}
+
+TEST_F(WorkerProtocolTest, ChunkedPutReassemblesOutOfOrderWithDuplicates) {
+  const Blob payload = PatternBlob(1000);
+  const auto decl = Declare("chunked", payload);
+  auto chunks = MakeChunks(decl, payload, 300);  // 300,300,300,100
+  ASSERT_EQ(chunks.size(), 4u);
+  // Out of order, with a duplicate in the middle: reassembly must dedup and
+  // only admit once every index is present.
+  for (std::size_t k : {2u, 0u, 3u, 2u, 1u}) SendFrameToWorker(chunks[k]);
+  auto reply = NextMessage();
+  auto* ready = std::get_if<FileReadyMsg>(&reply);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(ready->content_id, decl.id);
+  auto stored = worker_->store().Get(decl.id);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored, payload);
+}
+
+TEST_F(WorkerProtocolTest, ChunkRelayIsCutThroughAndZeroCopy) {
+  auto peer_inbox = network_->Register(2);
+  ASSERT_TRUE(peer_inbox.ok());
+  const Blob payload = PatternBlob(512);
+  const auto decl = Declare("relayed", payload);
+  auto chunks = MakeChunks(decl, payload, 256);
+  ASSERT_EQ(chunks.size(), 2u);
+  ChunkRoute leaf;
+  leaf.dest = 2;
+  chunks[0].children = {leaf};
+
+  // Chunk 0 alone must be forwarded to the peer immediately — before the
+  // worker could possibly have assembled (or even seen) the full blob.
+  SendFrameToWorker(chunks[0]);
+  auto relayed = (*peer_inbox)->RecvFor(10s);
+  ASSERT_TRUE(relayed.has_value());
+  EXPECT_EQ(relayed->sender, 1u);
+  auto message = DecodeFrame(*relayed);
+  ASSERT_TRUE(message.ok()) << message.status().ToString();
+  auto* put = std::get_if<PutChunkMsg>(&*message);
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->chunk_index, 0u);
+  EXPECT_EQ(put->num_chunks, 2u);
+  EXPECT_TRUE(put->children.empty());  // leaf consumed its hop of the route
+  // The relayed bytes are the original allocation, end to end: test blob ->
+  // frame to worker -> decoded chunk -> re-encoded frame to peer.  No copy.
+  EXPECT_TRUE(relayed->attachment.SharesPayloadWith(payload));
+  EXPECT_TRUE(put->chunk.SharesPayloadWith(payload));
+
+  // Completing the remaining chunk admits the file on the relay itself.
+  SendFrameToWorker(chunks[1]);
+  auto reply = NextMessage();
+  ASSERT_NE(std::get_if<FileReadyMsg>(&reply), nullptr);
+  EXPECT_TRUE(worker_->store().Contains(decl.id));
+  network_->Unregister(2);
+}
+
+TEST_F(WorkerProtocolTest, CorruptChunkRejectedAtReassembly) {
+  const Blob payload = PatternBlob(600);
+  const auto decl = Declare("tampered", payload);
+  auto chunks = MakeChunks(decl, payload, 200);
+  ASSERT_EQ(chunks.size(), 3u);
+  chunks[1].chunk = Blob::FromString(std::string(200, '!'));  // same size
+  for (auto& chunk : chunks) SendFrameToWorker(chunk);
+  auto reply = NextMessage();
+  auto* failed = std::get_if<FileFailedMsg>(&reply);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->content_id, decl.id);
+  EXPECT_FALSE(worker_->store().Contains(decl.id));
+}
+
+TEST_F(WorkerProtocolTest, ChunkRelayToDeadPeerStillAssemblesLocally) {
+  const Blob payload = PatternBlob(400);
+  const auto decl = Declare("undeliverable", payload);
+  auto chunks = MakeChunks(decl, payload, 200);
+  ChunkRoute ghost;
+  ghost.dest = 99;  // never registered: every forward fails
+  for (auto& chunk : chunks) {
+    chunk.children = {ghost};
+    SendFrameToWorker(chunk);
+  }
+  // Relay failures must not block local reassembly (the manager heals the
+  // subtree separately).
+  auto reply = NextMessage();
+  ASSERT_NE(std::get_if<FileReadyMsg>(&reply), nullptr);
+  EXPECT_TRUE(worker_->store().Contains(decl.id));
+}
+
+TEST_F(WorkerProtocolTest, DuplicateChunkAfterAdmissionReconfirms) {
+  const Blob payload = PatternBlob(300);
+  const auto decl = Declare("probe", payload);
+  auto chunks = MakeChunks(decl, payload, 150);
+  for (auto& chunk : chunks) SendFrameToWorker(chunk);
+  auto first = NextMessage();
+  ASSERT_NE(std::get_if<FileReadyMsg>(&first), nullptr);
+  // The manager's liveness probe re-sends chunk 0 to unconfirmed workers; a
+  // worker that already holds the file must answer FileReady again.
+  SendFrameToWorker(chunks[0]);
+  auto again = NextMessage();
+  auto* ready = std::get_if<FileReadyMsg>(&again);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(ready->content_id, decl.id);
 }
 
 TEST_F(WorkerProtocolTest, PushOfUnknownFileReportsFailure) {
