@@ -3,16 +3,27 @@
 // invocation, three reuse levels.  The paper's Q2 finding: the shorter the
 // invocation, the more context reuse matters.
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.hpp"
 #include "sim/engine.hpp"
 #include "sim/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vinelet;
   using namespace vinelet::sim;
+  // --smoke: CI-sized run (one case, 500 invocations, 20 workers) — large
+  // enough to exercise every trace-emitting code path, small enough for a
+  // gating job.  The full run reproduces the paper's 10k x 100 setup.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t invocations = smoke ? 500 : 10000;
+  const std::size_t num_workers = smoke ? 20 : 100;
   std::printf("Reproduction of Figure 8: LNNI execution time vs inferences "
-              "per invocation (10k invocations, 100 workers)\n");
+              "per invocation (%zu invocations, %zu workers%s)\n",
+              invocations, num_workers, smoke ? ", smoke" : "");
 
   bench::TraceSession session("fig8_invocation_runtime");
   static const WorkloadCosts costs16 = LnniCosts(16);
@@ -31,12 +42,13 @@ int main() {
                       "L3 vs L1 (paper/sim)", "L3 vs L2 (paper/sim)",
                       "Mean invoc time (s)"});
   for (const auto& c : cases) {
+    if (smoke && c.inferences != 16) continue;
     double makespans[3];
     double mean_runtime = 0;
     for (int i = 0; i < 3; ++i) {
       SimConfig config;
       config.level = static_cast<core::ReuseLevel>(i + 1);
-      config.cluster.num_workers = 100;
+      config.cluster.num_workers = num_workers;
       config.seed = 2024;
       config.telemetry = session.telemetry();
       if (c.inferences == 16 && config.level == core::ReuseLevel::kL1) {
@@ -44,7 +56,7 @@ int main() {
         // amount (89%) of group 2 machines".
         config.cluster.group_fractions = {0.11, 0.89};
       }
-      VineSim sim(config, BuildLnniWorkload(*c.costs, 10000));
+      VineSim sim(config, BuildLnniWorkload(*c.costs, invocations));
       const SimResult result = sim.Run();
       makespans[i] = result.makespan;
       if (config.level == core::ReuseLevel::kL3)

@@ -14,6 +14,7 @@
 #include "serde/function_registry.hpp"
 #include "serde/value.hpp"
 #include "storage/cache_index.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -86,7 +87,8 @@ void BM_MessageEncodeDecode(benchmark::State& state) {
   core::RunInvocationMsg msg{1001, 3, "lnni_infer",
                              serde::Value::Dict({{"count", serde::Value(16)},
                                                  {"seed", serde::Value(7)}})
-                                 .ToBlob()};
+                                 .ToBlob(),
+                             {}};
   for (auto _ : state) {
     const Blob blob = core::EncodeMessage(core::Message(msg));
     auto decoded = core::DecodeMessage(blob);
@@ -168,6 +170,109 @@ void BM_HashRingWalk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HashRingWalk);
+
+void BM_SpanEmitDisabled(benchmark::State& state) {
+  // The cost of tracing when it is off: EmitLinked on a disabled tracer is
+  // one relaxed atomic load, so leaving the calls in the hot path is free.
+  telemetry::Telemetry telemetry;
+  const telemetry::TraceContext parent{1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        telemetry.tracer.EmitLinked(parent, telemetry::Phase::kExec,
+                                    "invocation", "worker-1", 0, 0.0, 1.0));
+  }
+}
+BENCHMARK(BM_SpanEmitDisabled);
+
+void BM_SpanEmitEnabled(benchmark::State& state) {
+  telemetry::Telemetry telemetry;
+  telemetry.tracer.SetEnabled(true);
+  const telemetry::TraceContext parent{1, 1};
+  std::size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        telemetry.tracer.EmitLinked(parent, telemetry::Phase::kExec,
+                                    "invocation", "worker-1", n, 0.0, 1.0));
+    // Drain periodically so memory stays bounded; the pause keeps the
+    // drain out of the measured time.
+    if ((++n & 0xFFFu) == 0) {
+      state.PauseTiming();
+      (void)telemetry.tracer.Drain();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_SpanEmitEnabled);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  // Fixed-size seqlock ring: recording never allocates, so it is safe on
+  // every failure path (and cheap enough to sprinkle on hot ones).
+  telemetry::Telemetry telemetry;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    telemetry.flight.Record("invoke", "steady-state", 1, n++, 0);
+  }
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
+void RunDirectInvocation(benchmark::State& state, bool traced) {
+  // The worker's direct-mode invocation hot path — deserialize args, run
+  // the function, serialize the result — with the same two EmitLinked
+  // calls the library runtime makes.  Comparing the traced and untraced
+  // runs bounds the trace-recording overhead (<2% is the budget).
+  telemetry::Telemetry telemetry;
+  telemetry.tracer.SetEnabled(traced);
+  auto& tracer = telemetry.tracer;
+  serde::FunctionRegistry registry;
+  auto keys = std::make_shared<std::vector<std::string>>();
+  for (int i = 0; i < 128; ++i) {
+    std::string key = "k";
+    key += std::to_string(i);
+    keys->push_back(std::move(key));
+  }
+  serde::FunctionDef def;
+  def.name = "bench_sum";
+  def.fn = [keys](const serde::Value& args,
+                  const serde::InvocationEnv&) -> Result<serde::Value> {
+    std::int64_t sum = 0;
+    for (const auto& key : *keys) sum += args.Get(key).AsInt();
+    return serde::Value(sum);
+  };
+  if (!registry.RegisterFunction(def).ok()) return;
+  serde::ValueDict dict;
+  for (int i = 0; i < 128; ++i) dict[(*keys)[i]] = serde::Value(i);
+  const Blob args_blob = serde::Value(std::move(dict)).ToBlob();
+  const auto fn = registry.FindFunction("bench_sum");
+  const telemetry::TraceContext root{1, 1};
+  std::size_t n = 0;
+  for (auto _ : state) {
+    const double t0 = tracer.Now();
+    auto args = serde::Value::FromBlob(args_blob);
+    const double t1 = tracer.Now();
+    auto result = fn->fn(*args, serde::InvocationEnv{});
+    const double t2 = tracer.Now();
+    auto ctx = tracer.EmitLinked(root, telemetry::Phase::kDeserialize,
+                                 "invocation", "bench", n, t0, t1);
+    tracer.EmitLinked(ctx, telemetry::Phase::kExec, "invocation", "bench", n,
+                      t1, t2);
+    benchmark::DoNotOptimize(result->ToBlob());
+    if (traced && (++n & 0xFFFu) == 0) {
+      state.PauseTiming();
+      (void)tracer.Drain();
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_DirectInvocationTraceOff(benchmark::State& state) {
+  RunDirectInvocation(state, false);
+}
+BENCHMARK(BM_DirectInvocationTraceOff);
+
+void BM_DirectInvocationTraceOn(benchmark::State& state) {
+  RunDirectInvocation(state, true);
+}
+BENCHMARK(BM_DirectInvocationTraceOn);
 
 void BM_CacheIndexChurn(benchmark::State& state) {
   storage::CacheIndex cache(1 << 20);

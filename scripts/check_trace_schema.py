@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI gate: validate a vinelet Chrome-trace export's causal schema.
+
+Usage: check_trace_schema.py BENCH_<name>.trace.json
+
+Checks, beyond "it parses":
+  * only known event phases appear (M/X/B/E/s/t/f);
+  * every X event has numeric ts and dur >= 0;
+  * per (pid, tid) track, X timestamps are monotonically non-decreasing
+    (the exporter sorts each track; a violation means clock misuse);
+  * the trace is actually causal: X events carry args.trace_id/span_id,
+    at least one multi-span trace exists, and every nonzero
+    args.parent_span_id references a span_id recorded in the SAME trace
+    (no orphan parents);
+  * flow records pair up: every flow-start (ph "s") has a matching
+    flow-end (ph "f") with the same id and vice versa, and each flow id
+    is the span_id of an exported child span.
+"""
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: check_trace_schema.py <trace.json>")
+    path = sys.argv[1]
+
+    failures = []
+
+    def gate(name, ok, detail):
+        status = "ok" if ok else "FAIL"
+        print(f"[{status}] {name}: {detail}")
+        if not ok:
+            failures.append(name)
+
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"cannot load {path}: {err}")
+
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    gate("nonempty", len(events) > 0, f"{len(events)} events")
+
+    known = {"M", "X", "B", "E", "s", "t", "f"}
+    phases = {e.get("ph") for e in events}
+    gate("known-phases", phases <= known, f"phases seen: {sorted(phases)}")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    gate("has-spans", len(spans) > 0, f"{len(spans)} X events")
+
+    bad_time = [
+        e for e in spans
+        if not isinstance(e.get("ts"), (int, float))
+        or not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0
+    ]
+    gate("span-timestamps", not bad_time,
+         f"{len(bad_time)} spans with bad ts/dur")
+
+    # Per-track monotonicity.
+    last_ts = {}
+    regressions = 0
+    for e in spans:
+        track = (e.get("pid"), e.get("tid"))
+        if track in last_ts and e["ts"] < last_ts[track]:
+            regressions += 1
+        last_ts[track] = e["ts"]
+    gate("monotonic-tracks", regressions == 0,
+         f"{regressions} timestamp regressions across {len(last_ts)} tracks")
+
+    # Causal linkage: span ids per trace, then orphan-parent scan.
+    ids_by_trace = {}
+    traced = 0
+    for e in spans:
+        args = e.get("args", {})
+        trace_id = args.get("trace_id", 0)
+        if trace_id:
+            traced += 1
+            ids_by_trace.setdefault(trace_id, set()).add(args.get("span_id"))
+    gate("causal-trace-present", traced > 0 and ids_by_trace,
+         f"{traced} traced spans in {len(ids_by_trace)} traces")
+    multi = sum(1 for ids in ids_by_trace.values() if len(ids) > 1)
+    gate("multi-span-traces", multi > 0,
+         f"{multi} traces with more than one span")
+
+    orphans = 0
+    for e in spans:
+        args = e.get("args", {})
+        parent = args.get("parent_span_id", 0)
+        trace_id = args.get("trace_id", 0)
+        if parent and parent not in ids_by_trace.get(trace_id, set()):
+            orphans += 1
+    gate("no-orphan-parents", orphans == 0,
+         f"{orphans} spans whose parent_span_id is not in their trace")
+
+    # Flow pairing: s and f records reference each other by id, and each
+    # flow id is the span_id of some exported span.
+    flow_starts = {}
+    flow_ends = []
+    for e in events:
+        if e.get("ph") == "s":
+            flow_starts[e.get("id")] = flow_starts.get(e.get("id"), 0) + 1
+        elif e.get("ph") == "f":
+            flow_ends.append(e.get("id"))
+    unmatched_ends = [fid for fid in flow_ends if fid not in flow_starts]
+    gate("flows-paired",
+         not unmatched_ends and len(flow_ends) == sum(flow_starts.values()),
+         f"{sum(flow_starts.values())} starts / {len(flow_ends)} ends, "
+         f"{len(unmatched_ends)} unmatched")
+    span_ids = {e.get("args", {}).get("span_id") for e in spans}
+    dangling = [fid for fid in flow_starts if fid not in span_ids]
+    gate("flows-reference-spans", not dangling,
+         f"{len(dangling)} flow ids with no exported span")
+
+    if failures:
+        sys.exit(f"trace schema check FAILED: {', '.join(failures)}")
+    print(f"trace schema check passed: {path}")
+
+
+if __name__ == "__main__":
+    main()

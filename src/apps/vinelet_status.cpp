@@ -1,0 +1,123 @@
+// vinelet-status: live cluster introspection from the command line.
+//
+// Spins up an in-process demo cluster (manager + workers), drives a small
+// LNNI workload through it, and renders Manager::QueryStatus twice — once
+// mid-flight (queues and library slots busy) and once after WaitAll
+// (drained) — in the human-readable format or as JSON.
+//
+//   $ ./vinelet-status [--json] [--workers N] [--invocations N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/lnni.hpp"
+#include "core/factory.hpp"
+#include "core/manager.hpp"
+#include "poncho/analyzer.hpp"
+
+using namespace vinelet;
+using serde::Value;
+
+namespace {
+
+void PrintStatus(const core::ClusterStatus& status, bool json) {
+  if (json) {
+    std::printf("%s\n", core::ClusterStatusToJson(status).c_str());
+  } else {
+    std::printf("%s", core::FormatClusterStatus(status).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::size_t workers = 3;
+  int invocations = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--invocations") == 0 && i + 1 < argc) {
+      invocations = std::atoi(argv[++i]);
+    } else {
+      std::printf("usage: %s [--json] [--workers N] [--invocations N]\n",
+                  argv[0]);
+      return 2;
+    }
+  }
+
+  serde::FunctionRegistry registry;
+  apps::LnniConfig lnni;
+  lnni.dim = 48;
+  lnni.layers = 3;
+  lnni.build_passes = 16;
+  if (Status status = apps::RegisterLnniFunctions(registry, lnni);
+      !status.ok()) {
+    std::printf("register failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto network = std::make_shared<net::Network>();
+  core::ManagerConfig manager_config;
+  manager_config.registry = &registry;
+  core::Manager manager(network, manager_config);
+  (void)manager.Start();
+  core::FactoryConfig factory_config;
+  factory_config.initial_workers = workers;
+  factory_config.registry = &registry;
+  factory_config.telemetry = &manager.telemetry();
+  core::Factory factory(network, factory_config);
+  (void)factory.Start();
+  (void)manager.WaitForWorkers(workers, 30.0);
+
+  // Seed the cluster: broadcast the weights, install the library, submit.
+  poncho::Analyzer analyzer(poncho::PackageCatalog::SyntheticMlCatalog(0.005));
+  auto env = analyzer.AnalyzeImports({"ml-inference"}).value();
+  auto env_decl = manager.DeclareBlob("env", env.tarball,
+                                      storage::FileKind::kEnvironment,
+                                      /*cache=*/true, /*peer_transfer=*/true,
+                                      /*unpack=*/true);
+  auto weights_decl =
+      manager.DeclareBlob(lnni.weights_file, apps::MakeLnniWeightsBlob(lnni),
+                          storage::FileKind::kData, /*cache=*/true);
+  (void)manager.BroadcastFile(weights_decl);
+
+  auto spec = manager.CreateLibraryFromFunctions("lnni", {"lnni_infer"},
+                                                 "lnni_setup", Value());
+  manager.AddLibraryInput(*spec, env_decl);
+  manager.AddLibraryInput(*spec, weights_decl);
+  spec->slots = 4;
+  (void)manager.InstallLibrary(*spec);
+  for (int i = 0; i < invocations; ++i) {
+    (void)manager.SubmitCall(
+        "lnni", "lnni_infer",
+        Value::Dict({{"count", Value(8)}, {"seed", Value(i)}}));
+  }
+
+  // Mid-flight snapshot: queues, deploying libraries, broadcast progress.
+  auto midflight = manager.QueryStatus();
+  if (!midflight.ok()) {
+    std::printf("status query failed: %s\n",
+                midflight.status().ToString().c_str());
+    return 1;
+  }
+  if (!json) std::printf("=== mid-flight ===\n");
+  PrintStatus(*midflight, json);
+
+  (void)manager.WaitAll(120.0);
+
+  auto drained = manager.QueryStatus();
+  if (!drained.ok()) {
+    std::printf("status query failed: %s\n",
+                drained.status().ToString().c_str());
+    return 1;
+  }
+  if (!json) std::printf("\n=== drained ===\n");
+  PrintStatus(*drained, json);
+
+  manager.Stop();
+  factory.Stop();
+  return 0;
+}

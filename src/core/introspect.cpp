@@ -1,0 +1,145 @@
+#include "core/introspect.hpp"
+
+#include <cstdio>
+
+#include "telemetry/export.hpp"
+
+namespace vinelet::core {
+
+namespace {
+
+std::string Seconds(double value) {
+  char out[48];
+  std::snprintf(out, sizeof(out), "%.3f", value);
+  return out;
+}
+
+}  // namespace
+
+std::string FormatClusterStatus(const ClusterStatus& status) {
+  std::string out;
+  out += "cluster status @ t=" + Seconds(status.collected_s) + "s\n";
+  out += "  task queue: " + std::to_string(status.task_queue_depth) + "\n";
+  for (const auto& queue : status.library_queues) {
+    out += "  library queue " + queue.library + ": " +
+           std::to_string(queue.queued) + "\n";
+  }
+  for (const auto& broadcast : status.broadcasts) {
+    out += "  broadcast " + broadcast.name + " (" + broadcast.id.ShortHex() +
+           ", " + std::to_string(broadcast.num_chunks) + " chunks): " +
+           std::to_string(broadcast.pending.size()) + " subtree(s) pending";
+    if (!broadcast.pending.empty()) {
+      out += " [";
+      for (std::size_t i = 0; i < broadcast.pending.size(); ++i) {
+        if (i != 0) out += " ";
+        out += std::to_string(broadcast.pending[i]);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  out += "  median p95 latency: " + Seconds(status.cluster_median_p95_s) +
+         "s (straggler factor " + Seconds(status.straggler_factor) + ")\n";
+  for (const auto& worker : status.workers) {
+    out += "  worker " + std::to_string(worker.id) + ": inbox " +
+           std::to_string(worker.inbox_depth) + ", tasks " +
+           std::to_string(worker.tasks_executed) + ", cache " +
+           std::to_string(worker.cache.size()) + " blobs / " +
+           std::to_string(worker.CacheBytes()) + " B, p95 " +
+           Seconds(worker.p95_latency_s) + "s over " +
+           std::to_string(worker.latency_samples) + " sample(s)";
+    if (worker.straggler) out += "  ** STRAGGLER **";
+    out += "\n";
+    for (const auto& entry : worker.cache) {
+      out += "    cache " + entry.id.ShortHex() + " " +
+             std::to_string(entry.bytes) + " B\n";
+    }
+    for (const auto& assembly : worker.assemblies) {
+      out += "    assembling " + assembly.id.ShortHex() + " " +
+             std::to_string(assembly.received) + "/" +
+             std::to_string(assembly.total) + " chunks\n";
+    }
+    for (const auto& slot : worker.libraries) {
+      out += "    library " + slot.library + "#" +
+             std::to_string(slot.instance_id) + ": served " +
+             std::to_string(slot.invocations_served) + ", queued " +
+             std::to_string(slot.queued) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ClusterStatusToJson(const ClusterStatus& status) {
+  using telemetry::JsonEscape;
+  std::string out = "{\n\"collected_s\": " + Seconds(status.collected_s) +
+                    ",\n\"task_queue_depth\": " +
+                    std::to_string(status.task_queue_depth) +
+                    ",\n\"cluster_median_p95_s\": " +
+                    Seconds(status.cluster_median_p95_s) +
+                    ",\n\"straggler_factor\": " +
+                    Seconds(status.straggler_factor) +
+                    ",\n\"library_queues\": [";
+  bool first = true;
+  for (const auto& queue : status.library_queues) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"library\":\"" + JsonEscape(queue.library) +
+           "\",\"queued\":" + std::to_string(queue.queued) + "}";
+  }
+  out += "\n],\n\"broadcasts\": [";
+  first = true;
+  for (const auto& broadcast : status.broadcasts) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(broadcast.name) + "\",\"id\":\"" +
+           broadcast.id.ShortHex() +
+           "\",\"num_chunks\":" + std::to_string(broadcast.num_chunks) +
+           ",\"pending\":[";
+    for (std::size_t i = 0; i < broadcast.pending.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(broadcast.pending[i]);
+    }
+    out += "]}";
+  }
+  out += "\n],\n\"workers\": [";
+  first = true;
+  for (const auto& worker : status.workers) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"id\":" + std::to_string(worker.id) +
+           ",\"inbox_depth\":" + std::to_string(worker.inbox_depth) +
+           ",\"tasks_executed\":" + std::to_string(worker.tasks_executed) +
+           ",\"p95_latency_s\":" + Seconds(worker.p95_latency_s) +
+           ",\"latency_samples\":" + std::to_string(worker.latency_samples) +
+           ",\"straggler\":" + (worker.straggler ? "true" : "false") +
+           ",\"cache\":[";
+    for (std::size_t i = 0; i < worker.cache.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"id\":\"" + worker.cache[i].id.ShortHex() +
+             "\",\"bytes\":" + std::to_string(worker.cache[i].bytes) + "}";
+    }
+    out += "],\"assemblies\":[";
+    for (std::size_t i = 0; i < worker.assemblies.size(); ++i) {
+      if (i != 0) out += ",";
+      const AssemblyStatus& assembly = worker.assemblies[i];
+      out += "{\"id\":\"" + assembly.id.ShortHex() +
+             "\",\"received\":" + std::to_string(assembly.received) +
+             ",\"total\":" + std::to_string(assembly.total) + "}";
+    }
+    out += "],\"libraries\":[";
+    for (std::size_t i = 0; i < worker.libraries.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "{\"instance_id\":" +
+             std::to_string(worker.libraries[i].instance_id) +
+             ",\"library\":\"" + JsonEscape(worker.libraries[i].library) +
+             "\",\"served\":" +
+             std::to_string(worker.libraries[i].invocations_served) +
+             ",\"queued\":" + std::to_string(worker.libraries[i].queued) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+}  // namespace vinelet::core

@@ -1,0 +1,74 @@
+// Live cluster introspection: the structured answer to "what is the
+// cluster doing right now?".
+//
+// Manager::QueryStatus assembles a ClusterStatus from its own scheduler
+// state plus one StatusReplyMsg per connected worker (queue depths, cache
+// contents, reassembly progress, library slot occupancy), and flags
+// stragglers: workers whose rolling p95 invocation latency exceeds
+// `straggler_factor` × the cluster median.  The `vinelet-status` CLI and
+// tests render it with FormatClusterStatus / ClusterStatusToJson.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace vinelet::core {
+
+/// One worker's live state, merged from its StatusReplyMsg and the
+/// manager's own latency bookkeeping.
+struct WorkerStatus {
+  WorkerId id = 0;
+  std::uint64_t inbox_depth = 0;
+  std::uint64_t tasks_executed = 0;
+  std::vector<CacheEntryStatus> cache;
+  std::vector<AssemblyStatus> assemblies;
+  std::vector<LibrarySlotStatus> libraries;
+  /// Rolling p95 of invocation round-trip latency on this worker (0 with
+  /// no samples), and the window size it was computed over.
+  double p95_latency_s = 0.0;
+  std::uint64_t latency_samples = 0;
+  bool straggler = false;
+
+  std::uint64_t CacheBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& entry : cache) total += entry.bytes;
+    return total;
+  }
+};
+
+/// One in-flight broadcast: which destinations have not confirmed yet.
+struct BroadcastStatus {
+  std::string name;
+  hash::ContentId id;
+  std::uint64_t num_chunks = 0;
+  std::vector<WorkerId> pending;  // unconfirmed destinations (subtrees)
+};
+
+/// One library template's backlog at the manager.
+struct LibraryQueueStatus {
+  std::string library;
+  std::uint64_t queued = 0;
+};
+
+struct ClusterStatus {
+  double collected_s = 0.0;  // telemetry clock when the query ran
+  std::uint64_t task_queue_depth = 0;
+  std::vector<LibraryQueueStatus> library_queues;
+  std::vector<BroadcastStatus> broadcasts;
+  std::vector<WorkerStatus> workers;
+  /// Median of the per-worker p95 latencies (0 with no samples), and the
+  /// multiplier a worker's p95 must exceed it by to be flagged.
+  double cluster_median_p95_s = 0.0;
+  double straggler_factor = 3.0;
+};
+
+/// Human-readable multi-line rendering (the vinelet-status default).
+std::string FormatClusterStatus(const ClusterStatus& status);
+
+/// Machine-readable rendering (vinelet-status --json).
+std::string ClusterStatusToJson(const ClusterStatus& status);
+
+}  // namespace vinelet::core

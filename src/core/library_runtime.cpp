@@ -159,16 +159,20 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
     if (setup_s_ != nullptr)
       setup_s_->Observe(timing.worker_s + timing.context_s);
     if (telemetry_->tracer.enabled()) {
+      // Chain the setup phases off the install's trace (EmitLinked degrades
+      // to plain spans when no trace was carried in).
       auto& tracer = telemetry_->tracer;
       double t = phase_start_s;
-      tracer.Emit(telemetry::Phase::kUnpack, "library", track_, instance_id_,
-                  t, t + timing.worker_s);
+      telemetry::TraceContext ctx = setup_trace_;
+      ctx = tracer.EmitLinked(ctx, telemetry::Phase::kUnpack, "library",
+                              track_, instance_id_, t, t + timing.worker_s);
       t += timing.worker_s;
-      tracer.Emit(telemetry::Phase::kDeserialize, "library", track_,
-                  instance_id_, t, t + deserialize_s);
+      ctx = tracer.EmitLinked(ctx, telemetry::Phase::kDeserialize, "library",
+                              track_, instance_id_, t, t + deserialize_s);
       t += deserialize_s;
-      tracer.Emit(telemetry::Phase::kContextSetup, "library", track_,
-                  instance_id_, t, t + (timing.context_s - deserialize_s));
+      tracer.EmitLinked(ctx, telemetry::Phase::kContextSetup, "library",
+                        track_, instance_id_, t,
+                        t + (timing.context_s - deserialize_s));
     }
   }
   return Status::Ok();
@@ -177,6 +181,7 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
 InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
   InvocationDoneMsg done;
   done.id = msg.id;
+  done.trace = msg.trace;  // ride the trace back even if this side is untraced
   const double phase_start_s =
       telemetry_ != nullptr ? telemetry_->tracer.Now() : 0.0;
 
@@ -217,12 +222,19 @@ InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
     invocations_metric_->Add();
     invoke_exec_s_->Observe(done.timing.exec_s);
     if (telemetry_->tracer.enabled()) {
+      // deserialize -> exec chain off the manager's dispatch span; the exec
+      // context rides back on the reply so the result span links to it.
       auto& tracer = telemetry_->tracer;
-      tracer.Emit(telemetry::Phase::kDeserialize, "invocation", track_,
-                  msg.id, phase_start_s, phase_start_s + done.timing.context_s);
-      tracer.Emit(telemetry::Phase::kExec, "invocation", track_, msg.id,
-                  phase_start_s + done.timing.context_s,
-                  phase_start_s + done.timing.context_s + done.timing.exec_s);
+      telemetry::TraceContext ctx = msg.trace;
+      ctx = tracer.EmitLinked(ctx, telemetry::Phase::kDeserialize,
+                              "invocation", track_, msg.id, phase_start_s,
+                              phase_start_s + done.timing.context_s);
+      ctx = tracer.EmitLinked(ctx, telemetry::Phase::kExec, "invocation",
+                              track_, msg.id,
+                              phase_start_s + done.timing.context_s,
+                              phase_start_s + done.timing.context_s +
+                                  done.timing.exec_s);
+      done.trace = ctx;
     }
   }
   return done;

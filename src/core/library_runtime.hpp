@@ -75,6 +75,16 @@ class LibraryRuntime {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Invocations accepted but not yet picked up by the library thread
+  /// (live-introspection queue depth).
+  std::uint64_t queued() const { return requests_.size(); }
+
+  /// Parent context for the one-time setup spans (the InstallLibraryMsg's
+  /// trace).  Call before Start().
+  void SetSetupTrace(telemetry::TraceContext trace) noexcept {
+    setup_trace_ = trace;
+  }
+
  private:
   void Run();
   Status Setup(TimingBreakdown& timing);
@@ -92,6 +102,7 @@ class LibraryRuntime {
   // ---- telemetry (optional; null = no spans/metrics) ----
   telemetry::Telemetry* telemetry_ = nullptr;
   std::string track_;
+  telemetry::TraceContext setup_trace_;
   telemetry::Counter* invocations_metric_ = nullptr;
   telemetry::Histogram* invoke_exec_s_ = nullptr;
   telemetry::Histogram* setup_s_ = nullptr;

@@ -31,6 +31,8 @@ Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
   m_.manager_transfers = &reg.GetCounter("manager.manager_transfers");
   m_.peer_transfer_bytes = &reg.GetCounter("manager.peer_transfer_bytes");
   m_.manager_transfer_bytes = &reg.GetCounter("manager.manager_transfer_bytes");
+  m_.broadcast_resends = &reg.GetCounter("manager.broadcast_resends");
+  m_.broadcast_resend_bytes = &reg.GetCounter("manager.broadcast_resend_bytes");
   m_.libraries_active = &reg.GetGauge("manager.libraries_active");
   m_.retained_context_bytes = &reg.GetGauge("manager.retained_context_bytes");
   m_.setup_transfer_s = &reg.GetGauge("manager.last_setup.transfer_s");
@@ -88,6 +90,10 @@ void Manager::Stop() {
   instances_.clear();
   for (auto& [_, broadcast] : broadcasts_) cancel(broadcast.future);
   broadcasts_.clear();
+  if (status_query_.active) {
+    status_query_.promise->set_value(CancelledError("manager stopped"));
+    status_query_ = StatusQuery{};
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +291,17 @@ std::size_t Manager::connected_workers() const {
   return worker_count_;
 }
 
+Result<ClusterStatus> Manager::QueryStatus(double timeout_s) {
+  auto promise = std::make_shared<std::promise<Result<ClusterStatus>>>();
+  auto future = promise->get_future();
+  if (!commands_.Send(StatusCmd{promise}))
+    return UnavailableError("manager stopped");
+  if (future.wait_for(std::chrono::duration<double>(timeout_s)) !=
+      std::future_status::ready)
+    return TimeoutError("status query timed out");
+  return future.get();
+}
+
 ManagerMetrics Manager::metrics() const {
   const telemetry::MetricsSnapshot snap = telemetry_->metrics.Snapshot();
   ManagerMetrics m;
@@ -367,6 +384,7 @@ void Manager::HandleFrame(const net::Frame& frame) {
         if constexpr (std::is_same_v<T, HelloMsg>) {
           workers_.emplace(sender, WorkerState(msg.resources));
           ring_.Add(sender);
+          telemetry_->flight.Record("worker-join", "", 0, sender);
           {
             std::lock_guard<std::mutex> lock(wait_mu_);
             worker_count_ = workers_.size();
@@ -405,9 +423,12 @@ void Manager::HandleFrame(const net::Frame& frame) {
               // waiter's snapshot always includes its own completion.
               m_.tasks_completed->Add();
               m_.task_roundtrip_s->Observe(Now() - running.task.submitted_s);
-              if (telemetry_->tracer.enabled())
-                telemetry_->tracer.Emit(telemetry::Phase::kResult, "task",
-                                        "manager", msg.id, received_s, Now());
+              // Chain the result span off the worker's execution span (the
+              // reply carries it back) so the round trip closes the trace.
+              telemetry_->tracer.EmitLinked(
+                  msg.trace.valid() ? msg.trace : running.task.trace,
+                  telemetry::Phase::kResult, "task", "manager", msg.id,
+                  received_s, Now());
               running.task.future->Resolve(
                   Outcome{std::move(*value), timing, running.worker});
               FinishOne();
@@ -417,6 +438,9 @@ void Manager::HandleFrame(const net::Frame& frame) {
             }
           } else if (++running.task.attempts < config_.max_attempts) {
             m_.retries->Add();
+            telemetry_->flight.Record("task-retry", msg.error,
+                                      running.task.trace.trace_id, msg.id,
+                                      running.worker);
             running.task.queued_s = Now();
             task_queue_.push_back(std::move(running.task));
           } else {
@@ -469,6 +493,13 @@ void Manager::HandleFrame(const net::Frame& frame) {
             instance.running.erase(call_it);
             if (instance.slots_in_use > 0) --instance.slots_in_use;
             ++instance.served;
+            // Feed the rolling latency window behind straggler detection.
+            auto lat_it = workers_.find(instance.worker);
+            if (lat_it != workers_.end()) {
+              auto& window = lat_it->second.invocation_latency_s;
+              window.push_back(Now() - call.queued_s);
+              if (window.size() > kLatencyWindow) window.pop_front();
+            }
             if (msg.ok) {
               auto value = serde::Value::FromBlob(msg.result);
               if (value.ok()) {
@@ -476,10 +507,10 @@ void Manager::HandleFrame(const net::Frame& frame) {
                 // As with tasks: record before resolving the future.
                 m_.invocations_completed->Add();
                 m_.invocation_roundtrip_s->Observe(Now() - call.submitted_s);
-                if (telemetry_->tracer.enabled())
-                  telemetry_->tracer.Emit(telemetry::Phase::kResult,
-                                          "invocation", "manager", msg.id,
-                                          received_s, Now());
+                telemetry_->tracer.EmitLinked(
+                    msg.trace.valid() ? msg.trace : call.trace,
+                    telemetry::Phase::kResult, "invocation", "manager", msg.id,
+                    received_s, Now());
                 call.future->Resolve(
                     Outcome{std::move(*value), msg.timing, instance.worker});
                 FinishOne();
@@ -489,6 +520,9 @@ void Manager::HandleFrame(const net::Frame& frame) {
               }
             } else if (++call.attempts < config_.max_attempts) {
               m_.retries->Add();
+              telemetry_->flight.Record("call-retry", msg.error,
+                                        call.trace.trace_id, msg.id,
+                                        instance.worker);
               RequeueCall(std::move(call));
             } else {
               call.future->Resolve(InternalError(msg.error));
@@ -497,6 +531,8 @@ void Manager::HandleFrame(const net::Frame& frame) {
             FeedInstance(instance);
             return;
           }
+        } else if constexpr (std::is_same_v<T, StatusReplyMsg>) {
+          HandleStatusReply(sender, msg);
         } else {
           VLOG_WARN("manager") << "unexpected message from " << sender;
         }
@@ -527,10 +563,11 @@ void Manager::HandleCommand(Command command) {
           task.future = std::move(cmd.future);
           task.submitted_s = cmd.submitted_s;
           task.queued_s = Now();
-          if (telemetry_->tracer.enabled())
-            telemetry_->tracer.Emit(telemetry::Phase::kSubmit, "task",
-                                    "manager", task.spec.id, cmd.submitted_s,
-                                    task.queued_s);
+          // Root of the task's causal trace; every downstream span (staging,
+          // worker execution, result) chains off this context.
+          task.trace = telemetry_->tracer.StartTrace(
+              telemetry::Phase::kSubmit, "task", "manager", task.spec.id,
+              cmd.submitted_s, task.queued_s);
           task_queue_.push_back(std::move(task));
         } else if constexpr (std::is_same_v<T, CallCmd>) {
           auto it = libraries_.find(cmd.library);
@@ -548,15 +585,16 @@ void Manager::HandleCommand(Command command) {
           call.future = std::move(cmd.future);
           call.submitted_s = cmd.submitted_s;
           call.queued_s = Now();
-          if (telemetry_->tracer.enabled())
-            telemetry_->tracer.Emit(telemetry::Phase::kSubmit, "invocation",
-                                    "manager", call.id, cmd.submitted_s,
-                                    call.queued_s);
+          call.trace = telemetry_->tracer.StartTrace(
+              telemetry::Phase::kSubmit, "invocation", "manager", call.id,
+              cmd.submitted_s, call.queued_s);
           it->second.queue.push_back(std::move(call));
         } else if constexpr (std::is_same_v<T, BroadcastCmd>) {
           StartBroadcast(std::move(cmd));
         } else if constexpr (std::is_same_v<T, DisconnectCmd>) {
           pending_dead_.insert(cmd.worker);
+        } else if constexpr (std::is_same_v<T, StatusCmd>) {
+          StartStatusQuery(std::move(cmd));
         }
       },
       std::move(command));
@@ -609,13 +647,13 @@ bool Manager::TryScheduleTask(PendingTask& task) {
     running.claimed = *claimed;
     running.staged_at = Now();
     const TaskId id = running.task.spec.id;
-    if (telemetry_->tracer.enabled())
-      telemetry_->tracer.Emit(telemetry::Phase::kDispatch, "task", "manager",
-                              id, running.task.queued_s, running.staged_at);
+    running.task.trace = telemetry_->tracer.EmitLinked(
+        running.task.trace, telemetry::Phase::kDispatch, "task", "manager", id,
+        running.task.queued_s, running.staged_at);
 
     for (const auto& decl : running.task.spec.inputs) {
       if (replicas_.HasReplica(decl.id, worker_id)) continue;
-      if (StageFile(decl, worker_id, Waiter{false, id}))
+      if (StageFile(decl, worker_id, Waiter{false, id}, running.task.trace))
         ++running.pending_files;
     }
     it->second.running_tasks.insert(id);
@@ -660,15 +698,16 @@ bool Manager::TryDispatchCall(LibraryInfo& info) {
     PendingCall call = std::move(info.queue.front());
     info.queue.pop_front();
     ++instance.slots_in_use;
+    call.trace = telemetry_->tracer.EmitLinked(
+        call.trace, telemetry::Phase::kDispatch, "invocation", "manager",
+        call.id, call.queued_s, Now());
     RunInvocationMsg msg;
     msg.id = call.id;
     msg.instance_id = instance.id;
     msg.function_name = call.function;
     msg.args = call.args;
+    msg.trace = call.trace;
     const WorkerId worker = instance.worker;
-    if (telemetry_->tracer.enabled())
-      telemetry_->tracer.Emit(telemetry::Phase::kDispatch, "invocation",
-                              "manager", call.id, call.queued_s, Now());
     instance.running.emplace(call.id, std::move(call));
     // A failed send means the worker died; ProcessDeadWorkers requeues.
     (void)SendTo(worker, msg);
@@ -698,10 +737,15 @@ bool Manager::TryDeployInstance(const std::string& library_name) {
     instance.claimed = *claimed;
     instance.slots = spec.slots;
     instance.state = InstanceState::kStaging;
+    // Attribute the deployment to the call that triggered it, so library
+    // staging and setup land in that invocation's trace.
+    if (!lib_it->second.queue.empty())
+      instance.trace = lib_it->second.queue.front().trace;
 
     for (const auto& decl : spec.inputs) {
       if (replicas_.HasReplica(decl.id, worker_id)) continue;
-      if (StageFile(decl, worker_id, Waiter{true, instance.id}))
+      if (StageFile(decl, worker_id, Waiter{true, instance.id},
+                    instance.trace))
         ++instance.pending_files;
     }
     it->second.instances.insert(instance.id);
@@ -737,7 +781,7 @@ bool Manager::TryEvictEmptyLibrary(const std::string& for_library) {
 // ---------------------------------------------------------------------------
 
 bool Manager::StageFile(const storage::FileDecl& decl, WorkerId worker,
-                        Waiter waiter) {
+                        Waiter waiter, telemetry::TraceContext trace) {
   const TransferKey key{worker, decl.id};
   auto it = transfers_.find(key);
   if (it != transfers_.end()) {
@@ -750,6 +794,7 @@ bool Manager::StageFile(const storage::FileDecl& decl, WorkerId worker,
   Transfer transfer;
   transfer.decl = decl;
   transfer.waiters.push_back(waiter);
+  transfer.trace = trace;  // first waiter owns the transfer's causality
   if (!source.ok()) {
     // All sources saturated: park the transfer; StartParkedTransfers retries
     // as other transfers complete.  (Only possible with a finite manager cap.)
@@ -769,12 +814,14 @@ bool Manager::StageFile(const storage::FileDecl& decl, WorkerId worker,
     } else {
       m_.manager_transfers->Add();
       m_.manager_transfer_bytes->Add(decl.size);
-      (void)SendTo(worker, PutFileMsg{decl, std::move(*payload)});
+      (void)SendTo(worker,
+                   PutFileMsg{decl, std::move(*payload), transfer.trace});
     }
   } else {
     m_.peer_transfers->Add();
     m_.peer_transfer_bytes->Add(decl.size);
-    (void)SendTo(transfer.source.peer, PushFileMsg{decl, worker});
+    (void)SendTo(transfer.source.peer,
+                 PushFileMsg{decl, worker, transfer.trace});
   }
   transfers_.emplace(key, std::move(transfer));
   return true;
@@ -796,12 +843,14 @@ void Manager::StartParkedTransfers() {
       if (payload.ok()) {
         m_.manager_transfers->Add();
         m_.manager_transfer_bytes->Add(transfer.decl.size);
-        (void)SendTo(key.dest, PutFileMsg{transfer.decl, std::move(*payload)});
+        (void)SendTo(key.dest, PutFileMsg{transfer.decl, std::move(*payload),
+                                          transfer.trace});
       }
     } else {
       m_.peer_transfers->Add();
       m_.peer_transfer_bytes->Add(transfer.decl.size);
-      (void)SendTo(transfer.source.peer, PushFileMsg{transfer.decl, key.dest});
+      (void)SendTo(transfer.source.peer,
+                   PushFileMsg{transfer.decl, key.dest, transfer.trace});
     }
   }
 }
@@ -818,6 +867,8 @@ void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
   if (!success) {
     VLOG_WARN("manager") << "transfer of " << transfer.decl.name << " to "
                          << worker << " failed: " << error;
+    telemetry_->flight.Record("xfer-fail", error, transfer.trace.trace_id,
+                              id.Prefix64(), worker);
     if (++transfer.attempts < config_.max_attempts) {
       // Retry from a fresh source (the failed peer may hold a corrupt or
       // evicted copy; the manager always has the original).
@@ -828,7 +879,8 @@ void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
         replicas_.BeginTransfer(transfer.source);
         auto payload = manager_store_.Get(id);
         if (payload.ok()) {
-          (void)SendTo(worker, PutFileMsg{transfer.decl, std::move(*payload)});
+          (void)SendTo(worker, PutFileMsg{transfer.decl, std::move(*payload),
+                                          transfer.trace});
           transfers_.emplace(key, std::move(transfer));
           return;
         }
@@ -872,10 +924,9 @@ void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
   }
 
   replicas_.AddReplica(id, worker);
-  if (telemetry_->tracer.enabled())
-    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "file",
-                            "worker-" + std::to_string(worker),
-                            id.Prefix64(), transfer.started_s, Now());
+  telemetry_->tracer.EmitLinked(transfer.trace, telemetry::Phase::kTransfer,
+                                "file", "worker-" + std::to_string(worker),
+                                id.Prefix64(), transfer.started_s, Now());
   for (const Waiter& waiter : transfer.waiters) {
     if (waiter.is_instance) {
       auto inst_it = instances_.find(waiter.id);
@@ -940,6 +991,11 @@ void Manager::StartBroadcast(BroadcastCmd cmd) {
   state.plan = std::move(*plan);
   state.num_chunks = state.plan.num_chunks;
   state.pending.insert(state.order.begin(), state.order.end());
+  // Root span of the broadcast trace: every chunk (probes and recovery
+  // resends included) carries this context so relay spans link back here.
+  state.trace = telemetry_->tracer.StartTrace(
+      telemetry::Phase::kSubmit, "broadcast", "manager",
+      state.decl.id.Prefix64(), cmd.submitted_s, Now());
 
   // Materialize each root's relay subtree once; every chunk reuses it.
   auto build = [&](auto&& self, std::uint64_t index) -> ChunkRoute {
@@ -976,6 +1032,7 @@ void Manager::StartBroadcast(BroadcastCmd cmd) {
       msg.chunk_bytes = state.chunk_bytes;
       msg.children = root_children[r];
       msg.chunk = slice;
+      msg.trace = state.trace;
       (void)SendTo(state.order[static_cast<std::size_t>(state.plan.roots[r])],
                    msg);
     }
@@ -990,8 +1047,14 @@ void Manager::StartBroadcast(BroadcastCmd cmd) {
 void Manager::ResendBroadcastDirect(BroadcastState& state, WorkerId worker) {
   auto payload = manager_store_.Get(state.decl.id);
   if (!payload.ok()) return;
-  m_.manager_transfers->Add();
-  m_.manager_transfer_bytes->Add(state.decl.size);
+  // Recovery traffic is accounted separately: the broadcast's payload bytes
+  // were counted once at admission (StartBroadcast), and counting resends
+  // into manager_transfer_bytes would double-bill every retried subtree.
+  m_.broadcast_resends->Add();
+  m_.broadcast_resend_bytes->Add(state.decl.size);
+  telemetry_->flight.Record("bcast-resend", state.decl.name,
+                            state.trace.trace_id, state.decl.id.Prefix64(),
+                            worker);
   for (std::uint64_t k = 0; k < state.num_chunks; ++k) {
     PutChunkMsg msg;
     msg.decl = state.decl;
@@ -1000,6 +1063,7 @@ void Manager::ResendBroadcastDirect(BroadcastState& state, WorkerId worker) {
     msg.chunk_bytes = state.chunk_bytes;
     msg.chunk = payload->Slice(static_cast<std::size_t>(k * state.chunk_bytes),
                                static_cast<std::size_t>(state.chunk_bytes));
+    msg.trace = state.trace;
     if (!SendTo(worker, msg).ok()) return;  // died again; reaped next batch
   }
 }
@@ -1081,6 +1145,7 @@ void Manager::ProbeBroadcasts() {
       msg.chunk_bytes = state.chunk_bytes;
       msg.chunk =
           payload->Slice(0, static_cast<std::size_t>(state.chunk_bytes));
+      msg.trace = state.trace;
       (void)SendTo(worker, msg);
     }
   }
@@ -1091,10 +1156,10 @@ void Manager::FinishBroadcast(
   BroadcastState state = std::move(it->second);
   broadcasts_.erase(it);
   const double now = Now();
-  if (telemetry_->tracer.enabled())
-    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "broadcast",
-                            "manager", state.decl.id.Prefix64(),
-                            state.started_s, now);
+  telemetry_->tracer.EmitLinked(state.trace, telemetry::Phase::kTransfer,
+                                "broadcast", "manager",
+                                state.decl.id.Prefix64(), state.started_s,
+                                now);
   Outcome outcome;
   outcome.timing.transfer_s = now - state.started_s;
   state.future->Resolve(std::move(outcome));
@@ -1104,12 +1169,13 @@ void Manager::FinishBroadcast(
 void Manager::DispatchTask(RunningTask& running) {
   const double now = Now();
   running.transfer_wait_s = now - running.staged_at;
-  if (telemetry_->tracer.enabled())
-    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "task",
-                            "worker-" + std::to_string(running.worker),
-                            running.task.spec.id, running.staged_at, now);
+  running.task.trace = telemetry_->tracer.EmitLinked(
+      running.task.trace, telemetry::Phase::kTransfer, "task",
+      "worker-" + std::to_string(running.worker), running.task.spec.id,
+      running.staged_at, now);
   ExecuteTaskMsg msg;
   msg.task = running.task.spec;  // copy: a retry reuses the original
+  msg.trace = running.task.trace;
   for (const auto& decl : running.task.inline_decls) {
     auto payload = manager_store_.Get(decl.id);
     if (!payload.ok()) {
@@ -1126,7 +1192,10 @@ void Manager::DispatchInstall(InstanceInfo& instance) {
   auto lib_it = libraries_.find(instance.library);
   if (lib_it == libraries_.end()) return;
   instance.state = InstanceState::kInstalling;
-  InstallLibraryMsg msg{lib_it->second.spec, instance.id};
+  instance.trace = telemetry_->tracer.EmitLinked(
+      instance.trace, telemetry::Phase::kDispatch, "library",
+      "worker-" + std::to_string(instance.worker), instance.id, Now(), Now());
+  InstallLibraryMsg msg{lib_it->second.spec, instance.id, instance.trace};
   (void)SendTo(instance.worker, msg);
 }
 
@@ -1139,18 +1208,128 @@ void Manager::FeedInstance(InstanceInfo& instance) {
     PendingCall call = std::move(queue.front());
     queue.pop_front();
     ++instance.slots_in_use;
+    call.trace = telemetry_->tracer.EmitLinked(
+        call.trace, telemetry::Phase::kDispatch, "invocation", "manager",
+        call.id, call.queued_s, Now());
     RunInvocationMsg msg;
     msg.id = call.id;
     msg.instance_id = instance.id;
     msg.function_name = call.function;
     msg.args = call.args;
+    msg.trace = call.trace;
     const WorkerId worker = instance.worker;
-    if (telemetry_->tracer.enabled())
-      telemetry_->tracer.Emit(telemetry::Phase::kDispatch, "invocation",
-                              "manager", call.id, call.queued_s, Now());
     instance.running.emplace(call.id, std::move(call));
     if (!SendTo(worker, msg).ok()) return;  // reaped by ProcessDeadWorkers
   }
+}
+
+// ---------------------------------------------------------------------------
+// Live introspection.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double RollingP95(const std::deque<double>& window) {
+  if (window.empty()) return 0.0;
+  std::vector<double> sorted(window.begin(), window.end());
+  const auto rank = (sorted.size() - 1) * 95 / 100;
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(rank),
+                   sorted.end());
+  return sorted[rank];
+}
+
+}  // namespace
+
+void Manager::StartStatusQuery(StatusCmd cmd) {
+  // A new query preempts an unfinished one: resolve the old promise with
+  // whatever arrived so far rather than leaving its caller to time out.
+  if (status_query_.active) FinalizeStatusQuery();
+
+  status_query_ = StatusQuery{};
+  status_query_.promise = std::move(cmd.promise);
+  status_query_.active = true;
+
+  ClusterStatus& status = status_query_.status;
+  status.collected_s = Now();
+  status.task_queue_depth = task_queue_.size();
+  status.straggler_factor = config_.straggler_factor;
+  for (const auto& [name, info] : libraries_)
+    status.library_queues.push_back({name, info.queue.size()});
+  for (const auto& [id, state] : broadcasts_) {
+    BroadcastStatus b;
+    b.name = state.decl.name;
+    b.id = id;
+    b.num_chunks = state.num_chunks;
+    b.pending.assign(state.pending.begin(), state.pending.end());
+    status.broadcasts.push_back(std::move(b));
+  }
+
+  // Skeleton per worker with the manager-side latency view; the wire reply
+  // fills in the worker-side fields.
+  for (const auto& [id, state] : workers_) {
+    WorkerStatus w;
+    w.id = id;
+    w.p95_latency_s = RollingP95(state.invocation_latency_s);
+    w.latency_samples = state.invocation_latency_s.size();
+    status.workers.push_back(std::move(w));
+    status_query_.awaiting.insert(id);
+  }
+  for (auto it = status_query_.awaiting.begin();
+       it != status_query_.awaiting.end();) {
+    const WorkerId id = *it;
+    if (SendTo(id, StatusRequestMsg{}).ok()) {
+      ++it;
+    } else {
+      // Send failed: the worker is gone and will be reaped, but its reply
+      // will never come — don't block the query on it.
+      std::erase_if(status_query_.status.workers,
+                    [&](const WorkerStatus& w) { return w.id == id; });
+      it = status_query_.awaiting.erase(it);
+    }
+  }
+  if (status_query_.awaiting.empty()) FinalizeStatusQuery();
+}
+
+void Manager::HandleStatusReply(WorkerId worker, const StatusReplyMsg& msg) {
+  if (!status_query_.active) return;
+  if (status_query_.awaiting.erase(worker) == 0) return;  // stale reply
+  for (WorkerStatus& w : status_query_.status.workers) {
+    if (w.id != worker) continue;
+    w.inbox_depth = msg.inbox_depth;
+    w.tasks_executed = msg.tasks_executed;
+    w.cache = msg.cache;
+    w.assemblies = msg.assemblies;
+    w.libraries = msg.libraries;
+    break;
+  }
+  if (status_query_.awaiting.empty()) FinalizeStatusQuery();
+}
+
+void Manager::FinalizeStatusQuery() {
+  if (!status_query_.active) return;
+  ClusterStatus& status = status_query_.status;
+
+  // Straggler detection: a worker whose rolling p95 exceeds
+  // straggler_factor × the cluster median p95 (over workers with samples).
+  std::vector<double> p95s;
+  for (const WorkerStatus& w : status.workers)
+    if (w.latency_samples > 0) p95s.push_back(w.p95_latency_s);
+  if (!p95s.empty()) {
+    const auto mid = p95s.size() / 2;
+    std::nth_element(p95s.begin(),
+                     p95s.begin() + static_cast<std::ptrdiff_t>(mid),
+                     p95s.end());
+    status.cluster_median_p95_s = p95s[mid];
+    for (WorkerStatus& w : status.workers) {
+      w.straggler = w.latency_samples > 0 && status.cluster_median_p95_s > 0 &&
+                    w.p95_latency_s >
+                        status.straggler_factor * status.cluster_median_p95_s;
+    }
+  }
+
+  status_query_.promise->set_value(std::move(status));
+  status_query_ = StatusQuery{};
 }
 
 // ---------------------------------------------------------------------------
@@ -1182,6 +1361,16 @@ void Manager::OnWorkerDead(WorkerId worker) {
   VLOG_INFO("manager") << "worker " << worker << " left ("
                        << it->second.running_tasks.size() << " tasks, "
                        << it->second.instances.size() << " instances)";
+  telemetry_->flight.Record("worker-dead", "", 0, worker,
+                            it->second.running_tasks.size());
+  // A status query can't wait on a dead worker; drop its (never-arriving)
+  // entry and finalize if it was the last one outstanding.
+  if (status_query_.active && status_query_.awaiting.erase(worker) != 0) {
+    auto& entries = status_query_.status.workers;
+    std::erase_if(entries,
+                  [&](const WorkerStatus& w) { return w.id == worker; });
+    if (status_query_.awaiting.empty()) FinalizeStatusQuery();
+  }
 
   const std::set<TaskId> dead_tasks = std::move(it->second.running_tasks);
   const std::set<LibraryInstanceId> dead_instances =
@@ -1218,7 +1407,7 @@ void Manager::OnWorkerDead(WorkerId worker) {
     bool first = true;
     for (const Waiter& waiter : waiters) {
       if (first) {
-        StageFile(transfer.decl, key.dest, waiter);
+        StageFile(transfer.decl, key.dest, waiter, transfer.trace);
         first = false;
       } else {
         auto new_it = transfers_.find(key);

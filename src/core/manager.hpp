@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,7 @@
 
 #include "common/clock.hpp"
 #include "core/future.hpp"
+#include "core/introspect.hpp"
 #include "core/protocol.hpp"
 #include "hash/hash_ring.hpp"
 #include "net/network.hpp"
@@ -53,6 +55,9 @@ struct ManagerConfig {
   /// subtree recovery for a worker that crashed after its chunks were
   /// accepted by the transport but before it confirmed.
   double broadcast_probe_s = 0.5;
+  /// A worker is flagged as a straggler by QueryStatus when its rolling p95
+  /// invocation latency exceeds this multiple of the cluster median.
+  double straggler_factor = 3.0;
   const serde::FunctionRegistry* registry = nullptr;  // default: Global()
   /// Shared telemetry (metrics registry + span tracer).  Pass the same
   /// handle to FactoryConfig so manager and worker metrics/spans land
@@ -181,6 +186,12 @@ class Manager {
   /// Legacy aggregate view, assembled from the telemetry registry.
   ManagerMetrics metrics() const;
 
+  /// Collects a live ClusterStatus: manager-side queue depths and broadcast
+  /// progress plus one StatusReplyMsg per connected worker, with straggler
+  /// flags derived from rolling invocation latencies.  Blocks the calling
+  /// thread until every worker answered (or died) or `timeout_s` expired.
+  Result<ClusterStatus> QueryStatus(double timeout_s = 5.0);
+
   /// The telemetry sink this manager reports into (shared or owned).
   telemetry::Telemetry& telemetry() const { return *telemetry_; }
 
@@ -213,16 +224,24 @@ class Manager {
   struct DisconnectCmd {
     WorkerId worker = 0;
   };
-  using Command =
-      std::variant<InstallCmd, TaskCmd, CallCmd, BroadcastCmd, DisconnectCmd>;
+  /// Introspection request from an application thread (QueryStatus).
+  struct StatusCmd {
+    std::shared_ptr<std::promise<Result<ClusterStatus>>> promise;
+  };
+  using Command = std::variant<InstallCmd, TaskCmd, CallCmd, BroadcastCmd,
+                               DisconnectCmd, StatusCmd>;
 
   // ---- scheduler state (manager thread only) ----
   struct WorkerState {
     ResourceAllocator alloc;
     std::set<LibraryInstanceId> instances;
     std::set<TaskId> running_tasks;
+    /// Rolling window of invocation round-trip latencies (newest last,
+    /// capped at kLatencyWindow) feeding QueryStatus straggler detection.
+    std::deque<double> invocation_latency_s;
     explicit WorkerState(Resources total) : alloc(total) {}
   };
+  static constexpr std::size_t kLatencyWindow = 64;
 
   struct PendingTask {
     TaskSpec spec;  // inputs = cached decls only
@@ -231,6 +250,9 @@ class Manager {
     int attempts = 0;
     double submitted_s = 0;  // telemetry clock at SubmitTask
     double queued_s = 0;     // telemetry clock at (re)enqueue
+    /// Causal trace of this task; root span emitted at submit, advanced at
+    /// each dispatch so downstream worker spans chain off it.
+    telemetry::TraceContext trace;
   };
 
   struct RunningTask {
@@ -251,6 +273,7 @@ class Manager {
     int attempts = 0;
     double submitted_s = 0;
     double queued_s = 0;
+    telemetry::TraceContext trace;
   };
 
   struct LibraryInfo {
@@ -272,6 +295,9 @@ class Manager {
     std::map<InvocationId, PendingCall> running;
     std::uint64_t served = 0;
     std::uint64_t context_memory = 0;  // reported at LibraryReady
+    /// Trace of the call that triggered this deployment; library staging and
+    /// install spans chain off it.
+    telemetry::TraceContext trace;
   };
 
   struct TransferKey {
@@ -295,6 +321,9 @@ class Manager {
     /// TrySchedule.
     bool started = true;
     double started_s = 0;  // telemetry clock when the send went out
+    /// Trace of the first waiter; the transfer span and the worker-side
+    /// admission span chain off it.
+    telemetry::TraceContext trace;
   };
 
   /// One in-flight chunked broadcast (manager thread only).
@@ -310,6 +339,18 @@ class Manager {
     FuturePtr future;
     double started_s = 0;
     double last_probe_s = 0;
+    /// Root trace of the broadcast; every PutChunkMsg (including probes and
+    /// direct resends) carries it so relay spans link back here.
+    telemetry::TraceContext trace;
+  };
+
+  /// One in-flight QueryStatus (manager thread only).  A second query that
+  /// arrives while one is active resolves the first with partial data.
+  struct StatusQuery {
+    std::shared_ptr<std::promise<Result<ClusterStatus>>> promise;
+    ClusterStatus status;
+    std::set<WorkerId> awaiting;
+    bool active = false;
   };
 
   // ---- manager-thread methods ----
@@ -326,7 +367,7 @@ class Manager {
   /// Begins staging `decl` onto `worker` (or joins an in-flight transfer).
   /// Returns true if the file still needs to arrive (waiter recorded).
   bool StageFile(const storage::FileDecl& decl, WorkerId worker,
-                 Waiter waiter);
+                 Waiter waiter, telemetry::TraceContext trace);
   void CompleteTransfer(WorkerId worker, const hash::ContentId& id,
                         bool success, const std::string& error);
 
@@ -358,6 +399,11 @@ class Manager {
                    Result<Outcome> outcome);
   void RequeueCall(PendingCall call);
   void FinishOne();  // decrement outstanding + notify WaitAll
+
+  // ---- live introspection (manager thread) ----
+  void StartStatusQuery(StatusCmd cmd);
+  void HandleStatusReply(WorkerId worker, const StatusReplyMsg& msg);
+  void FinalizeStatusQuery();
 
   Status SendTo(WorkerId worker, const Message& message);
 
@@ -397,6 +443,10 @@ class Manager {
     telemetry::Counter* manager_transfers = nullptr;
     telemetry::Counter* peer_transfer_bytes = nullptr;
     telemetry::Counter* manager_transfer_bytes = nullptr;
+    // Broadcast recovery traffic, kept separate from the admission-time
+    // payload accounting so retries never double-count broadcast bytes.
+    telemetry::Counter* broadcast_resends = nullptr;
+    telemetry::Counter* broadcast_resend_bytes = nullptr;
     telemetry::Gauge* libraries_active = nullptr;
     telemetry::Gauge* retained_context_bytes = nullptr;
     telemetry::Gauge* setup_transfer_s = nullptr;
@@ -422,6 +472,7 @@ class Manager {
   std::map<hash::ContentId, BroadcastState> broadcasts_;
   std::set<WorkerId> pending_dead_;
   LibraryInstanceId next_instance_id_ = 1;
+  StatusQuery status_query_;
 };
 
 }  // namespace vinelet::core

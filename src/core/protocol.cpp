@@ -25,6 +25,8 @@ enum class Tag : std::uint8_t {
   kInvocationDone,
   kGoodbye,
   kPutChunk,
+  kStatusRequest,
+  kStatusReply,
 };
 
 /// Route trees are bounded by the worker count in practice; the decoder
@@ -142,6 +144,22 @@ Result<TimingBreakdown> ReadTiming(ArchiveReader& r) {
   return t;
 }
 
+void WriteTrace(ArchiveWriter& w, const telemetry::TraceContext& trace) {
+  w.WriteU64(trace.trace_id);
+  w.WriteU64(trace.parent_span_id);
+}
+
+Result<telemetry::TraceContext> ReadTrace(ArchiveReader& r) {
+  telemetry::TraceContext trace;
+  auto trace_id = r.ReadU64();
+  if (!trace_id.ok()) return trace_id.status();
+  trace.trace_id = *trace_id;
+  auto parent = r.ReadU64();
+  if (!parent.ok()) return parent.status();
+  trace.parent_span_id = *parent;
+  return trace;
+}
+
 void WriteBlob(ArchiveWriter& w, const Blob& blob) { w.WriteBytes(blob.span()); }
 
 Result<Blob> ReadBlob(ArchiveReader& r) { return r.ReadBlob(); }
@@ -211,6 +229,7 @@ struct Encoder {
   void operator()(const PutFileMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kPutFile));
     WriteFileDecl(w, m.decl);
+    WriteTrace(w, m.trace);
     WriteBulk(m.payload);
   }
   void operator()(const PutChunkMsg& m) {
@@ -220,12 +239,14 @@ struct Encoder {
     w.WriteU64(m.num_chunks);
     w.WriteU64(m.chunk_bytes);
     WriteRoutes(w, m.children);
+    WriteTrace(w, m.trace);
     WriteBulk(m.chunk);
   }
   void operator()(const PushFileMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kPushFile));
     WriteFileDecl(w, m.decl);
     w.WriteU64(m.dest);
+    WriteTrace(w, m.trace);
   }
   void operator()(const ExecuteTaskMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kExecuteTask));
@@ -239,6 +260,7 @@ struct Encoder {
       WriteBlob(w, payload);
     }
     WriteResources(w, m.task.resources);
+    WriteTrace(w, m.trace);
   }
   void operator()(const InstallLibraryMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kInstallLibrary));
@@ -252,6 +274,7 @@ struct Encoder {
     WriteResources(w, m.spec.resources);
     w.WriteU32(m.spec.slots);
     w.WriteU8(static_cast<std::uint8_t>(m.spec.exec_mode));
+    WriteTrace(w, m.trace);
   }
   void operator()(const RemoveLibraryMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kRemoveLibrary));
@@ -263,6 +286,7 @@ struct Encoder {
     w.WriteU64(m.instance_id);
     w.WriteString(m.function_name);
     WriteBlob(w, m.args);
+    WriteTrace(w, m.trace);
   }
   void operator()(const ShutdownMsg&) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kShutdown));
@@ -288,6 +312,7 @@ struct Encoder {
     WriteBlob(w, m.result);
     w.WriteString(m.error);
     WriteTiming(w, m.timing);
+    WriteTrace(w, m.trace);
   }
   void operator()(const LibraryReadyMsg& m) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kLibraryReady));
@@ -306,9 +331,36 @@ struct Encoder {
     WriteBlob(w, m.result);
     w.WriteString(m.error);
     WriteTiming(w, m.timing);
+    WriteTrace(w, m.trace);
   }
   void operator()(const GoodbyeMsg&) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kGoodbye));
+  }
+  void operator()(const StatusRequestMsg&) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kStatusRequest));
+  }
+  void operator()(const StatusReplyMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kStatusReply));
+    w.WriteU64(m.inbox_depth);
+    w.WriteU64(m.tasks_executed);
+    w.WriteU64(m.cache.size());
+    for (const auto& entry : m.cache) {
+      WriteContentId(w, entry.id);
+      w.WriteU64(entry.bytes);
+    }
+    w.WriteU64(m.assemblies.size());
+    for (const auto& assembly : m.assemblies) {
+      WriteContentId(w, assembly.id);
+      w.WriteU64(assembly.received);
+      w.WriteU64(assembly.total);
+    }
+    w.WriteU64(m.libraries.size());
+    for (const auto& slot : m.libraries) {
+      w.WriteU64(slot.instance_id);
+      w.WriteString(slot.library);
+      w.WriteU64(slot.invocations_served);
+      w.WriteU64(slot.queued);
+    }
   }
 };
 
@@ -319,6 +371,9 @@ Result<Message> DecodePutFile(ArchiveReader& r, const Blob* attachment) {
   auto decl = ReadFileDecl(r);
   if (!decl.ok()) return decl.status();
   m.decl = std::move(*decl);
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
   auto payload = ReadBulk(r, attachment);
   if (!payload.ok()) return payload.status();
   m.payload = std::move(*payload);
@@ -338,6 +393,9 @@ Result<Message> DecodePutChunk(ArchiveReader& r, const Blob* attachment) {
   auto children = ReadRoutes(r, 0);
   if (!children.ok()) return children.status();
   m.children = std::move(*children);
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
   auto chunk = ReadBulk(r, attachment);
   if (!chunk.ok()) return chunk.status();
   m.chunk = std::move(*chunk);
@@ -352,6 +410,9 @@ Result<Message> DecodePushFile(ArchiveReader& r) {
   auto dest = r.ReadU64();
   if (!dest.ok()) return dest.status();
   m.dest = *dest;
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
   return Message(std::move(m));
 }
 
@@ -383,6 +444,9 @@ Result<Message> DecodeExecuteTask(ArchiveReader& r) {
   auto res = ReadResources(r);
   if (!res.ok()) return res.status();
   m.task.resources = *res;
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
   return Message(std::move(m));
 }
 
@@ -422,6 +486,9 @@ Result<Message> DecodeInstallLibrary(ArchiveReader& r) {
   if (*mode > static_cast<std::uint8_t>(ExecMode::kFork))
     return DataLossError("bad exec mode");
   m.spec.exec_mode = static_cast<ExecMode>(*mode);
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
   return Message(std::move(m));
 }
 
@@ -439,6 +506,9 @@ Result<Message> DecodeRunInvocation(ArchiveReader& r) {
   auto args = ReadBlob(r);
   if (!args.ok()) return args.status();
   m.args = std::move(*args);
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
   return Message(std::move(m));
 }
 
@@ -459,6 +529,9 @@ Result<Message> DecodeTaskDone(ArchiveReader& r) {
   auto timing = ReadTiming(r);
   if (!timing.ok()) return timing.status();
   m.timing = *timing;
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
   return Message(std::move(m));
 }
 
@@ -479,6 +552,69 @@ Result<Message> DecodeInvocationDone(ArchiveReader& r) {
   auto timing = ReadTiming(r);
   if (!timing.ok()) return timing.status();
   m.timing = *timing;
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeStatusReply(ArchiveReader& r) {
+  StatusReplyMsg m;
+  auto inbox = r.ReadU64();
+  if (!inbox.ok()) return inbox.status();
+  m.inbox_depth = *inbox;
+  auto tasks = r.ReadU64();
+  if (!tasks.ok()) return tasks.status();
+  m.tasks_executed = *tasks;
+  auto cache_count = r.ReadU64();
+  if (!cache_count.ok()) return cache_count.status();
+  if (*cache_count > r.remaining())
+    return DataLossError("cache count exceeds payload");
+  for (std::uint64_t i = 0; i < *cache_count; ++i) {
+    CacheEntryStatus entry;
+    auto id = ReadContentId(r);
+    if (!id.ok()) return id.status();
+    entry.id = *id;
+    auto bytes = r.ReadU64();
+    if (!bytes.ok()) return bytes.status();
+    entry.bytes = *bytes;
+    m.cache.push_back(entry);
+  }
+  auto assembly_count = r.ReadU64();
+  if (!assembly_count.ok()) return assembly_count.status();
+  if (*assembly_count > r.remaining())
+    return DataLossError("assembly count exceeds payload");
+  for (std::uint64_t i = 0; i < *assembly_count; ++i) {
+    AssemblyStatus assembly;
+    auto id = ReadContentId(r);
+    if (!id.ok()) return id.status();
+    assembly.id = *id;
+    for (std::uint64_t* field : {&assembly.received, &assembly.total}) {
+      auto v = r.ReadU64();
+      if (!v.ok()) return v.status();
+      *field = *v;
+    }
+    m.assemblies.push_back(assembly);
+  }
+  auto library_count = r.ReadU64();
+  if (!library_count.ok()) return library_count.status();
+  if (*library_count > r.remaining())
+    return DataLossError("library count exceeds payload");
+  for (std::uint64_t i = 0; i < *library_count; ++i) {
+    LibrarySlotStatus slot;
+    auto instance = r.ReadU64();
+    if (!instance.ok()) return instance.status();
+    slot.instance_id = *instance;
+    auto name = r.ReadString();
+    if (!name.ok()) return name.status();
+    slot.library = std::move(*name);
+    for (std::uint64_t* field : {&slot.invocations_served, &slot.queued}) {
+      auto v = r.ReadU64();
+      if (!v.ok()) return v.status();
+      *field = *v;
+    }
+    m.libraries.push_back(std::move(slot));
+  }
   return Message(std::move(m));
 }
 
@@ -545,6 +681,10 @@ Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
       return DecodeInvocationDone(r);
     case Tag::kGoodbye:
       return Message(GoodbyeMsg{});
+    case Tag::kStatusRequest:
+      return Message(StatusRequestMsg{});
+    case Tag::kStatusReply:
+      return DecodeStatusReply(r);
   }
   return DataLossError("unknown message tag " + std::to_string(*tag));
 }

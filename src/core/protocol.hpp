@@ -19,6 +19,7 @@
 #include "core/types.hpp"
 #include "net/network.hpp"
 #include "storage/file_decl.hpp"
+#include "telemetry/span.hpp"
 
 namespace vinelet::core {
 
@@ -59,11 +60,20 @@ struct LibrarySpec {
 // ---------------------------------------------------------------------------
 // Manager → worker.
 // ---------------------------------------------------------------------------
+//
+// Causality: the data- and invocation-plane messages carry a
+// telemetry::TraceContext (two u64s on the wire) naming the trace they
+// belong to and the sender-side span that caused them, so the receiver's
+// spans link into the same end-to-end story.  Replies (TaskDone /
+// InvocationDone) carry the worker's exec-span context back, so the
+// manager's result span parents across the wire in both directions.  A
+// zero context is "untraced" and costs nothing downstream.
 
 /// Deliver a file's payload (manager-sourced or peer-pushed).
 struct PutFileMsg {
   storage::FileDecl decl;
   Blob payload;
+  telemetry::TraceContext trace;
 };
 
 /// Instruct the receiving worker (a holder of the file) to push it to a
@@ -71,6 +81,7 @@ struct PutFileMsg {
 struct PushFileMsg {
   storage::FileDecl decl;
   WorkerId dest = 0;
+  telemetry::TraceContext trace;
 };
 
 /// One subtree of a pipelined broadcast: the receiver forwards each chunk to
@@ -96,15 +107,20 @@ struct PutChunkMsg {
   std::uint64_t chunk_bytes = 0;    // nominal chunk size (last may be short)
   std::vector<ChunkRoute> children; // subtrees this receiver relays to
   Blob chunk;
+  /// Parent for this hop's receive span; relays re-stamp it with their own
+  /// receive span before forwarding, so the trace mirrors the tree.
+  telemetry::TraceContext trace;
 };
 
 struct ExecuteTaskMsg {
   TaskSpec task;
+  telemetry::TraceContext trace;
 };
 
 struct InstallLibraryMsg {
   LibrarySpec spec;
   LibraryInstanceId instance_id = 0;
+  telemetry::TraceContext trace;
 };
 
 struct RemoveLibraryMsg {
@@ -116,9 +132,14 @@ struct RunInvocationMsg {
   LibraryInstanceId instance_id = 0;
   std::string function_name;
   Blob args;  // serialized Value — all an invocation needs (Table 1)
+  telemetry::TraceContext trace;
 };
 
 struct ShutdownMsg {};
+
+/// Live-introspection probe (manager → worker): answer with a
+/// StatusReplyMsg snapshot.
+struct StatusRequestMsg {};
 
 // ---------------------------------------------------------------------------
 // Worker → manager.
@@ -144,6 +165,7 @@ struct TaskDoneMsg {
   Blob result;        // serialized Value on success
   std::string error;  // on failure
   TimingBreakdown timing;
+  telemetry::TraceContext trace;  // the worker's exec-span context
 };
 
 struct LibraryReadyMsg {
@@ -164,15 +186,47 @@ struct InvocationDoneMsg {
   Blob result;
   std::string error;
   TimingBreakdown timing;
+  telemetry::TraceContext trace;  // the worker's exec-span context
 };
 
 struct GoodbyeMsg {};
+
+/// One cached context on a worker, for the status reply.
+struct CacheEntryStatus {
+  hash::ContentId id;
+  std::uint64_t bytes = 0;
+};
+
+/// One in-progress chunked-broadcast reassembly on a worker.
+struct AssemblyStatus {
+  hash::ContentId id;
+  std::uint64_t received = 0;  // chunks landed
+  std::uint64_t total = 0;     // chunks expected
+};
+
+/// One resident library instance on a worker.
+struct LibrarySlotStatus {
+  LibraryInstanceId instance_id = 0;
+  std::string library;
+  std::uint64_t invocations_served = 0;
+  std::uint64_t queued = 0;  // submitted, not yet completed
+};
+
+/// Worker → manager answer to StatusRequestMsg: the worker's live state.
+struct StatusReplyMsg {
+  std::uint64_t inbox_depth = 0;     // frames waiting in the worker's inbox
+  std::uint64_t tasks_executed = 0;  // lifetime stateless-task count
+  std::vector<CacheEntryStatus> cache;
+  std::vector<AssemblyStatus> assemblies;
+  std::vector<LibrarySlotStatus> libraries;
+};
 
 using Message =
     std::variant<PutFileMsg, PushFileMsg, ExecuteTaskMsg, InstallLibraryMsg,
                  RemoveLibraryMsg, RunInvocationMsg, ShutdownMsg, HelloMsg,
                  FileReadyMsg, FileFailedMsg, TaskDoneMsg, LibraryReadyMsg,
-                 LibraryRemovedMsg, InvocationDoneMsg, GoodbyeMsg, PutChunkMsg>;
+                 LibraryRemovedMsg, InvocationDoneMsg, GoodbyeMsg, PutChunkMsg,
+                 StatusRequestMsg, StatusReplyMsg>;
 
 /// Serializes a message to a single self-contained blob (bulk payloads
 /// inline).  Kept for tests and for contexts without a Frame.

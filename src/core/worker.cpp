@@ -63,6 +63,12 @@ void Worker::Stop() {
 
 void Worker::Kill() {
   if (stopping_.exchange(true)) return;
+  // Post-mortem journal: the flight recorder's recent events are the only
+  // record of what this worker was doing when it "crashed".
+  telemetry_->flight.Record("kill", "", 0, config_.id,
+                            tasks_executed_.load(std::memory_order_relaxed));
+  telemetry_->flight.DumpOnEnv("worker-" + std::to_string(config_.id) +
+                               "-kill");
   network_->Unregister(config_.id);  // vanish: inbox closes, no Goodbye
   if (thread_.joinable()) thread_.join();
   {
@@ -112,6 +118,8 @@ void Worker::Handle(net::Frame frame) {
           HandleRemoveLibrary(msg);
         } else if constexpr (std::is_same_v<T, RunInvocationMsg>) {
           HandleRunInvocation(std::move(msg));
+        } else if constexpr (std::is_same_v<T, StatusRequestMsg>) {
+          HandleStatusRequest();
         } else if constexpr (std::is_same_v<T, ShutdownMsg>) {
           // Manager-initiated teardown; Run() exits when the inbox closes.
           network_->Unregister(config_.id);
@@ -123,14 +131,25 @@ void Worker::Handle(net::Frame frame) {
 }
 
 void Worker::HandlePutFile(PutFileMsg msg) {
+  const double arrived_s = telemetry_->tracer.Now();
   // Verified store: a corrupted transfer surfaces as FileFailed, and the
   // manager re-sources the file (possibly from a different peer).
   Status status = store_.Put(msg.decl.id, std::move(msg.payload));
+  // Admission span (hash-verify + cache insert), chained off the sender's
+  // transfer context.
+  telemetry_->tracer.EmitLinked(msg.trace, telemetry::Phase::kTransfer,
+                                "admission", track_, msg.decl.id.Prefix64(),
+                                arrived_s, telemetry_->tracer.Now());
   if (status.ok()) {
     m_.files_received->Add();
     m_.bytes_received->Add(msg.decl.size);
     SendToManager(FileReadyMsg{msg.decl.id, msg.decl.size});
   } else {
+    telemetry_->flight.Record("file-failed", status.ToString(),
+                              msg.trace.trace_id, msg.decl.id.Prefix64(),
+                              config_.id);
+    telemetry_->flight.DumpOnEnv("worker-" + std::to_string(config_.id) +
+                                 "-filefail");
     SendToManager(FileFailedMsg{msg.decl.id, status.ToString()});
   }
 }
@@ -144,8 +163,10 @@ void Worker::HandlePushFile(const PushFileMsg& msg) {
     return;
   }
   // The blob travels as the frame attachment: this hop moves a refcounted
-  // pointer, not the payload bytes.
-  WireFrame wire = EncodeFrame(PutFileMsg{msg.decl, std::move(*blob)});
+  // pointer, not the payload bytes.  The trace rides along so the
+  // destination's admission span still links to the original transfer.
+  WireFrame wire = EncodeFrame(PutFileMsg{msg.decl, std::move(*blob),
+                                          msg.trace});
   Status sent = network_->Send(config_.id, msg.dest, std::move(wire.payload),
                                std::move(wire.attachment));
   if (sent.ok()) {
@@ -161,6 +182,12 @@ void Worker::HandlePushFile(const PushFileMsg& msg) {
 
 void Worker::HandlePutChunk(PutChunkMsg msg) {
   const double arrived_s = telemetry_->tracer.Now();
+  // This hop's receive span is pre-allocated so forwarded chunks can name it
+  // as their parent before it is emitted — the trace mirrors the relay tree.
+  const bool traced = telemetry_->tracer.enabled() && msg.trace.valid();
+  telemetry::TraceContext hop_ctx = msg.trace;
+  if (traced)
+    hop_ctx = {msg.trace.trace_id, telemetry::SpanTracer::AllocateId()};
   // Cut-through relay first, before any local work: forward chunk k to every
   // subtree the route assigns us.  The chunk Blob is a refcounted view, so
   // each relay hop forwards the exact bytes it received — no copy (asserted
@@ -173,6 +200,7 @@ void Worker::HandlePutChunk(PutChunkMsg msg) {
     forward.chunk_bytes = msg.chunk_bytes;
     forward.children = child.children;
     forward.chunk = msg.chunk;  // shared payload
+    forward.trace = hop_ctx;
     WireFrame wire = EncodeFrame(forward);
     Status sent = network_->Send(config_.id, child.dest,
                                  std::move(wire.payload),
@@ -186,6 +214,24 @@ void Worker::HandlePutChunk(PutChunkMsg msg) {
       VLOG_WARN("worker") << config_.id << " chunk relay to " << child.dest
                           << " failed: " << sent.ToString();
     }
+  }
+  // Emit the receive span before any dedupe early-return: children already
+  // reference its id, and an orphan parent would break trace validation.
+  if (telemetry_->tracer.enabled()) {
+    telemetry::SpanRecord record;
+    record.name =
+        std::string(telemetry::PhaseName(telemetry::Phase::kTransfer));
+    record.category = "chunk";
+    record.track = track_;
+    record.id = msg.decl.id.Prefix64() ^ msg.chunk_index;
+    record.start_s = arrived_s;
+    record.end_s = telemetry_->tracer.Now();
+    if (traced) {
+      record.trace_id = msg.trace.trace_id;
+      record.span_id = hop_ctx.parent_span_id;
+      record.parent_span_id = msg.trace.parent_span_id;
+    }
+    telemetry_->tracer.Emit(std::move(record));
   }
 
   if (msg.num_chunks == 0 || msg.chunk_index >= msg.num_chunks) return;
@@ -209,10 +255,6 @@ void Worker::HandlePutChunk(PutChunkMsg msg) {
   assembly.chunks[index] = std::move(msg.chunk);
   ++assembly.received;
   m_.chunks_received->Add();
-  if (telemetry_->tracer.enabled())
-    telemetry_->tracer.Emit(telemetry::Phase::kTransfer, "chunk", track_,
-                            msg.decl.id.Prefix64() ^ msg.chunk_index,
-                            arrived_s, telemetry_->tracer.Now());
 
   if (assembly.received < assembly.chunks.size()) return;
 
@@ -230,6 +272,11 @@ void Worker::HandlePutChunk(PutChunkMsg msg) {
     m_.bytes_received->Add(decl.size);
     SendToManager(FileReadyMsg{decl.id, decl.size});
   } else {
+    telemetry_->flight.Record("assembly-failed", status.ToString(),
+                              msg.trace.trace_id, decl.id.Prefix64(),
+                              config_.id);
+    telemetry_->flight.DumpOnEnv("worker-" + std::to_string(config_.id) +
+                                 "-filefail");
     SendToManager(FileFailedMsg{decl.id, status.ToString()});
   }
 }
@@ -237,7 +284,7 @@ void Worker::HandlePutChunk(PutChunkMsg msg) {
 void Worker::HandleExecuteTask(ExecuteTaskMsg msg, double decode_s) {
   std::lock_guard<std::mutex> lock(tasks_mu_);
   task_threads_.emplace_back([this, msg = std::move(msg), decode_s]() mutable {
-    TaskDoneMsg done = ExecuteTask(msg.task, decode_s);
+    TaskDoneMsg done = ExecuteTask(msg.task, decode_s, msg.trace);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     SendToManager(done);
   });
@@ -249,9 +296,11 @@ void Worker::HandleExecuteTask(ExecuteTaskMsg msg, double decode_s) {
   }
 }
 
-TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s) {
+TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s,
+                                telemetry::TraceContext trace) {
   TaskDoneMsg done;
   done.id = task.id;
+  done.trace = trace;  // ride the trace back even if this side is untraced
   done.timing.transfer_s = decode_s;
   const double phase_start_s = telemetry_->tracer.Now();
 
@@ -366,16 +415,20 @@ TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s) {
   done.result = result->ToBlob();
   m_.task_exec_s->Observe(done.timing.exec_s);
   if (telemetry_->tracer.enabled()) {
+    // unpack -> deserialize -> exec chain off the manager's staging span;
+    // the exec context rides back on TaskDone for the result span.
     auto& tracer = telemetry_->tracer;
     double t = phase_start_s;
-    tracer.Emit(telemetry::Phase::kUnpack, "task", track_, task.id, t,
-                t + done.timing.worker_s);
+    telemetry::TraceContext ctx = trace;
+    ctx = tracer.EmitLinked(ctx, telemetry::Phase::kUnpack, "task", track_,
+                            task.id, t, t + done.timing.worker_s);
     t += done.timing.worker_s;
-    tracer.Emit(telemetry::Phase::kDeserialize, "task", track_, task.id, t,
-                t + done.timing.context_s);
+    ctx = tracer.EmitLinked(ctx, telemetry::Phase::kDeserialize, "task",
+                            track_, task.id, t, t + done.timing.context_s);
     t += done.timing.context_s;
-    tracer.Emit(telemetry::Phase::kExec, "task", track_, task.id, t,
-                t + done.timing.exec_s);
+    ctx = tracer.EmitLinked(ctx, telemetry::Phase::kExec, "task", track_,
+                            task.id, t, t + done.timing.exec_s);
+    done.trace = ctx;
   }
   return done;
 }
@@ -415,6 +468,7 @@ void Worker::HandleInstallLibrary(InstallLibraryMsg msg, double decode_s) {
   auto library = std::make_unique<LibraryRuntime>(
       std::move(msg.spec), msg.instance_id, &store_, &unpacked_, registry_,
       std::move(callbacks), telemetry_);
+  library->SetSetupTrace(msg.trace);
   LibraryRuntime* raw = library.get();
   {
     std::lock_guard<std::mutex> lock(libraries_mu_);
@@ -452,6 +506,27 @@ void Worker::HandleRunInvocation(RunInvocationMsg msg) {
     done.error = "library instance not present on worker";
     SendToManager(std::move(done));
   }
+}
+
+void Worker::HandleStatusRequest() {
+  // Snapshot assembled on the inbox thread, which owns assemblies_; the
+  // cache and library maps have their own locks.
+  StatusReplyMsg reply;
+  reply.inbox_depth = inbox_->size();
+  reply.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  for (const auto& entry : store_.List())
+    reply.cache.push_back({entry.id, entry.bytes});
+  for (const auto& [id, assembly] : assemblies_)
+    reply.assemblies.push_back(
+        {id, assembly.received, assembly.chunks.size()});
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    for (const auto& [id, library] : libraries_)
+      reply.libraries.push_back({id, library->spec().name,
+                                 library->invocations_served(),
+                                 library->queued()});
+  }
+  SendToManager(reply);
 }
 
 void Worker::SendToManager(const Message& message) {

@@ -74,9 +74,13 @@ class Worker {
   void HandleInstallLibrary(InstallLibraryMsg msg, double decode_s);
   void HandleRemoveLibrary(const RemoveLibraryMsg& msg);
   void HandleRunInvocation(RunInvocationMsg msg);
+  void HandleStatusRequest();
 
-  /// Runs a stateless task; executes on a task thread.
-  TaskDoneMsg ExecuteTask(const TaskSpec& task, double decode_s);
+  /// Runs a stateless task; executes on a task thread.  `trace` is the
+  /// manager's staging-span context; the exec span context rides back on
+  /// the TaskDoneMsg.
+  TaskDoneMsg ExecuteTask(const TaskSpec& task, double decode_s,
+                          telemetry::TraceContext trace);
 
   void SendToManager(const Message& message);
   void ReapTaskThreads(bool all);

@@ -58,12 +58,32 @@ int VineSim::LevelNumber(core::ReuseLevel level) {
   return 0;
 }
 
-void VineSim::Span(telemetry::Phase phase, std::string_view category,
-                   std::string track, std::uint64_t id, double start_s,
-                   double end_s) {
+telemetry::TraceContext VineSim::TraceSpan(telemetry::TraceContext parent,
+                                           telemetry::Phase phase,
+                                           std::string_view category,
+                                           std::string track, std::uint64_t id,
+                                           double start_s, double end_s) {
+  if (config_.telemetry == nullptr || !config_.telemetry->tracer.enabled())
+    return parent;
+  return config_.telemetry->tracer.EmitLinked(parent, phase, category, track,
+                                              id, start_s, end_s);
+}
+
+void VineSim::TraceSubmit(std::size_t invocation, double popped_s) {
   if (config_.telemetry == nullptr || !config_.telemetry->tracer.enabled())
     return;
-  config_.telemetry->tracer.Emit(phase, category, track, id, start_s, end_s);
+  auto& tracer = config_.telemetry->tracer;
+  if (!trace_ctx_[invocation].valid()) {
+    trace_ctx_[invocation] = tracer.StartTrace(
+        telemetry::Phase::kSubmit, "invocation", "manager", invocation,
+        queued_at_[invocation], popped_s);
+  } else {
+    // Re-submission after a requeue: the retry's spans join the original
+    // trace, so one trace_id tells the whole story including lost attempts.
+    trace_ctx_[invocation] = tracer.EmitLinked(
+        trace_ctx_[invocation], telemetry::Phase::kSubmit, "invocation",
+        "manager", invocation, queued_at_[invocation], popped_s);
+  }
 }
 
 void VineSim::AccumEnvWait(std::size_t invocation, const SimWorker& worker,
@@ -83,6 +103,7 @@ SimResult VineSim::Run() {
   result_.run_times.reserve(invocations_.size());
   phases_.assign(invocations_.size(), PhaseAccum{});
   queued_at_.assign(invocations_.size(), 0.0);
+  trace_ctx_.assign(invocations_.size(), telemetry::TraceContext{});
   if (config_.track_trace) {
     dispatch_times_.assign(invocations_.size(), 0.0);
     result_.trace.reserve(invocations_.size());
@@ -123,14 +144,14 @@ void VineSim::PumpDispatch() {
 
     if (config_.track_trace) dispatch_times_[invocation] = sim_.Now();
     const double popped_s = sim_.Now();
-    Span(telemetry::Phase::kSubmit, "invocation", "manager", invocation,
-         queued_at_[invocation], popped_s);
+    TraceSubmit(invocation, popped_s);
     const WorkloadCosts& costs = *invocations_[invocation].costs;
     const double dispatch_s = costs.ManagerFor(config_.level).dispatch_s;
     manager_->Enqueue(dispatch_s,
                       [this, chosen, generation, invocation, popped_s] {
-      Span(telemetry::Phase::kDispatch, "invocation", "manager", invocation,
-           popped_s, sim_.Now());
+      trace_ctx_[invocation] =
+          TraceSpan(trace_ctx_[invocation], telemetry::Phase::kDispatch,
+                    "invocation", "manager", invocation, popped_s, sim_.Now());
       StartOnWorker(chosen, generation, invocation);
     });
   }
@@ -222,9 +243,10 @@ void VineSim::RunL1(SimWorker& worker, std::size_t invocation,
               }
               SimWorker& w = workers_[worker_index];
               const double fetched_s = sim_.Now();
-              Span(telemetry::Phase::kTransfer, "invocation",
-                   "worker-" + std::to_string(worker_index), invocation,
-                   started, fetched_s);
+              trace_ctx_[invocation] = TraceSpan(
+                  trace_ctx_[invocation], telemetry::Phase::kTransfer,
+                  "invocation", "worker-" + std::to_string(worker_index),
+                  invocation, started, fetched_s);
               if (config_.track_trace)
                 phases_[invocation].transfer_s += fetched_s - started;
               // CPU phase: rebuild the in-memory context, then execute;
@@ -244,11 +266,15 @@ void VineSim::RunL1(SimWorker& worker, std::size_t invocation,
                            const double end = sim_.Now();
                            const std::string track =
                                "worker-" + std::to_string(worker_index);
-                           Span(telemetry::Phase::kDeserialize, "invocation",
-                                track, invocation, end - ctx_d - exec_d,
-                                end - exec_d);
-                           Span(telemetry::Phase::kExec, "invocation", track,
-                                invocation, end - exec_d, end);
+                           trace_ctx_[invocation] = TraceSpan(
+                               trace_ctx_[invocation],
+                               telemetry::Phase::kDeserialize, "invocation",
+                               track, invocation, end - ctx_d - exec_d,
+                               end - exec_d);
+                           trace_ctx_[invocation] = TraceSpan(
+                               trace_ctx_[invocation], telemetry::Phase::kExec,
+                               "invocation", track, invocation, end - exec_d,
+                               end);
                            if (config_.track_trace) {
                              phases_[invocation].setup_s += ctx_d;
                              phases_[invocation].exec_s += exec_d;
@@ -271,9 +297,9 @@ void VineSim::RunL2(SimWorker& worker, std::size_t invocation,
   const std::uint64_t generation = worker.generation;
   const WorkloadCosts& costs = *invocations_[invocation].costs;
   const double exec_scale = invocations_[invocation].exec_scale;
-  EnsureEnv(worker_index, generation, [this, worker_index, generation,
-                                       invocation, started, &costs,
-                                       exec_scale] {
+  EnsureEnv(worker_index, generation, trace_ctx_[invocation],
+            [this, worker_index, generation, invocation, started, &costs,
+             exec_scale] {
     if (!WorkerValid(worker_index, generation)) {
       Requeue(invocation);
       return;
@@ -291,8 +317,9 @@ void VineSim::RunL2(SimWorker& worker, std::size_t invocation,
           SimWorker& w = workers_[worker_index];
           const double disk_end = sim_.Now();
           const std::string track = "worker-" + std::to_string(worker_index);
-          Span(telemetry::Phase::kUnpack, "invocation", track, invocation,
-               disk_begin, disk_end);
+          trace_ctx_[invocation] =
+              TraceSpan(trace_ctx_[invocation], telemetry::Phase::kUnpack,
+                        "invocation", track, invocation, disk_begin, disk_end);
           if (config_.track_trace)
             phases_[invocation].unpack_s += disk_end - disk_begin;
           const double ctx_cpu =
@@ -308,11 +335,15 @@ void VineSim::RunL2(SimWorker& worker, std::size_t invocation,
                     ctx_d, exec_d, track] {
                      if (WorkerValid(worker_index, generation)) {
                        const double end = sim_.Now();
-                       Span(telemetry::Phase::kDeserialize, "invocation",
-                            track, invocation, end - ctx_d - exec_d,
-                            end - exec_d);
-                       Span(telemetry::Phase::kExec, "invocation", track,
-                            invocation, end - exec_d, end);
+                       trace_ctx_[invocation] = TraceSpan(
+                           trace_ctx_[invocation],
+                           telemetry::Phase::kDeserialize, "invocation",
+                           track, invocation, end - ctx_d - exec_d,
+                           end - exec_d);
+                       trace_ctx_[invocation] = TraceSpan(
+                           trace_ctx_[invocation], telemetry::Phase::kExec,
+                           "invocation", track, invocation, end - exec_d,
+                           end);
                        if (config_.track_trace) {
                          phases_[invocation].setup_s += ctx_d;
                          phases_[invocation].exec_s += exec_d;
@@ -363,8 +394,9 @@ void VineSim::ServeL3(std::size_t worker_index, std::uint64_t generation,
     // Room for another instance: stage the env, run the setup, then this
     // invocation takes the first of its slots.
     ++w.deploying;
-    EnsureEnv(worker_index, generation, [this, worker_index, generation,
-                                         invocation, started, k, &costs] {
+    EnsureEnv(worker_index, generation, trace_ctx_[invocation],
+              [this, worker_index, generation, invocation, started, k,
+               &costs] {
       if (!WorkerValid(worker_index, generation)) {
         Requeue(invocation);
         return;
@@ -381,9 +413,10 @@ void VineSim::ServeL3(std::size_t worker_index, std::uint64_t generation,
               Requeue(invocation);
               return;
             }
-            Span(telemetry::Phase::kContextSetup, "library",
-                 "worker-" + std::to_string(worker_index), invocation,
-                 sim_.Now() - setup_d, sim_.Now());
+            trace_ctx_[invocation] = TraceSpan(
+                trace_ctx_[invocation], telemetry::Phase::kContextSetup,
+                "library", "worker-" + std::to_string(worker_index),
+                invocation, sim_.Now() - setup_d, sim_.Now());
             if (config_.track_trace)
               phases_[invocation].setup_s += setup_d;
             SimWorker& w3 = workers_[worker_index];
@@ -429,10 +462,13 @@ void VineSim::RunL3Invocation(std::size_t worker_index,
                const double end = sim_.Now();
                const std::string track =
                    "worker-" + std::to_string(worker_index);
-               Span(telemetry::Phase::kDeserialize, "invocation", track,
-                    invocation, end - over_d - exec_d, end - exec_d);
-               Span(telemetry::Phase::kExec, "invocation", track, invocation,
-                    end - exec_d, end);
+               trace_ctx_[invocation] = TraceSpan(
+                   trace_ctx_[invocation], telemetry::Phase::kDeserialize,
+                   "invocation", track, invocation, end - over_d - exec_d,
+                   end - exec_d);
+               trace_ctx_[invocation] = TraceSpan(
+                   trace_ctx_[invocation], telemetry::Phase::kExec,
+                   "invocation", track, invocation, end - exec_d, end);
                if (config_.track_trace) {
                  phases_[invocation].setup_s += over_d;
                  phases_[invocation].exec_s += exec_d;
@@ -452,6 +488,7 @@ void VineSim::RunL3Invocation(std::size_t worker_index,
 // ---------------------------------------------------------------------------
 
 void VineSim::EnsureEnv(std::size_t worker_index, std::uint64_t generation,
+                        telemetry::TraceContext trace,
                         std::function<void()> ready) {
   if (!WorkerValid(worker_index, generation)) return;
   SimWorker& worker = workers_[worker_index];
@@ -462,6 +499,7 @@ void VineSim::EnsureEnv(std::size_t worker_index, std::uint64_t generation,
   worker.env_waiters.push_back(std::move(ready));
   if (worker.env == SimWorker::Env::kTransferring) return;
   worker.env = SimWorker::Env::kTransferring;
+  worker.env_trace = trace;  // first requester parents the env spans
   worker.env_transfer_started_s = sim_.Now();
   RequestEnvTransfer(worker_index);
 }
@@ -558,8 +596,10 @@ void VineSim::OnEnvTransferDone(std::size_t worker_index,
   result_.env_last_transfer_done_s =
       std::max(result_.env_last_transfer_done_s, worker.env_transfer_done_s);
   const std::string track = "worker-" + std::to_string(worker_index);
-  Span(telemetry::Phase::kTransfer, "file", track, worker_index,
-       worker.env_transfer_started_s, worker.env_transfer_done_s);
+  worker.env_trace = TraceSpan(worker.env_trace, telemetry::Phase::kTransfer,
+                               "file", track, worker_index,
+                               worker.env_transfer_started_s,
+                               worker.env_transfer_done_s);
   const WorkloadCosts& costs = *invocations_.front().costs;
   const double unpack_begin = sim_.Now();
   CpuPhase(worker, costs.unpack_cpu_s,
@@ -568,8 +608,9 @@ void VineSim::OnEnvTransferDone(std::size_t worker_index,
              SimWorker& w = workers_[worker_index];
              w.env = SimWorker::Env::kReady;
              w.env_ready_s = sim_.Now();
-             Span(telemetry::Phase::kUnpack, "file", track, worker_index,
-                  unpack_begin, w.env_ready_s);
+             w.env_trace = TraceSpan(w.env_trace, telemetry::Phase::kUnpack,
+                                     "file", track, worker_index,
+                                     unpack_begin, w.env_ready_s);
              auto waiters = std::move(w.env_waiters);
              w.env_waiters.clear();
              for (auto& fn : waiters) fn();
@@ -636,8 +677,10 @@ void VineSim::CompleteOnWorker(std::size_t worker_index,
   const double retrieve_queued_s = sim_.Now();
   manager_->Enqueue(retrieve_s, [this, run_time, invocation,
                                  retrieve_queued_s] {
-    Span(telemetry::Phase::kResult, "invocation", "manager", invocation,
-         retrieve_queued_s, sim_.Now());
+    trace_ctx_[invocation] =
+        TraceSpan(trace_ctx_[invocation], telemetry::Phase::kResult,
+                  "invocation", "manager", invocation, retrieve_queued_s,
+                  sim_.Now());
     ++result_.invocations_completed;
     result_.run_time.Add(run_time);
     result_.run_times.push_back(run_time);

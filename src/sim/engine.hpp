@@ -141,6 +141,10 @@ class VineSim {
     double env_transfer_started_s = 0;
     double env_transfer_done_s = 0;
     double env_ready_s = 0;
+    /// Causal context of this worker's env distribution: seeded from the
+    /// invocation that triggered the transfer, advanced through the
+    /// transfer and unpack spans.
+    telemetry::TraceContext env_trace;
     std::unique_ptr<FairShareResource> disk;
     std::uint32_t libraries = 0;           // deployed instances (L3)
     std::uint32_t deploying = 0;           // instances mid-setup
@@ -164,8 +168,10 @@ class VineSim {
   void DrainLibraryWaiters(SimWorker& worker);
 
   // --- environment distribution (spanning tree, §3.3) ---
+  /// `trace` is the requesting invocation's context; if this call starts
+  /// the transfer, the env spans chain off it (first requester wins).
   void EnsureEnv(std::size_t worker_index, std::uint64_t generation,
-                 std::function<void()> ready);
+                 telemetry::TraceContext trace, std::function<void()> ready);
   void RequestEnvTransfer(std::size_t worker_index);
   /// `source_done_s`: predicted completion of the serving replica's own
   /// inbound transfer (≤ now for whole-blob slots; in the future for
@@ -184,9 +190,19 @@ class VineSim {
     return config_.env_chunk_bytes > 0 && config_.peer_transfers;
   }
 
-  /// Emits a span with explicit virtual timestamps when tracing is on.
-  void Span(telemetry::Phase phase, std::string_view category,
-            std::string track, std::uint64_t id, double start_s, double end_s);
+  /// Emits a span with explicit virtual timestamps as a child of `parent`
+  /// and returns the new span's context (`parent` unchanged when tracing is
+  /// off) — the simulator's analogue of the runtime's per-hop EmitLinked
+  /// stitching, so both backends produce the same causal schema.
+  telemetry::TraceContext TraceSpan(telemetry::TraceContext parent,
+                                    telemetry::Phase phase,
+                                    std::string_view category,
+                                    std::string track, std::uint64_t id,
+                                    double start_s, double end_s);
+  /// Starts invocation `invocation`'s trace with its submit span — or,
+  /// after a requeue, extends the existing trace so every attempt shares
+  /// one trace_id.
+  void TraceSubmit(std::size_t invocation, double popped_s);
   /// Adds the part of [wait_from, now] spent in `worker`'s env transfer and
   /// unpack windows to invocation `invocation`'s phase accumulators.
   void AccumEnvWait(std::size_t invocation, const SimWorker& worker,
@@ -239,6 +255,9 @@ class VineSim {
   };
   std::vector<PhaseAccum> phases_;
   std::vector<double> queued_at_;  // per invocation, last (re)submit time
+  /// Per-invocation causal context, advanced at every lifecycle span; one
+  /// trace_id per invocation from submit through result, requeues included.
+  std::vector<telemetry::TraceContext> trace_ctx_;
   SimResult result_;
 };
 

@@ -79,6 +79,15 @@ CacheStats ContentStore::stats() const {
   return index_.stats();
 }
 
+std::vector<ContentStore::Entry> ContentStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(payloads_.size());
+  for (const auto& [id, blob] : payloads_)
+    out.push_back(Entry{id, blob.size()});
+  return out;
+}
+
 void ContentStore::BindMetrics(telemetry::MetricsRegistry* registry,
                                const std::string& prefix) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -8,6 +8,7 @@
 
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -43,6 +44,15 @@ class ContentStore {
   std::uint64_t used_bytes() const;
   std::uint64_t capacity_bytes() const;
   CacheStats stats() const;
+
+  /// One cached entry, for introspection listings.
+  struct Entry {
+    hash::ContentId id;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Snapshot of the cache contents (unordered), without touching recency.
+  std::vector<Entry> List() const;
 
   /// Mirrors cache activity into `registry` as `<prefix>.hits`,
   /// `<prefix>.misses`, `<prefix>.evictions`, `<prefix>.inserted_bytes` and

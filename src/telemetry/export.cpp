@@ -71,6 +71,22 @@ std::string ToChromeTrace(const std::vector<SpanRecord>& spans,
     for (auto& [_, tid] : track_ids) tid = next++;
   }
 
+  // Causal links.  A flow arrow is drawn only when both ends are in this
+  // export; the flow-start record rides adjacent to the parent's X event
+  // (same ts) and the flow-end adjacent to the child's, so per-track
+  // timestamps stay monotone (causality gives parent.start <= child.start).
+  std::map<std::uint64_t, std::size_t> span_index;  // span_id -> order index
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i]->span_id != 0) span_index.emplace(order[i]->span_id, i);
+  }
+  std::map<std::size_t, std::vector<std::uint64_t>> outgoing;  // parent idx
+  for (const SpanRecord* span : order) {
+    if (span->parent_span_id == 0 || span->span_id == 0) continue;
+    auto it = span_index.find(span->parent_span_id);
+    if (it == span_index.end()) continue;  // parent span not exported
+    outgoing[it->second].push_back(span->span_id);
+  }
+
   std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"" +
@@ -80,16 +96,39 @@ std::string ToChromeTrace(const std::vector<SpanRecord>& spans,
            std::to_string(tid) + ",\"args\":{\"name\":\"" + JsonEscape(track) +
            "\"}}";
   }
-  for (const SpanRecord* span : order) {
-    const double ts_us = span->start_s * 1e6;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const SpanRecord* span = order[i];
+    const std::string tid = std::to_string(track_ids[span->track]);
+    const std::string ts = FormatNumber(span->start_s * 1e6);
     const double dur_us = std::max(0.0, span->Duration()) * 1e6;
+    // Inbound flow end (the arrow head), if the parent is exported too.
+    if (span->parent_span_id != 0 && span->span_id != 0 &&
+        span_index.count(span->parent_span_id) != 0) {
+      out += ",\n{\"name\":\"trace\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":"
+             "\"e\",\"id\":" +
+             std::to_string(span->span_id) + ",\"pid\":1,\"tid\":" + tid +
+             ",\"ts\":" + ts + "}";
+    }
     out += ",\n{\"name\":\"" + JsonEscape(span->name) + "\",\"cat\":\"" +
            JsonEscape(span->category.empty() ? "span" : span->category) +
-           "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
-           std::to_string(track_ids[span->track]) +
-           ",\"ts\":" + FormatNumber(ts_us) +
+           "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + tid + ",\"ts\":" + ts +
            ",\"dur\":" + FormatNumber(dur_us) +
-           ",\"args\":{\"id\":" + std::to_string(span->id) + "}}";
+           ",\"args\":{\"id\":" + std::to_string(span->id);
+    if (span->trace_id != 0) {
+      out += ",\"trace_id\":" + std::to_string(span->trace_id) +
+             ",\"span_id\":" + std::to_string(span->span_id) +
+             ",\"parent_span_id\":" + std::to_string(span->parent_span_id);
+    }
+    out += "}}";
+    // Outbound flow starts (the arrow tails), one per exported child.
+    auto flows = outgoing.find(i);
+    if (flows != outgoing.end()) {
+      for (const std::uint64_t flow_id : flows->second) {
+        out += ",\n{\"name\":\"trace\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":" +
+               std::to_string(flow_id) + ",\"pid\":1,\"tid\":" + tid +
+               ",\"ts\":" + ts + "}";
+      }
+    }
   }
   out += "\n]\n}\n";
   return out;
@@ -374,9 +413,11 @@ Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
     return InvalidArgumentError("traceEvents is not an array");
 
   TraceCheck check;
-  // Per-track monotone timestamps and B/E balance.
+  // Per-track monotone timestamps, B/E balance, and s/f flow pairing.
   std::map<std::pair<double, double>, double> last_ts;
   std::map<std::pair<double, double>, std::size_t> open_spans;
+  std::map<double, double> flow_starts;  // flow id -> start ts
+  std::vector<std::pair<double, double>> flow_ends;  // (flow id, ts)
   for (std::size_t i = 0; i < events->size(); ++i) {
     const JsonObject* event = (*events)[i].AsObject();
     if (event == nullptr)
@@ -389,7 +430,8 @@ Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
       return InvalidArgumentError("event " + std::to_string(i) +
                                   " has no phase");
     if (*ph == "M") continue;  // metadata
-    if (*ph != "X" && *ph != "B" && *ph != "E")
+    const bool flow = *ph == "s" || *ph == "t" || *ph == "f";
+    if (*ph != "X" && *ph != "B" && *ph != "E" && !flow)
       return InvalidArgumentError("event " + std::to_string(i) +
                                   " has unsupported phase '" + *ph + "'");
     const auto ts = NumberField(*event, "ts");
@@ -408,6 +450,19 @@ Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
             std::to_string(static_cast<long long>(tid)));
       it->second = *ts;
     }
+    if (flow) {
+      const auto id = NumberField(*event, "id");
+      if (!id.has_value())
+        return InvalidArgumentError("event " + std::to_string(i) + " ('" +
+                                    *ph + "') has no numeric flow id");
+      if (*ph == "s") {
+        flow_starts.emplace(*id, *ts);
+      } else if (*ph == "f") {
+        flow_ends.emplace_back(*id, *ts);
+      }
+      ++check.flows;
+      continue;
+    }
     if (*ph == "X") {
       const auto dur = NumberField(*event, "dur");
       if (!dur.has_value() || *dur < 0)
@@ -424,6 +479,17 @@ Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
     }
     ++check.events;
   }
+  for (const auto& [id, ts] : flow_ends) {
+    auto start = flow_starts.find(id);
+    if (start == flow_starts.end())
+      return InvalidArgumentError(
+          "flow end id=" + std::to_string(static_cast<long long>(id)) +
+          " has no matching flow start");
+    if (ts < start->second)
+      return InvalidArgumentError(
+          "flow id=" + std::to_string(static_cast<long long>(id)) +
+          " ends before it starts");
+  }
   for (const auto& [track, open] : open_spans) {
     if (open != 0)
       return InvalidArgumentError(
@@ -433,6 +499,12 @@ Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
   }
   check.tracks = last_ts.size();
   return check;
+}
+
+Status ValidateJson(std::string_view json) {
+  auto parsed = JsonParser(json).Parse();
+  if (!parsed.ok()) return parsed.status();
+  return Status::Ok();
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view content) {

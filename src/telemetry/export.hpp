@@ -24,6 +24,14 @@ namespace vinelet::telemetry {
 /// Renders spans as Chrome trace_event JSON.  Events are sorted by start
 /// time; tracks get stable tids in first-seen order plus thread_name
 /// metadata.  Timestamps are microseconds (Chrome's unit).
+///
+/// Spans that carry causal identity export their trace_id/span_id/
+/// parent_span_id in args, and every parent→child link whose parent span is
+/// present in the same export becomes a flow arrow: a "s" (flow start)
+/// record on the parent's track at the parent's start plus a "f" (flow end,
+/// bp:"e") record on the child's track at the child's start, with the
+/// child's span_id as the flow id — so chrome://tracing draws one connected
+/// story per trace across manager, relay, and worker tracks.
 std::string ToChromeTrace(const std::vector<SpanRecord>& spans,
                           std::string_view process_name = "vinelet");
 
@@ -38,12 +46,18 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot);
 struct TraceCheck {
   std::size_t events = 0;  // "X"/"B"/"E" events (metadata excluded)
   std::size_t tracks = 0;  // distinct (pid, tid) pairs
+  std::size_t flows = 0;   // "s"/"t"/"f" flow records
 };
 
 /// Parses `json` with a strict JSON parser and checks the trace_event
 /// structural invariants described above.  Returns kInvalidArgument with a
 /// description on any violation.
 Result<TraceCheck> ValidateChromeTrace(std::string_view json);
+
+/// Checks that `json` parses under the same strict JSON grammar the trace
+/// validator uses (flight-recorder dumps, metrics files).  Returns
+/// kInvalidArgument with a position + description on any violation.
+Status ValidateJson(std::string_view json);
 
 /// Writes `content` to `path` (truncating).  Used by benches for
 /// BENCH_*.json and *.trace.json artifacts.

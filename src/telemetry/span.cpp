@@ -1,5 +1,7 @@
 #include "telemetry/span.hpp"
 
+#include <thread>
+
 namespace vinelet::telemetry {
 
 std::string_view PhaseName(Phase phase) noexcept {
@@ -16,10 +18,22 @@ std::string_view PhaseName(Phase phase) noexcept {
   return "?";
 }
 
+std::uint64_t SpanTracer::AllocateId() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanTracer::Shard& SpanTracer::ShardForThisThread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
 void SpanTracer::Emit(SpanRecord record) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(std::move(record));
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.spans.push_back(std::move(record));
 }
 
 void SpanTracer::Emit(Phase phase, std::string_view category,
@@ -33,25 +47,91 @@ void SpanTracer::Emit(Phase phase, std::string_view category,
   record.id = id;
   record.start_s = start_s;
   record.end_s = end_s;
-  std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(std::move(record));
+  Emit(std::move(record));
+}
+
+TraceContext SpanTracer::StartTrace(Phase phase, std::string_view category,
+                                    std::string_view track, std::uint64_t id,
+                                    double start_s, double end_s) {
+  if (!enabled()) return {};
+  SpanRecord record;
+  record.name = std::string(PhaseName(phase));
+  record.category = std::string(category);
+  record.track = std::string(track);
+  record.id = id;
+  record.start_s = start_s;
+  record.end_s = end_s;
+  record.trace_id = AllocateId();
+  record.span_id = AllocateId();
+  const TraceContext ctx{record.trace_id, record.span_id};
+  Emit(std::move(record));
+  return ctx;
+}
+
+TraceContext SpanTracer::EmitLinked(TraceContext parent, Phase phase,
+                                    std::string_view category,
+                                    std::string_view track, std::uint64_t id,
+                                    double start_s, double end_s) {
+  if (!enabled()) return parent;
+  SpanRecord record;
+  record.name = std::string(PhaseName(phase));
+  record.category = std::string(category);
+  record.track = std::string(track);
+  record.id = id;
+  record.start_s = start_s;
+  record.end_s = end_s;
+  if (!parent.valid()) {
+    // Degrade to a plain (traceless) span: causality was never established
+    // upstream, but the phase timing is still worth recording.
+    Emit(std::move(record));
+    return parent;
+  }
+  record.trace_id = parent.trace_id;
+  record.span_id = AllocateId();
+  record.parent_span_id = parent.parent_span_id;
+  const TraceContext ctx{record.trace_id, record.span_id};
+  Emit(std::move(record));
+  return ctx;
 }
 
 std::vector<SpanRecord> SpanTracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+  // All shard locks, in index order, so the copy is a consistent cut: no
+  // span emitted before the snapshot began can be missed.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  std::vector<SpanRecord> out;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.spans.size();
+  out.reserve(total);
+  for (const auto& shard : shards_)
+    out.insert(out.end(), shard.spans.begin(), shard.spans.end());
+  return out;
 }
 
 std::vector<SpanRecord> SpanTracer::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
   std::vector<SpanRecord> out;
-  out.swap(spans_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.spans.size();
+  out.reserve(total);
+  for (auto& shard : shards_) {
+    out.insert(out.end(), std::make_move_iterator(shard.spans.begin()),
+               std::make_move_iterator(shard.spans.end()));
+    shard.spans.clear();
+  }
   return out;
 }
 
 std::size_t SpanTracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return spans_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.spans.size();
+  }
+  return total;
 }
 
 PhaseTotals AggregatePhases(const std::vector<SpanRecord>& spans) {

@@ -5,8 +5,15 @@
 // phase names with explicit virtual-time stamps — so Table-5-style
 // breakdowns render from either backend through one code path
 // (AggregatePhases), and both export to Chrome trace_event JSON.
+//
+// Spans carry causal identity: a `trace_id` names one end-to-end story (one
+// invocation, one broadcast), `span_id` names this span, and
+// `parent_span_id` links to the span that caused it — possibly emitted by
+// another process after the TraceContext crossed the wire.  The exporter
+// renders parent/child links as Chrome trace_event flow arrows.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -33,9 +40,22 @@ enum class Phase : std::uint8_t {
 
 std::string_view PhaseName(Phase phase) noexcept;
 
+/// Causal identity carried across hops (and across the wire): which trace a
+/// span belongs to and which span caused it.  A zero trace_id means "not
+/// traced"; the wire protocol still round-trips it so a trace started on
+/// one side survives a hop through a process whose tracer is disabled.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const noexcept { return trace_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
 /// One recorded span.  `track` is the timeline it renders on (one per
 /// worker / library / the manager); `id` correlates spans of one task or
-/// invocation.
+/// invocation.  `trace_id`/`span_id`/`parent_span_id` are the causal links
+/// (zero when the span was emitted outside any trace).
 struct SpanRecord {
   std::string name;      // phase name (PhaseName) or custom label
   std::string category;  // "task", "invocation", "library", "file", ...
@@ -43,6 +63,9 @@ struct SpanRecord {
   std::uint64_t id = 0;
   double start_s = 0.0;
   double end_s = 0.0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 
   double Duration() const noexcept { return end_s - start_s; }
 };
@@ -50,6 +73,11 @@ struct SpanRecord {
 /// Thread-safe span sink.  Disabled by default: an Emit on a disabled
 /// tracer is one atomic load.  The clock is only consulted by Now()/Scope;
 /// explicit-timestamp emission (the simulator) never reads it.
+///
+/// Storage is sharded by thread: concurrent emitters on different threads
+/// land in different shards and never contend, and Snapshot/Drain take all
+/// shard locks (in index order), so an export concurrent with recording
+/// observes a consistent cut and loses nothing.
 class SpanTracer {
  public:
   SpanTracer() = default;
@@ -67,10 +95,28 @@ class SpanTracer {
   /// Current time on the tracer's clock (0 without a clock).
   double Now() const noexcept { return clock_ != nullptr ? clock_->Now() : 0; }
 
+  /// Allocates a process-wide unique, nonzero trace/span id.
+  static std::uint64_t AllocateId() noexcept;
+
   void Emit(SpanRecord record);
 
   void Emit(Phase phase, std::string_view category, std::string_view track,
             std::uint64_t id, double start_s, double end_s);
+
+  /// Emits the root span of a new trace and returns its context
+  /// ({trace_id, root_span_id}).  Returns a null context when disabled.
+  TraceContext StartTrace(Phase phase, std::string_view category,
+                          std::string_view track, std::uint64_t id,
+                          double start_s, double end_s);
+
+  /// Emits a span as a child of `parent` and returns the context a further
+  /// child would use ({parent.trace_id, new_span_id}).  When the tracer is
+  /// disabled nothing is recorded; when `parent` is null the span is
+  /// recorded without causal identity.  In both cases `parent` is returned
+  /// unchanged, so trace identity still flows through untraced processes.
+  TraceContext EmitLinked(TraceContext parent, Phase phase,
+                          std::string_view category, std::string_view track,
+                          std::uint64_t id, double start_s, double end_s);
 
   /// Copies the recorded spans.
   std::vector<SpanRecord> Snapshot() const;
@@ -103,10 +149,16 @@ class SpanTracer {
   };
 
  private:
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> spans;
+  };
+  Shard& ShardForThisThread();
+
   std::atomic<bool> enabled_{false};
   const Clock* clock_ = nullptr;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  mutable std::array<Shard, kShards> shards_;
 };
 
 /// Accumulated time per phase, with span counts — the substrate for

@@ -15,13 +15,14 @@
 
 #include "common/clock.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 
 namespace vinelet::telemetry {
 
 struct Telemetry {
-  Telemetry() : tracer(&clock) {}
+  Telemetry() : tracer(&clock) { flight.SetClock(&clock); }
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -30,6 +31,8 @@ struct Telemetry {
   WallClock clock;
   MetricsRegistry metrics;
   SpanTracer tracer;
+  /// Always-on post-mortem event journal (the tracer stays opt-in).
+  FlightRecorder flight;
 };
 
 }  // namespace vinelet::telemetry

@@ -31,20 +31,22 @@ T RoundTrip(const Message& message) {
 }
 
 TEST(ProtocolTest, PutFileRoundTrip) {
-  PutFileMsg msg{SampleDecl(), Blob::FromString("payload")};
+  PutFileMsg msg{SampleDecl(), Blob::FromString("payload"), {0xABCu, 0xDEFu}};
   auto out = RoundTrip<PutFileMsg>(msg);
   EXPECT_EQ(out.decl.name, "env:lnni");
   EXPECT_EQ(out.decl.id, msg.decl.id);
   EXPECT_EQ(out.decl.kind, storage::FileKind::kEnvironment);
   EXPECT_TRUE(out.decl.unpack);
   EXPECT_EQ(out.payload, msg.payload);
+  EXPECT_EQ(out.trace, msg.trace);
 }
 
 TEST(ProtocolTest, PushFileRoundTrip) {
-  PushFileMsg msg{SampleDecl(), 42};
+  PushFileMsg msg{SampleDecl(), 42, {7u, 9u}};
   auto out = RoundTrip<PushFileMsg>(msg);
   EXPECT_EQ(out.dest, 42u);
   EXPECT_EQ(out.decl.id, msg.decl.id);
+  EXPECT_EQ(out.trace, msg.trace);
 }
 
 TEST(ProtocolTest, ExecuteTaskRoundTrip) {
@@ -98,12 +100,13 @@ TEST(ProtocolTest, RemoveLibraryRoundTrip) {
 }
 
 TEST(ProtocolTest, RunInvocationRoundTrip) {
-  RunInvocationMsg msg{101, 3, "f", Blob::FromString("xyz")};
+  RunInvocationMsg msg{101, 3, "f", Blob::FromString("xyz"), {11u, 22u}};
   auto out = RoundTrip<RunInvocationMsg>(msg);
   EXPECT_EQ(out.id, 101u);
   EXPECT_EQ(out.instance_id, 3u);
   EXPECT_EQ(out.function_name, "f");
   EXPECT_EQ(out.args.ToString(), "xyz");
+  EXPECT_EQ(out.trace, msg.trace);
 }
 
 TEST(ProtocolTest, ControlMessagesRoundTrip) {
@@ -154,6 +157,75 @@ TEST(ProtocolTest, LibraryLifecycleRoundTrip) {
   EXPECT_EQ(removed.instance_id, 4u);
 }
 
+TEST(ProtocolTest, StatusMessagesRoundTrip) {
+  (void)RoundTrip<StatusRequestMsg>(StatusRequestMsg{});
+
+  StatusReplyMsg msg;
+  msg.inbox_depth = 4;
+  msg.tasks_executed = 17;
+  msg.cache = {{hash::ContentId::OfText("a"), 100},
+               {hash::ContentId::OfText("b"), 200}};
+  msg.assemblies = {{hash::ContentId::OfText("c"), 3, 8}};
+  msg.libraries = {{5, "lnni", 12, 2}};
+  auto out = RoundTrip<StatusReplyMsg>(msg);
+  EXPECT_EQ(out.inbox_depth, 4u);
+  EXPECT_EQ(out.tasks_executed, 17u);
+  ASSERT_EQ(out.cache.size(), 2u);
+  EXPECT_EQ(out.cache[0].id, msg.cache[0].id);
+  EXPECT_EQ(out.cache[1].bytes, 200u);
+  ASSERT_EQ(out.assemblies.size(), 1u);
+  EXPECT_EQ(out.assemblies[0].id, msg.assemblies[0].id);
+  EXPECT_EQ(out.assemblies[0].received, 3u);
+  EXPECT_EQ(out.assemblies[0].total, 8u);
+  ASSERT_EQ(out.libraries.size(), 1u);
+  EXPECT_EQ(out.libraries[0].instance_id, 5u);
+  EXPECT_EQ(out.libraries[0].library, "lnni");
+  EXPECT_EQ(out.libraries[0].invocations_served, 12u);
+  EXPECT_EQ(out.libraries[0].queued, 2u);
+}
+
+TEST(ProtocolTest, TraceSurvivesFrameWithZeroCopyAttachment) {
+  PutChunkMsg msg;
+  msg.decl = SampleDecl();
+  msg.chunk_index = 2;
+  msg.num_chunks = 4;
+  msg.chunk_bytes = 8;
+  msg.children = {{7, {{9, {}}}}};
+  msg.chunk = Blob::FromString("chunkdata");
+  msg.trace = {0x1122u, 0x3344u};
+
+  // The bulk bytes ride as the frame attachment (zero-copy relay path); the
+  // trace lives in the header payload and must survive reattachment.
+  WireFrame wire = EncodeFrame(msg);
+  EXPECT_EQ(wire.attachment, msg.chunk);
+  auto decoded = DecodeFrame(net::Frame{0, wire.payload, wire.attachment});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto* out = std::get_if<PutChunkMsg>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->trace, msg.trace);
+  EXPECT_EQ(out->chunk, msg.chunk);
+  ASSERT_EQ(out->children.size(), 1u);
+  EXPECT_EQ(out->children[0].dest, 7u);
+  ASSERT_EQ(out->children[0].children.size(), 1u);
+  EXPECT_EQ(out->children[0].children[0].dest, 9u);
+
+  // The self-contained (inline) encoding carries the same trace.
+  auto inline_out = RoundTrip<PutChunkMsg>(msg);
+  EXPECT_EQ(inline_out.trace, msg.trace);
+
+  // PutFile's payload also rides as the attachment; same invariant.
+  PutFileMsg put{SampleDecl(), Blob::FromString("tarball bytes"), {21u, 43u}};
+  WireFrame put_wire = EncodeFrame(put);
+  EXPECT_EQ(put_wire.attachment, put.payload);
+  auto put_decoded =
+      DecodeFrame(net::Frame{0, put_wire.payload, put_wire.attachment});
+  ASSERT_TRUE(put_decoded.ok()) << put_decoded.status().ToString();
+  auto* put_out = std::get_if<PutFileMsg>(&*put_decoded);
+  ASSERT_NE(put_out, nullptr);
+  EXPECT_EQ(put_out->trace, put.trace);
+  EXPECT_EQ(put_out->payload, put.payload);
+}
+
 TEST(ProtocolTest, EmptyFrameRejected) {
   EXPECT_FALSE(DecodeMessage(Blob()).ok());
 }
@@ -182,7 +254,7 @@ TEST(ProtocolTest, EveryTruncationRejected) {
 
 TEST(ProtocolTest, BadEnumValuesRejected) {
   // Corrupt the file-kind byte of a PutFile frame.
-  PutFileMsg msg{SampleDecl(), Blob::FromString("x")};
+  PutFileMsg msg{SampleDecl(), Blob::FromString("x"), {}};
   Blob blob = EncodeMessage(msg);
   std::vector<std::uint8_t> bytes(blob.span().begin(), blob.span().end());
   // Layout: tag(1) + name(8+8) + id(8+32) + size(8) + kind(1)...

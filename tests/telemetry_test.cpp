@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -171,6 +174,87 @@ TEST(SpanTest, ConcurrentEmitLosesNothing) {
   EXPECT_EQ(tracer.size(), 0u);
 }
 
+TEST(SpanTest, SnapshotConcurrentWithRecordingLosesNothing) {
+  // Regression: the single-lock tracer could drop spans recorded while an
+  // export held the storage lock.  The sharded tracer takes all shard locks
+  // for a consistent cut, so every span emitted before the final join must
+  // survive into the final snapshot.
+  SpanTracer tracer;
+  tracer.SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load()) {
+      const auto cut = tracer.Snapshot();
+      // A cut is never torn: sizes only grow between snapshots.
+      EXPECT_LE(cut.size(),
+                static_cast<std::size_t>(kThreads) * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        tracer.Emit(Phase::kExec, "task", "worker-" + std::to_string(t), i,
+                    i * 1.0, i * 1.0 + 0.5);
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  exporter.join();
+  EXPECT_EQ(tracer.Snapshot().size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(SpanTest, StartTraceAndEmitLinkedShareOneTraceId) {
+  SpanTracer tracer;
+  tracer.SetEnabled(true);
+  TraceContext root = tracer.StartTrace(Phase::kSubmit, "invocation",
+                                        "manager", 1, 0.0, 0.1);
+  ASSERT_TRUE(root.valid());
+  TraceContext a = tracer.EmitLinked(root, Phase::kDispatch, "invocation",
+                                     "manager", 1, 0.1, 0.2);
+  TraceContext b = tracer.EmitLinked(a, Phase::kExec, "invocation",
+                                     "worker-1", 1, 0.2, 0.9);
+  EXPECT_EQ(a.trace_id, root.trace_id);
+  EXPECT_EQ(b.trace_id, root.trace_id);
+  EXPECT_NE(a.parent_span_id, root.parent_span_id);
+  EXPECT_NE(b.parent_span_id, a.parent_span_id);
+
+  const auto spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 3u);
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.trace_id, root.trace_id);
+    EXPECT_NE(span.span_id, 0u);
+  }
+  // Parent chain: root <- dispatch <- exec.
+  EXPECT_EQ(spans[0].parent_span_id, 0u);
+  EXPECT_EQ(spans[1].parent_span_id, spans[0].span_id);
+  EXPECT_EQ(spans[2].parent_span_id, spans[1].span_id);
+}
+
+TEST(SpanTest, EmitLinkedDegradesWithoutTraceOrTracer) {
+  SpanTracer tracer;
+  // Disabled: nothing recorded, parent identity still flows through.
+  const TraceContext parent{77, 99};
+  EXPECT_EQ(tracer.EmitLinked(parent, Phase::kExec, "invocation", "worker-1",
+                              1, 0.0, 1.0),
+            parent);
+  EXPECT_EQ(tracer.size(), 0u);
+
+  // Enabled but untraced parent: the span is recorded without causal
+  // identity (plain-Emit behavior), and the null context passes through.
+  tracer.SetEnabled(true);
+  EXPECT_EQ(tracer.EmitLinked(TraceContext{}, Phase::kExec, "invocation",
+                              "worker-1", 1, 0.0, 1.0),
+            TraceContext{});
+  const auto spans = tracer.Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 0u);
+  EXPECT_EQ(spans[0].span_id, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Chrome trace export + validation
 // ---------------------------------------------------------------------------
@@ -191,6 +275,27 @@ TEST(ExportTest, ChromeTraceRoundTrip) {
   EXPECT_EQ(check->tracks, 2u);  // manager + worker-1
   EXPECT_NE(json.find("\"exec\""), std::string::npos);
   EXPECT_NE(json.find("test-process"), std::string::npos);
+}
+
+TEST(ExportTest, FlowRecordsRenderParentChildLinks) {
+  SpanTracer tracer;
+  tracer.SetEnabled(true);
+  // One causal chain crossing tracks (manager -> worker-1 -> worker-1) plus
+  // one unlinked span: three spans in the trace, two parent->child edges.
+  TraceContext ctx = tracer.StartTrace(Phase::kSubmit, "invocation",
+                                       "manager", 9, 0.0, 0.1);
+  ctx = tracer.EmitLinked(ctx, Phase::kTransfer, "invocation", "worker-1", 9,
+                          0.1, 0.4);
+  ctx = tracer.EmitLinked(ctx, Phase::kExec, "invocation", "worker-1", 9,
+                          0.4, 0.9);
+  tracer.Emit(Phase::kResult, "invocation", "manager", 10, 1.0, 1.1);
+
+  const std::string json = ToChromeTrace(tracer.Snapshot());
+  auto check = ValidateChromeTrace(json);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check->events, 4u);
+  EXPECT_EQ(check->flows, 4u);  // two edges x (flow-start + flow-end)
+  EXPECT_NE(json.find("\"trace_id\""), std::string::npos);
 }
 
 TEST(ExportTest, ValidatorRejectsMalformedTraces) {
@@ -239,6 +344,90 @@ TEST(ExportTest, MetricsToJsonIsValidAndComplete) {
   EXPECT_NE(json.find("\"c.one\": 7"), std::string::npos);
   EXPECT_NE(json.find("g.two"), std::string::npos);
   EXPECT_NE(json.find("h.three"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsAndDumpsValidJson) {
+  FlightRecorder flight(8);
+  flight.Record("worker-join", "", 0, 3);
+  flight.Record("xfer-fail", "checksum mismatch", 42, 3, 1024);
+  const auto events = flight.Dump();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].tag, "worker-join");
+  EXPECT_STREQ(events[1].tag, "xfer-fail");
+  EXPECT_EQ(events[1].trace_id, 42u);
+  EXPECT_EQ(events[1].a, 3u);
+  EXPECT_EQ(events[1].b, 1024u);
+
+  const std::string json = flight.DumpJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"xfer-fail\""), std::string::npos);
+  EXPECT_NE(json.find("checksum mismatch"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingMostRecent) {
+  FlightRecorder flight(4);
+  for (int i = 0; i < 10; ++i)
+    flight.Record("evt", std::to_string(i), 0, static_cast<std::uint64_t>(i));
+  EXPECT_EQ(flight.recorded(), 10u);
+  const auto events = flight.Dump();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the survivors: 6, 7, 8, 9.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].a, 6 + i);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordAndDumpNeverTears) {
+  FlightRecorder flight(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread dumper([&] {
+    while (!stop.load()) {
+      const std::string json = flight.DumpJson();
+      // Every dump must parse, even while writers race the ring.
+      EXPECT_TRUE(ValidateJson(json).ok());
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&flight, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        flight.Record("spin", "detail", 0, static_cast<std::uint64_t>(t), i);
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  dumper.join();
+  EXPECT_EQ(flight.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(flight.Dump().size(), 64u);
+}
+
+TEST(FlightRecorderTest, DumpOnEnvWritesJsonFile) {
+  FlightRecorder flight(8);
+  flight.Record("kill", "injected", 0, 7);
+
+  // Unset: no file, empty path.
+  ASSERT_EQ(unsetenv("VINELET_FLIGHT_DUMP"), 0);
+  EXPECT_EQ(flight.DumpOnEnv("worker-7-kill"), "");
+
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("VINELET_FLIGHT_DUMP", dir.c_str(), 1), 0);
+  const std::string path = flight.DumpOnEnv("worker-7-kill");
+  ASSERT_EQ(unsetenv("VINELET_FLIGHT_DUMP"), 0);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("flight-worker-7-kill.json"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_TRUE(ValidateJson(content.str()).ok()) << content.str();
+  EXPECT_NE(content.str().find("injected"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -105,7 +105,7 @@ class WorkerProtocolTest : public ::testing::Test {
 TEST_F(WorkerProtocolTest, PutFileAcknowledgedWithFileReady) {
   const Blob payload = Blob::FromString("bytes");
   const auto decl = Declare("data", payload);
-  SendToWorker(PutFileMsg{decl, payload});
+  SendToWorker(PutFileMsg{decl, payload, {}});
   auto reply = NextMessage();
   auto* ready = std::get_if<FileReadyMsg>(&reply);
   ASSERT_NE(ready, nullptr);
@@ -119,7 +119,7 @@ TEST_F(WorkerProtocolTest, CorruptPutFileRejectedWithFileFailed) {
   const auto decl = Declare("data", good);
   // Payload does not match the declared content id: must be rejected, never
   // cached — the silent-corruption hazard of §2.2.2.
-  SendToWorker(PutFileMsg{decl, Blob::FromString("tampered content!")});
+  SendToWorker(PutFileMsg{decl, Blob::FromString("tampered content!"), {}});
   auto reply = NextMessage();
   auto* failed = std::get_if<FileFailedMsg>(&reply);
   ASSERT_NE(failed, nullptr);
@@ -134,10 +134,10 @@ TEST_F(WorkerProtocolTest, PushFileForwardsToPeer) {
   ASSERT_TRUE(peer_inbox.ok());
   const Blob payload = Blob::FromString("replicate me");
   const auto decl = Declare("data", payload);
-  SendToWorker(PutFileMsg{decl, payload});
+  SendToWorker(PutFileMsg{decl, payload, {}});
   (void)NextMessage();  // FileReady
 
-  SendToWorker(PushFileMsg{decl, 2});
+  SendToWorker(PushFileMsg{decl, 2, {}});
   auto frame = (*peer_inbox)->RecvFor(10s);
   ASSERT_TRUE(frame.has_value());
   EXPECT_EQ(frame->sender, 1u);  // worker-to-worker, not via the manager
@@ -292,7 +292,7 @@ TEST_F(WorkerProtocolTest, PushOfUnknownFileReportsFailure) {
   storage::FileDecl decl;
   decl.name = "ghost";
   decl.id = hash::ContentId::OfText("never stored");
-  SendToWorker(PushFileMsg{decl, 2});
+  SendToWorker(PushFileMsg{decl, 2, {}});
   auto reply = NextMessage();
   EXPECT_NE(std::get_if<FileFailedMsg>(&reply), nullptr);
 }
@@ -362,7 +362,7 @@ TEST_F(WorkerProtocolTest, LibraryLifecycleOverRawProtocol) {
   const Blob fn_blob = serde::SerializedFunction::Serialize("echo");
   auto fn_decl = Declare("fn:echo", fn_blob);
   fn_decl.kind = storage::FileKind::kSerializedFunction;
-  SendToWorker(PutFileMsg{fn_decl, fn_blob});
+  SendToWorker(PutFileMsg{fn_decl, fn_blob, {}});
   (void)NextMessage();  // FileReady
 
   InstallLibraryMsg install;
@@ -379,7 +379,7 @@ TEST_F(WorkerProtocolTest, LibraryLifecycleOverRawProtocol) {
   EXPECT_EQ(ready->instance_id, 5u);
   EXPECT_EQ(worker_->libraries_hosted(), 1u);
 
-  SendToWorker(RunInvocationMsg{77, 5, "echo", Value(123).ToBlob()});
+  SendToWorker(RunInvocationMsg{77, 5, "echo", Value(123).ToBlob(), {}});
   auto done_reply = NextMessage();
   auto* done = std::get_if<InvocationDoneMsg>(&done_reply);
   ASSERT_NE(done, nullptr);
@@ -412,7 +412,7 @@ TEST_F(WorkerProtocolTest, InstallWithMissingInputReportsRemoval) {
 }
 
 TEST_F(WorkerProtocolTest, InvocationAgainstUnknownInstanceFails) {
-  SendToWorker(RunInvocationMsg{88, 999, "echo", Value(1).ToBlob()});
+  SendToWorker(RunInvocationMsg{88, 999, "echo", Value(1).ToBlob(), {}});
   auto reply = NextMessage();
   auto* done = std::get_if<InvocationDoneMsg>(&reply);
   ASSERT_NE(done, nullptr);
@@ -441,7 +441,7 @@ TEST_F(WorkerProtocolTest, EnvironmentUnpackOncePerWorkerAcrossTasks) {
       {{"member.bin", Blob::FromString(std::string(100, 'm'))}});
   auto decl = Declare("env", tarball, /*unpack=*/true);
   decl.kind = storage::FileKind::kEnvironment;
-  SendToWorker(PutFileMsg{decl, tarball});
+  SendToWorker(PutFileMsg{decl, tarball, {}});
   (void)NextMessage();  // FileReady
 
   serde::FunctionDef reads;
