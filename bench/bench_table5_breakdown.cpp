@@ -224,6 +224,18 @@ void RealRuntimeMeasured(bench::JsonReport& report) {
         AddBreakdownRow(table, "L3 (Invoc.)", totals);
         report.AddMeasured("L3 (Invoc.) exec_s", totals.ExecColumn());
       }
+      // Cross-check against the worker-reported wire breakdown: the library
+      // runtime now separates function deserialization from context setup,
+      // so the manager's last-setup gauges split the old "context" bucket.
+      const core::ManagerMetrics metrics = manager.metrics();
+      const core::TimingBreakdown& setup = metrics.last_library_setup;
+      std::printf("Manager-reported library setup: transfer=%s worker=%s "
+                  "deserialize=%s context=%s\n",
+                  Sec(setup.transfer_s).c_str(), Sec(setup.worker_s).c_str(),
+                  Sec(setup.deserialize_s).c_str(),
+                  Sec(setup.context_s).c_str());
+      report.AddMeasured("L3 setup deserialize_s", setup.deserialize_s);
+      report.AddMeasured("L3 setup context_s", setup.context_s);
     } else {
       std::printf("L3 run failed: %s\n",
                   (outcome.ok() ? hot : outcome).status().ToString().c_str());

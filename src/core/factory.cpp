@@ -27,6 +27,7 @@ Result<WorkerId> Factory::SpawnWorker() {
   config.cache_capacity_bytes = config_.cache_capacity_bytes;
   config.registry = config_.registry;
   config.telemetry = config_.telemetry;
+  config.fault = config_.fault;
   auto worker = std::make_unique<Worker>(network_, config);
   VINELET_RETURN_IF_ERROR(worker->Start());
   const WorkerId id = config.id;

@@ -23,6 +23,8 @@ struct FactoryConfig {
   /// Shared telemetry handed to every spawned worker (usually the same
   /// instance the manager reports into).  Null = each worker owns its own.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Fault injector handed to every spawned worker (chaos harness).
+  std::shared_ptr<net::FaultInjector> fault;
 };
 
 class Factory {

@@ -35,6 +35,7 @@ class OutcomeFuture {
     std::function<void(const Result<Outcome>&)> callback;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      ++resolutions_;
       if (outcome_.has_value()) return;
       outcome_.emplace(std::move(outcome));
       callback = std::move(callback_);
@@ -63,6 +64,14 @@ class OutcomeFuture {
     return outcome_.has_value();
   }
 
+  /// How many times Resolve was *called* (not how many took effect).  The
+  /// chaos harness asserts this is exactly 1 at quiescence: a value > 1
+  /// means some recovery path tried to complete an already-finished item.
+  std::uint64_t resolutions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return resolutions_;
+  }
+
   /// Blocks until resolved.
   Result<Outcome> Wait() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -83,6 +92,7 @@ class OutcomeFuture {
   std::condition_variable cv_;
   std::optional<Result<Outcome>> outcome_;
   std::function<void(const Result<Outcome>&)> callback_;
+  std::uint64_t resolutions_ = 0;
 };
 
 using FuturePtr = std::shared_ptr<OutcomeFuture>;

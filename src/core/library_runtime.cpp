@@ -1,5 +1,7 @@
 #include "core/library_runtime.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 
 namespace vinelet::core {
@@ -138,9 +140,14 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
     }
     functions_.emplace(fn_name, std::move(bound));
   }
-  const double deserialize_s = watch.Elapsed();
+  timing.deserialize_s = watch.Elapsed();
 
   // Run the context-setup function: build the retained in-memory state.
+  // The stopwatch restarts here so context_s is pure context-setup cost;
+  // the deserialize work above is attributed to deserialize_s.
+  watch.Restart();
+  if (fault_ && fault_->InjectSetupFailure(fault_endpoint_))
+    return InternalError("injected library setup failure");
   if (!spec_.setup_name.empty()) {
     auto setup = registry_->FindSetup(spec_.setup_name);
     if (!setup.ok()) return setup.status();
@@ -157,7 +164,8 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
 
   if (telemetry_ != nullptr) {
     if (setup_s_ != nullptr)
-      setup_s_->Observe(timing.worker_s + timing.context_s);
+      setup_s_->Observe(timing.worker_s + timing.deserialize_s +
+                        timing.context_s);
     if (telemetry_->tracer.enabled()) {
       // Chain the setup phases off the install's trace (EmitLinked degrades
       // to plain spans when no trace was carried in).
@@ -168,11 +176,11 @@ Status LibraryRuntime::Setup(TimingBreakdown& timing) {
                               track_, instance_id_, t, t + timing.worker_s);
       t += timing.worker_s;
       ctx = tracer.EmitLinked(ctx, telemetry::Phase::kDeserialize, "library",
-                              track_, instance_id_, t, t + deserialize_s);
-      t += deserialize_s;
+                              track_, instance_id_, t,
+                              t + timing.deserialize_s);
+      t += timing.deserialize_s;
       tracer.EmitLinked(ctx, telemetry::Phase::kContextSetup, "library",
-                        track_, instance_id_, t,
-                        t + (timing.context_s - deserialize_s));
+                        track_, instance_id_, t, t + timing.context_s);
     }
   }
   return Status::Ok();
@@ -199,10 +207,22 @@ InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
     done.error = "function not in library: " + msg.function_name;
     return done;
   }
-  done.timing.context_s = watch.Elapsed();
+  done.timing.deserialize_s = watch.Elapsed();
 
-  // Execute in the retained environment.
+  if (fault_ && fault_->InjectInvocationFailure(fault_endpoint_)) {
+    done.ok = false;
+    done.error = "injected invocation failure";
+    return done;
+  }
+
+  // Execute in the retained environment.  An injected straggler delay is
+  // charged to exec_s: from the outside it is simply a slow execution.
   watch.Restart();
+  if (fault_) {
+    const double slow_s = fault_->StragglerDelayS(fault_endpoint_);
+    if (slow_s > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(slow_s));
+  }
   serde::InvocationEnv env;
   env.files = &files_;
   env.context = context_.get();
@@ -228,11 +248,11 @@ InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
       telemetry::TraceContext ctx = msg.trace;
       ctx = tracer.EmitLinked(ctx, telemetry::Phase::kDeserialize,
                               "invocation", track_, msg.id, phase_start_s,
-                              phase_start_s + done.timing.context_s);
+                              phase_start_s + done.timing.deserialize_s);
       ctx = tracer.EmitLinked(ctx, telemetry::Phase::kExec, "invocation",
                               track_, msg.id,
-                              phase_start_s + done.timing.context_s,
-                              phase_start_s + done.timing.context_s +
+                              phase_start_s + done.timing.deserialize_s,
+                              phase_start_s + done.timing.deserialize_s +
                                   done.timing.exec_s);
       done.trace = ctx;
     }

@@ -20,6 +20,7 @@
 #include "common/channel.hpp"
 #include "common/clock.hpp"
 #include "core/protocol.hpp"
+#include "net/fault.hpp"
 #include "core/unpack_registry.hpp"
 #include "serde/function_registry.hpp"
 #include "storage/content_store.hpp"
@@ -85,6 +86,15 @@ class LibraryRuntime {
     setup_trace_ = trace;
   }
 
+  /// Fault injector consulted during setup and per invocation (chaos
+  /// harness); `endpoint` keys this worker's deterministic fault stream.
+  /// Call before Start().
+  void SetFaultInjector(std::shared_ptr<net::FaultInjector> injector,
+                        net::EndpointId endpoint) noexcept {
+    fault_ = std::move(injector);
+    fault_endpoint_ = endpoint;
+  }
+
  private:
   void Run();
   Status Setup(TimingBreakdown& timing);
@@ -106,6 +116,9 @@ class LibraryRuntime {
   telemetry::Counter* invocations_metric_ = nullptr;
   telemetry::Histogram* invoke_exec_s_ = nullptr;
   telemetry::Histogram* setup_s_ = nullptr;
+
+  std::shared_ptr<net::FaultInjector> fault_;
+  net::EndpointId fault_endpoint_ = 0;
 
   Channel<RunInvocationMsg> requests_;
   std::thread thread_;

@@ -37,6 +37,7 @@ Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
   m_.retained_context_bytes = &reg.GetGauge("manager.retained_context_bytes");
   m_.setup_transfer_s = &reg.GetGauge("manager.last_setup.transfer_s");
   m_.setup_worker_s = &reg.GetGauge("manager.last_setup.worker_s");
+  m_.setup_deserialize_s = &reg.GetGauge("manager.last_setup.deserialize_s");
   m_.setup_context_s = &reg.GetGauge("manager.last_setup.context_s");
   m_.setup_exec_s = &reg.GetGauge("manager.last_setup.exec_s");
   m_.task_roundtrip_s = &reg.GetHistogram("manager.task_roundtrip_s");
@@ -302,6 +303,27 @@ Result<ClusterStatus> Manager::QueryStatus(double timeout_s) {
   return future.get();
 }
 
+Result<QuiescenceReport> Manager::CheckQuiescent(double timeout_s) {
+  auto promise = std::make_shared<std::promise<QuiescenceReport>>();
+  auto future = promise->get_future();
+  if (!commands_.Send(QuiescenceCmd{std::move(promise)}))
+    return UnavailableError("manager stopped");
+  if (future.wait_for(std::chrono::duration<double>(timeout_s)) !=
+      std::future_status::ready)
+    return TimeoutError("quiescence check timed out");
+  return future.get();
+}
+
+std::string QuiescenceReport::ToString() const {
+  if (quiescent) return "quiescent";
+  std::string out = "NOT quiescent:";
+  for (const std::string& violation : violations) {
+    out += "\n  - ";
+    out += violation;
+  }
+  return out;
+}
+
 ManagerMetrics Manager::metrics() const {
   const telemetry::MetricsSnapshot snap = telemetry_->metrics.Snapshot();
   ManagerMetrics m;
@@ -319,6 +341,8 @@ ManagerMetrics Manager::metrics() const {
   m.last_library_setup.transfer_s =
       snap.GaugeValue("manager.last_setup.transfer_s");
   m.last_library_setup.worker_s = snap.GaugeValue("manager.last_setup.worker_s");
+  m.last_library_setup.deserialize_s =
+      snap.GaugeValue("manager.last_setup.deserialize_s");
   m.last_library_setup.context_s =
       snap.GaugeValue("manager.last_setup.context_s");
   m.last_library_setup.exec_s = snap.GaugeValue("manager.last_setup.exec_s");
@@ -450,6 +474,9 @@ void Manager::HandleFrame(const net::Frame& frame) {
         } else if constexpr (std::is_same_v<T, LibraryReadyMsg>) {
           auto it = instances_.find(msg.instance_id);
           if (it == instances_.end()) return;
+          // A redelivered (duplicated) Ready must not re-count the deploy or
+          // re-add the gauge shares; a first Ready only arrives kInstalling.
+          if (it->second.state != InstanceState::kInstalling) return;
           it->second.state = InstanceState::kReady;
           it->second.context_memory = msg.context_memory_bytes;
           m_.libraries_deployed->Add();
@@ -458,6 +485,7 @@ void Manager::HandleFrame(const net::Frame& frame) {
               static_cast<double>(msg.context_memory_bytes));
           m_.setup_transfer_s->Set(msg.timing.transfer_s);
           m_.setup_worker_s->Set(msg.timing.worker_s);
+          m_.setup_deserialize_s->Set(msg.timing.deserialize_s);
           m_.setup_context_s->Set(msg.timing.context_s);
           m_.setup_exec_s->Set(msg.timing.exec_s);
           VLOG_INFO("manager") << "library " << it->second.library << "#"
@@ -595,6 +623,8 @@ void Manager::HandleCommand(Command command) {
           pending_dead_.insert(cmd.worker);
         } else if constexpr (std::is_same_v<T, StatusCmd>) {
           StartStatusQuery(std::move(cmd));
+        } else if constexpr (std::is_same_v<T, QuiescenceCmd>) {
+          RunQuiescenceCheck(std::move(cmd));
         }
       },
       std::move(command));
@@ -809,14 +839,20 @@ bool Manager::StageFile(const storage::FileDecl& decl, WorkerId worker,
   if (transfer.source.from_manager) {
     auto payload = manager_store_.Get(decl.id);
     if (!payload.ok()) {
-      // Should not happen: declared files live in the manager store.
+      // Should not happen: declared files live in the manager store.  When
+      // it does (a fabricated or dropped declaration), decline instead of
+      // emplacing a zombie transfer: a transfer that never sends anything
+      // never completes, and its waiters would hang WaitAll forever.  The
+      // caller proceeds without the file and the worker fails the work
+      // cleanly ("input not staged"), feeding the normal retry path.
       VLOG_ERROR("manager") << "missing declared payload " << decl.name;
-    } else {
-      m_.manager_transfers->Add();
-      m_.manager_transfer_bytes->Add(decl.size);
-      (void)SendTo(worker,
-                   PutFileMsg{decl, std::move(*payload), transfer.trace});
+      replicas_.EndTransfer(transfer.source);
+      return false;
     }
+    m_.manager_transfers->Add();
+    m_.manager_transfer_bytes->Add(decl.size);
+    (void)SendTo(worker, PutFileMsg{decl, std::move(*payload),
+                                    transfer.trace});
   } else {
     m_.peer_transfers->Add();
     m_.peer_transfer_bytes->Add(decl.size);
@@ -888,38 +924,10 @@ void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
       }
     }
     // Permanent failure: fail task waiters; discard staging instances.
-    for (const Waiter& waiter : transfer.waiters) {
-      if (waiter.is_instance) {
-        auto inst_it = instances_.find(waiter.id);
-        if (inst_it == instances_.end()) continue;
-        auto worker_it = workers_.find(inst_it->second.worker);
-        if (worker_it != workers_.end()) {
-          worker_it->second.instances.erase(inst_it->second.id);
-          Status released =
-              worker_it->second.alloc.Release(inst_it->second.claimed);
-          if (!released.ok()) {
-            VLOG_ERROR("manager") << "release: " << released.ToString();
-            }
-        }
-        instances_.erase(inst_it);
-      } else {
-        auto task_it = running_tasks_.find(waiter.id);
-        if (task_it == running_tasks_.end()) continue;
-        auto worker_it = workers_.find(task_it->second.worker);
-        if (worker_it != workers_.end()) {
-          worker_it->second.running_tasks.erase(waiter.id);
-          Status released =
-              worker_it->second.alloc.Release(task_it->second.claimed);
-          if (!released.ok()) {
-            VLOG_ERROR("manager") << "release: " << released.ToString();
-            }
-        }
-        task_it->second.task.future->Resolve(
-            DataLossError("input transfer failed: " + transfer.decl.name));
-        FinishOne();
-        running_tasks_.erase(task_it);
-      }
-    }
+    const Status fail_status =
+        DataLossError("input transfer failed: " + transfer.decl.name);
+    for (const Waiter& waiter : transfer.waiters)
+      FailWaiter(waiter, fail_status);
     return;
   }
 
@@ -1179,8 +1187,22 @@ void Manager::DispatchTask(RunningTask& running) {
   for (const auto& decl : running.task.inline_decls) {
     auto payload = manager_store_.Get(decl.id);
     if (!payload.ok()) {
+      // Fully unwind the placement before resolving: leaving the task in
+      // running_tasks_ and the worker's running set would let a later
+      // worker death requeue this already-failed task and double-resolve
+      // its future (stealing another waiter's FinishOne).
+      const TaskId id = running.task.spec.id;
+      auto worker_it = workers_.find(running.worker);
+      if (worker_it != workers_.end()) {
+        worker_it->second.running_tasks.erase(id);
+        Status released = worker_it->second.alloc.Release(running.claimed);
+        if (!released.ok()) {
+          VLOG_ERROR("manager") << "release: " << released.ToString();
+        }
+      }
       running.task.future->Resolve(payload.status());
       FinishOne();
+      running_tasks_.erase(id);  // `running` is dangling past this point
       return;
     }
     msg.task.inline_files.emplace_back(decl, std::move(*payload));
@@ -1332,6 +1354,153 @@ void Manager::FinalizeStatusQuery() {
   status_query_ = StatusQuery{};
 }
 
+void Manager::RunQuiescenceCheck(QuiescenceCmd cmd) {
+  // Reap deaths the transport has already signalled, so the audit sees the
+  // settled state rather than a snapshot taken mid-recovery.
+  ProcessDeadWorkers();
+
+  QuiescenceReport report;
+  auto violate = [&](std::string what) {
+    report.quiescent = false;
+    report.violations.push_back(std::move(what));
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    report.outstanding_futures = outstanding_;
+  }
+  if (report.outstanding_futures != 0)
+    violate(std::to_string(report.outstanding_futures) +
+            " submitted futures still unresolved");
+
+  report.task_queue = task_queue_.size();
+  if (report.task_queue != 0)
+    violate(std::to_string(report.task_queue) + " tasks still queued");
+  report.running_tasks = running_tasks_.size();
+  if (report.running_tasks != 0)
+    violate(std::to_string(report.running_tasks) +
+            " entries leaked in running_tasks_");
+  report.transfers = transfers_.size();
+  if (report.transfers != 0)
+    violate(std::to_string(report.transfers) +
+            " transfers still in flight (or leaked)");
+  report.broadcasts = broadcasts_.size();
+  if (report.broadcasts != 0)
+    violate(std::to_string(report.broadcasts) + " broadcasts still active");
+
+  for (const auto& [name, info] : libraries_) {
+    report.queued_calls += info.queue.size();
+    if (!info.queue.empty())
+      violate("library " + name + " still has " +
+              std::to_string(info.queue.size()) + " queued calls");
+  }
+
+  // Instances may legitimately outlive the workload (retained context is
+  // the point), but they must be settled: kReady, no running invocations,
+  // no claimed slots, nothing mid-stage.  Transitional states are reported
+  // so callers poll until removal/readiness lands.
+  report.instances = instances_.size();
+  std::size_t expected_active = 0;
+  double expected_context_bytes = 0.0;
+  for (const auto& [id, instance] : instances_) {
+    const std::string label =
+        "instance " + instance.library + "#" + std::to_string(id);
+    report.running_invocations += instance.running.size();
+    if (!instance.running.empty())
+      violate(label + " still has " +
+              std::to_string(instance.running.size()) +
+              " running invocations");
+    if (instance.slots_in_use != instance.running.size())
+      violate(label + " slots_in_use=" +
+              std::to_string(instance.slots_in_use) + " but " +
+              std::to_string(instance.running.size()) +
+              " running invocations");
+    switch (instance.state) {
+      case InstanceState::kStaging:
+        violate(label + " still staging");
+        break;
+      case InstanceState::kInstalling:
+        violate(label + " still installing");
+        break;
+      case InstanceState::kDraining:
+        violate(label + " still draining");
+        break;
+      case InstanceState::kReady:
+        if (instance.pending_files != 0)
+          violate(label + " ready but pending_files=" +
+                  std::to_string(instance.pending_files));
+        break;
+    }
+    if (instance.state == InstanceState::kReady ||
+        instance.state == InstanceState::kDraining) {
+      ++expected_active;
+      expected_context_bytes += static_cast<double>(instance.context_memory);
+    }
+    auto worker_it = workers_.find(instance.worker);
+    if (worker_it == workers_.end() ||
+        !worker_it->second.instances.contains(id))
+      violate(label + " not linked to worker " +
+              std::to_string(instance.worker));
+  }
+
+  // Gauges must equal the values recomputed from first principles.
+  report.libraries_active_gauge =
+      static_cast<std::uint64_t>(m_.libraries_active->Value());
+  if (m_.libraries_active->Value() !=
+      static_cast<double>(expected_active))
+    violate("libraries_active gauge = " +
+            std::to_string(report.libraries_active_gauge) + " but " +
+            std::to_string(expected_active) + " ready/draining instances");
+  report.retained_context_bytes_gauge =
+      static_cast<std::uint64_t>(m_.retained_context_bytes->Value());
+  if (m_.retained_context_bytes->Value() != expected_context_bytes)
+    violate("retained_context_bytes gauge = " +
+            std::to_string(report.retained_context_bytes_gauge) +
+            " but instances retain " +
+            std::to_string(static_cast<std::uint64_t>(
+                expected_context_bytes)) +
+            " bytes");
+
+  // Per-worker accounting: the membership sets must be mirrored by the
+  // scheduler tables, and the recorded claims must exactly explain the
+  // allocator's non-free resources.
+  for (const auto& [worker_id, state] : workers_) {
+    const std::string label = "worker " + std::to_string(worker_id);
+    for (TaskId task_id : state.running_tasks)
+      if (!running_tasks_.contains(task_id))
+        violate(label + " lists unknown running task " +
+                std::to_string(task_id));
+    for (LibraryInstanceId inst_id : state.instances)
+      if (!instances_.contains(inst_id))
+        violate(label + " lists unknown instance " +
+                std::to_string(inst_id));
+    Resources claimed{0, 0, 0};
+    auto add_claim = [&claimed](const Resources& r) {
+      claimed.cores += r.cores;
+      claimed.memory_mb += r.memory_mb;
+      claimed.disk_mb += r.disk_mb;
+    };
+    for (const auto& [_, running] : running_tasks_)
+      if (running.worker == worker_id) add_claim(running.claimed);
+    for (const auto& [_, instance] : instances_)
+      if (instance.worker == worker_id) add_claim(instance.claimed);
+    const Resources total = state.alloc.total();
+    const Resources expected_free{total.cores - claimed.cores,
+                                  total.memory_mb - claimed.memory_mb,
+                                  total.disk_mb - claimed.disk_mb};
+    if (claimed.cores > total.cores || claimed.memory_mb > total.memory_mb ||
+        claimed.disk_mb > total.disk_mb) {
+      violate(label + " oversubscribed: claims " + claimed.ToString() +
+              " of " + total.ToString());
+    } else if (!(state.alloc.free() == expected_free)) {
+      violate(label + " allocator free=" + state.alloc.free().ToString() +
+              " but recorded claims imply " + expected_free.ToString());
+    }
+  }
+
+  cmd.promise->set_value(std::move(report));
+}
+
 // ---------------------------------------------------------------------------
 // Fault handling.
 // ---------------------------------------------------------------------------
@@ -1345,6 +1514,40 @@ void Manager::RequeueCall(PendingCall call) {
   }
   call.queued_s = Now();
   it->second.queue.push_front(std::move(call));
+}
+
+void Manager::FailWaiter(const Waiter& waiter, const Status& status) {
+  if (waiter.is_instance) {
+    // Discard the staging instance; its queued calls stay in the library
+    // queue and redeploy elsewhere on the next scheduling pass.
+    auto inst_it = instances_.find(waiter.id);
+    if (inst_it == instances_.end()) return;
+    auto worker_it = workers_.find(inst_it->second.worker);
+    if (worker_it != workers_.end()) {
+      worker_it->second.instances.erase(inst_it->second.id);
+      Status released =
+          worker_it->second.alloc.Release(inst_it->second.claimed);
+      if (!released.ok()) {
+        VLOG_ERROR("manager") << "release: " << released.ToString();
+      }
+    }
+    instances_.erase(inst_it);
+  } else {
+    auto task_it = running_tasks_.find(waiter.id);
+    if (task_it == running_tasks_.end()) return;
+    auto worker_it = workers_.find(task_it->second.worker);
+    if (worker_it != workers_.end()) {
+      worker_it->second.running_tasks.erase(waiter.id);
+      Status released =
+          worker_it->second.alloc.Release(task_it->second.claimed);
+      if (!released.ok()) {
+        VLOG_ERROR("manager") << "release: " << released.ToString();
+      }
+    }
+    task_it->second.task.future->Resolve(status);
+    FinishOne();
+    running_tasks_.erase(task_it);
+  }
 }
 
 void Manager::ProcessDeadWorkers() {
@@ -1402,18 +1605,28 @@ void Manager::OnWorkerDead(WorkerId worker) {
     }
   }
   for (auto& [key, transfer] : resource) {
-    // Restage from the manager (always holds declared payloads).
+    // Restage from the manager (it normally holds every declared payload).
+    // When StageFile declines — or the fresh transfer is not found under
+    // the key — the remaining waiters must be failed explicitly: silently
+    // dropping them leaves their futures unresolved and hangs WaitAll.
     auto waiters = std::move(transfer.waiters);
+    const Status lost =
+        DataLossError("transfer source died and restage failed: " +
+                      transfer.decl.name);
     bool first = true;
+    bool staged = false;
     for (const Waiter& waiter : waiters) {
       if (first) {
-        StageFile(transfer.decl, key.dest, waiter, transfer.trace);
         first = false;
-      } else {
-        auto new_it = transfers_.find(key);
-        if (new_it != transfers_.end())
-          new_it->second.waiters.push_back(waiter);
+        staged = StageFile(transfer.decl, key.dest, waiter, transfer.trace);
+        if (!staged) FailWaiter(waiter, lost);
+        continue;
       }
+      auto new_it = staged ? transfers_.find(key) : transfers_.end();
+      if (new_it != transfers_.end())
+        new_it->second.waiters.push_back(waiter);
+      else
+        FailWaiter(waiter, lost);
     }
   }
 
@@ -1439,7 +1652,11 @@ void Manager::OnWorkerDead(WorkerId worker) {
     if (inst_it == instances_.end()) continue;
     InstanceInfo instance = std::move(inst_it->second);
     instances_.erase(inst_it);
-    if (instance.state == InstanceState::kReady)
+    // A draining instance was counted active at LibraryReady and its
+    // LibraryRemovedMsg (the usual decrement point) will never arrive from
+    // a dead worker — decrement here for both states or the gauge drifts.
+    if (instance.state == InstanceState::kReady ||
+        instance.state == InstanceState::kDraining)
       m_.libraries_active->Set(
           std::max(0.0, m_.libraries_active->Value() - 1));
     m_.retained_context_bytes->Set(

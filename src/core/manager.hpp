@@ -92,6 +92,30 @@ struct ManagerMetrics {
   }
 };
 
+/// End-state invariant report produced by Manager::CheckQuiescent().
+/// The chaos harness calls it after WaitAll: a drained cluster must hold no
+/// queued/running work, no in-flight transfers or broadcasts, consistent
+/// per-worker resource accounting, and gauges equal to their true values.
+/// Transitional states (an instance still staging/installing/draining) are
+/// reported as violations so callers poll until the cluster settles.
+struct QuiescenceReport {
+  bool quiescent = true;
+  std::vector<std::string> violations;
+
+  std::uint64_t outstanding_futures = 0;
+  std::size_t task_queue = 0;
+  std::size_t running_tasks = 0;
+  std::size_t transfers = 0;
+  std::size_t broadcasts = 0;
+  std::size_t queued_calls = 0;
+  std::size_t running_invocations = 0;
+  std::size_t instances = 0;
+  std::uint64_t libraries_active_gauge = 0;
+  std::uint64_t retained_context_bytes_gauge = 0;
+
+  std::string ToString() const;
+};
+
 /// Deployment knobs for CreateLibraryFromFunctions.
 struct LibraryOptions {
   Resources resources = Resources::All();
@@ -192,6 +216,12 @@ class Manager {
   /// thread until every worker answered (or died) or `timeout_s` expired.
   Result<ClusterStatus> QueryStatus(double timeout_s = 5.0);
 
+  /// Debug API for the chaos harness: verifies on the manager thread that
+  /// every scheduler structure has drained and every gauge matches the
+  /// state it summarizes.  Blocks the calling thread; safe any time the
+  /// manager is running.  See QuiescenceReport for what is checked.
+  Result<QuiescenceReport> CheckQuiescent(double timeout_s = 5.0);
+
   /// The telemetry sink this manager reports into (shared or owned).
   telemetry::Telemetry& telemetry() const { return *telemetry_; }
 
@@ -228,8 +258,12 @@ class Manager {
   struct StatusCmd {
     std::shared_ptr<std::promise<Result<ClusterStatus>>> promise;
   };
+  /// Invariant audit request from an application thread (CheckQuiescent).
+  struct QuiescenceCmd {
+    std::shared_ptr<std::promise<QuiescenceReport>> promise;
+  };
   using Command = std::variant<InstallCmd, TaskCmd, CallCmd, BroadcastCmd,
-                               DisconnectCmd, StatusCmd>;
+                               DisconnectCmd, StatusCmd, QuiescenceCmd>;
 
   // ---- scheduler state (manager thread only) ----
   struct WorkerState {
@@ -366,6 +400,10 @@ class Manager {
 
   /// Begins staging `decl` onto `worker` (or joins an in-flight transfer).
   /// Returns true if the file still needs to arrive (waiter recorded).
+  /// Returns false — with NO waiter recorded — when the file cannot be
+  /// staged at all (payload missing from the manager store); callers either
+  /// dispatch without the file (the worker fails it cleanly) or fail the
+  /// waiter, but must never wait on a transfer that was never started.
   bool StageFile(const storage::FileDecl& decl, WorkerId worker,
                  Waiter waiter, telemetry::TraceContext trace);
   void CompleteTransfer(WorkerId worker, const hash::ContentId& id,
@@ -394,6 +432,11 @@ class Manager {
   void ProcessDeadWorkers();
   void OnWorkerDead(WorkerId worker);
   void StartParkedTransfers();
+  /// Permanently fails one transfer waiter: unwinds the placement (worker
+  /// sets, claimed resources) and, for task waiters, resolves the future.
+  /// Staging instances are discarded; their calls stay queued and retry.
+  void FailWaiter(const Waiter& waiter, const Status& status);
+  void RunQuiescenceCheck(QuiescenceCmd cmd);
   void ResolveTask(TaskId id, Result<Outcome> outcome);
   void ResolveCall(InstanceInfo& instance, InvocationId id,
                    Result<Outcome> outcome);
@@ -451,6 +494,7 @@ class Manager {
     telemetry::Gauge* retained_context_bytes = nullptr;
     telemetry::Gauge* setup_transfer_s = nullptr;
     telemetry::Gauge* setup_worker_s = nullptr;
+    telemetry::Gauge* setup_deserialize_s = nullptr;
     telemetry::Gauge* setup_context_s = nullptr;
     telemetry::Gauge* setup_exec_s = nullptr;
     telemetry::Histogram* task_roundtrip_s = nullptr;

@@ -130,13 +130,15 @@ Result<Resources> ReadResources(ArchiveReader& r) {
 void WriteTiming(ArchiveWriter& w, const TimingBreakdown& t) {
   w.WriteF64(t.transfer_s);
   w.WriteF64(t.worker_s);
+  w.WriteF64(t.deserialize_s);
   w.WriteF64(t.context_s);
   w.WriteF64(t.exec_s);
 }
 
 Result<TimingBreakdown> ReadTiming(ArchiveReader& r) {
   TimingBreakdown t;
-  for (double* field : {&t.transfer_s, &t.worker_s, &t.context_s, &t.exec_s}) {
+  for (double* field : {&t.transfer_s, &t.worker_s, &t.deserialize_s,
+                        &t.context_s, &t.exec_s}) {
     auto v = r.ReadF64();
     if (!v.ok()) return v.status();
     *field = *v;

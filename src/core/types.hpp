@@ -28,18 +28,20 @@ std::string_view ReuseLevelName(ReuseLevel level) noexcept;
 
 /// Per-execution overhead breakdown, mirroring Table 5's four columns.
 struct TimingBreakdown {
-  double transfer_s = 0;   // invocation details + data over the network
-  double worker_s = 0;     // worker-side setup: sandbox, unpack, staging
-  double context_s = 0;    // deserialize / reconstruct / context setup
-  double exec_s = 0;       // the function body itself
+  double transfer_s = 0;     // invocation details + data over the network
+  double worker_s = 0;       // worker-side setup: sandbox, unpack, staging
+  double deserialize_s = 0;  // decode functions / arguments from bytes
+  double context_s = 0;      // reconstruct / context setup proper
+  double exec_s = 0;         // the function body itself
 
   double Total() const noexcept {
-    return transfer_s + worker_s + context_s + exec_s;
+    return transfer_s + worker_s + deserialize_s + context_s + exec_s;
   }
 
   TimingBreakdown& operator+=(const TimingBreakdown& other) noexcept {
     transfer_s += other.transfer_s;
     worker_s += other.worker_s;
+    deserialize_s += other.deserialize_s;
     context_s += other.context_s;
     exec_s += other.exec_s;
     return *this;

@@ -1,5 +1,7 @@
 #include "core/worker.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 
 namespace vinelet::core {
@@ -398,11 +400,23 @@ TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s,
   }
   auto args = serde::Value::FromBlob(task.args);
   if (!args.ok()) return fail(args.status());
-  done.timing.context_s = watch.Elapsed();
+  // Function/argument decoding is deserialize cost, not context setup —
+  // stateless tasks build no retained context at all.
+  done.timing.deserialize_s = watch.Elapsed();
+
+  if (config_.fault && config_.fault->InjectTaskFailure(config_.id))
+    return fail(InternalError("injected task failure"));
 
   // --- Execute.  No retained context: env.context is null, so the function
   // rebuilds any in-memory state it needs (the repeated work L3 removes).
+  // An injected straggler delay is charged to exec_s: from the outside it
+  // is simply a slow execution.
   watch.Restart();
+  if (config_.fault) {
+    const double slow_s = config_.fault->StragglerDelayS(config_.id);
+    if (slow_s > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(slow_s));
+  }
   serde::InvocationEnv env;
   env.files = &files;
   env.closure = &closure;
@@ -424,8 +438,8 @@ TaskDoneMsg Worker::ExecuteTask(const TaskSpec& task, double decode_s,
                             task.id, t, t + done.timing.worker_s);
     t += done.timing.worker_s;
     ctx = tracer.EmitLinked(ctx, telemetry::Phase::kDeserialize, "task",
-                            track_, task.id, t, t + done.timing.context_s);
-    t += done.timing.context_s;
+                            track_, task.id, t, t + done.timing.deserialize_s);
+    t += done.timing.deserialize_s;
     ctx = tracer.EmitLinked(ctx, telemetry::Phase::kExec, "task", track_,
                             task.id, t, t + done.timing.exec_s);
     done.trace = ctx;
@@ -469,6 +483,7 @@ void Worker::HandleInstallLibrary(InstallLibraryMsg msg, double decode_s) {
       std::move(msg.spec), msg.instance_id, &store_, &unpacked_, registry_,
       std::move(callbacks), telemetry_);
   library->SetSetupTrace(msg.trace);
+  if (config_.fault) library->SetFaultInjector(config_.fault, config_.id);
   LibraryRuntime* raw = library.get();
   {
     std::lock_guard<std::mutex> lock(libraries_mu_);

@@ -19,6 +19,7 @@
 #include "core/protocol.hpp"
 #include "core/resources.hpp"
 #include "core/unpack_registry.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 #include "serde/function_registry.hpp"
 #include "storage/content_store.hpp"
@@ -35,6 +36,10 @@ struct WorkerConfig {
   /// worker cache/unpack metrics and execution spans land alongside the
   /// manager's.  Null = private instance.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Fault injector for chaos testing: injects task/invocation/setup
+  /// failures and straggler delays keyed by this worker's endpoint id.
+  /// Null = no injected faults.
+  std::shared_ptr<net::FaultInjector> fault;
 };
 
 class Worker {

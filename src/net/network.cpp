@@ -1,6 +1,21 @@
 #include "net/network.hpp"
 
+#include <utility>
+
+#include "net/fault.hpp"
+
 namespace vinelet::net {
+
+Network::~Network() {
+  std::thread pump;
+  {
+    std::lock_guard<std::mutex> lock(delay_mu_);
+    delay_stop_ = true;
+    pump = std::move(delay_thread_);
+  }
+  delay_cv_.notify_all();
+  if (pump.joinable()) pump.join();
+}
 
 Result<std::shared_ptr<Inbox>> Network::Register(EndpointId id,
                                                  std::size_t capacity) {
@@ -45,6 +60,16 @@ bool Network::Connected(EndpointId id) const {
   return shard.inboxes.contains(id);
 }
 
+void Network::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_ = std::move(injector);
+}
+
+std::shared_ptr<FaultInjector> Network::fault_injector() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault_;
+}
+
 Status Network::Send(EndpointId from, EndpointId to, Blob payload,
                      Blob attachment) {
   std::shared_ptr<Inbox> inbox;
@@ -56,14 +81,87 @@ Status Network::Send(EndpointId from, EndpointId to, Blob payload,
       return NotFoundError("endpoint gone: " + std::to_string(to));
     inbox = it->second;
   }
+  std::shared_ptr<FaultInjector> fault = fault_injector();
+  if (fault) {
+    const SendDecision decision = fault->OnSend(from, to);
+    // A dropped or partitioned message looks like success to the sender;
+    // the loss only surfaces through timeouts/probes, as on a real network.
+    if (decision.drop) return Status::Ok();
+    if (decision.corrupt) {
+      // Flip a bit in a deep copy: the original Blob may be a refcounted
+      // view into the sender's store and must stay pristine.
+      if (!attachment.empty())
+        attachment =
+            FaultInjector::CorruptCopy(attachment, decision.corrupt_bit);
+      else
+        payload = FaultInjector::CorruptCopy(payload, decision.corrupt_bit);
+    }
+    if (decision.delay_s > 0.0) {
+      for (int copy = 0; copy < decision.copies; ++copy)
+        EnqueueDelayed(inbox, Frame{from, payload, attachment},
+                       decision.delay_s);
+      return Status::Ok();
+    }
+    if (decision.copies > 1) {
+      Status status = Status::Ok();
+      for (int copy = 0; copy < decision.copies; ++copy)
+        status = Deliver(inbox, Frame{from, payload, attachment});
+      return status;
+    }
+  }
+  return Deliver(inbox,
+                 Frame{from, std::move(payload), std::move(attachment)});
+}
+
+Status Network::Deliver(const std::shared_ptr<Inbox>& inbox, Frame frame) {
   // The push (which may block on a bounded inbox) happens lock-free with
   // respect to the registry, so one slow receiver never stalls the fabric.
-  const std::uint64_t frame_bytes = payload.size() + attachment.size();
-  if (!inbox->Send(Frame{from, std::move(payload), std::move(attachment)}))
-    return UnavailableError("inbox closed: " + std::to_string(to));
+  const std::uint64_t frame_bytes =
+      frame.payload.size() + frame.attachment.size();
+  if (!inbox->Send(std::move(frame)))
+    return UnavailableError("inbox closed");
   frames_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(frame_bytes, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+void Network::EnqueueDelayed(std::shared_ptr<Inbox> inbox, Frame frame,
+                             double delay_s) {
+  const auto due = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::duration<double>(delay_s));
+  {
+    std::lock_guard<std::mutex> lock(delay_mu_);
+    delayed_.push(
+        DelayedFrame{due, delay_seq_++, std::move(inbox), std::move(frame)});
+    if (!delay_thread_.joinable() && !delay_stop_)
+      delay_thread_ = std::thread([this] { DelayPump(); });
+  }
+  delay_cv_.notify_all();
+}
+
+void Network::DelayPump() {
+  std::unique_lock<std::mutex> lock(delay_mu_);
+  while (true) {
+    if (delay_stop_) return;
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock,
+                     [this] { return delay_stop_ || !delayed_.empty(); });
+      continue;
+    }
+    const auto due = delayed_.top().due;
+    if (std::chrono::steady_clock::now() < due) {
+      delay_cv_.wait_until(lock, due);
+      continue;
+    }
+    DelayedFrame next = std::move(const_cast<DelayedFrame&>(delayed_.top()));
+    delayed_.pop();
+    lock.unlock();
+    // A closed inbox rejects the late push — the frame just evaporates,
+    // which is exactly what a delayed packet to a dead host would do.
+    (void)Deliver(next.inbox, std::move(next.frame));
+    lock.lock();
+  }
 }
 
 }  // namespace vinelet::net

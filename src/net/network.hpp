@@ -18,18 +18,25 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/channel.hpp"
 #include "common/status.hpp"
 
 namespace vinelet::net {
+
+class FaultInjector;
 
 using EndpointId = std::uint64_t;
 constexpr EndpointId kManagerEndpoint = 0;
@@ -51,6 +58,8 @@ using Inbox = Channel<Frame>;
 /// never dangles.
 class Network {
  public:
+  ~Network();
+
   /// Creates an endpoint and returns its inbox.  Fails if the id is taken.
   /// `capacity` bounds the inbox queue (0 = unbounded, the default); a
   /// bounded inbox makes Send block when full, which tests use to verify
@@ -78,6 +87,13 @@ class Network {
   Status Send(EndpointId from, EndpointId to, Blob payload,
               Blob attachment = Blob());
 
+  /// Installs (or clears, with nullptr) the fault injector consulted on
+  /// every Send.  Dropped/blocked messages report Status::Ok() to the
+  /// sender — a partition is silence, not an error — so manager probe and
+  /// retry paths get exercised exactly as they would be by a real network.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
+  std::shared_ptr<FaultInjector> fault_injector() const;
+
   /// Total frames delivered (for tests and overhead accounting).
   std::uint64_t frames_delivered() const {
     return frames_.load(std::memory_order_relaxed);
@@ -95,11 +111,43 @@ class Network {
   };
   Shard& ShardFor(EndpointId id) const { return shards_[id % kShards]; }
 
+  // A frame parked by an injected delay, due for delivery at `due`.
+  // Holding the inbox shared_ptr keeps delivery safe across Unregister;
+  // a closed inbox simply rejects the late push.
+  struct DelayedFrame {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq = 0;  // FIFO tie-break among equal deadlines
+    std::shared_ptr<Inbox> inbox;
+    Frame frame;
+    struct Later {
+      bool operator()(const DelayedFrame& a, const DelayedFrame& b) const {
+        return a.due != b.due ? a.due > b.due : a.seq > b.seq;
+      }
+    };
+  };
+
+  Status Deliver(const std::shared_ptr<Inbox>& inbox, Frame frame);
+  void EnqueueDelayed(std::shared_ptr<Inbox> inbox, Frame frame,
+                      double delay_s);
+  void DelayPump();
+
   mutable std::array<Shard, kShards> shards_;
   mutable std::mutex listener_mu_;
   std::function<void(EndpointId)> disconnect_listener_;
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> bytes_{0};
+
+  mutable std::mutex fault_mu_;
+  std::shared_ptr<FaultInjector> fault_;
+
+  std::mutex delay_mu_;
+  std::condition_variable delay_cv_;
+  std::priority_queue<DelayedFrame, std::vector<DelayedFrame>,
+                      DelayedFrame::Later>
+      delayed_;
+  std::uint64_t delay_seq_ = 0;
+  bool delay_stop_ = false;
+  std::thread delay_thread_;  // started lazily on the first delayed frame
 };
 
 }  // namespace vinelet::net

@@ -22,7 +22,10 @@ std::string TraceToCsv(const std::vector<InvocationTrace>& trace) {
 }
 
 VineSim::VineSim(SimConfig config, std::vector<InvocationSpec> invocations)
-    : config_(config), invocations_(std::move(invocations)), rng_(config.seed) {
+    : config_(config),
+      invocations_(std::move(invocations)),
+      rng_(config.seed),
+      fault_(config.fault) {
   sharedfs_bw_ = std::make_unique<FairShareResource>(
       &sim_, config_.cluster.sharedfs_bandwidth_Bps,
       config_.cluster.sharedfs_per_stream_Bps);
@@ -113,12 +116,29 @@ SimResult VineSim::Run() {
   if (config_.worker_mean_lifetime_s > 0.0 && !done_) {
     for (std::size_t w = 0; w < workers_.size(); ++w) ScheduleDeath(w);
   }
+  if (!workers_.empty() && !done_) {
+    for (const net::KillEvent& kill : config_.fault.kills) {
+      if (kill.worker == 0) continue;  // endpoint 0 is the manager
+      const std::size_t index =
+          static_cast<std::size_t>(kill.worker - 1) % workers_.size();
+      sim_.At(kill.at_s, [this, index] {
+        if (done_ || !workers_[index].alive) return;
+        ++result_.injected_kills;
+        KillWorkerNow(index);
+      });
+    }
+  }
 
   sim_.After(0.0, [this] { PumpDispatch(); });
   sim_.Run();
 
   result_.manager_utilization =
       result_.makespan > 0 ? manager_->utilization(result_.makespan) : 0.0;
+  const net::FaultStats fault_stats = fault_.stats();
+  result_.injected_setup_failures = fault_stats.setup_failures;
+  result_.injected_invocation_failures = fault_stats.invocation_failures;
+  result_.injected_task_failures = fault_stats.task_failures;
+  result_.injected_stragglers = fault_stats.stragglers;
   return result_;
 }
 
@@ -413,6 +433,16 @@ void VineSim::ServeL3(std::size_t worker_index, std::uint64_t generation,
               Requeue(invocation);
               return;
             }
+            if (config_.fault.worker.setup_failure_p > 0.0 &&
+                fault_.InjectSetupFailure(worker_index + 1)) {
+              // Setup failed after burning the setup time: the instance never
+              // becomes active and the invocation retries from scheduling
+              // (an existing slot, or another deploy attempt).
+              SimWorker& wf = workers_[worker_index];
+              if (wf.deploying > 0) --wf.deploying;
+              ServeL3(worker_index, generation, invocation, started);
+              return;
+            }
             trace_ctx_[invocation] = TraceSpan(
                 trace_ctx_[invocation], telemetry::Phase::kContextSetup,
                 "library", "worker-" + std::to_string(worker_index),
@@ -660,9 +690,41 @@ void VineSim::CompleteOnWorker(std::size_t worker_index,
     Requeue(invocation);
     return;
   }
+  if (config_.fault.worker.straggler_p > 0.0) {
+    // Mirrors the runtime straggler hook: the slot stays occupied and the
+    // extra time shows up as a slow execution (run_time includes it).
+    const double slow = fault_.StragglerDelayS(worker_index + 1);
+    if (slow > 0.0) {
+      sim_.After(slow, [this, worker_index, generation, invocation, started] {
+        FinishOnWorker(worker_index, generation, invocation, started);
+      });
+      return;
+    }
+  }
+  FinishOnWorker(worker_index, generation, invocation, started);
+}
+
+void VineSim::FinishOnWorker(std::size_t worker_index, std::uint64_t generation,
+                             std::size_t invocation, double started) {
+  if (!WorkerValid(worker_index, generation)) {
+    Requeue(invocation);
+    return;
+  }
   SimWorker& worker = workers_[worker_index];
   ++worker.free_slots;
   if (worker.active > 0) --worker.active;
+  const net::WorkerFaults& wf = config_.fault.worker;
+  if (wf.invocation_failure_p > 0.0 || wf.task_failure_p > 0.0) {
+    // L3 runs library invocations; L1/L2 run ordinary tasks — each draws
+    // from its own per-worker hook stream, matching the runtime.
+    const bool failed = config_.level == core::ReuseLevel::kL3
+                            ? fault_.InjectInvocationFailure(worker_index + 1)
+                            : fault_.InjectTaskFailure(worker_index + 1);
+    if (failed) {
+      Requeue(invocation);
+      return;
+    }
+  }
   const double run_time = sim_.Now() - started;
   if (config_.track_trace) {
     const PhaseAccum& p = phases_[invocation];
@@ -710,37 +772,40 @@ void VineSim::Requeue(std::size_t invocation) {
 
 void VineSim::ScheduleDeath(std::size_t worker_index) {
   const double lifetime = rng_.Exponential(config_.worker_mean_lifetime_s);
-  sim_.After(lifetime, [this, worker_index] {
-    if (done_) return;  // workload finished: let the event queue drain
-    SimWorker& worker = workers_[worker_index];
-    if (!worker.alive) return;
-    worker.alive = false;
-    ++result_.worker_deaths;
-    active_libraries_ -= worker.libraries;
-    worker.libraries = 0;
-    worker.deploying = 0;
-    worker.library_free_slots = 0;
-    worker.active = 0;
-    worker.env = SimWorker::Env::kAbsent;
-    // Fire pending env and library waiters: each observes the dead worker
-    // and requeues its invocation.  In-flight compute/transfer phases
-    // requeue lazily when they observe the generation change.
-    auto waiters = std::move(worker.env_waiters);
-    worker.env_waiters.clear();
-    for (auto& fn : waiters) fn();
-    auto lib_waiters = std::move(worker.library_waiters);
-    worker.library_waiters.clear();
-    for (auto& fn : lib_waiters) fn();
-    sim_.After(config_.worker_respawn_delay_s, [this, worker_index] {
-      if (done_) return;
-      SimWorker& w = workers_[worker_index];
-      w.alive = true;
-      ++w.generation;
-      w.free_slots = w.slots;
-      w.active = 0;
-      ScheduleDeath(worker_index);
-      PumpDispatch();
-    });
+  sim_.After(lifetime, [this, worker_index] { KillWorkerNow(worker_index); });
+}
+
+void VineSim::KillWorkerNow(std::size_t worker_index) {
+  if (done_) return;  // workload finished: let the event queue drain
+  SimWorker& worker = workers_[worker_index];
+  if (!worker.alive) return;
+  worker.alive = false;
+  ++result_.worker_deaths;
+  active_libraries_ -= worker.libraries;
+  worker.libraries = 0;
+  worker.deploying = 0;
+  worker.library_free_slots = 0;
+  worker.active = 0;
+  worker.env = SimWorker::Env::kAbsent;
+  // Fire pending env and library waiters: each observes the dead worker
+  // and requeues its invocation.  In-flight compute/transfer phases
+  // requeue lazily when they observe the generation change.
+  auto waiters = std::move(worker.env_waiters);
+  worker.env_waiters.clear();
+  for (auto& fn : waiters) fn();
+  auto lib_waiters = std::move(worker.library_waiters);
+  worker.library_waiters.clear();
+  for (auto& fn : lib_waiters) fn();
+  sim_.After(config_.worker_respawn_delay_s, [this, worker_index] {
+    if (done_) return;
+    SimWorker& w = workers_[worker_index];
+    w.alive = true;
+    ++w.generation;
+    w.free_slots = w.slots;
+    w.active = 0;
+    // Churn chains re-arm on respawn; one-shot scheduled kills do not.
+    if (config_.worker_mean_lifetime_s > 0.0) ScheduleDeath(worker_index);
+    PumpDispatch();
   });
 }
 

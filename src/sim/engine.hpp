@@ -16,6 +16,7 @@
 
 #include "common/stats.hpp"
 #include "core/types.hpp"
+#include "net/fault.hpp"
 #include "sim/cluster.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/des.hpp"
@@ -83,6 +84,17 @@ struct SimConfig {
   /// libraries trade deployment cost against sharing granularity.
   std::uint32_t library_slots = 1;
 
+  /// Fault schedule mirrored from the runtime harness: scheduled worker
+  /// kills replay at their virtual-time stamps, and the per-worker
+  /// setup/invocation/task failure and straggler rates draw from the same
+  /// seeded per-worker streams as net::FaultInjector, so one (seed, plan)
+  /// pair produces the same fault decisions in sim and runtime.  Worker ids
+  /// in the plan are 1-based runtime endpoints; kill events naming workers
+  /// beyond the cluster wrap modulo the worker count.  Link-level message
+  /// faults (drop/dup/corrupt/delay) have no analogue here — the fluid
+  /// model carries no individual messages.
+  net::FaultPlan fault;
+
   /// Optional telemetry sink.  When its tracer is enabled the simulator
   /// emits the same phase spans as the real runtime (submit, dispatch,
   /// transfer, unpack, context-setup, deserialize, exec, result) stamped
@@ -108,6 +120,14 @@ struct SimResult {
   std::uint64_t worker_deaths = 0;
   std::uint64_t requeued_invocations = 0;
   double manager_utilization = 0.0;
+
+  // Injected-fault counters from SimConfig::fault (subset of
+  // net::FaultStats that applies to the fluid model).
+  std::uint64_t injected_kills = 0;
+  std::uint64_t injected_setup_failures = 0;
+  std::uint64_t injected_invocation_failures = 0;
+  std::uint64_t injected_task_failures = 0;
+  std::uint64_t injected_stragglers = 0;
 
   TimeSeries active_libraries;  // x = invocations completed
   TimeSeries avg_share_value;   // x = invocations completed
@@ -216,13 +236,23 @@ class VineSim {
                 std::function<void()> done);
   void CompleteOnWorker(std::size_t worker_index, std::uint64_t generation,
                         std::size_t invocation, double started);
+  /// Completion after the straggler hook; applies the injected
+  /// task/invocation failure rate before recording the result.
+  void FinishOnWorker(std::size_t worker_index, std::uint64_t generation,
+                      std::size_t invocation, double started);
   void Requeue(std::size_t invocation);
   void ScheduleDeath(std::size_t worker_index);
+  /// Immediate abrupt death + scheduled respawn; shared by churn and the
+  /// fault plan's kill schedule.
+  void KillWorkerNow(std::size_t worker_index);
   bool WorkerValid(std::size_t worker_index, std::uint64_t generation) const;
 
   SimConfig config_;
   std::vector<InvocationSpec> invocations_;
   Rng rng_;
+  /// Same decision streams as the runtime's injector: per-worker keyed by
+  /// 1-based endpoint id, so sim worker index w maps to endpoint w + 1.
+  net::FaultInjector fault_;
 
   Simulation sim_;
   std::unique_ptr<FairShareResource> sharedfs_bw_;

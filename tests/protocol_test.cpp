@@ -130,12 +130,13 @@ TEST(ProtocolTest, TaskDoneRoundTrip) {
   msg.id = 8;
   msg.ok = true;
   msg.result = Blob::FromString("result");
-  msg.timing = {0.1, 0.2, 0.3, 0.4};
+  msg.timing = {0.1, 0.2, 0.3, 0.4, 0.5};
   auto out = RoundTrip<TaskDoneMsg>(msg);
   EXPECT_TRUE(out.ok);
   EXPECT_DOUBLE_EQ(out.timing.transfer_s, 0.1);
-  EXPECT_DOUBLE_EQ(out.timing.exec_s, 0.4);
-  EXPECT_DOUBLE_EQ(out.timing.Total(), 1.0);
+  EXPECT_DOUBLE_EQ(out.timing.deserialize_s, 0.3);
+  EXPECT_DOUBLE_EQ(out.timing.exec_s, 0.5);
+  EXPECT_DOUBLE_EQ(out.timing.Total(), 1.5);
 }
 
 TEST(ProtocolTest, InvocationDoneErrorRoundTrip) {
