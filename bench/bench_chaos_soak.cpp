@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/rng.hpp"
 #include "core/factory.hpp"
 #include "core/manager.hpp"
 #include "hash/content_id.hpp"
@@ -109,6 +110,13 @@ struct RuntimeOutcome {
   bool quiescent = false;      // CheckQuiescent settled clean
   bool stores_verified = true; // every cached blob hash-verifies
   std::uint64_t injected = 0;  // total faults the plan fired
+  /// Affinity audit at quiescence: (library, worker) pairs left in the
+  /// index and the warm-instance gauge (pairs <= instances when one worker
+  /// hosts several instances of a library).  CheckQuiescent recomputes the
+  /// table from the instance map, so reaching quiescent already proves no
+  /// stale entry survived the kills; the counts go on the record here.
+  std::size_t affinity_entries = 0;
+  std::uint64_t affinity_warm = 0;
   std::string first_violation;
   double wall_s = 0;
 
@@ -233,6 +241,8 @@ RuntimeOutcome RunRuntimeSoak(std::uint64_t seed, bool smoke) {
     if (report.ok()) {
       if (report->quiescent) {
         out.quiescent = true;
+        out.affinity_entries = report->affinity_entries;
+        out.affinity_warm = report->affinity_warm_gauge;
         break;
       }
       out.first_violation =
@@ -269,8 +279,19 @@ struct SimOutcome {
   bool completed = false;
   std::uint64_t injected = 0;
   std::uint64_t deaths = 0;
+  // Affinity leg: a skewed multi-library mix through the context-affinity
+  // scheduler under the same worker-side plan, kills landing mid-run.
+  double affinity_makespan = 0;
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t affinity_steals = 0;
+  std::uint64_t affinity_evicts = 0;
+  bool affinity_deterministic = false;
+  bool affinity_completed = false;
 
-  bool Pass() const { return deterministic && completed; }
+  bool Pass() const {
+    return deterministic && completed && affinity_deterministic &&
+           affinity_completed;
+  }
 };
 
 SimOutcome RunSimSoak(std::uint64_t seed, bool smoke) {
@@ -305,6 +326,44 @@ SimOutcome RunSimSoak(std::uint64_t seed, bool smoke) {
                  a.injected_invocation_failures + a.injected_task_failures +
                  a.injected_stragglers;
   out.deaths = a.worker_deaths;
+
+  // Affinity leg: the Zipf mix exercises the per-library queues, the
+  // affinity index, threshold-gated stealing and the autoscaler — the kill
+  // stamps land while warm instances still hold entries, so replay also
+  // proves the index mutations themselves are deterministic.
+  sim::SimConfig affinity_config;
+  affinity_config.level = core::ReuseLevel::kL3;
+  affinity_config.cluster.num_workers = 6;
+  affinity_config.seed = 42;
+  affinity_config.scheduler.policy = core::SchedulerPolicy::kAffinity;
+  affinity_config.fault = SoakPlan(seed);
+  affinity_config.fault.kills.push_back({10.0, (seed % 6) + 1});
+  affinity_config.fault.kills.push_back({18.0, (seed % 6) + 4});
+
+  const std::size_t zipf_invocations = smoke ? 400 : 1200;
+  auto zipf = [&] {
+    Rng rng(seed);
+    return sim::BuildZipfWorkload(costs, zipf_invocations, /*num_libraries=*/12,
+                                  /*s=*/1.1, /*exec_sigma=*/0.2,
+                                  /*arrival_rate=*/0.0, rng);
+  };
+  const sim::SimResult c = sim::VineSim(affinity_config, zipf()).Run();
+  const sim::SimResult d = sim::VineSim(affinity_config, zipf()).Run();
+
+  out.affinity_makespan = c.makespan;
+  out.affinity_hits = c.affinity_hits;
+  out.affinity_steals = c.steals;
+  out.affinity_evicts = c.autoscale_evicts;
+  out.affinity_completed = c.invocations_completed == zipf_invocations &&
+                           d.invocations_completed == zipf_invocations;
+  out.affinity_deterministic =
+      c.makespan == d.makespan && c.run_times == d.run_times &&
+      c.affinity_hits == d.affinity_hits &&
+      c.affinity_misses == d.affinity_misses && c.steals == d.steals &&
+      c.autoscale_deploys == d.autoscale_deploys &&
+      c.autoscale_evicts == d.autoscale_evicts &&
+      c.injected_kills == d.injected_kills &&
+      c.worker_deaths == d.worker_deaths;
   return out;
 }
 
@@ -331,13 +390,15 @@ int main(int argc, char** argv) {
   Section("Real runtime: churn + injected faults, invariants via "
           "CheckQuiescent");
   Table runtime_table({"Seed", "Futures", "Succeeded", "Injected", "Once",
-                       "Quiescent", "Stores", "Wall"});
+                       "Quiescent", "Affinity", "Stores", "Wall"});
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     const RuntimeOutcome out = RunRuntimeSoak(seed, smoke);
     runtime_table.AddRow(
         {std::to_string(seed), std::to_string(out.futures),
          std::to_string(out.succeeded), std::to_string(out.injected),
          out.resolved_once ? "yes" : "NO", out.quiescent ? "yes" : "NO",
+         std::to_string(out.affinity_entries) + "/" +
+             std::to_string(out.affinity_warm),
          out.stores_verified ? "ok" : "CORRUPT",
          FormatDouble(out.wall_s, 2) + " s"});
     report.AddMeasured("runtime seed " + std::to_string(seed) + " pass",
@@ -354,15 +415,22 @@ int main(int argc, char** argv) {
   }
   runtime_table.Print();
 
-  Section("DES mirror: same plan, virtual time, bit-identical replay");
-  Table sim_table(
-      {"Seed", "Makespan", "Injected", "Deaths", "Deterministic", "Complete"});
+  Section("DES mirror: same plan, virtual time, bit-identical replay "
+          "(LNNI batch + Zipf affinity legs)");
+  Table sim_table({"Seed", "Makespan", "Injected", "Deaths", "Deterministic",
+                   "Complete", "Zipf makespan", "Hits", "Steals", "Evicts",
+                   "Zipf det."});
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     const SimOutcome out = RunSimSoak(seed, smoke);
     sim_table.AddRow({std::to_string(seed), FormatDouble(out.makespan, 1),
                       std::to_string(out.injected), std::to_string(out.deaths),
                       out.deterministic ? "yes" : "NO",
-                      out.completed ? "yes" : "NO"});
+                      out.completed ? "yes" : "NO",
+                      FormatDouble(out.affinity_makespan, 1),
+                      std::to_string(out.affinity_hits),
+                      std::to_string(out.affinity_steals),
+                      std::to_string(out.affinity_evicts),
+                      out.affinity_deterministic ? "yes" : "NO"});
     report.AddMeasured("sim seed " + std::to_string(seed) + " pass",
                        out.Pass() ? 1.0 : 0.0);
     if (!out.Pass()) ++failures;

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/protocol.hpp"
+#include "core/scheduler.hpp"
 #include "hash/content_id.hpp"
 #include "hash/hash_ring.hpp"
 #include "poncho/packer.hpp"
@@ -273,6 +274,73 @@ void BM_DirectInvocationTraceOn(benchmark::State& state) {
   RunDirectInvocation(state, true);
 }
 BENCHMARK(BM_DirectInvocationTraceOn);
+
+void BM_SchedulerDispatchDecision(benchmark::State& state) {
+  // One full manager-side scheduling decision at cluster scale: the
+  // least-loaded pick over every warm instance plus the closed-loop
+  // autoscale verdict.  This is the per-invocation cost the affinity
+  // scheduler adds to the event loop, so it must stay trivially small
+  // next to the ~ms dispatch path.
+  const auto instances = static_cast<std::size_t>(state.range(0));
+  std::vector<core::DispatchCandidate> candidates;
+  candidates.reserve(instances);
+  for (std::size_t i = 0; i < instances; ++i)
+    candidates.push_back({i + 1, static_cast<std::uint32_t>(i % 5)});
+  const core::SchedulerConfig config;
+  core::AutoscaleSignal signal;
+  signal.ready_instances = instances;
+  signal.free_slots = instances / 2;
+  std::size_t n = 0;
+  for (auto _ : state) {
+    signal.queue_depth = n++ % (4 * instances);
+    benchmark::DoNotOptimize(
+        core::PickLeastLoaded(candidates.data(), candidates.size()));
+    benchmark::DoNotOptimize(core::DecideAutoscale(config, signal));
+  }
+}
+BENCHMARK(BM_SchedulerDispatchDecision)->Arg(16)->Arg(150)->Arg(2400);
+
+core::RunInvocationMsg MakeRunInvocation(std::uint64_t id) {
+  return {id, 3, "lnni_infer",
+          serde::Value::Dict(
+              {{"count", serde::Value(16)}, {"seed", serde::Value(7)}})
+              .ToBlob(),
+          {}};
+}
+
+void BM_EncodeRunInvocationUnbatched(benchmark::State& state) {
+  // Protocol cost of dispatching `batch` invocations the legacy way: one
+  // RunInvocationMsg frame each.
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      benchmark::DoNotOptimize(
+          core::EncodeMessage(core::Message(MakeRunInvocation(i))));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EncodeRunInvocationUnbatched)->Arg(4)->Arg(16);
+
+void BM_EncodeRunInvocationBatched(benchmark::State& state) {
+  // The same `batch` invocations folded into one RunInvocationBatchMsg:
+  // one frame header, one encode pass — the protocol amortization the
+  // batched dispatch path buys (compare items/s against the unbatched
+  // run; the ratio calibrates SimConfig::batch_item_cost_factor).
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    core::RunInvocationBatchMsg msg;
+    msg.instance_id = 3;
+    msg.items.reserve(batch);
+    for (std::uint64_t i = 0; i < batch; ++i)
+      msg.items.push_back(MakeRunInvocation(i));
+    benchmark::DoNotOptimize(core::EncodeMessage(core::Message(msg)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EncodeRunInvocationBatched)->Arg(4)->Arg(16);
 
 void BM_CacheIndexChurn(benchmark::State& state) {
   storage::CacheIndex cache(1 << 20);

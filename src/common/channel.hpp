@@ -34,6 +34,24 @@ class Channel {
     return true;
   }
 
+  /// Enqueues elements of [begin, end) under one lock acquisition (batched
+  /// dispatch amortization).  Blocks per element while full, like Send.
+  /// Returns the number of elements consumed: equal to the range size on
+  /// success, smaller if the channel closed mid-batch (elements past the
+  /// returned count are untouched).
+  template <typename It>
+  std::size_t SendAll(It begin, It end) {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::size_t sent = 0;
+    for (It it = begin; it != end; ++it, ++sent) {
+      not_full_.wait(lock, [&] { return closed_ || !Full(); });
+      if (closed_) break;
+      queue_.push_back(std::move(*it));
+    }
+    if (sent > 0) not_empty_.notify_all();
+    return sent;
+  }
+
   /// Non-blocking send.  Returns false if full or closed.
   bool TrySend(T value) {
     std::lock_guard<std::mutex> lock(mu_);

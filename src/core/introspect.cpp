@@ -38,6 +38,25 @@ std::string FormatClusterStatus(const ClusterStatus& status) {
     }
     out += "\n";
   }
+  const SchedulerStatus& sched = status.scheduler;
+  out += "  scheduler " + sched.policy + ": hit rate " +
+         Seconds(sched.HitRate()) + " (" + std::to_string(sched.affinity_hits) +
+         " hits / " + std::to_string(sched.affinity_misses) + " misses), " +
+         std::to_string(sched.steals) + " steal(s), autoscaler +" +
+         std::to_string(sched.autoscale_deploys) + "/-" +
+         std::to_string(sched.autoscale_evicts) + "\n";
+  out += "  dispatch batches: " + std::to_string(sched.batches_sent) +
+         " message(s), avg " + Seconds(sched.avg_batch_size) +
+         " invocation(s)/message, max " +
+         std::to_string(sched.max_batch_size) + "\n";
+  for (const auto& set : sched.affinity_sets) {
+    out += "  affinity " + set.library + ": workers [";
+    for (std::size_t i = 0; i < set.workers.size(); ++i) {
+      if (i != 0) out += " ";
+      out += std::to_string(set.workers[i]);
+    }
+    out += "]\n";
+  }
   out += "  median p95 latency: " + Seconds(status.cluster_median_p95_s) +
          "s (straggler factor " + Seconds(status.straggler_factor) + ")\n";
   for (const auto& worker : status.workers) {
@@ -101,7 +120,30 @@ std::string ClusterStatusToJson(const ClusterStatus& status) {
     }
     out += "]}";
   }
-  out += "\n],\n\"workers\": [";
+  const SchedulerStatus& sched = status.scheduler;
+  out += "\n],\n\"scheduler\": {\"policy\":\"" + JsonEscape(sched.policy) +
+         "\",\"hit_rate\":" + Seconds(sched.HitRate()) +
+         ",\"affinity_hits\":" + std::to_string(sched.affinity_hits) +
+         ",\"affinity_misses\":" + std::to_string(sched.affinity_misses) +
+         ",\"steals\":" + std::to_string(sched.steals) +
+         ",\"autoscale_deploys\":" + std::to_string(sched.autoscale_deploys) +
+         ",\"autoscale_evicts\":" + std::to_string(sched.autoscale_evicts) +
+         ",\"batches_sent\":" + std::to_string(sched.batches_sent) +
+         ",\"avg_batch_size\":" + Seconds(sched.avg_batch_size) +
+         ",\"max_batch_size\":" + std::to_string(sched.max_batch_size) +
+         ",\"affinity_sets\":[";
+  first = true;
+  for (const auto& set : sched.affinity_sets) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"library\":\"" + JsonEscape(set.library) + "\",\"workers\":[";
+    for (std::size_t i = 0; i < set.workers.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(set.workers[i]);
+    }
+    out += "]}";
+  }
+  out += "\n]},\n\"workers\": [";
   first = true;
   for (const auto& worker : status.workers) {
     out += first ? "\n" : ",\n";

@@ -53,6 +53,34 @@ struct LibraryQueueStatus {
   std::uint64_t queued = 0;
 };
 
+/// One library's affinity set: workers currently retaining its context.
+struct AffinitySetStatus {
+  std::string library;
+  std::vector<WorkerId> workers;
+};
+
+/// Scheduler + autoscaler view: routing policy, affinity hit rate, steal
+/// and autoscale action counts, and the dispatch batch-size distribution.
+struct SchedulerStatus {
+  std::string policy;  // "affinity" or "first_fit"
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t affinity_misses = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t autoscale_deploys = 0;
+  std::uint64_t autoscale_evicts = 0;
+  std::uint64_t batches_sent = 0;       // dispatch messages (any size)
+  double avg_batch_size = 0.0;          // invocations per dispatch message
+  std::uint64_t max_batch_size = 0;     // largest batch observed
+  std::vector<AffinitySetStatus> affinity_sets;
+
+  double HitRate() const {
+    const std::uint64_t total = affinity_hits + affinity_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(affinity_hits) /
+                            static_cast<double>(total);
+  }
+};
+
 struct ClusterStatus {
   double collected_s = 0.0;  // telemetry clock when the query ran
   std::uint64_t task_queue_depth = 0;
@@ -63,6 +91,7 @@ struct ClusterStatus {
   /// multiplier a worker's p95 must exceed it by to be flagged.
   double cluster_median_p95_s = 0.0;
   double straggler_factor = 3.0;
+  SchedulerStatus scheduler;
 };
 
 /// Human-readable multi-line rendering (the vinelet-status default).

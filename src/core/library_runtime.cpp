@@ -47,6 +47,10 @@ bool LibraryRuntime::Submit(RunInvocationMsg msg) {
   return requests_.Send(std::move(msg));
 }
 
+std::size_t LibraryRuntime::SubmitBatch(std::vector<RunInvocationMsg>& msgs) {
+  return requests_.SendAll(msgs.begin(), msgs.end());
+}
+
 void LibraryRuntime::Run() {
   // Phase 1: one-time context setup — the whole point of the library.
   TimingBreakdown setup_timing;

@@ -67,6 +67,12 @@ class LibraryRuntime {
   /// Enqueues an invocation; false if the library is shutting down.
   bool Submit(RunInvocationMsg msg);
 
+  /// Enqueues a whole dispatch batch under one channel lock (batched
+  /// RunInvocationBatchMsg unpack path).  Returns the number of items
+  /// accepted; fewer than msgs.size() means the library is shutting down
+  /// and items from the returned index on were not consumed.
+  std::size_t SubmitBatch(std::vector<RunInvocationMsg>& msgs);
+
   LibraryInstanceId instance_id() const noexcept { return instance_id_; }
   const LibrarySpec& spec() const noexcept { return spec_; }
 

@@ -33,6 +33,12 @@ Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
   m_.manager_transfer_bytes = &reg.GetCounter("manager.manager_transfer_bytes");
   m_.broadcast_resends = &reg.GetCounter("manager.broadcast_resends");
   m_.broadcast_resend_bytes = &reg.GetCounter("manager.broadcast_resend_bytes");
+  m_.affinity_hits = &reg.GetCounter("manager.affinity_hits");
+  m_.affinity_misses = &reg.GetCounter("manager.affinity_misses");
+  m_.steals = &reg.GetCounter("manager.steals");
+  m_.autoscale_deploys = &reg.GetCounter("manager.autoscale_deploys");
+  m_.autoscale_evicts = &reg.GetCounter("manager.autoscale_evicts");
+  m_.affinity_warm_instances = &reg.GetGauge("manager.affinity_warm_instances");
   m_.libraries_active = &reg.GetGauge("manager.libraries_active");
   m_.retained_context_bytes = &reg.GetGauge("manager.retained_context_bytes");
   m_.setup_transfer_s = &reg.GetGauge("manager.last_setup.transfer_s");
@@ -43,6 +49,7 @@ Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
   m_.task_roundtrip_s = &reg.GetHistogram("manager.task_roundtrip_s");
   m_.invocation_roundtrip_s =
       &reg.GetHistogram("manager.invocation_roundtrip_s");
+  m_.dispatch_batch_size = &reg.GetHistogram("manager.dispatch_batch_size");
 }
 
 Manager::~Manager() { Stop(); }
@@ -334,6 +341,11 @@ ManagerMetrics Manager::metrics() const {
   m.retries = snap.CounterValue("manager.retries");
   m.peer_transfers = snap.CounterValue("manager.peer_transfers");
   m.manager_transfers = snap.CounterValue("manager.manager_transfers");
+  m.affinity_hits = snap.CounterValue("manager.affinity_hits");
+  m.affinity_misses = snap.CounterValue("manager.affinity_misses");
+  m.steals = snap.CounterValue("manager.steals");
+  m.autoscale_deploys = snap.CounterValue("manager.autoscale_deploys");
+  m.autoscale_evicts = snap.CounterValue("manager.autoscale_evicts");
   m.libraries_active = static_cast<std::uint64_t>(
       snap.GaugeValue("manager.libraries_active"));
   m.retained_context_bytes = static_cast<std::uint64_t>(
@@ -479,6 +491,8 @@ void Manager::HandleFrame(const net::Frame& frame) {
           if (it->second.state != InstanceState::kInstalling) return;
           it->second.state = InstanceState::kReady;
           it->second.context_memory = msg.context_memory_bytes;
+          affinity_.Add(it->second.library, it->second.worker);
+          SyncAffinityGauge();
           m_.libraries_deployed->Add();
           m_.libraries_active->Add(1);
           m_.retained_context_bytes->Add(
@@ -497,6 +511,12 @@ void Manager::HandleFrame(const net::Frame& frame) {
           if (it == instances_.end()) return;
           InstanceInfo instance = std::move(it->second);
           instances_.erase(it);
+          // Draining instances left the affinity set when eviction began; a
+          // removal arriving in kReady (defensive) must drop its entry too.
+          if (instance.state == InstanceState::kReady) {
+            affinity_.Remove(instance.library, instance.worker);
+            SyncAffinityGauge();
+          }
           auto worker_it = workers_.find(instance.worker);
           if (worker_it != workers_.end()) {
             worker_it->second.instances.erase(instance.id);
@@ -616,6 +636,12 @@ void Manager::HandleCommand(Command command) {
           call.trace = telemetry_->tracer.StartTrace(
               telemetry::Phase::kSubmit, "invocation", "manager", call.id,
               cmd.submitted_s, call.queued_s);
+          // Affinity hit-rate: did this invocation arrive while some worker
+          // already retained its library's context?
+          if (affinity_.CountFor(cmd.library) > 0)
+            m_.affinity_hits->Add();
+          else
+            m_.affinity_misses->Add();
           it->second.queue.push_back(std::move(call));
         } else if constexpr (std::is_same_v<T, BroadcastCmd>) {
           StartBroadcast(std::move(cmd));
@@ -639,16 +665,26 @@ void Manager::TrySchedule() {
   // Stateless tasks: first-fit in FIFO order with a single stable compaction
   // pass — scheduled tasks are dropped by moving the survivors forward once,
   // instead of an O(queue) mid-deque erase per placement (quadratic when a
-  // large backlog drains).
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < task_queue_.size(); ++i) {
-    if (!TryScheduleTask(task_queue_[i])) {
-      if (keep != i) task_queue_[keep] = std::move(task_queue_[i]);
-      ++keep;
+  // large backlog drains).  The whole sweep early-outs when there is nothing
+  // to place or nowhere to place it, and the compaction itself only runs
+  // when at least one task actually left the queue — the common idle pass
+  // (every worker busy) costs the placement probes and nothing else.
+  if (!task_queue_.empty() && !workers_.empty()) {
+    std::size_t keep = 0;
+    bool placed = false;
+    for (std::size_t i = 0; i < task_queue_.size(); ++i) {
+      if (TryScheduleTask(task_queue_[i])) {
+        placed = true;
+      } else {
+        if (keep != i) task_queue_[keep] = std::move(task_queue_[i]);
+        ++keep;
+      }
     }
+    if (placed)
+      task_queue_.erase(
+          task_queue_.begin() + static_cast<std::ptrdiff_t>(keep),
+          task_queue_.end());
   }
-  task_queue_.erase(task_queue_.begin() + static_cast<std::ptrdiff_t>(keep),
-                    task_queue_.end());
   // Function calls, per library.
   std::vector<std::string> names;
   names.reserve(libraries_.size());
@@ -694,6 +730,44 @@ bool Manager::TryScheduleTask(PendingTask& task) {
   return false;
 }
 
+AutoscaleSignal Manager::BuildAutoscaleSignal(
+    const std::string& library_name) const {
+  AutoscaleSignal signal;
+  auto lib_it = libraries_.find(library_name);
+  if (lib_it != libraries_.end()) {
+    signal.queue_depth = lib_it->second.queue.size();
+    for (const auto& [_, worker] : workers_) {
+      if (worker.alloc.CanAllocate(lib_it->second.spec.resources))
+        ++signal.workers_with_room;
+    }
+  }
+  std::uint64_t served = 0;
+  for (const auto& [_, instance] : instances_) {
+    if (instance.library != library_name) continue;
+    switch (instance.state) {
+      case InstanceState::kReady:
+        ++signal.ready_instances;
+        signal.free_slots += instance.slots - instance.slots_in_use;
+        served += instance.served;
+        break;
+      case InstanceState::kStaging:
+      case InstanceState::kInstalling:
+        ++signal.pending_instances;
+        signal.pending_slots += instance.slots;
+        break;
+      case InstanceState::kDraining:
+        break;
+    }
+  }
+  // Fig 11 share value for this library: invocations served per warm
+  // instance, computed from the per-instance counters already maintained
+  // for introspection.
+  if (signal.ready_instances > 0)
+    signal.share_value = static_cast<double>(served) /
+                         static_cast<double>(signal.ready_instances);
+  return signal;
+}
+
 void Manager::TryScheduleLibrary(const std::string& library_name) {
   auto it = libraries_.find(library_name);
   if (it == libraries_.end()) return;
@@ -701,16 +775,26 @@ void Manager::TryScheduleLibrary(const std::string& library_name) {
 
   while (!info.queue.empty()) {
     if (TryDispatchCall(info)) continue;
-    // Not enough live capacity: deploy more instances if the queue exceeds
-    // what the staged/installing ones will provide once ready.
-    std::uint64_t upcoming = 0;
-    for (const auto& [_, instance] : instances_) {
-      if (instance.library != library_name) continue;
-      if (instance.state == InstanceState::kDraining) continue;
-      upcoming += instance.slots - instance.slots_in_use;
+    // No warm slot took the call: close the loop through the autoscaler.
+    // Under kFirstFit the legacy rule applies (deploy whenever the backlog
+    // exceeds upcoming capacity); under kAffinity a deploy additionally
+    // requires the per-warm-instance backlog to cross the steal threshold,
+    // so small backlogs drain through the affinity set instead of
+    // displacing warm capacity elsewhere.
+    const AutoscaleSignal signal = BuildAutoscaleSignal(library_name);
+    AutoscaleAction action;
+    if (config_.scheduler.policy == SchedulerPolicy::kFirstFit) {
+      action = signal.queue_depth <= signal.free_slots + signal.pending_slots
+                   ? AutoscaleAction::kHold
+                   : AutoscaleAction::kDeploy;
+    } else {
+      action = DecideAutoscale(config_.scheduler, signal);
     }
-    if (info.queue.size() <= upcoming) break;  // capacity is on the way
-    if (TryDeployInstance(library_name)) continue;
+    if (action != AutoscaleAction::kDeploy) break;  // capacity is on the way
+    if (TryDeployInstance(library_name)) {
+      m_.autoscale_deploys->Add();
+      continue;
+    }
     // No worker has room: reclaim an idle library of another function
     // (§3.5.2 empty-library eviction) and wait for the removal.
     TryEvictEmptyLibrary(library_name);
@@ -720,13 +804,50 @@ void Manager::TryScheduleLibrary(const std::string& library_name) {
 
 bool Manager::TryDispatchCall(LibraryInfo& info) {
   if (info.queue.empty()) return false;
-  for (auto& [_, instance] : instances_) {
-    if (instance.library != info.spec.name) continue;
-    if (instance.state != InstanceState::kReady) continue;
-    if (instance.slots_in_use >= instance.slots) continue;
+  InstanceInfo* chosen = nullptr;
+  if (config_.scheduler.policy == SchedulerPolicy::kFirstFit) {
+    // Legacy: first ready instance in map (deployment) order.
+    for (auto& [_, instance] : instances_) {
+      if (instance.library != info.spec.name) continue;
+      if (instance.state != InstanceState::kReady) continue;
+      if (instance.slots_in_use >= instance.slots) continue;
+      chosen = &instance;
+      break;
+    }
+  } else {
+    // Context affinity: least-loaded warm instance via the shared policy
+    // helper (ties break to the lowest instance id — deterministic, and
+    // identical to the simulator's choice).
+    std::vector<DispatchCandidate> candidates;
+    std::vector<InstanceInfo*> backing;
+    for (auto& [_, instance] : instances_) {
+      if (instance.library != info.spec.name) continue;
+      if (instance.state != InstanceState::kReady) continue;
+      candidates.push_back(
+          {instance.id, instance.slots - instance.slots_in_use});
+      backing.push_back(&instance);
+    }
+    const std::size_t pick =
+        PickLeastLoaded(candidates.data(), candidates.size());
+    if (pick != kNoCandidate) chosen = backing[pick];
+  }
+  if (chosen == nullptr) return false;
+  return DispatchCallsTo(*chosen, info.queue) > 0;
+}
 
-    PendingCall call = std::move(info.queue.front());
-    info.queue.pop_front();
+std::size_t Manager::DispatchCallsTo(InstanceInfo& instance,
+                                     std::deque<PendingCall>& queue) {
+  const std::size_t free_slots = instance.slots - instance.slots_in_use;
+  const std::size_t max_batch =
+      std::max<std::uint32_t>(1, config_.scheduler.max_batch);
+  const std::size_t take =
+      std::min({queue.size(), free_slots, max_batch});
+  if (take == 0) return 0;
+  const WorkerId worker = instance.worker;
+
+  auto pop_next = [&]() {
+    PendingCall call = std::move(queue.front());
+    queue.pop_front();
     ++instance.slots_in_use;
     call.trace = telemetry_->tracer.EmitLinked(
         call.trace, telemetry::Phase::kDispatch, "invocation", "manager",
@@ -737,13 +858,23 @@ bool Manager::TryDispatchCall(LibraryInfo& info) {
     msg.function_name = call.function;
     msg.args = call.args;
     msg.trace = call.trace;
-    const WorkerId worker = instance.worker;
     instance.running.emplace(call.id, std::move(call));
+    return msg;
+  };
+
+  m_.dispatch_batch_size->Observe(static_cast<double>(take));
+  if (take == 1) {
+    // Single call: the legacy one-message path, no batch framing.
     // A failed send means the worker died; ProcessDeadWorkers requeues.
-    (void)SendTo(worker, msg);
-    return true;
+    (void)SendTo(worker, pop_next());
+    return 1;
   }
-  return false;
+  RunInvocationBatchMsg batch;
+  batch.instance_id = instance.id;
+  batch.items.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) batch.items.push_back(pop_next());
+  (void)SendTo(worker, batch);
+  return take;
 }
 
 bool Manager::TryDeployInstance(const std::string& library_name) {
@@ -759,6 +890,12 @@ bool Manager::TryDeployInstance(const std::string& library_name) {
     if (!it->second.alloc.CanAllocate(spec.resources)) continue;
     auto claimed = it->second.alloc.Allocate(spec.resources);
     if (!claimed.ok()) continue;
+
+    // Work stealing: recruiting a worker outside the warm affinity set while
+    // the library already has warm instances elsewhere.
+    if (affinity_.CountFor(library_name) > 0 &&
+        !affinity_.Contains(library_name, worker_id))
+      m_.steals->Add();
 
     InstanceInfo instance;
     instance.id = next_instance_id_++;
@@ -788,6 +925,13 @@ bool Manager::TryDeployInstance(const std::string& library_name) {
 }
 
 bool Manager::TryEvictEmptyLibrary(const std::string& for_library) {
+  // Fig 11 eviction order: among idle instances, evict the one whose
+  // library shows the poorest share value first — DecideAutoscale flags
+  // those as preferred victims (kEvict) — then the least-served instance.
+  // A proven library is only displaced when no poor one remains, because
+  // evicting it destroys the amortization retention paid for.
+  InstanceInfo* victim = nullptr;
+  bool victim_preferred = false;
   for (auto& [_, instance] : instances_) {
     if (instance.library == for_library) continue;
     if (instance.state != InstanceState::kReady) continue;
@@ -795,8 +939,27 @@ bool Manager::TryEvictEmptyLibrary(const std::string& for_library) {
     auto lib_it = libraries_.find(instance.library);
     if (lib_it != libraries_.end() && !lib_it->second.queue.empty()) continue;
 
+    if (config_.scheduler.policy != SchedulerPolicy::kAffinity) {
+      victim = &instance;  // legacy first-fit: first idle instance wins
+      break;
+    }
+    const bool preferred =
+        DecideAutoscale(config_.scheduler,
+                        BuildAutoscaleSignal(instance.library)) ==
+        AutoscaleAction::kEvict;
+    if (victim == nullptr || (preferred && !victim_preferred) ||
+        (preferred == victim_preferred && instance.served < victim->served)) {
+      victim = &instance;
+      victim_preferred = preferred;
+    }
+  }
+  if (victim != nullptr) {
+    InstanceInfo& instance = *victim;
     instance.state = InstanceState::kDraining;
+    affinity_.Remove(instance.library, instance.worker);
+    SyncAffinityGauge();
     m_.libraries_evicted->Add();
+    m_.autoscale_evicts->Add();
     VLOG_INFO("manager") << "evicting empty library " << instance.library
                          << "#" << instance.id << " from worker "
                          << instance.worker << " for " << for_library;
@@ -1226,23 +1389,18 @@ void Manager::FeedInstance(InstanceInfo& instance) {
   auto lib_it = libraries_.find(instance.library);
   if (lib_it == libraries_.end()) return;
   auto& queue = lib_it->second.queue;
+  // Each round folds up to max_batch calls into one frame; loop in case the
+  // instance has more free slots than one batch covers.
   while (!queue.empty() && instance.slots_in_use < instance.slots) {
-    PendingCall call = std::move(queue.front());
-    queue.pop_front();
-    ++instance.slots_in_use;
-    call.trace = telemetry_->tracer.EmitLinked(
-        call.trace, telemetry::Phase::kDispatch, "invocation", "manager",
-        call.id, call.queued_s, Now());
-    RunInvocationMsg msg;
-    msg.id = call.id;
-    msg.instance_id = instance.id;
-    msg.function_name = call.function;
-    msg.args = call.args;
-    msg.trace = call.trace;
-    const WorkerId worker = instance.worker;
-    instance.running.emplace(call.id, std::move(call));
-    if (!SendTo(worker, msg).ok()) return;  // reaped by ProcessDeadWorkers
+    if (DispatchCallsTo(instance, queue) == 0) return;
   }
+}
+
+void Manager::SyncAffinityGauge() {
+  std::size_t warm = 0;
+  for (const auto& [library, workers] : affinity_.table())
+    for (const auto& [worker, count] : workers) warm += count;
+  m_.affinity_warm_instances->Set(static_cast<double>(warm));
 }
 
 // ---------------------------------------------------------------------------
@@ -1278,6 +1436,27 @@ void Manager::StartStatusQuery(StatusCmd cmd) {
   status.straggler_factor = config_.straggler_factor;
   for (const auto& [name, info] : libraries_)
     status.library_queues.push_back({name, info.queue.size()});
+  status.scheduler.policy =
+      std::string(SchedulerPolicyName(config_.scheduler.policy));
+  status.scheduler.affinity_hits = m_.affinity_hits->Value();
+  status.scheduler.affinity_misses = m_.affinity_misses->Value();
+  status.scheduler.steals = m_.steals->Value();
+  status.scheduler.autoscale_deploys = m_.autoscale_deploys->Value();
+  status.scheduler.autoscale_evicts = m_.autoscale_evicts->Value();
+  {
+    const telemetry::HistogramSnapshot batches =
+        m_.dispatch_batch_size->Snapshot();
+    status.scheduler.batches_sent = batches.count;
+    status.scheduler.avg_batch_size = batches.Mean();
+    status.scheduler.max_batch_size =
+        static_cast<std::uint64_t>(batches.max);
+  }
+  for (const auto& [library, workers] : affinity_.table()) {
+    AffinitySetStatus set;
+    set.library = library;
+    for (const auto& [worker, count] : workers) set.workers.push_back(worker);
+    status.scheduler.affinity_sets.push_back(std::move(set));
+  }
   for (const auto& [id, state] : broadcasts_) {
     BroadcastStatus b;
     b.name = state.decl.name;
@@ -1461,6 +1640,51 @@ void Manager::RunQuiescenceCheck(QuiescenceCmd cmd) {
                 expected_context_bytes)) +
             " bytes");
 
+  // Affinity sets must equal what the instance table implies: exactly one
+  // entry per kReady instance, keyed by its (library, worker).  A stale
+  // entry (e.g. left behind by a worker death) would route invocations at
+  // vanished context; a missing one hides warm capacity.
+  AffinityIndex expected_affinity;
+  for (const auto& [id, instance] : instances_)
+    if (instance.state == InstanceState::kReady)
+      expected_affinity.Add(instance.library, instance.worker);
+  for (const auto& [library, workers] : affinity_.table()) {
+    report.affinity_entries += workers.size();
+    const AffinityIndex::WorkerCounts* expected =
+        expected_affinity.Get(library);
+    for (const auto& [worker, count] : workers) {
+      std::uint32_t expected_count = 0;
+      if (expected != nullptr) {
+        auto expected_it = expected->find(worker);
+        if (expected_it != expected->end())
+          expected_count = expected_it->second;
+      }
+      if (expected_count == 0)
+        violate("stale affinity entry: " + library + " -> worker " +
+                std::to_string(worker) + " (no ready instance there)");
+      else if (expected_count != count)
+        violate("affinity count for " + library + " on worker " +
+                std::to_string(worker) + " = " + std::to_string(count) +
+                " but " + std::to_string(expected_count) +
+                " ready instances");
+    }
+  }
+  std::size_t expected_warm = 0;
+  for (const auto& [library, workers] : expected_affinity.table())
+    for (const auto& [worker, count] : workers) {
+      expected_warm += count;
+      if (!affinity_.Contains(library, worker))
+        violate("missing affinity entry: " + library + " -> worker " +
+                std::to_string(worker));
+    }
+  report.affinity_warm_gauge =
+      static_cast<std::uint64_t>(m_.affinity_warm_instances->Value());
+  if (m_.affinity_warm_instances->Value() !=
+      static_cast<double>(expected_warm))
+    violate("affinity_warm_instances gauge = " +
+            std::to_string(report.affinity_warm_gauge) + " but " +
+            std::to_string(expected_warm) + " ready instances");
+
   // Per-worker accounting: the membership sets must be mirrored by the
   // scheduler tables, and the recorded claims must exactly explain the
   // allocator's non-free resources.
@@ -1581,6 +1805,10 @@ void Manager::OnWorkerDead(WorkerId worker) {
   workers_.erase(it);
   ring_.Remove(worker);
   replicas_.RemoveWorker(worker);
+  // Drop every affinity entry pointing at the dead worker — a stale entry
+  // here is exactly what the quiescence audit flags as a violation.
+  affinity_.RemoveWorker(worker);
+  SyncAffinityGauge();
   {
     std::lock_guard<std::mutex> lock(wait_mu_);
     worker_count_ = workers_.size();

@@ -29,6 +29,7 @@
 #include "core/future.hpp"
 #include "core/introspect.hpp"
 #include "core/protocol.hpp"
+#include "core/scheduler.hpp"
 #include "hash/hash_ring.hpp"
 #include "net/network.hpp"
 #include "poncho/analyzer.hpp"
@@ -58,6 +59,9 @@ struct ManagerConfig {
   /// A worker is flagged as a straggler by QueryStatus when its rolling p95
   /// invocation latency exceeds this multiple of the cluster median.
   double straggler_factor = 3.0;
+  /// Invocation routing + library autoscaling policy (context affinity by
+  /// default; kFirstFit restores the legacy first-ready-instance behaviour).
+  SchedulerConfig scheduler;
   const serde::FunctionRegistry* registry = nullptr;  // default: Global()
   /// Shared telemetry (metrics registry + span tracer).  Pass the same
   /// handle to FactoryConfig so manager and worker metrics/spans land
@@ -74,6 +78,15 @@ struct ManagerMetrics {
   std::uint64_t retries = 0;
   std::uint64_t peer_transfers = 0;
   std::uint64_t manager_transfers = 0;
+
+  /// Scheduler telemetry: did an invocation arrive to retained context
+  /// (a ready instance of its library existed somewhere), and how often did
+  /// the autoscaler recruit cold capacity beyond the warm affinity set.
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t affinity_misses = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t autoscale_deploys = 0;
+  std::uint64_t autoscale_evicts = 0;
 
   /// Sum of worker memory currently occupied by retained contexts across
   /// all active libraries (reported by workers at LibraryReady, §2.1.3).
@@ -112,6 +125,11 @@ struct QuiescenceReport {
   std::size_t instances = 0;
   std::uint64_t libraries_active_gauge = 0;
   std::uint64_t retained_context_bytes_gauge = 0;
+  /// (library, worker) pairs in the affinity index at audit time; the audit
+  /// recomputes the whole table from the instance map and reports every
+  /// stale or missing entry (e.g. one left behind by a worker death).
+  std::size_t affinity_entries = 0;
+  std::uint64_t affinity_warm_gauge = 0;
 
   std::string ToString() const;
 };
@@ -398,6 +416,16 @@ class Manager {
   bool TryDeployInstance(const std::string& library_name);
   bool TryEvictEmptyLibrary(const std::string& for_library);
 
+  /// Observable inputs to one autoscaling decision for `library_name`.
+  AutoscaleSignal BuildAutoscaleSignal(const std::string& library_name) const;
+  /// Moves up to min(free slots, max_batch) queued calls of the instance's
+  /// library onto it — one RunInvocationMsg when a single call fits, one
+  /// RunInvocationBatchMsg otherwise.  Returns the number dispatched.
+  std::size_t DispatchCallsTo(InstanceInfo& instance,
+                              std::deque<PendingCall>& queue);
+  /// Re-publishes the warm-instance gauge after an affinity mutation.
+  void SyncAffinityGauge();
+
   /// Begins staging `decl` onto `worker` (or joins an in-flight transfer).
   /// Returns true if the file still needs to arrive (waiter recorded).
   /// Returns false — with NO waiter recorded — when the file cannot be
@@ -490,6 +518,12 @@ class Manager {
     // payload accounting so retries never double-count broadcast bytes.
     telemetry::Counter* broadcast_resends = nullptr;
     telemetry::Counter* broadcast_resend_bytes = nullptr;
+    telemetry::Counter* affinity_hits = nullptr;
+    telemetry::Counter* affinity_misses = nullptr;
+    telemetry::Counter* steals = nullptr;
+    telemetry::Counter* autoscale_deploys = nullptr;
+    telemetry::Counter* autoscale_evicts = nullptr;
+    telemetry::Gauge* affinity_warm_instances = nullptr;
     telemetry::Gauge* libraries_active = nullptr;
     telemetry::Gauge* retained_context_bytes = nullptr;
     telemetry::Gauge* setup_transfer_s = nullptr;
@@ -499,6 +533,7 @@ class Manager {
     telemetry::Gauge* setup_exec_s = nullptr;
     telemetry::Histogram* task_roundtrip_s = nullptr;
     telemetry::Histogram* invocation_roundtrip_s = nullptr;
+    telemetry::Histogram* dispatch_batch_size = nullptr;
   } m_;
 
   std::atomic<std::uint64_t> next_task_id_{1};
@@ -507,6 +542,9 @@ class Manager {
   // ---- manager-thread-only state ----
   std::map<WorkerId, WorkerState> workers_;
   hash::HashRing ring_;
+  /// Which workers retain a ready instance of each library; every dispatch
+  /// routes through it and CheckQuiescent audits it against instances_.
+  AffinityIndex affinity_;
   storage::ReplicaTable replicas_;
   std::map<std::string, LibraryInfo> libraries_;
   std::map<LibraryInstanceId, InstanceInfo> instances_;

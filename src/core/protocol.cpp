@@ -27,6 +27,7 @@ enum class Tag : std::uint8_t {
   kPutChunk,
   kStatusRequest,
   kStatusReply,
+  kRunInvocationBatch,
 };
 
 /// Route trees are bounded by the worker count in practice; the decoder
@@ -290,6 +291,17 @@ struct Encoder {
     WriteBlob(w, m.args);
     WriteTrace(w, m.trace);
   }
+  void operator()(const RunInvocationBatchMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kRunInvocationBatch));
+    w.WriteU64(m.instance_id);
+    w.WriteU64(m.items.size());
+    for (const auto& item : m.items) {
+      w.WriteU64(item.id);
+      w.WriteString(item.function_name);
+      WriteBlob(w, item.args);
+      WriteTrace(w, item.trace);
+    }
+  }
   void operator()(const ShutdownMsg&) {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kShutdown));
   }
@@ -514,6 +526,36 @@ Result<Message> DecodeRunInvocation(ArchiveReader& r) {
   return Message(std::move(m));
 }
 
+Result<Message> DecodeRunInvocationBatch(ArchiveReader& r) {
+  RunInvocationBatchMsg m;
+  auto instance = r.ReadU64();
+  if (!instance.ok()) return instance.status();
+  m.instance_id = *instance;
+  auto count = r.ReadU64();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining())
+    return DataLossError("batch item count exceeds payload");
+  m.items.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    RunInvocationMsg item;
+    item.instance_id = m.instance_id;
+    auto id = r.ReadU64();
+    if (!id.ok()) return id.status();
+    item.id = *id;
+    auto fn = r.ReadString();
+    if (!fn.ok()) return fn.status();
+    item.function_name = std::move(*fn);
+    auto args = ReadBlob(r);
+    if (!args.ok()) return args.status();
+    item.args = std::move(*args);
+    auto trace = ReadTrace(r);
+    if (!trace.ok()) return trace.status();
+    item.trace = *trace;
+    m.items.push_back(std::move(item));
+  }
+  return Message(std::move(m));
+}
+
 Result<Message> DecodeTaskDone(ArchiveReader& r) {
   TaskDoneMsg m;
   auto id = r.ReadU64();
@@ -687,6 +729,8 @@ Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
       return Message(StatusRequestMsg{});
     case Tag::kStatusReply:
       return DecodeStatusReply(r);
+    case Tag::kRunInvocationBatch:
+      return DecodeRunInvocationBatch(r);
   }
   return DataLossError("unknown message tag " + std::to_string(*tag));
 }

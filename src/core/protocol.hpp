@@ -135,6 +135,16 @@ struct RunInvocationMsg {
   telemetry::TraceContext trace;
 };
 
+/// Batched dispatch: N invocations against one library instance in a single
+/// frame, amortizing the per-message protocol and span overhead (the DFlow
+/// argument).  Each item keeps its own id, arguments and TraceContext, and
+/// the worker answers with one InvocationDoneMsg per item — causal traces
+/// and exactly-once future resolution are untouched by batching.
+struct RunInvocationBatchMsg {
+  LibraryInstanceId instance_id = 0;
+  std::vector<RunInvocationMsg> items;  // item.instance_id == instance_id
+};
+
 struct ShutdownMsg {};
 
 /// Live-introspection probe (manager → worker): answer with a
@@ -226,7 +236,7 @@ using Message =
                  RemoveLibraryMsg, RunInvocationMsg, ShutdownMsg, HelloMsg,
                  FileReadyMsg, FileFailedMsg, TaskDoneMsg, LibraryReadyMsg,
                  LibraryRemovedMsg, InvocationDoneMsg, GoodbyeMsg, PutChunkMsg,
-                 StatusRequestMsg, StatusReplyMsg>;
+                 StatusRequestMsg, StatusReplyMsg, RunInvocationBatchMsg>;
 
 /// Serializes a message to a single self-contained blob (bulk payloads
 /// inline).  Kept for tests and for contexts without a Frame.

@@ -120,6 +120,8 @@ void Worker::Handle(net::Frame frame) {
           HandleRemoveLibrary(msg);
         } else if constexpr (std::is_same_v<T, RunInvocationMsg>) {
           HandleRunInvocation(std::move(msg));
+        } else if constexpr (std::is_same_v<T, RunInvocationBatchMsg>) {
+          HandleRunInvocationBatch(std::move(msg));
         } else if constexpr (std::is_same_v<T, StatusRequestMsg>) {
           HandleStatusRequest();
         } else if constexpr (std::is_same_v<T, ShutdownMsg>) {
@@ -515,6 +517,35 @@ void Worker::HandleRunInvocation(RunInvocationMsg msg) {
     if (it != libraries_.end()) submitted = it->second->Submit(std::move(msg));
   }
   if (!submitted) {
+    InvocationDoneMsg done;
+    done.id = id;
+    done.ok = false;
+    done.error = "library instance not present on worker";
+    SendToManager(std::move(done));
+  }
+}
+
+void Worker::HandleRunInvocationBatch(RunInvocationBatchMsg msg) {
+  // One instance lookup and one lock round for the whole batch; every item
+  // still completes (or fails) individually, so the manager's per-invocation
+  // futures and causal traces behave exactly as with single dispatch.
+  std::vector<InvocationId> failed;
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    auto it = libraries_.find(msg.instance_id);
+    if (it == libraries_.end()) {
+      failed.reserve(msg.items.size());
+      for (const auto& item : msg.items) failed.push_back(item.id);
+    } else {
+      // SubmitBatch consumes items from the front; anything past the
+      // accepted count never reached the library thread (it was closing)
+      // and must be failed individually so each future still resolves.
+      const std::size_t accepted = it->second->SubmitBatch(msg.items);
+      for (std::size_t i = accepted; i < msg.items.size(); ++i)
+        failed.push_back(msg.items[i].id);
+    }
+  }
+  for (InvocationId id : failed) {
     InvocationDoneMsg done;
     done.id = id;
     done.ok = false;

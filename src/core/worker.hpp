@@ -79,6 +79,7 @@ class Worker {
   void HandleInstallLibrary(InstallLibraryMsg msg, double decode_s);
   void HandleRemoveLibrary(const RemoveLibraryMsg& msg);
   void HandleRunInvocation(RunInvocationMsg msg);
+  void HandleRunInvocationBatch(RunInvocationBatchMsg msg);
   void HandleStatusRequest();
 
   /// Runs a stateless task; executes on a task thread.  `trace` is the

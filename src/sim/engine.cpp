@@ -35,6 +35,12 @@ VineSim::VineSim(SimConfig config, std::vector<InvocationSpec> invocations)
       &sim_, config_.cluster.manager_link_Bps);
   manager_ = std::make_unique<SerialServer>(&sim_);
 
+  for (const auto& spec : invocations_) {
+    if (spec.library != 0) {
+      multi_library_ = true;
+      break;
+    }
+  }
   const auto nodes = SampleCluster(config_.cluster, rng_);
   workers_.reserve(nodes.size());
   const std::uint32_t cores_per_invocation =
@@ -102,7 +108,24 @@ void VineSim::AccumEnvWait(std::size_t invocation, const SimWorker& worker,
 }
 
 SimResult VineSim::Run() {
-  for (std::size_t i = 0; i < invocations_.size(); ++i) pending_.push_back(i);
+  for (std::size_t i = 0; i < invocations_.size(); ++i) {
+    if (invocations_[i].arrival_s <= 0.0) {
+      // Closed batch: queued before the clock starts, as always.
+      if (AffinityMode())
+        lib_pending_[invocations_[i].library].push_back(i);
+      else
+        pending_.push_back(i);
+      continue;
+    }
+    sim_.At(invocations_[i].arrival_s, [this, i] {
+      if (AffinityMode())
+        lib_pending_[invocations_[i].library].push_back(i);
+      else
+        pending_.push_back(i);
+      queued_at_[i] = sim_.Now();
+      PumpDispatch();
+    });
+  }
   result_.run_times.reserve(invocations_.size());
   phases_.assign(invocations_.size(), PhaseAccum{});
   queued_at_.assign(invocations_.size(), 0.0);
@@ -143,6 +166,10 @@ SimResult VineSim::Run() {
 }
 
 void VineSim::PumpDispatch() {
+  if (AffinityMode()) {
+    PumpAffinity();
+    return;
+  }
   while (!pending_.empty()) {
     // Round-robin over workers with a free slot (the manager's ring walk).
     std::size_t chosen = workers_.size();
@@ -512,6 +539,316 @@ void VineSim::RunL3Invocation(std::size_t worker_index,
 }
 
 // ---------------------------------------------------------------------------
+// Context-affinity scheduling mirror: the same pure policy functions the
+// live Manager runs (core/scheduler.hpp), driven by the DES event loop, so
+// one (config, workload) pair produces identical scheduling decisions in
+// both backends — just at 10k-worker scale here.
+// ---------------------------------------------------------------------------
+
+void VineSim::PumpAffinity() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [lib, queue] : lib_pending_) {
+      if (queue.empty()) continue;
+      if (ScheduleLibraryAffinity(lib)) progress = true;
+    }
+  }
+}
+
+core::AutoscaleSignal VineSim::BuildSimSignal(std::size_t lib) const {
+  core::AutoscaleSignal signal;
+  auto queue_it = lib_pending_.find(lib);
+  if (queue_it != lib_pending_.end())
+    signal.queue_depth = queue_it->second.size();
+  const std::uint32_t k = std::max(1u, config_.library_slots);
+  std::uint64_t served = 0;
+  for (const auto& worker : workers_) {
+    if (!worker.alive) continue;
+    if ((worker.libraries + worker.deploying) * k + k <= worker.slots)
+      ++signal.workers_with_room;
+    auto it = worker.libs.find(lib);
+    if (it == worker.libs.end()) continue;
+    signal.ready_instances += it->second.instances;
+    signal.free_slots += it->second.free_slots;
+    signal.pending_instances += it->second.deploying;
+    signal.pending_slots += it->second.deploying * k;
+    served += it->second.served;
+  }
+  if (signal.ready_instances > 0)
+    signal.share_value = static_cast<double>(served) /
+                         static_cast<double>(signal.ready_instances);
+  return signal;
+}
+
+bool VineSim::ScheduleLibraryAffinity(std::size_t lib) {
+  const bool affinity =
+      config_.scheduler.policy == core::SchedulerPolicy::kAffinity;
+  auto& queue = lib_pending_[lib];
+  bool any = false;
+  while (!queue.empty()) {
+    // Route to a warm slot.  kAffinity: least-loaded via the shared
+    // decision function, same tie-break as Manager::TryDispatchCall.
+    // kFirstFit: the first warm instance in order, the legacy rule.
+    std::vector<core::DispatchCandidate> candidates;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].alive) continue;
+      auto it = workers_[w].libs.find(lib);
+      if (it == workers_[w].libs.end() || it->second.free_slots == 0)
+        continue;
+      candidates.push_back(
+          {static_cast<std::uint64_t>(w), it->second.free_slots});
+      if (!affinity) break;  // first fit: first candidate wins
+    }
+    const std::size_t pick =
+        core::PickLeastLoaded(candidates.data(), candidates.size());
+    if (pick != core::kNoCandidate) {
+      DispatchBatchTo(
+          static_cast<std::size_t>(candidates[pick].instance_id), lib);
+      any = true;
+      continue;
+    }
+    const core::AutoscaleSignal signal = BuildSimSignal(lib);
+    core::AutoscaleAction action;
+    if (affinity) {
+      action = core::DecideAutoscale(config_.scheduler, signal);
+    } else {
+      // Legacy rule, as Manager::TryScheduleLibrary under kFirstFit.
+      action = signal.queue_depth <= signal.free_slots + signal.pending_slots
+                   ? core::AutoscaleAction::kHold
+                   : core::AutoscaleAction::kDeploy;
+    }
+    if (action != core::AutoscaleAction::kDeploy) break;
+    if (TryDeploySim(lib)) {
+      ++result_.autoscale_deploys;
+      any = true;
+      continue;
+    }
+    // No worker has room: reclaim an idle library (§3.5.2).  Eviction is
+    // instantaneous in the fluid model, so retry the deploy right away
+    // (the runtime instead waits for LibraryRemoved and re-enters here).
+    if (TryEvictIdleSim(lib)) {
+      any = true;
+      continue;
+    }
+    break;
+  }
+  return any;
+}
+
+void VineSim::DispatchBatchTo(std::size_t worker_index, std::size_t lib) {
+  SimWorker& worker = workers_[worker_index];
+  auto& state = worker.libs[lib];
+  auto& queue = lib_pending_[lib];
+  const std::size_t max_batch =
+      std::max<std::uint32_t>(1, config_.scheduler.max_batch);
+  const std::size_t take = std::min(
+      {queue.size(), static_cast<std::size_t>(state.free_slots), max_batch});
+  std::vector<std::size_t> batch;
+  batch.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(queue.front());
+    queue.pop_front();
+  }
+  state.free_slots -= static_cast<std::uint32_t>(take);
+  result_.affinity_hits += take;
+  ++result_.dispatch_batches;
+  result_.dispatch_batched_invocations += take;
+  result_.dispatch_max_batch =
+      std::max<std::uint64_t>(result_.dispatch_max_batch, take);
+
+  const double popped_s = sim_.Now();
+  for (std::size_t invocation : batch) TraceSubmit(invocation, popped_s);
+  // One manager service for the whole batch: the full per-message dispatch
+  // cost once, then the calibrated marginal cost per extra batched item —
+  // the protocol amortization RunInvocationBatchMsg buys.
+  const WorkloadCosts& costs = *invocations_[batch.front()].costs;
+  const double dispatch_s = costs.ManagerFor(config_.level).dispatch_s;
+  const double service_s =
+      dispatch_s *
+      (1.0 + config_.batch_item_cost_factor * static_cast<double>(take - 1));
+  const std::uint64_t generation = worker.generation;
+  manager_->Enqueue(service_s, [this, worker_index, generation,
+                                batch = std::move(batch), popped_s] {
+    for (std::size_t invocation : batch) {
+      trace_ctx_[invocation] =
+          TraceSpan(trace_ctx_[invocation], telemetry::Phase::kDispatch,
+                    "invocation", "manager", invocation, popped_s, sim_.Now());
+      if (config_.track_trace) dispatch_times_[invocation] = sim_.Now();
+      if (!WorkerValid(worker_index, generation)) {
+        Requeue(invocation);
+        continue;
+      }
+      ++workers_[worker_index].active;
+      RunAffinityInvocation(worker_index, generation, invocation, sim_.Now());
+    }
+  });
+}
+
+void VineSim::RunAffinityInvocation(std::size_t worker_index,
+                                    std::uint64_t generation,
+                                    std::size_t invocation, double started) {
+  SimWorker& w = workers_[worker_index];
+  const WorkloadCosts& costs = *invocations_[invocation].costs;
+  const std::size_t lib = invocations_[invocation].library;
+  const double over_cpu = costs.invocation_overhead_s;
+  const double exec_cpu = costs.exec_cpu_s *
+                          invocations_[invocation].exec_scale *
+                          ExecNoise(costs) *
+                          Contention(w, costs.contention_beta_exec);
+  const double over_d = over_cpu / w.node.speed;
+  const double exec_d = exec_cpu / w.node.speed;
+  CpuPhase(w, over_cpu + exec_cpu,
+           [this, worker_index, generation, invocation, started, over_d,
+            exec_d, lib] {
+             if (WorkerValid(worker_index, generation)) {
+               const double end = sim_.Now();
+               const std::string track =
+                   "worker-" + std::to_string(worker_index);
+               trace_ctx_[invocation] = TraceSpan(
+                   trace_ctx_[invocation], telemetry::Phase::kDeserialize,
+                   "invocation", track, invocation, end - over_d - exec_d,
+                   end - exec_d);
+               trace_ctx_[invocation] = TraceSpan(
+                   trace_ctx_[invocation], telemetry::Phase::kExec,
+                   "invocation", track, invocation, end - exec_d, end);
+               if (config_.track_trace) {
+                 phases_[invocation].setup_s += over_d;
+                 phases_[invocation].exec_s += exec_d;
+               }
+               auto& state = workers_[worker_index].libs[lib];
+               ++state.free_slots;
+               ++state.served;
+             }
+             CompleteOnWorker(worker_index, generation, invocation, started);
+           });
+}
+
+bool VineSim::TryDeploySim(std::size_t lib) {
+  const std::uint32_t k = std::max(1u, config_.library_slots);
+  // Deterministic target.  kAffinity: most uncommitted slots, ties to the
+  // lowest worker index; kFirstFit: the first worker with room.  (The
+  // runtime walks its hash ring; both orders are deterministic, which is
+  // what the decision-mirror tests rely on.)
+  const bool affinity =
+      config_.scheduler.policy == core::SchedulerPolicy::kAffinity;
+  std::size_t best = workers_.size();
+  std::uint32_t best_room = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const SimWorker& worker = workers_[w];
+    if (!worker.alive) continue;
+    const std::uint32_t committed = (worker.libraries + worker.deploying) * k;
+    if (committed + k > worker.slots) continue;
+    const std::uint32_t room = worker.slots - committed;
+    if (best == workers_.size() || room > best_room) {
+      best = w;
+      best_room = room;
+    }
+    if (!affinity) break;  // first fit: first worker with room wins
+  }
+  if (best == workers_.size()) return false;
+
+  SimWorker& worker = workers_[best];
+  const core::WorkerId affinity_id = static_cast<core::WorkerId>(best + 1);
+  if (affinity_.CountFor(LibKey(lib)) > 0 &&
+      !affinity_.Contains(LibKey(lib), affinity_id))
+    ++result_.steals;
+  ++result_.affinity_misses;  // the backlog outran warm capacity
+  ++worker.deploying;
+  ++worker.libs[lib].deploying;
+  const std::uint64_t generation = worker.generation;
+  // Stage the (shared) environment, then pay the per-instance context
+  // setup — the same two phases ServeL3 charges, but owned by the
+  // autoscaler rather than the head-of-line invocation.
+  EnsureEnv(best, generation, telemetry::TraceContext{},
+            [this, best, generation, lib, k] {
+    if (!WorkerValid(best, generation)) return;
+    SimWorker& w2 = workers_[best];
+    const WorkloadCosts& costs = *invocations_.front().costs;
+    const double setup_cpu = costs.context_setup_cpu_s *
+                             Contention(w2, costs.contention_beta_context);
+    CpuPhase(w2, setup_cpu, [this, best, generation, lib, k] {
+      if (!WorkerValid(best, generation)) return;
+      SimWorker& w3 = workers_[best];
+      if (w3.deploying > 0) --w3.deploying;
+      auto& state = w3.libs[lib];
+      if (state.deploying > 0) --state.deploying;
+      if (config_.fault.worker.setup_failure_p > 0.0 &&
+          fault_.InjectSetupFailure(best + 1)) {
+        // Setup burned its time and failed; queue pressure re-triggers the
+        // autoscaler on the next pump.
+        PumpDispatch();
+        return;
+      }
+      ++w3.libraries;
+      ++state.instances;
+      state.free_slots += k;
+      affinity_.Add(LibKey(lib), static_cast<core::WorkerId>(best + 1));
+      ++result_.libraries_deployed_total;
+      ++active_libraries_;
+      result_.libraries_peak_active =
+          std::max(result_.libraries_peak_active, active_libraries_);
+      PumpDispatch();
+    });
+  });
+  return true;
+}
+
+bool VineSim::TryEvictIdleSim(std::size_t for_lib) {
+  const std::uint32_t k = std::max(1u, config_.library_slots);
+  // Fig 11 eviction order, as in Manager::TryEvictEmptyLibrary: among
+  // fully idle instances of other (queue-empty) libraries, prefer those
+  // DecideAutoscale flags as victims (share value below the floor), then
+  // the least-served.
+  std::size_t victim_worker = workers_.size();
+  std::size_t victim_lib = 0;
+  bool victim_preferred = false;
+  std::uint64_t victim_served = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    SimWorker& worker = workers_[w];
+    if (!worker.alive) continue;
+    for (auto& [lib, state] : worker.libs) {
+      if (lib == for_lib) continue;
+      if (state.instances == 0) continue;
+      if (state.free_slots < k) continue;  // no fully idle instance here
+      auto queue_it = lib_pending_.find(lib);
+      if (queue_it != lib_pending_.end() && !queue_it->second.empty())
+        continue;
+      if (config_.scheduler.policy != core::SchedulerPolicy::kAffinity) {
+        victim_worker = w;  // legacy first-fit: first idle instance wins
+        victim_lib = lib;
+        break;
+      }
+      const bool preferred =
+          core::DecideAutoscale(config_.scheduler, BuildSimSignal(lib)) ==
+          core::AutoscaleAction::kEvict;
+      if (victim_worker == workers_.size() ||
+          (preferred && !victim_preferred) ||
+          (preferred == victim_preferred && state.served < victim_served)) {
+        victim_worker = w;
+        victim_lib = lib;
+        victim_preferred = preferred;
+        victim_served = state.served;
+      }
+    }
+    if (victim_worker != workers_.size() &&
+        config_.scheduler.policy != core::SchedulerPolicy::kAffinity)
+      break;
+  }
+  if (victim_worker == workers_.size()) return false;
+  SimWorker& worker = workers_[victim_worker];
+  auto& state = worker.libs[victim_lib];
+  --state.instances;
+  state.free_slots -= k;
+  if (worker.libraries > 0) --worker.libraries;
+  affinity_.Remove(LibKey(victim_lib),
+                   static_cast<core::WorkerId>(victim_worker + 1));
+  if (active_libraries_ > 0) --active_libraries_;
+  ++result_.autoscale_evicts;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Environment distribution: manager seeds up to `env_fanout` workers, then
 // every completed replica contributes `env_fanout` upload slots that serve
 // queued workers — the spanning tree of §3.3 in fluid form.
@@ -711,7 +1048,9 @@ void VineSim::FinishOnWorker(std::size_t worker_index, std::uint64_t generation,
     return;
   }
   SimWorker& worker = workers_[worker_index];
-  ++worker.free_slots;
+  // Affinity mode tracks capacity through per-library slots instead of the
+  // round-robin worker slot pool.
+  if (!AffinityMode()) ++worker.free_slots;
   if (worker.active > 0) --worker.active;
   const net::WorkerFaults& wf = config_.fault.worker;
   if (wf.invocation_failure_p > 0.0 || wf.task_failure_p > 0.0) {
@@ -766,7 +1105,10 @@ void VineSim::Requeue(std::size_t invocation) {
   ++result_.requeued_invocations;
   if (config_.track_trace) phases_[invocation] = PhaseAccum{};
   queued_at_[invocation] = sim_.Now();
-  pending_.push_back(invocation);
+  if (AffinityMode())
+    lib_pending_[invocations_[invocation].library].push_back(invocation);
+  else
+    pending_.push_back(invocation);
   PumpDispatch();
 }
 
@@ -785,6 +1127,8 @@ void VineSim::KillWorkerNow(std::size_t worker_index) {
   worker.libraries = 0;
   worker.deploying = 0;
   worker.library_free_slots = 0;
+  worker.libs.clear();
+  affinity_.RemoveWorker(static_cast<core::WorkerId>(worker_index + 1));
   worker.active = 0;
   worker.env = SimWorker::Env::kAbsent;
   // Fire pending env and library waiters: each observes the dead worker

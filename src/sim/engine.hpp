@@ -11,10 +11,12 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/scheduler.hpp"
 #include "core/types.hpp"
 #include "net/fault.hpp"
 #include "sim/cluster.hpp"
@@ -30,6 +32,17 @@ namespace vinelet::sim {
 struct InvocationSpec {
   const WorkloadCosts* costs = nullptr;
   double exec_scale = 1.0;
+  /// Library the invocation targets (affinity scheduling mode).  The
+  /// single-library workloads leave this 0; Zipf-popularity mixes spread
+  /// it over many libraries so per-library affinity sets matter.
+  std::size_t library = 0;
+  /// Virtual submission time.  0 (the default) submits at t=0 — the closed
+  /// batch every established workload uses, bit-identical to before the
+  /// field existed.  A positive value turns the run into an open system:
+  /// the invocation enters its queue at `arrival_s`, which is what makes
+  /// warm-context retention measurable (a drained queue may refill, so
+  /// evicting the wrong instance costs a future cold start).
+  double arrival_s = 0;
 };
 
 /// One completed invocation's lifecycle, for offline analysis.
@@ -95,6 +108,20 @@ struct SimConfig {
   /// model carries no individual messages.
   net::FaultPlan fault;
 
+  /// Scheduling policy mirror.  Defaults to kFirstFit — the legacy
+  /// round-robin dispatch — so established experiments (Fig 3/8 baselines)
+  /// reproduce bit-identically.  kAffinity (L3 only) activates the same
+  /// per-library affinity routing, threshold-gated stealing, and
+  /// closed-loop autoscaler the live Manager runs, through the identical
+  /// pure decision functions in core/scheduler.hpp.
+  core::SchedulerConfig scheduler{core::SchedulerPolicy::kFirstFit};
+
+  /// Marginal manager cost of each invocation after the first inside one
+  /// RunInvocationBatch dispatch, as a fraction of the per-message
+  /// dispatch_s.  Calibrate against the batched-vs-unbatched encode pair in
+  /// bench_micro_primitives; 1.0 disables the batching advantage.
+  double batch_item_cost_factor = 0.25;
+
   /// Optional telemetry sink.  When its tracer is enabled the simulator
   /// emits the same phase spans as the real runtime (submit, dispatch,
   /// transfer, unpack, context-setup, deserialize, exec, result) stamped
@@ -128,6 +155,16 @@ struct SimResult {
   std::uint64_t injected_invocation_failures = 0;
   std::uint64_t injected_task_failures = 0;
   std::uint64_t injected_stragglers = 0;
+
+  // Affinity-scheduling mirror counters (kAffinity mode only).
+  std::uint64_t affinity_hits = 0;    // invocations routed into a warm slot
+  std::uint64_t affinity_misses = 0;  // deploys forced by a cold backlog
+  std::uint64_t steals = 0;           // deploys onto non-affine workers
+  std::uint64_t autoscale_deploys = 0;
+  std::uint64_t autoscale_evicts = 0;
+  std::uint64_t dispatch_batches = 0;  // batched dispatch messages sent
+  std::uint64_t dispatch_batched_invocations = 0;
+  std::uint64_t dispatch_max_batch = 0;
 
   TimeSeries active_libraries;  // x = invocations completed
   TimeSeries avg_share_value;   // x = invocations completed
@@ -170,6 +207,15 @@ class VineSim {
     std::uint32_t deploying = 0;           // instances mid-setup
     std::uint32_t library_free_slots = 0;  // deployed, currently idle slots
     std::vector<std::function<void()>> library_waiters;
+    /// Per-library instance state (affinity mode; the anonymous aggregate
+    /// counters above still track totals for capacity accounting).
+    struct LibState {
+      std::uint32_t instances = 0;   // ready instances of the library here
+      std::uint32_t deploying = 0;   // instances mid-setup
+      std::uint32_t free_slots = 0;  // idle slots across ready instances
+      std::uint64_t served = 0;      // completions here (share value input)
+    };
+    std::map<std::size_t, LibState> libs;
     bool alive = true;
     std::uint64_t generation = 0;  // incremented on respawn
   };
@@ -177,6 +223,34 @@ class VineSim {
   void PumpDispatch();
   void StartOnWorker(std::size_t worker_index, std::uint64_t generation,
                      std::size_t invocation);
+
+  // --- context-affinity scheduling mirror (core/scheduler.hpp policy) ---
+  /// The per-library scheduling path runs for kAffinity, and also for
+  /// kFirstFit whenever the workload names more than one library — the
+  /// anonymous legacy path cannot tell libraries apart, and a first-fit
+  /// baseline over a multi-library mix must still deploy per library.
+  bool AffinityMode() const {
+    if (config_.level != core::ReuseLevel::kL3) return false;
+    return config_.scheduler.policy == core::SchedulerPolicy::kAffinity ||
+           multi_library_;
+  }
+  /// Library key into the shared AffinityIndex (workers are 1-based there,
+  /// matching runtime endpoint ids).
+  static std::string LibKey(std::size_t lib) { return std::to_string(lib); }
+  void PumpAffinity();
+  /// Mirrors Manager::TryScheduleLibrary: drain the library's queue through
+  /// warm slots, then close the loop via DecideAutoscale.  Returns true if
+  /// any invocation was dispatched or capacity change was initiated.
+  bool ScheduleLibraryAffinity(std::size_t lib);
+  core::AutoscaleSignal BuildSimSignal(std::size_t lib) const;
+  /// Pops up to min(queue, free slots, max_batch) invocations onto the
+  /// chosen worker as one batched dispatch message.
+  void DispatchBatchTo(std::size_t worker_index, std::size_t lib);
+  void RunAffinityInvocation(std::size_t worker_index,
+                             std::uint64_t generation,
+                             std::size_t invocation, double started);
+  bool TryDeploySim(std::size_t lib);
+  bool TryEvictIdleSim(std::size_t for_lib);
   void RunL1(SimWorker& worker, std::size_t invocation, double started);
   void RunL2(SimWorker& worker, std::size_t invocation, double started);
   void RunL3(SimWorker& worker, std::size_t invocation, double started);
@@ -262,6 +336,11 @@ class VineSim {
 
   std::vector<SimWorker> workers_;
   std::deque<std::size_t> pending_;  // invocation indices awaiting dispatch
+  /// Affinity mode: per-library FIFO queues (mirrors the manager's
+  /// per-library PendingCall queues).
+  std::map<std::size_t, std::deque<std::size_t>> lib_pending_;
+  core::AffinityIndex affinity_;
+  bool multi_library_ = false;  // any InvocationSpec names library != 0
   std::size_t rr_cursor_ = 0;
   bool done_ = false;  // all invocations completed: stop churn chains
 

@@ -1,5 +1,6 @@
 #include "sim/workload.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vinelet::sim {
@@ -9,6 +10,37 @@ std::vector<InvocationSpec> BuildLnniWorkload(const WorkloadCosts& costs,
   std::vector<InvocationSpec> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) out.push_back({&costs, 1.0});
+  return out;
+}
+
+std::vector<InvocationSpec> BuildZipfWorkload(const WorkloadCosts& costs,
+                                              std::size_t n,
+                                              std::size_t num_libraries,
+                                              double s, double exec_sigma,
+                                              double arrival_rate, Rng& rng) {
+  // Inverse-CDF sampling over the (small) finite Zipf support; the CDF is
+  // built once and binary-searched per draw.
+  const std::size_t libraries = std::max<std::size_t>(1, num_libraries);
+  std::vector<double> cdf(libraries);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < libraries; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf[rank] = total;
+  }
+  const double mu = -exec_sigma * exec_sigma / 2.0;  // unit-mean lognormal
+  std::vector<InvocationSpec> out;
+  out.reserve(n);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble() * total;
+    const std::size_t lib = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const double scale =
+        exec_sigma > 0.0 ? rng.LogNormal(mu, exec_sigma) : 1.0;
+    if (arrival_rate > 0.0)  // Poisson stream: exponential interarrivals
+      arrival += -std::log(1.0 - rng.NextDouble()) / arrival_rate;
+    out.push_back({&costs, scale, std::min(lib, libraries - 1), arrival});
+  }
   return out;
 }
 

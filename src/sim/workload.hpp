@@ -14,6 +14,20 @@ namespace vinelet::sim {
 std::vector<InvocationSpec> BuildLnniWorkload(const WorkloadCosts& costs,
                                               std::size_t n);
 
+/// Zipf-popularity mix: `n` invocations of one function class spread over
+/// `num_libraries` libraries with popularity ~ 1/rank^s (library 0 most
+/// popular).  Exercises the context-affinity scheduler: the head libraries
+/// justify several warm instances while the tail should consolidate rather
+/// than displace them.  Per-invocation cost spread comes from a unit-mean
+/// lognormal with `exec_sigma`.  `arrival_rate` > 0 makes the mix an open
+/// Poisson stream at that many invocations/s (retention now matters: a
+/// drained library refills later); 0 keeps the closed all-at-t=0 batch.
+std::vector<InvocationSpec> BuildZipfWorkload(const WorkloadCosts& costs,
+                                              std::size_t n,
+                                              std::size_t num_libraries,
+                                              double s, double exec_sigma,
+                                              double arrival_rate, Rng& rng);
+
 /// ExaMol (§4.1.2): a ~10k-task active-learning mixture.  Simulation tasks
 /// dominate (data gathering), periodically interleaved with surrogate
 /// retraining and batch inference, with heavy-tailed per-molecule cost.

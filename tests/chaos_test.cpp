@@ -357,6 +357,19 @@ class ChaosTest : public ::testing::Test {
     };
     ASSERT_TRUE(registry_->RegisterFunction(sleepy).ok());
 
+    serde::FunctionDef slow_ctx;
+    slow_ctx.name = "slow_with_context";
+    slow_ctx.setup_name = "number_setup";
+    slow_ctx.fn = [](const Value& args,
+                     const InvocationEnv& env) -> Result<Value> {
+      auto ms = args.GetInt("ms");
+      if (!ms.ok()) return ms.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
+      const auto* ctx = dynamic_cast<const NumberContext*>(env.context);
+      return Value(*ms + (ctx != nullptr ? ctx->number() : 0));
+    };
+    ASSERT_TRUE(registry_->RegisterFunction(slow_ctx).ok());
+
     serde::ContextSetupDef setup;
     setup.name = "number_setup";
     setup.fn = [](const Value& args,
@@ -495,6 +508,73 @@ TEST_F(ChaosTest, DrainingLibraryGaugesSurviveWorkerDeath) {
             sizeof(NumberContext));
 }
 
+TEST_F(ChaosTest, AffinityIndexForgetsDeadWorker) {
+  // The affinity index must drop a dead worker's entries the moment the
+  // death sweep runs: a stale (library -> dead worker) pair would keep
+  // routing popular arrivals at a corpse, and the CheckQuiescent affinity
+  // audit — which recomputes the table from the instance map — flags it.
+  // Spread one whole-worker instance per worker with a slow call burst,
+  // kill a worker the affinity set names, and require a clean settle.
+  StartCluster(3);
+  auto spec = manager_->CreateLibraryFromFunctions(
+      "sticky", {"slow_with_context"}, "number_setup",
+      Value::Dict({{"number", Value(40)}}));
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(manager_->InstallLibrary(*spec).ok());
+
+  // Enough backlog that the autoscaler recruits every worker while the
+  // first instance is still grinding through its queue.
+  std::vector<FuturePtr> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(manager_->SubmitCall(
+        "sticky", "slow_with_context", Value::Dict({{"ms", Value(60)}})));
+  }
+
+  // Wait until the affinity set spans at least two workers, then kill one
+  // of the workers it names.
+  WorkerId victim = 0;
+  bool spread = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!spread && std::chrono::steady_clock::now() < deadline) {
+    auto status = manager_->QueryStatus();
+    if (status.ok()) {
+      for (const auto& set : status->scheduler.affinity_sets) {
+        if (set.library == "sticky" && set.workers.size() >= 2) {
+          victim = set.workers.back();
+          spread = true;
+          break;
+        }
+      }
+    }
+    if (!spread) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(spread) << "library never spread across workers";
+  ASSERT_TRUE(factory_->KillWorker(victim).ok());
+  ASSERT_TRUE(factory_->SpawnWorker().ok());
+
+  ASSERT_TRUE(manager_->WaitAll(60.0).ok()) << "a future never resolved";
+  for (const auto& future : futures) {
+    ASSERT_TRUE(future->Ready());
+    EXPECT_EQ(future->resolutions(), 1u);
+    auto outcome = future->Wait();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->value.AsInt(), 100);
+  }
+
+  // The audit recomputes the affinity table from the instance map; a
+  // leftover entry for the dead worker shows up as a violation.
+  const QuiescenceReport report = WaitQuiescent();
+  EXPECT_TRUE(report.quiescent) << report.ToString();
+  EXPECT_EQ(report.affinity_entries, report.affinity_warm_gauge);
+  auto status = manager_->QueryStatus();
+  ASSERT_TRUE(status.ok());
+  for (const auto& set : status->scheduler.affinity_sets) {
+    for (WorkerId worker : set.workers)
+      EXPECT_NE(worker, victim) << "stale affinity entry for dead worker";
+  }
+}
+
 TEST_F(ChaosTest, LibrarySetupSeparatesDeserializeFromContext) {
   // Pre-fix, LibraryRuntime::Setup charged function-blob deserialization
   // to context_s.  With an 8 MB function blob and a trivial context, the
@@ -571,6 +651,47 @@ TEST_F(ChaosTest, DuplicatedFramesDoNotDoubleCount) {
   EXPECT_EQ(manager_->metrics().libraries_active, 1u);
   EXPECT_EQ(manager_->metrics().retained_context_bytes,
             sizeof(NumberContext));
+}
+
+TEST_F(ChaosTest, DuplicatedBatchFramesResolveEachItemOnce) {
+  // Deliver every frame twice (dup_p = 1): the batched dispatch arrives
+  // twice at the worker and every per-item InvocationDoneMsg arrives twice
+  // at the manager.  Each future must still resolve exactly once with its
+  // own result — batching must not widen the duplicate-delivery surface.
+  net::FaultPlan plan;
+  plan.seed = 13;
+  plan.link.dup_p = 1.0;
+  StartCluster(1, plan);
+  LibraryOptions options;
+  options.slots = 4;
+  options.exec_mode = ExecMode::kFork;
+  options.resources = Resources{4, 1024, 1024};
+  auto spec = manager_->CreateLibraryFromFunctions(
+      "batched", {"use_context"}, "number_setup",
+      Value::Dict({{"number", Value(100)}}), nullptr, options);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(manager_->InstallLibrary(*spec).ok());
+
+  // Burst before the instance readies so the queue drains in batches.
+  std::vector<FuturePtr> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(manager_->SubmitCall("batched", "use_context",
+                                           Value::Dict({{"x", Value(i)}})));
+  }
+  ASSERT_TRUE(manager_->WaitAll(60.0).ok()) << "a future never resolved";
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(futures[static_cast<std::size_t>(i)]->Ready());
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)]->resolutions(), 1u);
+    auto outcome = futures[static_cast<std::size_t>(i)]->Wait();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->value.AsInt(), 100 + i);
+  }
+  auto status = manager_->QueryStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_GE(status->scheduler.max_batch_size, 2u);
+
+  const QuiescenceReport report = WaitQuiescent();
+  EXPECT_TRUE(report.quiescent) << report.ToString();
 }
 
 // ---------------------------------------------------------------------------

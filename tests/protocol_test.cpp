@@ -109,6 +109,42 @@ TEST(ProtocolTest, RunInvocationRoundTrip) {
   EXPECT_EQ(out.trace, msg.trace);
 }
 
+TEST(ProtocolTest, RunInvocationBatchRoundTrip) {
+  RunInvocationBatchMsg msg;
+  msg.instance_id = 3;
+  msg.items.push_back({101, 3, "f", Blob::FromString("xyz"), {11u, 22u}});
+  msg.items.push_back({102, 3, "g", Blob::FromString(""), {33u, 44u}});
+  msg.items.push_back({103, 3, "f", Blob::FromString("pq"), {55u, 66u}});
+  auto out = RoundTrip<RunInvocationBatchMsg>(msg);
+  EXPECT_EQ(out.instance_id, 3u);
+  ASSERT_EQ(out.items.size(), 3u);
+  // Every item keeps its own id, args and TraceContext through the wire.
+  EXPECT_EQ(out.items[0].id, 101u);
+  EXPECT_EQ(out.items[0].function_name, "f");
+  EXPECT_EQ(out.items[0].args.ToString(), "xyz");
+  EXPECT_EQ(out.items[0].trace, msg.items[0].trace);
+  EXPECT_EQ(out.items[1].id, 102u);
+  EXPECT_EQ(out.items[1].args.size(), 0u);
+  EXPECT_EQ(out.items[1].trace, msg.items[1].trace);
+  EXPECT_EQ(out.items[2].id, 103u);
+  EXPECT_EQ(out.items[2].trace, msg.items[2].trace);
+}
+
+TEST(ProtocolTest, RunInvocationBatchEveryTruncationRejected) {
+  // The batch decoder reads a count then N items; a truncated frame must
+  // fail cleanly at every cut point instead of fabricating short batches.
+  RunInvocationBatchMsg msg;
+  msg.instance_id = 7;
+  msg.items.push_back({1, 7, "f", Blob::FromString("abc"), {1u, 2u}});
+  msg.items.push_back({2, 7, "g", Blob::FromString("de"), {3u, 4u}});
+  const Blob full = EncodeMessage(msg);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(
+        full.span().begin(), full.span().begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeMessage(Blob(std::move(prefix))).ok()) << "cut=" << cut;
+  }
+}
+
 TEST(ProtocolTest, ControlMessagesRoundTrip) {
   (void)RoundTrip<ShutdownMsg>(ShutdownMsg{});
   (void)RoundTrip<GoodbyeMsg>(GoodbyeMsg{});

@@ -168,6 +168,19 @@ class RuntimeTest : public ::testing::Test {
       return Value(true);
     };
     ASSERT_TRUE(registry_.RegisterFunction(slow_ctx).ok());
+
+    serde::FunctionDef fail_if;
+    fail_if.name = "fail_if";
+    fail_if.setup_name = "number_setup";
+    fail_if.fn = [](const Value& args,
+                    const InvocationEnv& env) -> Result<Value> {
+      if (args.Get("fail").AsBool()) return InternalError("poisoned item");
+      auto x = args.GetInt("x");
+      if (!x.ok()) return x.status();
+      const auto* ctx = dynamic_cast<const NumberContext*>(env.context);
+      return Value(*x + (ctx != nullptr ? ctx->number() : 0));
+    };
+    ASSERT_TRUE(registry_.RegisterFunction(fail_if).ok());
   }
 
   serde::FunctionRegistry registry_;
@@ -685,6 +698,84 @@ TEST_F(RuntimeTest, InvocationsRequeuedAfterLibraryWorkerDeath) {
     if (future->Wait().ok()) ++succeeded;
   EXPECT_EQ(succeeded, 6);
   EXPECT_GE(manager_->metrics().libraries_deployed, 2u);
+}
+
+TEST_F(RuntimeTest, PartialBatchFailureResolvesOnlyFailedFutures) {
+  // Fold failing and succeeding invocations into the same dispatch batches:
+  // each item must resolve from its own InvocationDoneMsg — a poisoned item
+  // fails alone, its batch-mates succeed, and nothing resolves twice.
+  StartCluster(1);
+  LibraryOptions options;
+  options.slots = 4;
+  options.exec_mode = ExecMode::kFork;
+  options.resources = Resources{4, 1024, 1024};
+  auto spec = manager_->CreateLibraryFromFunctions(
+      "mixed", {"fail_if"}, "number_setup",
+      Value::Dict({{"number", Value(100)}}), nullptr, options);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(manager_->InstallLibrary(*spec).ok());
+
+  // Submit the burst before the instance is ready so the queue drains
+  // through batched dispatches (slots=4 => batches up to 4).
+  std::vector<FuturePtr> futures;
+  for (int i = 0; i < 12; ++i) {
+    const bool poisoned = i % 3 == 0;
+    futures.push_back(manager_->SubmitCall(
+        "mixed", "fail_if",
+        Value::Dict({{"fail", Value(poisoned)}, {"x", Value(i)}})));
+  }
+  ASSERT_TRUE(manager_->WaitAll(60.0).ok());
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(futures[static_cast<std::size_t>(i)]->Ready());
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)]->resolutions(), 1u);
+    auto outcome = futures[static_cast<std::size_t>(i)]->Wait();
+    if (i % 3 == 0) {
+      EXPECT_FALSE(outcome.ok()) << "poisoned item " << i << " succeeded";
+    } else {
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(outcome->value.AsInt(), 100 + i);
+    }
+  }
+  // The burst really exercised the batch path, not 12 single dispatches.
+  auto status = manager_->QueryStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_GE(status->scheduler.max_batch_size, 2u);
+}
+
+TEST_F(RuntimeTest, BatchSurvivesWorkerDeathMidFlight) {
+  // Kill the worker while a dispatched batch is executing: every item of
+  // the in-flight batch must requeue onto the replacement worker and
+  // resolve exactly once.
+  StartCluster(1);
+  LibraryOptions options;
+  options.slots = 4;
+  options.exec_mode = ExecMode::kFork;
+  options.resources = Resources{4, 1024, 1024};
+  auto spec = manager_->CreateLibraryFromFunctions(
+      "sleepers", {"slow_with_context"}, "number_setup",
+      Value::Dict({{"number", Value(0)}}), nullptr, options);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(manager_->InstallLibrary(*spec).ok());
+
+  std::vector<FuturePtr> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(manager_->SubmitCall(
+        "sleepers", "slow_with_context", Value::Dict({{"ms", Value(80)}})));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(factory_->KillWorker(factory_->WorkerIds()[0]).ok());
+  ASSERT_TRUE(factory_->SpawnWorker().ok());
+  ASSERT_TRUE(manager_->WaitAll(120.0).ok());
+
+  for (auto& future : futures) {
+    ASSERT_TRUE(future->Ready());
+    EXPECT_EQ(future->resolutions(), 1u);
+    EXPECT_TRUE(future->Wait().ok());
+  }
+  auto status = manager_->QueryStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_GE(status->scheduler.max_batch_size, 2u);
 }
 
 TEST_F(RuntimeTest, CacheAffinitySchedulesOntoWarmWorker) {
