@@ -7,6 +7,7 @@
 // structures.
 #include <benchmark/benchmark.h>
 
+#include "common/buffer_pool.hpp"
 #include "core/protocol.hpp"
 #include "core/scheduler.hpp"
 #include "hash/content_id.hpp"
@@ -31,6 +32,23 @@ void BM_Sha256(benchmark::State& state) {
                           static_cast<std::int64_t>(size));
 }
 BENCHMARK(BM_Sha256)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Sha256Scalar(benchmark::State& state) {
+  // The portable compression loop, pinned regardless of CPU features: the
+  // BM_Sha256 / BM_Sha256Scalar pair measures what the runtime-dispatched
+  // hardware backend (SHA-NI / ARMv8 crypto) buys on this machine.
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const Blob payload = poncho::Packer::DeterministicBytes("bench", size);
+  hash::Sha256::ForceScalarForTest(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Sha256::Hash(payload.span()));
+  }
+  hash::Sha256::ForceScalarForTest(false);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+  state.SetLabel(std::string("dispatched-backend=") + hash::Sha256::Backend());
+}
+BENCHMARK(BM_Sha256Scalar)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_ValueEncodeDecode(benchmark::State& state) {
   serde::ValueList list;
@@ -89,6 +107,7 @@ void BM_MessageEncodeDecode(benchmark::State& state) {
                              serde::Value::Dict({{"count", serde::Value(16)},
                                                  {"seed", serde::Value(7)}})
                                  .ToBlob(),
+                             {},
                              {}};
   for (auto _ : state) {
     const Blob blob = core::EncodeMessage(core::Message(msg));
@@ -97,6 +116,40 @@ void BM_MessageEncodeDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MessageEncodeDecode);
+
+void RunMessageEncodeArena(benchmark::State& state, bool pooled) {
+  // Steady-state encode traffic with the buffer pool on vs off: the pooled
+  // run recycles a few warm vectors per thread, the unpooled run pays an
+  // allocate/free pair (and, at MB sizes, fresh page faults) per message —
+  // the arena on/off micro-primitive pair.  range(0) sizes the inline args
+  // blob, spanning tiny control messages to chunk-sized payload headers.
+  const auto args_bytes = static_cast<std::size_t>(state.range(0));
+  BufferPool::SetEnabled(pooled);
+  BufferPool::DrainThisThread();
+  core::RunInvocationMsg msg{
+      1001,
+      3,
+      "lnni_infer",
+      serde::Value(std::string(args_bytes, 'x')).ToBlob(),
+      {},
+      {}};
+  const core::Message message(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EncodeMessage(message));
+  }
+  BufferPool::SetEnabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_MessageEncodeArenaOn(benchmark::State& state) {
+  RunMessageEncodeArena(state, true);
+}
+BENCHMARK(BM_MessageEncodeArenaOn)->Arg(64)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MessageEncodeArenaOff(benchmark::State& state) {
+  RunMessageEncodeArena(state, false);
+}
+BENCHMARK(BM_MessageEncodeArenaOff)->Arg(64)->Arg(1 << 16)->Arg(1 << 20);
 
 core::PutFileMsg MakePutFile(std::size_t payload_bytes) {
   core::PutFileMsg msg;
@@ -305,6 +358,7 @@ core::RunInvocationMsg MakeRunInvocation(std::uint64_t id) {
           serde::Value::Dict(
               {{"count", serde::Value(16)}, {"seed", serde::Value(7)}})
               .ToBlob(),
+          {},
           {}};
 }
 

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI gate for the pass-by-reference data plane bench (bench_ref_dataplane).
+
+Validates the bench's machine-readable report (BENCH_ref_dataplane.json)
+against the checked-in baseline (bench/ref_dataplane_baseline.json).  The
+gates are structural invariants of the data plane rather than wall-clock
+numbers, so they hold on noisy shared CI runners:
+
+  * by-value mode must actually relay the DAG payloads through the manager
+    (otherwise the A/B comparison is vacuous),
+  * by-ref mode must keep manager-relayed result bytes below one payload —
+    the tentpole property: DAG edges never transit the manager,
+  * every producer result must come back as a ref, and
+  * the by-ref run must not be slower than by-value beyond jitter headroom.
+
+Usage: check_ref_dataplane.py <report.json> <baseline.json>
+"""
+import json
+import sys
+
+
+def load_report_entries(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {entry["metric"]: entry["measured"] for entry in report["entries"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    measured = load_report_entries(sys.argv[1])
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    def gate(name, ok, detail):
+        print(f"{'PASS' if ok else 'FAIL'}: {name} ({detail})")
+        if not ok:
+            failures.append(name)
+
+    value_relayed = measured["value_manager_relayed_result_bytes"]
+    ref_relayed = measured["ref_manager_relayed_result_bytes"]
+    gate(
+        "by-value relays DAG payloads through the manager",
+        value_relayed >= baseline["min_value_relayed_bytes"],
+        f"relayed {value_relayed:.0f} B, "
+        f"need >= {baseline['min_value_relayed_bytes']} B",
+    )
+    gate(
+        "by-ref keeps DAG payload bytes out of the manager",
+        ref_relayed <= baseline["max_ref_relayed_bytes"],
+        f"relayed {ref_relayed:.0f} B, "
+        f"allowed <= {baseline['max_ref_relayed_bytes']} B",
+    )
+    gate(
+        "every producer result returned as a ref",
+        measured["ref_results"] >= baseline["min_ref_results"],
+        f"{measured['ref_results']:.0f} refs, "
+        f"need >= {baseline['min_ref_results']}",
+    )
+    speedup = measured["makespan_speedup"]
+    gate(
+        "by-ref makespan at least matches by-value",
+        speedup >= baseline["min_makespan_speedup"],
+        f"speedup {speedup:.2f}x, "
+        f"need >= {baseline['min_makespan_speedup']}x",
+    )
+
+    if failures:
+        sys.exit(f"{len(failures)} gate(s) failed: {', '.join(failures)}")
+    print("all ref-dataplane gates passed")
+
+
+if __name__ == "__main__":
+    main()

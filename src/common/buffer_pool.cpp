@@ -1,0 +1,111 @@
+#include "common/buffer_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace vinelet {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_released{0};
+std::atomic<std::uint64_t> g_retained_bytes{0};
+std::atomic<std::uint64_t> g_hwm_bytes{0};
+
+void NoteRetained(std::uint64_t delta_add) noexcept {
+  const std::uint64_t now =
+      g_retained_bytes.fetch_add(delta_add, std::memory_order_relaxed) +
+      delta_add;
+  std::uint64_t hwm = g_hwm_bytes.load(std::memory_order_relaxed);
+  while (now > hwm && !g_hwm_bytes.compare_exchange_weak(
+                          hwm, now, std::memory_order_relaxed)) {
+  }
+}
+
+struct LocalPool {
+  std::vector<std::vector<std::uint8_t>> free;
+  std::size_t bytes = 0;
+
+  ~LocalPool() {
+    g_retained_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+};
+
+LocalPool& Local() noexcept {
+  thread_local LocalPool pool;
+  return pool;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BufferPool::Acquire(std::size_t min_capacity) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    LocalPool& pool = Local();
+    // Smallest-fit over a ≤16-entry freelist: trivial scan, and it keeps a
+    // big retained buffer from being burned on a tiny message.
+    std::size_t best = pool.free.size();
+    for (std::size_t i = 0; i < pool.free.size(); ++i) {
+      if (pool.free[i].capacity() < min_capacity) continue;
+      if (best == pool.free.size() ||
+          pool.free[i].capacity() < pool.free[best].capacity()) {
+        best = i;
+      }
+    }
+    if (best != pool.free.size()) {
+      std::vector<std::uint8_t> out = std::move(pool.free[best]);
+      pool.free.erase(pool.free.begin() + static_cast<long>(best));
+      pool.bytes -= out.capacity();
+      g_retained_bytes.fetch_sub(out.capacity(), std::memory_order_relaxed);
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      out.clear();
+      return out;
+    }
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(min_capacity);
+  return out;
+}
+
+void BufferPool::Release(std::vector<std::uint8_t>&& buffer) noexcept {
+  const std::size_t cap = buffer.capacity();
+  if (!g_enabled.load(std::memory_order_relaxed) || cap == 0 ||
+      cap > kMaxBufferBytes) {
+    return;  // dropping the rvalue frees it
+  }
+  LocalPool& pool = Local();
+  if (pool.free.size() >= kMaxBuffersPerThread ||
+      pool.bytes + cap > kMaxRetainedBytesPerThread) {
+    return;
+  }
+  buffer.clear();
+  pool.free.push_back(std::move(buffer));
+  pool.bytes += cap;
+  g_released.fetch_add(1, std::memory_order_relaxed);
+  NoteRetained(cap);
+}
+
+void BufferPool::SetEnabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool BufferPool::enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+BufferPool::Stats BufferPool::GetStats() noexcept {
+  return Stats{g_hits.load(std::memory_order_relaxed),
+               g_misses.load(std::memory_order_relaxed),
+               g_released.load(std::memory_order_relaxed),
+               g_hwm_bytes.load(std::memory_order_relaxed)};
+}
+
+void BufferPool::DrainThisThread() noexcept {
+  LocalPool& pool = Local();
+  g_retained_bytes.fetch_sub(pool.bytes, std::memory_order_relaxed);
+  pool.bytes = 0;
+  pool.free.clear();
+}
+
+}  // namespace vinelet

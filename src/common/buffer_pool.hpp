@@ -1,0 +1,58 @@
+// A thread-local pool of byte-vector backing stores for the encode hot path.
+//
+// Every protocol message is serialized into a fresh ByteBuffer and shipped as
+// a Blob whose refcounted payload is freed when the last view drops.  At
+// dispatch rates that is an allocate/free pair per invocation, per status
+// probe, per chunk header — all for buffers of a handful of recurring sizes.
+// The pool short-circuits the cycle: ByteBuffer::Reserve draws its vector
+// from the releasing thread's freelist and the Blob deleter puts the storage
+// back, so steady-state encode traffic recycles a few warm buffers instead
+// of touching the allocator.
+//
+// The pool is a process-wide toggle (on by default); benchmarks flip it off
+// to measure exactly what it buys.  Retention is bounded per thread and per
+// buffer so a one-off giant payload cannot pin memory forever.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vinelet {
+
+class BufferPool {
+ public:
+  /// A vector with size 0 and capacity ≥ `min_capacity`, reused from the
+  /// calling thread's freelist when one fits (otherwise freshly reserved).
+  static std::vector<std::uint8_t> Acquire(std::size_t min_capacity);
+
+  /// Returns a buffer's storage to the calling thread's freelist.  Oversized
+  /// buffers and overflow beyond the per-thread retention cap are simply
+  /// freed.
+  static void Release(std::vector<std::uint8_t>&& buffer) noexcept;
+
+  /// Process-wide switch.  Disabled, Acquire is a plain reserve and Release
+  /// a plain free — the by-value baseline for the arena on/off benchmark.
+  static void SetEnabled(bool enabled) noexcept;
+  static bool enabled() noexcept;
+
+  struct Stats {
+    std::uint64_t hits = 0;      // Acquire served from a freelist
+    std::uint64_t misses = 0;    // Acquire fell through to the allocator
+    std::uint64_t released = 0;  // buffers retained by Release
+    std::uint64_t hwm_bytes = 0; // peak bytes retained across all freelists
+  };
+  static Stats GetStats() noexcept;
+
+  /// Drops the calling thread's freelist (benchmarks use it to start cold).
+  static void DrainThisThread() noexcept;
+
+ private:
+  // Retention bounds: enough to keep a worker's steady-state encode sizes
+  // warm, small enough that 150 worker threads stay in tens of MB.
+  static constexpr std::size_t kMaxBuffersPerThread = 16;
+  static constexpr std::size_t kMaxRetainedBytesPerThread = 8u << 20;
+  static constexpr std::size_t kMaxBufferBytes = 4u << 20;
+};
+
+}  // namespace vinelet

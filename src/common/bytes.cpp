@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/buffer_pool.hpp"
+
 namespace vinelet {
 
 ByteBuffer::ByteBuffer(std::string&& text) {
@@ -20,9 +22,24 @@ void ByteBuffer::Append(std::span<const std::uint8_t> bytes) {
   data_.insert(data_.end(), bytes.begin(), bytes.end());
 }
 
+void ByteBuffer::Reserve(std::size_t capacity) {
+  if (data_.capacity() == 0 && capacity > 0) {
+    data_ = BufferPool::Acquire(capacity);
+    return;
+  }
+  data_.reserve(capacity);
+}
+
 Blob::Blob(std::vector<std::uint8_t> data) {
-  auto owned =
-      std::make_shared<const std::vector<std::uint8_t>>(std::move(data));
+  // The deleter hands the vector's storage back to the BufferPool on the
+  // releasing thread, closing the Reserve → encode → ship → drop cycle
+  // without an allocator round trip.
+  auto owned = std::shared_ptr<std::vector<std::uint8_t>>(
+      new std::vector<std::uint8_t>(std::move(data)),
+      [](std::vector<std::uint8_t>* v) {
+        BufferPool::Release(std::move(*v));
+        delete v;
+      });
   bytes_ = std::span<const std::uint8_t>(owned->data(), owned->size());
   owner_ = std::move(owned);
 }

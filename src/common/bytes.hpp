@@ -51,7 +51,11 @@ class ByteBuffer {
   void AppendByte(std::uint8_t byte) { data_.push_back(byte); }
 
   void Clear() noexcept { data_.clear(); }
-  void Reserve(std::size_t capacity) { data_.reserve(capacity); }
+  /// Pre-sizes the buffer.  An empty buffer draws its storage from the
+  /// BufferPool, so encode paths that Reserve up front recycle warm vectors
+  /// (the matching Release happens in the Blob deleter once the payload's
+  /// last reference drops).
+  void Reserve(std::size_t capacity);
   void Resize(std::size_t size) { data_.resize(size); }
 
   /// Interprets the contents as text (no validation).

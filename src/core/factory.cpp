@@ -28,6 +28,7 @@ Result<WorkerId> Factory::SpawnWorker() {
   config.registry = config_.registry;
   config.telemetry = config_.telemetry;
   config.fault = config_.fault;
+  config.ref_results_min_bytes = config_.ref_results_min_bytes;
   auto worker = std::make_unique<Worker>(network_, config);
   VINELET_RETURN_IF_ERROR(worker->Start());
   const WorkerId id = config.id;

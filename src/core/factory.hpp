@@ -25,6 +25,9 @@ struct FactoryConfig {
   telemetry::Telemetry* telemetry = nullptr;
   /// Fault injector handed to every spawned worker (chaos harness).
   std::shared_ptr<net::FaultInjector> fault;
+  /// Pass-by-reference results threshold handed to every spawned worker
+  /// (WorkerConfig::ref_results_min_bytes); 0 = results ship by value.
+  std::uint64_t ref_results_min_bytes = 0;
 };
 
 class Factory {

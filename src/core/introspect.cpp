@@ -69,6 +69,12 @@ std::string FormatClusterStatus(const ClusterStatus& status) {
            std::to_string(worker.latency_samples) + " sample(s)";
     if (worker.straggler) out += "  ** STRAGGLER **";
     out += "\n";
+    out += "    data plane: refs held " + std::to_string(worker.refs_held) +
+           ", p2p fetched " + std::to_string(worker.p2p_fetch_bytes) +
+           " B, p2p served " + std::to_string(worker.p2p_serve_bytes) +
+           " B, relayed results " +
+           std::to_string(worker.relayed_result_bytes) + " B, arena hwm " +
+           std::to_string(worker.arena_hwm_bytes) + " B\n";
     for (const auto& entry : worker.cache) {
       out += "    cache " + entry.id.ShortHex() + " " +
              std::to_string(entry.bytes) + " B\n";
@@ -154,6 +160,12 @@ std::string ClusterStatusToJson(const ClusterStatus& status) {
            ",\"p95_latency_s\":" + Seconds(worker.p95_latency_s) +
            ",\"latency_samples\":" + std::to_string(worker.latency_samples) +
            ",\"straggler\":" + (worker.straggler ? "true" : "false") +
+           ",\"refs_held\":" + std::to_string(worker.refs_held) +
+           ",\"p2p_fetch_bytes\":" + std::to_string(worker.p2p_fetch_bytes) +
+           ",\"p2p_serve_bytes\":" + std::to_string(worker.p2p_serve_bytes) +
+           ",\"relayed_result_bytes\":" +
+           std::to_string(worker.relayed_result_bytes) +
+           ",\"arena_hwm_bytes\":" + std::to_string(worker.arena_hwm_bytes) +
            ",\"cache\":[";
     for (std::size_t i = 0; i < worker.cache.size(); ++i) {
       if (i != 0) out += ",";

@@ -31,6 +31,14 @@ struct WorkerStatus {
   double p95_latency_s = 0.0;
   std::uint64_t latency_samples = 0;
   bool straggler = false;
+  /// Pass-by-reference data-plane counters (see StatusReplyMsg): pinned ref
+  /// payloads held, peer-to-peer bytes fetched/served, by-value result bytes
+  /// relayed through the manager, and the encode buffer-pool high-water mark.
+  std::uint64_t refs_held = 0;
+  std::uint64_t p2p_fetch_bytes = 0;
+  std::uint64_t p2p_serve_bytes = 0;
+  std::uint64_t relayed_result_bytes = 0;
+  std::uint64_t arena_hwm_bytes = 0;
 
   std::uint64_t CacheBytes() const {
     std::uint64_t total = 0;

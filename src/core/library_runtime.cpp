@@ -205,6 +205,30 @@ InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
     done.error = args.status().ToString();
     return done;
   }
+  // Splice pass-by-reference arguments: the worker fetched every missing
+  // payload into the local store before submitting, so these Gets hit.
+  for (const RefArg& ra : msg.ref_args) {
+    auto payload = store_->Get(ra.ref.id);
+    if (!payload.ok()) {
+      done.ok = false;
+      done.error = "ref argument not in store: " + payload.status().ToString();
+      return done;
+    }
+    auto value = serde::Value::FromBlob(*payload);
+    if (!value.ok()) {
+      done.ok = false;
+      done.error = "ref argument undecodable: " + value.status().ToString();
+      return done;
+    }
+    if (args->type() != serde::Value::Type::kList ||
+        ra.arg_index >= args->AsList().size()) {
+      done.ok = false;
+      done.error = "ref arg index out of range: " +
+                   std::to_string(ra.arg_index);
+      return done;
+    }
+    args->AsList()[ra.arg_index] = std::move(*value);
+  }
   auto fn_it = functions_.find(msg.function_name);
   if (fn_it == functions_.end()) {
     done.ok = false;
@@ -242,6 +266,21 @@ InvocationDoneMsg LibraryRuntime::RunOne(const RunInvocationMsg& msg) {
   }
   done.ok = true;
   done.result = result->ToBlob();
+  if (ref_min_bytes_ > 0 && done.result.size() >= ref_min_bytes_) {
+    // Retain the payload locally (pinned against eviction) and answer with
+    // a reference: the result bytes never cross the manager's inbox, and a
+    // downstream consumer fetches them peer-to-peer.  If the store rejects
+    // the payload the result simply ships by value — refs are an
+    // optimization, never a correctness dependency.
+    const hash::ContentId ref_id = hash::ContentId::Of(done.result);
+    if (store_->PutTrusted(ref_id, done.result).ok()) {
+      (void)store_->Pin(ref_id);
+      if (refs_held_ != nullptr)
+        refs_held_->fetch_add(1, std::memory_order_relaxed);
+      done.ref = BlobRef{ref_id, done.result.size(), ref_worker_};
+      done.result = Blob();
+    }
+  }
   if (telemetry_ != nullptr) {
     invocations_metric_->Add();
     invoke_exec_s_->Observe(done.timing.exec_s);

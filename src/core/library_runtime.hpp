@@ -101,6 +101,19 @@ class LibraryRuntime {
     fault_endpoint_ = endpoint;
   }
 
+  /// Pass-by-reference results: a successful invocation whose serialized
+  /// result is at least `min_bytes` is retained (pinned) in the worker's
+  /// store and answered with a BlobRef naming `worker` as the replica,
+  /// instead of inline bytes.  0 disables (every result ships by value).
+  /// `refs_held` (optional) is the hosting worker's pinned-ref gauge,
+  /// incremented for each retained result.  Call before Start().
+  void SetRefPolicy(std::uint64_t min_bytes, WorkerId worker,
+                    std::atomic<std::uint64_t>* refs_held) noexcept {
+    ref_min_bytes_ = min_bytes;
+    ref_worker_ = worker;
+    refs_held_ = refs_held;
+  }
+
  private:
   void Run();
   Status Setup(TimingBreakdown& timing);
@@ -125,6 +138,10 @@ class LibraryRuntime {
 
   std::shared_ptr<net::FaultInjector> fault_;
   net::EndpointId fault_endpoint_ = 0;
+
+  std::uint64_t ref_min_bytes_ = 0;  // 0 = results always ship by value
+  WorkerId ref_worker_ = 0;
+  std::atomic<std::uint64_t>* refs_held_ = nullptr;
 
   Channel<RunInvocationMsg> requests_;
   std::thread thread_;

@@ -31,6 +31,9 @@ Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
   m_.manager_transfers = &reg.GetCounter("manager.manager_transfers");
   m_.peer_transfer_bytes = &reg.GetCounter("manager.peer_transfer_bytes");
   m_.manager_transfer_bytes = &reg.GetCounter("manager.manager_transfer_bytes");
+  m_.ref_results = &reg.GetCounter("manager.ref_results");
+  m_.ref_result_bytes = &reg.GetCounter("manager.ref_result_bytes");
+  m_.refs_dropped = &reg.GetCounter("manager.refs_dropped");
   m_.broadcast_resends = &reg.GetCounter("manager.broadcast_resends");
   m_.broadcast_resend_bytes = &reg.GetCounter("manager.broadcast_resend_bytes");
   m_.affinity_hits = &reg.GetCounter("manager.affinity_hits");
@@ -102,6 +105,10 @@ void Manager::Stop() {
     status_query_.promise->set_value(CancelledError("manager stopped"));
     status_query_ = StatusQuery{};
   }
+  for (auto& [_, fetch] : manager_fetches_)
+    for (auto& waiter : fetch.waiters)
+      waiter->set_value(CancelledError("manager stopped"));
+  manager_fetches_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -272,6 +279,25 @@ FuturePtr Manager::SubmitCall(const std::string& library_name,
   return future;
 }
 
+Result<Blob> Manager::FetchRef(const BlobRef& ref, double timeout_s) {
+  if (!ref.valid()) return InvalidArgumentError("not a valid ref");
+  auto promise = std::make_shared<std::promise<Result<Blob>>>();
+  auto future = promise->get_future();
+  if (!commands_.Send(FetchRefCmd{ref, std::move(promise)}))
+    return UnavailableError("manager stopped");
+  if (future.wait_for(std::chrono::duration<double>(timeout_s)) !=
+      std::future_status::ready)
+    return TimeoutError("ref fetch timed out");
+  return future.get();
+}
+
+Status Manager::ReleaseRef(const BlobRef& ref) {
+  if (!ref.valid()) return InvalidArgumentError("not a valid ref");
+  if (!commands_.Send(ReleaseRefCmd{ref}))
+    return UnavailableError("manager stopped");
+  return Status::Ok();
+}
+
 Status Manager::WaitAll(double timeout_s) {
   std::unique_lock<std::mutex> lock(wait_mu_);
   auto done = [&] { return outstanding_ == 0; };
@@ -341,6 +367,9 @@ ManagerMetrics Manager::metrics() const {
   m.retries = snap.CounterValue("manager.retries");
   m.peer_transfers = snap.CounterValue("manager.peer_transfers");
   m.manager_transfers = snap.CounterValue("manager.manager_transfers");
+  m.ref_results = snap.CounterValue("manager.ref_results");
+  m.ref_result_bytes = snap.CounterValue("manager.ref_result_bytes");
+  m.refs_dropped = snap.CounterValue("manager.refs_dropped");
   m.affinity_hits = snap.CounterValue("manager.affinity_hits");
   m.affinity_misses = snap.CounterValue("manager.affinity_misses");
   m.steals = snap.CounterValue("manager.steals");
@@ -433,6 +462,11 @@ void Manager::HandleFrame(const net::Frame& frame) {
         } else if constexpr (std::is_same_v<T, FileReadyMsg>) {
           CompleteTransfer(sender, msg.content_id, true, "");
           CompleteBroadcastReady(sender, msg.content_id);
+          // A consumer that fetched a ref payload peer-to-peer announces the
+          // verified copy the same way; recording it lets later consumers
+          // fetch from this worker and survives the original owner's death.
+          if (refs_.contains(msg.content_id))
+            replicas_.AddReplica(msg.content_id, sender);
         } else if constexpr (std::is_same_v<T, FileFailedMsg>) {
           CompleteTransfer(sender, msg.content_id, false, msg.error);
           FailBroadcastWorker(sender, msg.content_id, msg.error);
@@ -548,7 +582,26 @@ void Manager::HandleFrame(const net::Frame& frame) {
               window.push_back(Now() - call.queued_s);
               if (window.size() > kLatencyWindow) window.pop_front();
             }
-            if (msg.ok) {
+            if (msg.ok && msg.ref.valid()) {
+              // Pass-by-reference result: the payload stayed in the producing
+              // worker's store.  Record placement and resolve the future with
+              // the wrapped ref — the bytes never transit the manager.
+              SettleCallRefs(call);
+              refs_[msg.ref.id].size = msg.ref.size;
+              replicas_.AddReplica(msg.ref.id, instance.worker);
+              const double received_s = Now();
+              m_.invocations_completed->Add();
+              m_.ref_results->Add();
+              m_.ref_result_bytes->Add(msg.ref.size);
+              m_.invocation_roundtrip_s->Observe(Now() - call.submitted_s);
+              telemetry_->tracer.EmitLinked(
+                  msg.trace.valid() ? msg.trace : call.trace,
+                  telemetry::Phase::kResult, "invocation", "manager", msg.id,
+                  received_s, Now());
+              call.future->Resolve(
+                  Outcome{WrapRef(msg.ref), msg.timing, instance.worker});
+              FinishOne();
+            } else if (msg.ok) {
               auto value = serde::Value::FromBlob(msg.result);
               if (value.ok()) {
                 const double received_s = Now();
@@ -559,10 +612,12 @@ void Manager::HandleFrame(const net::Frame& frame) {
                     msg.trace.valid() ? msg.trace : call.trace,
                     telemetry::Phase::kResult, "invocation", "manager", msg.id,
                     received_s, Now());
+                SettleCallRefs(call);
                 call.future->Resolve(
                     Outcome{std::move(*value), msg.timing, instance.worker});
                 FinishOne();
               } else {
+                SettleCallRefs(call);
                 call.future->Resolve(value.status());
                 FinishOne();
               }
@@ -573,12 +628,15 @@ void Manager::HandleFrame(const net::Frame& frame) {
                                         instance.worker);
               RequeueCall(std::move(call));
             } else {
+              SettleCallRefs(call);
               call.future->Resolve(InternalError(msg.error));
               FinishOne();
             }
             FeedInstance(instance);
             return;
           }
+        } else if constexpr (std::is_same_v<T, BlobDataMsg>) {
+          HandleManagerBlobData(std::move(msg));  // FetchRef materialization
         } else if constexpr (std::is_same_v<T, StatusReplyMsg>) {
           HandleStatusReply(sender, msg);
         } else {
@@ -636,6 +694,7 @@ void Manager::HandleCommand(Command command) {
           call.trace = telemetry_->tracer.StartTrace(
               telemetry::Phase::kSubmit, "invocation", "manager", call.id,
               cmd.submitted_s, call.queued_s);
+          RegisterRefArgs(call);
           // Affinity hit-rate: did this invocation arrive while some worker
           // already retained its library's context?
           if (affinity_.CountFor(cmd.library) > 0)
@@ -651,9 +710,135 @@ void Manager::HandleCommand(Command command) {
           StartStatusQuery(std::move(cmd));
         } else if constexpr (std::is_same_v<T, QuiescenceCmd>) {
           RunQuiescenceCheck(std::move(cmd));
+        } else if constexpr (std::is_same_v<T, FetchRefCmd>) {
+          HandleFetchRefCmd(std::move(cmd));
+        } else if constexpr (std::is_same_v<T, ReleaseRefCmd>) {
+          auto it = refs_.find(cmd.ref.id);
+          if (it == refs_.end()) return;
+          it->second.released = true;
+          MaybeDropRef(cmd.ref.id);
         }
       },
       std::move(command));
+}
+
+// ---------------------------------------------------------------------------
+// Pass-by-reference data plane.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Cheap pre-filter: serialized WrapRef dicts embed the literal "$blobref"
+/// key, so argument blobs without that byte sequence cannot carry a ref and
+/// skip the Value decode entirely (by-value workloads pay nothing).
+bool MightContainRef(const Blob& args) {
+  static constexpr std::string_view kKey = "$blobref";
+  const auto bytes = args.span();
+  return std::search(bytes.begin(), bytes.end(), kKey.begin(), kKey.end()) !=
+         bytes.end();
+}
+
+}  // namespace
+
+void Manager::RegisterRefArgs(PendingCall& call) {
+  if (call.args.size() == 0 || !MightContainRef(call.args)) return;
+  auto value = serde::Value::FromBlob(call.args);
+  if (!value.ok() || value->type() != serde::Value::Type::kList) return;
+  const auto& list = value->AsList();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    auto ref = TryUnwrapRef(list[i]);
+    if (!ref) continue;
+    RefArg arg;
+    arg.arg_index = static_cast<std::uint32_t>(i);
+    arg.ref = *ref;
+    call.ref_args.push_back(arg);
+    auto it = refs_.find(ref->id);
+    if (it != refs_.end()) ++it->second.pending_consumers;
+  }
+}
+
+void Manager::SettleCallRefs(const PendingCall& call) {
+  for (const RefArg& arg : call.ref_args) {
+    auto it = refs_.find(arg.ref.id);
+    if (it == refs_.end()) continue;
+    if (it->second.pending_consumers > 0) --it->second.pending_consumers;
+    MaybeDropRef(arg.ref.id);
+  }
+}
+
+void Manager::MaybeDropRef(const hash::ContentId& id) {
+  auto it = refs_.find(id);
+  if (it == refs_.end()) return;
+  if (!it->second.released || it->second.pending_consumers != 0) return;
+  for (WorkerId holder : replicas_.Holders(id)) {
+    (void)SendTo(holder, DropBlobMsg{id});
+    replicas_.RemoveReplica(id, holder);
+  }
+  (void)manager_store_.Remove(id);  // FetchRef may have cached a copy
+  m_.refs_dropped->Add();
+  refs_.erase(it);
+}
+
+WorkerId Manager::PickRefSource(const hash::ContentId& id,
+                                WorkerId target) const {
+  // Nearest replica by hash ring: walk the ring from the content id and take
+  // the first live holder other than the target itself.
+  for (WorkerId candidate : ring_.WalkFrom(id.Prefix64())) {
+    if (candidate == target) continue;
+    if (replicas_.HasReplica(id, candidate)) return candidate;
+  }
+  return 0;  // no live holder; the worker fails the fetch and the call retries
+}
+
+void Manager::HandleFetchRefCmd(FetchRefCmd cmd) {
+  if (auto cached = manager_store_.Get(cmd.ref.id); cached.ok()) {
+    cmd.promise->set_value(std::move(*cached));
+    return;
+  }
+  auto [it, inserted] = manager_fetches_.try_emplace(cmd.ref.id);
+  it->second.ref = cmd.ref;
+  it->second.waiters.push_back(std::move(cmd.promise));
+  if (inserted && !AdvanceManagerFetch(it->second)) {
+    for (auto& waiter : it->second.waiters)
+      waiter->set_value(
+          DataLossError("no live replica holds ref " + cmd.ref.id.ShortHex()));
+    manager_fetches_.erase(it);
+  }
+}
+
+bool Manager::AdvanceManagerFetch(ManagerFetch& fetch) {
+  for (WorkerId candidate : ring_.WalkFrom(fetch.ref.id.Prefix64())) {
+    if (fetch.tried.contains(candidate)) continue;
+    if (!replicas_.HasReplica(fetch.ref.id, candidate)) continue;
+    fetch.tried.insert(candidate);
+    if (SendTo(candidate, FetchBlobMsg{fetch.ref.id, 0, {}}).ok()) {
+      fetch.source = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Manager::HandleManagerBlobData(BlobDataMsg msg) {
+  auto it = manager_fetches_.find(msg.id);
+  if (it == manager_fetches_.end()) return;  // stale reply (already resolved)
+  if (msg.ok && hash::ContentId::Of(msg.payload) == msg.id) {
+    // Cache at the manager so repeated FetchRef calls are free; dropped
+    // again when the ref is released.
+    (void)manager_store_.PutTrusted(msg.id, msg.payload);
+    for (auto& waiter : it->second.waiters)
+      waiter->set_value(msg.payload);
+    manager_fetches_.erase(it);
+    return;
+  }
+  // Miss or corrupt copy: try the next holder; out of holders = data loss.
+  if (!AdvanceManagerFetch(it->second)) {
+    for (auto& waiter : it->second.waiters)
+      waiter->set_value(DataLossError(
+          "every replica of ref " + msg.id.ShortHex() + " failed" +
+          (msg.error.empty() ? "" : ": " + msg.error)));
+    manager_fetches_.erase(it);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -827,6 +1012,32 @@ bool Manager::TryDispatchCall(LibraryInfo& info) {
           {instance.id, instance.slots - instance.slots_in_use});
       backing.push_back(&instance);
     }
+    // Ref-aware placement: among warm instances, keep only the ones whose
+    // worker already holds the most ref-argument bytes of the next call —
+    // co-locating consumer with replica makes the peer fetch disappear.
+    // Least-loaded still breaks ties within the kept subset.
+    if (!info.queue.front().ref_args.empty() && backing.size() > 1) {
+      const PendingCall& front = info.queue.front();
+      std::vector<std::uint64_t> score(backing.size(), 0);
+      std::uint64_t best = 0;
+      for (std::size_t i = 0; i < backing.size(); ++i) {
+        for (const RefArg& arg : front.ref_args)
+          if (replicas_.HasReplica(arg.ref.id, backing[i]->worker))
+            score[i] += arg.ref.size;
+        best = std::max(best, score[i]);
+      }
+      if (best > 0) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < backing.size(); ++i) {
+          if (score[i] != best) continue;
+          candidates[keep] = candidates[i];
+          backing[keep] = backing[i];
+          ++keep;
+        }
+        candidates.resize(keep);
+        backing.resize(keep);
+      }
+    }
     const std::size_t pick =
         PickLeastLoaded(candidates.data(), candidates.size());
     if (pick != kNoCandidate) chosen = backing[pick];
@@ -837,6 +1048,26 @@ bool Manager::TryDispatchCall(LibraryInfo& info) {
 
 std::size_t Manager::DispatchCallsTo(InstanceInfo& instance,
                                      std::deque<PendingCall>& queue) {
+  // Consumers whose ref arguments lost every replica are unrecoverable (the
+  // producing invocation already resolved); fail them here instead of
+  // burning retry attempts on fetches that can never succeed.
+  while (!queue.empty()) {
+    std::string lost;
+    for (const RefArg& arg : queue.front().ref_args) {
+      if (replicas_.ReplicaCount(arg.ref.id) == 0) {
+        lost = arg.ref.id.ShortHex();
+        break;
+      }
+    }
+    if (lost.empty()) break;
+    PendingCall call = std::move(queue.front());
+    queue.pop_front();
+    SettleCallRefs(call);
+    call.future->Resolve(
+        DataLossError("every replica of ref argument " + lost + " was lost"));
+    FinishOne();
+  }
+
   const std::size_t free_slots = instance.slots - instance.slots_in_use;
   const std::size_t max_batch =
       std::max<std::uint32_t>(1, config_.scheduler.max_batch);
@@ -857,6 +1088,15 @@ std::size_t Manager::DispatchCallsTo(InstanceInfo& instance,
     msg.instance_id = instance.id;
     msg.function_name = call.function;
     msg.args = call.args;
+    // Stamp each ref argument with the replica to fetch from (0 = the
+    // target already holds it), and remember the stamp on the running call
+    // so a source death can cancel exactly the fetches it strands.
+    for (RefArg& arg : call.ref_args) {
+      arg.source = replicas_.HasReplica(arg.ref.id, worker)
+                       ? 0
+                       : PickRefSource(arg.ref.id, worker);
+    }
+    msg.ref_args = call.ref_args;
     msg.trace = call.trace;
     instance.running.emplace(call.id, std::move(call));
     return msg;
@@ -1502,6 +1742,11 @@ void Manager::HandleStatusReply(WorkerId worker, const StatusReplyMsg& msg) {
     w.cache = msg.cache;
     w.assemblies = msg.assemblies;
     w.libraries = msg.libraries;
+    w.refs_held = msg.refs_held;
+    w.p2p_fetch_bytes = msg.p2p_fetch_bytes;
+    w.p2p_serve_bytes = msg.p2p_serve_bytes;
+    w.relayed_result_bytes = msg.relayed_result_bytes;
+    w.arena_hwm_bytes = msg.arena_hwm_bytes;
     break;
   }
   if (status_query_.awaiting.empty()) FinalizeStatusQuery();
@@ -1722,6 +1967,37 @@ void Manager::RunQuiescenceCheck(QuiescenceCmd cmd) {
     }
   }
 
+  // Pass-by-reference audit: every tracked ref must still have a live
+  // replica, and its consumer refcount must equal the consumers actually
+  // queued or running — a drifted count either drops a payload a consumer is
+  // about to fetch or pins it forever.  No FetchRef may be outstanding.
+  report.refs_tracked = refs_.size();
+  std::map<hash::ContentId, std::uint64_t> expected_consumers;
+  for (const auto& [name, info] : libraries_)
+    for (const auto& call : info.queue)
+      for (const RefArg& arg : call.ref_args)
+        ++expected_consumers[arg.ref.id];
+  for (const auto& [id, instance] : instances_)
+    for (const auto& [_, call] : instance.running)
+      for (const RefArg& arg : call.ref_args)
+        ++expected_consumers[arg.ref.id];
+  for (const auto& [id, info] : refs_) {
+    report.ref_bytes += info.size;
+    const std::string label = "ref " + id.ShortHex();
+    if (replicas_.ReplicaCount(id) == 0)
+      violate(label + " tracked but no live replica holds it");
+    std::uint64_t expected = 0;
+    auto expected_it = expected_consumers.find(id);
+    if (expected_it != expected_consumers.end()) expected = expected_it->second;
+    if (info.pending_consumers != expected)
+      violate(label + " counts " + std::to_string(info.pending_consumers) +
+              " pending consumers but " + std::to_string(expected) +
+              " are queued/running");
+  }
+  if (!manager_fetches_.empty())
+    violate(std::to_string(manager_fetches_.size()) +
+            " manager ref fetches still in flight");
+
   cmd.promise->set_value(std::move(report));
 }
 
@@ -1732,6 +2008,7 @@ void Manager::RunQuiescenceCheck(QuiescenceCmd cmd) {
 void Manager::RequeueCall(PendingCall call) {
   auto it = libraries_.find(call.library);
   if (it == libraries_.end()) {
+    SettleCallRefs(call);
     call.future->Resolve(NotFoundError("library vanished: " + call.library));
     FinishOne();
     return;
@@ -1804,7 +2081,50 @@ void Manager::OnWorkerDead(WorkerId worker) {
       std::move(it->second.instances);
   workers_.erase(it);
   ring_.Remove(worker);
+
+  // Pass-by-reference recovery, part 1: consumers parked mid-fetch on the
+  // dead replica would wait forever — cancel exactly the fetches whose
+  // dispatch stamped this worker as the source.  The cancelled invocations
+  // fail back to the manager, requeue, and re-dispatch against a surviving
+  // replica (or fail with kDataLoss below if none is left).
+  for (auto& [_, instance] : instances_) {
+    if (instance.worker == worker) continue;  // dies with its worker below
+    std::set<hash::ContentId> cancel;
+    for (const auto& [__, call] : instance.running)
+      for (const RefArg& arg : call.ref_args)
+        if (arg.source == worker) cancel.insert(arg.ref.id);
+    for (const hash::ContentId& id : cancel)
+      (void)SendTo(instance.worker, CancelFetchMsg{id});
+  }
+
   replicas_.RemoveWorker(worker);
+
+  // Part 2: refs whose last replica died are gone for good — forget them so
+  // the audit sees a consistent table; their not-yet-dispatched consumers
+  // fail with kDataLoss at dispatch time.
+  for (auto ref_it = refs_.begin(); ref_it != refs_.end();) {
+    if (replicas_.ReplicaCount(ref_it->first) == 0) {
+      telemetry_->flight.Record("ref-lost", ref_it->first.ShortHex(), 0,
+                                ref_it->first.Prefix64(), worker);
+      ref_it = refs_.erase(ref_it);
+    } else {
+      ++ref_it;
+    }
+  }
+
+  // Part 3: a FetchRef materialization served by the dead worker retries the
+  // next holder; out of holders = data loss for its waiters.
+  for (auto f_it = manager_fetches_.begin(); f_it != manager_fetches_.end();) {
+    if (f_it->second.source != worker || AdvanceManagerFetch(f_it->second)) {
+      ++f_it;
+      continue;
+    }
+    for (auto& waiter : f_it->second.waiters)
+      waiter->set_value(DataLossError("ref replica died and no other holder "
+                                      "survives: " +
+                                      f_it->second.ref.id.ShortHex()));
+    f_it = manager_fetches_.erase(f_it);
+  }
   // Drop every affinity entry pointing at the dead worker — a stale entry
   // here is exactly what the quiescence audit flags as a violation.
   affinity_.RemoveWorker(worker);
@@ -1895,6 +2215,7 @@ void Manager::OnWorkerDead(WorkerId worker) {
         m_.retries->Add();
         RequeueCall(std::move(call));
       } else {
+        SettleCallRefs(call);
         call.future->Resolve(UnavailableError("worker died repeatedly"));
         FinishOne();
       }

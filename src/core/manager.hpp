@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "common/clock.hpp"
+#include "core/blob_ref.hpp"
 #include "core/future.hpp"
 #include "core/introspect.hpp"
 #include "core/protocol.hpp"
@@ -79,6 +80,13 @@ struct ManagerMetrics {
   std::uint64_t peer_transfers = 0;
   std::uint64_t manager_transfers = 0;
 
+  /// Pass-by-reference data plane: results that stayed on their producing
+  /// worker (and the payload bytes the manager therefore never relayed),
+  /// and refs garbage-collected after release.
+  std::uint64_t ref_results = 0;
+  std::uint64_t ref_result_bytes = 0;
+  std::uint64_t refs_dropped = 0;
+
   /// Scheduler telemetry: did an invocation arrive to retained context
   /// (a ready instance of its library existed somewhere), and how often did
   /// the autoscaler recruit cold capacity beyond the warm affinity set.
@@ -130,6 +138,11 @@ struct QuiescenceReport {
   /// stale or missing entry (e.g. one left behind by a worker death).
   std::size_t affinity_entries = 0;
   std::uint64_t affinity_warm_gauge = 0;
+  /// Pass-by-reference audit: tracked refs (each must have ≥1 live replica
+  /// and a consumer refcount matching the queued/running calls) and their
+  /// total payload bytes retained on workers.
+  std::size_t refs_tracked = 0;
+  std::uint64_t ref_bytes = 0;
 
   std::string ToString() const;
 };
@@ -214,6 +227,20 @@ class Manager {
                        const std::string& function_name,
                        const serde::Value& args);
 
+  // --- pass-by-reference data plane ---------------------------------------
+
+  /// Materializes a ref's payload at the application: the manager fetches it
+  /// from a surviving replica (nearest by hash ring) and caches it so
+  /// repeated fetches of the same ref are free.  This is the only point
+  /// where ref payload bytes cross the manager — DAG edges never do.
+  Result<Blob> FetchRef(const BlobRef& ref, double timeout_s = 10.0);
+
+  /// Declares the application done with a ref.  Once every already-dispatched
+  /// consumer has settled, the manager sends DropBlob to every replica holder
+  /// and forgets the ref; submitting new consumers after release races the
+  /// drop and may fail with kDataLoss.
+  Status ReleaseRef(const BlobRef& ref);
+
   // --- control -------------------------------------------------------------
 
   /// Blocks until every submitted task/call has resolved.
@@ -280,8 +307,18 @@ class Manager {
   struct QuiescenceCmd {
     std::shared_ptr<std::promise<QuiescenceReport>> promise;
   };
-  using Command = std::variant<InstallCmd, TaskCmd, CallCmd, BroadcastCmd,
-                               DisconnectCmd, StatusCmd, QuiescenceCmd>;
+  /// Application thread wants a ref's payload bytes (FetchRef).
+  struct FetchRefCmd {
+    BlobRef ref;
+    std::shared_ptr<std::promise<Result<Blob>>> promise;
+  };
+  /// Application thread is done with a ref (ReleaseRef).
+  struct ReleaseRefCmd {
+    BlobRef ref;
+  };
+  using Command =
+      std::variant<InstallCmd, TaskCmd, CallCmd, BroadcastCmd, DisconnectCmd,
+                   StatusCmd, QuiescenceCmd, FetchRefCmd, ReleaseRefCmd>;
 
   // ---- scheduler state (manager thread only) ----
   struct WorkerState {
@@ -321,6 +358,10 @@ class Manager {
     std::string library;
     std::string function;
     Blob args;
+    /// Arguments that arrived as WrapRef dicts, discovered once at submit.
+    /// `source` is stamped at each dispatch (it names the replica the worker
+    /// fetches from), and kept here so a source death can cancel the fetch.
+    std::vector<RefArg> ref_args;
     FuturePtr future;
     int attempts = 0;
     double submitted_s = 0;
@@ -394,6 +435,26 @@ class Manager {
     /// Root trace of the broadcast; every PutChunkMsg (including probes and
     /// direct resends) carries it so relay spans link back here.
     telemetry::TraceContext trace;
+  };
+
+  /// One manager-tracked pass-by-reference result (manager thread only).
+  /// Placement truth lives in replicas_; this records the payload size, how
+  /// many dispatched-or-queued consumers still reference it, and whether the
+  /// application released it (the GC precondition).
+  struct RefInfo {
+    std::uint64_t size = 0;
+    std::uint64_t pending_consumers = 0;
+    bool released = false;
+  };
+
+  /// One in-flight FetchRef materialization (manager thread only): the
+  /// replica currently serving it, holders already tried, and the blocked
+  /// application threads.
+  struct ManagerFetch {
+    BlobRef ref;
+    WorkerId source = 0;
+    std::set<WorkerId> tried;
+    std::vector<std::shared_ptr<std::promise<Result<Blob>>>> waiters;
   };
 
   /// One in-flight QueryStatus (manager thread only).  A second query that
@@ -471,6 +532,24 @@ class Manager {
   void RequeueCall(PendingCall call);
   void FinishOne();  // decrement outstanding + notify WaitAll
 
+  // ---- pass-by-reference data plane (manager thread) ----
+  /// Discovers WrapRef dicts in the call's argument list (once, at submit)
+  /// and counts the call as a pending consumer of each tracked ref.
+  void RegisterRefArgs(PendingCall& call);
+  /// The call resolved (success or permanent failure): release its claim on
+  /// every ref argument and GC refs that became droppable.
+  void SettleCallRefs(const PendingCall& call);
+  /// Sends DropBlob to every holder and forgets the ref, iff it was released
+  /// and no dispatched/queued consumer still references it.
+  void MaybeDropRef(const hash::ContentId& id);
+  /// Nearest replica of `id` by hash-ring order, excluding `target`;
+  /// 0 when no live worker holds it.
+  WorkerId PickRefSource(const hash::ContentId& id, WorkerId target) const;
+  void HandleFetchRefCmd(FetchRefCmd cmd);
+  /// Directs the fetch at the next untried holder; false when none is left.
+  bool AdvanceManagerFetch(ManagerFetch& fetch);
+  void HandleManagerBlobData(BlobDataMsg msg);
+
   // ---- live introspection (manager thread) ----
   void StartStatusQuery(StatusCmd cmd);
   void HandleStatusReply(WorkerId worker, const StatusReplyMsg& msg);
@@ -514,6 +593,9 @@ class Manager {
     telemetry::Counter* manager_transfers = nullptr;
     telemetry::Counter* peer_transfer_bytes = nullptr;
     telemetry::Counter* manager_transfer_bytes = nullptr;
+    telemetry::Counter* ref_results = nullptr;
+    telemetry::Counter* ref_result_bytes = nullptr;
+    telemetry::Counter* refs_dropped = nullptr;
     // Broadcast recovery traffic, kept separate from the admission-time
     // payload accounting so retries never double-count broadcast bytes.
     telemetry::Counter* broadcast_resends = nullptr;
@@ -552,6 +634,10 @@ class Manager {
   std::map<TaskId, RunningTask> running_tasks_;
   std::map<TransferKey, Transfer> transfers_;
   std::map<hash::ContentId, BroadcastState> broadcasts_;
+  /// Pass-by-reference results the cluster still retains (see RefInfo).
+  std::map<hash::ContentId, RefInfo> refs_;
+  /// FetchRef materializations awaiting a BlobDataMsg reply.
+  std::map<hash::ContentId, ManagerFetch> manager_fetches_;
   std::set<WorkerId> pending_dead_;
   LibraryInstanceId next_instance_id_ = 1;
   StatusQuery status_query_;

@@ -28,6 +28,10 @@ enum class Tag : std::uint8_t {
   kStatusRequest,
   kStatusReply,
   kRunInvocationBatch,
+  kFetchBlob,
+  kBlobData,
+  kDropBlob,
+  kCancelFetch,
 };
 
 /// Route trees are bounded by the worker count in practice; the decoder
@@ -165,6 +169,58 @@ Result<telemetry::TraceContext> ReadTrace(ArchiveReader& r) {
 
 void WriteBlob(ArchiveWriter& w, const Blob& blob) { w.WriteBytes(blob.span()); }
 
+void WriteBlobRef(ArchiveWriter& w, const BlobRef& ref) {
+  WriteContentId(w, ref.id);
+  w.WriteU64(ref.size);
+  w.WriteU64(ref.owner);
+}
+
+Result<BlobRef> ReadBlobRef(ArchiveReader& r) {
+  BlobRef ref;
+  auto id = ReadContentId(r);
+  if (!id.ok()) return id.status();
+  ref.id = *id;
+  auto size = r.ReadU64();
+  if (!size.ok()) return size.status();
+  ref.size = *size;
+  auto owner = r.ReadU64();
+  if (!owner.ok()) return owner.status();
+  ref.owner = *owner;
+  return ref;
+}
+
+void WriteRefArgs(ArchiveWriter& w, const std::vector<RefArg>& refs) {
+  w.WriteU64(refs.size());
+  for (const auto& ref : refs) {
+    w.WriteU32(ref.arg_index);
+    WriteBlobRef(w, ref.ref);
+    w.WriteU64(ref.source);
+  }
+}
+
+Result<std::vector<RefArg>> ReadRefArgs(ArchiveReader& r) {
+  auto count = r.ReadU64();
+  if (!count.ok()) return count.status();
+  if (*count > r.remaining())
+    return DataLossError("ref-arg count exceeds payload");
+  std::vector<RefArg> refs;
+  refs.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    RefArg arg;
+    auto index = r.ReadU32();
+    if (!index.ok()) return index.status();
+    arg.arg_index = *index;
+    auto ref = ReadBlobRef(r);
+    if (!ref.ok()) return ref.status();
+    arg.ref = *ref;
+    auto source = r.ReadU64();
+    if (!source.ok()) return source.status();
+    arg.source = *source;
+    refs.push_back(arg);
+  }
+  return refs;
+}
+
 Result<Blob> ReadBlob(ArchiveReader& r) { return r.ReadBlob(); }
 
 /// Bulk fields (PutFile payload, PutChunk chunk) are prefixed with an
@@ -289,6 +345,7 @@ struct Encoder {
     w.WriteU64(m.instance_id);
     w.WriteString(m.function_name);
     WriteBlob(w, m.args);
+    WriteRefArgs(w, m.ref_args);
     WriteTrace(w, m.trace);
   }
   void operator()(const RunInvocationBatchMsg& m) {
@@ -299,6 +356,7 @@ struct Encoder {
       w.WriteU64(item.id);
       w.WriteString(item.function_name);
       WriteBlob(w, item.args);
+      WriteRefArgs(w, item.ref_args);
       WriteTrace(w, item.trace);
     }
   }
@@ -342,7 +400,8 @@ struct Encoder {
     w.WriteU8(static_cast<std::uint8_t>(Tag::kInvocationDone));
     w.WriteU64(m.id);
     w.WriteBool(m.ok);
-    WriteBlob(w, m.result);
+    WriteBulk(m.result);
+    WriteBlobRef(w, m.ref);
     w.WriteString(m.error);
     WriteTiming(w, m.timing);
     WriteTrace(w, m.trace);
@@ -375,6 +434,34 @@ struct Encoder {
       w.WriteU64(slot.invocations_served);
       w.WriteU64(slot.queued);
     }
+    w.WriteU64(m.refs_held);
+    w.WriteU64(m.p2p_fetch_bytes);
+    w.WriteU64(m.p2p_serve_bytes);
+    w.WriteU64(m.relayed_result_bytes);
+    w.WriteU64(m.arena_hwm_bytes);
+  }
+  void operator()(const FetchBlobMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kFetchBlob));
+    WriteContentId(w, m.id);
+    w.WriteU64(m.tag);
+    WriteTrace(w, m.trace);
+  }
+  void operator()(const BlobDataMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kBlobData));
+    WriteContentId(w, m.id);
+    w.WriteU64(m.tag);
+    w.WriteBool(m.ok);
+    w.WriteString(m.error);
+    WriteTrace(w, m.trace);
+    WriteBulk(m.payload);
+  }
+  void operator()(const DropBlobMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kDropBlob));
+    WriteContentId(w, m.id);
+  }
+  void operator()(const CancelFetchMsg& m) {
+    w.WriteU8(static_cast<std::uint8_t>(Tag::kCancelFetch));
+    WriteContentId(w, m.id);
   }
 };
 
@@ -520,6 +607,9 @@ Result<Message> DecodeRunInvocation(ArchiveReader& r) {
   auto args = ReadBlob(r);
   if (!args.ok()) return args.status();
   m.args = std::move(*args);
+  auto refs = ReadRefArgs(r);
+  if (!refs.ok()) return refs.status();
+  m.ref_args = std::move(*refs);
   auto trace = ReadTrace(r);
   if (!trace.ok()) return trace.status();
   m.trace = *trace;
@@ -548,6 +638,9 @@ Result<Message> DecodeRunInvocationBatch(ArchiveReader& r) {
     auto args = ReadBlob(r);
     if (!args.ok()) return args.status();
     item.args = std::move(*args);
+    auto refs = ReadRefArgs(r);
+    if (!refs.ok()) return refs.status();
+    item.ref_args = std::move(*refs);
     auto trace = ReadTrace(r);
     if (!trace.ok()) return trace.status();
     item.trace = *trace;
@@ -579,7 +672,8 @@ Result<Message> DecodeTaskDone(ArchiveReader& r) {
   return Message(std::move(m));
 }
 
-Result<Message> DecodeInvocationDone(ArchiveReader& r) {
+Result<Message> DecodeInvocationDone(ArchiveReader& r,
+                                     const Blob* attachment) {
   InvocationDoneMsg m;
   auto id = r.ReadU64();
   if (!id.ok()) return id.status();
@@ -587,9 +681,12 @@ Result<Message> DecodeInvocationDone(ArchiveReader& r) {
   auto ok = r.ReadBool();
   if (!ok.ok()) return ok.status();
   m.ok = *ok;
-  auto result = ReadBlob(r);
+  auto result = ReadBulk(r, attachment);
   if (!result.ok()) return result.status();
   m.result = std::move(*result);
+  auto ref = ReadBlobRef(r);
+  if (!ref.ok()) return ref.status();
+  m.ref = *ref;
   auto error = r.ReadString();
   if (!error.ok()) return error.status();
   m.error = std::move(*error);
@@ -659,6 +756,50 @@ Result<Message> DecodeStatusReply(ArchiveReader& r) {
     }
     m.libraries.push_back(std::move(slot));
   }
+  for (std::uint64_t* field :
+       {&m.refs_held, &m.p2p_fetch_bytes, &m.p2p_serve_bytes,
+        &m.relayed_result_bytes, &m.arena_hwm_bytes}) {
+    auto v = r.ReadU64();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeFetchBlob(ArchiveReader& r) {
+  FetchBlobMsg m;
+  auto id = ReadContentId(r);
+  if (!id.ok()) return id.status();
+  m.id = *id;
+  auto tag = r.ReadU64();
+  if (!tag.ok()) return tag.status();
+  m.tag = *tag;
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
+  return Message(std::move(m));
+}
+
+Result<Message> DecodeBlobData(ArchiveReader& r, const Blob* attachment) {
+  BlobDataMsg m;
+  auto id = ReadContentId(r);
+  if (!id.ok()) return id.status();
+  m.id = *id;
+  auto tag = r.ReadU64();
+  if (!tag.ok()) return tag.status();
+  m.tag = *tag;
+  auto ok = r.ReadBool();
+  if (!ok.ok()) return ok.status();
+  m.ok = *ok;
+  auto error = r.ReadString();
+  if (!error.ok()) return error.status();
+  m.error = std::move(*error);
+  auto trace = ReadTrace(r);
+  if (!trace.ok()) return trace.status();
+  m.trace = *trace;
+  auto payload = ReadBulk(r, attachment);
+  if (!payload.ok()) return payload.status();
+  m.payload = std::move(*payload);
   return Message(std::move(m));
 }
 
@@ -722,7 +863,7 @@ Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
       return Message(LibraryRemovedMsg{*id});
     }
     case Tag::kInvocationDone:
-      return DecodeInvocationDone(r);
+      return DecodeInvocationDone(r, attachment);
     case Tag::kGoodbye:
       return Message(GoodbyeMsg{});
     case Tag::kStatusRequest:
@@ -731,6 +872,20 @@ Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
       return DecodeStatusReply(r);
     case Tag::kRunInvocationBatch:
       return DecodeRunInvocationBatch(r);
+    case Tag::kFetchBlob:
+      return DecodeFetchBlob(r);
+    case Tag::kBlobData:
+      return DecodeBlobData(r, attachment);
+    case Tag::kDropBlob: {
+      auto id = ReadContentId(r);
+      if (!id.ok()) return id.status();
+      return Message(DropBlobMsg{*id});
+    }
+    case Tag::kCancelFetch: {
+      auto id = ReadContentId(r);
+      if (!id.ok()) return id.status();
+      return Message(CancelFetchMsg{*id});
+    }
   }
   return DataLossError("unknown message tag " + std::to_string(*tag));
 }

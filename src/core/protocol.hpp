@@ -15,6 +15,7 @@
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "core/blob_ref.hpp"
 #include "core/resources.hpp"
 #include "core/types.hpp"
 #include "net/network.hpp"
@@ -127,11 +128,25 @@ struct RemoveLibraryMsg {
   LibraryInstanceId instance_id = 0;
 };
 
+/// One pass-by-reference argument of an invocation: which top-level argument
+/// position it fills, the ref itself, and the replica the manager chose for
+/// the consumer to fetch from (`source` is stamped at dispatch time from the
+/// live ReplicaTable; 0 means the target already holds the payload).
+struct RefArg {
+  std::uint32_t arg_index = 0;
+  BlobRef ref;
+  WorkerId source = 0;
+};
+
 struct RunInvocationMsg {
   InvocationId id = 0;
   LibraryInstanceId instance_id = 0;
   std::string function_name;
   Blob args;  // serialized Value — all an invocation needs (Table 1)
+  /// Arguments passed by reference: the worker fetches each missing payload
+  /// peer-to-peer from `source` before the invocation runs, and the library
+  /// splices the materialized Value into `args` at `arg_index`.
+  std::vector<RefArg> ref_args;
   telemetry::TraceContext trace;
 };
 
@@ -193,13 +208,58 @@ struct LibraryRemovedMsg {
 struct InvocationDoneMsg {
   InvocationId id = 0;
   bool ok = false;
+  /// Inline result bytes.  Sent via EncodeFrame the blob rides as the frame
+  /// attachment, so even by-value results cross the manager's inbox as a
+  /// borrowed refcounted view, never a second copy.  Empty when `ref` is
+  /// set: the payload stayed in the producing worker's store.
   Blob result;
+  /// Pass-by-reference result (valid() when the worker retained the payload
+  /// and the manager should record placement instead of relaying bytes).
+  BlobRef ref;
   std::string error;
   TimingBreakdown timing;
   telemetry::TraceContext trace;  // the worker's exec-span context
 };
 
 struct GoodbyeMsg {};
+
+// ---------------------------------------------------------------------------
+// Peer-to-peer ref data plane (worker ↔ worker, manager-mediated recovery).
+// ---------------------------------------------------------------------------
+
+/// Worker → worker: ask a replica holder for a content-addressed payload.
+/// The requester is the frame's sender; `tag` is an opaque correlation id
+/// echoed on the BlobDataMsg so a requester can match replies to fetches.
+struct FetchBlobMsg {
+  hash::ContentId id;
+  std::uint64_t tag = 0;
+  telemetry::TraceContext trace;
+};
+
+/// Worker → worker: the fetched payload (or a miss).  Via EncodeFrame the
+/// payload rides as the frame attachment — the serving worker forwards its
+/// cached refcounted bytes without copying, same as the chunk relay.
+struct BlobDataMsg {
+  hash::ContentId id;
+  std::uint64_t tag = 0;
+  bool ok = false;
+  Blob payload;
+  std::string error;
+  telemetry::TraceContext trace;
+};
+
+/// Manager → worker: a ref's consumers are all settled and the manager
+/// released it — unpin and drop the payload from the local store.
+struct DropBlobMsg {
+  hash::ContentId id;
+};
+
+/// Manager → worker: the replica a pending fetch was directed at died; fail
+/// the invocations parked on `id` so they requeue and re-dispatch against a
+/// surviving replica.  Idempotent if the fetch already completed.
+struct CancelFetchMsg {
+  hash::ContentId id;
+};
 
 /// One cached context on a worker, for the status reply.
 struct CacheEntryStatus {
@@ -229,6 +289,12 @@ struct StatusReplyMsg {
   std::vector<CacheEntryStatus> cache;
   std::vector<AssemblyStatus> assemblies;
   std::vector<LibrarySlotStatus> libraries;
+  // Data-plane counters (pass-by-reference path).
+  std::uint64_t refs_held = 0;          // pinned ref payloads in the store
+  std::uint64_t p2p_fetch_bytes = 0;    // ref bytes fetched from peers
+  std::uint64_t p2p_serve_bytes = 0;    // ref bytes served to peers
+  std::uint64_t relayed_result_bytes = 0;  // by-value result bytes sent up
+  std::uint64_t arena_hwm_bytes = 0;    // encode buffer-pool high-water mark
 };
 
 using Message =
@@ -236,7 +302,8 @@ using Message =
                  RemoveLibraryMsg, RunInvocationMsg, ShutdownMsg, HelloMsg,
                  FileReadyMsg, FileFailedMsg, TaskDoneMsg, LibraryReadyMsg,
                  LibraryRemovedMsg, InvocationDoneMsg, GoodbyeMsg, PutChunkMsg,
-                 StatusRequestMsg, StatusReplyMsg, RunInvocationBatchMsg>;
+                 StatusRequestMsg, StatusReplyMsg, RunInvocationBatchMsg,
+                 FetchBlobMsg, BlobDataMsg, DropBlobMsg, CancelFetchMsg>;
 
 /// Serializes a message to a single self-contained blob (bulk payloads
 /// inline).  Kept for tests and for contexts without a Frame.

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/buffer_pool.hpp"
 #include "common/log.hpp"
 
 namespace vinelet::core {
@@ -94,6 +95,7 @@ void Worker::Run() {
 }
 
 void Worker::Handle(net::Frame frame) {
+  const net::EndpointId sender = frame.sender;
   Stopwatch decode_watch(clock_);
   auto message = DecodeFrame(frame);
   const double decode_s = decode_watch.Elapsed();
@@ -122,6 +124,14 @@ void Worker::Handle(net::Frame frame) {
           HandleRunInvocation(std::move(msg));
         } else if constexpr (std::is_same_v<T, RunInvocationBatchMsg>) {
           HandleRunInvocationBatch(std::move(msg));
+        } else if constexpr (std::is_same_v<T, FetchBlobMsg>) {
+          HandleFetchBlob(msg, sender);
+        } else if constexpr (std::is_same_v<T, BlobDataMsg>) {
+          HandleBlobData(std::move(msg));
+        } else if constexpr (std::is_same_v<T, DropBlobMsg>) {
+          HandleDropBlob(msg);
+        } else if constexpr (std::is_same_v<T, CancelFetchMsg>) {
+          HandleCancelFetch(msg);
         } else if constexpr (std::is_same_v<T, StatusRequestMsg>) {
           HandleStatusRequest();
         } else if constexpr (std::is_same_v<T, ShutdownMsg>) {
@@ -478,6 +488,8 @@ void Worker::HandleInstallLibrary(InstallLibraryMsg msg, double decode_s) {
     }
   };
   callbacks.on_done = [this](InvocationDoneMsg done) {
+    relayed_result_bytes_.fetch_add(done.result.size(),
+                                    std::memory_order_relaxed);
     SendToManager(std::move(done));
   };
 
@@ -486,6 +498,8 @@ void Worker::HandleInstallLibrary(InstallLibraryMsg msg, double decode_s) {
       std::move(callbacks), telemetry_);
   library->SetSetupTrace(msg.trace);
   if (config_.fault) library->SetFaultInjector(config_.fault, config_.id);
+  library->SetRefPolicy(config_.ref_results_min_bytes, config_.id,
+                        &refs_held_);
   LibraryRuntime* raw = library.get();
   {
     std::lock_guard<std::mutex> lock(libraries_mu_);
@@ -509,6 +523,63 @@ void Worker::HandleRemoveLibrary(const RemoveLibraryMsg& msg) {
 }
 
 void Worker::HandleRunInvocation(RunInvocationMsg msg) {
+  for (const RefArg& ra : msg.ref_args) {
+    if (!store_.Contains(ra.ref.id)) {
+      ParkAndFetch(std::move(msg));
+      return;
+    }
+  }
+  SubmitReady(std::move(msg));
+}
+
+void Worker::HandleRunInvocationBatch(RunInvocationBatchMsg msg) {
+  // One instance lookup and one lock round for the whole batch; every item
+  // still completes (or fails) individually, so the manager's per-invocation
+  // futures and causal traces behave exactly as with single dispatch.
+  // Items whose ref arguments are not yet local peel off into the park/fetch
+  // path and submit individually once their payloads land.
+  std::vector<RunInvocationMsg> ready;
+  ready.reserve(msg.items.size());
+  for (auto& item : msg.items) {
+    bool resident = true;
+    for (const RefArg& ra : item.ref_args) {
+      if (!store_.Contains(ra.ref.id)) {
+        resident = false;
+        break;
+      }
+    }
+    if (resident)
+      ready.push_back(std::move(item));
+    else
+      ParkAndFetch(std::move(item));
+  }
+  if (ready.empty()) return;
+  std::vector<InvocationId> failed;
+  {
+    std::lock_guard<std::mutex> lock(libraries_mu_);
+    auto it = libraries_.find(msg.instance_id);
+    if (it == libraries_.end()) {
+      failed.reserve(ready.size());
+      for (const auto& item : ready) failed.push_back(item.id);
+    } else {
+      // SubmitBatch consumes items from the front; anything past the
+      // accepted count never reached the library thread (it was closing)
+      // and must be failed individually so each future still resolves.
+      const std::size_t accepted = it->second->SubmitBatch(ready);
+      for (std::size_t i = accepted; i < ready.size(); ++i)
+        failed.push_back(ready[i].id);
+    }
+  }
+  for (InvocationId id : failed) {
+    InvocationDoneMsg done;
+    done.id = id;
+    done.ok = false;
+    done.error = "library instance not present on worker";
+    SendToManager(std::move(done));
+  }
+}
+
+void Worker::SubmitReady(RunInvocationMsg msg) {
   const InvocationId id = msg.id;
   bool submitted = false;
   {
@@ -525,33 +596,136 @@ void Worker::HandleRunInvocation(RunInvocationMsg msg) {
   }
 }
 
-void Worker::HandleRunInvocationBatch(RunInvocationBatchMsg msg) {
-  // One instance lookup and one lock round for the whole batch; every item
-  // still completes (or fails) individually, so the manager's per-invocation
-  // futures and causal traces behave exactly as with single dispatch.
-  std::vector<InvocationId> failed;
-  {
-    std::lock_guard<std::mutex> lock(libraries_mu_);
-    auto it = libraries_.find(msg.instance_id);
-    if (it == libraries_.end()) {
-      failed.reserve(msg.items.size());
-      for (const auto& item : msg.items) failed.push_back(item.id);
-    } else {
-      // SubmitBatch consumes items from the front; anything past the
-      // accepted count never reached the library thread (it was closing)
-      // and must be failed individually so each future still resolves.
-      const std::size_t accepted = it->second->SubmitBatch(msg.items);
-      for (std::size_t i = accepted; i < msg.items.size(); ++i)
-        failed.push_back(msg.items[i].id);
-    }
+void Worker::ParkAndFetch(RunInvocationMsg msg) {
+  const InvocationId id = msg.id;
+  if (parked_.contains(id)) return;  // duplicate delivery; fetches in flight
+  std::vector<RefArg> missing;
+  for (const RefArg& ra : msg.ref_args)
+    if (!store_.Contains(ra.ref.id)) missing.push_back(ra);
+  ParkedInvocation& slot = parked_[id];
+  slot.msg = std::move(msg);
+  slot.awaiting = missing.size();
+  for (const RefArg& ra : missing) {
+    // A failed StartFetch fails (and erases) this parked invocation; the
+    // remaining fetches would only feed a corpse.
+    if (!parked_.contains(id)) break;
+    StartFetch(ra, id);
   }
-  for (InvocationId id : failed) {
+}
+
+void Worker::StartFetch(const RefArg& ref_arg, InvocationId waiter) {
+  auto [it, inserted] = fetches_.try_emplace(ref_arg.ref.id);
+  it->second.waiters.push_back(waiter);
+  if (!inserted) return;  // fetch already in flight; ride along
+  it->second.source = ref_arg.source;
+  if (ref_arg.source == 0 || ref_arg.source == config_.id) {
+    // The manager believed the payload was already here (or gave no source)
+    // but the store disagrees — likely evicted.  Fail fast so the manager
+    // re-dispatches with a live replica.
+    FailFetch(ref_arg.ref.id, "ref payload not in local store");
+    return;
+  }
+  FetchBlobMsg fetch;
+  fetch.id = ref_arg.ref.id;
+  fetch.tag = next_fetch_tag_++;
+  WireFrame wire = EncodeFrame(fetch);
+  Status sent = network_->Send(config_.id, ref_arg.source,
+                               std::move(wire.payload),
+                               std::move(wire.attachment));
+  if (!sent.ok())
+    FailFetch(ref_arg.ref.id,
+              "fetch source unreachable: " + sent.ToString());
+}
+
+void Worker::FailFetch(const hash::ContentId& id, const std::string& error) {
+  auto it = fetches_.find(id);
+  if (it == fetches_.end()) return;
+  std::vector<InvocationId> waiters = std::move(it->second.waiters);
+  fetches_.erase(it);
+  for (InvocationId waiter : waiters) {
+    auto parked_it = parked_.find(waiter);
+    if (parked_it == parked_.end()) continue;
+    parked_.erase(parked_it);
     InvocationDoneMsg done;
-    done.id = id;
+    done.id = waiter;
     done.ok = false;
-    done.error = "library instance not present on worker";
+    done.error = "ref fetch failed: " + error;
     SendToManager(std::move(done));
   }
+}
+
+void Worker::HandleFetchBlob(const FetchBlobMsg& msg,
+                             net::EndpointId requester) {
+  BlobDataMsg reply;
+  reply.id = msg.id;
+  reply.tag = msg.tag;
+  reply.trace = msg.trace;
+  auto blob = store_.Get(msg.id);
+  if (blob.ok()) {
+    reply.ok = true;
+    reply.payload = std::move(*blob);
+  } else {
+    reply.error = "replica miss on worker " + std::to_string(config_.id);
+  }
+  const std::uint64_t served = reply.payload.size();
+  // The payload rides as the frame attachment: serving a ref forwards the
+  // store's refcounted bytes, same zero-copy path as the chunk relay.
+  WireFrame wire = EncodeFrame(reply);
+  Status sent = network_->Send(config_.id, requester, std::move(wire.payload),
+                               std::move(wire.attachment));
+  if (sent.ok() && served > 0)
+    p2p_serve_bytes_.fetch_add(served, std::memory_order_relaxed);
+}
+
+void Worker::HandleBlobData(BlobDataMsg msg) {
+  if (!msg.ok) {
+    FailFetch(msg.id, msg.error.empty() ? "replica miss" : msg.error);
+    return;
+  }
+  // Verified admission: a corrupted transfer fails the hash check here and
+  // the parked invocations requeue against another replica.
+  const std::uint64_t size = msg.payload.size();
+  Status stored = store_.Put(msg.id, std::move(msg.payload));
+  if (!stored.ok()) {
+    FailFetch(msg.id, stored.ToString());
+    return;
+  }
+  auto it = fetches_.find(msg.id);
+  if (it == fetches_.end()) return;  // late duplicate; nothing waiting
+  (void)store_.Pin(msg.id);
+  refs_held_.fetch_add(1, std::memory_order_relaxed);
+  p2p_fetch_bytes_.fetch_add(size, std::memory_order_relaxed);
+  // Announce the new replica so the manager's table learns this worker now
+  // holds the payload (future consumers can fetch from here, and the
+  // eventual DropBlob reaches every copy).
+  SendToManager(FileReadyMsg{msg.id, size});
+  std::vector<InvocationId> waiters = std::move(it->second.waiters);
+  fetches_.erase(it);
+  for (InvocationId waiter : waiters) {
+    auto parked_it = parked_.find(waiter);
+    if (parked_it == parked_.end()) continue;
+    if (--parked_it->second.awaiting > 0) continue;
+    RunInvocationMsg run = std::move(parked_it->second.msg);
+    parked_.erase(parked_it);
+    SubmitReady(std::move(run));
+  }
+}
+
+void Worker::HandleDropBlob(const DropBlobMsg& msg) {
+  if (!store_.Contains(msg.id)) return;
+  (void)store_.Unpin(msg.id);
+  (void)store_.Remove(msg.id);
+  // Guarded decrement: a DropBlob can race a crashed producer's re-execution
+  // and arrive for a payload this worker never counted.
+  std::uint64_t held = refs_held_.load(std::memory_order_relaxed);
+  while (held > 0 && !refs_held_.compare_exchange_weak(
+                         held, held - 1, std::memory_order_relaxed)) {
+  }
+}
+
+void Worker::HandleCancelFetch(const CancelFetchMsg& msg) {
+  // Idempotent: if the fetch already completed there is nothing parked.
+  FailFetch(msg.id, "fetch cancelled: replica owner died");
 }
 
 void Worker::HandleStatusRequest() {
@@ -572,6 +746,14 @@ void Worker::HandleStatusRequest() {
                                  library->invocations_served(),
                                  library->queued()});
   }
+  reply.refs_held = refs_held_.load(std::memory_order_relaxed);
+  reply.p2p_fetch_bytes = p2p_fetch_bytes_.load(std::memory_order_relaxed);
+  reply.p2p_serve_bytes = p2p_serve_bytes_.load(std::memory_order_relaxed);
+  reply.relayed_result_bytes =
+      relayed_result_bytes_.load(std::memory_order_relaxed);
+  // The encode buffer pool is process-wide; every worker reports the same
+  // high-water mark, which status consumers display as the node arena HWM.
+  reply.arena_hwm_bytes = BufferPool::GetStats().hwm_bytes;
   SendToManager(reply);
 }
 

@@ -40,6 +40,11 @@ struct WorkerConfig {
   /// failures and straggler delays keyed by this worker's endpoint id.
   /// Null = no injected faults.
   std::shared_ptr<net::FaultInjector> fault;
+  /// Pass-by-reference results: library invocation results of at least this
+  /// many serialized bytes are retained in the worker's store and reported
+  /// to the manager as a BlobRef instead of inline bytes.  0 (the default)
+  /// disables the ref data plane: every result ships by value.
+  std::uint64_t ref_results_min_bytes = 0;
 };
 
 class Worker {
@@ -80,7 +85,22 @@ class Worker {
   void HandleRemoveLibrary(const RemoveLibraryMsg& msg);
   void HandleRunInvocation(RunInvocationMsg msg);
   void HandleRunInvocationBatch(RunInvocationBatchMsg msg);
+  void HandleFetchBlob(const FetchBlobMsg& msg, net::EndpointId requester);
+  void HandleBlobData(BlobDataMsg msg);
+  void HandleDropBlob(const DropBlobMsg& msg);
+  void HandleCancelFetch(const CancelFetchMsg& msg);
   void HandleStatusRequest();
+
+  /// Submits an invocation whose ref arguments are all locally resident;
+  /// answers not-present if the library instance is gone.
+  void SubmitReady(RunInvocationMsg msg);
+  /// Parks an invocation with missing ref payloads and issues peer fetches
+  /// for each one (deduplicated per content id).  Inbox thread only.
+  void ParkAndFetch(RunInvocationMsg msg);
+  void StartFetch(const RefArg& ref_arg, InvocationId waiter);
+  /// Fails every invocation parked on `id` (the manager requeues them and
+  /// re-stamps a surviving source) and forgets the fetch.
+  void FailFetch(const hash::ContentId& id, const std::string& error);
 
   /// Runs a stateless task; executes on a task thread.  `trace` is the
   /// manager's staging-span context; the exec span context rides back on
@@ -124,6 +144,31 @@ class Worker {
     std::size_t received = 0;
   };
   std::map<hash::ContentId, ChunkAssembly> assemblies_;
+
+  /// An invocation waiting for ref-argument payloads to land.  Inbox-thread
+  /// only.  `awaiting` counts distinct content ids still in flight; the
+  /// invocation submits when it reaches zero.
+  struct ParkedInvocation {
+    RunInvocationMsg msg;
+    std::size_t awaiting = 0;
+  };
+  std::map<InvocationId, ParkedInvocation> parked_;
+
+  /// One in-flight peer fetch, keyed by content id so concurrent consumers
+  /// of the same ref share a single FetchBlob round trip.  Inbox-thread
+  /// only.
+  struct FetchState {
+    WorkerId source = 0;
+    std::vector<InvocationId> waiters;
+  };
+  std::map<hash::ContentId, FetchState> fetches_;
+  std::uint64_t next_fetch_tag_ = 1;
+
+  // ---- data-plane counters (reported via StatusReplyMsg) ----
+  std::atomic<std::uint64_t> refs_held_{0};
+  std::atomic<std::uint64_t> p2p_fetch_bytes_{0};
+  std::atomic<std::uint64_t> p2p_serve_bytes_{0};
+  std::atomic<std::uint64_t> relayed_result_bytes_{0};
 
   std::shared_ptr<net::Inbox> inbox_;
   std::thread thread_;

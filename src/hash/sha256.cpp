@@ -1,6 +1,10 @@
 #include "hash/sha256.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+
+#include "hash/sha256_block.hpp"
 
 namespace vinelet::hash {
 namespace {
@@ -26,12 +30,108 @@ inline std::uint32_t Rotr(std::uint32_t x, int n) noexcept {
   return (x >> n) | (x << (32 - n));
 }
 
+std::atomic<bool> g_force_scalar{false};
+
+struct Dispatch {
+  detail::BlockFn fn;  // nullptr when the scalar path is the best we have
+  const char* name;
+};
+
+// Detection runs once (magic static); the env override is part of detection
+// so production code can pin the portable path without recompiling.
+const Dispatch& Detected() noexcept {
+  static const Dispatch d = [] {
+    if (const char* env = std::getenv("VINELET_SHA256_FORCE_SCALAR");
+        env != nullptr && env[0] == '1') {
+      return Dispatch{nullptr, "scalar"};
+    }
+    if (detail::BlockFn fn = detail::DetectAcceleratedBlockFn()) {
+      return Dispatch{fn, detail::AcceleratedBackendName()};
+    }
+    return Dispatch{nullptr, "scalar"};
+  }();
+  return d;
+}
+
 }  // namespace
+
+namespace detail {
+
+void ProcessBlocksScalar(std::uint32_t* state, const std::uint8_t* blocks,
+                         std::size_t count) noexcept {
+  for (; count > 0; --count, blocks += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(blocks[4 * i]) << 24) |
+             (static_cast<std::uint32_t>(blocks[4 * i + 1]) << 16) |
+             (static_cast<std::uint32_t>(blocks[4 * i + 2]) << 8) |
+             static_cast<std::uint32_t>(blocks[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
+      const std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+}  // namespace detail
+
+const char* Sha256::Backend() noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return "scalar";
+  return Detected().name;
+}
+
+void Sha256::ForceScalarForTest(bool force) noexcept {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
 
 void Sha256::Reset() noexcept {
   state_ = kInitialState;
   buffer_len_ = 0;
   total_len_ = 0;
+}
+
+void Sha256::ProcessBlocks(const std::uint8_t* blocks,
+                           std::size_t count) noexcept {
+  if (!g_force_scalar.load(std::memory_order_relaxed)) {
+    if (detail::BlockFn fn = Detected().fn) {
+      fn(state_.data(), blocks, count);
+      return;
+    }
+  }
+  detail::ProcessBlocksScalar(state_.data(), blocks, count);
 }
 
 void Sha256::Update(std::span<const std::uint8_t> data) noexcept {
@@ -44,13 +144,15 @@ void Sha256::Update(std::span<const std::uint8_t> data) noexcept {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_.data());
+      ProcessBlocks(buffer_.data(), 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    ProcessBlock(data.data() + offset);
-    offset += 64;
+  // Compress every whole block left in the input in one kernel call: the
+  // hardware paths amortize their state load/store across the run.
+  if (const std::size_t whole = (data.size() - offset) / 64; whole > 0) {
+    ProcessBlocks(data.data() + offset, whole);
+    offset += whole * 64;
   }
   if (offset < data.size()) {
     buffer_len_ = data.size() - offset;
@@ -84,52 +186,6 @@ Sha256::Digest Sha256::Finish() noexcept {
     digest[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
   }
   return digest;
-}
-
-void Sha256::ProcessBlock(const std::uint8_t* block) noexcept {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    const std::uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
 }
 
 Sha256::Digest Sha256::Hash(std::span<const std::uint8_t> data) noexcept {

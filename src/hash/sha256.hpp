@@ -41,8 +41,18 @@ class Sha256 {
   /// Lowercase hex encoding of a digest.
   static std::string ToHex(const Digest& digest);
 
+  /// Name of the block-compression backend the next hash will use:
+  /// "sha-ni", "armv8-crypto", or "scalar".  Hardware paths are detected at
+  /// runtime (CPUID on x86); setting VINELET_SHA256_FORCE_SCALAR=1 in the
+  /// environment pins the portable path for the whole process.
+  static const char* Backend() noexcept;
+
+  /// Test hook: pin (or unpin) the scalar path at runtime so both sides of
+  /// the dispatch seam can be exercised in one process.
+  static void ForceScalarForTest(bool force) noexcept;
+
  private:
-  void ProcessBlock(const std::uint8_t* block) noexcept;
+  void ProcessBlocks(const std::uint8_t* blocks, std::size_t count) noexcept;
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;

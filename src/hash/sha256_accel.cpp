@@ -1,0 +1,170 @@
+// Hardware SHA-256 block kernels with runtime detection.
+//
+// x86-64: the SHA extensions (SHA-NI) compress a block in ~3 instruction
+// groups per 4 rounds; the kernel is compiled with a per-function target
+// attribute so the rest of the binary stays baseline-ISA, and CPUID gates
+// it at runtime (leaf 7 EBX bit 29, plus the SSSE3/SSE4.1 shuffles the
+// glue code uses).
+//
+// AArch64: the ARMv8 cryptography extensions expose the same per-block
+// schedule (SHA256H/SHA256H2/SHA256SU0/SHA256SU1); that path compiles only
+// when the toolchain baseline already enables __ARM_FEATURE_CRYPTO, so no
+// runtime probe beyond the compile-time gate is needed.
+//
+// Everything else falls back to nullptr and the portable scalar kernel.
+#include "hash/sha256_block.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRYPTO)
+#include <arm_neon.h>
+#endif
+
+namespace vinelet::hash::detail {
+namespace {
+
+// Same FIPS 180-4 round constants as the scalar kernel, kept local so the
+// SIMD loads stay in this translation unit.
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("sha,sse4.1,ssse3"))) void ProcessBlocksShaNi(
+    std::uint32_t* state, const std::uint8_t* blocks,
+    std::size_t count) noexcept {
+  // Byte shuffle turning each big-endian message word little-endian per lane.
+  const __m128i kFlip =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // SHA-NI wants the state as two packed registers ABEF / CDGH.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+  for (; count > 0; --count, blocks += 64) {
+    const __m128i save0 = state0;
+    const __m128i save1 = state1;
+
+    // Ring of the last four message-schedule vectors: for group g ≥ 4,
+    // W[g] = msg2(msg1(W[g-4], W[g-3]) + alignr(W[g-1], W[g-2], 4), W[g-1]).
+    __m128i m[4];
+    for (int g = 0; g < 16; ++g) {
+      __m128i w;
+      if (g < 4) {
+        w = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                                 blocks + 16 * g)),
+                             kFlip);
+      } else {
+        const __m128i t = _mm_alignr_epi8(m[(g + 3) & 3], m[(g + 2) & 3], 4);
+        w = _mm_sha256msg1_epu32(m[g & 3], m[(g + 1) & 3]);
+        w = _mm_add_epi32(w, t);
+        w = _mm_sha256msg2_epu32(w, m[(g + 3) & 3]);
+      }
+      m[g & 3] = w;
+
+      __m128i msg = _mm_add_epi32(
+          w, _mm_load_si128(reinterpret_cast<const __m128i*>(kK + 4 * g)));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    }
+
+    state0 = _mm_add_epi32(state0, save0);
+    state1 = _mm_add_epi32(state1, save1);
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+bool CpuHasShaNi() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  if ((ebx & (1u << 29)) == 0) return false;  // SHA extensions
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool ssse3 = (ecx & (1u << 9)) != 0;
+  const bool sse41 = (ecx & (1u << 19)) != 0;
+  return ssse3 && sse41;
+}
+
+#endif  // x86
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRYPTO)
+
+void ProcessBlocksArmv8(std::uint32_t* state, const std::uint8_t* blocks,
+                        std::size_t count) noexcept {
+  uint32x4_t state0 = vld1q_u32(state);
+  uint32x4_t state1 = vld1q_u32(state + 4);
+
+  for (; count > 0; --count, blocks += 64) {
+    const uint32x4_t save0 = state0;
+    const uint32x4_t save1 = state1;
+
+    uint32x4_t m[4];
+    for (int g = 0; g < 16; ++g) {
+      uint32x4_t w;
+      if (g < 4) {
+        w = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(blocks + 16 * g)));
+      } else {
+        w = vsha256su1q_u32(vsha256su0q_u32(m[g & 3], m[(g + 1) & 3]),
+                            m[(g + 2) & 3], m[(g + 3) & 3]);
+      }
+      m[g & 3] = w;
+
+      const uint32x4_t wk = vaddq_u32(w, vld1q_u32(kK + 4 * g));
+      const uint32x4_t prev0 = state0;
+      state0 = vsha256hq_u32(state0, state1, wk);
+      state1 = vsha256h2q_u32(state1, prev0, wk);
+    }
+
+    state0 = vaddq_u32(state0, save0);
+    state1 = vaddq_u32(state1, save1);
+  }
+
+  vst1q_u32(state, state0);
+  vst1q_u32(state + 4, state1);
+}
+
+#endif  // aarch64 + crypto
+
+}  // namespace
+
+BlockFn DetectAcceleratedBlockFn() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (CpuHasShaNi()) return &ProcessBlocksShaNi;
+#endif
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRYPTO)
+  return &ProcessBlocksArmv8;
+#endif
+  return nullptr;
+}
+
+const char* AcceleratedBackendName() noexcept {
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRYPTO)
+  return "armv8-crypto";
+#else
+  return "sha-ni";
+#endif
+}
+
+}  // namespace vinelet::hash::detail

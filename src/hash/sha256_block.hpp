@@ -1,0 +1,35 @@
+// Internal seam between the Sha256 driver (buffering, padding) and the
+// block-compression kernels.  Not part of the public hash API.
+//
+// The driver calls through a function pointer chosen once per process:
+// a hardware kernel (SHA-NI on x86, the crypto extensions on ARMv8) when the
+// CPU supports one, the portable scalar kernel otherwise.  All kernels
+// consume whole 64-byte blocks and advance the same FIPS 180-4 state, so
+// they are interchangeable mid-stream — which is exactly what the
+// force-scalar test hook relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vinelet::hash::detail {
+
+/// Compresses `count` consecutive 64-byte blocks into `state` (8 words,
+/// host order).
+using BlockFn = void (*)(std::uint32_t* state, const std::uint8_t* blocks,
+                         std::size_t count) noexcept;
+
+/// Portable FIPS 180-4 kernel; always available.
+void ProcessBlocksScalar(std::uint32_t* state, const std::uint8_t* blocks,
+                         std::size_t count) noexcept;
+
+/// The hardware kernel for this CPU, or nullptr when none is supported.
+/// Detection runs on the calling thread; the result never changes, so
+/// callers may cache it.
+BlockFn DetectAcceleratedBlockFn() noexcept;
+
+/// Name of the kernel DetectAcceleratedBlockFn() returns ("sha-ni" /
+/// "armv8-crypto"); meaningless when detection returned nullptr.
+const char* AcceleratedBackendName() noexcept;
+
+}  // namespace vinelet::hash::detail

@@ -81,7 +81,35 @@ Status Network::Send(EndpointId from, EndpointId to, Blob payload,
       return NotFoundError("endpoint gone: " + std::to_string(to));
     inbox = it->second;
   }
-  std::shared_ptr<FaultInjector> fault = fault_injector();
+  return SendResolved(inbox, fault_injector(), from, to, std::move(payload),
+                      std::move(attachment));
+}
+
+Status Network::SendMany(EndpointId from, EndpointId to,
+                         std::vector<Parcel> parcels) {
+  std::shared_ptr<Inbox> inbox;
+  {
+    Shard& shard = ShardFor(to);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.inboxes.find(to);
+    if (it == shard.inboxes.end())
+      return NotFoundError("endpoint gone: " + std::to_string(to));
+    inbox = it->second;
+  }
+  const std::shared_ptr<FaultInjector> fault = fault_injector();
+  for (Parcel& parcel : parcels) {
+    Status status = SendResolved(inbox, fault, from, to,
+                                 std::move(parcel.payload),
+                                 std::move(parcel.attachment));
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status Network::SendResolved(const std::shared_ptr<Inbox>& inbox,
+                             const std::shared_ptr<FaultInjector>& fault,
+                             EndpointId from, EndpointId to, Blob payload,
+                             Blob attachment) {
   if (fault) {
     const SendDecision decision = fault->OnSend(from, to);
     // A dropped or partitioned message looks like success to the sender;

@@ -87,6 +87,20 @@ class Network {
   Status Send(EndpointId from, EndpointId to, Blob payload,
               Blob attachment = Blob());
 
+  /// One message of a coalesced SendMany batch.
+  struct Parcel {
+    Blob payload;
+    Blob attachment;
+  };
+
+  /// Delivers a run of messages to one endpoint, resolving the inbox and
+  /// taking the registry shard lock once for the whole batch instead of per
+  /// frame — the send-path coalescing for chunk streams and batched
+  /// dispatch.  Fault-injection semantics are identical to N separate
+  /// Sends (each parcel gets its own drop/corrupt/delay decision).  Stops
+  /// at the first delivery failure and returns it.
+  Status SendMany(EndpointId from, EndpointId to, std::vector<Parcel> parcels);
+
   /// Installs (or clears, with nullptr) the fault injector consulted on
   /// every Send.  Dropped/blocked messages report Status::Ok() to the
   /// sender — a partition is silence, not an error — so manager probe and
@@ -127,6 +141,10 @@ class Network {
   };
 
   Status Deliver(const std::shared_ptr<Inbox>& inbox, Frame frame);
+  Status SendResolved(const std::shared_ptr<Inbox>& inbox,
+                      const std::shared_ptr<FaultInjector>& fault,
+                      EndpointId from, EndpointId to, Blob payload,
+                      Blob attachment);
   void EnqueueDelayed(std::shared_ptr<Inbox> inbox, Frame frame,
                       double delay_s);
   void DelayPump();

@@ -21,6 +21,11 @@ namespace vinelet::serde {
 /// Append-only encoder.
 class ArchiveWriter {
  public:
+  /// Starts with a pooled backing store sized for a typical control message,
+  /// so even encoders that never call Reserve draw from the BufferPool
+  /// instead of growing a fresh vector through repeated small appends.
+  ArchiveWriter() { buffer_.Reserve(kInitialCapacity); }
+
   /// Pre-sizes the backing buffer for `additional` more bytes.  Encode paths
   /// that know their payload size up front call this once instead of growing
   /// geometrically through many small appends.
@@ -43,6 +48,8 @@ class ArchiveWriter {
   std::size_t size() const noexcept { return buffer_.size(); }
 
  private:
+  static constexpr std::size_t kInitialCapacity = 256;
+
   ByteBuffer buffer_;
 };
 

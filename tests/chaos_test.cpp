@@ -23,8 +23,10 @@
 
 #include <chrono>
 #include <cstring>
+#include <set>
 #include <thread>
 
+#include "core/blob_ref.hpp"
 #include "core/factory.hpp"
 #include "core/manager.hpp"
 #include "hash/content_id.hpp"
@@ -250,7 +252,8 @@ class ChaosTest : public ::testing::Test {
  protected:
   void StartCluster(std::size_t workers, net::FaultPlan plan = {},
                     ManagerConfig manager_config = {},
-                    Resources worker_resources = {32, 64 * 1024, 64 * 1024}) {
+                    Resources worker_resources = {32, 64 * 1024, 64 * 1024},
+                    std::uint64_t ref_results_min_bytes = 0) {
     RegisterTestFunctions();
     network_ = std::make_shared<net::Network>();
     fault_ = std::make_shared<net::FaultInjector>(plan);
@@ -265,6 +268,7 @@ class ChaosTest : public ::testing::Test {
     factory_config.worker_resources = worker_resources;
     factory_config.registry = registry_.get();
     factory_config.fault = fault_;
+    factory_config.ref_results_min_bytes = ref_results_min_bytes;
     factory_ = std::make_unique<Factory>(network_, factory_config);
     ASSERT_TRUE(factory_->Start().ok());
     ASSERT_TRUE(manager_->WaitForWorkers(workers, 30.0).ok());
@@ -378,6 +382,39 @@ class ChaosTest : public ::testing::Test {
           std::make_shared<NumberContext>(args.Get("number").AsInt()));
     };
     ASSERT_TRUE(registry_->RegisterSetup(setup).ok());
+
+    serde::FunctionDef make_payload;
+    make_payload.name = "make_payload";
+    make_payload.setup_name = "number_setup";
+    make_payload.fn = [](const Value& args,
+                         const InvocationEnv&) -> Result<Value> {
+      auto bytes = args.GetInt("bytes");
+      if (!bytes.ok()) return bytes.status();
+      auto fill = args.GetInt("fill");
+      if (!fill.ok()) return fill.status();
+      return Value(std::string(static_cast<std::size_t>(*bytes),
+                               static_cast<char>('a' + *fill % 23)));
+    };
+    ASSERT_TRUE(registry_->RegisterFunction(make_payload).ok());
+
+    // Consumer of a pass-by-reference result: positional args
+    // [payload, sleep_ms], the shape the ref splice operates on.
+    serde::FunctionDef probe_payload;
+    probe_payload.name = "probe_payload";
+    probe_payload.setup_name = "number_setup";
+    probe_payload.fn = [](const Value& args,
+                          const InvocationEnv&) -> Result<Value> {
+      if (args.type() != Value::Type::kList || args.AsList().size() < 2)
+        return InvalidArgumentError("probe_payload expects [payload, ms]");
+      const Value& payload = args.AsList()[0];
+      if (payload.type() != Value::Type::kString)
+        return InvalidArgumentError("ref payload was not materialized");
+      const std::int64_t ms = args.AsList()[1].AsInt();
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return Value(static_cast<std::int64_t>(payload.AsString().size()) +
+                   payload.AsString()[0]);
+    };
+    ASSERT_TRUE(registry_->RegisterFunction(probe_payload).ok());
 
     serde::FunctionDef use_context;
     use_context.name = "use_context";
@@ -692,6 +729,141 @@ TEST_F(ChaosTest, DuplicatedBatchFramesResolveEachItemOnce) {
 
   const QuiescenceReport report = WaitQuiescent();
   EXPECT_TRUE(report.quiescent) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Pass-by-reference data plane under churn: seeded soak legs that kill the
+// replica-owning worker while consumers are fetching.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, RefDataPlaneSoakSurvivesReplicaOwnerKills) {
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    net::FaultPlan plan;
+    plan.seed = seed;
+    plan.link.dup_p = 0.02;
+    plan.link.delay_p = 0.05;
+    plan.link.delay_min_s = 0.0005;
+    plan.link.delay_max_s = 0.005;
+    StartCluster(3, plan, {}, Resources{32, 64 * 1024, 64 * 1024},
+                 /*ref_results_min_bytes=*/64 * 1024);
+
+    // Whole-worker instances: the autoscaler must recruit a second worker
+    // to absorb the consumer backlog, which is what replicates the payload
+    // off its producer via peer fetches.
+    LibraryOptions options;
+    options.slots = 2;
+    options.resources = Resources{32, 1024, 1024};
+    auto spec = manager_->CreateLibraryFromFunctions(
+        "data", {"make_payload", "probe_payload"}, "number_setup",
+        Value::Dict({{"number", Value(0)}}), nullptr, options);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    ASSERT_TRUE(manager_->InstallLibrary(*spec).ok());
+
+    // Producer: a 256 KB result over the 64 KB threshold must come back as
+    // a content-addressed ref, not inline bytes.
+    const std::int64_t kBytes = 256 * 1024;
+    auto producer = manager_->SubmitCall(
+        "data", "make_payload",
+        Value::Dict({{"bytes", Value(kBytes)}, {"fill", Value(1)}}));
+    auto produced = producer->Wait();
+    ASSERT_TRUE(produced.ok()) << produced.status().ToString();
+    const auto ref = TryUnwrapRef(produced->value);
+    ASSERT_TRUE(ref.has_value()) << "large result did not ship by reference";
+    EXPECT_GE(ref->size, static_cast<std::uint64_t>(kBytes));
+    const WorkerId owner = ref->owner;
+    EXPECT_NE(owner, 0u);
+    const std::int64_t expected = kBytes + 'b';
+
+    // Wave 1: a slow consumer backlog.  Some consumers land off the owner,
+    // fetch the payload peer-to-peer, and become replicas themselves.
+    std::vector<FuturePtr> wave1;
+    for (int i = 0; i < 24; ++i) {
+      wave1.push_back(manager_->SubmitCall(
+          "data", "probe_payload",
+          Value::List({produced->value, Value(60)})));
+    }
+    ASSERT_TRUE(manager_->WaitAll(120.0).ok()) << "wave-1 consumer stuck";
+    for (const auto& future : wave1) {
+      auto outcome = future->Wait();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(outcome->value.AsInt(), expected);
+    }
+
+    // The payload must now live on at least two workers (the FileReady
+    // announcements land asynchronously, so poll).
+    const auto holders = [&] {
+      std::set<WorkerId> out;
+      auto status = manager_->QueryStatus();
+      if (status.ok()) {
+        for (const auto& worker : status->workers)
+          for (const auto& entry : worker.cache)
+            if (entry.id == ref->id) out.insert(worker.id);
+      }
+      return out;
+    };
+    const auto spread_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (holders().size() < 2 &&
+           std::chrono::steady_clock::now() < spread_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_GE(holders().size(), 2u) << "payload never replicated off owner";
+
+    // Data-plane introspection counters saw the traffic.
+    {
+      auto status = manager_->QueryStatus();
+      ASSERT_TRUE(status.ok());
+      std::uint64_t fetched = 0, served = 0, held = 0;
+      for (const auto& worker : status->workers) {
+        fetched += worker.p2p_fetch_bytes;
+        served += worker.p2p_serve_bytes;
+        held += worker.refs_held;
+      }
+      EXPECT_GT(fetched, 0u);
+      EXPECT_GT(served, 0u);
+      EXPECT_GT(held, 0u);
+    }
+
+    // Wave 2: kill the producing owner while consumers are mid-fetch.  The
+    // survivors must refetch from the next live replica — no stuck WaitAll,
+    // every future resolves exactly once with the right answer.
+    std::vector<FuturePtr> wave2;
+    for (int i = 0; i < 8; ++i) {
+      wave2.push_back(manager_->SubmitCall(
+          "data", "probe_payload",
+          Value::List({produced->value, Value(5)})));
+    }
+    ASSERT_TRUE(factory_->KillWorker(owner).ok());
+    ASSERT_TRUE(factory_->SpawnWorker().ok());
+    ASSERT_TRUE(manager_->WaitAll(120.0).ok())
+        << "WaitAll stuck after replica-owner death";
+    for (const auto& future : wave2) {
+      ASSERT_TRUE(future->Ready());
+      EXPECT_EQ(future->resolutions(), 1u);
+      auto outcome = future->Wait();
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(outcome->value.AsInt(), expected);
+    }
+
+    // Release the app's claim: the manager garbage-collects the replicas
+    // and the quiescence audit (ref counts vs replica table) comes back
+    // clean with nothing tracked.
+    ASSERT_TRUE(manager_->ReleaseRef(*ref).ok());
+    const QuiescenceReport report = WaitQuiescent(30.0);
+    EXPECT_TRUE(report.quiescent) << report.ToString();
+    EXPECT_EQ(report.refs_tracked, 0u);
+    VerifyWorkerStores();
+
+    fault_->SetFlightRecorder(nullptr);
+    manager_->Stop();
+    factory_->Stop();
+    manager_.reset();
+    factory_.reset();
+    network_.reset();
+    fault_.reset();
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -100,21 +100,48 @@ TEST(ProtocolTest, RemoveLibraryRoundTrip) {
 }
 
 TEST(ProtocolTest, RunInvocationRoundTrip) {
-  RunInvocationMsg msg{101, 3, "f", Blob::FromString("xyz"), {11u, 22u}};
+  RunInvocationMsg msg{101, 3, "f", Blob::FromString("xyz"), {}, {11u, 22u}};
   auto out = RoundTrip<RunInvocationMsg>(msg);
   EXPECT_EQ(out.id, 101u);
   EXPECT_EQ(out.instance_id, 3u);
   EXPECT_EQ(out.function_name, "f");
   EXPECT_EQ(out.args.ToString(), "xyz");
+  EXPECT_TRUE(out.ref_args.empty());
   EXPECT_EQ(out.trace, msg.trace);
+}
+
+TEST(ProtocolTest, RunInvocationRefArgsRoundTrip) {
+  RunInvocationMsg msg;
+  msg.id = 55;
+  msg.instance_id = 3;
+  msg.function_name = "consume";
+  msg.args = Blob::FromString("placeholder-args");
+  msg.ref_args.push_back(
+      {1, BlobRef{hash::ContentId::OfText("payload-a"), 4096, 7}, 7});
+  msg.ref_args.push_back(
+      {4, BlobRef{hash::ContentId::OfText("payload-b"), 123, 9}, 0});
+  auto out = RoundTrip<RunInvocationMsg>(msg);
+  ASSERT_EQ(out.ref_args.size(), 2u);
+  EXPECT_EQ(out.ref_args[0].arg_index, 1u);
+  EXPECT_EQ(out.ref_args[0].ref, msg.ref_args[0].ref);
+  EXPECT_EQ(out.ref_args[0].source, 7u);
+  EXPECT_EQ(out.ref_args[1].arg_index, 4u);
+  EXPECT_EQ(out.ref_args[1].ref, msg.ref_args[1].ref);
+  EXPECT_EQ(out.ref_args[1].source, 0u);
 }
 
 TEST(ProtocolTest, RunInvocationBatchRoundTrip) {
   RunInvocationBatchMsg msg;
   msg.instance_id = 3;
-  msg.items.push_back({101, 3, "f", Blob::FromString("xyz"), {11u, 22u}});
-  msg.items.push_back({102, 3, "g", Blob::FromString(""), {33u, 44u}});
-  msg.items.push_back({103, 3, "f", Blob::FromString("pq"), {55u, 66u}});
+  msg.items.push_back({101, 3, "f", Blob::FromString("xyz"), {}, {11u, 22u}});
+  msg.items.push_back({102, 3, "g", Blob::FromString(""), {}, {33u, 44u}});
+  msg.items.push_back(
+      {103,
+       3,
+       "f",
+       Blob::FromString("pq"),
+       {{0, BlobRef{hash::ContentId::OfText("edge"), 77, 2}, 2}},
+       {55u, 66u}});
   auto out = RoundTrip<RunInvocationBatchMsg>(msg);
   EXPECT_EQ(out.instance_id, 3u);
   ASSERT_EQ(out.items.size(), 3u);
@@ -128,6 +155,8 @@ TEST(ProtocolTest, RunInvocationBatchRoundTrip) {
   EXPECT_EQ(out.items[1].trace, msg.items[1].trace);
   EXPECT_EQ(out.items[2].id, 103u);
   EXPECT_EQ(out.items[2].trace, msg.items[2].trace);
+  ASSERT_EQ(out.items[2].ref_args.size(), 1u);
+  EXPECT_EQ(out.items[2].ref_args[0].ref, msg.items[2].ref_args[0].ref);
 }
 
 TEST(ProtocolTest, RunInvocationBatchEveryTruncationRejected) {
@@ -135,8 +164,14 @@ TEST(ProtocolTest, RunInvocationBatchEveryTruncationRejected) {
   // fail cleanly at every cut point instead of fabricating short batches.
   RunInvocationBatchMsg msg;
   msg.instance_id = 7;
-  msg.items.push_back({1, 7, "f", Blob::FromString("abc"), {1u, 2u}});
-  msg.items.push_back({2, 7, "g", Blob::FromString("de"), {3u, 4u}});
+  msg.items.push_back({1, 7, "f", Blob::FromString("abc"), {}, {1u, 2u}});
+  msg.items.push_back(
+      {2,
+       7,
+       "g",
+       Blob::FromString("de"),
+       {{0, BlobRef{hash::ContentId::OfText("r"), 9, 3}, 3}},
+       {3u, 4u}});
   const Blob full = EncodeMessage(msg);
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
     std::vector<std::uint8_t> prefix(
@@ -185,6 +220,93 @@ TEST(ProtocolTest, InvocationDoneErrorRoundTrip) {
   EXPECT_EQ(out.error, "function not in library");
 }
 
+TEST(ProtocolTest, InvocationDoneRefRoundTrip) {
+  InvocationDoneMsg msg;
+  msg.id = 31;
+  msg.ok = true;
+  msg.ref = BlobRef{hash::ContentId::OfText("big-result"), 1 << 20, 6};
+  msg.timing = {0.0, 0.0, 0.1, 0.2, 0.3};
+  auto out = RoundTrip<InvocationDoneMsg>(msg);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.result.size(), 0u);
+  EXPECT_TRUE(out.ref.valid());
+  EXPECT_EQ(out.ref, msg.ref);
+
+  // The framed form also leaves the (empty) result as the attachment path
+  // and still carries the ref in the header.
+  WireFrame wire = EncodeFrame(msg);
+  auto decoded = DecodeFrame(net::Frame{0, wire.payload, wire.attachment});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto* framed = std::get_if<InvocationDoneMsg>(&*decoded);
+  ASSERT_NE(framed, nullptr);
+  EXPECT_EQ(framed->ref, msg.ref);
+}
+
+TEST(ProtocolTest, InvocationDoneResultRidesAsAttachment) {
+  // By-value results cross the wire as the frame attachment: the manager's
+  // inbox borrows the producer's bytes instead of re-copying them.
+  InvocationDoneMsg msg;
+  msg.id = 32;
+  msg.ok = true;
+  msg.result = Blob::FromString("inline result bytes");
+  WireFrame wire = EncodeFrame(msg);
+  EXPECT_EQ(wire.attachment, msg.result);
+  auto decoded = DecodeFrame(net::Frame{0, wire.payload, wire.attachment});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto* out = std::get_if<InvocationDoneMsg>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->result.SharesPayloadWith(wire.attachment));
+  EXPECT_FALSE(out->ref.valid());
+}
+
+TEST(ProtocolTest, FetchBlobRoundTrip) {
+  FetchBlobMsg msg{hash::ContentId::OfText("wanted"), 0xFEEDu, {5u, 6u}};
+  auto out = RoundTrip<FetchBlobMsg>(msg);
+  EXPECT_EQ(out.id, msg.id);
+  EXPECT_EQ(out.tag, 0xFEEDu);
+  EXPECT_EQ(out.trace, msg.trace);
+}
+
+TEST(ProtocolTest, BlobDataRoundTrip) {
+  BlobDataMsg msg;
+  msg.id = hash::ContentId::OfText("served");
+  msg.tag = 9;
+  msg.ok = true;
+  msg.payload = Blob::FromString("the payload bytes");
+  msg.trace = {1u, 2u};
+  auto out = RoundTrip<BlobDataMsg>(msg);
+  EXPECT_EQ(out.id, msg.id);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.payload, msg.payload);
+
+  // Framed, the payload rides as the attachment zero-copy (the serving
+  // worker forwards its cached refcounted bytes, same as the chunk relay).
+  WireFrame wire = EncodeFrame(msg);
+  EXPECT_EQ(wire.attachment, msg.payload);
+  auto decoded = DecodeFrame(net::Frame{0, wire.payload, wire.attachment});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto* framed = std::get_if<BlobDataMsg>(&*decoded);
+  ASSERT_NE(framed, nullptr);
+  EXPECT_TRUE(framed->payload.SharesPayloadWith(wire.attachment));
+
+  BlobDataMsg miss;
+  miss.id = msg.id;
+  miss.tag = 10;
+  miss.ok = false;
+  miss.error = "not in store";
+  auto miss_out = RoundTrip<BlobDataMsg>(miss);
+  EXPECT_FALSE(miss_out.ok);
+  EXPECT_EQ(miss_out.error, "not in store");
+}
+
+TEST(ProtocolTest, DropAndCancelRoundTrip) {
+  auto drop = RoundTrip<DropBlobMsg>(DropBlobMsg{hash::ContentId::OfText("d")});
+  EXPECT_EQ(drop.id, hash::ContentId::OfText("d"));
+  auto cancel =
+      RoundTrip<CancelFetchMsg>(CancelFetchMsg{hash::ContentId::OfText("c")});
+  EXPECT_EQ(cancel.id, hash::ContentId::OfText("c"));
+}
+
 TEST(ProtocolTest, LibraryLifecycleRoundTrip) {
   auto ready =
       RoundTrip<LibraryReadyMsg>(LibraryReadyMsg{4, {1.0, 15.4, 2.7, 0.0}});
@@ -204,6 +326,11 @@ TEST(ProtocolTest, StatusMessagesRoundTrip) {
                {hash::ContentId::OfText("b"), 200}};
   msg.assemblies = {{hash::ContentId::OfText("c"), 3, 8}};
   msg.libraries = {{5, "lnni", 12, 2}};
+  msg.refs_held = 3;
+  msg.p2p_fetch_bytes = 4096;
+  msg.p2p_serve_bytes = 8192;
+  msg.relayed_result_bytes = 16;
+  msg.arena_hwm_bytes = 1 << 16;
   auto out = RoundTrip<StatusReplyMsg>(msg);
   EXPECT_EQ(out.inbox_depth, 4u);
   EXPECT_EQ(out.tasks_executed, 17u);
@@ -219,6 +346,11 @@ TEST(ProtocolTest, StatusMessagesRoundTrip) {
   EXPECT_EQ(out.libraries[0].library, "lnni");
   EXPECT_EQ(out.libraries[0].invocations_served, 12u);
   EXPECT_EQ(out.libraries[0].queued, 2u);
+  EXPECT_EQ(out.refs_held, 3u);
+  EXPECT_EQ(out.p2p_fetch_bytes, 4096u);
+  EXPECT_EQ(out.p2p_serve_bytes, 8192u);
+  EXPECT_EQ(out.relayed_result_bytes, 16u);
+  EXPECT_EQ(out.arena_hwm_bytes, 1u << 16);
 }
 
 TEST(ProtocolTest, TraceSurvivesFrameWithZeroCopyAttachment) {

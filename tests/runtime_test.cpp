@@ -8,9 +8,12 @@
 #include <chrono>
 #include <mutex>
 #include <thread>
+#include <variant>
 
+#include "core/blob_ref.hpp"
 #include "core/factory.hpp"
 #include "core/manager.hpp"
+#include "core/protocol.hpp"
 #include "poncho/packer.hpp"
 
 namespace vinelet::core {
@@ -42,7 +45,8 @@ struct TestState {
 class RuntimeTest : public ::testing::Test {
  protected:
   void StartCluster(std::size_t workers, ManagerConfig manager_config = {},
-                    Resources worker_resources = {32, 64 * 1024, 64 * 1024}) {
+                    Resources worker_resources = {32, 64 * 1024, 64 * 1024},
+                    std::uint64_t ref_results_min_bytes = 0) {
     state_ = std::make_shared<TestState>();
     RegisterTestFunctions();
     network_ = std::make_shared<net::Network>();
@@ -52,6 +56,7 @@ class RuntimeTest : public ::testing::Test {
     FactoryConfig factory_config;
     factory_config.initial_workers = workers;
     factory_config.worker_resources = worker_resources;
+    factory_config.ref_results_min_bytes = ref_results_min_bytes;
     factory_config.registry = &registry_;
     factory_ = std::make_unique<Factory>(network_, factory_config);
     ASSERT_TRUE(factory_->Start().ok());
@@ -125,6 +130,36 @@ class RuntimeTest : public ::testing::Test {
       return Value(true);
     };
     ASSERT_TRUE(registry_.RegisterFunction(sleepy).ok());
+
+    serde::FunctionDef make_payload;
+    make_payload.name = "make_payload";
+    make_payload.fn = [](const Value& args,
+                         const InvocationEnv&) -> Result<Value> {
+      auto bytes = args.GetInt("bytes");
+      if (!bytes.ok()) return bytes.status();
+      auto fill = args.GetInt("fill");
+      if (!fill.ok()) return fill.status();
+      return Value(std::string(static_cast<std::size_t>(*bytes),
+                               static_cast<char>('a' + *fill % 23)));
+    };
+    ASSERT_TRUE(registry_.RegisterFunction(make_payload).ok());
+
+    // Positional consumer: args is [payload]; a ref arg must have been
+    // spliced back into a concrete string before the function runs.
+    serde::FunctionDef payload_probe;
+    payload_probe.name = "payload_probe";
+    payload_probe.fn = [](const Value& args,
+                          const InvocationEnv&) -> Result<Value> {
+      if (args.type() != Value::Type::kList || args.AsList().empty())
+        return InvalidArgumentError("expected positional [payload]");
+      const Value& payload = args.AsList()[0];
+      if (payload.type() != Value::Type::kString)
+        return InvalidArgumentError("ref payload was not spliced");
+      const std::string& s = payload.AsString();
+      return Value(static_cast<std::int64_t>(s.size()) +
+                   static_cast<std::int64_t>(s[0]));
+    };
+    ASSERT_TRUE(registry_.RegisterFunction(payload_probe).ok());
 
     serde::ContextSetupDef setup;
     setup.name = "number_setup";
@@ -912,6 +947,145 @@ TEST_F(RuntimeTest, CreateLibraryValidates) {
   EXPECT_FALSE(manager_->CreateLibraryFromFunctions("lib", {"ghost_fn"}).ok());
   EXPECT_FALSE(
       manager_->CreateLibraryFromFunctions("lib", {"add"}, "ghost_setup").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Pass-by-reference data plane.
+// ---------------------------------------------------------------------------
+
+// Satellite audit pin: a result blob rides the wire as a borrowed refcounted
+// view end to end.  Encode must attach the original payload (no copy) and
+// decode must reattach the frame's attachment (no copy).
+TEST_F(RuntimeTest, InvocationDoneResultSharesWirePayload) {
+  InvocationDoneMsg done;
+  done.id = 7;
+  done.ok = true;
+  done.result = Blob::FromString(std::string(4096, 'r'));
+
+  WireFrame wire = EncodeFrame(done);
+  EXPECT_TRUE(wire.attachment.SharesPayloadWith(done.result));
+
+  net::Frame frame;
+  frame.payload = wire.payload;
+  frame.attachment = wire.attachment;
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto* msg = std::get_if<InvocationDoneMsg>(&*decoded);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->id, 7u);
+  EXPECT_TRUE(msg->result.SharesPayloadWith(done.result));
+}
+
+// Same pin for the peer serve path: a replica holder answering FetchBlob
+// forwards its cached refcounted bytes without copying.
+TEST_F(RuntimeTest, BlobDataPayloadSharesWirePayload) {
+  BlobDataMsg data;
+  data.tag = 12;
+  data.ok = true;
+  data.payload = Blob::FromString(std::string(1 << 20, 'p'));
+  data.id = hash::ContentId::Of(data.payload);
+
+  WireFrame wire = EncodeFrame(data);
+  EXPECT_TRUE(wire.attachment.SharesPayloadWith(data.payload));
+
+  net::Frame frame;
+  frame.payload = wire.payload;
+  frame.attachment = wire.attachment;
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto* msg = std::get_if<BlobDataMsg>(&*decoded);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->tag, 12u);
+  EXPECT_TRUE(msg->payload.SharesPayloadWith(data.payload));
+}
+
+TEST_F(RuntimeTest, RefResultRoundTripFetchAndRelease) {
+  constexpr std::int64_t kBytes = 64 * 1024;
+  StartCluster(1, {}, {32, 64 * 1024, 64 * 1024},
+               /*ref_results_min_bytes=*/1024);
+  auto spec = manager_->CreateLibraryFromFunctions(
+      "data", {"make_payload", "payload_probe"});
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_TRUE(manager_->InstallLibrary(*spec).ok());
+
+  // Producer: a large result comes back as a content-addressed ref, the
+  // payload pinned on the producing worker instead of relayed inline.
+  auto produced =
+      manager_
+          ->SubmitCall("data", "make_payload",
+                       Value::Dict({{"bytes", Value(kBytes)},
+                                    {"fill", Value(1)}}))
+          ->Wait();
+  ASSERT_TRUE(produced.ok()) << produced.status().ToString();
+  auto ref = TryUnwrapRef(produced->value);
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_TRUE(ref->valid());
+  EXPECT_GE(ref->size, static_cast<std::uint64_t>(kBytes));
+  EXPECT_NE(ref->owner, 0u);
+  EXPECT_EQ(manager_->metrics().ref_results, 1u);
+  EXPECT_GE(manager_->metrics().ref_result_bytes,
+            static_cast<std::uint64_t>(kBytes));
+
+  Worker* worker = factory_->GetWorker(factory_->WorkerIds()[0]);
+  ASSERT_NE(worker, nullptr);
+  EXPECT_TRUE(worker->store().Contains(ref->id));
+
+  // Per-worker data-plane introspection sees the held ref.
+  auto status = manager_->QueryStatus();
+  ASSERT_TRUE(status.ok());
+  std::uint64_t held = 0;
+  for (const auto& w : status->workers) held += w.refs_held;
+  EXPECT_GE(held, 1u);
+
+  // FetchRef materializes the payload at the application; the manager
+  // caches it, so a second fetch returns the same refcounted bytes.
+  auto blob1 = manager_->FetchRef(*ref);
+  ASSERT_TRUE(blob1.ok()) << blob1.status().ToString();
+  EXPECT_EQ(blob1->size(), ref->size);
+  auto blob2 = manager_->FetchRef(*ref);
+  ASSERT_TRUE(blob2.ok());
+  EXPECT_TRUE(blob1->SharesPayloadWith(*blob2));
+  auto decoded = serde::Value::FromBlob(*blob1);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->AsString(), std::string(kBytes, 'b'));
+
+  // Consumer: passing the wrapped ref positionally splices the payload back
+  // in place before the function runs (local hit — same worker holds it).
+  auto probed = manager_
+                    ->SubmitCall("data", "payload_probe",
+                                 Value::List({produced->value}))
+                    ->Wait();
+  ASSERT_TRUE(probed.ok()) << probed.status().ToString();
+  EXPECT_EQ(probed->value.AsInt(), kBytes + 'b');
+
+  // Release: once the dispatched consumer settled, GC broadcasts DropBlob
+  // and the replica disappears from the worker store.
+  ASSERT_TRUE(manager_->ReleaseRef(*ref).ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (worker->store().Contains(ref->id) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(worker->store().Contains(ref->id));
+  EXPECT_GE(manager_->metrics().refs_dropped, 1u);
+}
+
+TEST_F(RuntimeTest, SmallResultsStayInline) {
+  StartCluster(1, {}, {32, 64 * 1024, 64 * 1024},
+               /*ref_results_min_bytes=*/1 << 20);
+  auto spec = manager_->CreateLibraryFromFunctions("data", {"make_payload"});
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(manager_->InstallLibrary(*spec).ok());
+  auto produced = manager_
+                      ->SubmitCall("data", "make_payload",
+                                   Value::Dict({{"bytes", Value(4096)},
+                                                {"fill", Value(0)}}))
+                      ->Wait();
+  ASSERT_TRUE(produced.ok()) << produced.status().ToString();
+  EXPECT_FALSE(TryUnwrapRef(produced->value).has_value());
+  EXPECT_EQ(produced->value.AsString(), std::string(4096, 'a'));
+  EXPECT_EQ(manager_->metrics().ref_results, 0u);
 }
 
 }  // namespace

@@ -379,7 +379,7 @@ TEST_F(WorkerProtocolTest, LibraryLifecycleOverRawProtocol) {
   EXPECT_EQ(ready->instance_id, 5u);
   EXPECT_EQ(worker_->libraries_hosted(), 1u);
 
-  SendToWorker(RunInvocationMsg{77, 5, "echo", Value(123).ToBlob(), {}});
+  SendToWorker(RunInvocationMsg{77, 5, "echo", Value(123).ToBlob(), {}, {}});
   auto done_reply = NextMessage();
   auto* done = std::get_if<InvocationDoneMsg>(&done_reply);
   ASSERT_NE(done, nullptr);
@@ -412,7 +412,7 @@ TEST_F(WorkerProtocolTest, InstallWithMissingInputReportsRemoval) {
 }
 
 TEST_F(WorkerProtocolTest, InvocationAgainstUnknownInstanceFails) {
-  SendToWorker(RunInvocationMsg{88, 999, "echo", Value(1).ToBlob(), {}});
+  SendToWorker(RunInvocationMsg{88, 999, "echo", Value(1).ToBlob(), {}, {}});
   auto reply = NextMessage();
   auto* done = std::get_if<InvocationDoneMsg>(&reply);
   ASSERT_NE(done, nullptr);
