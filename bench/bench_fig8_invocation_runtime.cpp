@@ -2,12 +2,25 @@
 // execution time.  10k invocations, 100 workers, 16/160/1600 inferences per
 // invocation, three reuse levels.  The paper's Q2 finding: the shorter the
 // invocation, the more context reuse matters.
+//
+// With VINELET_TRACE set this bench doubles as the observability smoke
+// fixture: the simulator drives the windowed time-series sampler in virtual
+// time (BENCH_fig8_invocation_runtime.timeseries.jsonl, same schema the
+// runtime's BackgroundSampler emits), and the traced span stream is folded
+// into a critical-path blame report cross-checked against AggregatePhases
+// (BENCH_fig8_invocation_runtime.blame.json).  CI validates both with
+// scripts/check_critical_path.py.
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "sim/engine.hpp"
 #include "sim/workload.hpp"
+#include "telemetry/critical_path.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/timeseries.hpp"
 
 int main(int argc, char** argv) {
   using namespace vinelet;
@@ -26,6 +39,10 @@ int main(int argc, char** argv) {
               invocations, num_workers, smoke ? ", smoke" : "");
 
   bench::TraceSession session("fig8_invocation_runtime");
+  bench::JsonReport report("fig8_invocation_runtime");
+  report.SetConfig("invocations=" + std::to_string(invocations) +
+                   " workers=" + std::to_string(num_workers) +
+                   " smoke=" + (smoke ? std::string("1") : std::string("0")));
   static const WorkloadCosts costs16 = LnniCosts(16);
   static const WorkloadCosts costs160 = LnniCosts(160);
   static const WorkloadCosts costs1600 = LnniCosts(1600);
@@ -38,6 +55,10 @@ int main(int argc, char** argv) {
                {160, &costs160, "41.3%", "41.2%"},
                {1600, &costs1600, "15.6%", "3.7%"}};
 
+  // Most recent L3 run's virtual-time time-series, written next to the trace
+  // when tracing is on.  The DES drives the same TimeSeriesStore the
+  // runtime's BackgroundSampler feeds, so the JSONL schema is identical.
+  std::string timeseries_jsonl;
   bench::Table table({"Inferences/invoc", "L1 (s)", "L2 (s)", "L3 (s)",
                       "L3 vs L1 (paper/sim)", "L3 vs L2 (paper/sim)",
                       "Mean invoc time (s)"});
@@ -51,6 +72,11 @@ int main(int argc, char** argv) {
       config.cluster.num_workers = num_workers;
       config.seed = 2024;
       config.telemetry = session.telemetry();
+      telemetry::TimeSeriesConfig ts_config;
+      ts_config.window_s = 60.0;  // virtual seconds per window
+      telemetry::TimeSeriesStore ts_store(&session.telemetry()->metrics,
+                                          ts_config);
+      if (session.enabled()) config.timeseries = &ts_store;
       if (c.inferences == 16 && config.level == core::ReuseLevel::kL1) {
         // Paper note: "the run with L1 and 16 inferences uses a significant
         // amount (89%) of group 2 machines".
@@ -59,8 +85,13 @@ int main(int argc, char** argv) {
       VineSim sim(config, BuildLnniWorkload(*c.costs, invocations));
       const SimResult result = sim.Run();
       makespans[i] = result.makespan;
-      if (config.level == core::ReuseLevel::kL3)
+      if (config.level == core::ReuseLevel::kL3) {
         mean_runtime = result.run_time.mean();
+        if (session.enabled()) timeseries_jsonl = ts_store.ToJsonLines();
+      }
+      report.AddMeasured("makespan_s L" + std::to_string(i + 1) + " inf" +
+                             std::to_string(c.inferences),
+                         result.makespan);
     }
     table.AddRow(
         {std::to_string(c.inferences), FormatDouble(makespans[0], 0),
@@ -76,5 +107,67 @@ int main(int argc, char** argv) {
               "379.7 s (1600).\n");
   std::printf("Shape check: the L3 speedup shrinks as invocations grow — "
               "the context-reload overhead is fixed per invocation.\n");
+
+  if (session.enabled()) {
+    // Fold the full traced span stream (all levels and cases) into a blame
+    // report; Snapshot() leaves the spans for TraceSession::Finish to drain
+    // into the Chrome trace.  The simulator's spans are disjoint within a
+    // trace, so the embedded AggregatePhases totals must agree with the
+    // blame attribution — scripts/check_critical_path.py enforces the same
+    // 5-share-point tolerance bench_table5_breakdown applies.
+    const std::vector<telemetry::SpanRecord> spans =
+        session.telemetry()->tracer.Snapshot();
+    std::vector<telemetry::SpanRecord> traced;
+    traced.reserve(spans.size());
+    for (const telemetry::SpanRecord& span : spans) {
+      if (span.trace_id != 0) traced.push_back(span);
+    }
+    const telemetry::BlameReport blame =
+        telemetry::CriticalPathAnalyzer().Analyze(traced);
+    const telemetry::PhaseTotals agg = telemetry::AggregatePhases(traced);
+    std::string blame_json = telemetry::BlameReportToJson(blame);
+    while (!blame_json.empty() && blame_json.back() == '\n')
+      blame_json.pop_back();
+    std::string out = "{\"blame\":";
+    out += blame_json;
+    out += ",\"aggregate\":{";
+    const std::pair<const char*, double> phases[] = {
+        {"submit", agg.submit_s},
+        {"dispatch", agg.dispatch_s},
+        {"transfer", agg.transfer_s},
+        {"unpack", agg.unpack_s},
+        {"context-setup", agg.context_setup_s},
+        {"deserialize", agg.deserialize_s},
+        {"exec", agg.exec_s},
+        {"result", agg.result_s}};
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += phases[i].first;
+      out += "\":";
+      out += FormatDouble(phases[i].second, 9);
+    }
+    out += "}}\n";
+    const std::string blame_path = "BENCH_fig8_invocation_runtime.blame.json";
+    if (Status status = telemetry::WriteStringToFile(blame_path, out);
+        status.ok()) {
+      std::printf("[blame] wrote %s (%zu traces, %zu spans)\n",
+                  blame_path.c_str(), blame.traces, blame.spans);
+    } else {
+      std::printf("[blame] failed to write %s: %s\n", blame_path.c_str(),
+                  status.ToString().c_str());
+    }
+    const std::string ts_path =
+        "BENCH_fig8_invocation_runtime.timeseries.jsonl";
+    if (Status status =
+            telemetry::WriteStringToFile(ts_path, timeseries_jsonl);
+        status.ok()) {
+      std::printf("[timeseries] wrote %s\n", ts_path.c_str());
+    } else {
+      std::printf("[timeseries] failed to write %s: %s\n", ts_path.c_str(),
+                  status.ToString().c_str());
+    }
+  }
+  report.Write();
   return 0;
 }

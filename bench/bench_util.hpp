@@ -3,6 +3,7 @@
 // opt-in telemetry trace session (VINELET_TRACE=1).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -78,12 +79,48 @@ inline std::string Ratio(double paper, double measured) {
   return FormatDouble(measured / paper, 2) + "x";
 }
 
+/// Build-provenance stamps compiled into every bench binary (see the root
+/// CMakeLists): the short git SHA of the checkout and the CMake build type.
+inline constexpr const char* kGitSha =
+#ifdef VINELET_GIT_SHA
+    VINELET_GIT_SHA;
+#else
+    "unknown";
+#endif
+inline constexpr const char* kBuildType =
+#ifdef VINELET_BUILD_TYPE
+    VINELET_BUILD_TYPE;
+#else
+    "unknown";
+#endif
+
+/// FNV-1a 64-bit over an arbitrary config description; benches fingerprint
+/// their effective knobs so scripts/compare_bench.py refuses to diff runs
+/// of different shapes.
+inline std::uint64_t FingerprintConfig(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 /// Machine-readable companion to the printed tables: accumulates
 /// paper-vs-measured entries and writes them as `BENCH_<name>.json` next to
-/// the binary's working directory.
+/// the binary's working directory.  Every report is stamped with the git
+/// SHA, build type, and (when SetConfig was called) a fingerprint of the
+/// bench's effective configuration.
 class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Describes the effective configuration (any stable serialization of the
+  /// knobs that shape the run, e.g. "workers=20 invocations=500 smoke=1").
+  /// The description and its FNV-1a fingerprint are stamped top-level.
+  void SetConfig(std::string description) {
+    config_ = std::move(description);
+  }
 
   /// A paper-vs-measured comparison row; ratio is derived.
   void Add(const std::string& metric, double paper, double measured) {
@@ -98,7 +135,15 @@ class JsonReport {
   /// Writes BENCH_<name>.json; prints the path (or the error) to stdout.
   void Write() const {
     std::string json = "{\"bench\":\"" + telemetry::JsonEscape(name_) +
-                       "\",\"entries\":[";
+                       "\",\"git_sha\":\"" + telemetry::JsonEscape(kGitSha) +
+                       "\",\"build_type\":\"" +
+                       telemetry::JsonEscape(kBuildType) + "\"";
+    if (!config_.empty()) {
+      json += ",\"config\":\"" + telemetry::JsonEscape(config_) +
+              "\",\"config_fingerprint\":\"" +
+              ToHex(FingerprintConfig(config_)) + "\"";
+    }
+    json += ",\"entries\":[";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       if (i > 0) json += ",";
@@ -129,7 +174,16 @@ class JsonReport {
     double measured = 0;
     bool has_paper = false;
   };
+
+  static std::string ToHex(std::uint64_t value) {
+    char out[24];
+    std::snprintf(out, sizeof(out), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return out;
+  }
+
   std::string name_;
+  std::string config_;
   std::vector<Entry> entries_;
 };
 

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""CI gate for the observability artifacts of a traced bench run.
+
+Validates the critical-path blame report and the windowed time-series
+JSONL that bench_fig8_invocation_runtime writes under VINELET_TRACE:
+
+  blame report (BENCH_<name>.blame.json):
+    * schema: {"blame": <BlameReportToJson>, "aggregate": {phase: seconds}},
+    * every blame phase is one of the eight lifecycle phases or "idle",
+    * phase shares are sane (each in [0, 1], summing to ~1),
+    * the blame attribution reproduces the AggregatePhases totals embedded
+      by the bench: per-phase *shares* (blame over its attributed non-idle
+      seconds, aggregate over its eight-phase sum) agree within 5 points —
+      the same tolerance bench_table5_breakdown enforces in-process,
+    * the worst-trace list is ordered by makespan and its critical paths
+      are non-empty chains of steps with non-negative self time.
+
+  time-series JSONL (BENCH_<name>.timeseries.jsonl):
+    * every line parses as JSON with the same top-level and per-metric key
+      sets (the sim and the runtime sampler must emit one schema),
+    * seq increases by one per line and windows tile: start_s of line N+1
+      equals end_s of line N,
+    * counter deltas are non-negative and rate * width == delta,
+    * histogram percentiles are ordered (p50 <= p99 <= p999).
+
+Usage: check_critical_path.py <blame.json> <timeseries.jsonl>
+"""
+import json
+import sys
+
+PHASES = [
+    "submit",
+    "dispatch",
+    "transfer",
+    "unpack",
+    "context-setup",
+    "deserialize",
+    "exec",
+    "result",
+]
+IDLE = "idle"
+SHARE_TOLERANCE = 0.05
+
+
+def check_blame(path, failures):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("blame", "aggregate"):
+        if key not in doc:
+            failures.append(f"blame report: missing top-level '{key}'")
+            return
+    blame = doc["blame"]
+    for key in ("traces", "spans", "total_makespan_s", "phases", "worst"):
+        if key not in blame:
+            failures.append(f"blame report: missing blame key '{key}'")
+            return
+
+    allowed = set(PHASES) | {IDLE}
+    unknown = set(blame["phases"]) - allowed
+    if unknown:
+        failures.append(f"blame report: unknown phases {sorted(unknown)}")
+
+    shares = {name: p["share"] for name, p in blame["phases"].items()}
+    for name, share in shares.items():
+        if not 0.0 <= share <= 1.0 + 1e-9:
+            failures.append(f"blame report: share of '{name}' out of range: "
+                            f"{share}")
+    total_share = sum(shares.values())
+    if blame["phases"] and abs(total_share - 1.0) > 1e-6:
+        failures.append(
+            f"blame report: phase shares sum to {total_share:.6f}, not 1")
+
+    # Blame vs aggregate: compare per-phase shares over the same eight
+    # lifecycle phases.  Blame normalizes by attributed (non-idle) seconds,
+    # the aggregate by its own phase sum.
+    seconds = {name: p["seconds"] for name, p in blame["phases"].items()}
+    blame_total = sum(s for name, s in seconds.items() if name != IDLE)
+    agg = doc["aggregate"]
+    agg_total = sum(agg.get(name, 0.0) for name in PHASES)
+    if blame_total <= 0 or agg_total <= 0:
+        failures.append("blame report: empty attribution "
+                        f"(blame {blame_total}, aggregate {agg_total})")
+    else:
+        for name in PHASES:
+            blame_share = seconds.get(name, 0.0) / blame_total
+            agg_share = agg.get(name, 0.0) / agg_total
+            delta = abs(blame_share - agg_share)
+            if delta > SHARE_TOLERANCE:
+                failures.append(
+                    f"blame report: phase '{name}' blame share "
+                    f"{blame_share:.4f} vs aggregate {agg_share:.4f} "
+                    f"(delta {delta:.4f} > {SHARE_TOLERANCE})")
+
+    worst = blame["worst"]
+    makespans = [t["makespan_s"] for t in worst]
+    if makespans != sorted(makespans, reverse=True):
+        failures.append("blame report: worst traces not sorted by makespan")
+    for trace in worst:
+        steps = trace.get("critical_path", [])
+        if not steps:
+            failures.append(f"blame report: trace {trace.get('trace_id')} "
+                            "has an empty critical path")
+            continue
+        for step in steps:
+            if step["self_s"] < 0:
+                failures.append("blame report: negative self time on the "
+                                f"critical path of trace {trace['trace_id']}")
+            if step["end_s"] < step["start_s"]:
+                failures.append("blame report: inverted step interval on "
+                                f"trace {trace['trace_id']}")
+    print(f"[blame] {path}: {blame['traces']} traces, {blame['spans']} "
+          f"spans, {len(worst)} worst, shares within "
+          f"{SHARE_TOLERANCE} of aggregate")
+
+
+def check_timeseries(path, failures):
+    with open(path) as f:
+        lines = [line.strip() for line in f if line.strip()]
+    if not lines:
+        failures.append(f"timeseries: {path} is empty")
+        return
+    windows = []
+    for i, line in enumerate(lines):
+        try:
+            windows.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            failures.append(f"timeseries: line {i} is not JSON: {err}")
+            return
+
+    top_keys = None
+    metric_keys = {}
+    for i, w in enumerate(windows):
+        keys = tuple(sorted(w))
+        if top_keys is None:
+            top_keys = keys
+        elif keys != top_keys:
+            failures.append(f"timeseries: line {i} key set {keys} differs "
+                            f"from line 0 {top_keys}")
+        for kind in ("counters", "histograms"):
+            for name, metric in w.get(kind, {}).items():
+                mk = tuple(sorted(metric))
+                if (kind, name) not in metric_keys:
+                    metric_keys[(kind, name)] = mk
+                elif metric_keys[(kind, name)] != mk:
+                    failures.append(f"timeseries: line {i} {kind}[{name}] "
+                                    "schema differs from first occurrence")
+
+        if w["seq"] != i:
+            failures.append(f"timeseries: line {i} has seq {w['seq']}")
+        width = w["end_s"] - w["start_s"]
+        if width <= 0:
+            failures.append(f"timeseries: line {i} non-positive width")
+        if i > 0 and abs(w["start_s"] - windows[i - 1]["end_s"]) > 1e-9:
+            failures.append(f"timeseries: line {i} does not tile with the "
+                            "previous window")
+        for name, c in w.get("counters", {}).items():
+            if c["delta"] < 0:
+                failures.append(f"timeseries: line {i} counter {name} has "
+                                "negative delta")
+            if width > 0 and abs(c["rate"] * width - c["delta"]) > \
+                    1e-6 * max(1.0, c["delta"]):
+                failures.append(f"timeseries: line {i} counter {name} rate "
+                                "inconsistent with delta")
+        for name, h in w.get("histograms", {}).items():
+            if not h["p50"] <= h["p99"] <= h["p999"]:
+                failures.append(f"timeseries: line {i} histogram {name} "
+                                "percentiles not ordered")
+    print(f"[timeseries] {path}: {len(windows)} windows, schema consistent")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    failures = []
+    check_blame(sys.argv[1], failures)
+    check_timeseries(sys.argv[2], failures)
+    if failures:
+        print("FAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("OK: blame report and time-series pass all gates")
+
+
+if __name__ == "__main__":
+    main()

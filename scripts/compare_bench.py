@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports and flag regressions.
+
+Every bench report is stamped with the git SHA and build type it was built
+from, and — when the bench calls JsonReport::SetConfig — a fingerprint of
+its effective configuration.  This script compares a baseline report
+against a candidate:
+
+  * refuses to compare reports from different benches,
+  * refuses to compare runs with different config fingerprints (the knobs
+    that shape the run differ, so the numbers are not comparable) unless
+    --allow-config-mismatch is given,
+  * warns when the build types differ (Debug vs Release timings are not
+    comparable either, but the structural metrics still are),
+  * prints a per-metric table of baseline vs candidate, and
+  * exits non-zero when any shared metric regressed by more than 10%
+    (--threshold to override).
+
+"Regressed" means the measured value grew: every stamped metric in this
+repo (makespans, per-phase seconds, share deltas) is smaller-is-better.
+Metrics present in only one report are listed but never gate.
+
+Usage: compare_bench.py <baseline.json> <candidate.json>
+                        [--threshold FRACTION] [--allow-config-mismatch]
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    entries = {e["metric"]: e["measured"] for e in report.get("entries", [])}
+    return report, entries
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json reports")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative growth that counts as a regression")
+    parser.add_argument("--allow-config-mismatch", action="store_true",
+                        help="compare despite differing config fingerprints")
+    args = parser.parse_args()
+
+    base_report, base = load(args.baseline)
+    cand_report, cand = load(args.candidate)
+
+    if base_report.get("bench") != cand_report.get("bench"):
+        sys.exit(f"refusing to compare different benches: "
+                 f"{base_report.get('bench')} vs {cand_report.get('bench')}")
+
+    base_fp = base_report.get("config_fingerprint")
+    cand_fp = cand_report.get("config_fingerprint")
+    if base_fp != cand_fp:
+        msg = (f"config fingerprints differ: {base_fp} "
+               f"({base_report.get('config')}) vs {cand_fp} "
+               f"({cand_report.get('config')})")
+        if args.allow_config_mismatch:
+            print(f"WARNING: {msg}")
+        else:
+            sys.exit(f"refusing to compare: {msg} "
+                     "(pass --allow-config-mismatch to override)")
+    if base_report.get("build_type") != cand_report.get("build_type"):
+        print(f"WARNING: build types differ: {base_report.get('build_type')} "
+              f"vs {cand_report.get('build_type')}")
+
+    print(f"bench {base_report.get('bench')}: "
+          f"{base_report.get('git_sha')} ({args.baseline}) vs "
+          f"{cand_report.get('git_sha')} ({args.candidate})")
+
+    regressions = []
+    width = max((len(m) for m in set(base) | set(cand)), default=10)
+    for metric in sorted(set(base) | set(cand)):
+        if metric not in base:
+            print(f"  {metric:<{width}}  (new)        {cand[metric]:>14.6g}")
+            continue
+        if metric not in cand:
+            print(f"  {metric:<{width}}  {base[metric]:>14.6g}  (removed)")
+            continue
+        b, c = base[metric], cand[metric]
+        if b != 0:
+            change = (c - b) / abs(b)
+            tag = f"{change:+8.1%}"
+        else:
+            change = 0.0 if c == 0 else float("inf")
+            tag = "     new" if c != 0 else "        "
+        flag = ""
+        if change > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((metric, b, c, change))
+        print(f"  {metric:<{width}}  {b:>14.6g}  {c:>14.6g}  {tag}{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for metric, b, c, change in regressions:
+            print(f"  - {metric}: {b:.6g} -> {c:.6g} ({change:+.1%})")
+        sys.exit(1)
+    print(f"\nOK: no metric regressed more than {args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()

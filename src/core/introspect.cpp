@@ -16,6 +16,18 @@ std::string Seconds(double value) {
 
 }  // namespace
 
+bool AnyStraggler(const ClusterStatus& status) {
+  for (const auto& worker : status.workers)
+    if (worker.straggler) return true;
+  return false;
+}
+
+bool AnySloBreach(const ClusterStatus& status) {
+  for (const auto& slo : status.slo)
+    if (slo.Breached()) return true;
+  return false;
+}
+
 std::string FormatClusterStatus(const ClusterStatus& status) {
   std::string out;
   out += "cluster status @ t=" + Seconds(status.collected_s) + "s\n";
@@ -56,6 +68,20 @@ std::string FormatClusterStatus(const ClusterStatus& status) {
       out += std::to_string(set.workers[i]);
     }
     out += "]\n";
+  }
+  for (const auto& slo : status.slo) {
+    out += "  slo " + slo.library + ": " + std::to_string(slo.samples) +
+           " sample(s), viol " + Seconds(slo.violation_fraction) + " (" +
+           std::to_string(slo.violations) + "), p50 " + Seconds(slo.p50_s) +
+           "s, p99 " + Seconds(slo.p99_s) + "s, goodput " +
+           Seconds(slo.goodput_per_s) + "/s, burn " + Seconds(slo.burn_rate);
+    if (slo.Breached()) {
+      out += "  ** SLO BREACH";
+      if (slo.latency_breached) out += " latency";
+      if (slo.goodput_breached) out += " goodput";
+      out += " **";
+    }
+    out += "\n";
   }
   out += "  median p95 latency: " + Seconds(status.cluster_median_p95_s) +
          "s (straggler factor " + Seconds(status.straggler_factor) + ")\n";
@@ -149,7 +175,28 @@ std::string ClusterStatusToJson(const ClusterStatus& status) {
     }
     out += "]}";
   }
-  out += "\n]},\n\"workers\": [";
+  out += "\n]},\n\"slo\": [";
+  first = true;
+  for (const auto& slo : status.slo) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"library\":\"" + JsonEscape(slo.library) +
+           "\",\"latency_target_s\":" + Seconds(slo.latency_target_s) +
+           ",\"target_fraction\":" + Seconds(slo.target_fraction) +
+           ",\"min_goodput_per_s\":" + Seconds(slo.min_goodput_per_s) +
+           ",\"window_s\":" + Seconds(slo.window_s) +
+           ",\"samples\":" + std::to_string(slo.samples) +
+           ",\"violations\":" + std::to_string(slo.violations) +
+           ",\"violation_fraction\":" + Seconds(slo.violation_fraction) +
+           ",\"p50_s\":" + Seconds(slo.p50_s) +
+           ",\"p99_s\":" + Seconds(slo.p99_s) +
+           ",\"goodput_per_s\":" + Seconds(slo.goodput_per_s) +
+           ",\"burn_rate\":" + Seconds(slo.burn_rate) +
+           ",\"latency_breached\":" + (slo.latency_breached ? "true" : "false") +
+           ",\"goodput_breached\":" +
+           (slo.goodput_breached ? "true" : "false") + "}";
+  }
+  out += "\n],\n\"workers\": [";
   first = true;
   for (const auto& worker : status.workers) {
     out += first ? "\n" : ",\n";

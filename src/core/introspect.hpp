@@ -14,6 +14,7 @@
 
 #include "core/protocol.hpp"
 #include "core/types.hpp"
+#include "telemetry/slo.hpp"
 
 namespace vinelet::core {
 
@@ -100,7 +101,16 @@ struct ClusterStatus {
   double cluster_median_p95_s = 0.0;
   double straggler_factor = 3.0;
   SchedulerStatus scheduler;
+  /// Per-library SLO evaluation (empty when no targets are configured).
+  std::vector<telemetry::SloSnapshot> slo;
 };
+
+/// True when any worker carries the straggler flag.
+bool AnyStraggler(const ClusterStatus& status);
+
+/// True when any library's SLO is breached (latency burn rate > 1 or
+/// goodput under its floor).
+bool AnySloBreach(const ClusterStatus& status);
 
 /// Human-readable multi-line rendering (the vinelet-status default).
 std::string FormatClusterStatus(const ClusterStatus& status);

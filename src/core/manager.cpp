@@ -14,7 +14,8 @@ Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
       config_(config),
       registry_(config.registry != nullptr ? config.registry
                                            : &serde::FunctionRegistry::Global()),
-      replicas_(config.worker_transfer_cap, config.manager_transfer_cap) {
+      replicas_(config.worker_transfer_cap, config.manager_transfer_cap),
+      slo_monitor_(config.slo) {
   if (config.telemetry != nullptr) {
     telemetry_ = config.telemetry;
   } else {
@@ -594,6 +595,8 @@ void Manager::HandleFrame(const net::Frame& frame) {
               m_.ref_results->Add();
               m_.ref_result_bytes->Add(msg.ref.size);
               m_.invocation_roundtrip_s->Observe(Now() - call.submitted_s);
+              slo_monitor_.Record(instance.library, Now() - call.submitted_s,
+                                  /*ok=*/true, Now());
               telemetry_->tracer.EmitLinked(
                   msg.trace.valid() ? msg.trace : call.trace,
                   telemetry::Phase::kResult, "invocation", "manager", msg.id,
@@ -608,6 +611,8 @@ void Manager::HandleFrame(const net::Frame& frame) {
                 // As with tasks: record before resolving the future.
                 m_.invocations_completed->Add();
                 m_.invocation_roundtrip_s->Observe(Now() - call.submitted_s);
+                slo_monitor_.Record(instance.library, Now() - call.submitted_s,
+                                    /*ok=*/true, Now());
                 telemetry_->tracer.EmitLinked(
                     msg.trace.valid() ? msg.trace : call.trace,
                     telemetry::Phase::kResult, "invocation", "manager", msg.id,
@@ -617,6 +622,8 @@ void Manager::HandleFrame(const net::Frame& frame) {
                     Outcome{std::move(*value), msg.timing, instance.worker});
                 FinishOne();
               } else {
+                slo_monitor_.Record(instance.library, Now() - call.submitted_s,
+                                    /*ok=*/false, Now());
                 SettleCallRefs(call);
                 call.future->Resolve(value.status());
                 FinishOne();
@@ -628,6 +635,8 @@ void Manager::HandleFrame(const net::Frame& frame) {
                                         instance.worker);
               RequeueCall(std::move(call));
             } else {
+              slo_monitor_.Record(instance.library, Now() - call.submitted_s,
+                                  /*ok=*/false, Now());
               SettleCallRefs(call);
               call.future->Resolve(InternalError(msg.error));
               FinishOne();
@@ -1705,6 +1714,7 @@ void Manager::StartStatusQuery(StatusCmd cmd) {
     b.pending.assign(state.pending.begin(), state.pending.end());
     status.broadcasts.push_back(std::move(b));
   }
+  status.slo = slo_monitor_.Snapshot(Now());
 
   // Skeleton per worker with the manager-side latency view; the wire reply
   // fills in the worker-side fields.

@@ -63,6 +63,10 @@ struct ManagerConfig {
   /// Invocation routing + library autoscaling policy (context affinity by
   /// default; kFirstFit restores the legacy first-ready-instance behaviour).
   SchedulerConfig scheduler;
+  /// Declarative per-library latency/goodput targets.  When any target is
+  /// configured the manager evaluates a sliding window of invocation
+  /// resolutions and ships the verdicts inside ClusterStatus.
+  telemetry::SloConfig slo;
   const serde::FunctionRegistry* registry = nullptr;  // default: Global()
   /// Shared telemetry (metrics registry + span tracer).  Pass the same
   /// handle to FactoryConfig so manager and worker metrics/spans land
@@ -641,6 +645,9 @@ class Manager {
   std::set<WorkerId> pending_dead_;
   LibraryInstanceId next_instance_id_ = 1;
   StatusQuery status_query_;
+  /// Sliding-window SLO evaluator; fed on the manager thread at every
+  /// invocation resolution, read by StartStatusQuery.
+  telemetry::SloMonitor slo_monitor_;
 };
 
 }  // namespace vinelet::core

@@ -152,8 +152,22 @@ SimResult VineSim::Run() {
     }
   }
 
+  if (config_.timeseries != nullptr && config_.telemetry != nullptr) {
+    auto& reg = config_.telemetry->metrics;
+    ts_invocations_ = &reg.GetCounter("manager.invocations_completed");
+    ts_roundtrip_ = &reg.GetHistogram("manager.invocation_roundtrip_s");
+    ts_libraries_ = &reg.GetGauge("manager.libraries_active");
+    config_.timeseries->SampleAt(0.0);  // baseline at virtual t=0
+    if (!done_) ScheduleSampling();
+  }
+
   sim_.After(0.0, [this] { PumpDispatch(); });
   sim_.Run();
+
+  // Close the tail window (SampleAt ignores a non-advancing clock, so a
+  // sampling event that already fired past the makespan is harmless).
+  if (config_.timeseries != nullptr && config_.telemetry != nullptr)
+    config_.timeseries->SampleAt(result_.makespan);
 
   result_.manager_utilization =
       result_.makespan > 0 ? manager_->utilization(result_.makespan) : 0.0;
@@ -1207,6 +1221,13 @@ void VineSim::FinishOnWorker(std::size_t worker_index, std::uint64_t generation,
     result_.run_time.Add(run_time);
     result_.run_times.push_back(run_time);
     result_.makespan = sim_.Now();
+    if (ts_invocations_ != nullptr) {
+      // Publish the same completion metrics the live manager records, in
+      // virtual time, so the windowed sampler sees one schema for both.
+      ts_invocations_->Add();
+      ts_roundtrip_->Observe(sim_.Now() - queued_at_[invocation]);
+      ts_libraries_->Set(static_cast<double>(active_libraries_));
+    }
     if (result_.invocations_completed == invocations_.size()) done_ = true;
     if (config_.track_series) {
       const auto completed =
@@ -1232,6 +1253,13 @@ void VineSim::Requeue(std::size_t invocation) {
   else
     pending_.push_back(invocation);
   PumpDispatch();
+}
+
+void VineSim::ScheduleSampling() {
+  sim_.After(config_.timeseries->config().window_s, [this] {
+    config_.timeseries->SampleAt(sim_.Now());
+    if (!done_) ScheduleSampling();
+  });
 }
 
 void VineSim::ScheduleDeath(std::size_t worker_index) {

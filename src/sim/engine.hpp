@@ -24,6 +24,7 @@
 #include "sim/des.hpp"
 #include "sim/resources.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace vinelet::sim {
 
@@ -152,6 +153,16 @@ struct SimConfig {
   /// with virtual time — one exporter/breakdown code path for both
   /// backends.  The clock inside is never consulted.
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Optional windowed time-series sink (requires `telemetry`).  When set,
+  /// the simulator publishes the manager's completion metrics
+  /// (manager.invocations_completed / invocation_roundtrip_s /
+  /// libraries_active) into the shared registry and drives SampleAt at
+  /// virtual-time window boundaries — the DES twin of the runtime's
+  /// BackgroundSampler, emitting the identical JSON-lines schema.  Null
+  /// (the default) leaves the registry untouched, so established runs
+  /// reproduce their metrics files bit-identically.
+  telemetry::TimeSeriesStore* timeseries = nullptr;
 };
 
 struct SimResult {
@@ -370,6 +381,10 @@ class VineSim {
   void FinishOnWorker(std::size_t worker_index, std::uint64_t generation,
                       std::size_t invocation, double started);
   void Requeue(std::size_t invocation);
+  /// Virtual-time sampling chain for SimConfig::timeseries: one SampleAt
+  /// per window, rescheduled while invocations remain (the chain must not
+  /// outlive the workload or the event queue never drains).
+  void ScheduleSampling();
   void ScheduleDeath(std::size_t worker_index);
   /// Immediate abrupt death + scheduled respawn; shared by churn and the
   /// fault plan's kill schedule.
@@ -433,6 +448,10 @@ class VineSim {
   /// Per-invocation causal context, advanced at every lifecycle span; one
   /// trace_id per invocation from submit through result, requeues included.
   std::vector<telemetry::TraceContext> trace_ctx_;
+  /// Cached registry handles for SimConfig::timeseries (null when off).
+  telemetry::Counter* ts_invocations_ = nullptr;
+  telemetry::Histogram* ts_roundtrip_ = nullptr;
+  telemetry::Gauge* ts_libraries_ = nullptr;
   SimResult result_;
 };
 

@@ -1,0 +1,219 @@
+#include "telemetry/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/export.hpp"
+
+namespace vinelet::telemetry {
+
+namespace {
+
+std::string Num(double value) {
+  char out[64];
+  std::snprintf(out, sizeof(out), "%.9g", value);
+  return out;
+}
+
+}  // namespace
+
+double BlameReport::PhaseSeconds(const std::string& phase) const {
+  auto it = phase_s.find(phase);
+  return it == phase_s.end() ? 0.0 : it->second;
+}
+
+double BlameReport::PhaseShare(const std::string& phase) const {
+  return total_makespan_s <= 0.0 ? 0.0
+                                 : PhaseSeconds(phase) / total_makespan_s;
+}
+
+TraceBlame CriticalPathAnalyzer::AnalyzeTrace(
+    const std::vector<SpanRecord>& spans) const {
+  TraceBlame blame;
+  std::vector<const SpanRecord*> traced;
+  traced.reserve(spans.size());
+  for (const SpanRecord& span : spans) {
+    if (span.trace_id == 0) continue;
+    traced.push_back(&span);
+  }
+  if (traced.empty()) return blame;
+
+  blame.trace_id = traced.front()->trace_id;
+  blame.spans = traced.size();
+  blame.start_s = traced.front()->start_s;
+  blame.end_s = traced.front()->end_s;
+  for (const SpanRecord* span : traced) {
+    blame.start_s = std::min(blame.start_s, span->start_s);
+    blame.end_s = std::max(blame.end_s, span->end_s);
+  }
+
+  // Elementary intervals: between two adjacent span boundaries the set of
+  // covering spans is constant, so each interval is attributed whole to the
+  // most specific cover (latest start; later span_id breaks ties — ids are
+  // allocated in causal order, so the child wins over a parent that began
+  // at the same instant).
+  std::vector<double> bounds;
+  bounds.reserve(traced.size() * 2);
+  for (const SpanRecord* span : traced) {
+    bounds.push_back(span->start_s);
+    bounds.push_back(span->end_s);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::map<std::uint64_t, double> self_s;  // span_id -> attributed seconds
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const double a = bounds[i];
+    const double b = bounds[i + 1];
+    const SpanRecord* cover = nullptr;
+    for (const SpanRecord* span : traced) {
+      if (span->start_s > a || span->end_s < b) continue;
+      if (cover == nullptr || span->start_s > cover->start_s ||
+          (span->start_s == cover->start_s && span->span_id > cover->span_id))
+        cover = span;
+    }
+    const double width = b - a;
+    if (cover == nullptr) {
+      blame.phase_s[kIdlePhase] += width;
+    } else {
+      blame.phase_s[cover->name] += width;
+      blame.track_s[cover->track] += width;
+      self_s[cover->span_id] += width;
+    }
+  }
+
+  // Critical chain: parent links walked back from the last-finishing span.
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord* span : traced)
+    if (span->span_id != 0) by_id.emplace(span->span_id, span);
+  const SpanRecord* tail = traced.front();
+  for (const SpanRecord* span : traced) {
+    if (span->end_s > tail->end_s ||
+        (span->end_s == tail->end_s && span->span_id > tail->span_id))
+      tail = span;
+  }
+  std::vector<PathStep> path;
+  const SpanRecord* step = tail;
+  while (step != nullptr && path.size() <= traced.size()) {
+    PathStep hop;
+    hop.name = step->name;
+    hop.track = step->track;
+    hop.span_id = step->span_id;
+    hop.start_s = step->start_s;
+    hop.end_s = step->end_s;
+    auto it = self_s.find(step->span_id);
+    hop.self_s = it == self_s.end() ? 0.0 : it->second;
+    path.push_back(std::move(hop));
+    auto parent = by_id.find(step->parent_span_id);
+    step = parent == by_id.end() ? nullptr : parent->second;
+  }
+  blame.critical_path.assign(path.rbegin(), path.rend());
+  return blame;
+}
+
+BlameReport CriticalPathAnalyzer::Analyze(
+    const std::vector<SpanRecord>& spans) const {
+  std::map<std::uint64_t, std::vector<SpanRecord>> traces;
+  BlameReport report;
+  for (const SpanRecord& span : spans) {
+    if (span.trace_id == 0) {
+      ++report.orphan_spans;
+      continue;
+    }
+    traces[span.trace_id].push_back(span);
+  }
+  for (const auto& [trace_id, trace_spans] : traces) {
+    TraceBlame blame = AnalyzeTrace(trace_spans);
+    ++report.traces;
+    report.spans += blame.spans;
+    report.total_makespan_s += blame.Makespan();
+    for (const auto& [phase, seconds] : blame.phase_s)
+      report.phase_s[phase] += seconds;
+    for (const auto& [track, seconds] : blame.track_s)
+      report.track_s[track] += seconds;
+    // Keep the worst `max_worst` traces, ascending so the smallest is
+    // cheap to displace; sorted descending once at the end.
+    if (report.worst.size() < options_.max_worst) {
+      report.worst.push_back(std::move(blame));
+      std::sort(report.worst.begin(), report.worst.end(),
+                [](const TraceBlame& a, const TraceBlame& b) {
+                  return a.Makespan() < b.Makespan();
+                });
+    } else if (!report.worst.empty() &&
+               blame.Makespan() > report.worst.front().Makespan()) {
+      report.worst.front() = std::move(blame);
+      std::sort(report.worst.begin(), report.worst.end(),
+                [](const TraceBlame& a, const TraceBlame& b) {
+                  return a.Makespan() < b.Makespan();
+                });
+    }
+  }
+  std::reverse(report.worst.begin(), report.worst.end());
+  return report;
+}
+
+namespace {
+
+std::string PhaseMapToJson(const std::map<std::string, double>& phases,
+                           double total) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, seconds] : phases) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += JsonEscape(name);
+    out += "\":{\"seconds\":" + Num(seconds) +
+           ",\"share\":" + Num(total > 0.0 ? seconds / total : 0.0) + "}";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string BlameReportToJson(const BlameReport& report) {
+  std::string out = "{\"traces\":" + std::to_string(report.traces) +
+                    ",\"spans\":" + std::to_string(report.spans) +
+                    ",\"orphan_spans\":" + std::to_string(report.orphan_spans) +
+                    ",\"total_makespan_s\":" + Num(report.total_makespan_s) +
+                    ",\"phases\":" +
+                    PhaseMapToJson(report.phase_s, report.total_makespan_s) +
+                    ",\"tracks\":{";
+  bool first = true;
+  for (const auto& [track, seconds] : report.track_s) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += JsonEscape(track);
+    out += "\":" + Num(seconds);
+  }
+  out += "},\"worst\":[";
+  first = true;
+  for (const TraceBlame& blame : report.worst) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"trace_id\":" + std::to_string(blame.trace_id) +
+           ",\"start_s\":" + Num(blame.start_s) +
+           ",\"end_s\":" + Num(blame.end_s) +
+           ",\"makespan_s\":" + Num(blame.Makespan()) +
+           ",\"spans\":" + std::to_string(blame.spans) + ",\"phases\":" +
+           PhaseMapToJson(blame.phase_s, blame.Makespan()) +
+           ",\"critical_path\":[";
+    bool first_hop = true;
+    for (const PathStep& hop : blame.critical_path) {
+      if (!first_hop) out += ",";
+      first_hop = false;
+      out += "{\"name\":\"" + JsonEscape(hop.name) + "\",\"track\":\"" +
+             JsonEscape(hop.track) +
+             "\",\"span_id\":" + std::to_string(hop.span_id) +
+             ",\"start_s\":" + Num(hop.start_s) +
+             ",\"end_s\":" + Num(hop.end_s) +
+             ",\"self_s\":" + Num(hop.self_s) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace vinelet::telemetry

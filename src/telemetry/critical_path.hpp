@@ -1,0 +1,109 @@
+// Trace-driven critical-path attribution.
+//
+// Spans recorded by SpanTracer carry causal identity (trace_id, span_id,
+// parent_span_id); this analyzer reconstructs each trace's span DAG and
+// answers "where did this trace's wall-clock time go?" mechanically instead
+// of by eyeballing chrome://tracing:
+//
+//  * per trace, every instant of [first span start, last span end] is
+//    attributed to the *most specific* span covering it (the latest-started
+//    cover — children start after the parents that caused them), so
+//    overlapping parent/child spans never double-count; instants no span
+//    covers are attributed to "idle" (queueing, scheduling gaps);
+//  * the critical chain is recovered by walking parent links back from the
+//    last-finishing span — the path whose phases bound the trace's makespan;
+//  * per run, traces aggregate into a blame report: seconds and share per
+//    lifecycle phase and per track (worker/manager/link), plus the worst
+//    traces by makespan.
+//
+// On non-overlapping span streams (the DES emits these) the per-phase
+// attribution equals AggregatePhases' sums exactly; bench_table5_breakdown
+// cross-checks the two code paths within tolerance on every run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/span.hpp"
+
+namespace vinelet::telemetry {
+
+/// Attribution key for time no span covers (dispatch queues, event loop
+/// gaps, blocked waits outside any recorded phase).
+inline constexpr const char* kIdlePhase = "idle";
+
+/// One hop of a trace's critical chain, root first.
+struct PathStep {
+  std::string name;   // phase name
+  std::string track;  // "manager", "worker-3", ...
+  std::uint64_t span_id = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Seconds of the trace timeline attributed to this span (self time:
+  /// its duration minus the parts covered by more specific spans).
+  double self_s = 0.0;
+};
+
+/// Blame for one trace: makespan split across phases and tracks.
+struct TraceBlame {
+  std::uint64_t trace_id = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::size_t spans = 0;
+  std::map<std::string, double> phase_s;  // includes kIdlePhase
+  std::map<std::string, double> track_s;  // idle time lands on no track
+  std::vector<PathStep> critical_path;    // root -> last-finishing span
+
+  double Makespan() const noexcept { return end_s - start_s; }
+};
+
+/// Per-run aggregate over every trace in a span stream.
+struct BlameReport {
+  std::size_t traces = 0;
+  std::size_t spans = 0;          // spans carrying a trace_id
+  std::size_t orphan_spans = 0;   // spans without one (not attributed)
+  double total_makespan_s = 0.0;  // sum of per-trace makespans
+  std::map<std::string, double> phase_s;
+  std::map<std::string, double> track_s;
+  /// The worst traces by makespan, descending (capped by the analyzer's
+  /// `max_worst` option).
+  std::vector<TraceBlame> worst;
+
+  double PhaseSeconds(const std::string& phase) const;
+  /// phase_s / total_makespan_s (0 when the report is empty).
+  double PhaseShare(const std::string& phase) const;
+};
+
+class CriticalPathAnalyzer {
+ public:
+  struct Options {
+    /// Traces kept verbatim in BlameReport::worst.
+    std::size_t max_worst = 8;
+  };
+
+  CriticalPathAnalyzer() = default;
+  explicit CriticalPathAnalyzer(Options options) : options_(options) {}
+
+  /// Blames one trace's spans (all must share a trace_id; zero ids are
+  /// skipped and counted nowhere).
+  TraceBlame AnalyzeTrace(const std::vector<SpanRecord>& spans) const;
+
+  /// Partitions `spans` by trace_id and aggregates every trace's blame.
+  BlameReport Analyze(const std::vector<SpanRecord>& spans) const;
+
+ private:
+  Options options_;
+};
+
+/// Machine-readable rendering, the CI artifact schema
+/// (scripts/check_critical_path.py validates it):
+/// {"traces":N,"spans":N,"orphan_spans":N,"total_makespan_s":..,
+///  "phases":{name:{"seconds":..,"share":..}},"tracks":{name:..},
+///  "worst":[{"trace_id":..,"makespan_s":..,"phases":{..},
+///            "critical_path":[{"name":..,"track":..,"start_s":..,
+///                              "end_s":..,"self_s":..}]}]}
+std::string BlameReportToJson(const BlameReport& report);
+
+}  // namespace vinelet::telemetry

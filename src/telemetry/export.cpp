@@ -173,7 +173,8 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
            ", \"min\": " + FormatNumber(hist.min) +
            ", \"max\": " + FormatNumber(hist.max) +
            ", \"p50\": " + FormatNumber(hist.Quantile(0.5)) +
-           ", \"p99\": " + FormatNumber(hist.Quantile(0.99)) + "}";
+           ", \"p99\": " + FormatNumber(hist.Quantile(0.99)) +
+           ", \"p999\": " + FormatNumber(hist.Quantile(0.999)) + "}";
     first = false;
   }
   out += "\n  }\n}\n";
@@ -431,7 +432,8 @@ Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
                                   " has no phase");
     if (*ph == "M") continue;  // metadata
     const bool flow = *ph == "s" || *ph == "t" || *ph == "f";
-    if (*ph != "X" && *ph != "B" && *ph != "E" && !flow)
+    const bool counter = *ph == "C";
+    if (*ph != "X" && *ph != "B" && *ph != "E" && !flow && !counter)
       return InvalidArgumentError("event " + std::to_string(i) +
                                   " has unsupported phase '" + *ph + "'");
     const auto ts = NumberField(*event, "ts");
@@ -461,6 +463,14 @@ Result<TraceCheck> ValidateChromeTrace(std::string_view json) {
         flow_ends.emplace_back(*id, *ts);
       }
       ++check.flows;
+      continue;
+    }
+    if (counter) {
+      auto args_it = event->find("args");
+      if (args_it == event->end() || args_it->second.AsObject() == nullptr)
+        return InvalidArgumentError("event " + std::to_string(i) +
+                                    " ('C') has no args object");
+      ++check.counters;
       continue;
     }
     if (*ph == "X") {

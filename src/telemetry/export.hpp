@@ -7,8 +7,9 @@
 //    write this next to their printed tables).
 //  * ValidateChromeTrace — structural check used by tests and bench
 //    harnesses: valid JSON, every event a closed span (ph "X" with a
-//    non-negative dur, or balanced B/E pairs), and per-track timestamps
-//    monotone non-decreasing.
+//    non-negative dur, or balanced B/E pairs), a flow record, or a counter
+//    sample ("C" with an args object), and per-track timestamps monotone
+//    non-decreasing.
 #pragma once
 
 #include <string>
@@ -44,9 +45,10 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot);
 
 /// What ValidateChromeTrace verified, for test assertions.
 struct TraceCheck {
-  std::size_t events = 0;  // "X"/"B"/"E" events (metadata excluded)
-  std::size_t tracks = 0;  // distinct (pid, tid) pairs
-  std::size_t flows = 0;   // "s"/"t"/"f" flow records
+  std::size_t events = 0;    // "X"/"B"/"E" events (metadata excluded)
+  std::size_t tracks = 0;    // distinct (pid, tid) pairs
+  std::size_t flows = 0;     // "s"/"t"/"f" flow records
+  std::size_t counters = 0;  // "C" counter samples (time-series export)
 };
 
 /// Parses `json` with a strict JSON parser and checks the trace_event

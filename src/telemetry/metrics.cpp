@@ -105,18 +105,42 @@ void Histogram::Reset() noexcept {
   any_.store(false, std::memory_order_relaxed);
 }
 
-double HistogramSnapshot::Quantile(double q) const noexcept {
-  if (count == 0) return 0.0;
+double InterpolateBucketQuantile(
+    const std::vector<std::pair<double, std::uint64_t>>& cumulative,
+    std::uint64_t total, double q, double min_value,
+    double max_value) noexcept {
+  if (total == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
-  for (const auto& [bound, cumulative] : buckets) {
-    if (cumulative >= rank) {
-      if (std::isinf(bound)) return max;
-      return std::min(bound, max);
+  const double rank = q * static_cast<double>(total);
+  double before = 0.0;
+  for (const auto& [bound, cum] : cumulative) {
+    const auto in_bucket = static_cast<double>(cum) - before;
+    if (in_bucket <= 0.0) continue;
+    // The covering bucket is the first whose cumulative count reaches the
+    // rank; rank exactly at `before` (q == 0, or a boundary shared with an
+    // empty run of buckets) belongs to this bucket's lower edge.
+    if (static_cast<double>(cum) >= rank) {
+      double lower;
+      double upper;
+      if (std::isinf(bound)) {
+        lower = Histogram::BucketBound(Histogram::kBuckets - 1);
+        upper = std::max(max_value, lower);
+      } else {
+        lower = bound <= Histogram::kFirstBound ? 0.0 : bound / 2.0;
+        upper = bound;
+      }
+      const double frac =
+          std::clamp((rank - before) / in_bucket, 0.0, 1.0);
+      const double value = lower + frac * (upper - lower);
+      return std::clamp(value, min_value, max_value);
     }
+    before = static_cast<double>(cum);
   }
-  return max;
+  return max_value;
+}
+
+double HistogramSnapshot::Quantile(double q) const noexcept {
+  return InterpolateBucketQuantile(buckets, count, q, min, max);
 }
 
 // ---------------------------------------------------------------------------

@@ -88,9 +88,30 @@ struct HistogramSnapshot {
 
   double Mean() const noexcept { return count == 0 ? 0.0 : sum / count; }
 
-  /// Approximate quantile from bucket upper bounds, q in [0, 1].
+  /// Quantile with linear interpolation inside the exponential buckets,
+  /// q in [0, 1]; see InterpolateBucketQuantile for the exact contract.
   double Quantile(double q) const noexcept;
 };
+
+/// Quantile over cumulative exponential-bucket counts with linear
+/// interpolation inside the covering bucket.  `cumulative` is (upper bound,
+/// observations <= bound) pairs on the Histogram grid, ending at `total`
+/// (the +inf overflow bound allowed last); empty buckets may be omitted.
+/// Contract, locked by table-driven tests:
+///  * total == 0 returns 0;
+///  * the continuous rank is q * total: q == 0 lands on the covering
+///    bucket's lower edge, q == 1 on its upper edge, and a rank exactly on
+///    a bucket boundary returns that boundary (no bleed into the next
+///    bucket);
+///  * a bucket's edges are its true grid bounds (bound/2 .. bound; the
+///    first grid bucket spans 0 .. kFirstBound), so a single-bucket
+///    distribution interpolates across that bucket alone;
+///  * results are clamped to [min_value, max_value], which callers pass as
+///    the observed min/max (the overflow bucket's upper edge is max_value).
+double InterpolateBucketQuantile(
+    const std::vector<std::pair<double, std::uint64_t>>& cumulative,
+    std::uint64_t total, double q, double min_value,
+    double max_value) noexcept;
 
 /// Fixed-exponential-bucket histogram of non-negative values (seconds or
 /// bytes).  Buckets double from kFirstBound; values beyond the last bound

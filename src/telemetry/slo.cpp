@@ -1,0 +1,97 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace vinelet::telemetry {
+
+SloMonitor::SloMonitor(SloConfig config) : config_(std::move(config)) {
+  for (const SloTarget& target : config_.targets)
+    if (target.library == "*") default_target_ = target;
+}
+
+const SloTarget& SloMonitor::TargetFor(const std::string& library) const {
+  for (const SloTarget& target : config_.targets)
+    if (target.library == library) return target;
+  return default_target_;
+}
+
+void SloMonitor::Record(const std::string& library, double latency_s, bool ok,
+                        double now_s) {
+  if (!Enabled()) return;
+  const SloTarget& target = TargetFor(library);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& window = windows_[library];
+  window.push_back({now_s, latency_s, ok});
+  const double horizon = now_s - target.window_s;
+  while (!window.empty() && window.front().at_s < horizon) window.pop_front();
+}
+
+std::vector<SloSnapshot> SloMonitor::Snapshot(double now_s) const {
+  std::vector<SloSnapshot> out;
+  if (!Enabled()) return out;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> libraries;
+  for (const auto& [library, _] : windows_) libraries.insert(library);
+  for (const SloTarget& target : config_.targets)
+    if (target.library != "*") libraries.insert(target.library);
+  for (const std::string& library : libraries) {
+    const SloTarget& target = TargetFor(library);
+    SloSnapshot snap;
+    snap.library = library;
+    snap.latency_target_s = target.latency_target_s;
+    snap.target_fraction = target.target_fraction;
+    snap.min_goodput_per_s = target.min_goodput_per_s;
+    snap.window_s = target.window_s;
+
+    std::vector<double> latencies;
+    std::size_t good = 0;
+    auto it = windows_.find(library);
+    if (it != windows_.end()) {
+      auto& window = it->second;
+      const double horizon = now_s - target.window_s;
+      while (!window.empty() && window.front().at_s < horizon)
+        window.pop_front();
+      for (const Sample& sample : window) {
+        ++snap.samples;
+        const bool slow = target.latency_target_s > 0.0 &&
+                          sample.latency_s > target.latency_target_s;
+        if (!sample.ok || slow) ++snap.violations;
+        if (sample.ok) {
+          ++good;
+          latencies.push_back(sample.latency_s);
+        }
+      }
+    }
+    if (snap.samples > 0) {
+      snap.violation_fraction =
+          static_cast<double>(snap.violations) /
+          static_cast<double>(snap.samples);
+    }
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      auto at = [&](double q) {
+        const auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(latencies.size() - 1) + 0.5);
+        return latencies[std::min(idx, latencies.size() - 1)];
+      };
+      snap.p50_s = at(0.50);
+      snap.p99_s = at(0.99);
+    }
+    snap.goodput_per_s =
+        target.window_s > 0.0 ? static_cast<double>(good) / target.window_s
+                              : 0.0;
+    const double budget = 1.0 - target.target_fraction;
+    snap.burn_rate =
+        budget > 0.0 ? snap.violation_fraction / budget
+                     : (snap.violations > 0 ? 1e9 : 0.0);
+    snap.latency_breached = target.latency_target_s > 0.0 &&
+                            snap.samples > 0 && snap.burn_rate > 1.0;
+    snap.goodput_breached = target.min_goodput_per_s > 0.0 &&
+                            snap.goodput_per_s < target.min_goodput_per_s;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace vinelet::telemetry

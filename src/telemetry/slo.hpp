@@ -1,0 +1,102 @@
+// Declarative SLO monitoring for invocation latency and goodput.
+//
+// Operators declare per-library targets (latency bound at a percentile of
+// completions, minimum goodput) in SchedulerConfig-style structs; the
+// monitor keeps a sliding window of completion samples per library and
+// answers, at any instant, what fraction of the window violates the latency
+// bound and how fast the error budget is burning:
+//
+//   burn_rate = violation_fraction / (1 - target_fraction)
+//
+// burn_rate 1.0 means violations arrive exactly at the budgeted rate; above
+// 1.0 the SLO will be breached if the window is representative.  Snapshots
+// ride inside ClusterStatus so vinelet-status / vinelet-top render them and
+// CLI exit codes can gate on Breached().
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vinelet::telemetry {
+
+/// One declarative target.  `library` == "*" applies to every library that
+/// has no more specific target.
+struct SloTarget {
+  std::string library = "*";
+  /// Completions slower than this violate the SLO (<= 0 disables the
+  /// latency objective).
+  double latency_target_s = 0.0;
+  /// Fraction of completions that must meet the latency target.
+  double target_fraction = 0.99;
+  /// Minimum successful completions per second over the window (<= 0
+  /// disables the goodput objective).
+  double min_goodput_per_s = 0.0;
+  /// Sliding-window length in seconds.
+  double window_s = 30.0;
+};
+
+struct SloConfig {
+  std::vector<SloTarget> targets;
+
+  bool Enabled() const noexcept { return !targets.empty(); }
+};
+
+/// Point-in-time evaluation of one library against its target.
+struct SloSnapshot {
+  std::string library;
+  double latency_target_s = 0.0;
+  double target_fraction = 0.99;
+  double min_goodput_per_s = 0.0;
+  double window_s = 30.0;
+  std::size_t samples = 0;     // completions in the window
+  std::size_t violations = 0;  // failed or slower than the latency target
+  double violation_fraction = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double goodput_per_s = 0.0;  // successful completions / window_s
+  double burn_rate = 0.0;
+  bool latency_breached = false;
+  bool goodput_breached = false;
+
+  bool Breached() const noexcept { return latency_breached || goodput_breached; }
+};
+
+/// Sliding-window SLO evaluator.  Record() is called from the manager's
+/// event loop on every invocation resolution; Snapshot() from the status
+/// path.  Internally mutex-guarded — both paths are off the worker hot
+/// path.
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config);
+
+  bool Enabled() const noexcept { return !config_.targets.empty(); }
+
+  /// Records one resolved invocation.  `ok` is false for permanent
+  /// failures (they always count as violations).
+  void Record(const std::string& library, double latency_s, bool ok,
+              double now_s);
+
+  /// Evaluates every library seen so far (plus every explicitly targeted
+  /// library, so a silent library still reports goodput 0), sorted by name.
+  std::vector<SloSnapshot> Snapshot(double now_s) const;
+
+ private:
+  struct Sample {
+    double at_s;
+    double latency_s;
+    bool ok;
+  };
+
+  const SloTarget& TargetFor(const std::string& library) const;
+
+  SloConfig config_;
+  SloTarget default_target_;
+  mutable std::mutex mu_;
+  mutable std::map<std::string, std::deque<Sample>> windows_;
+};
+
+}  // namespace vinelet::telemetry

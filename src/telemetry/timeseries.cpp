@@ -1,0 +1,205 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "telemetry/export.hpp"
+
+namespace vinelet::telemetry {
+
+namespace {
+
+std::string Num(double value) {
+  char out[64];
+  std::snprintf(out, sizeof(out), "%.9g", value);
+  return out;
+}
+
+}  // namespace
+
+double WindowQuantile(const HistogramSnapshot& cur,
+                      const HistogramSnapshot& prev, double q) noexcept {
+  if (cur.count <= prev.count) return 0.0;
+  const std::uint64_t total = cur.count - prev.count;
+  // Diff the cumulative bucket counts.  Both snapshots live on the same
+  // fixed exponential grid, so bounds present in both compare exactly; a
+  // bound absent from `prev` simply had no observations yet (cumulative =
+  // the previous present bound's value).
+  std::vector<std::pair<double, std::uint64_t>> window;
+  window.reserve(cur.buckets.size());
+  std::size_t pi = 0;
+  std::uint64_t prev_cum = 0;
+  for (const auto& [bound, cum] : cur.buckets) {
+    while (pi < prev.buckets.size() && prev.buckets[pi].first <= bound) {
+      prev_cum = prev.buckets[pi].second;
+      ++pi;
+    }
+    const std::uint64_t wcum = cum > prev_cum ? cum - prev_cum : 0;
+    window.emplace_back(bound, std::min(wcum, total));
+  }
+  return InterpolateBucketQuantile(window, total, q, /*min_value=*/0.0,
+                                   cur.max);
+}
+
+TimeSeriesStore::TimeSeriesStore(const MetricsRegistry* registry,
+                                 TimeSeriesConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.window_s <= 0.0) config_.window_s = 1.0;
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+void TimeSeriesStore::SampleAt(double now_s) {
+  MetricsSnapshot cur = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_baseline_) {
+    has_baseline_ = true;
+    prev_t_ = now_s;
+    prev_ = std::move(cur);
+    return;
+  }
+  if (!(now_s > prev_t_)) return;
+
+  TimeSeriesWindow window;
+  window.seq = next_seq_++;
+  window.start_s = prev_t_;
+  window.end_s = now_s;
+  const double width = window.Width();
+
+  for (const auto& [name, total] : cur.counters) {
+    const std::uint64_t before = prev_.CounterValue(name);
+    CounterWindow c;
+    c.total = total;
+    c.delta = total > before ? total - before : 0;
+    c.rate = static_cast<double>(c.delta) / width;
+    window.counters.emplace(name, c);
+  }
+  for (const auto& [name, value] : cur.gauges)
+    window.gauges.emplace(name, value);
+  for (const auto& [name, snapshot] : cur.histograms) {
+    static const HistogramSnapshot kEmpty;
+    const HistogramSnapshot* before = prev_.HistogramFor(name);
+    if (before == nullptr) before = &kEmpty;
+    HistogramWindow h;
+    h.total_count = snapshot.count;
+    h.delta_count =
+        snapshot.count > before->count ? snapshot.count - before->count : 0;
+    h.p50 = WindowQuantile(snapshot, *before, 0.5);
+    h.p99 = WindowQuantile(snapshot, *before, 0.99);
+    h.p999 = WindowQuantile(snapshot, *before, 0.999);
+    window.histograms.emplace(name, h);
+  }
+
+  ring_.push_back(std::move(window));
+  while (ring_.size() > config_.capacity) ring_.pop_front();
+  prev_t_ = now_s;
+  prev_ = std::move(cur);
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TimeSeriesWindow> TimeSeriesStore::Windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string TimeSeriesStore::ToJsonLines() const {
+  const std::vector<TimeSeriesWindow> windows = Windows();
+  std::string out;
+  for (const TimeSeriesWindow& w : windows) {
+    out += "{\"seq\":" + std::to_string(w.seq) +
+           ",\"start_s\":" + Num(w.start_s) + ",\"end_s\":" + Num(w.end_s) +
+           ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : w.counters) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += JsonEscape(name);
+      out += "\":{\"total\":" + std::to_string(c.total) +
+             ",\"delta\":" + std::to_string(c.delta) +
+             ",\"rate\":" + Num(c.rate) + "}";
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, value] : w.gauges) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += JsonEscape(name);
+      out += "\":" + Num(value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : w.histograms) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += JsonEscape(name);
+      out += "\":{\"count\":" + std::to_string(h.total_count) +
+             ",\"delta\":" + std::to_string(h.delta_count) +
+             ",\"p50\":" + Num(h.p50) + ",\"p99\":" + Num(h.p99) +
+             ",\"p999\":" + Num(h.p999) + "}";
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+std::string TimeSeriesStore::ToChromeCounters(
+    std::string_view process_name) const {
+  const std::vector<TimeSeriesWindow> windows = Windows();
+  std::string out = "{\"traceEvents\":[";
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"" +
+         JsonEscape(process_name) + ":counters\"}}";
+  for (const TimeSeriesWindow& w : windows) {
+    const auto ts = static_cast<long long>(w.end_s * 1e6);
+    for (const auto& [name, c] : w.counters) {
+      out += ",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" +
+             std::to_string(ts) + ",\"name\":\"" + JsonEscape(name) +
+             "\",\"args\":{\"rate\":" + Num(c.rate) + "}}";
+    }
+    for (const auto& [name, value] : w.gauges) {
+      out += ",{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" +
+             std::to_string(ts) + ",\"name\":\"" + JsonEscape(name) +
+             "\",\"args\":{\"value\":" + Num(value) + "}}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+void BackgroundSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_ = false;
+  store_->SampleAt(clock_->Now());  // seed the baseline
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto interval = std::chrono::duration<double>(
+        store_->config().window_s);
+    while (!stop_) {
+      cv_.wait_for(lock, interval, [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      store_->SampleAt(clock_->Now());
+      lock.lock();
+    }
+  });
+}
+
+void BackgroundSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  store_->SampleAt(clock_->Now());  // close the tail window
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+}  // namespace vinelet::telemetry

@@ -1,0 +1,155 @@
+// Windowed time-series metrics: a sampler that periodically snapshots a
+// MetricsRegistry and turns the cumulative counters/gauges/histograms into
+// fixed-width windows — per-window deltas, rates, and per-window
+// p50/p99/p999 derived from cumulative-bucket diffs — kept in a bounded
+// ring.
+//
+// The store itself is clock-agnostic: SampleAt(now_s) takes an explicit
+// timestamp, so the real runtime drives it from a background thread on the
+// shared wall clock (BackgroundSampler below) while the DES drives the very
+// same store at virtual-time window boundaries — and both export the
+// identical JSON-lines schema (one window object per line) plus Chrome
+// trace_event counter ("C") records for chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace vinelet::telemetry {
+
+struct TimeSeriesConfig {
+  /// Nominal window width in seconds (wall or virtual).  SampleAt stamps
+  /// windows with their *actual* bounds, so a late sampler tick widens the
+  /// window instead of corrupting the rate.
+  double window_s = 1.0;
+  /// Windows retained in the ring; the oldest windows fall off first.
+  std::size_t capacity = 600;
+};
+
+/// One counter inside one window.
+struct CounterWindow {
+  std::uint64_t total = 0;  // cumulative at window end
+  std::uint64_t delta = 0;  // increments inside the window
+  double rate = 0.0;        // delta / window width
+};
+
+/// One histogram inside one window: per-window count and quantiles from the
+/// cumulative-bucket diff against the previous sample.
+struct HistogramWindow {
+  std::uint64_t total_count = 0;  // cumulative at window end
+  std::uint64_t delta_count = 0;  // observations inside the window
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+struct TimeSeriesWindow {
+  std::uint64_t seq = 0;  // 0-based window index since the first sample
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::map<std::string, CounterWindow> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramWindow> histograms;
+
+  double Width() const noexcept { return end_s - start_s; }
+};
+
+/// Per-window quantile from two cumulative snapshots of one histogram:
+/// the distribution of observations that landed between `prev` and `cur`
+/// (pass an empty/default `prev` for "since the beginning").  Exposed for
+/// tests and for callers diffing their own snapshots.
+double WindowQuantile(const HistogramSnapshot& cur,
+                      const HistogramSnapshot& prev, double q) noexcept;
+
+/// Bounded ring of metric windows over one registry.  Thread-safe: the
+/// sampler thread (or DES event) calls SampleAt while readers snapshot or
+/// export concurrently.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(const MetricsRegistry* registry,
+                           TimeSeriesConfig config = {});
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  const TimeSeriesConfig& config() const noexcept { return config_; }
+
+  /// Takes one sample at `now_s` and closes the window since the previous
+  /// sample.  The very first call only seeds the baseline snapshot and
+  /// produces no window.  Calls with now_s <= the previous sample time are
+  /// ignored (a stopped clock cannot produce a zero-width window).
+  void SampleAt(double now_s);
+
+  /// Copies the retained windows, oldest first.
+  std::vector<TimeSeriesWindow> Windows() const;
+
+  /// Windows ever closed (>= capacity means the ring has dropped some).
+  std::uint64_t samples() const noexcept {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+
+  /// One JSON object per line, oldest window first:
+  /// {"seq":0,"start_s":..,"end_s":..,"counters":{name:{"total":..,"delta":
+  /// ..,"rate":..}},"gauges":{name:..},"histograms":{name:{"count":..,
+  /// "delta":..,"p50":..,"p99":..,"p999":..}}}
+  std::string ToJsonLines() const;
+
+  /// Chrome trace_event counter records: one "C" event per (window, metric)
+  /// with counter rates and gauge values, mergeable into a span trace for
+  /// chrome://tracing's counter tracks.  Returns a complete
+  /// {"traceEvents":[...]} document.
+  std::string ToChromeCounters(std::string_view process_name = "vinelet") const;
+
+ private:
+  const MetricsRegistry* registry_;
+  TimeSeriesConfig config_;
+
+  mutable std::mutex mu_;
+  bool has_baseline_ = false;
+  double prev_t_ = 0.0;
+  MetricsSnapshot prev_;
+  std::uint64_t next_seq_ = 0;
+  std::deque<TimeSeriesWindow> ring_;
+  std::atomic<std::uint64_t> sampled_{0};
+};
+
+/// Drives a TimeSeriesStore from a dedicated thread on a real clock: one
+/// SampleAt(clock->Now()) every `store->config().window_s` seconds.  Start
+/// seeds the baseline immediately; Stop takes a final sample so the tail
+/// window is never lost.  The real runtime's counterpart of the DES's
+/// virtual-time sampling events.
+class BackgroundSampler {
+ public:
+  BackgroundSampler(TimeSeriesStore* store, const Clock* clock)
+      : store_(store), clock_(clock) {}
+  ~BackgroundSampler() { Stop(); }
+
+  BackgroundSampler(const BackgroundSampler&) = delete;
+  BackgroundSampler& operator=(const BackgroundSampler&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const noexcept { return running_; }
+
+ private:
+  TimeSeriesStore* store_;
+  const Clock* clock_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace vinelet::telemetry

@@ -272,6 +272,20 @@ ClusterStatus SampleStatus() {
   slow.straggler = true;
   status.workers = {fast, slow};
   status.cluster_median_p95_s = 0.010;
+  telemetry::SloSnapshot slo;
+  slo.library = "lnni";
+  slo.latency_target_s = 0.1;
+  slo.target_fraction = 0.95;
+  slo.window_s = 10.0;
+  slo.samples = 20;
+  slo.violations = 2;
+  slo.violation_fraction = 0.1;
+  slo.p50_s = 0.010;
+  slo.p99_s = 0.500;
+  slo.goodput_per_s = 2.0;
+  slo.burn_rate = 2.0;
+  slo.latency_breached = true;
+  status.slo = {slo};
   return status;
 }
 
@@ -296,6 +310,48 @@ TEST(ClusterStatusRenderTest, JsonIsValidAndFlagsTheStraggler) {
   EXPECT_NE(json.find("\"straggler\":false"), std::string::npos);
   EXPECT_NE(json.find("\"task_queue_depth\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"queued\":4"), std::string::npos);
+}
+
+TEST(ClusterStatusRenderTest, FormatRendersSloAndBreachFlag) {
+  const std::string text = FormatClusterStatus(SampleStatus());
+  EXPECT_NE(text.find("slo lnni: 20 sample(s), viol 0.100 (2)"),
+            std::string::npos);
+  EXPECT_NE(text.find("p50 0.010s, p99 0.500s, goodput 2.000/s, burn 2.000"),
+            std::string::npos);
+  EXPECT_NE(text.find("** SLO BREACH latency **"), std::string::npos);
+  // The breach flag disappears when the SLO is healthy.
+  ClusterStatus healthy = SampleStatus();
+  healthy.slo[0].latency_breached = false;
+  EXPECT_EQ(FormatClusterStatus(healthy).find("SLO BREACH"),
+            std::string::npos);
+}
+
+TEST(ClusterStatusRenderTest, JsonCarriesTheSloArrayRoundTrip) {
+  const std::string json = ClusterStatusToJson(SampleStatus());
+  ASSERT_TRUE(telemetry::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"slo\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"library\":\"lnni\""), std::string::npos);
+  EXPECT_NE(json.find("\"violation_fraction\":0.100"), std::string::npos);
+  EXPECT_NE(json.find("\"burn_rate\":2.000"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_breached\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_breached\":false"), std::string::npos);
+  // An empty SLO list still renders a valid (empty) array.
+  ClusterStatus quiet = SampleStatus();
+  quiet.slo.clear();
+  ASSERT_TRUE(telemetry::ValidateJson(ClusterStatusToJson(quiet)).ok());
+}
+
+TEST(ClusterStatusRenderTest, HealthPredicatesDriveTheCliExitCode) {
+  ClusterStatus status = SampleStatus();
+  EXPECT_TRUE(AnyStraggler(status));
+  EXPECT_TRUE(AnySloBreach(status));
+  status.workers[1].straggler = false;
+  status.slo[0].latency_breached = false;
+  EXPECT_FALSE(AnyStraggler(status));
+  EXPECT_FALSE(AnySloBreach(status));
+  status.slo[0].goodput_breached = true;
+  EXPECT_TRUE(AnySloBreach(status));
+  EXPECT_FALSE(AnySloBreach(ClusterStatus{}));
 }
 
 }  // namespace

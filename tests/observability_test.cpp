@@ -1,0 +1,470 @@
+// Continuous-observability unit tests: bucket-quantile interpolation, the
+// windowed time-series store (real and manual clocks), critical-path blame
+// attribution, and the sliding-window SLO monitor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "telemetry/critical_path.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace vinelet::telemetry {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// InterpolateBucketQuantile: the table-driven contract
+// ---------------------------------------------------------------------------
+
+TEST(BucketQuantileTest, TableDrivenContract) {
+  // A mid-grid bucket with known edges: bound B spans (B/2, B].
+  const double b20 = Histogram::BucketBound(20);
+  const double b21 = Histogram::BucketBound(21);
+  ASSERT_DOUBLE_EQ(b21, 2 * b20);
+
+  struct Case {
+    const char* label;
+    std::vector<std::pair<double, std::uint64_t>> cumulative;
+    std::uint64_t total;
+    double q;
+    double min_value;
+    double max_value;
+    double want;
+  };
+  const Case cases[] = {
+      {"empty histogram", {}, 0, 0.5, 0.0, 0.0, 0.0},
+      // Single bucket: q interpolates across that bucket's true grid edges.
+      {"single bucket q=0", {{b20, 10}}, 10, 0.0, 0.0, b20, b20 / 2},
+      {"single bucket q=0.5", {{b20, 10}}, 10, 0.5, 0.0, b20, 0.75 * b20},
+      {"single bucket q=1", {{b20, 10}}, 10, 1.0, 0.0, b20, b20},
+      // First grid bucket spans 0 .. kFirstBound.
+      {"first bucket q=0",
+       {{Histogram::kFirstBound, 4}},
+       4,
+       0.0,
+       0.0,
+       Histogram::kFirstBound,
+       0.0},
+      {"first bucket q=0.5",
+       {{Histogram::kFirstBound, 4}},
+       4,
+       0.5,
+       0.0,
+       Histogram::kFirstBound,
+       Histogram::kFirstBound / 2},
+      // A rank exactly on a bucket boundary returns that boundary: rank
+      // q*total = 5 exhausts the first bucket precisely.
+      {"boundary rank", {{b20, 5}, {b21, 10}}, 10, 0.5, 0.0, b21, b20},
+      // Half way through the second bucket's two observations.
+      {"interpolate second bucket",
+       {{b20, 5}, {b21, 10}},
+       10,
+       0.75,
+       0.0,
+       b21,
+       b20 + 0.5 * (b21 - b20)},
+      // Overflow bucket: upper edge is the observed max.
+      {"overflow q=1", {{b20, 5}, {kInf, 10}}, 10, 1.0, 0.0, 3.0, 3.0},
+      // Clamped to the observed extremes.
+      {"clamp to min", {{b20, 10}}, 10, 0.0, 0.6 * b20, b20, 0.6 * b20},
+      {"clamp to max", {{b20, 10}}, 10, 1.0, 0.0, 0.9 * b20, 0.9 * b20},
+  };
+  for (const Case& c : cases) {
+    EXPECT_NEAR(InterpolateBucketQuantile(c.cumulative, c.total, c.q,
+                                          c.min_value, c.max_value),
+                c.want, 1e-12 + 1e-9 * std::abs(c.want))
+        << c.label;
+  }
+}
+
+TEST(BucketQuantileTest, SnapshotQuantilesAreOrderedAndBounded) {
+  Histogram hist;
+  for (int i = 0; i < 999; ++i) hist.Observe(0.001);
+  hist.Observe(10.0);
+  const HistogramSnapshot snap = hist.Snapshot();
+  const double p50 = snap.Quantile(0.50);
+  const double p99 = snap.Quantile(0.99);
+  const double p999 = snap.Quantile(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_GE(p50, snap.min);
+  EXPECT_LE(p999, snap.max);
+  // The single 10s outlier only surfaces beyond the 99.9th percentile.
+  EXPECT_LT(p99, 0.01);
+  EXPECT_NEAR(snap.Quantile(1.0), 10.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesStore
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, FirstSampleSeedsBaselineOnly) {
+  MetricsRegistry registry;
+  Counter& ops = registry.GetCounter("ops");
+  ops.Add(7);  // pre-existing counts must not leak into the first window
+  TimeSeriesStore store(&registry);
+  store.SampleAt(0.0);
+  EXPECT_TRUE(store.Windows().empty());
+  EXPECT_EQ(store.samples(), 0u);
+
+  ops.Add(5);
+  store.SampleAt(2.0);
+  const auto windows = store.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].seq, 0u);
+  EXPECT_DOUBLE_EQ(windows[0].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(windows[0].end_s, 2.0);
+  const CounterWindow& w = windows[0].counters.at("ops");
+  EXPECT_EQ(w.total, 12u);
+  EXPECT_EQ(w.delta, 5u);
+  EXPECT_DOUBLE_EQ(w.rate, 2.5);
+}
+
+TEST(TimeSeriesTest, StoppedClockProducesNoWindow) {
+  MetricsRegistry registry;
+  registry.GetCounter("ops").Add(1);
+  TimeSeriesStore store(&registry);
+  store.SampleAt(1.0);
+  store.SampleAt(1.0);  // same instant: ignored
+  store.SampleAt(0.5);  // going backwards: ignored
+  EXPECT_TRUE(store.Windows().empty());
+  store.SampleAt(2.0);
+  EXPECT_EQ(store.Windows().size(), 1u);
+}
+
+TEST(TimeSeriesTest, RingDropsOldestBeyondCapacity) {
+  MetricsRegistry registry;
+  Counter& ops = registry.GetCounter("ops");
+  TimeSeriesConfig config;
+  config.capacity = 4;
+  TimeSeriesStore store(&registry, config);
+  store.SampleAt(0.0);
+  for (int i = 1; i <= 10; ++i) {
+    ops.Add(static_cast<std::uint64_t>(i));
+    store.SampleAt(static_cast<double>(i));
+  }
+  EXPECT_EQ(store.samples(), 10u);
+  const auto windows = store.Windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.front().seq, 6u);
+  EXPECT_EQ(windows.back().seq, 9u);
+  EXPECT_EQ(windows.back().counters.at("ops").delta, 10u);
+}
+
+TEST(TimeSeriesTest, HistogramWindowsSeeOnlyTheirObservations) {
+  MetricsRegistry registry;
+  Histogram& latency = registry.GetHistogram("latency_s");
+  TimeSeriesStore store(&registry);
+  store.SampleAt(0.0);
+  for (int i = 0; i < 100; ++i) latency.Observe(0.001);
+  store.SampleAt(1.0);
+  for (int i = 0; i < 100; ++i) latency.Observe(1.0);
+  store.SampleAt(2.0);
+
+  const auto windows = store.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  const HistogramWindow& first = windows[0].histograms.at("latency_s");
+  const HistogramWindow& second = windows[1].histograms.at("latency_s");
+  EXPECT_EQ(first.delta_count, 100u);
+  EXPECT_EQ(second.delta_count, 100u);
+  EXPECT_EQ(second.total_count, 200u);
+  // The second window's percentiles reflect the 1.0s observations alone:
+  // the cumulative p50 would sit between the two modes.
+  EXPECT_LT(first.p50, 0.01);
+  EXPECT_GT(second.p50, 0.5);
+  EXPECT_LE(first.p50, first.p99);
+  EXPECT_LE(first.p99, first.p999);
+}
+
+TEST(TimeSeriesTest, WindowQuantileDiffsCumulativeSnapshots) {
+  Histogram hist;
+  for (int i = 0; i < 50; ++i) hist.Observe(0.001);
+  const HistogramSnapshot before = hist.Snapshot();
+  for (int i = 0; i < 50; ++i) hist.Observe(1.0);
+  const HistogramSnapshot after = hist.Snapshot();
+
+  EXPECT_GT(WindowQuantile(after, before, 0.5), 0.5);    // window: all 1.0s
+  EXPECT_LT(WindowQuantile(after, HistogramSnapshot{}, 0.25), 0.01);
+  const double overall_p50 = WindowQuantile(after, HistogramSnapshot{}, 0.5);
+  EXPECT_GT(overall_p50, 0.0);
+  EXPECT_EQ(WindowQuantile(before, after, 0.5), 0.0);  // empty/negative diff
+}
+
+TEST(TimeSeriesTest, ExportsValidateLineByLine) {
+  MetricsRegistry registry;
+  Counter& ops = registry.GetCounter("ops");
+  registry.GetGauge("active").Set(3.0);
+  Histogram& latency = registry.GetHistogram("latency_s");
+  TimeSeriesStore store(&registry);
+  store.SampleAt(0.0);
+  for (int i = 1; i <= 3; ++i) {
+    ops.Add(2);
+    latency.Observe(0.01 * i);
+    store.SampleAt(static_cast<double>(i));
+  }
+
+  const std::string jsonl = store.ToJsonLines();
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(ValidateJson(line).ok()) << line;
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(line.find("\"counters\":"), std::string::npos);
+    EXPECT_NE(line.find("\"p999\":"), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, store.Windows().size());
+
+  const std::string chrome = store.ToChromeCounters("test");
+  auto check = ValidateChromeTrace(chrome);
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_GT(check->counters, 0u);
+  EXPECT_EQ(check->events, 0u);  // counter samples only, no spans
+}
+
+TEST(TimeSeriesTest, BackgroundSamplerOnManualClock) {
+  MetricsRegistry registry;
+  Counter& ops = registry.GetCounter("ops");
+  ManualClock clock;
+  clock.Set(5.0);
+  TimeSeriesConfig config;
+  config.window_s = 3600.0;  // the thread sleeps; Start/Stop do the samples
+  TimeSeriesStore store(&registry, config);
+  {
+    BackgroundSampler sampler(&store, &clock);
+    sampler.Start();  // seeds the baseline at t=5
+    ops.Add(42);
+    clock.Set(7.0);
+  }  // destructor Stop()s, taking the final sample at t=7
+  const auto windows = store.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].start_s, 5.0);
+  EXPECT_DOUBLE_EQ(windows[0].end_s, 7.0);
+  EXPECT_EQ(windows[0].counters.at("ops").delta, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// CriticalPathAnalyzer
+// ---------------------------------------------------------------------------
+
+SpanRecord MakeSpan(std::uint64_t trace, std::uint64_t span,
+                    std::uint64_t parent, const char* name, const char* track,
+                    double start, double end) {
+  SpanRecord record;
+  record.name = name;
+  record.category = "test";
+  record.track = track;
+  record.id = span;
+  record.start_s = start;
+  record.end_s = end;
+  record.trace_id = trace;
+  record.span_id = span;
+  record.parent_span_id = parent;
+  return record;
+}
+
+TEST(CriticalPathTest, DisjointChainMatchesAggregateAndRecoversPath) {
+  const std::vector<SpanRecord> spans = {
+      MakeSpan(1, 10, 0, "submit", "manager", 0.0, 1.0),
+      MakeSpan(1, 11, 10, "dispatch", "manager", 1.0, 2.0),
+      MakeSpan(1, 12, 11, "exec", "worker-0", 2.0, 5.0),
+  };
+  const TraceBlame blame = CriticalPathAnalyzer().AnalyzeTrace(spans);
+  EXPECT_DOUBLE_EQ(blame.Makespan(), 5.0);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("submit"), 1.0);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("dispatch"), 1.0);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("exec"), 3.0);
+  EXPECT_EQ(blame.phase_s.count(kIdlePhase), 0u);
+  EXPECT_DOUBLE_EQ(blame.track_s.at("manager"), 2.0);
+  EXPECT_DOUBLE_EQ(blame.track_s.at("worker-0"), 3.0);
+
+  // Disjoint spans: blame equals the plain per-phase sum.
+  const PhaseTotals agg = AggregatePhases(spans);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("exec"), agg.exec_s);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("submit"), agg.submit_s);
+
+  ASSERT_EQ(blame.critical_path.size(), 3u);
+  EXPECT_EQ(blame.critical_path[0].name, "submit");
+  EXPECT_EQ(blame.critical_path[1].name, "dispatch");
+  EXPECT_EQ(blame.critical_path[2].name, "exec");
+  EXPECT_DOUBLE_EQ(blame.critical_path[2].self_s, 3.0);
+}
+
+TEST(CriticalPathTest, UncoveredGapsBecomeIdle) {
+  const std::vector<SpanRecord> spans = {
+      MakeSpan(1, 10, 0, "submit", "manager", 0.0, 1.0),
+      MakeSpan(1, 11, 10, "exec", "worker-0", 3.0, 5.0),
+  };
+  const TraceBlame blame = CriticalPathAnalyzer().AnalyzeTrace(spans);
+  EXPECT_DOUBLE_EQ(blame.Makespan(), 5.0);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at(kIdlePhase), 2.0);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("submit"), 1.0);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("exec"), 2.0);
+  // Idle time lands on no track.
+  double track_total = 0.0;
+  for (const auto& [track, seconds] : blame.track_s) track_total += seconds;
+  EXPECT_DOUBLE_EQ(track_total, 3.0);
+}
+
+TEST(CriticalPathTest, NestedSpansAttributeSelfTimeToTheChild) {
+  // exec covers [0,10]; a nested deserialize covers [2,4].  The child is
+  // later-started, so those two seconds are its self time, not the parent's.
+  const std::vector<SpanRecord> spans = {
+      MakeSpan(1, 10, 0, "exec", "worker-0", 0.0, 10.0),
+      MakeSpan(1, 11, 10, "deserialize", "worker-0", 2.0, 4.0),
+  };
+  const TraceBlame blame = CriticalPathAnalyzer().AnalyzeTrace(spans);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("exec"), 8.0);
+  EXPECT_DOUBLE_EQ(blame.phase_s.at("deserialize"), 2.0);
+  // No double counting: attribution sums to the makespan.
+  double total = 0.0;
+  for (const auto& [phase, seconds] : blame.phase_s) total += seconds;
+  EXPECT_DOUBLE_EQ(total, blame.Makespan());
+}
+
+TEST(CriticalPathTest, ReportAggregatesOrphansWorstAndShares) {
+  std::vector<SpanRecord> spans = {
+      MakeSpan(1, 10, 0, "exec", "worker-0", 0.0, 1.0),
+      MakeSpan(2, 20, 0, "exec", "worker-1", 0.0, 3.0),
+      MakeSpan(3, 30, 0, "exec", "worker-0", 0.0, 2.0),
+      MakeSpan(0, 40, 0, "exec", "worker-9", 0.0, 50.0),  // orphan
+  };
+  CriticalPathAnalyzer::Options options;
+  options.max_worst = 2;
+  const BlameReport report = CriticalPathAnalyzer(options).Analyze(spans);
+  EXPECT_EQ(report.traces, 3u);
+  EXPECT_EQ(report.spans, 3u);
+  EXPECT_EQ(report.orphan_spans, 1u);
+  EXPECT_DOUBLE_EQ(report.total_makespan_s, 6.0);
+  EXPECT_DOUBLE_EQ(report.PhaseSeconds("exec"), 6.0);
+  EXPECT_DOUBLE_EQ(report.PhaseShare("exec"), 1.0);
+  ASSERT_EQ(report.worst.size(), 2u);
+  EXPECT_EQ(report.worst[0].trace_id, 2u);
+  EXPECT_DOUBLE_EQ(report.worst[0].Makespan(), 3.0);
+  EXPECT_EQ(report.worst[1].trace_id, 3u);
+
+  const std::string json = BlameReportToJson(report);
+  ASSERT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"traces\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"orphan_spans\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+}
+
+TEST(CriticalPathTest, EmptyStreamYieldsEmptyReport) {
+  const BlameReport report = CriticalPathAnalyzer().Analyze({});
+  EXPECT_EQ(report.traces, 0u);
+  EXPECT_DOUBLE_EQ(report.total_makespan_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.PhaseShare("exec"), 0.0);
+  EXPECT_TRUE(ValidateJson(BlameReportToJson(report)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor
+// ---------------------------------------------------------------------------
+
+SloConfig LnniSlo(double latency_s, double fraction, double goodput,
+                  double window_s) {
+  SloTarget target;
+  target.library = "lnni";
+  target.latency_target_s = latency_s;
+  target.target_fraction = fraction;
+  target.min_goodput_per_s = goodput;
+  target.window_s = window_s;
+  return SloConfig{{target}};
+}
+
+TEST(SloMonitorTest, ViolationFractionAndBurnRate) {
+  SloMonitor monitor(LnniSlo(0.1, 0.95, 0.0, 10.0));
+  for (int i = 0; i < 18; ++i) monitor.Record("lnni", 0.01, true, 1.0);
+  for (int i = 0; i < 2; ++i) monitor.Record("lnni", 0.5, true, 1.0);
+  const auto snapshots = monitor.Snapshot(2.0);
+  ASSERT_EQ(snapshots.size(), 1u);
+  const SloSnapshot& s = snapshots[0];
+  EXPECT_EQ(s.library, "lnni");
+  EXPECT_EQ(s.samples, 20u);
+  EXPECT_EQ(s.violations, 2u);
+  EXPECT_DOUBLE_EQ(s.violation_fraction, 0.1);
+  // 10% violations against a 5% error budget: burning at 2x.
+  EXPECT_NEAR(s.burn_rate, 2.0, 1e-9);
+  EXPECT_TRUE(s.latency_breached);
+  EXPECT_FALSE(s.goodput_breached);
+  EXPECT_TRUE(s.Breached());
+  EXPECT_NEAR(s.p50_s, 0.01, 0.05);
+  EXPECT_DOUBLE_EQ(s.goodput_per_s, 2.0);  // 20 good completions / 10s
+}
+
+TEST(SloMonitorTest, WithinBudgetIsNotBreached) {
+  SloMonitor monitor(LnniSlo(0.1, 0.95, 0.0, 10.0));
+  for (int i = 0; i < 99; ++i) monitor.Record("lnni", 0.01, true, 1.0);
+  monitor.Record("lnni", 0.5, true, 1.0);  // 1% violations < 5% budget
+  const auto snapshots = monitor.Snapshot(2.0);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_LT(snapshots[0].burn_rate, 1.0);
+  EXPECT_FALSE(snapshots[0].Breached());
+}
+
+TEST(SloMonitorTest, WindowEvictsOldSamples) {
+  SloMonitor monitor(LnniSlo(0.1, 0.95, 0.0, 10.0));
+  monitor.Record("lnni", 0.5, true, 0.0);   // violation, will age out
+  monitor.Record("lnni", 0.01, true, 14.0);  // stays in the window at t=20
+  const auto snapshots = monitor.Snapshot(20.0);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].samples, 1u);
+  EXPECT_EQ(snapshots[0].violations, 0u);
+  EXPECT_FALSE(snapshots[0].Breached());
+}
+
+TEST(SloMonitorTest, FailuresAlwaysViolate) {
+  SloMonitor monitor(LnniSlo(0.0, 0.95, 0.0, 10.0));  // no latency objective
+  monitor.Record("lnni", 0.001, false, 1.0);
+  const auto snapshots = monitor.Snapshot(1.0);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].violations, 1u);
+  // With no latency objective the failure never trips latency_breached.
+  EXPECT_FALSE(snapshots[0].latency_breached);
+}
+
+TEST(SloMonitorTest, GoodputFloorBreachesAndSilentLibraryIsListed) {
+  SloMonitor monitor(LnniSlo(0.0, 0.95, 5.0, 10.0));
+  for (int i = 0; i < 10; ++i) monitor.Record("lnni", 0.01, true, 1.0);
+  const auto snapshots = monitor.Snapshot(2.0);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshots[0].goodput_per_s, 1.0);  // 10 / 10s < 5/s
+  EXPECT_TRUE(snapshots[0].goodput_breached);
+
+  // A targeted library with no traffic at all still reports (goodput 0).
+  SloMonitor idle(LnniSlo(0.0, 0.95, 5.0, 10.0));
+  const auto idle_snapshots = idle.Snapshot(1.0);
+  ASSERT_EQ(idle_snapshots.size(), 1u);
+  EXPECT_EQ(idle_snapshots[0].samples, 0u);
+  EXPECT_TRUE(idle_snapshots[0].goodput_breached);
+}
+
+TEST(SloMonitorTest, WildcardTargetCoversUnlistedLibraries) {
+  SloTarget wildcard;
+  wildcard.library = "*";
+  wildcard.latency_target_s = 0.1;
+  wildcard.target_fraction = 0.5;
+  wildcard.window_s = 10.0;
+  SloMonitor monitor(SloConfig{{wildcard}});
+  monitor.Record("examol", 0.5, true, 1.0);
+  const auto snapshots = monitor.Snapshot(1.0);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].library, "examol");
+  EXPECT_EQ(snapshots[0].violations, 1u);
+  EXPECT_TRUE(snapshots[0].latency_breached);
+}
+
+}  // namespace
+}  // namespace vinelet::telemetry

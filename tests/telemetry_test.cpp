@@ -380,6 +380,38 @@ TEST(FlightRecorderTest, RingWrapsKeepingMostRecent) {
     EXPECT_EQ(events[i].a, 6 + i);
 }
 
+TEST(FlightRecorderTest, ConcurrentWritersWrapKeepingRecentTickets) {
+  // Many writers share one small ring; every Record carries a globally
+  // ordered ticket.  After the dust settles the ring must hold exactly
+  // `capacity` events, all from the most recent tickets — wraparound under
+  // contention may interleave but never resurrects old entries.
+  constexpr std::size_t kCapacity = 32;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  FlightRecorder flight(kCapacity);
+  std::atomic<std::uint64_t> ticket{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i)
+        flight.Record("tick", "", 0, ticket.fetch_add(1));
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(flight.recorded(), total);
+  const auto events = flight.Dump();
+  ASSERT_EQ(events.size(), kCapacity);
+  // A writer can stall between taking its ticket and recording it, so each
+  // thread may displace one recent ticket with a slightly older one.
+  const std::uint64_t oldest_allowed = total - kCapacity - kThreads;
+  for (const auto& event : events) {
+    EXPECT_GE(event.a, oldest_allowed);
+    EXPECT_LT(event.a, total);
+  }
+}
+
 TEST(FlightRecorderTest, ConcurrentRecordAndDumpNeverTears) {
   FlightRecorder flight(64);
   constexpr int kThreads = 4;
