@@ -10,17 +10,291 @@
 // into a critical-path blame report cross-checked against AggregatePhases
 // (BENCH_fig8_invocation_runtime.blame.json).  CI validates both with
 // scripts/check_critical_path.py.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "apps/demo_registry.hpp"
 #include "bench/bench_util.hpp"
+#include "core/factory.hpp"
+#include "core/manager.hpp"
+#include "core/worker.hpp"
+#include "net/network.hpp"
+#include "net/tcp_transport.hpp"
+#include "poncho/analyzer.hpp"
 #include "sim/engine.hpp"
 #include "sim/workload.hpp"
 #include "telemetry/critical_path.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/timeseries.hpp"
+
+// ---------------------------------------------------------------------------
+// Real-runtime leg (--runtime): the same LNNI shape through the actual
+// manager/worker runtime instead of the DES, over either the in-process
+// bus or real TCP sockets.  Used by CI to check that the TCP transport
+// does not distort the Figure 8 workload: both legs run the identical
+// workload and the makespans must agree within tolerance (the workload is
+// execution-bound, so transport cost should be noise).
+// ---------------------------------------------------------------------------
+
+namespace runtime_leg {
+
+using namespace vinelet;
+using serde::Value;
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct LegResult {
+  double makespan_s = 0.0;
+  double mean_exec_s = 0.0;
+  int failed = 0;
+};
+
+/// Broadcast weights, install the LNNI library, fan out `invocations`
+/// calls, and drain.  The manager must already see its workers.
+Result<LegResult> DriveWorkload(core::Manager& manager, int invocations) {
+  const apps::LnniConfig lnni = apps::DemoLnniConfig();
+  poncho::Analyzer analyzer(poncho::PackageCatalog::SyntheticMlCatalog(0.005));
+  auto env = analyzer.AnalyzeImports({"ml-inference"});
+  if (!env.ok()) return env.status();
+  auto env_decl = manager.DeclareBlob("env", env->tarball,
+                                      storage::FileKind::kEnvironment,
+                                      /*cache=*/true, /*peer_transfer=*/true,
+                                      /*unpack=*/true);
+  auto weights_decl =
+      manager.DeclareBlob(lnni.weights_file, apps::MakeLnniWeightsBlob(lnni),
+                          storage::FileKind::kData, /*cache=*/true);
+  const double started_s = NowS();
+  (void)manager.BroadcastFile(weights_decl);
+  auto spec = manager.CreateLibraryFromFunctions("lnni", {"lnni_infer"},
+                                                 "lnni_setup", Value());
+  if (!spec.ok()) return spec.status();
+  manager.AddLibraryInput(*spec, env_decl);
+  manager.AddLibraryInput(*spec, weights_decl);
+  spec->slots = 4;
+  VINELET_RETURN_IF_ERROR(manager.InstallLibrary(*spec));
+  std::vector<core::FuturePtr> futures;
+  futures.reserve(static_cast<std::size_t>(invocations));
+  for (int i = 0; i < invocations; ++i) {
+    futures.push_back(manager.SubmitCall(
+        "lnni", "lnni_infer",
+        Value::Dict({{"count", Value(8)}, {"seed", Value(i)}})));
+  }
+  VINELET_RETURN_IF_ERROR(manager.WaitAll(120.0));
+  LegResult leg;
+  leg.makespan_s = NowS() - started_s;
+  double exec_total = 0.0;
+  for (const auto& future : futures) {
+    auto outcome = future->Wait();
+    if (!outcome.ok()) {
+      ++leg.failed;
+      continue;
+    }
+    exec_total += outcome->timing.exec_s;
+  }
+  if (invocations > leg.failed)
+    leg.mean_exec_s = exec_total / (invocations - leg.failed);
+  return leg;
+}
+
+/// In-process leg: manager + factory workers over the in-process bus.
+Result<LegResult> RunInProcess(const serde::FunctionRegistry& registry,
+                               telemetry::Telemetry* telemetry,
+                               std::size_t workers, int invocations) {
+  auto network = std::make_shared<net::Network>();
+  core::ManagerConfig manager_config;
+  manager_config.registry = &registry;
+  manager_config.telemetry = telemetry;
+  core::Manager manager(network, manager_config);
+  VINELET_RETURN_IF_ERROR(manager.Start());
+  core::FactoryConfig factory_config;
+  factory_config.initial_workers = workers;
+  factory_config.registry = &registry;
+  factory_config.telemetry = &manager.telemetry();
+  core::Factory factory(network, factory_config);
+  VINELET_RETURN_IF_ERROR(factory.Start());
+  VINELET_RETURN_IF_ERROR(manager.WaitForWorkers(workers, 30.0));
+  auto leg = DriveWorkload(manager, invocations);
+  manager.Stop();
+  factory.Stop();
+  return leg;
+}
+
+/// TCP leg: a real hub socket plus one node transport per worker — every
+/// frame crosses a loopback socket even though the processes are threads.
+Result<LegResult> RunOverTcp(const serde::FunctionRegistry& registry,
+                             telemetry::Telemetry* telemetry,
+                             std::size_t workers, int invocations) {
+  net::TcpTransportConfig hub_config;
+  auto hub = std::make_shared<net::TcpTransport>(hub_config);
+  VINELET_RETURN_IF_ERROR(hub->Start());
+  core::ManagerConfig manager_config;
+  manager_config.registry = &registry;
+  manager_config.telemetry = telemetry;
+  core::Manager manager(hub, manager_config);
+  Status status = manager.Start();
+  if (!status.ok()) {
+    hub->Shutdown();
+    return status;
+  }
+  std::vector<std::shared_ptr<net::TcpTransport>> nodes;
+  std::vector<std::unique_ptr<core::Worker>> worker_objs;
+  auto teardown = [&] {
+    manager.Stop();
+    for (auto& w : worker_objs) w->Stop();
+    for (auto& node : nodes) node->Shutdown();
+    hub->Shutdown();
+  };
+  for (std::size_t i = 0; i < workers; ++i) {
+    net::TcpTransportConfig node_config;
+    node_config.hub_host = "127.0.0.1";
+    node_config.hub_port = hub->listen_port();
+    auto node = std::make_shared<net::TcpTransport>(node_config);
+    if (Status node_status = node->Start(); !node_status.ok()) {
+      teardown();
+      return node_status;
+    }
+    nodes.push_back(node);
+    core::WorkerConfig worker_config;
+    worker_config.id = static_cast<core::WorkerId>(i + 1);
+    worker_config.registry = &registry;
+    worker_config.telemetry = &manager.telemetry();
+    worker_objs.push_back(std::make_unique<core::Worker>(node, worker_config));
+    if (Status worker_status = worker_objs.back()->Start();
+        !worker_status.ok()) {
+      teardown();
+      return worker_status;
+    }
+  }
+  if (Status wait_status = manager.WaitForWorkers(workers, 30.0);
+      !wait_status.ok()) {
+    teardown();
+    return wait_status;
+  }
+  auto leg = DriveWorkload(manager, invocations);
+  teardown();
+  return leg;
+}
+
+/// Hub-for-external-workers leg (--listen): real cross-process deployment.
+Result<LegResult> RunAsHub(const serde::FunctionRegistry& registry,
+                           telemetry::Telemetry* telemetry, std::uint16_t port,
+                           std::size_t workers, int invocations) {
+  net::TcpTransportConfig hub_config;
+  hub_config.listen_port = port;
+  auto hub = std::make_shared<net::TcpTransport>(hub_config);
+  VINELET_RETURN_IF_ERROR(hub->Start());
+  core::ManagerConfig manager_config;
+  manager_config.registry = &registry;
+  manager_config.telemetry = telemetry;
+  core::Manager manager(hub, manager_config);
+  Status status = manager.Start();
+  if (!status.ok()) {
+    hub->Shutdown();
+    return status;
+  }
+  std::printf("[runtime] hub on port %u, waiting for %zu workerd(s)\n",
+              hub->listen_port(), workers);
+  std::fflush(stdout);
+  if (Status wait_status = manager.WaitForWorkers(workers, 60.0);
+      !wait_status.ok()) {
+    manager.Stop();
+    hub->Shutdown();
+    return wait_status;
+  }
+  auto leg = DriveWorkload(manager, invocations);
+  // Per-connection counters prove the traffic really crossed sockets.
+  for (const auto& conn : hub->ConnectionsSnapshot()) {
+    std::printf("[runtime] conn peer %llu %s: sent %llu B, recv %llu B, "
+                "stalls %llu\n",
+                static_cast<unsigned long long>(conn.peer),
+                conn.remote_addr.c_str(),
+                static_cast<unsigned long long>(conn.bytes_sent),
+                static_cast<unsigned long long>(conn.bytes_received),
+                static_cast<unsigned long long>(conn.backpressure_stalls));
+  }
+  manager.Stop();
+  hub->Shutdown();
+  return leg;
+}
+
+/// Tolerance for TCP vs in-process agreement (see EXPERIMENTS.md): the
+/// smoke workload is execution-bound, so real-socket overhead must stay
+/// inside 2x plus a fixed 0.5 s slack for connection setup.
+bool WithinTolerance(const LegResult& inproc, const LegResult& tcp) {
+  return tcp.makespan_s <= 2.0 * inproc.makespan_s + 0.5;
+}
+
+int Main(bool smoke, std::uint16_t listen_port, std::size_t ext_workers) {
+  const std::size_t workers = smoke ? 2 : 4;
+  const int invocations = smoke ? 48 : 500;
+  serde::FunctionRegistry registry;
+  if (Status status = apps::RegisterDemoFunctions(registry); !status.ok()) {
+    std::printf("register failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  // With VINELET_TRACE set, the real runtime's spans (manager + workers
+  // share the session telemetry) export to BENCH_fig8_runtime_leg.trace.json
+  // for the same causal-schema gate the DES trace goes through.
+  bench::TraceSession session("fig8_runtime_leg");
+  if (listen_port != 0) {
+    auto leg = RunAsHub(registry, session.telemetry(), listen_port,
+                        ext_workers, invocations);
+    if (!leg.ok()) {
+      std::printf("[runtime] hub leg failed: %s\n",
+                  leg.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[runtime] cross-process: %d invocation(s), makespan %.3f s, "
+                "mean exec %.4f s, failed %d\n",
+                invocations, leg->makespan_s, leg->mean_exec_s, leg->failed);
+    return leg->failed == 0 ? 0 : 1;
+  }
+
+  bench::Table table({"Leg", "Workers", "Invocations", "Makespan (s)",
+                      "Mean exec (s)", "Failed"});
+  auto inproc =
+      RunInProcess(registry, session.telemetry(), workers, invocations);
+  if (!inproc.ok()) {
+    std::printf("[runtime] in-process leg failed: %s\n",
+                inproc.status().ToString().c_str());
+    return 1;
+  }
+  table.AddRow({"in-process", std::to_string(workers),
+                std::to_string(invocations),
+                FormatDouble(inproc->makespan_s, 3),
+                FormatDouble(inproc->mean_exec_s, 4),
+                std::to_string(inproc->failed)});
+  auto tcp = RunOverTcp(registry, session.telemetry(), workers, invocations);
+  if (!tcp.ok()) {
+    std::printf("[runtime] tcp leg failed: %s\n",
+                tcp.status().ToString().c_str());
+    return 1;
+  }
+  table.AddRow({"tcp-loopback", std::to_string(workers),
+                std::to_string(invocations),
+                FormatDouble(tcp->makespan_s, 3),
+                FormatDouble(tcp->mean_exec_s, 4),
+                std::to_string(tcp->failed)});
+  table.Print();
+  const bool ok = inproc->failed == 0 && tcp->failed == 0 &&
+                  WithinTolerance(*inproc, *tcp);
+  std::printf("[runtime] tcp/in-process makespan ratio %.2f (tolerance: "
+              "<= 2.0x + 0.5 s) -> %s\n",
+              inproc->makespan_s > 0 ? tcp->makespan_s / inproc->makespan_s
+                                     : 0.0,
+              ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace runtime_leg
 
 int main(int argc, char** argv) {
   using namespace vinelet;
@@ -29,9 +303,22 @@ int main(int argc, char** argv) {
   // enough to exercise every trace-emitting code path, small enough for a
   // gating job.  The full run reproduces the paper's 10k x 100 setup.
   bool smoke = false;
+  bool runtime = false;
+  std::uint16_t listen_port = 0;
+  std::size_t ext_workers = 2;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--runtime") == 0) {
+      runtime = true;
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      runtime = true;
+      listen_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      ext_workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
   }
+  if (runtime) return runtime_leg::Main(smoke, listen_port, ext_workers);
   const std::size_t invocations = smoke ? 500 : 10000;
   const std::size_t num_workers = smoke ? 20 : 100;
   std::printf("Reproduction of Figure 8: LNNI execution time vs inferences "

@@ -1,0 +1,17 @@
+#include "apps/demo_registry.hpp"
+
+namespace vinelet::apps {
+
+LnniConfig DemoLnniConfig() {
+  LnniConfig config;
+  config.dim = 48;
+  config.layers = 3;
+  config.build_passes = 16;
+  return config;
+}
+
+Status RegisterDemoFunctions(serde::FunctionRegistry& registry) {
+  return RegisterLnniFunctions(registry, DemoLnniConfig());
+}
+
+}  // namespace vinelet::apps

@@ -1,0 +1,23 @@
+// Canonical demo workload shared by the multi-process deployment pieces.
+//
+// vinelet-managerd, vinelet-workerd, and the TCP leg of the Figure 8 bench
+// all execute the same LNNI functions, so the function registry contents
+// (and the LnniConfig they were registered with) must agree byte-for-byte
+// across processes: a workerd started with a different model shape would
+// happily accept invocations and return different results.  This header is
+// the single source of that configuration.
+#pragma once
+
+#include "apps/lnni.hpp"
+#include "serde/function_registry.hpp"
+
+namespace vinelet::apps {
+
+/// The demo model shape every daemon and bench process must use.
+LnniConfig DemoLnniConfig();
+
+/// Registers the demo functions (lnni_infer + lnni_setup with
+/// DemoLnniConfig()) into `registry`.  Idempotent per registry.
+Status RegisterDemoFunctions(serde::FunctionRegistry& registry);
+
+}  // namespace vinelet::apps

@@ -1,0 +1,185 @@
+// vinelet-managerd: the manager process of a multi-process vinelet cluster.
+//
+// Listens as the TCP hub, waits for --workers vinelet-workerd processes to
+// join, drives the shared LNNI demo workload through them (weights
+// broadcast, library install, --invocations library calls), prints the
+// drained cluster status — including per-connection transport counters —
+// and exits.  The exit code is the deployment smoke gate: 0 only when every
+// worker joined, every invocation completed, and the final status is clean.
+//
+//   $ ./vinelet-managerd [--port P] [--workers N] [--min-workers N]
+//                        [--invocations N] [--count N] [--json] [--timeout S]
+//
+// Pair with vinelet-workerd:
+//   $ ./vinelet-managerd --port 7070 --workers 2 &
+//   $ ./vinelet-workerd --hub 127.0.0.1:7070 --id 1 &
+//   $ ./vinelet-workerd --hub 127.0.0.1:7070 --id 2 &
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/demo_registry.hpp"
+#include "core/manager.hpp"
+#include "net/tcp_transport.hpp"
+#include "poncho/analyzer.hpp"
+
+using namespace vinelet;
+using serde::Value;
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 7070;
+  std::size_t workers = 2;
+  std::size_t min_workers = 0;  // 0 = require all of --workers at the end
+  int invocations = 48;
+  int count = 8;  // inferences per invocation — the per-call work knob
+  bool json = false;
+  double timeout_s = 60.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--min-workers") == 0 && i + 1 < argc) {
+      min_workers = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(arg, "--invocations") == 0 && i + 1 < argc) {
+      invocations = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--count") == 0 && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--timeout") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port P] [--workers N] [--min-workers N]"
+                   " [--invocations N] [--count N] [--json] [--timeout S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  serde::FunctionRegistry registry;
+  if (Status status = apps::RegisterDemoFunctions(registry); !status.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  net::TcpTransportConfig net_config;
+  net_config.listen_port = port;
+  auto transport = std::make_shared<net::TcpTransport>(net_config);
+  if (Status status = transport->Start(); !status.ok()) {
+    std::fprintf(stderr, "transport start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  core::ManagerConfig manager_config;
+  manager_config.registry = &registry;
+  core::Manager manager(transport, manager_config);
+  if (Status status = manager.Start(); !status.ok()) {
+    std::fprintf(stderr, "manager start failed: %s\n",
+                 status.ToString().c_str());
+    transport->Shutdown();
+    return 1;
+  }
+  std::printf("vinelet-managerd: hub on port %u, waiting for %zu worker(s)\n",
+              transport->listen_port(), workers);
+  std::fflush(stdout);
+  if (Status status = manager.WaitForWorkers(workers, timeout_s);
+      !status.ok()) {
+    std::fprintf(stderr, "workers never joined: %s\n",
+                 status.ToString().c_str());
+    manager.Stop();
+    transport->Shutdown();
+    return 1;
+  }
+
+  // The demo workload: broadcast the model weights, install the LNNI
+  // library on the cluster, fan the invocations out, and drain.
+  const apps::LnniConfig lnni = apps::DemoLnniConfig();
+  poncho::Analyzer analyzer(poncho::PackageCatalog::SyntheticMlCatalog(0.005));
+  auto env = analyzer.AnalyzeImports({"ml-inference"});
+  if (!env.ok()) {
+    std::fprintf(stderr, "env analysis failed: %s\n",
+                 env.status().ToString().c_str());
+    return 1;
+  }
+  auto env_decl = manager.DeclareBlob("env", env->tarball,
+                                      storage::FileKind::kEnvironment,
+                                      /*cache=*/true, /*peer_transfer=*/true,
+                                      /*unpack=*/true);
+  auto weights_decl =
+      manager.DeclareBlob(lnni.weights_file, apps::MakeLnniWeightsBlob(lnni),
+                          storage::FileKind::kData, /*cache=*/true);
+  (void)manager.BroadcastFile(weights_decl);
+  auto spec = manager.CreateLibraryFromFunctions("lnni", {"lnni_infer"},
+                                                 "lnni_setup", Value());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "library spec failed: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  manager.AddLibraryInput(*spec, env_decl);
+  manager.AddLibraryInput(*spec, weights_decl);
+  spec->slots = 4;
+  if (Status status = manager.InstallLibrary(*spec); !status.ok()) {
+    std::fprintf(stderr, "install failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<core::FuturePtr> futures;
+  futures.reserve(static_cast<std::size_t>(invocations));
+  for (int i = 0; i < invocations; ++i) {
+    futures.push_back(manager.SubmitCall(
+        "lnni", "lnni_infer",
+        Value::Dict({{"count", Value(count)}, {"seed", Value(i)}})));
+  }
+  if (Status status = manager.WaitAll(timeout_s); !status.ok()) {
+    std::fprintf(stderr, "workload did not drain: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  int failed = 0;
+  for (const auto& future : futures) {
+    auto outcome = future->Wait();
+    if (!outcome.ok()) {
+      ++failed;
+      std::fprintf(stderr, "invocation failed: %s\n",
+                   outcome.status().ToString().c_str());
+    }
+  }
+
+  auto status = manager.QueryStatus(timeout_s);
+  if (!status.ok()) {
+    std::fprintf(stderr, "status query failed: %s\n",
+                 status.status().ToString().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s\n", core::ClusterStatusToJson(*status).c_str());
+  } else {
+    std::printf("%s", core::FormatClusterStatus(*status).c_str());
+  }
+  // Chaos soaks kill workers mid-run on purpose; --min-workers relaxes the
+  // attrition check while still requiring every invocation to complete.
+  const std::size_t required = min_workers == 0 ? workers : min_workers;
+  const bool healthy = failed == 0 && status->workers.size() >= required &&
+                       !core::AnyStraggler(*status);
+
+  // Stop() broadcasts Shutdown to the workers, so well-behaved workerds
+  // exit on their own; the transport teardown then closes the sockets.
+  manager.Stop();
+  transport->Shutdown();
+  if (!healthy) {
+    std::fprintf(stderr,
+                 "vinelet-managerd: unhealthy (failed=%d workers=%zu/%zu)\n",
+                 failed, status->workers.size(), required);
+    return 3;
+  }
+  std::printf("vinelet-managerd: clean shutdown (%d invocation(s) ok)\n",
+              invocations);
+  return 0;
+}

@@ -32,7 +32,7 @@ struct FactoryConfig {
 
 class Factory {
  public:
-  Factory(std::shared_ptr<net::Network> network, FactoryConfig config)
+  Factory(std::shared_ptr<net::Transport> network, FactoryConfig config)
       : network_(std::move(network)), config_(config) {}
   ~Factory() { Stop(); }
 
@@ -59,7 +59,7 @@ class Factory {
   std::size_t size() const;
 
  private:
-  std::shared_ptr<net::Network> network_;
+  std::shared_ptr<net::Transport> network_;
   FactoryConfig config_;
 
   mutable std::mutex mu_;

@@ -117,6 +117,19 @@ std::string FormatClusterStatus(const ClusterStatus& status) {
              std::to_string(slot.queued) + "\n";
     }
   }
+  for (const auto& conn : status.connections) {
+    out += "  conn ";
+    out += conn.peer == 0 ? std::string("(inbound)")
+                          : ("peer " + std::to_string(conn.peer));
+    out += " " + conn.remote_addr + ": sent " +
+           std::to_string(conn.frames_sent) + " frame(s) / " +
+           std::to_string(conn.bytes_sent) + " B, recv " +
+           std::to_string(conn.frames_received) + " frame(s) / " +
+           std::to_string(conn.bytes_received) + " B, queue " +
+           std::to_string(conn.send_queue_bytes) + " B (peak " +
+           std::to_string(conn.peak_queue_bytes) + " B), stalls " +
+           std::to_string(conn.backpressure_stalls) + "\n";
+  }
   return out;
 }
 
@@ -238,6 +251,22 @@ std::string ClusterStatusToJson(const ClusterStatus& status) {
              ",\"queued\":" + std::to_string(worker.libraries[i].queued) + "}";
     }
     out += "]}";
+  }
+  out += "\n],\n\"connections\": [";
+  first = true;
+  for (const auto& conn : status.connections) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"peer\":" + std::to_string(conn.peer) + ",\"remote_addr\":\"" +
+           JsonEscape(conn.remote_addr) +
+           "\",\"frames_sent\":" + std::to_string(conn.frames_sent) +
+           ",\"bytes_sent\":" + std::to_string(conn.bytes_sent) +
+           ",\"frames_received\":" + std::to_string(conn.frames_received) +
+           ",\"bytes_received\":" + std::to_string(conn.bytes_received) +
+           ",\"send_queue_bytes\":" + std::to_string(conn.send_queue_bytes) +
+           ",\"peak_queue_bytes\":" + std::to_string(conn.peak_queue_bytes) +
+           ",\"backpressure_stalls\":" +
+           std::to_string(conn.backpressure_stalls) + "}";
   }
   out += "\n]\n}\n";
   return out;

@@ -103,6 +103,11 @@ struct ClusterStatus {
   SchedulerStatus scheduler;
   /// Per-library SLO evaluation (empty when no targets are configured).
   std::vector<telemetry::SloSnapshot> slo;
+  /// Transport-level view of the manager's links: per-connection frame and
+  /// byte counters, send-queue high-water marks, and backpressure stalls.
+  /// Populated from Transport::ConnectionsSnapshot(), so it is empty for
+  /// the in-process bus and lists real sockets under TcpTransport.
+  std::vector<net::ConnectionStats> connections;
 };
 
 /// True when any worker carries the straggler flag.

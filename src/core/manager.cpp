@@ -1,4 +1,12 @@
 #include "core/manager.hpp"
+//
+// Manager lifecycle, the application-facing API, and the event loop live
+// here.  The remaining member functions are grouped by concern into
+// sibling translation units: manager_refs.cpp (pass-by-reference data
+// plane), manager_scheduler.cpp (placement + dispatch),
+// manager_broadcast.cpp (staging + chunked broadcast),
+// manager_introspect.cpp (status + quiescence), and manager_recovery.cpp
+// (fault handling).
 
 #include <algorithm>
 #include <chrono>
@@ -9,7 +17,7 @@ namespace vinelet::core {
 
 using namespace std::chrono_literals;
 
-Manager::Manager(std::shared_ptr<net::Network> network, ManagerConfig config)
+Manager::Manager(std::shared_ptr<net::Transport> network, ManagerConfig config)
     : network_(std::move(network)),
       config_(config),
       registry_(config.registry != nullptr ? config.registry
@@ -729,1508 +737,6 @@ void Manager::HandleCommand(Command command) {
         }
       },
       std::move(command));
-}
-
-// ---------------------------------------------------------------------------
-// Pass-by-reference data plane.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Cheap pre-filter: serialized WrapRef dicts embed the literal "$blobref"
-/// key, so argument blobs without that byte sequence cannot carry a ref and
-/// skip the Value decode entirely (by-value workloads pay nothing).
-bool MightContainRef(const Blob& args) {
-  static constexpr std::string_view kKey = "$blobref";
-  const auto bytes = args.span();
-  return std::search(bytes.begin(), bytes.end(), kKey.begin(), kKey.end()) !=
-         bytes.end();
-}
-
-}  // namespace
-
-void Manager::RegisterRefArgs(PendingCall& call) {
-  if (call.args.size() == 0 || !MightContainRef(call.args)) return;
-  auto value = serde::Value::FromBlob(call.args);
-  if (!value.ok() || value->type() != serde::Value::Type::kList) return;
-  const auto& list = value->AsList();
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    auto ref = TryUnwrapRef(list[i]);
-    if (!ref) continue;
-    RefArg arg;
-    arg.arg_index = static_cast<std::uint32_t>(i);
-    arg.ref = *ref;
-    call.ref_args.push_back(arg);
-    auto it = refs_.find(ref->id);
-    if (it != refs_.end()) ++it->second.pending_consumers;
-  }
-}
-
-void Manager::SettleCallRefs(const PendingCall& call) {
-  for (const RefArg& arg : call.ref_args) {
-    auto it = refs_.find(arg.ref.id);
-    if (it == refs_.end()) continue;
-    if (it->second.pending_consumers > 0) --it->second.pending_consumers;
-    MaybeDropRef(arg.ref.id);
-  }
-}
-
-void Manager::MaybeDropRef(const hash::ContentId& id) {
-  auto it = refs_.find(id);
-  if (it == refs_.end()) return;
-  if (!it->second.released || it->second.pending_consumers != 0) return;
-  for (WorkerId holder : replicas_.Holders(id)) {
-    (void)SendTo(holder, DropBlobMsg{id});
-    replicas_.RemoveReplica(id, holder);
-  }
-  (void)manager_store_.Remove(id);  // FetchRef may have cached a copy
-  m_.refs_dropped->Add();
-  refs_.erase(it);
-}
-
-WorkerId Manager::PickRefSource(const hash::ContentId& id,
-                                WorkerId target) const {
-  // Nearest replica by hash ring: walk the ring from the content id and take
-  // the first live holder other than the target itself.
-  for (WorkerId candidate : ring_.WalkFrom(id.Prefix64())) {
-    if (candidate == target) continue;
-    if (replicas_.HasReplica(id, candidate)) return candidate;
-  }
-  return 0;  // no live holder; the worker fails the fetch and the call retries
-}
-
-void Manager::HandleFetchRefCmd(FetchRefCmd cmd) {
-  if (auto cached = manager_store_.Get(cmd.ref.id); cached.ok()) {
-    cmd.promise->set_value(std::move(*cached));
-    return;
-  }
-  auto [it, inserted] = manager_fetches_.try_emplace(cmd.ref.id);
-  it->second.ref = cmd.ref;
-  it->second.waiters.push_back(std::move(cmd.promise));
-  if (inserted && !AdvanceManagerFetch(it->second)) {
-    for (auto& waiter : it->second.waiters)
-      waiter->set_value(
-          DataLossError("no live replica holds ref " + cmd.ref.id.ShortHex()));
-    manager_fetches_.erase(it);
-  }
-}
-
-bool Manager::AdvanceManagerFetch(ManagerFetch& fetch) {
-  for (WorkerId candidate : ring_.WalkFrom(fetch.ref.id.Prefix64())) {
-    if (fetch.tried.contains(candidate)) continue;
-    if (!replicas_.HasReplica(fetch.ref.id, candidate)) continue;
-    fetch.tried.insert(candidate);
-    if (SendTo(candidate, FetchBlobMsg{fetch.ref.id, 0, {}}).ok()) {
-      fetch.source = candidate;
-      return true;
-    }
-  }
-  return false;
-}
-
-void Manager::HandleManagerBlobData(BlobDataMsg msg) {
-  auto it = manager_fetches_.find(msg.id);
-  if (it == manager_fetches_.end()) return;  // stale reply (already resolved)
-  if (msg.ok && hash::ContentId::Of(msg.payload) == msg.id) {
-    // Cache at the manager so repeated FetchRef calls are free; dropped
-    // again when the ref is released.
-    (void)manager_store_.PutTrusted(msg.id, msg.payload);
-    for (auto& waiter : it->second.waiters)
-      waiter->set_value(msg.payload);
-    manager_fetches_.erase(it);
-    return;
-  }
-  // Miss or corrupt copy: try the next holder; out of holders = data loss.
-  if (!AdvanceManagerFetch(it->second)) {
-    for (auto& waiter : it->second.waiters)
-      waiter->set_value(DataLossError(
-          "every replica of ref " + msg.id.ShortHex() + " failed" +
-          (msg.error.empty() ? "" : ": " + msg.error)));
-    manager_fetches_.erase(it);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Scheduling.
-// ---------------------------------------------------------------------------
-
-void Manager::TrySchedule() {
-  StartParkedTransfers();
-  // Stateless tasks: first-fit in FIFO order with a single stable compaction
-  // pass — scheduled tasks are dropped by moving the survivors forward once,
-  // instead of an O(queue) mid-deque erase per placement (quadratic when a
-  // large backlog drains).  The whole sweep early-outs when there is nothing
-  // to place or nowhere to place it, and the compaction itself only runs
-  // when at least one task actually left the queue — the common idle pass
-  // (every worker busy) costs the placement probes and nothing else.
-  if (!task_queue_.empty() && !workers_.empty()) {
-    std::size_t keep = 0;
-    bool placed = false;
-    for (std::size_t i = 0; i < task_queue_.size(); ++i) {
-      if (TryScheduleTask(task_queue_[i])) {
-        placed = true;
-      } else {
-        if (keep != i) task_queue_[keep] = std::move(task_queue_[i]);
-        ++keep;
-      }
-    }
-    if (placed)
-      task_queue_.erase(
-          task_queue_.begin() + static_cast<std::ptrdiff_t>(keep),
-          task_queue_.end());
-  }
-  // Function calls, per library.
-  std::vector<std::string> names;
-  names.reserve(libraries_.size());
-  for (const auto& [name, info] : libraries_) {
-    if (!info.queue.empty()) names.push_back(name);
-  }
-  for (const auto& name : names) TryScheduleLibrary(name);
-}
-
-bool Manager::TryScheduleTask(PendingTask& task) {
-  // Walk the ring from the function's hash so repeated submissions of the
-  // same function land where its cached context already is.
-  const auto order = ring_.WalkFrom(
-      hash::ContentId::OfText(task.spec.function_name).Prefix64());
-  for (WorkerId worker_id : order) {
-    auto it = workers_.find(worker_id);
-    if (it == workers_.end()) continue;
-    if (!it->second.alloc.CanAllocate(task.spec.resources)) continue;
-
-    auto claimed = it->second.alloc.Allocate(task.spec.resources);
-    if (!claimed.ok()) continue;
-
-    RunningTask running;
-    running.task = std::move(task);
-    running.worker = worker_id;
-    running.claimed = *claimed;
-    running.staged_at = Now();
-    const TaskId id = running.task.spec.id;
-    running.task.trace = telemetry_->tracer.EmitLinked(
-        running.task.trace, telemetry::Phase::kDispatch, "task", "manager", id,
-        running.task.queued_s, running.staged_at);
-
-    for (const auto& decl : running.task.spec.inputs) {
-      if (replicas_.HasReplica(decl.id, worker_id)) continue;
-      if (StageFile(decl, worker_id, Waiter{false, id}, running.task.trace))
-        ++running.pending_files;
-    }
-    it->second.running_tasks.insert(id);
-    auto [placed_it, _] = running_tasks_.emplace(id, std::move(running));
-    if (placed_it->second.pending_files == 0) DispatchTask(placed_it->second);
-    return true;
-  }
-  return false;
-}
-
-AutoscaleSignal Manager::BuildAutoscaleSignal(
-    const std::string& library_name) const {
-  AutoscaleSignal signal;
-  auto lib_it = libraries_.find(library_name);
-  if (lib_it != libraries_.end()) {
-    signal.queue_depth = lib_it->second.queue.size();
-    for (const auto& [_, worker] : workers_) {
-      if (worker.alloc.CanAllocate(lib_it->second.spec.resources))
-        ++signal.workers_with_room;
-    }
-  }
-  std::uint64_t served = 0;
-  for (const auto& [_, instance] : instances_) {
-    if (instance.library != library_name) continue;
-    switch (instance.state) {
-      case InstanceState::kReady:
-        ++signal.ready_instances;
-        signal.free_slots += instance.slots - instance.slots_in_use;
-        served += instance.served;
-        break;
-      case InstanceState::kStaging:
-      case InstanceState::kInstalling:
-        ++signal.pending_instances;
-        signal.pending_slots += instance.slots;
-        break;
-      case InstanceState::kDraining:
-        break;
-    }
-  }
-  // Fig 11 share value for this library: invocations served per warm
-  // instance, computed from the per-instance counters already maintained
-  // for introspection.
-  if (signal.ready_instances > 0)
-    signal.share_value = static_cast<double>(served) /
-                         static_cast<double>(signal.ready_instances);
-  return signal;
-}
-
-void Manager::TryScheduleLibrary(const std::string& library_name) {
-  auto it = libraries_.find(library_name);
-  if (it == libraries_.end()) return;
-  LibraryInfo& info = it->second;
-
-  while (!info.queue.empty()) {
-    if (TryDispatchCall(info)) continue;
-    // No warm slot took the call: close the loop through the autoscaler.
-    // Under kFirstFit the legacy rule applies (deploy whenever the backlog
-    // exceeds upcoming capacity); under kAffinity a deploy additionally
-    // requires the per-warm-instance backlog to cross the steal threshold,
-    // so small backlogs drain through the affinity set instead of
-    // displacing warm capacity elsewhere.
-    const AutoscaleSignal signal = BuildAutoscaleSignal(library_name);
-    AutoscaleAction action;
-    if (config_.scheduler.policy == SchedulerPolicy::kFirstFit) {
-      action = signal.queue_depth <= signal.free_slots + signal.pending_slots
-                   ? AutoscaleAction::kHold
-                   : AutoscaleAction::kDeploy;
-    } else {
-      action = DecideAutoscale(config_.scheduler, signal);
-    }
-    if (action != AutoscaleAction::kDeploy) break;  // capacity is on the way
-    if (TryDeployInstance(library_name)) {
-      m_.autoscale_deploys->Add();
-      continue;
-    }
-    // No worker has room: reclaim an idle library of another function
-    // (§3.5.2 empty-library eviction) and wait for the removal.
-    TryEvictEmptyLibrary(library_name);
-    break;
-  }
-}
-
-bool Manager::TryDispatchCall(LibraryInfo& info) {
-  if (info.queue.empty()) return false;
-  InstanceInfo* chosen = nullptr;
-  if (config_.scheduler.policy == SchedulerPolicy::kFirstFit) {
-    // Legacy: first ready instance in map (deployment) order.
-    for (auto& [_, instance] : instances_) {
-      if (instance.library != info.spec.name) continue;
-      if (instance.state != InstanceState::kReady) continue;
-      if (instance.slots_in_use >= instance.slots) continue;
-      chosen = &instance;
-      break;
-    }
-  } else {
-    // Context affinity: least-loaded warm instance via the shared policy
-    // helper (ties break to the lowest instance id — deterministic, and
-    // identical to the simulator's choice).
-    std::vector<DispatchCandidate> candidates;
-    std::vector<InstanceInfo*> backing;
-    for (auto& [_, instance] : instances_) {
-      if (instance.library != info.spec.name) continue;
-      if (instance.state != InstanceState::kReady) continue;
-      candidates.push_back(
-          {instance.id, instance.slots - instance.slots_in_use});
-      backing.push_back(&instance);
-    }
-    // Ref-aware placement: among warm instances, keep only the ones whose
-    // worker already holds the most ref-argument bytes of the next call —
-    // co-locating consumer with replica makes the peer fetch disappear.
-    // Least-loaded still breaks ties within the kept subset.
-    if (!info.queue.front().ref_args.empty() && backing.size() > 1) {
-      const PendingCall& front = info.queue.front();
-      std::vector<std::uint64_t> score(backing.size(), 0);
-      std::uint64_t best = 0;
-      for (std::size_t i = 0; i < backing.size(); ++i) {
-        for (const RefArg& arg : front.ref_args)
-          if (replicas_.HasReplica(arg.ref.id, backing[i]->worker))
-            score[i] += arg.ref.size;
-        best = std::max(best, score[i]);
-      }
-      if (best > 0) {
-        std::size_t keep = 0;
-        for (std::size_t i = 0; i < backing.size(); ++i) {
-          if (score[i] != best) continue;
-          candidates[keep] = candidates[i];
-          backing[keep] = backing[i];
-          ++keep;
-        }
-        candidates.resize(keep);
-        backing.resize(keep);
-      }
-    }
-    const std::size_t pick =
-        PickLeastLoaded(candidates.data(), candidates.size());
-    if (pick != kNoCandidate) chosen = backing[pick];
-  }
-  if (chosen == nullptr) return false;
-  return DispatchCallsTo(*chosen, info.queue) > 0;
-}
-
-std::size_t Manager::DispatchCallsTo(InstanceInfo& instance,
-                                     std::deque<PendingCall>& queue) {
-  // Consumers whose ref arguments lost every replica are unrecoverable (the
-  // producing invocation already resolved); fail them here instead of
-  // burning retry attempts on fetches that can never succeed.
-  while (!queue.empty()) {
-    std::string lost;
-    for (const RefArg& arg : queue.front().ref_args) {
-      if (replicas_.ReplicaCount(arg.ref.id) == 0) {
-        lost = arg.ref.id.ShortHex();
-        break;
-      }
-    }
-    if (lost.empty()) break;
-    PendingCall call = std::move(queue.front());
-    queue.pop_front();
-    SettleCallRefs(call);
-    call.future->Resolve(
-        DataLossError("every replica of ref argument " + lost + " was lost"));
-    FinishOne();
-  }
-
-  const std::size_t free_slots = instance.slots - instance.slots_in_use;
-  const std::size_t max_batch =
-      std::max<std::uint32_t>(1, config_.scheduler.max_batch);
-  const std::size_t take =
-      std::min({queue.size(), free_slots, max_batch});
-  if (take == 0) return 0;
-  const WorkerId worker = instance.worker;
-
-  auto pop_next = [&]() {
-    PendingCall call = std::move(queue.front());
-    queue.pop_front();
-    ++instance.slots_in_use;
-    call.trace = telemetry_->tracer.EmitLinked(
-        call.trace, telemetry::Phase::kDispatch, "invocation", "manager",
-        call.id, call.queued_s, Now());
-    RunInvocationMsg msg;
-    msg.id = call.id;
-    msg.instance_id = instance.id;
-    msg.function_name = call.function;
-    msg.args = call.args;
-    // Stamp each ref argument with the replica to fetch from (0 = the
-    // target already holds it), and remember the stamp on the running call
-    // so a source death can cancel exactly the fetches it strands.
-    for (RefArg& arg : call.ref_args) {
-      arg.source = replicas_.HasReplica(arg.ref.id, worker)
-                       ? 0
-                       : PickRefSource(arg.ref.id, worker);
-    }
-    msg.ref_args = call.ref_args;
-    msg.trace = call.trace;
-    instance.running.emplace(call.id, std::move(call));
-    return msg;
-  };
-
-  m_.dispatch_batch_size->Observe(static_cast<double>(take));
-  if (take == 1) {
-    // Single call: the legacy one-message path, no batch framing.
-    // A failed send means the worker died; ProcessDeadWorkers requeues.
-    (void)SendTo(worker, pop_next());
-    return 1;
-  }
-  RunInvocationBatchMsg batch;
-  batch.instance_id = instance.id;
-  batch.items.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) batch.items.push_back(pop_next());
-  (void)SendTo(worker, batch);
-  return take;
-}
-
-bool Manager::TryDeployInstance(const std::string& library_name) {
-  auto lib_it = libraries_.find(library_name);
-  if (lib_it == libraries_.end()) return false;
-  const LibrarySpec& spec = lib_it->second.spec;
-
-  const auto order =
-      ring_.WalkFrom(hash::ContentId::OfText(library_name).Prefix64());
-  for (WorkerId worker_id : order) {
-    auto it = workers_.find(worker_id);
-    if (it == workers_.end()) continue;
-    if (!it->second.alloc.CanAllocate(spec.resources)) continue;
-    auto claimed = it->second.alloc.Allocate(spec.resources);
-    if (!claimed.ok()) continue;
-
-    // Work stealing: recruiting a worker outside the warm affinity set while
-    // the library already has warm instances elsewhere.
-    if (affinity_.CountFor(library_name) > 0 &&
-        !affinity_.Contains(library_name, worker_id))
-      m_.steals->Add();
-
-    InstanceInfo instance;
-    instance.id = next_instance_id_++;
-    instance.library = library_name;
-    instance.worker = worker_id;
-    instance.claimed = *claimed;
-    instance.slots = spec.slots;
-    instance.state = InstanceState::kStaging;
-    // Attribute the deployment to the call that triggered it, so library
-    // staging and setup land in that invocation's trace.
-    if (!lib_it->second.queue.empty())
-      instance.trace = lib_it->second.queue.front().trace;
-
-    for (const auto& decl : spec.inputs) {
-      if (replicas_.HasReplica(decl.id, worker_id)) continue;
-      if (StageFile(decl, worker_id, Waiter{true, instance.id},
-                    instance.trace))
-        ++instance.pending_files;
-    }
-    it->second.instances.insert(instance.id);
-    auto [placed_it, _] = instances_.emplace(instance.id, std::move(instance));
-    if (placed_it->second.pending_files == 0)
-      DispatchInstall(placed_it->second);
-    return true;
-  }
-  return false;
-}
-
-bool Manager::TryEvictEmptyLibrary(const std::string& for_library) {
-  // Fig 11 eviction order: among idle instances, evict the one whose
-  // library shows the poorest share value first — DecideAutoscale flags
-  // those as preferred victims (kEvict) — then the least-served instance.
-  // A proven library is only displaced when no poor one remains, because
-  // evicting it destroys the amortization retention paid for.
-  InstanceInfo* victim = nullptr;
-  bool victim_preferred = false;
-  for (auto& [_, instance] : instances_) {
-    if (instance.library == for_library) continue;
-    if (instance.state != InstanceState::kReady) continue;
-    if (instance.slots_in_use != 0) continue;
-    auto lib_it = libraries_.find(instance.library);
-    if (lib_it != libraries_.end() && !lib_it->second.queue.empty()) continue;
-
-    if (config_.scheduler.policy != SchedulerPolicy::kAffinity) {
-      victim = &instance;  // legacy first-fit: first idle instance wins
-      break;
-    }
-    const bool preferred =
-        DecideAutoscale(config_.scheduler,
-                        BuildAutoscaleSignal(instance.library)) ==
-        AutoscaleAction::kEvict;
-    if (victim == nullptr || (preferred && !victim_preferred) ||
-        (preferred == victim_preferred && instance.served < victim->served)) {
-      victim = &instance;
-      victim_preferred = preferred;
-    }
-  }
-  if (victim != nullptr) {
-    InstanceInfo& instance = *victim;
-    instance.state = InstanceState::kDraining;
-    affinity_.Remove(instance.library, instance.worker);
-    SyncAffinityGauge();
-    m_.libraries_evicted->Add();
-    m_.autoscale_evicts->Add();
-    VLOG_INFO("manager") << "evicting empty library " << instance.library
-                         << "#" << instance.id << " from worker "
-                         << instance.worker << " for " << for_library;
-    (void)SendTo(instance.worker, RemoveLibraryMsg{instance.id});
-    return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// File staging.
-// ---------------------------------------------------------------------------
-
-bool Manager::StageFile(const storage::FileDecl& decl, WorkerId worker,
-                        Waiter waiter, telemetry::TraceContext trace) {
-  const TransferKey key{worker, decl.id};
-  auto it = transfers_.find(key);
-  if (it != transfers_.end()) {
-    it->second.waiters.push_back(waiter);
-    return true;
-  }
-
-  auto source = replicas_.PickSource(
-      decl.id, worker, config_.peer_transfers && decl.peer_transfer);
-  Transfer transfer;
-  transfer.decl = decl;
-  transfer.waiters.push_back(waiter);
-  transfer.trace = trace;  // first waiter owns the transfer's causality
-  if (!source.ok()) {
-    // All sources saturated: park the transfer; StartParkedTransfers retries
-    // as other transfers complete.  (Only possible with a finite manager cap.)
-    transfer.started = false;
-    transfers_.emplace(key, std::move(transfer));
-    return true;
-  }
-  transfer.source = *source;
-  replicas_.BeginTransfer(transfer.source);
-
-  transfer.started_s = Now();
-  if (transfer.source.from_manager) {
-    auto payload = manager_store_.Get(decl.id);
-    if (!payload.ok()) {
-      // Should not happen: declared files live in the manager store.  When
-      // it does (a fabricated or dropped declaration), decline instead of
-      // emplacing a zombie transfer: a transfer that never sends anything
-      // never completes, and its waiters would hang WaitAll forever.  The
-      // caller proceeds without the file and the worker fails the work
-      // cleanly ("input not staged"), feeding the normal retry path.
-      VLOG_ERROR("manager") << "missing declared payload " << decl.name;
-      replicas_.EndTransfer(transfer.source);
-      return false;
-    }
-    m_.manager_transfers->Add();
-    m_.manager_transfer_bytes->Add(decl.size);
-    (void)SendTo(worker, PutFileMsg{decl, std::move(*payload),
-                                    transfer.trace});
-  } else {
-    m_.peer_transfers->Add();
-    m_.peer_transfer_bytes->Add(decl.size);
-    (void)SendTo(transfer.source.peer,
-                 PushFileMsg{decl, worker, transfer.trace});
-  }
-  transfers_.emplace(key, std::move(transfer));
-  return true;
-}
-
-void Manager::StartParkedTransfers() {
-  for (auto& [key, transfer] : transfers_) {
-    if (transfer.started) continue;
-    auto source = replicas_.PickSource(
-        transfer.decl.id, key.dest,
-        config_.peer_transfers && transfer.decl.peer_transfer);
-    if (!source.ok()) continue;  // still saturated
-    transfer.source = *source;
-    transfer.started = true;
-    transfer.started_s = Now();
-    replicas_.BeginTransfer(transfer.source);
-    if (transfer.source.from_manager) {
-      auto payload = manager_store_.Get(transfer.decl.id);
-      if (payload.ok()) {
-        m_.manager_transfers->Add();
-        m_.manager_transfer_bytes->Add(transfer.decl.size);
-        (void)SendTo(key.dest, PutFileMsg{transfer.decl, std::move(*payload),
-                                          transfer.trace});
-      }
-    } else {
-      m_.peer_transfers->Add();
-      m_.peer_transfer_bytes->Add(transfer.decl.size);
-      (void)SendTo(transfer.source.peer,
-                   PushFileMsg{transfer.decl, key.dest, transfer.trace});
-    }
-  }
-}
-
-void Manager::CompleteTransfer(WorkerId worker, const hash::ContentId& id,
-                               bool success, const std::string& error) {
-  const TransferKey key{worker, id};
-  auto it = transfers_.find(key);
-  if (it == transfers_.end()) return;  // e.g. worker died mid-transfer
-  Transfer transfer = std::move(it->second);
-  transfers_.erase(it);
-  replicas_.EndTransfer(transfer.source);
-
-  if (!success) {
-    VLOG_WARN("manager") << "transfer of " << transfer.decl.name << " to "
-                         << worker << " failed: " << error;
-    telemetry_->flight.Record("xfer-fail", error, transfer.trace.trace_id,
-                              id.Prefix64(), worker);
-    if (++transfer.attempts < config_.max_attempts) {
-      // Retry from a fresh source (the failed peer may hold a corrupt or
-      // evicted copy; the manager always has the original).
-      auto source =
-          replicas_.PickSource(id, worker, /*allow_peer_transfer=*/false);
-      if (source.ok()) {
-        transfer.source = *source;
-        replicas_.BeginTransfer(transfer.source);
-        auto payload = manager_store_.Get(id);
-        if (payload.ok()) {
-          (void)SendTo(worker, PutFileMsg{transfer.decl, std::move(*payload),
-                                          transfer.trace});
-          transfers_.emplace(key, std::move(transfer));
-          return;
-        }
-        replicas_.EndTransfer(transfer.source);
-      }
-    }
-    // Permanent failure: fail task waiters; discard staging instances.
-    const Status fail_status =
-        DataLossError("input transfer failed: " + transfer.decl.name);
-    for (const Waiter& waiter : transfer.waiters)
-      FailWaiter(waiter, fail_status);
-    return;
-  }
-
-  replicas_.AddReplica(id, worker);
-  telemetry_->tracer.EmitLinked(transfer.trace, telemetry::Phase::kTransfer,
-                                "file", "worker-" + std::to_string(worker),
-                                id.Prefix64(), transfer.started_s, Now());
-  for (const Waiter& waiter : transfer.waiters) {
-    if (waiter.is_instance) {
-      auto inst_it = instances_.find(waiter.id);
-      if (inst_it == instances_.end()) continue;
-      if (inst_it->second.pending_files > 0 &&
-          --inst_it->second.pending_files == 0)
-        DispatchInstall(inst_it->second);
-    } else {
-      auto task_it = running_tasks_.find(waiter.id);
-      if (task_it == running_tasks_.end()) continue;
-      if (task_it->second.pending_files > 0 &&
-          --task_it->second.pending_files == 0)
-        DispatchTask(task_it->second);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Chunked pipelined broadcast.
-// ---------------------------------------------------------------------------
-
-void Manager::StartBroadcast(BroadcastCmd cmd) {
-  auto fail = [&](Status status) {
-    cmd.future->Resolve(std::move(status));
-    FinishOne();
-  };
-  if (broadcasts_.count(cmd.decl.id) != 0) {
-    fail(FailedPreconditionError("broadcast already active: " + cmd.decl.name));
-    return;
-  }
-  auto payload = manager_store_.Get(cmd.decl.id);
-  if (!payload.ok()) {
-    fail(payload.status());
-    return;
-  }
-
-  BroadcastState state;
-  state.decl = cmd.decl;
-  state.chunk_bytes =
-      cmd.chunk_bytes != 0 ? cmd.chunk_bytes : storage::kDefaultChunkBytes;
-  state.future = std::move(cmd.future);
-  state.started_s = cmd.submitted_s;
-  state.last_probe_s = Now();
-  for (const auto& [id, _] : workers_) state.order.push_back(id);
-  if (state.order.empty()) {
-    state.future->Resolve(Outcome{});  // no workers: trivially complete
-    FinishOne();
-    return;
-  }
-
-  storage::BroadcastParams params;
-  params.num_workers = state.order.size();
-  params.fanout_cap =
-      cmd.fanout_cap != 0 ? cmd.fanout_cap : config_.worker_transfer_cap;
-  params.mode = storage::BroadcastMode::kSpanningTree;
-  auto plan = storage::PlanPipelinedBroadcast(
-      params, storage::ChunkParams{state.decl.size, state.chunk_bytes});
-  if (!plan.ok()) {
-    fail(plan.status());
-    return;
-  }
-  state.plan = std::move(*plan);
-  state.num_chunks = state.plan.num_chunks;
-  state.pending.insert(state.order.begin(), state.order.end());
-  // Root span of the broadcast trace: every chunk (probes and recovery
-  // resends included) carries this context so relay spans link back here.
-  state.trace = telemetry_->tracer.StartTrace(
-      telemetry::Phase::kSubmit, "broadcast", "manager",
-      state.decl.id.Prefix64(), cmd.submitted_s, Now());
-
-  // Materialize each root's relay subtree once; every chunk reuses it.
-  auto build = [&](auto&& self, std::uint64_t index) -> ChunkRoute {
-    ChunkRoute route;
-    route.dest = state.order[static_cast<std::size_t>(index)];
-    for (std::uint64_t child :
-         state.plan.children[static_cast<std::size_t>(index)])
-      route.children.push_back(self(self, child));
-    return route;
-  };
-  std::vector<std::vector<ChunkRoute>> root_children;
-  root_children.reserve(state.plan.roots.size());
-  for (std::uint64_t root : state.plan.roots) {
-    std::vector<ChunkRoute> subtree;
-    for (std::uint64_t child :
-         state.plan.children[static_cast<std::size_t>(root)])
-      subtree.push_back(build(build, child));
-    root_children.push_back(std::move(subtree));
-  }
-
-  // Stream chunk-major: every root has chunk k in flight before any k+1, so
-  // relays begin forwarding after one chunk-time, not one blob-time.  Each
-  // slice is a zero-copy view of the stored payload, so queueing the whole
-  // schedule costs pointers, not copies of the blob.
-  for (std::uint64_t k = 0; k < state.num_chunks; ++k) {
-    Blob slice = payload->Slice(
-        static_cast<std::size_t>(k * state.chunk_bytes),
-        static_cast<std::size_t>(state.chunk_bytes));
-    for (std::size_t r = 0; r < state.plan.roots.size(); ++r) {
-      PutChunkMsg msg;
-      msg.decl = state.decl;
-      msg.chunk_index = k;
-      msg.num_chunks = state.num_chunks;
-      msg.chunk_bytes = state.chunk_bytes;
-      msg.children = root_children[r];
-      msg.chunk = slice;
-      msg.trace = state.trace;
-      (void)SendTo(state.order[static_cast<std::size_t>(state.plan.roots[r])],
-                   msg);
-    }
-  }
-  for (std::size_t r = 0; r < state.plan.roots.size(); ++r) {
-    m_.manager_transfers->Add();
-    m_.manager_transfer_bytes->Add(state.decl.size);
-  }
-  broadcasts_.emplace(state.decl.id, std::move(state));
-}
-
-void Manager::ResendBroadcastDirect(BroadcastState& state, WorkerId worker) {
-  auto payload = manager_store_.Get(state.decl.id);
-  if (!payload.ok()) return;
-  // Recovery traffic is accounted separately: the broadcast's payload bytes
-  // were counted once at admission (StartBroadcast), and counting resends
-  // into manager_transfer_bytes would double-bill every retried subtree.
-  m_.broadcast_resends->Add();
-  m_.broadcast_resend_bytes->Add(state.decl.size);
-  telemetry_->flight.Record("bcast-resend", state.decl.name,
-                            state.trace.trace_id, state.decl.id.Prefix64(),
-                            worker);
-  for (std::uint64_t k = 0; k < state.num_chunks; ++k) {
-    PutChunkMsg msg;
-    msg.decl = state.decl;
-    msg.chunk_index = k;
-    msg.num_chunks = state.num_chunks;
-    msg.chunk_bytes = state.chunk_bytes;
-    msg.chunk = payload->Slice(static_cast<std::size_t>(k * state.chunk_bytes),
-                               static_cast<std::size_t>(state.chunk_bytes));
-    msg.trace = state.trace;
-    if (!SendTo(worker, msg).ok()) return;  // died again; reaped next batch
-  }
-}
-
-void Manager::CompleteBroadcastReady(WorkerId worker,
-                                     const hash::ContentId& id) {
-  auto it = broadcasts_.find(id);
-  if (it == broadcasts_.end()) return;
-  if (it->second.pending.erase(worker) == 0) return;  // duplicate confirm
-  replicas_.AddReplica(id, worker);
-  if (it->second.pending.empty()) FinishBroadcast(it);
-}
-
-void Manager::FailBroadcastWorker(WorkerId worker, const hash::ContentId& id,
-                                  const std::string& error) {
-  auto it = broadcasts_.find(id);
-  if (it == broadcasts_.end()) return;
-  BroadcastState& state = it->second;
-  if (state.pending.count(worker) == 0) return;
-  if (++state.attempts[worker] < config_.max_attempts) {
-    VLOG_WARN("manager") << "broadcast chunk reassembly failed on worker "
-                         << worker << " (" << error << "); re-sending direct";
-    ResendBroadcastDirect(state, worker);
-    return;
-  }
-  state.future->Resolve(DataLossError("broadcast of " + state.decl.name +
-                                      " to worker " + std::to_string(worker) +
-                                      " failed: " + error));
-  FinishOne();
-  broadcasts_.erase(it);
-}
-
-void Manager::HandleBroadcastWorkerDeath(WorkerId worker) {
-  for (auto it = broadcasts_.begin(); it != broadcasts_.end();) {
-    BroadcastState& state = it->second;
-    state.pending.erase(worker);
-    auto pos = std::find(state.order.begin(), state.order.end(), worker);
-    if (pos != state.order.end()) {
-      // Every chunk the dead worker had not yet relayed is lost to its
-      // subtree: re-feed each still-pending descendant directly from the
-      // manager.  Chunks that did get through are deduped by reassembly.
-      const auto dead_index =
-          static_cast<std::size_t>(pos - state.order.begin());
-      std::vector<std::uint64_t> stack(state.plan.children[dead_index].begin(),
-                                       state.plan.children[dead_index].end());
-      while (!stack.empty()) {
-        const auto index = static_cast<std::size_t>(stack.back());
-        stack.pop_back();
-        stack.insert(stack.end(), state.plan.children[index].begin(),
-                     state.plan.children[index].end());
-        const WorkerId dest = state.order[index];
-        if (state.pending.count(dest) != 0) ResendBroadcastDirect(state, dest);
-      }
-    }
-    auto next = std::next(it);
-    if (state.pending.empty()) FinishBroadcast(it);
-    it = next;
-  }
-}
-
-void Manager::ProbeBroadcasts() {
-  // Liveness backstop: a relay that crashes after the transport accepted its
-  // chunks never confirms and never fails a send, so nothing else would
-  // notice.  Periodically re-send chunk 0 (deduped by reassembly, and
-  // re-acked by workers that already hold the file) to every unconfirmed
-  // worker; a dead endpoint makes the send fail, which feeds the normal
-  // death-recovery path.
-  const double now = Now();
-  for (auto& [id, state] : broadcasts_) {
-    if (now - state.last_probe_s < config_.broadcast_probe_s) continue;
-    state.last_probe_s = now;
-    auto payload = manager_store_.Get(state.decl.id);
-    if (!payload.ok()) continue;
-    for (WorkerId worker : state.pending) {
-      PutChunkMsg msg;
-      msg.decl = state.decl;
-      msg.chunk_index = 0;
-      msg.num_chunks = state.num_chunks;
-      msg.chunk_bytes = state.chunk_bytes;
-      msg.chunk =
-          payload->Slice(0, static_cast<std::size_t>(state.chunk_bytes));
-      msg.trace = state.trace;
-      (void)SendTo(worker, msg);
-    }
-  }
-}
-
-void Manager::FinishBroadcast(
-    std::map<hash::ContentId, BroadcastState>::iterator it) {
-  BroadcastState state = std::move(it->second);
-  broadcasts_.erase(it);
-  const double now = Now();
-  telemetry_->tracer.EmitLinked(state.trace, telemetry::Phase::kTransfer,
-                                "broadcast", "manager",
-                                state.decl.id.Prefix64(), state.started_s,
-                                now);
-  Outcome outcome;
-  outcome.timing.transfer_s = now - state.started_s;
-  state.future->Resolve(std::move(outcome));
-  FinishOne();
-}
-
-void Manager::DispatchTask(RunningTask& running) {
-  const double now = Now();
-  running.transfer_wait_s = now - running.staged_at;
-  running.task.trace = telemetry_->tracer.EmitLinked(
-      running.task.trace, telemetry::Phase::kTransfer, "task",
-      "worker-" + std::to_string(running.worker), running.task.spec.id,
-      running.staged_at, now);
-  ExecuteTaskMsg msg;
-  msg.task = running.task.spec;  // copy: a retry reuses the original
-  msg.trace = running.task.trace;
-  for (const auto& decl : running.task.inline_decls) {
-    auto payload = manager_store_.Get(decl.id);
-    if (!payload.ok()) {
-      // Fully unwind the placement before resolving: leaving the task in
-      // running_tasks_ and the worker's running set would let a later
-      // worker death requeue this already-failed task and double-resolve
-      // its future (stealing another waiter's FinishOne).
-      const TaskId id = running.task.spec.id;
-      auto worker_it = workers_.find(running.worker);
-      if (worker_it != workers_.end()) {
-        worker_it->second.running_tasks.erase(id);
-        Status released = worker_it->second.alloc.Release(running.claimed);
-        if (!released.ok()) {
-          VLOG_ERROR("manager") << "release: " << released.ToString();
-        }
-      }
-      running.task.future->Resolve(payload.status());
-      FinishOne();
-      running_tasks_.erase(id);  // `running` is dangling past this point
-      return;
-    }
-    msg.task.inline_files.emplace_back(decl, std::move(*payload));
-  }
-  (void)SendTo(running.worker, msg);
-}
-
-void Manager::DispatchInstall(InstanceInfo& instance) {
-  auto lib_it = libraries_.find(instance.library);
-  if (lib_it == libraries_.end()) return;
-  instance.state = InstanceState::kInstalling;
-  instance.trace = telemetry_->tracer.EmitLinked(
-      instance.trace, telemetry::Phase::kDispatch, "library",
-      "worker-" + std::to_string(instance.worker), instance.id, Now(), Now());
-  InstallLibraryMsg msg{lib_it->second.spec, instance.id, instance.trace};
-  (void)SendTo(instance.worker, msg);
-}
-
-void Manager::FeedInstance(InstanceInfo& instance) {
-  if (instance.state != InstanceState::kReady) return;
-  auto lib_it = libraries_.find(instance.library);
-  if (lib_it == libraries_.end()) return;
-  auto& queue = lib_it->second.queue;
-  // Each round folds up to max_batch calls into one frame; loop in case the
-  // instance has more free slots than one batch covers.
-  while (!queue.empty() && instance.slots_in_use < instance.slots) {
-    if (DispatchCallsTo(instance, queue) == 0) return;
-  }
-}
-
-void Manager::SyncAffinityGauge() {
-  std::size_t warm = 0;
-  for (const auto& [library, workers] : affinity_.table())
-    for (const auto& [worker, count] : workers) warm += count;
-  m_.affinity_warm_instances->Set(static_cast<double>(warm));
-}
-
-// ---------------------------------------------------------------------------
-// Live introspection.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-double RollingP95(const std::deque<double>& window) {
-  if (window.empty()) return 0.0;
-  std::vector<double> sorted(window.begin(), window.end());
-  const auto rank = (sorted.size() - 1) * 95 / 100;
-  std::nth_element(sorted.begin(),
-                   sorted.begin() + static_cast<std::ptrdiff_t>(rank),
-                   sorted.end());
-  return sorted[rank];
-}
-
-}  // namespace
-
-void Manager::StartStatusQuery(StatusCmd cmd) {
-  // A new query preempts an unfinished one: resolve the old promise with
-  // whatever arrived so far rather than leaving its caller to time out.
-  if (status_query_.active) FinalizeStatusQuery();
-
-  status_query_ = StatusQuery{};
-  status_query_.promise = std::move(cmd.promise);
-  status_query_.active = true;
-
-  ClusterStatus& status = status_query_.status;
-  status.collected_s = Now();
-  status.task_queue_depth = task_queue_.size();
-  status.straggler_factor = config_.straggler_factor;
-  for (const auto& [name, info] : libraries_)
-    status.library_queues.push_back({name, info.queue.size()});
-  status.scheduler.policy =
-      std::string(SchedulerPolicyName(config_.scheduler.policy));
-  status.scheduler.affinity_hits = m_.affinity_hits->Value();
-  status.scheduler.affinity_misses = m_.affinity_misses->Value();
-  status.scheduler.steals = m_.steals->Value();
-  status.scheduler.autoscale_deploys = m_.autoscale_deploys->Value();
-  status.scheduler.autoscale_evicts = m_.autoscale_evicts->Value();
-  {
-    const telemetry::HistogramSnapshot batches =
-        m_.dispatch_batch_size->Snapshot();
-    status.scheduler.batches_sent = batches.count;
-    status.scheduler.avg_batch_size = batches.Mean();
-    status.scheduler.max_batch_size =
-        static_cast<std::uint64_t>(batches.max);
-  }
-  for (const auto& [library, workers] : affinity_.table()) {
-    AffinitySetStatus set;
-    set.library = library;
-    for (const auto& [worker, count] : workers) set.workers.push_back(worker);
-    status.scheduler.affinity_sets.push_back(std::move(set));
-  }
-  for (const auto& [id, state] : broadcasts_) {
-    BroadcastStatus b;
-    b.name = state.decl.name;
-    b.id = id;
-    b.num_chunks = state.num_chunks;
-    b.pending.assign(state.pending.begin(), state.pending.end());
-    status.broadcasts.push_back(std::move(b));
-  }
-  status.slo = slo_monitor_.Snapshot(Now());
-
-  // Skeleton per worker with the manager-side latency view; the wire reply
-  // fills in the worker-side fields.
-  for (const auto& [id, state] : workers_) {
-    WorkerStatus w;
-    w.id = id;
-    w.p95_latency_s = RollingP95(state.invocation_latency_s);
-    w.latency_samples = state.invocation_latency_s.size();
-    status.workers.push_back(std::move(w));
-    status_query_.awaiting.insert(id);
-  }
-  for (auto it = status_query_.awaiting.begin();
-       it != status_query_.awaiting.end();) {
-    const WorkerId id = *it;
-    if (SendTo(id, StatusRequestMsg{}).ok()) {
-      ++it;
-    } else {
-      // Send failed: the worker is gone and will be reaped, but its reply
-      // will never come — don't block the query on it.
-      std::erase_if(status_query_.status.workers,
-                    [&](const WorkerStatus& w) { return w.id == id; });
-      it = status_query_.awaiting.erase(it);
-    }
-  }
-  if (status_query_.awaiting.empty()) FinalizeStatusQuery();
-}
-
-void Manager::HandleStatusReply(WorkerId worker, const StatusReplyMsg& msg) {
-  if (!status_query_.active) return;
-  if (status_query_.awaiting.erase(worker) == 0) return;  // stale reply
-  for (WorkerStatus& w : status_query_.status.workers) {
-    if (w.id != worker) continue;
-    w.inbox_depth = msg.inbox_depth;
-    w.tasks_executed = msg.tasks_executed;
-    w.cache = msg.cache;
-    w.assemblies = msg.assemblies;
-    w.libraries = msg.libraries;
-    w.refs_held = msg.refs_held;
-    w.p2p_fetch_bytes = msg.p2p_fetch_bytes;
-    w.p2p_serve_bytes = msg.p2p_serve_bytes;
-    w.relayed_result_bytes = msg.relayed_result_bytes;
-    w.arena_hwm_bytes = msg.arena_hwm_bytes;
-    break;
-  }
-  if (status_query_.awaiting.empty()) FinalizeStatusQuery();
-}
-
-void Manager::FinalizeStatusQuery() {
-  if (!status_query_.active) return;
-  ClusterStatus& status = status_query_.status;
-
-  // Straggler detection: a worker whose rolling p95 exceeds
-  // straggler_factor × the cluster median p95 (over workers with samples).
-  std::vector<double> p95s;
-  for (const WorkerStatus& w : status.workers)
-    if (w.latency_samples > 0) p95s.push_back(w.p95_latency_s);
-  if (!p95s.empty()) {
-    const auto mid = p95s.size() / 2;
-    std::nth_element(p95s.begin(),
-                     p95s.begin() + static_cast<std::ptrdiff_t>(mid),
-                     p95s.end());
-    status.cluster_median_p95_s = p95s[mid];
-    for (WorkerStatus& w : status.workers) {
-      w.straggler = w.latency_samples > 0 && status.cluster_median_p95_s > 0 &&
-                    w.p95_latency_s >
-                        status.straggler_factor * status.cluster_median_p95_s;
-    }
-  }
-
-  status_query_.promise->set_value(std::move(status));
-  status_query_ = StatusQuery{};
-}
-
-void Manager::RunQuiescenceCheck(QuiescenceCmd cmd) {
-  // Reap deaths the transport has already signalled, so the audit sees the
-  // settled state rather than a snapshot taken mid-recovery.
-  ProcessDeadWorkers();
-
-  QuiescenceReport report;
-  auto violate = [&](std::string what) {
-    report.quiescent = false;
-    report.violations.push_back(std::move(what));
-  };
-
-  {
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    report.outstanding_futures = outstanding_;
-  }
-  if (report.outstanding_futures != 0)
-    violate(std::to_string(report.outstanding_futures) +
-            " submitted futures still unresolved");
-
-  report.task_queue = task_queue_.size();
-  if (report.task_queue != 0)
-    violate(std::to_string(report.task_queue) + " tasks still queued");
-  report.running_tasks = running_tasks_.size();
-  if (report.running_tasks != 0)
-    violate(std::to_string(report.running_tasks) +
-            " entries leaked in running_tasks_");
-  report.transfers = transfers_.size();
-  if (report.transfers != 0)
-    violate(std::to_string(report.transfers) +
-            " transfers still in flight (or leaked)");
-  report.broadcasts = broadcasts_.size();
-  if (report.broadcasts != 0)
-    violate(std::to_string(report.broadcasts) + " broadcasts still active");
-
-  for (const auto& [name, info] : libraries_) {
-    report.queued_calls += info.queue.size();
-    if (!info.queue.empty())
-      violate("library " + name + " still has " +
-              std::to_string(info.queue.size()) + " queued calls");
-  }
-
-  // Instances may legitimately outlive the workload (retained context is
-  // the point), but they must be settled: kReady, no running invocations,
-  // no claimed slots, nothing mid-stage.  Transitional states are reported
-  // so callers poll until removal/readiness lands.
-  report.instances = instances_.size();
-  std::size_t expected_active = 0;
-  double expected_context_bytes = 0.0;
-  for (const auto& [id, instance] : instances_) {
-    const std::string label =
-        "instance " + instance.library + "#" + std::to_string(id);
-    report.running_invocations += instance.running.size();
-    if (!instance.running.empty())
-      violate(label + " still has " +
-              std::to_string(instance.running.size()) +
-              " running invocations");
-    if (instance.slots_in_use != instance.running.size())
-      violate(label + " slots_in_use=" +
-              std::to_string(instance.slots_in_use) + " but " +
-              std::to_string(instance.running.size()) +
-              " running invocations");
-    switch (instance.state) {
-      case InstanceState::kStaging:
-        violate(label + " still staging");
-        break;
-      case InstanceState::kInstalling:
-        violate(label + " still installing");
-        break;
-      case InstanceState::kDraining:
-        violate(label + " still draining");
-        break;
-      case InstanceState::kReady:
-        if (instance.pending_files != 0)
-          violate(label + " ready but pending_files=" +
-                  std::to_string(instance.pending_files));
-        break;
-    }
-    if (instance.state == InstanceState::kReady ||
-        instance.state == InstanceState::kDraining) {
-      ++expected_active;
-      expected_context_bytes += static_cast<double>(instance.context_memory);
-    }
-    auto worker_it = workers_.find(instance.worker);
-    if (worker_it == workers_.end() ||
-        !worker_it->second.instances.contains(id))
-      violate(label + " not linked to worker " +
-              std::to_string(instance.worker));
-  }
-
-  // Gauges must equal the values recomputed from first principles.
-  report.libraries_active_gauge =
-      static_cast<std::uint64_t>(m_.libraries_active->Value());
-  if (m_.libraries_active->Value() !=
-      static_cast<double>(expected_active))
-    violate("libraries_active gauge = " +
-            std::to_string(report.libraries_active_gauge) + " but " +
-            std::to_string(expected_active) + " ready/draining instances");
-  report.retained_context_bytes_gauge =
-      static_cast<std::uint64_t>(m_.retained_context_bytes->Value());
-  if (m_.retained_context_bytes->Value() != expected_context_bytes)
-    violate("retained_context_bytes gauge = " +
-            std::to_string(report.retained_context_bytes_gauge) +
-            " but instances retain " +
-            std::to_string(static_cast<std::uint64_t>(
-                expected_context_bytes)) +
-            " bytes");
-
-  // Affinity sets must equal what the instance table implies: exactly one
-  // entry per kReady instance, keyed by its (library, worker).  A stale
-  // entry (e.g. left behind by a worker death) would route invocations at
-  // vanished context; a missing one hides warm capacity.
-  AffinityIndex expected_affinity;
-  for (const auto& [id, instance] : instances_)
-    if (instance.state == InstanceState::kReady)
-      expected_affinity.Add(instance.library, instance.worker);
-  for (const auto& [library, workers] : affinity_.table()) {
-    report.affinity_entries += workers.size();
-    const AffinityIndex::WorkerCounts* expected =
-        expected_affinity.Get(library);
-    for (const auto& [worker, count] : workers) {
-      std::uint32_t expected_count = 0;
-      if (expected != nullptr) {
-        auto expected_it = expected->find(worker);
-        if (expected_it != expected->end())
-          expected_count = expected_it->second;
-      }
-      if (expected_count == 0)
-        violate("stale affinity entry: " + library + " -> worker " +
-                std::to_string(worker) + " (no ready instance there)");
-      else if (expected_count != count)
-        violate("affinity count for " + library + " on worker " +
-                std::to_string(worker) + " = " + std::to_string(count) +
-                " but " + std::to_string(expected_count) +
-                " ready instances");
-    }
-  }
-  std::size_t expected_warm = 0;
-  for (const auto& [library, workers] : expected_affinity.table())
-    for (const auto& [worker, count] : workers) {
-      expected_warm += count;
-      if (!affinity_.Contains(library, worker))
-        violate("missing affinity entry: " + library + " -> worker " +
-                std::to_string(worker));
-    }
-  report.affinity_warm_gauge =
-      static_cast<std::uint64_t>(m_.affinity_warm_instances->Value());
-  if (m_.affinity_warm_instances->Value() !=
-      static_cast<double>(expected_warm))
-    violate("affinity_warm_instances gauge = " +
-            std::to_string(report.affinity_warm_gauge) + " but " +
-            std::to_string(expected_warm) + " ready instances");
-
-  // Per-worker accounting: the membership sets must be mirrored by the
-  // scheduler tables, and the recorded claims must exactly explain the
-  // allocator's non-free resources.
-  for (const auto& [worker_id, state] : workers_) {
-    const std::string label = "worker " + std::to_string(worker_id);
-    for (TaskId task_id : state.running_tasks)
-      if (!running_tasks_.contains(task_id))
-        violate(label + " lists unknown running task " +
-                std::to_string(task_id));
-    for (LibraryInstanceId inst_id : state.instances)
-      if (!instances_.contains(inst_id))
-        violate(label + " lists unknown instance " +
-                std::to_string(inst_id));
-    Resources claimed{0, 0, 0};
-    auto add_claim = [&claimed](const Resources& r) {
-      claimed.cores += r.cores;
-      claimed.memory_mb += r.memory_mb;
-      claimed.disk_mb += r.disk_mb;
-    };
-    for (const auto& [_, running] : running_tasks_)
-      if (running.worker == worker_id) add_claim(running.claimed);
-    for (const auto& [_, instance] : instances_)
-      if (instance.worker == worker_id) add_claim(instance.claimed);
-    const Resources total = state.alloc.total();
-    const Resources expected_free{total.cores - claimed.cores,
-                                  total.memory_mb - claimed.memory_mb,
-                                  total.disk_mb - claimed.disk_mb};
-    if (claimed.cores > total.cores || claimed.memory_mb > total.memory_mb ||
-        claimed.disk_mb > total.disk_mb) {
-      violate(label + " oversubscribed: claims " + claimed.ToString() +
-              " of " + total.ToString());
-    } else if (!(state.alloc.free() == expected_free)) {
-      violate(label + " allocator free=" + state.alloc.free().ToString() +
-              " but recorded claims imply " + expected_free.ToString());
-    }
-  }
-
-  // Pass-by-reference audit: every tracked ref must still have a live
-  // replica, and its consumer refcount must equal the consumers actually
-  // queued or running — a drifted count either drops a payload a consumer is
-  // about to fetch or pins it forever.  No FetchRef may be outstanding.
-  report.refs_tracked = refs_.size();
-  std::map<hash::ContentId, std::uint64_t> expected_consumers;
-  for (const auto& [name, info] : libraries_)
-    for (const auto& call : info.queue)
-      for (const RefArg& arg : call.ref_args)
-        ++expected_consumers[arg.ref.id];
-  for (const auto& [id, instance] : instances_)
-    for (const auto& [_, call] : instance.running)
-      for (const RefArg& arg : call.ref_args)
-        ++expected_consumers[arg.ref.id];
-  for (const auto& [id, info] : refs_) {
-    report.ref_bytes += info.size;
-    const std::string label = "ref " + id.ShortHex();
-    if (replicas_.ReplicaCount(id) == 0)
-      violate(label + " tracked but no live replica holds it");
-    std::uint64_t expected = 0;
-    auto expected_it = expected_consumers.find(id);
-    if (expected_it != expected_consumers.end()) expected = expected_it->second;
-    if (info.pending_consumers != expected)
-      violate(label + " counts " + std::to_string(info.pending_consumers) +
-              " pending consumers but " + std::to_string(expected) +
-              " are queued/running");
-  }
-  if (!manager_fetches_.empty())
-    violate(std::to_string(manager_fetches_.size()) +
-            " manager ref fetches still in flight");
-
-  cmd.promise->set_value(std::move(report));
-}
-
-// ---------------------------------------------------------------------------
-// Fault handling.
-// ---------------------------------------------------------------------------
-
-void Manager::RequeueCall(PendingCall call) {
-  auto it = libraries_.find(call.library);
-  if (it == libraries_.end()) {
-    SettleCallRefs(call);
-    call.future->Resolve(NotFoundError("library vanished: " + call.library));
-    FinishOne();
-    return;
-  }
-  call.queued_s = Now();
-  it->second.queue.push_front(std::move(call));
-}
-
-void Manager::FailWaiter(const Waiter& waiter, const Status& status) {
-  if (waiter.is_instance) {
-    // Discard the staging instance; its queued calls stay in the library
-    // queue and redeploy elsewhere on the next scheduling pass.
-    auto inst_it = instances_.find(waiter.id);
-    if (inst_it == instances_.end()) return;
-    auto worker_it = workers_.find(inst_it->second.worker);
-    if (worker_it != workers_.end()) {
-      worker_it->second.instances.erase(inst_it->second.id);
-      Status released =
-          worker_it->second.alloc.Release(inst_it->second.claimed);
-      if (!released.ok()) {
-        VLOG_ERROR("manager") << "release: " << released.ToString();
-      }
-    }
-    instances_.erase(inst_it);
-  } else {
-    auto task_it = running_tasks_.find(waiter.id);
-    if (task_it == running_tasks_.end()) return;
-    auto worker_it = workers_.find(task_it->second.worker);
-    if (worker_it != workers_.end()) {
-      worker_it->second.running_tasks.erase(waiter.id);
-      Status released =
-          worker_it->second.alloc.Release(task_it->second.claimed);
-      if (!released.ok()) {
-        VLOG_ERROR("manager") << "release: " << released.ToString();
-      }
-    }
-    task_it->second.task.future->Resolve(status);
-    FinishOne();
-    running_tasks_.erase(task_it);
-  }
-}
-
-void Manager::ProcessDeadWorkers() {
-  while (!pending_dead_.empty()) {
-    const WorkerId worker = *pending_dead_.begin();
-    pending_dead_.erase(pending_dead_.begin());
-    OnWorkerDead(worker);
-  }
-}
-
-void Manager::OnWorkerDead(WorkerId worker) {
-  auto it = workers_.find(worker);
-  if (it == workers_.end()) return;
-  VLOG_INFO("manager") << "worker " << worker << " left ("
-                       << it->second.running_tasks.size() << " tasks, "
-                       << it->second.instances.size() << " instances)";
-  telemetry_->flight.Record("worker-dead", "", 0, worker,
-                            it->second.running_tasks.size());
-  // A status query can't wait on a dead worker; drop its (never-arriving)
-  // entry and finalize if it was the last one outstanding.
-  if (status_query_.active && status_query_.awaiting.erase(worker) != 0) {
-    auto& entries = status_query_.status.workers;
-    std::erase_if(entries,
-                  [&](const WorkerStatus& w) { return w.id == worker; });
-    if (status_query_.awaiting.empty()) FinalizeStatusQuery();
-  }
-
-  const std::set<TaskId> dead_tasks = std::move(it->second.running_tasks);
-  const std::set<LibraryInstanceId> dead_instances =
-      std::move(it->second.instances);
-  workers_.erase(it);
-  ring_.Remove(worker);
-
-  // Pass-by-reference recovery, part 1: consumers parked mid-fetch on the
-  // dead replica would wait forever — cancel exactly the fetches whose
-  // dispatch stamped this worker as the source.  The cancelled invocations
-  // fail back to the manager, requeue, and re-dispatch against a surviving
-  // replica (or fail with kDataLoss below if none is left).
-  for (auto& [_, instance] : instances_) {
-    if (instance.worker == worker) continue;  // dies with its worker below
-    std::set<hash::ContentId> cancel;
-    for (const auto& [__, call] : instance.running)
-      for (const RefArg& arg : call.ref_args)
-        if (arg.source == worker) cancel.insert(arg.ref.id);
-    for (const hash::ContentId& id : cancel)
-      (void)SendTo(instance.worker, CancelFetchMsg{id});
-  }
-
-  replicas_.RemoveWorker(worker);
-
-  // Part 2: refs whose last replica died are gone for good — forget them so
-  // the audit sees a consistent table; their not-yet-dispatched consumers
-  // fail with kDataLoss at dispatch time.
-  for (auto ref_it = refs_.begin(); ref_it != refs_.end();) {
-    if (replicas_.ReplicaCount(ref_it->first) == 0) {
-      telemetry_->flight.Record("ref-lost", ref_it->first.ShortHex(), 0,
-                                ref_it->first.Prefix64(), worker);
-      ref_it = refs_.erase(ref_it);
-    } else {
-      ++ref_it;
-    }
-  }
-
-  // Part 3: a FetchRef materialization served by the dead worker retries the
-  // next holder; out of holders = data loss for its waiters.
-  for (auto f_it = manager_fetches_.begin(); f_it != manager_fetches_.end();) {
-    if (f_it->second.source != worker || AdvanceManagerFetch(f_it->second)) {
-      ++f_it;
-      continue;
-    }
-    for (auto& waiter : f_it->second.waiters)
-      waiter->set_value(DataLossError("ref replica died and no other holder "
-                                      "survives: " +
-                                      f_it->second.ref.id.ShortHex()));
-    f_it = manager_fetches_.erase(f_it);
-  }
-  // Drop every affinity entry pointing at the dead worker — a stale entry
-  // here is exactly what the quiescence audit flags as a violation.
-  affinity_.RemoveWorker(worker);
-  SyncAffinityGauge();
-  {
-    std::lock_guard<std::mutex> lock(wait_mu_);
-    worker_count_ = workers_.size();
-    wait_cv_.notify_all();
-  }
-
-  // Transfers touching the dead worker: destinations die with their
-  // waiters (requeued below); transfers *sourced* from it restart from a
-  // new source.
-  std::vector<std::pair<TransferKey, Transfer>> resource;
-  for (auto t_it = transfers_.begin(); t_it != transfers_.end();) {
-    if (t_it->first.dest == worker) {
-      replicas_.EndTransfer(t_it->second.source);
-      t_it = transfers_.erase(t_it);
-    } else if (!t_it->second.source.from_manager &&
-               t_it->second.source.peer == worker) {
-      replicas_.EndTransfer(t_it->second.source);
-      resource.emplace_back(t_it->first, std::move(t_it->second));
-      t_it = transfers_.erase(t_it);
-    } else {
-      ++t_it;
-    }
-  }
-  for (auto& [key, transfer] : resource) {
-    // Restage from the manager (it normally holds every declared payload).
-    // When StageFile declines — or the fresh transfer is not found under
-    // the key — the remaining waiters must be failed explicitly: silently
-    // dropping them leaves their futures unresolved and hangs WaitAll.
-    auto waiters = std::move(transfer.waiters);
-    const Status lost =
-        DataLossError("transfer source died and restage failed: " +
-                      transfer.decl.name);
-    bool first = true;
-    bool staged = false;
-    for (const Waiter& waiter : waiters) {
-      if (first) {
-        first = false;
-        staged = StageFile(transfer.decl, key.dest, waiter, transfer.trace);
-        if (!staged) FailWaiter(waiter, lost);
-        continue;
-      }
-      auto new_it = staged ? transfers_.find(key) : transfers_.end();
-      if (new_it != transfers_.end())
-        new_it->second.waiters.push_back(waiter);
-      else
-        FailWaiter(waiter, lost);
-    }
-  }
-
-  HandleBroadcastWorkerDeath(worker);
-
-  for (TaskId id : dead_tasks) {
-    auto task_it = running_tasks_.find(id);
-    if (task_it == running_tasks_.end()) continue;
-    PendingTask task = std::move(task_it->second.task);
-    running_tasks_.erase(task_it);
-    if (++task.attempts < config_.max_attempts) {
-      m_.retries->Add();
-      task.queued_s = Now();
-      task_queue_.push_back(std::move(task));
-    } else {
-      task.future->Resolve(UnavailableError("worker died repeatedly"));
-      FinishOne();
-    }
-  }
-
-  for (LibraryInstanceId id : dead_instances) {
-    auto inst_it = instances_.find(id);
-    if (inst_it == instances_.end()) continue;
-    InstanceInfo instance = std::move(inst_it->second);
-    instances_.erase(inst_it);
-    // A draining instance was counted active at LibraryReady and its
-    // LibraryRemovedMsg (the usual decrement point) will never arrive from
-    // a dead worker — decrement here for both states or the gauge drifts.
-    if (instance.state == InstanceState::kReady ||
-        instance.state == InstanceState::kDraining)
-      m_.libraries_active->Set(
-          std::max(0.0, m_.libraries_active->Value() - 1));
-    m_.retained_context_bytes->Set(
-        std::max(0.0, m_.retained_context_bytes->Value() -
-                          static_cast<double>(instance.context_memory)));
-    for (auto& [_, call] : instance.running) {
-      if (++call.attempts < config_.max_attempts) {
-        m_.retries->Add();
-        RequeueCall(std::move(call));
-      } else {
-        SettleCallRefs(call);
-        call.future->Resolve(UnavailableError("worker died repeatedly"));
-        FinishOne();
-      }
-    }
-  }
 }
 
 Status Manager::SendTo(WorkerId worker, const Message& message) {

@@ -162,7 +162,7 @@ struct LibraryOptions {
 
 class Manager {
  public:
-  Manager(std::shared_ptr<net::Network> network, ManagerConfig config = {});
+  Manager(std::shared_ptr<net::Transport> network, ManagerConfig config = {});
   ~Manager();
 
   Manager(const Manager&) = delete;
@@ -565,7 +565,7 @@ class Manager {
   double Now() const { return telemetry_->clock.Now(); }
 
   // ---- shared (mutex-guarded) ----
-  std::shared_ptr<net::Network> network_;
+  std::shared_ptr<net::Transport> network_;
   ManagerConfig config_;
   const serde::FunctionRegistry* registry_;
 

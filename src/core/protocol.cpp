@@ -803,11 +803,9 @@ Result<Message> DecodeBlobData(ArchiveReader& r, const Blob* attachment) {
   return Message(std::move(m));
 }
 
-Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
-  ArchiveReader r(blob);
-  auto tag = r.ReadU8();
-  if (!tag.ok()) return tag.status();
-  switch (static_cast<Tag>(*tag)) {
+Result<Message> DecodeBody(ArchiveReader& r, std::uint8_t tag,
+                           const Blob* attachment) {
+  switch (static_cast<Tag>(tag)) {
     case Tag::kPutFile:
       return DecodePutFile(r, attachment);
     case Tag::kPutChunk:
@@ -887,7 +885,22 @@ Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
       return Message(CancelFetchMsg{*id});
     }
   }
-  return DataLossError("unknown message tag " + std::to_string(*tag));
+  return DataLossError("unknown message tag " + std::to_string(tag));
+}
+
+Result<Message> DecodeImpl(const Blob& blob, const Blob* attachment) {
+  ArchiveReader r(blob);
+  auto tag = r.ReadU8();
+  if (!tag.ok()) return tag.status();
+  auto message = DecodeBody(r, *tag, attachment);
+  if (!message.ok()) return message.status();
+  // A well-formed payload is consumed exactly; leftover bytes mean a
+  // corrupt or mismatched frame, not extra data to ignore.
+  if (!r.AtEnd())
+    return DataLossError("trailing bytes after message tag " +
+                         std::to_string(*tag) + ": " +
+                         std::to_string(r.remaining()) + " unread");
+  return message;
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 
 namespace vinelet::core {
 
-Worker::Worker(std::shared_ptr<net::Network> network, WorkerConfig config)
+Worker::Worker(std::shared_ptr<net::Transport> network, WorkerConfig config)
     : network_(std::move(network)),
       config_(config),
       registry_(config.registry != nullptr ? config.registry

@@ -49,7 +49,7 @@ struct WorkerConfig {
 
 class Worker {
  public:
-  Worker(std::shared_ptr<net::Network> network, WorkerConfig config);
+  Worker(std::shared_ptr<net::Transport> network, WorkerConfig config);
   ~Worker();
 
   Worker(const Worker&) = delete;
@@ -111,7 +111,7 @@ class Worker {
   void SendToManager(const Message& message);
   void ReapTaskThreads(bool all);
 
-  std::shared_ptr<net::Network> network_;
+  std::shared_ptr<net::Transport> network_;
   WorkerConfig config_;
   const serde::FunctionRegistry* registry_;
   storage::ContentStore store_;

@@ -1,0 +1,168 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace vinelet::net {
+namespace {
+
+void PutU32(std::uint8_t* out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void PutU64(std::uint8_t* out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint32_t GetU32(const std::uint8_t* in) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i)
+    value |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return value;
+}
+
+std::uint64_t GetU64(const std::uint8_t* in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return value;
+}
+
+}  // namespace
+
+namespace wire {
+
+void AppendU32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void AppendU64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void AppendString(std::vector<std::uint8_t>& out, std::string_view text) {
+  AppendU32(out, static_cast<std::uint32_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+bool TakeU32(std::span<const std::uint8_t>& in, std::uint32_t& value) {
+  if (in.size() < 4) return false;
+  value = GetU32(in.data());
+  in = in.subspan(4);
+  return true;
+}
+
+bool TakeU64(std::span<const std::uint8_t>& in, std::uint64_t& value) {
+  if (in.size() < 8) return false;
+  value = GetU64(in.data());
+  in = in.subspan(8);
+  return true;
+}
+
+bool TakeString(std::span<const std::uint8_t>& in, std::string& text) {
+  std::uint32_t len = 0;
+  if (!TakeU32(in, len)) return false;
+  if (in.size() < len) return false;
+  text.assign(reinterpret_cast<const char*>(in.data()), len);
+  in = in.subspan(len);
+  return true;
+}
+
+}  // namespace wire
+
+void EncodeWireHeader(const WireHeader& header,
+                      std::array<std::uint8_t, kWireHeaderSize>& out) {
+  out[0] = kWireMagic0;
+  out[1] = kWireMagic1;
+  out[2] = static_cast<std::uint8_t>(header.kind);
+  out[3] = 0;
+  PutU64(out.data() + 4, header.sender);
+  PutU64(out.data() + 12, header.dest);
+  PutU32(out.data() + 20, header.payload_len);
+  PutU32(out.data() + 24, header.attach_len);
+}
+
+Result<WireHeader> DecodeWireHeader(
+    std::span<const std::uint8_t, kWireHeaderSize> raw,
+    const FramingLimits& limits) {
+  if (raw[0] != kWireMagic0 || raw[1] != kWireMagic1)
+    return DataLossError("wire frame: bad magic");
+  const std::uint8_t kind = raw[2];
+  if (kind < static_cast<std::uint8_t>(WireKind::kData) ||
+      kind > static_cast<std::uint8_t>(WireKind::kGoodbye))
+    return DataLossError("wire frame: unknown kind " + std::to_string(kind));
+  if (raw[3] != 0) return DataLossError("wire frame: non-zero reserved byte");
+  WireHeader header;
+  header.kind = static_cast<WireKind>(kind);
+  header.sender = GetU64(raw.data() + 4);
+  header.dest = GetU64(raw.data() + 12);
+  header.payload_len = GetU32(raw.data() + 20);
+  header.attach_len = GetU32(raw.data() + 24);
+  if (header.payload_len > limits.max_payload_bytes)
+    return DataLossError("wire frame: payload length " +
+                         std::to_string(header.payload_len) + " exceeds cap");
+  if (header.attach_len > limits.max_attachment_bytes)
+    return DataLossError("wire frame: attachment length " +
+                         std::to_string(header.attach_len) + " exceeds cap");
+  return header;
+}
+
+Status FrameDecoder::Feed(std::span<const std::uint8_t> bytes) {
+  if (!status_.ok()) return status_;
+  while (!bytes.empty()) {
+    if (!have_header_) {
+      const std::size_t take =
+          std::min(bytes.size(), kWireHeaderSize - header_fill_);
+      std::memcpy(header_raw_.data() + header_fill_, bytes.data(), take);
+      header_fill_ += take;
+      bytes = bytes.subspan(take);
+      if (header_fill_ < kWireHeaderSize) break;
+      auto header = DecodeWireHeader(
+          std::span<const std::uint8_t, kWireHeaderSize>(header_raw_),
+          limits_);
+      if (!header.ok()) {
+        status_ = header.status();
+        return status_;
+      }
+      header_ = *header;
+      have_header_ = true;
+      body_.clear();
+      body_.resize(static_cast<std::size_t>(header_.payload_len) +
+                   header_.attach_len);
+      body_fill_ = 0;
+    }
+    const std::size_t take = std::min(bytes.size(), body_.size() - body_fill_);
+    if (take > 0) {
+      std::memcpy(body_.data() + body_fill_, bytes.data(), take);
+      body_fill_ += take;
+      bytes = bytes.subspan(take);
+    }
+    if (body_fill_ < body_.size()) break;
+    // Frame complete: one refcounted body allocation, zero-copy slices.
+    DecodedWireFrame frame;
+    frame.header = header_;
+    Blob body(std::move(body_));
+    frame.payload = body.Slice(0, header_.payload_len);
+    frame.attachment = body.Slice(header_.payload_len, header_.attach_len);
+    ready_.push_back(std::move(frame));
+    body_ = {};
+    body_fill_ = 0;
+    header_fill_ = 0;
+    have_header_ = false;
+  }
+  return Status::Ok();
+}
+
+std::optional<DecodedWireFrame> FrameDecoder::Next() {
+  if (ready_.empty()) return std::nullopt;
+  DecodedWireFrame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+}  // namespace vinelet::net

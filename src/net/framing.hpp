@@ -1,0 +1,141 @@
+// Length-prefixed wire framing for the TCP transport.
+//
+// Every byte that crosses a socket is one wire frame:
+//
+//   offset  0: u8  magic0 = 'v'
+//   offset  1: u8  magic1 = 'F'
+//   offset  2: u8  kind        (WireKind)
+//   offset  3: u8  reserved = 0
+//   offset  4: u64 sender      (endpoint id, little-endian)
+//   offset 12: u64 dest        (endpoint id, little-endian)
+//   offset 20: u32 payload_len
+//   offset 24: u32 attach_len
+//   offset 28: payload bytes, then attachment bytes
+//
+// The split between payload and attachment mirrors net::Frame: the payload
+// is the protocol header (small), the attachment the bulk content (file
+// chunks, blob fetches).  On the send side both ride as separate iovecs of
+// one writev, so bulk bytes are never copied into the header buffer; on the
+// receive side the decoder materializes the body as one refcounted Blob and
+// hands out zero-copy slices.
+//
+// The decoder is a standalone, incrementally-fed component: Feed() accepts
+// arbitrary byte runs (single bytes, half frames, many coalesced frames)
+// and Next() pops complete frames in order.  All header fields are
+// validated before any allocation sized by them — bad magic, an unknown
+// kind, or a length beyond the configured limits poisons the stream with a
+// kDataLoss status (a desynced TCP stream cannot be resynchronized; the
+// connection must be dropped).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/transport.hpp"
+
+namespace vinelet::net {
+
+/// Transport-level frame kinds.  kData carries application traffic; the
+/// rest implement the transport's own membership/addressing handshake.
+enum class WireKind : std::uint8_t {
+  kData = 1,     ///< Application frame: payload (+ attachment) for `dest`.
+  kHello = 2,    ///< Node -> hub / peer: "these endpoints live here".
+  kPeers = 3,    ///< Hub -> nodes: full address directory snapshot.
+  kGoodbye = 4,  ///< Graceful departure of one endpoint.
+};
+
+constexpr std::size_t kWireHeaderSize = 28;
+constexpr std::uint8_t kWireMagic0 = 'v';
+constexpr std::uint8_t kWireMagic1 = 'F';
+
+struct WireHeader {
+  WireKind kind = WireKind::kData;
+  EndpointId sender = 0;
+  EndpointId dest = 0;
+  std::uint32_t payload_len = 0;
+  std::uint32_t attach_len = 0;
+};
+
+/// Caps applied before any length-driven allocation.  A frame announcing
+/// more than these is treated as garbage, not as a huge allocation request.
+struct FramingLimits {
+  std::uint32_t max_payload_bytes = 64u << 20;        // 64 MiB
+  std::uint32_t max_attachment_bytes = 1u << 30;      // 1 GiB
+};
+
+/// One complete frame popped from the decoder.  `payload` and `attachment`
+/// are zero-copy slices of the same refcounted body allocation.
+struct DecodedWireFrame {
+  WireHeader header;
+  Blob payload;
+  Blob attachment;
+};
+
+/// Serializes `header` into `out`.
+void EncodeWireHeader(const WireHeader& header,
+                      std::array<std::uint8_t, kWireHeaderSize>& out);
+
+// Minimal primitives for the transport's own control payloads (kHello /
+// kPeers bodies).  The application protocol uses serde::Archive; the
+// transport stays below that layer and hand-rolls its two tiny messages.
+namespace wire {
+void AppendU32(std::vector<std::uint8_t>& out, std::uint32_t value);
+void AppendU64(std::vector<std::uint8_t>& out, std::uint64_t value);
+void AppendString(std::vector<std::uint8_t>& out, std::string_view text);
+/// Each reads from the front of `in` and advances it; false on underrun.
+bool TakeU32(std::span<const std::uint8_t>& in, std::uint32_t& value);
+bool TakeU64(std::span<const std::uint8_t>& in, std::uint64_t& value);
+bool TakeString(std::span<const std::uint8_t>& in, std::string& text);
+}  // namespace wire
+
+/// Parses and validates a header.  kDataLoss on bad magic, unknown kind,
+/// a non-zero reserved byte, or lengths beyond `limits`.
+Result<WireHeader> DecodeWireHeader(
+    std::span<const std::uint8_t, kWireHeaderSize> raw,
+    const FramingLimits& limits);
+
+/// Incremental frame decoder (one per connection).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(FramingLimits limits = {}) : limits_(limits) {}
+
+  /// Appends received bytes.  Returns kDataLoss (sticky) the moment a
+  /// malformed header is seen; previously completed frames remain poppable.
+  Status Feed(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete frame, or nullopt when more bytes are needed.
+  std::optional<DecodedWireFrame> Next();
+
+  /// Sticky stream state; a failed decoder rejects further Feeds.
+  const Status& status() const noexcept { return status_; }
+
+  /// Bytes buffered toward the frame currently being assembled.
+  std::size_t buffered_bytes() const noexcept {
+    return header_fill_ + body_fill_;
+  }
+
+ private:
+  FramingLimits limits_;
+  Status status_ = Status::Ok();
+
+  // Assembly state for the in-progress frame.
+  std::array<std::uint8_t, kWireHeaderSize> header_raw_{};
+  std::size_t header_fill_ = 0;
+  bool have_header_ = false;
+  WireHeader header_{};
+  std::vector<std::uint8_t> body_;  // payload + attachment
+  std::size_t body_fill_ = 0;
+
+  std::deque<DecodedWireFrame> ready_;
+};
+
+}  // namespace vinelet::net

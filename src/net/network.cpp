@@ -40,34 +40,13 @@ void Network::Unregister(EndpointId id) {
     shard.inboxes.erase(it);
   }
   inbox->Close();
-  std::function<void(EndpointId)> listener;
-  {
-    std::lock_guard<std::mutex> lock(listener_mu_);
-    listener = disconnect_listener_;
-  }
-  if (listener) listener(id);
-}
-
-void Network::SetDisconnectListener(
-    std::function<void(EndpointId)> listener) {
-  std::lock_guard<std::mutex> lock(listener_mu_);
-  disconnect_listener_ = std::move(listener);
+  NotifyDisconnect(id);
 }
 
 bool Network::Connected(EndpointId id) const {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   return shard.inboxes.contains(id);
-}
-
-void Network::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
-  std::lock_guard<std::mutex> lock(fault_mu_);
-  fault_ = std::move(injector);
-}
-
-std::shared_ptr<FaultInjector> Network::fault_injector() const {
-  std::lock_guard<std::mutex> lock(fault_mu_);
-  return fault_;
 }
 
 Status Network::Send(EndpointId from, EndpointId to, Blob payload,
@@ -148,8 +127,7 @@ Status Network::Deliver(const std::shared_ptr<Inbox>& inbox, Frame frame) {
       frame.payload.size() + frame.attachment.size();
   if (!inbox->Send(std::move(frame)))
     return UnavailableError("inbox closed");
-  frames_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  CountDelivery(frame_bytes);
   return Status::Ok();
 }
 

@@ -14,15 +14,16 @@
 // are released).
 //
 // Endpoint 0 is reserved for the manager; workers get ids from 1.
+//
+// This is the in-process backend of net::Transport; net::TcpTransport is
+// the real-socket one (see transport.hpp for the shared contract).
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -30,68 +31,35 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/bytes.hpp"
-#include "common/channel.hpp"
-#include "common/status.hpp"
+#include "net/transport.hpp"
 
 namespace vinelet::net {
-
-class FaultInjector;
-
-using EndpointId = std::uint64_t;
-constexpr EndpointId kManagerEndpoint = 0;
-
-/// One delivered message: who sent it, the serialized message bytes, and an
-/// optional bulk attachment.  The attachment carries large content (file and
-/// chunk payloads) as a borrowed refcounted Blob so relays forward it
-/// without copying; it is empty for ordinary control messages.
-struct Frame {
-  EndpointId sender = 0;
-  Blob payload;
-  Blob attachment;
-};
-
-using Inbox = Channel<Frame>;
 
 /// Registry of live endpoints.  Threads hold a shared_ptr to the Network;
 /// inboxes are shared_ptrs so a frame in flight to a departing endpoint
 /// never dangles.
-class Network {
+class Network final : public Transport {
  public:
-  ~Network();
+  ~Network() override;
 
   /// Creates an endpoint and returns its inbox.  Fails if the id is taken.
-  /// `capacity` bounds the inbox queue (0 = unbounded, the default); a
-  /// bounded inbox makes Send block when full, which tests use to verify
-  /// that one stalled endpoint cannot wedge the rest of the fabric.
   Result<std::shared_ptr<Inbox>> Register(EndpointId id,
-                                          std::size_t capacity = 0);
+                                          std::size_t capacity = 0) override;
 
   /// Removes an endpoint; its inbox is closed so readers drain and exit.
   /// Fires the disconnect listener (the analog of a peer observing the TCP
   /// connection reset), so the manager learns of abrupt departures even
   /// when no Goodbye was sent.
-  void Unregister(EndpointId id);
+  void Unregister(EndpointId id) override;
 
-  /// Registers a callback invoked (from the unregistering thread) whenever
-  /// an endpoint disappears.  Pass nullptr to clear.  The callee must be
-  /// thread-safe and must not call back into the Network.
-  void SetDisconnectListener(std::function<void(EndpointId)> listener);
-
-  bool Connected(EndpointId id) const;
+  bool Connected(EndpointId id) const override;
 
   /// Delivers `payload` (plus an optional bulk `attachment`) to `to`.
   /// kNotFound if the endpoint is gone, kUnavailable if its inbox is closed
   /// — both are expected during worker churn and handled by the caller's
   /// fault path.  The inbox push happens outside every registry lock.
   Status Send(EndpointId from, EndpointId to, Blob payload,
-              Blob attachment = Blob());
-
-  /// One message of a coalesced SendMany batch.
-  struct Parcel {
-    Blob payload;
-    Blob attachment;
-  };
+              Blob attachment = Blob()) override;
 
   /// Delivers a run of messages to one endpoint, resolving the inbox and
   /// taking the registry shard lock once for the whole batch instead of per
@@ -99,23 +67,8 @@ class Network {
   /// dispatch.  Fault-injection semantics are identical to N separate
   /// Sends (each parcel gets its own drop/corrupt/delay decision).  Stops
   /// at the first delivery failure and returns it.
-  Status SendMany(EndpointId from, EndpointId to, std::vector<Parcel> parcels);
-
-  /// Installs (or clears, with nullptr) the fault injector consulted on
-  /// every Send.  Dropped/blocked messages report Status::Ok() to the
-  /// sender — a partition is silence, not an error — so manager probe and
-  /// retry paths get exercised exactly as they would be by a real network.
-  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
-  std::shared_ptr<FaultInjector> fault_injector() const;
-
-  /// Total frames delivered (for tests and overhead accounting).
-  std::uint64_t frames_delivered() const {
-    return frames_.load(std::memory_order_relaxed);
-  }
-  /// Total payload + attachment bytes delivered.
-  std::uint64_t bytes_delivered() const {
-    return bytes_.load(std::memory_order_relaxed);
-  }
+  Status SendMany(EndpointId from, EndpointId to,
+                  std::vector<Parcel> parcels) override;
 
  private:
   static constexpr std::size_t kShards = 16;
@@ -150,13 +103,6 @@ class Network {
   void DelayPump();
 
   mutable std::array<Shard, kShards> shards_;
-  mutable std::mutex listener_mu_;
-  std::function<void(EndpointId)> disconnect_listener_;
-  std::atomic<std::uint64_t> frames_{0};
-  std::atomic<std::uint64_t> bytes_{0};
-
-  mutable std::mutex fault_mu_;
-  std::shared_ptr<FaultInjector> fault_;
 
   std::mutex delay_mu_;
   std::condition_variable delay_cv_;

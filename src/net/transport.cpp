@@ -1,0 +1,42 @@
+#include "net/transport.hpp"
+
+#include <utility>
+
+namespace vinelet::net {
+
+Status Transport::SendMany(EndpointId from, EndpointId to,
+                           std::vector<Parcel> parcels) {
+  for (Parcel& parcel : parcels) {
+    Status status =
+        Send(from, to, std::move(parcel.payload), std::move(parcel.attachment));
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+void Transport::SetDisconnectListener(
+    std::function<void(EndpointId)> listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  disconnect_listener_ = std::move(listener);
+}
+
+void Transport::NotifyDisconnect(EndpointId id) {
+  std::function<void(EndpointId)> listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = disconnect_listener_;
+  }
+  if (listener) listener(id);
+}
+
+void Transport::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_ = std::move(injector);
+}
+
+std::shared_ptr<FaultInjector> Transport::fault_injector() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault_;
+}
+
+}  // namespace vinelet::net

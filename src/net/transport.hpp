@@ -1,0 +1,172 @@
+// Pluggable message transport.
+//
+// Everything above the net layer (manager, workers, libraries, the DAG
+// engine) talks to peers through this interface: register an endpoint to
+// obtain an inbox of decoded Frames, and Send serialized bytes (plus an
+// optional bulk attachment) to another endpoint.  Two backends implement
+// it:
+//
+//  * net::Network — the in-process message bus (sharded endpoint registry,
+//    lock-free delivery); every "cluster" lives in one address space.
+//    Development, unit tests, and single-machine benches use it.
+//  * net::TcpTransport — real sockets: an epoll event loop with
+//    length-prefixed framing, write coalescing, scatter/gather (writev)
+//    sends of frame attachments, and per-connection backpressure.  The
+//    vinelet-managerd / vinelet-workerd daemons deploy one process per
+//    node on top of it.
+//
+// The contract both backends honour:
+//  * Send is asynchronous and ordered per (from, to) pair.  kNotFound means
+//    the destination is not reachable *now*; kUnavailable means its inbox
+//    closed.  Both are expected during churn and handled by callers' fault
+//    paths.  A delivered-but-lost message (crash before processing) is
+//    indistinguishable from a drop — callers must already tolerate silence.
+//  * The disconnect listener fires (from an arbitrary transport thread)
+//    when an endpoint departs, gracefully or not — the analog of observing
+//    a TCP reset.
+//  * An installed FaultInjector is consulted on every send, so chaos
+//    schedules drive both backends identically: drops and partitions look
+//    like Status::Ok() to the sender (a partition is silence, not an
+//    error).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/channel.hpp"
+#include "common/status.hpp"
+
+namespace vinelet::net {
+
+class FaultInjector;
+
+using EndpointId = std::uint64_t;
+constexpr EndpointId kManagerEndpoint = 0;
+
+/// One delivered message: who sent it, the serialized message bytes, and an
+/// optional bulk attachment.  The attachment carries large content (file and
+/// chunk payloads) as a borrowed refcounted Blob so relays forward it
+/// without copying; it is empty for ordinary control messages.
+struct Frame {
+  EndpointId sender = 0;
+  Blob payload;
+  Blob attachment;
+};
+
+using Inbox = Channel<Frame>;
+
+/// One message of a coalesced SendMany batch.
+struct Parcel {
+  Blob payload;
+  Blob attachment;
+};
+
+/// Live counters for one transport connection (TCP backend; the in-process
+/// bus has no connections).  Shipped inside ClusterStatus so vinelet-status
+/// can show per-link health: a growing send queue is backpressure, a
+/// non-zero stall count means senders blocked on the per-connection cap.
+struct ConnectionStats {
+  EndpointId peer = 0;         ///< Primary endpoint behind the connection.
+  std::string remote_addr;     ///< "host:port" of the peer socket.
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t send_queue_bytes = 0;     ///< Bytes waiting for the socket.
+  std::uint64_t peak_queue_bytes = 0;     ///< High-water mark of the above.
+  std::uint64_t backpressure_stalls = 0;  ///< Sends that blocked on the cap.
+};
+
+/// Abstract transport.  Thread-safe; see the file comment for the contract.
+/// Common cross-backend state (delivery counters, disconnect listener,
+/// fault injector) lives here so backends behave identically.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Creates an endpoint hosted by this process and returns its inbox.
+  /// Fails if the id is taken locally.  `capacity` bounds the inbox queue
+  /// (0 = unbounded); a bounded inbox makes delivery block when full, which
+  /// tests use to verify that one stalled endpoint cannot wedge the fabric.
+  virtual Result<std::shared_ptr<Inbox>> Register(EndpointId id,
+                                                  std::size_t capacity = 0) = 0;
+
+  /// Removes a local endpoint; its inbox is closed so readers drain and
+  /// exit, and remote peers observe the departure (disconnect listener).
+  virtual void Unregister(EndpointId id) = 0;
+
+  /// True when `id` is currently reachable (local, or via a live route).
+  virtual bool Connected(EndpointId id) const = 0;
+
+  /// Delivers `payload` (plus an optional bulk `attachment`) to `to`.
+  /// kNotFound if the endpoint is unreachable, kUnavailable if its inbox is
+  /// closed — both expected during worker churn.
+  virtual Status Send(EndpointId from, EndpointId to, Blob payload,
+                      Blob attachment = Blob()) = 0;
+
+  /// Delivers a run of messages to one endpoint, resolving the route once
+  /// for the whole batch.  Fault-injection semantics are identical to N
+  /// separate Sends.  Stops at the first delivery failure and returns it.
+  virtual Status SendMany(EndpointId from, EndpointId to,
+                          std::vector<Parcel> parcels);
+
+  /// Per-connection counters; empty for backends without connections.
+  virtual std::vector<ConnectionStats> ConnectionsSnapshot() const {
+    return {};
+  }
+
+  /// Registers a callback invoked (from a transport thread) whenever an
+  /// endpoint disappears.  Pass nullptr to clear.  The callee must be
+  /// thread-safe and must not call back into the transport.
+  void SetDisconnectListener(std::function<void(EndpointId)> listener);
+
+  /// Installs (or clears, with nullptr) the fault injector consulted on
+  /// every Send.  Dropped/blocked messages report Status::Ok() to the
+  /// sender, so manager probe and retry paths get exercised exactly as
+  /// they would be by a real lossy network.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
+  std::shared_ptr<FaultInjector> fault_injector() const;
+
+  /// Total frames delivered into local inboxes (tests + accounting).
+  std::uint64_t frames_delivered() const {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  /// Total payload + attachment bytes delivered into local inboxes.
+  std::uint64_t bytes_delivered() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  Transport() = default;
+
+  /// Backends call this after a successful inbox push.
+  void CountDelivery(std::size_t frame_bytes) {
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(frame_bytes, std::memory_order_relaxed);
+  }
+
+  /// Fires the disconnect listener (if any) for a departed endpoint.
+  void NotifyDisconnect(EndpointId id);
+
+ private:
+  mutable std::mutex listener_mu_;
+  std::function<void(EndpointId)> disconnect_listener_;
+
+  mutable std::mutex fault_mu_;
+  std::shared_ptr<FaultInjector> fault_;
+
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace vinelet::net

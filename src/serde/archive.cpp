@@ -43,7 +43,10 @@ void ArchiveWriter::WriteBytes(std::span<const std::uint8_t> bytes) {
 }
 
 Status ArchiveReader::Need(std::size_t bytes) const {
-  if (pos_ + bytes > data_.size()) {
+  // Compare against the remaining span instead of `pos_ + bytes` — the sum
+  // wraps for attacker-controlled u64 lengths near SIZE_MAX, which would
+  // make a truncated archive look satisfiable.
+  if (bytes > data_.size() - pos_) {
     return DataLossError("archive truncated: need " + std::to_string(bytes) +
                          " bytes at offset " + std::to_string(pos_) +
                          ", have " + std::to_string(data_.size() - pos_));

@@ -108,6 +108,39 @@ TEST(ArchiveTest, RemainingCountsDown) {
   EXPECT_TRUE(reader.AtEnd());
 }
 
+TEST(ArchiveTest, HugeLengthPrefixRejectedWithoutOverflow) {
+  // A length prefix near SIZE_MAX used to wrap the `pos_ + bytes` bounds
+  // check and pass Need(), overreading the buffer.  It must fail cleanly.
+  ArchiveWriter writer;
+  writer.WriteU64(0xFFFFFFFFFFFFFFFFull);
+  ArchiveReader reader(writer.buffer().span());
+  auto text = reader.ReadString();
+  ASSERT_FALSE(text.ok());
+  EXPECT_EQ(text.status().code(), ErrorCode::kDataLoss);
+
+  ArchiveReader bytes_reader(writer.buffer().span());
+  EXPECT_FALSE(bytes_reader.ReadBytes().ok());
+  ArchiveReader blob_reader(writer.buffer().span());
+  EXPECT_FALSE(blob_reader.ReadBlob().ok());
+}
+
+TEST(ArchiveTest, NearMaxLengthPrefixesRejected) {
+  // Sweep lengths around the overflow boundary: every claimed length larger
+  // than the remaining payload must be rejected, none may allocate first.
+  const std::uint64_t claims[] = {9, std::uint64_t{1} << 32,
+                                  std::uint64_t{1} << 48,
+                                  0xFFFFFFFFFFFFFFF0ull,
+                                  0xFFFFFFFFFFFFFFFFull};
+  for (std::uint64_t claimed : claims) {
+    ArchiveWriter writer;
+    writer.WriteU64(claimed);
+    writer.WriteU64(0);  // 8 bytes of actual payload after the prefix
+    ArchiveReader reader(writer.buffer().span());
+    auto text = reader.ReadString();
+    EXPECT_FALSE(text.ok()) << "claimed=" << claimed;
+  }
+}
+
 TEST(ArchiveTest, ToBlobMovesBuffer) {
   ArchiveWriter writer;
   writer.WriteString("payload");

@@ -1,0 +1,298 @@
+// TCP wire framing: header validation, incremental decode under arbitrary
+// chunking, and round-trip identity for every protocol message type —
+// including the zero-copy attachment path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/framing.hpp"
+#include "sample_messages.hpp"
+
+namespace vinelet::net {
+namespace {
+
+using core::Message;
+
+std::vector<std::uint8_t> EncodeOnWire(const WireHeader& header,
+                                       const Blob& payload,
+                                       const Blob& attachment) {
+  std::array<std::uint8_t, kWireHeaderSize> raw{};
+  WireHeader fixed = header;
+  fixed.payload_len = static_cast<std::uint32_t>(payload.size());
+  fixed.attach_len = static_cast<std::uint32_t>(attachment.size());
+  EncodeWireHeader(fixed, raw);
+  std::vector<std::uint8_t> bytes(kWireHeaderSize + payload.size() +
+                                  attachment.size());
+  std::memcpy(bytes.data(), raw.data(), kWireHeaderSize);
+  if (!payload.empty())
+    std::memcpy(bytes.data() + kWireHeaderSize, payload.data(),
+                payload.size());
+  if (!attachment.empty())
+    std::memcpy(bytes.data() + kWireHeaderSize + payload.size(),
+                attachment.data(), attachment.size());
+  return bytes;
+}
+
+TEST(FramingTest, HeaderRoundTrip) {
+  WireHeader header;
+  header.kind = WireKind::kData;
+  header.sender = 7;
+  header.dest = 12;
+  header.payload_len = 1234;
+  header.attach_len = 99;
+  std::array<std::uint8_t, kWireHeaderSize> raw{};
+  EncodeWireHeader(header, raw);
+  auto decoded = DecodeWireHeader(
+      std::span<const std::uint8_t, kWireHeaderSize>(raw), FramingLimits{});
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, WireKind::kData);
+  EXPECT_EQ(decoded->sender, 7u);
+  EXPECT_EQ(decoded->dest, 12u);
+  EXPECT_EQ(decoded->payload_len, 1234u);
+  EXPECT_EQ(decoded->attach_len, 99u);
+}
+
+TEST(FramingTest, HeaderRejectsGarbage) {
+  WireHeader header;
+  std::array<std::uint8_t, kWireHeaderSize> raw{};
+  EncodeWireHeader(header, raw);
+  const FramingLimits limits{};
+
+  auto bad_magic = raw;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeWireHeader(
+                std::span<const std::uint8_t, kWireHeaderSize>(bad_magic),
+                limits)
+                .status()
+                .code(),
+            ErrorCode::kDataLoss);
+
+  auto bad_kind = raw;
+  bad_kind[2] = 0;
+  EXPECT_FALSE(
+      DecodeWireHeader(std::span<const std::uint8_t, kWireHeaderSize>(bad_kind),
+                       limits)
+          .ok());
+  bad_kind[2] = 200;
+  EXPECT_FALSE(
+      DecodeWireHeader(std::span<const std::uint8_t, kWireHeaderSize>(bad_kind),
+                       limits)
+          .ok());
+
+  auto bad_reserved = raw;
+  bad_reserved[3] = 1;
+  EXPECT_FALSE(DecodeWireHeader(
+                   std::span<const std::uint8_t, kWireHeaderSize>(bad_reserved),
+                   limits)
+                   .ok());
+}
+
+TEST(FramingTest, HeaderRejectsOversizedLengthsBeforeAllocation) {
+  // A hostile header announcing a huge body must be rejected from the 28
+  // header bytes alone — the decoder never allocates for it.
+  WireHeader header;
+  header.payload_len = 0xFFFFFFFFu;
+  std::array<std::uint8_t, kWireHeaderSize> raw{};
+  EncodeWireHeader(header, raw);
+  FrameDecoder decoder;
+  EXPECT_EQ(decoder.Feed(raw).code(), ErrorCode::kDataLoss);
+  EXPECT_FALSE(decoder.status().ok());
+  EXPECT_FALSE(decoder.Next().has_value());
+  // Sticky: the stream is poisoned for good.
+  EXPECT_FALSE(decoder.Feed(raw).ok());
+
+  WireHeader attach_bomb;
+  attach_bomb.attach_len = 0xFFFFFFFFu;
+  EncodeWireHeader(attach_bomb, raw);
+  FrameDecoder decoder2;
+  EXPECT_EQ(decoder2.Feed(raw).code(), ErrorCode::kDataLoss);
+}
+
+TEST(FramingTest, ByteAtATimeDecode) {
+  WireHeader header;
+  header.sender = 3;
+  header.dest = 4;
+  const Blob payload = Blob::FromString("protocol header bytes");
+  const Blob attachment = Blob::FromString("bulk attachment payload");
+  const auto bytes = EncodeOnWire(header, payload, attachment);
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed({&bytes[i], 1}).ok());
+    ASSERT_FALSE(decoder.Next().has_value()) << "frame ready early at " << i;
+  }
+  ASSERT_TRUE(decoder.Feed({&bytes.back(), 1}).ok());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.sender, 3u);
+  EXPECT_EQ(frame->header.dest, 4u);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_EQ(frame->attachment, attachment);
+  // Payload and attachment are slices of one refcounted body allocation.
+  EXPECT_TRUE(frame->payload.SharesPayloadWith(frame->attachment));
+}
+
+TEST(FramingTest, CoalescedFramesInOneFeed) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 5; ++i) {
+    WireHeader header;
+    header.sender = static_cast<EndpointId>(i);
+    header.dest = 0;
+    const auto bytes =
+        EncodeOnWire(header, Blob::FromString("m" + std::to_string(i)),
+                     i % 2 == 0 ? Blob::FromString("attach") : Blob());
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(stream).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.has_value()) << "missing frame " << i;
+    EXPECT_EQ(frame->header.sender, static_cast<EndpointId>(i));
+    EXPECT_EQ(frame->payload.ToString(), "m" + std::to_string(i));
+  }
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, TruncatedStreamYieldsNoFrame) {
+  WireHeader header;
+  const auto bytes =
+      EncodeOnWire(header, Blob::FromString("payload"), Blob::FromString("a"));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed({bytes.data(), cut}).ok()) << "cut=" << cut;
+    EXPECT_FALSE(decoder.Next().has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(FramingTest, WirePrimitivesRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  wire::AppendU32(buf, 0xDEADBEEFu);
+  wire::AppendU64(buf, 0x0123456789ABCDEFull);
+  wire::AppendString(buf, "hello world");
+  std::span<const std::uint8_t> in(buf);
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  std::string text;
+  ASSERT_TRUE(wire::TakeU32(in, u32));
+  ASSERT_TRUE(wire::TakeU64(in, u64));
+  ASSERT_TRUE(wire::TakeString(in, text));
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(text, "hello world");
+  EXPECT_TRUE(in.empty());
+
+  // Underruns are reported, never overread.
+  std::vector<std::uint8_t> short_buf = {1, 2, 3};
+  std::span<const std::uint8_t> short_in(short_buf);
+  EXPECT_FALSE(wire::TakeU32(short_in, u32));
+  std::vector<std::uint8_t> lying_len;
+  wire::AppendU32(lying_len, 1000);  // claims 1000 bytes, has none
+  std::span<const std::uint8_t> lying_in(lying_len);
+  EXPECT_FALSE(wire::TakeString(lying_in, text));
+}
+
+// ---------------------------------------------------------------------------
+// Every protocol message through the framer.
+// ---------------------------------------------------------------------------
+
+// EncodeFrame -> wire bytes -> FrameDecoder -> DecodeFrame must be the
+// identity for every message type, under every chunking of the stream.
+TEST(FramingTest, EveryProtocolMessageSurvivesTheFramerByteAtATime) {
+  const auto all = testing::AllSampleMessages();
+  ASSERT_EQ(all.size(), std::variant_size_v<Message>);
+  for (const Message& message : all) {
+    const core::WireFrame encoded = core::EncodeFrame(message);
+    WireHeader header;
+    header.sender = 1;
+    header.dest = 2;
+    const auto bytes =
+        EncodeOnWire(header, encoded.payload, encoded.attachment);
+
+    FrameDecoder decoder;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+      ASSERT_TRUE(decoder.Feed({&bytes[i], 1}).ok());
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.has_value()) << "type index " << message.index();
+
+    auto decoded = core::DecodeFrame(
+        net::Frame{frame->header.sender, frame->payload, frame->attachment});
+    ASSERT_TRUE(decoded.ok())
+        << "type index " << message.index() << ": "
+        << decoded.status().ToString();
+    EXPECT_EQ(decoded->index(), message.index());
+    // Identity check: re-encoding the decoded message reproduces the
+    // original serialization bit-for-bit.
+    EXPECT_EQ(core::EncodeMessage(*decoded), core::EncodeMessage(message))
+        << "type index " << message.index();
+  }
+}
+
+TEST(FramingTest, EveryProtocolMessageSurvivesRandomizedChunkSplits) {
+  const auto all = testing::AllSampleMessages();
+  std::mt19937 rng(20240808u);
+  for (int round = 0; round < 8; ++round) {
+    // All messages coalesced into one TCP byte stream, split at random.
+    std::vector<std::uint8_t> stream;
+    for (const Message& message : all) {
+      const core::WireFrame encoded = core::EncodeFrame(message);
+      WireHeader header;
+      header.sender = 1;
+      header.dest = 2;
+      const auto bytes =
+          EncodeOnWire(header, encoded.payload, encoded.attachment);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    }
+    FrameDecoder decoder;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      std::uniform_int_distribution<std::size_t> dist(
+          1, std::min<std::size_t>(stream.size() - pos, 257));
+      const std::size_t take = dist(rng);
+      ASSERT_TRUE(decoder.Feed({stream.data() + pos, take}).ok());
+      pos += take;
+    }
+    for (const Message& message : all) {
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.has_value()) << "round " << round;
+      auto decoded = core::DecodeFrame(
+          net::Frame{frame->header.sender, frame->payload, frame->attachment});
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(core::EncodeMessage(*decoded), core::EncodeMessage(message));
+    }
+    EXPECT_FALSE(decoder.Next().has_value());
+  }
+}
+
+TEST(FramingTest, AttachmentsDecodeZeroCopy) {
+  // The chunk attachment decoded from the wire must be a slice of the
+  // decoder's single body allocation — no per-attachment copy.
+  core::PutChunkMsg chunk;
+  chunk.decl = testing::SampleMsgDecl("zc");
+  chunk.num_chunks = 1;
+  chunk.chunk_bytes = 8;
+  chunk.chunk = Blob::FromString("zerocopy");
+  const core::WireFrame encoded = core::EncodeFrame(chunk);
+  ASSERT_FALSE(encoded.attachment.empty());
+
+  WireHeader header;
+  const auto bytes = EncodeOnWire(header, encoded.payload, encoded.attachment);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes).ok());
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  auto decoded = core::DecodeFrame(
+      net::Frame{0, frame->payload, frame->attachment});
+  ASSERT_TRUE(decoded.ok());
+  const auto* out = std::get_if<core::PutChunkMsg>(&*decoded);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->chunk, chunk.chunk);
+  EXPECT_TRUE(out->chunk.SharesPayloadWith(frame->attachment));
+}
+
+}  // namespace
+}  // namespace vinelet::net

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/protocol.hpp"
+#include "sample_messages.hpp"
 
 namespace vinelet::core {
 namespace {
@@ -430,6 +431,84 @@ TEST(ProtocolTest, BadEnumValuesRejected) {
   const std::size_t kind_offset = 1 + 8 + 8 + 8 + 32 + 8;
   bytes[kind_offset] = 0x99;
   EXPECT_FALSE(DecodeMessage(Blob(std::move(bytes))).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven malformed-frame sweep: every message type in the protocol,
+// via the shared sample table (which the variant-size check keeps complete).
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, SampleTableCoversEveryMessageType) {
+  ASSERT_EQ(testing::AllSampleMessages().size(), std::variant_size_v<Message>);
+}
+
+TEST(ProtocolTest, EveryMessageTypeRejectsEveryTruncation) {
+  for (const Message& message : testing::AllSampleMessages()) {
+    const Blob full = EncodeMessage(message);
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      auto decoded = DecodeMessage(full.Slice(0, cut));
+      EXPECT_FALSE(decoded.ok())
+          << "message index " << message.index() << " cut=" << cut;
+      if (decoded.ok()) break;
+    }
+  }
+}
+
+TEST(ProtocolTest, EveryMessageTypeRejectsTrailingGarbage) {
+  for (const Message& message : testing::AllSampleMessages()) {
+    const Blob full = EncodeMessage(message);
+    std::vector<std::uint8_t> extended(full.span().begin(), full.span().end());
+    extended.push_back(0x5A);
+    auto decoded = DecodeMessage(Blob(std::move(extended)));
+    EXPECT_FALSE(decoded.ok()) << "message index " << message.index();
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+    }
+  }
+}
+
+TEST(ProtocolTest, EveryMessageSurvivesSingleByteCorruption) {
+  // Flipping any one byte must never crash or overread; the decoder either
+  // rejects the frame or produces some (different) well-formed message.
+  for (const Message& message : testing::AllSampleMessages()) {
+    const Blob full = EncodeMessage(message);
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      std::vector<std::uint8_t> bytes(full.span().begin(), full.span().end());
+      bytes[i] ^= 0xFF;
+      (void)DecodeMessage(Blob(std::move(bytes)));  // must not UB
+    }
+  }
+}
+
+TEST(ProtocolTest, HugeBatchCountRejectedBeforeAllocation) {
+  RunInvocationBatchMsg batch;
+  batch.instance_id = 9;
+  batch.items.push_back({21, 9, "g", Blob::FromString("a"), {}, {1u, 2u}});
+  const Blob full = EncodeMessage(batch);
+  std::vector<std::uint8_t> bytes(full.span().begin(), full.span().end());
+  // Layout: tag(1) + instance_id(8) + item count(8).  A count of 2^64-1
+  // must be rejected by the remaining-bytes clamp, not fed to reserve().
+  for (std::size_t i = 0; i < 8; ++i) bytes[1 + 8 + i] = 0xFF;
+  auto decoded = DecodeMessage(Blob(std::move(bytes)));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ProtocolTest, HugeDeclCountRejectedBeforeAllocation) {
+  PushFileMsg msg{SampleDecl(), 42, {7u, 9u}};
+  ExecuteTaskMsg task;
+  task.task.id = 1;
+  task.task.function_name = "f";
+  task.task.args = Blob::FromString("a");
+  const Blob full = EncodeMessage(task);
+  std::vector<std::uint8_t> bytes(full.span().begin(), full.span().end());
+  // Layout: tag(1) + id(8) + function_name(8 + 1) + args(8 + 1) +
+  // decl count(8).  Poison the count.
+  const std::size_t count_offset = 1 + 8 + 8 + 1 + 8 + 1;
+  for (std::size_t i = 0; i < 8; ++i) bytes[count_offset + i] = 0xFF;
+  auto decoded = DecodeMessage(Blob(std::move(bytes)));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
 }
 
 }  // namespace

@@ -130,5 +130,56 @@ TEST(ValueTest, LargeListRoundTrip) {
   EXPECT_EQ(decoded->AsList()[9999].AsInt(), 9999);
 }
 
+TEST(ValueTest, HugeListCountRejectedBeforeAllocation) {
+  // Hand-craft: list tag + count 2^64-1.  The decoder must clamp the count
+  // against the remaining payload instead of calling reserve() on it.
+  ArchiveWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(Value::Type::kList));
+  writer.WriteU64(0xFFFFFFFFFFFFFFFFull);
+  auto decoded = Value::FromBlob(std::move(writer).ToBlob());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ValueTest, HugeDictCountRejectedBeforeAllocation) {
+  ArchiveWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(Value::Type::kDict));
+  writer.WriteU64(0xFFFFFFFFFFFFFFF0ull);
+  auto decoded = Value::FromBlob(std::move(writer).ToBlob());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(ValueTest, HugeStringLengthRejectedBeforeAllocation) {
+  ArchiveWriter writer;
+  writer.WriteU8(static_cast<std::uint8_t>(Value::Type::kString));
+  writer.WriteU64(0xFFFFFFFFFFFFFFFFull);
+  auto decoded = Value::FromBlob(std::move(writer).ToBlob());
+  ASSERT_FALSE(decoded.ok());
+}
+
+TEST(ValueTest, EveryTruncationOfNestedValueRejected) {
+  const Value original = Value::Dict(
+      {{"list", Value::List({Value(1), Value("two"),
+                             Value::Dict({{"k", Value(3.5)}})})},
+       {"bytes", Value(Blob::FromString("blob bytes"))},
+       {"flag", Value(true)}});
+  const Blob full = original.ToBlob();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    auto decoded = Value::FromBlob(full.Slice(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ValueTest, TrailingBytesAfterValueRejected) {
+  std::vector<std::uint8_t> bytes;
+  const Blob encoded = Value(7).ToBlob();
+  bytes.assign(encoded.span().begin(), encoded.span().end());
+  bytes.push_back(0);
+  auto decoded = Value::FromBlob(Blob(std::move(bytes)));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDataLoss);
+}
+
 }  // namespace
 }  // namespace vinelet::serde
